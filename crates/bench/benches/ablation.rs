@@ -1,0 +1,119 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * Kosaraju (the paper's two-DFS) vs Tarjan SCC;
+//! * exact vs sampled clustering coefficient (the paper sampled 1M nodes)
+//!   with the estimator error printed;
+//! * fixed-k vs the paper's adaptive path-length schedule, with the KS
+//!   trajectory printed;
+//! * CSR adjacency vs a naive `Vec<Vec<_>>` adjacency for BFS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gplus_bench::{criterion as cfg, network};
+use gplus_graph::{bfs, clustering, paths, scc, CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::hint::black_box;
+
+/// Naive adjacency-list graph, the baseline CSR replaced.
+struct VecGraph {
+    out: Vec<Vec<NodeId>>,
+}
+
+impl VecGraph {
+    fn from_csr(g: &CsrGraph) -> Self {
+        Self { out: g.nodes().map(|u| g.out_neighbors(u).to_vec()).collect() }
+    }
+
+    fn bfs_levels(&self, source: NodeId) -> u32 {
+        let mut dist = vec![u32::MAX; self.out.len()];
+        let mut q = VecDeque::new();
+        dist[source as usize] = 0;
+        q.push_back(source);
+        let mut ecc = 0;
+        while let Some(u) = q.pop_front() {
+            for &v in &self.out[u as usize] {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    ecc = ecc.max(dist[v as usize]);
+                    q.push_back(v);
+                }
+            }
+        }
+        ecc
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let g = &network().graph;
+
+    // --- SCC: Kosaraju vs Tarjan ---
+    let a = scc::kosaraju(g);
+    let b2 = scc::tarjan(g);
+    assert!(scc::same_partition(&a, &b2), "algorithms must agree before timing");
+    c.bench_function("ablation/scc_kosaraju", |b| b.iter(|| black_box(scc::kosaraju(g))));
+    c.bench_function("ablation/scc_tarjan", |b| b.iter(|| black_box(scc::tarjan(g))));
+
+    // --- clustering: exact vs sampled, with estimator error ---
+    let exact = clustering::average_cc(g).unwrap_or(0.0);
+    for sample in [2_000usize, 10_000] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cc = clustering::sampled_cc(g, sample, &mut rng);
+        let est = cc.iter().sum::<f64>() / cc.len().max(1) as f64;
+        println!(
+            "sampled CC ({sample} nodes): {est:.4} vs exact {exact:.4} \
+             (error {:+.4})",
+            est - exact
+        );
+    }
+    c.bench_function("ablation/cc_exact", |b| b.iter(|| black_box(clustering::average_cc(g))));
+    let mut group = c.benchmark_group("ablation/cc_sampled");
+    for sample in [2_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(sample), &sample, |b, &s| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(clustering::sampled_cc(g, s, &mut rng))
+            })
+        });
+    }
+    group.finish();
+
+    // --- paths: fixed-k vs adaptive schedule ---
+    let mut rng = StdRng::seed_from_u64(9);
+    let adaptive = paths::adaptive_path_lengths(g, 100, 100, 800, 0.02, &mut rng);
+    println!(
+        "adaptive path schedule: used {} sources, converged early = {}, KS trajectory {:?}",
+        adaptive.distribution.sources,
+        adaptive.converged_early,
+        adaptive
+            .ks_trajectory
+            .iter()
+            .map(|d| (d * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    c.bench_function("ablation/paths_fixed_k400", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            black_box(paths::sampled_path_lengths(g, 400, &mut rng))
+        })
+    });
+    c.bench_function("ablation/paths_adaptive", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            black_box(paths::adaptive_path_lengths(g, 100, 100, 800, 0.02, &mut rng))
+        })
+    });
+
+    // --- BFS: CSR vs naive Vec<Vec> adjacency ---
+    let vec_graph = VecGraph::from_csr(g);
+    let mut scratch = bfs::BfsScratch::new(g.node_count());
+    c.bench_function("ablation/bfs_csr", |b| {
+        b.iter(|| black_box(bfs::levels_with_scratch(g, 0, &mut scratch).eccentricity))
+    });
+    c.bench_function("ablation/bfs_vecvec", |b| {
+        b.iter(|| black_box(vec_graph.bfs_levels(0)))
+    });
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

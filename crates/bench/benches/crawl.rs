@@ -1,0 +1,67 @@
+//! Crawl benchmarks: §2.2's measurement apparatus — full-crawl throughput
+//! vs worker count (the paper's 11 machines), and the lost-edge estimator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gplus_bench::{bench_seed, criterion as cfg};
+use gplus_crawler::{lost_edges, mhrw, Crawler, CrawlerConfig, MhrwConfig};
+use gplus_service::{GooglePlusService, ServiceConfig};
+use gplus_synth::{SynthConfig, SynthNetwork};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // a dedicated (smaller) network: each iteration crawls it fully
+    let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(8_000, bench_seed()));
+    let quiet =
+        ServiceConfig { failure_rate: 0.0, private_list_fraction: 0.0, ..Default::default() };
+    let svc = GooglePlusService::new(net.clone(), quiet.clone());
+
+    // print the §2.2 lost-edge estimate under the paper's cap structure
+    let tight = GooglePlusService::new(
+        net.clone(),
+        ServiceConfig { circle_list_limit: 200, page_size: 200, ..quiet.clone() },
+    );
+    let result = Crawler::paper_setup().run(&tight);
+    let est = lost_edges::estimate(&result, 200);
+    println!(
+        "lost-edge estimate at cap 200: {} truncated users, {} lost, {:.2}% of edges \
+         (paper at cap 10,000: 915 users, 1.6%)\n",
+        est.truncated_users,
+        est.lost_edges,
+        est.lost_fraction * 100.0
+    );
+
+    let mut group = c.benchmark_group("crawl/full_by_machines");
+    for machines in [1usize, 4, 11] {
+        group.bench_with_input(BenchmarkId::from_parameter(machines), &machines, |b, &m| {
+            let crawler = Crawler::new(CrawlerConfig { machines: m, ..Default::default() });
+            b.iter(|| black_box(crawler.run(&svc)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("crawl/lost_edge_estimate", |b| {
+        b.iter(|| black_box(lost_edges::estimate(&result, 200)))
+    });
+
+    // MHRW sampling vs BFS: print the bias comparison, then time the walk
+    let truth = &svc.ground_truth().graph;
+    let pop_mean = truth.edge_count() as f64 / truth.node_count() as f64;
+    let cfg_walk = MhrwConfig { steps: 4_000, burn_in: 500, thinning: 4, ..Default::default() };
+    let walk = mhrw(&svc, &cfg_walk, &mut StdRng::seed_from_u64(3));
+    let walk_mean = walk.estimate(|u| truth.in_degree(u as u32) as f64);
+    println!(
+        "MHRW sampled mean in-degree {walk_mean:.2} vs population {pop_mean:.2}          ({} profiles fetched)\n",
+        walk.stats.profiles_crawled
+    );
+    c.bench_function("crawl/mhrw_4k_steps", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(mhrw(&svc, &cfg_walk, &mut rng))
+        })
+    });
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Figure 10 (country-to-country link matrix).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gplus_bench::{criterion as cfg, dataset};
+use gplus_core::experiments::fig10;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = dataset();
+    println!("{}", fig10::render(&fig10::run(&data)));
+    c.bench_function("fig10/country_link_matrix", |b| b.iter(|| black_box(fig10::run(&data))));
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Figure 2 (fields-shared CCDF, tel-users vs all).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gplus_bench::{criterion as cfg, dataset};
+use gplus_core::experiments::fig2;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = dataset();
+    println!("{}", fig2::render(&fig2::run(&data)));
+    c.bench_function("fig2/fields_shared_ccdf", |b| b.iter(|| black_box(fig2::run(&data))));
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates Figure 3 (degree CCDFs + power-law fits).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gplus_bench::{criterion as cfg, dataset};
+use gplus_core::experiments::fig3;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = dataset();
+    let params = fig3::Fig3Params::default();
+    println!("{}", fig3::render(&fig3::run(&data, &params)));
+    c.bench_function("fig3/degree_ccdfs_and_fits", |b| {
+        b.iter(|| black_box(fig3::run(&data, &params)))
+    });
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates Figure 4 (reciprocity CDF, clustering CDF, SCC CCDF) and
+//! times each panel separately.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gplus_bench::{criterion as cfg, dataset, network};
+use gplus_core::experiments::fig4;
+use gplus_graph::{clustering, reciprocity, scc};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = dataset();
+    let params = fig4::Fig4Params { cc_sample: 20_000, seed: 1 };
+    println!("{}", fig4::render(&fig4::run(&data, &params)));
+
+    let g = &network().graph;
+    c.bench_function("fig4a/relation_reciprocity_all", |b| {
+        b.iter(|| black_box(reciprocity::relation_reciprocity_all(g)))
+    });
+    c.bench_function("fig4b/sampled_cc_20k", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(clustering::sampled_cc(g, 20_000, &mut rng))
+        })
+    });
+    c.bench_function("fig4c/kosaraju_scc", |b| b.iter(|| black_box(scc::kosaraju(g))));
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates Figure 5 (path-length distribution, directed + undirected).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gplus_bench::{criterion as cfg, dataset, network};
+use gplus_core::experiments::fig5;
+use gplus_graph::paths;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = dataset();
+    let params = fig5::Fig5Params { k_start: 200, k_step: 200, k_max: 1_000, tol: 0.02, seed: 2 };
+    println!("{}", fig5::render(&fig5::run(&data, &params)));
+
+    let g = &network().graph;
+    c.bench_function("fig5/sampled_paths_k200_directed", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(paths::sampled_path_lengths(g, 200, &mut rng))
+        })
+    });
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

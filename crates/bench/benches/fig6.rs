@@ -1,0 +1,15 @@
+//! Regenerates Figure 6 (top-10 countries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gplus_bench::{criterion as cfg, dataset};
+use gplus_core::experiments::fig6;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = dataset();
+    println!("{}", fig6::render(&fig6::run(&data)));
+    c.bench_function("fig6/country_attribution", |b| b.iter(|| black_box(fig6::run(&data))));
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Figure 7 (GDP vs Google+/Internet penetration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gplus_bench::{criterion as cfg, dataset};
+use gplus_core::experiments::fig7;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = dataset();
+    println!("{}", fig7::render(&fig7::run(&data)));
+    c.bench_function("fig7/penetration_rates", |b| b.iter(|| black_box(fig7::run(&data))));
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Figure 8 (per-country profile openness).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gplus_bench::{criterion as cfg, dataset};
+use gplus_core::experiments::fig8;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = dataset();
+    println!("{}", fig8::render(&fig8::run(&data)));
+    c.bench_function("fig8/openness_by_country", |b| b.iter(|| black_box(fig8::run(&data))));
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

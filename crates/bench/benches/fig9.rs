@@ -1,0 +1,18 @@
+//! Regenerates Figure 9 (path miles).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gplus_bench::{criterion as cfg, dataset};
+use gplus_core::experiments::fig9;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = dataset();
+    let params = fig9::Fig9Params { max_pairs: 60_000, seed: 5 };
+    println!("{}", fig9::render(&fig9::run(&data, &params)));
+    c.bench_function("fig9/path_miles", |b| {
+        b.iter(|| black_box(fig9::run(&data, &params)))
+    });
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

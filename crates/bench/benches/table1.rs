@@ -1,0 +1,17 @@
+//! Regenerates Table 1 (top-20 users by in-degree) and times the ranking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gplus_bench::{criterion as cfg, dataset};
+use gplus_core::experiments::table1;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = dataset();
+    println!("{}", table1::render(&table1::run(&data, 20)));
+    c.bench_function("table1/top20_by_in_degree", |b| {
+        b.iter(|| black_box(table1::run(&data, 20)))
+    });
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

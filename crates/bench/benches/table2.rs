@@ -1,0 +1,17 @@
+//! Regenerates Table 2 (public attribute availability) and times the scan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gplus_bench::{criterion as cfg, dataset};
+use gplus_core::experiments::table2;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = dataset();
+    println!("{}", table2::render(&table2::run(&data)));
+    c.bench_function("table2/attribute_availability", |b| {
+        b.iter(|| black_box(table2::run(&data)))
+    });
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates Table 3 (all users vs tel-users) and times the comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gplus_bench::{criterion as cfg, dataset};
+use gplus_core::experiments::table3;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = dataset();
+    println!("{}", table3::render(&table3::run(&data)));
+    c.bench_function("table3/tel_user_comparison", |b| {
+        b.iter(|| black_box(table3::run(&data)))
+    });
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates Table 4 (cross-network topology comparison): measures the
+//! Google+ row, prints it beside the literature rows, and also times the
+//! twitter-like / facebook-like preset comparisons.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gplus_bench::{bench_seed, criterion as cfg, dataset};
+use gplus_core::dataset::GroundTruthDataset;
+use gplus_core::experiments::table4;
+use gplus_graph::reciprocity;
+use gplus_synth::{SynthConfig, SynthNetwork};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = dataset();
+    let params = table4::Table4Params { path_samples: 200, ..Default::default() };
+    println!("{}", table4::render(&table4::run(&data, &params)));
+
+    // simulated comparison rows: reciprocity under the two presets
+    let tw = SynthNetwork::generate(&SynthConfig::twitter_like(10_000, bench_seed()));
+    let fb = SynthNetwork::generate(&SynthConfig::facebook_like(10_000, bench_seed()));
+    println!(
+        "simulated comparison rows: twitter-like reciprocity {:.1}% (paper 22.1%), \
+         facebook-like {:.1}% (paper 100%)\n",
+        reciprocity::global_reciprocity(&tw.graph) * 100.0,
+        reciprocity::global_reciprocity(&fb.graph) * 100.0
+    );
+
+    c.bench_function("table4/google_plus_row", |b| {
+        b.iter(|| black_box(table4::run(&data, &params)))
+    });
+    let tw_data = GroundTruthDataset::new(&tw);
+    c.bench_function("table4/twitter_like_row_10k", |b| {
+        b.iter(|| black_box(table4::run(&tw_data, &params)))
+    });
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates Table 5 (per-country top-user occupations + Jaccard).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gplus_bench::{criterion as cfg, dataset};
+use gplus_core::experiments::table5;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let data = dataset();
+    println!("{}", table5::render(&table5::run(&data)));
+    c.bench_function("table5/occupations_and_jaccard", |b| {
+        b.iter(|| black_box(table5::run(&data)))
+    });
+}
+
+criterion_group! { name = benches; config = cfg(); targets = bench }
+criterion_main!(benches);

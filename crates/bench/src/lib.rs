@@ -1,0 +1,48 @@
+//! Shared scaffolding for the benchmark harness.
+//!
+//! Every bench target regenerates one of the paper's tables or figures:
+//! it *prints the artifact once* (so `cargo bench` output can be read
+//! against the paper) and then times the computation with Criterion.
+//!
+//! The network scale defaults to 20,000 users and can be raised with the
+//! `GPLUS_BENCH_N` environment variable; the seed with `GPLUS_BENCH_SEED`.
+
+use criterion::Criterion;
+use gplus_core::dataset::GroundTruthDataset;
+use gplus_synth::{SynthConfig, SynthNetwork};
+use std::sync::OnceLock;
+
+/// Benchmark network size (env `GPLUS_BENCH_N`, default 20,000).
+pub fn bench_n() -> usize {
+    std::env::var("GPLUS_BENCH_N").ok().and_then(|s| s.parse().ok()).unwrap_or(20_000)
+}
+
+/// Benchmark seed (env `GPLUS_BENCH_SEED`, default 2012).
+pub fn bench_seed() -> u64 {
+    std::env::var("GPLUS_BENCH_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2012)
+}
+
+/// The shared Google+-calibrated network, generated once per process.
+pub fn network() -> &'static SynthNetwork {
+    static NET: OnceLock<SynthNetwork> = OnceLock::new();
+    NET.get_or_init(|| {
+        let n = bench_n();
+        eprintln!("[gplus-bench] generating network: {n} users, seed {}", bench_seed());
+        SynthNetwork::generate(&SynthConfig::google_plus_2011(n, bench_seed()))
+    })
+}
+
+/// Ground-truth dataset view over [`network`].
+pub fn dataset() -> GroundTruthDataset<'static> {
+    GroundTruthDataset::new(network())
+}
+
+/// Criterion tuned for heavyweight graph analyses: few samples, short
+/// measurement windows.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}

@@ -1,0 +1,284 @@
+//! The dataset abstraction the experiments run over.
+//!
+//! The paper's analyses consume (a) the social graph and (b) the *public*
+//! profile data of each user. Both the ground-truth synthetic network and
+//! a crawl result can provide that view; experiments are written once
+//! against [`Dataset`].
+
+use gplus_crawler::CrawlResult;
+use gplus_geo::{Country, LatLon};
+use gplus_graph::{CsrGraph, NodeId};
+use gplus_profiles::{Attribute, Gender, Occupation, RelationshipStatus};
+use gplus_synth::SynthNetwork;
+
+/// Read-only view of a crawled (or ground-truth) Google+ dataset.
+///
+/// All profile accessors return `None` when the user's profile is unknown
+/// (never crawled) or the user withheld the field — exactly the distinction
+/// the paper's per-field population counts (Table 2's "Available" column)
+/// rest on. Use [`Dataset::profile_known`] to separate the two.
+pub trait Dataset: Sync {
+    /// The social graph. Node ids index this dataset's own id space.
+    fn graph(&self) -> &CsrGraph;
+
+    /// Whether this node's profile page was observed at all.
+    fn profile_known(&self, node: NodeId) -> bool;
+
+    /// Display name, if the profile is known (names are always public).
+    fn display_name(&self, node: NodeId) -> Option<String>;
+
+    /// Publicly shared gender.
+    fn gender(&self, node: NodeId) -> Option<Gender>;
+
+    /// Publicly shared relationship status.
+    fn relationship(&self, node: NodeId) -> Option<RelationshipStatus>;
+
+    /// Publicly shared occupation.
+    fn occupation(&self, node: NodeId) -> Option<Occupation>;
+
+    /// Country resolved from a shared, geocodable "places lived" field.
+    fn country(&self, node: NodeId) -> Option<Country>;
+
+    /// Coordinates under the same conditions as [`Dataset::country`].
+    fn location(&self, node: NodeId) -> Option<LatLon>;
+
+    /// Total public fields (Figure 8's count).
+    fn fields_shared(&self, node: NodeId) -> Option<u32>;
+
+    /// Public fields excluding work/home contact (Figure 2's count).
+    fn fields_shared_excl_contact(&self, node: NodeId) -> Option<u32>;
+
+    /// Whether the user publishes a phone number (§3.2's tel-users).
+    fn is_tel_user(&self, node: NodeId) -> Option<bool>;
+
+    /// The full list of publicly shared attributes (Table 2's rows), in
+    /// Table-2 order; `None` when the profile is unknown.
+    fn public_attribute_list(&self, node: NodeId) -> Option<Vec<Attribute>>;
+
+    /// Number of nodes with known profiles (the paper's "27,556,390
+    /// profile pages" as opposed to the graph's 35.1M nodes).
+    fn known_profile_count(&self) -> usize {
+        self.graph().nodes().filter(|&n| self.profile_known(n)).count()
+    }
+}
+
+/// Direct view of a synthetic network's ground truth public profiles —
+/// what a lossless, complete crawl would have collected.
+pub struct GroundTruthDataset<'a> {
+    network: &'a SynthNetwork,
+}
+
+impl<'a> GroundTruthDataset<'a> {
+    /// Wraps a network.
+    pub fn new(network: &'a SynthNetwork) -> Self {
+        Self { network }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &SynthNetwork {
+        self.network
+    }
+}
+
+impl Dataset for GroundTruthDataset<'_> {
+    fn graph(&self) -> &CsrGraph {
+        &self.network.graph
+    }
+
+    fn profile_known(&self, _node: NodeId) -> bool {
+        true
+    }
+
+    fn display_name(&self, node: NodeId) -> Option<String> {
+        Some(self.network.population.profile(node).display_name())
+    }
+
+    fn gender(&self, node: NodeId) -> Option<Gender> {
+        self.network.population.profile(node).public_gender()
+    }
+
+    fn relationship(&self, node: NodeId) -> Option<RelationshipStatus> {
+        self.network.population.profile(node).public_relationship()
+    }
+
+    fn occupation(&self, node: NodeId) -> Option<Occupation> {
+        self.network.population.profile(node).public_occupation()
+    }
+
+    fn country(&self, node: NodeId) -> Option<Country> {
+        self.network.population.profile(node).public_country()
+    }
+
+    fn location(&self, node: NodeId) -> Option<LatLon> {
+        self.network.population.profile(node).public_location()
+    }
+
+    fn fields_shared(&self, node: NodeId) -> Option<u32> {
+        Some(self.network.population.profile(node).fields_shared())
+    }
+
+    fn fields_shared_excl_contact(&self, node: NodeId) -> Option<u32> {
+        Some(self.network.population.profile(node).fields_shared_excl_contact())
+    }
+
+    fn is_tel_user(&self, node: NodeId) -> Option<bool> {
+        Some(self.network.population.profile(node).is_tel_user())
+    }
+
+    fn public_attribute_list(&self, node: NodeId) -> Option<Vec<Attribute>> {
+        Some(self.network.population.profile(node).public_attributes())
+    }
+
+    fn known_profile_count(&self) -> usize {
+        self.network.node_count()
+    }
+}
+
+/// View over an actual crawl: profile data exists only for crawled users;
+/// seen-but-uncrawled nodes contribute graph structure only — the paper's
+/// own situation (27.5M profiles, 35.1M graph nodes).
+pub struct CrawlDataset<'a> {
+    result: &'a CrawlResult,
+}
+
+impl<'a> CrawlDataset<'a> {
+    /// Wraps a crawl result.
+    pub fn new(result: &'a CrawlResult) -> Self {
+        Self { result }
+    }
+
+    /// The underlying crawl.
+    pub fn result(&self) -> &CrawlResult {
+        self.result
+    }
+}
+
+impl Dataset for CrawlDataset<'_> {
+    fn graph(&self) -> &CsrGraph {
+        &self.result.graph
+    }
+
+    fn profile_known(&self, node: NodeId) -> bool {
+        self.result.pages.contains_key(&node)
+    }
+
+    fn display_name(&self, node: NodeId) -> Option<String> {
+        self.result.pages.get(&node).map(|p| p.display_name.clone())
+    }
+
+    fn gender(&self, node: NodeId) -> Option<Gender> {
+        self.result.pages.get(&node).and_then(|p| p.gender)
+    }
+
+    fn relationship(&self, node: NodeId) -> Option<RelationshipStatus> {
+        self.result.pages.get(&node).and_then(|p| p.relationship)
+    }
+
+    fn occupation(&self, node: NodeId) -> Option<Occupation> {
+        self.result.pages.get(&node).and_then(|p| p.occupation)
+    }
+
+    fn country(&self, node: NodeId) -> Option<Country> {
+        self.result.pages.get(&node).and_then(|p| p.country)
+    }
+
+    fn location(&self, node: NodeId) -> Option<LatLon> {
+        self.result.pages.get(&node).and_then(|p| p.location)
+    }
+
+    fn fields_shared(&self, node: NodeId) -> Option<u32> {
+        self.result.pages.get(&node).map(|p| p.fields_shared() as u32)
+    }
+
+    fn fields_shared_excl_contact(&self, node: NodeId) -> Option<u32> {
+        self.result.pages.get(&node).map(|p| p.fields_shared_excl_contact() as u32)
+    }
+
+    fn is_tel_user(&self, node: NodeId) -> Option<bool> {
+        self.result.pages.get(&node).map(|p| p.is_tel_user())
+    }
+
+    fn public_attribute_list(&self, node: NodeId) -> Option<Vec<Attribute>> {
+        self.result.pages.get(&node).map(|p| p.public_attributes.clone())
+    }
+
+    fn known_profile_count(&self) -> usize {
+        self.result.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplus_crawler::Crawler;
+    use gplus_service::{GooglePlusService, ServiceConfig};
+    use gplus_synth::SynthConfig;
+
+    fn network() -> SynthNetwork {
+        SynthNetwork::generate(&SynthConfig::google_plus_2011(1_000, 42))
+    }
+
+    #[test]
+    fn ground_truth_exposes_public_view_only() {
+        let net = network();
+        let data = GroundTruthDataset::new(&net);
+        assert_eq!(data.known_profile_count(), 1_000);
+        // node 0 is Larry Page, who withholds location
+        assert_eq!(data.display_name(0), Some("Larry Page".to_string()));
+        assert_eq!(data.country(0), None);
+        // a country celebrity shares location
+        assert!(data.country(20).is_some());
+        // private (non-shared) fields come back None even though ground
+        // truth knows them
+        let hidden = net
+            .graph
+            .nodes()
+            .find(|&n| !net.population.profile(n).shares(gplus_profiles::Attribute::Gender))
+            .expect("someone hides gender");
+        assert_eq!(data.gender(hidden), None);
+    }
+
+    #[test]
+    fn crawl_dataset_matches_ground_truth_where_crawled() {
+        let net = network();
+        let svc = GooglePlusService::new(
+            net,
+            ServiceConfig { failure_rate: 0.0, private_list_fraction: 0.0, ..Default::default() },
+        );
+        let result = Crawler::paper_setup().run(&svc);
+        let data = CrawlDataset::new(&result);
+        let truth = GroundTruthDataset::new(svc.ground_truth());
+        assert!(data.known_profile_count() > 900);
+        for node in result.graph.nodes().take(200) {
+            if !data.profile_known(node) {
+                continue;
+            }
+            let user = result.user_of(node) as u32;
+            assert_eq!(data.gender(node), truth.gender(user));
+            assert_eq!(data.country(node), truth.country(user));
+            assert_eq!(data.fields_shared(node), truth.fields_shared(user));
+        }
+    }
+
+    #[test]
+    fn uncrawled_nodes_have_no_profile() {
+        let net = network();
+        let svc = GooglePlusService::new(
+            net,
+            ServiceConfig { failure_rate: 0.0, private_list_fraction: 0.0, ..Default::default() },
+        );
+        let crawler = Crawler::new(gplus_crawler::CrawlerConfig {
+            max_profiles: Some(50),
+            ..Default::default()
+        });
+        let result = crawler.run(&svc);
+        let data = CrawlDataset::new(&result);
+        let unknown = result
+            .graph
+            .nodes()
+            .find(|&n| !data.profile_known(n))
+            .expect("budgeted crawl leaves uncrawled nodes");
+        assert_eq!(data.display_name(unknown), None);
+        assert_eq!(data.is_tel_user(unknown), None);
+    }
+}

@@ -1,0 +1,116 @@
+//! Figure 2: CCDF of the number of profile fields shared, tel-users vs all
+//! users.
+//!
+//! "tel-users generally share more information in their profiles than
+//! other Google+ users ... 10% of all Google+ users share more than six
+//! fields, while 66% of the tel-users do the same." (§3.2)
+//! The count excludes the Home/Work contact fields themselves.
+
+use crate::dataset::Dataset;
+use gplus_stats::Ccdf;
+use serde::{Deserialize, Serialize};
+
+/// The two CCDFs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2Result {
+    /// CCDF over all users.
+    pub all_users: Ccdf,
+    /// CCDF over tel-users.
+    pub tel_users: Option<Ccdf>,
+    /// Fraction of all users sharing more than six fields (paper: ~10%).
+    pub all_above_six: f64,
+    /// Fraction of tel-users sharing more than six fields (paper: ~66%).
+    pub tel_above_six: f64,
+}
+
+/// Builds both distributions.
+pub fn run(data: &impl Dataset) -> Fig2Result {
+    let g = data.graph();
+    let mut all = Vec::new();
+    let mut tel = Vec::new();
+    for node in g.nodes() {
+        let Some(fields) = data.fields_shared_excl_contact(node) else { continue };
+        all.push(fields as u64);
+        if data.is_tel_user(node) == Some(true) {
+            tel.push(fields as u64);
+        }
+    }
+    let all_users = Ccdf::from_counts(&all);
+    let tel_users = (!tel.is_empty()).then(|| Ccdf::from_counts(&tel));
+    Fig2Result {
+        all_above_six: all_users.eval(7),
+        tel_above_six: tel_users.as_ref().map(|c| c.eval(7)).unwrap_or(0.0),
+        all_users,
+        tel_users,
+    }
+}
+
+/// Renders both series as `x  ccdf_all  ccdf_tel` rows.
+pub fn render(result: &Fig2Result) -> String {
+    let mut out = String::from(
+        "Figure 2: CCDF of # fields available in profile (excl. contact fields)\n\
+         fields  P(X>=x) all  P(X>=x) tel\n",
+    );
+    for x in 1..=15u64 {
+        let tel = result.tel_users.as_ref().map(|c| c.eval(x)).unwrap_or(0.0);
+        out.push_str(&format!("{:>6}  {:>11.4}  {:>11.4}\n", x, result.all_users.eval(x), tel));
+    }
+    out.push_str(&format!(
+        "share > 6 fields: all {:.1}% (paper ~10%), tel {:.1}% (paper ~66%)\n",
+        result.all_above_six * 100.0,
+        result.tel_above_six * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GroundTruthDataset;
+    use gplus_synth::{SynthConfig, SynthNetwork};
+    use std::sync::OnceLock;
+
+    fn result() -> &'static Fig2Result {
+        static R: OnceLock<Fig2Result> = OnceLock::new();
+        R.get_or_init(|| {
+            let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(150_000, 7));
+            run(&GroundTruthDataset::new(&net))
+        })
+    }
+
+    #[test]
+    fn tel_curve_dominates_all_curve() {
+        let r = result();
+        let tel = r.tel_users.as_ref().expect("tel-users exist at 150k scale");
+        // stochastic dominance at every x in the plotted range
+        for x in 2..=12u64 {
+            assert!(
+                tel.eval(x) >= r.all_users.eval(x) - 0.02,
+                "x={x}: tel {} < all {}",
+                tel.eval(x),
+                r.all_users.eval(x)
+            );
+        }
+    }
+
+    #[test]
+    fn above_six_gap_matches_paper_shape() {
+        let r = result();
+        assert!(r.all_above_six < 0.35, "all >6 fields: {}", r.all_above_six);
+        assert!(r.tel_above_six > 0.40, "tel >6 fields: {}", r.tel_above_six);
+        assert!(r.tel_above_six > r.all_above_six * 2.0, "gap should be large");
+    }
+
+    #[test]
+    fn everyone_shares_at_least_name() {
+        let r = result();
+        assert_eq!(r.all_users.eval(1), 1.0);
+    }
+
+    #[test]
+    fn render_has_summary() {
+        let s = render(result());
+        assert!(s.contains("paper ~66%"));
+        assert!(s.lines().count() > 15);
+    }
+}

@@ -1,0 +1,186 @@
+//! Figure 4: reciprocity CDF (a), clustering-coefficient CDF (b), and SCC
+//! size CCDF (c).
+//!
+//! §3.3.2: "More than 60% of the users have RR higher than 0.6" and global
+//! reciprocity is 32% (Twitter: 22.1%). §3.3.3: CC computed over a random
+//! sample of one million nodes; "40% of all users have a CC greater than
+//! 0.2". §3.3.4: 9,771,696 SCCs with one giant component of 25.24M nodes.
+
+use crate::dataset::Dataset;
+use crate::paper::structure;
+use gplus_graph::{clustering, reciprocity, scc};
+use gplus_stats::{Ccdf, Cdf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters for the three panels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Params {
+    /// Node sample size for the clustering CDF (the paper's 1M).
+    pub cc_sample: usize,
+    /// RNG seed for the sample.
+    pub seed: u64,
+}
+
+impl Default for Fig4Params {
+    fn default() -> Self {
+        Self { cc_sample: 1_000_000, seed: 2012 }
+    }
+}
+
+/// All three panels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Result {
+    /// Panel (a): CDF of per-node relation reciprocity.
+    pub rr_cdf: Cdf,
+    /// Global edge reciprocity (paper: 32%).
+    pub global_reciprocity: f64,
+    /// Fraction of users with RR > 0.6 (paper: > 60%).
+    pub rr_above_06: f64,
+    /// Panel (b): CDF of sampled clustering coefficients.
+    pub cc_cdf: Option<Cdf>,
+    /// Fraction of sampled users with CC > 0.2 (paper: 40%).
+    pub cc_above_02: f64,
+    /// Panel (c): CCDF of SCC sizes.
+    pub scc_sizes: Ccdf,
+    /// Number of SCCs.
+    pub scc_count: u64,
+    /// Giant SCC fraction of all nodes.
+    pub giant_scc_fraction: f64,
+}
+
+/// Computes all three panels.
+pub fn run(data: &impl Dataset, params: &Fig4Params) -> Fig4Result {
+    let g = data.graph();
+    let rr = reciprocity::relation_reciprocity_all(g);
+    let rr_cdf = Cdf::new(&rr);
+    let rr_above_06 = rr_cdf.ccdf(0.6);
+
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let cc = clustering::sampled_cc(g, params.cc_sample.min(g.node_count()), &mut rng);
+    let cc_cdf = (!cc.is_empty()).then(|| Cdf::new(&cc));
+    let cc_above_02 = cc_cdf.as_ref().map(|c| c.ccdf(0.2)).unwrap_or(0.0);
+
+    let s = scc::kosaraju(g);
+    let sizes = s.sizes();
+    Fig4Result {
+        rr_cdf,
+        global_reciprocity: reciprocity::global_reciprocity(g),
+        rr_above_06,
+        cc_cdf,
+        cc_above_02,
+        scc_sizes: Ccdf::from_counts(&sizes),
+        scc_count: s.count as u64,
+        giant_scc_fraction: s.giant_fraction(),
+    }
+}
+
+/// Renders all three panels.
+pub fn render(result: &Fig4Result) -> String {
+    let mut out = String::from("Figure 4(a): CDF of relation reciprocity\nRR    CDF\n");
+    for i in 0..=10 {
+        let x = i as f64 / 10.0;
+        out.push_str(&format!("{x:.1}  {:.4}\n", result.rr_cdf.eval(x)));
+    }
+    out.push_str(&format!(
+        "global reciprocity {:.1}% (paper {:.0}%); RR>0.6: {:.1}% of users (paper >{:.0}%)\n\n",
+        result.global_reciprocity * 100.0,
+        structure::RECIPROCITY * 100.0,
+        result.rr_above_06 * 100.0,
+        structure::RR_ABOVE_06_FRACTION * 100.0
+    ));
+    out.push_str("Figure 4(b): CDF of clustering coefficient\nCC    CDF\n");
+    if let Some(cdf) = &result.cc_cdf {
+        for i in 0..=10 {
+            let x = i as f64 / 10.0;
+            out.push_str(&format!("{x:.1}  {:.4}\n", cdf.eval(x)));
+        }
+    }
+    out.push_str(&format!(
+        "CC>0.2: {:.1}% of sampled users (paper {:.0}%)\n\n",
+        result.cc_above_02 * 100.0,
+        structure::CC_ABOVE_02_FRACTION * 100.0
+    ));
+    out.push_str("Figure 4(c): CCDF of SCC sizes\nsize  P(S>=size)\n");
+    let mut x = 1u64;
+    while x <= result.scc_sizes.max_value() {
+        out.push_str(&format!("{:>8}  {:.2e}\n", x, result.scc_sizes.eval(x)));
+        x *= 10;
+    }
+    out.push_str(&format!(
+        "SCCs: {} ; giant fraction {:.2} (paper: 9.77M SCCs, giant ≈ 0.72)\n",
+        result.scc_count, result.giant_scc_fraction
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GroundTruthDataset;
+    use gplus_synth::{SynthConfig, SynthNetwork};
+    use std::sync::OnceLock;
+
+    fn result() -> &'static Fig4Result {
+        static R: OnceLock<Fig4Result> = OnceLock::new();
+        R.get_or_init(|| {
+            let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(30_000, 9));
+            run(&GroundTruthDataset::new(&net), &Fig4Params { cc_sample: 10_000, seed: 1 })
+        })
+    }
+
+    #[test]
+    fn global_reciprocity_in_band() {
+        let r = result();
+        assert!(
+            r.global_reciprocity > 0.22 && r.global_reciprocity < 0.45,
+            "reciprocity {}",
+            r.global_reciprocity
+        );
+    }
+
+    #[test]
+    fn rr_distribution_top_heavy() {
+        // the paper's Figure 4(a) shape: a large mass of ordinary users
+        // with high RR; we require a substantial fraction above 0.6
+        let r = result();
+        assert!(
+            r.rr_above_06 > 0.35,
+            "RR>0.6 fraction {} should be large",
+            r.rr_above_06
+        );
+        // and a visible low-RR mass (collectors/celebrities)
+        assert!(r.rr_cdf.eval(0.2) > 0.05, "some users must have low RR");
+    }
+
+    #[test]
+    fn clustering_higher_than_random_graph() {
+        let r = result();
+        // an Erdős–Rényi graph of this density has CC ≈ d/n ≈ 5e-4;
+        // the paper's Figure 4(b) needs substantial clustering mass
+        assert!(
+            r.cc_above_02 > 0.15,
+            "CC>0.2 fraction {} should be far above random",
+            r.cc_above_02
+        );
+    }
+
+    #[test]
+    fn scc_structure_giant_plus_dust() {
+        let r = result();
+        assert!(r.scc_count > 1_000, "many SCCs expected, got {}", r.scc_count);
+        assert!(r.giant_scc_fraction > 0.45 && r.giant_scc_fraction < 0.95);
+        // almost all components are tiny (paper: "almost all of them are
+        // small ... only one with more than 100 nodes")
+        assert!(r.scc_sizes.eval(100) < 0.01);
+    }
+
+    #[test]
+    fn render_has_three_panels() {
+        let s = render(result());
+        assert!(s.contains("Figure 4(a)"));
+        assert!(s.contains("Figure 4(b)"));
+        assert!(s.contains("Figure 4(c)"));
+    }
+}

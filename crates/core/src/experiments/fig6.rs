@@ -1,0 +1,140 @@
+//! Figure 6: top-10 countries with Google+ users.
+//!
+//! "More than 30% of the users who share their location information are
+//! identified as living in the US. ... Google+ is relatively popular in
+//! India and Brazil." (§4)
+
+use crate::dataset::Dataset;
+use crate::render::{count, pct, TextTable};
+use gplus_geo::Country;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One bar of the figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountryShare {
+    /// Country.
+    pub country: Country,
+    /// Located users in that country.
+    pub users: u64,
+    /// Fraction of all located users.
+    pub fraction: f64,
+}
+
+/// The computed figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Result {
+    /// Countries by descending share (all countries, not just ten).
+    pub shares: Vec<CountryShare>,
+    /// Total located users (the paper's 6,621,644).
+    pub located_users: u64,
+}
+
+impl Fig6Result {
+    /// The top-`k` rows.
+    pub fn top(&self, k: usize) -> &[CountryShare] {
+        &self.shares[..k.min(self.shares.len())]
+    }
+
+    /// The per-country user counts, for downstream penetration analysis.
+    pub fn counts(&self) -> Vec<(Country, u64)> {
+        self.shares.iter().map(|s| (s.country, s.users)).collect()
+    }
+}
+
+/// Attributes located users to countries.
+pub fn run(data: &impl Dataset) -> Fig6Result {
+    let g = data.graph();
+    let mut counts: HashMap<Country, u64> = HashMap::new();
+    let mut located = 0u64;
+    for node in g.nodes() {
+        if let Some(country) = data.country(node) {
+            *counts.entry(country).or_insert(0) += 1;
+            located += 1;
+        }
+    }
+    let mut shares: Vec<CountryShare> = counts
+        .into_iter()
+        .map(|(country, users)| CountryShare {
+            country,
+            users,
+            fraction: users as f64 / located.max(1) as f64,
+        })
+        .collect();
+    shares.sort_by(|a, b| b.users.cmp(&a.users).then(a.country.cmp(&b.country)));
+    Fig6Result { shares, located_users: located }
+}
+
+/// Renders the top-10 bars.
+pub fn render(result: &Fig6Result) -> String {
+    let mut t = TextTable::new(format!(
+        "Figure 6: Top 10 countries with Google+ users (located users: {})",
+        count(result.located_users)
+    ))
+    .header(&["Country", "Users", "Fraction"]);
+    for s in result.top(11) {
+        if s.country == Country::Other {
+            continue; // the figure plots named countries only
+        }
+        t.row(vec![s.country.code().to_string(), count(s.users), pct(s.fraction)]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GroundTruthDataset;
+    use gplus_synth::{SynthConfig, SynthNetwork};
+    use std::sync::OnceLock;
+
+    fn result() -> &'static Fig6Result {
+        static R: OnceLock<Fig6Result> = OnceLock::new();
+        R.get_or_init(|| {
+            let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(60_000, 11));
+            run(&GroundTruthDataset::new(&net))
+        })
+    }
+
+    #[test]
+    fn us_india_brazil_lead_named_countries() {
+        let r = result();
+        let named: Vec<Country> = r
+            .shares
+            .iter()
+            .filter(|s| s.country != Country::Other)
+            .map(|s| s.country)
+            .collect();
+        assert_eq!(&named[..3], &[Country::Us, Country::In, Country::Br]);
+    }
+
+    #[test]
+    fn shares_match_paper_fractions() {
+        let r = result();
+        let us = r.shares.iter().find(|s| s.country == Country::Us).unwrap();
+        let india = r.shares.iter().find(|s| s.country == Country::In).unwrap();
+        assert!((us.fraction - 0.3138).abs() < 0.03, "US {}", us.fraction);
+        assert!((india.fraction - 0.1671).abs() < 0.03, "IN {}", india.fraction);
+    }
+
+    #[test]
+    fn located_is_roughly_a_quarter_of_population() {
+        // Table 2: places lived shared by 26.75%, of which ~90% geocode
+        let r = result();
+        let frac = r.located_users as f64 / 60_000.0;
+        assert!(frac > 0.15 && frac < 0.35, "located fraction {frac}");
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let total: f64 = result().shares.iter().map(|s| s.fraction).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_top10_without_other() {
+        let s = render(result());
+        assert!(s.contains("US"));
+        assert!(!s.contains("??"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Figure 7: GDP per capita vs Google+ penetration (a) and Internet
+//! penetration (b) for twenty countries.
+//!
+//! §4.1's findings: IPR is roughly linear in GDP per capita; GPR is not —
+//! "The top country in Google+ adoption now becomes India"; Japan, Russia
+//! and China show a large IPR/GPR gap (domestic networks / blocking).
+
+use crate::dataset::Dataset;
+use crate::experiments::fig6;
+use crate::render::TextTable;
+use gplus_geo::penetration::{penetration_points, PenetrationPoint};
+use gplus_geo::Country;
+use gplus_stats::LinearRegression;
+use serde::{Deserialize, Serialize};
+
+/// Both panels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Result {
+    /// One point per focus country (GDP, GPR, IPR).
+    pub points: Vec<PenetrationPoint>,
+    /// Linear fit of IPR on GDP per capita (panel b's visible trend).
+    pub ipr_gdp_fit: LinearRegression,
+    /// Linear fit of GPR on GDP per capita (should be much weaker).
+    pub gpr_gdp_fit: LinearRegression,
+}
+
+impl Fig7Result {
+    /// Countries ranked by GPR, best first.
+    pub fn gpr_ranking(&self) -> Vec<Country> {
+        let mut pts = self.points.clone();
+        pts.sort_by(|a, b| b.gpr.partial_cmp(&a.gpr).expect("finite rates"));
+        pts.into_iter().map(|p| p.country).collect()
+    }
+
+    /// The point for one country.
+    pub fn point(&self, c: Country) -> Option<&PenetrationPoint> {
+        self.points.iter().find(|p| p.country == c)
+    }
+}
+
+/// Computes both panels from the dataset's located-user counts.
+pub fn run(data: &impl Dataset) -> Fig7Result {
+    let counts = fig6::run(data).counts();
+    let points = penetration_points(&counts);
+    let ipr_pts: Vec<(f64, f64)> =
+        points.iter().map(|p| (p.gdp_per_capita, p.ipr)).collect();
+    let gpr_pts: Vec<(f64, f64)> =
+        points.iter().map(|p| (p.gdp_per_capita, p.gpr)).collect();
+    Fig7Result {
+        ipr_gdp_fit: LinearRegression::fit(&ipr_pts),
+        gpr_gdp_fit: LinearRegression::fit(&gpr_pts),
+        points,
+    }
+}
+
+/// Renders both panels as a table.
+pub fn render(result: &Fig7Result) -> String {
+    let mut t = TextTable::new("Figure 7: GDP per capita vs Google+ / Internet penetration")
+        .header(&["Country", "GDP pc (PPP)", "GPR", "IPR"]);
+    let mut pts = result.points.clone();
+    pts.sort_by(|a, b| b.gpr.partial_cmp(&a.gpr).expect("finite"));
+    for p in &pts {
+        t.row(vec![
+            p.country.code().to_string(),
+            format!("{:.0}", p.gdp_per_capita),
+            format!("{:.3}%", p.gpr * 100.0),
+            format!("{:.1}%", p.ipr * 100.0),
+        ]);
+    }
+    format!(
+        "{}IPR~GDP R² = {:.2} (visible linear trend); GPR~GDP R² = {:.2} (no trend)\n",
+        t.render(),
+        result.ipr_gdp_fit.r_squared,
+        result.gpr_gdp_fit.r_squared
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GroundTruthDataset;
+    use gplus_synth::{SynthConfig, SynthNetwork};
+    use std::sync::OnceLock;
+
+    fn result() -> &'static Fig7Result {
+        static R: OnceLock<Fig7Result> = OnceLock::new();
+        R.get_or_init(|| {
+            let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(120_000, 12));
+            run(&GroundTruthDataset::new(&net))
+        })
+    }
+
+    #[test]
+    fn twenty_focus_countries() {
+        assert_eq!(result().points.len(), 20);
+    }
+
+    #[test]
+    fn india_tops_gpr_ranking() {
+        let ranking = result().gpr_ranking();
+        assert_eq!(ranking[0], Country::In, "paper: 'The top country ... becomes India'");
+        // and the US stays in the top five despite lower relative adoption
+        let us_rank = ranking.iter().position(|&c| c == Country::Us).unwrap();
+        assert!(us_rank < 5, "US rank {us_rank}");
+    }
+
+    #[test]
+    fn japan_russia_china_gap() {
+        // §4.1: "certain countries showed a large gap between the Internet
+        // and Google+ penetration rate such as Japan, Russia, and China"
+        let r = result();
+        for c in [Country::Jp, Country::Ru, Country::Cn] {
+            let p = r.point(c).unwrap();
+            let brazil = r.point(Country::Br).unwrap();
+            // normalized gap: their GPR/IPR ratio far below Brazil's
+            let ratio = p.gpr / p.ipr;
+            let ratio_br = brazil.gpr / brazil.ipr;
+            assert!(
+                ratio < ratio_br / 2.0,
+                "{c}: GPR/IPR {ratio} vs BR {ratio_br}"
+            );
+        }
+    }
+
+    #[test]
+    fn ipr_linear_in_gdp_gpr_not() {
+        let r = result();
+        assert!(
+            r.ipr_gdp_fit.r_squared > 0.5,
+            "IPR~GDP should trend linearly, R² {}",
+            r.ipr_gdp_fit.r_squared
+        );
+        assert!(
+            r.gpr_gdp_fit.r_squared < r.ipr_gdp_fit.r_squared / 2.0,
+            "GPR~GDP should be much weaker: {} vs {}",
+            r.gpr_gdp_fit.r_squared,
+            r.ipr_gdp_fit.r_squared
+        );
+    }
+
+    #[test]
+    fn poor_countries_equal_footing() {
+        // "Countries with lower GDP per capita like Brazil, Mexico, and
+        // Thailand have equal footing ... with United Kingdom, Australia,
+        // and Canada"
+        let r = result();
+        let gpr = |c: Country| r.point(c).unwrap().gpr;
+        let poor = (gpr(Country::Br) + gpr(Country::Mx) + gpr(Country::Th)) / 3.0;
+        let rich = (gpr(Country::Gb) + gpr(Country::Au) + gpr(Country::Ca)) / 3.0;
+        let ratio = poor / rich;
+        assert!((0.4..=2.5).contains(&ratio), "poor/rich GPR ratio {ratio}");
+    }
+
+    #[test]
+    fn render_has_both_fits() {
+        let s = render(result());
+        assert!(s.contains("IPR~GDP"));
+        assert!(s.contains("GPR~GDP"));
+    }
+}

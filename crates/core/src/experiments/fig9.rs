@@ -1,0 +1,237 @@
+//! Figure 9: the "path mile" — physical distance between users.
+//!
+//! §4.4 compares three pair sets among geo-located users: socially
+//! connected pairs (~60M), reciprocally connected pairs (~13M), and random
+//! unlinked pairs (20M). "Nearly 58% of the users (friends) were separated
+//! by less than a thousand miles and 15% of them were separated by in fact
+//! 10 miles. ... users with symmetric links (reciprocal) live closer."
+//! Panel (b): average path miles per top-10 country, with std deviation.
+
+use crate::dataset::Dataset;
+use crate::paper::geo as paper_geo;
+use crate::render::TextTable;
+use gplus_geo::{haversine_miles, Country, TOP10_COUNTRIES};
+use gplus_graph::reciprocity;
+use gplus_stats::{Cdf, Summary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Sampling parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig9Params {
+    /// Maximum pairs per set (the paper used 60M/13M/20M; defaults scale
+    /// to laptop runs).
+    pub max_pairs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig9Params {
+    fn default() -> Self {
+        Self { max_pairs: 200_000, seed: 2012 }
+    }
+}
+
+/// Distances of the three pair sets plus per-country means.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig9Result {
+    /// CDF of distances between linked pairs.
+    pub friends: Cdf,
+    /// CDF of distances between reciprocal pairs.
+    pub reciprocal: Option<Cdf>,
+    /// CDF of distances between random located pairs.
+    pub random: Cdf,
+    /// Fraction of friend pairs within 1,000 miles (paper: ~58%).
+    pub friends_within_1000: f64,
+    /// Fraction of friend pairs within 10 miles (paper: ~15%).
+    pub friends_within_10: f64,
+    /// Panel (b): per-country (mean, std) of friend-pair miles, source side.
+    pub by_country: Vec<(Country, f64, f64)>,
+}
+
+/// Samples the three pair sets and computes distances.
+pub fn run(data: &impl Dataset, params: &Fig9Params) -> Fig9Result {
+    let g = data.graph();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // located nodes and their coordinates
+    let located: Vec<(u32, gplus_geo::LatLon)> = g
+        .nodes()
+        .filter_map(|n| data.location(n).map(|loc| (n, loc)))
+        .collect();
+    assert!(located.len() >= 2, "need at least two located users");
+    let coord = |node: u32| data.location(node);
+
+    // friends: every directed edge with both endpoints located, thinned to
+    // the pair budget
+    let mut friend_miles = Vec::new();
+    let mut per_country: Vec<Summary> = vec![Summary::new(); TOP10_COUNTRIES.len()];
+    let total_edges = g.edge_count().max(1);
+    let keep_prob = (params.max_pairs as f64 / total_edges as f64).min(1.0);
+    for (u, v) in g.edges() {
+        if keep_prob < 1.0 && !rng.random_bool(keep_prob) {
+            continue;
+        }
+        let (Some(a), Some(b)) = (coord(u), coord(v)) else { continue };
+        let miles = haversine_miles(a, b);
+        friend_miles.push(miles);
+        if let Some(cu) = data.country(u) {
+            if let Some(i) = TOP10_COUNTRIES.iter().position(|&c| c == cu) {
+                per_country[i].add(miles);
+            }
+        }
+    }
+    assert!(!friend_miles.is_empty(), "no located friend pairs sampled");
+
+    // reciprocal pairs
+    let mut recip_miles = Vec::new();
+    for (u, v) in reciprocity::reciprocal_pairs(g) {
+        if recip_miles.len() >= params.max_pairs {
+            break;
+        }
+        let (Some(a), Some(b)) = (coord(u), coord(v)) else { continue };
+        recip_miles.push(haversine_miles(a, b));
+    }
+
+    // random located pairs, rejecting linked ones
+    let mut random_miles = Vec::with_capacity(params.max_pairs.min(located.len() * 4));
+    while random_miles.len() < params.max_pairs.min(located.len().pow(2) / 4) {
+        let (u, a) = located[rng.random_range(0..located.len())];
+        let (v, b) = located[rng.random_range(0..located.len())];
+        if u == v || g.has_edge(u, v) || g.has_edge(v, u) {
+            continue;
+        }
+        random_miles.push(haversine_miles(a, b));
+        if random_miles.len() >= 1_000 && random_miles.len() >= friend_miles.len() {
+            break;
+        }
+    }
+
+    let friends = Cdf::new(&friend_miles);
+    Fig9Result {
+        friends_within_1000: friends.eval(1_000.0),
+        friends_within_10: friends.eval(10.0),
+        friends,
+        reciprocal: (!recip_miles.is_empty()).then(|| Cdf::new(&recip_miles)),
+        random: Cdf::new(&random_miles),
+        by_country: TOP10_COUNTRIES
+            .iter()
+            .zip(per_country)
+            .filter(|(_, s)| s.count() > 0)
+            .map(|(&c, s)| (c, s.mean(), s.std_dev()))
+            .collect(),
+    }
+}
+
+/// Renders both panels.
+pub fn render(result: &Fig9Result) -> String {
+    let mut out = String::from(
+        "Figure 9(a): Path-mile CDF\nmiles     friends  reciprocal  random\n",
+    );
+    for miles in [10.0, 100.0, 500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0, 12_000.0] {
+        let recip = result.reciprocal.as_ref().map(|c| c.eval(miles)).unwrap_or(f64::NAN);
+        out.push_str(&format!(
+            "{:>7.0}  {:>8.3}  {:>10.3}  {:>6.3}\n",
+            miles,
+            result.friends.eval(miles),
+            recip,
+            result.random.eval(miles)
+        ));
+    }
+    out.push_str(&format!(
+        "friends < 1000 mi: {:.1}% (paper ~{:.0}%); < 10 mi: {:.1}% (paper ~{:.0}%)\n\n",
+        result.friends_within_1000 * 100.0,
+        paper_geo::FRIENDS_WITHIN_1000_MILES * 100.0,
+        result.friends_within_10 * 100.0,
+        paper_geo::FRIENDS_WITHIN_10_MILES * 100.0
+    ));
+    let mut t = TextTable::new("Figure 9(b): Average path mile per country")
+        .header(&["Country", "Mean miles", "Std dev"]);
+    for (c, mean, std) in &result.by_country {
+        t.row(vec![c.code().to_string(), format!("{mean:.0}"), format!("{std:.0}")]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GroundTruthDataset;
+    use gplus_synth::{SynthConfig, SynthNetwork};
+    use std::sync::OnceLock;
+
+    fn result() -> &'static Fig9Result {
+        static R: OnceLock<Fig9Result> = OnceLock::new();
+        R.get_or_init(|| {
+            let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(60_000, 14));
+            run(
+                &GroundTruthDataset::new(&net),
+                &Fig9Params { max_pairs: 60_000, seed: 4 },
+            )
+        })
+    }
+
+    #[test]
+    fn friends_closer_than_random() {
+        let r = result();
+        // CDF dominance at the paper's reference distances
+        for miles in [10.0, 100.0, 1_000.0, 3_000.0] {
+            assert!(
+                r.friends.eval(miles) > r.random.eval(miles),
+                "at {miles} mi: friends {} vs random {}",
+                r.friends.eval(miles),
+                r.random.eval(miles)
+            );
+        }
+    }
+
+    #[test]
+    fn reciprocal_pairs_closest() {
+        let r = result();
+        let recip = r.reciprocal.as_ref().expect("reciprocal pairs exist");
+        assert!(
+            recip.eval(1_000.0) > r.friends.eval(1_000.0),
+            "reciprocal {} vs friends {} within 1000 mi",
+            recip.eval(1_000.0),
+            r.friends.eval(1_000.0)
+        );
+    }
+
+    #[test]
+    fn headline_fractions_in_band() {
+        let r = result();
+        assert!(
+            (0.40..=0.85).contains(&r.friends_within_1000),
+            "friends within 1000 mi: {} (paper 0.58)",
+            r.friends_within_1000
+        );
+        assert!(
+            (0.05..=0.40).contains(&r.friends_within_10),
+            "friends within 10 mi: {} (paper 0.15)",
+            r.friends_within_10
+        );
+    }
+
+    #[test]
+    fn per_country_means_no_size_pattern() {
+        // §4.4: "there is no specific pattern relating the size of the
+        // country and its average path mile" — small countries still show
+        // large averages because many links leave the country. We assert
+        // every country's mean is at least hundreds of miles.
+        let r = result();
+        assert!(r.by_country.len() >= 8);
+        for (c, mean, _) in &r.by_country {
+            assert!(*mean > 100.0, "{c}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn render_shows_both_panels() {
+        let s = render(result());
+        assert!(s.contains("Figure 9(a)"));
+        assert!(s.contains("Figure 9(b)"));
+        assert!(s.contains("paper ~58%"));
+    }
+}

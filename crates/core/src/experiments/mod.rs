@@ -1,0 +1,38 @@
+//! One module per table and figure of the paper's evaluation.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — top-20 users by in-degree |
+//! | [`table2`] | Table 2 — public attribute availability |
+//! | [`table3`] | Table 3 — all users vs tel-users |
+//! | [`table4`] | Table 4 — cross-network topology comparison |
+//! | [`table5`] | Table 5 — per-country top-user occupations + Jaccard |
+//! | [`fig2`] | Figure 2 — CCDF of fields shared, tel vs all |
+//! | [`fig3`] | Figure 3 — degree CCDFs and power-law fits |
+//! | [`fig4`] | Figure 4 — reciprocity CDF, clustering CDF, SCC CCDF |
+//! | [`fig5`] | Figure 5 — sampled path-length distribution |
+//! | [`fig6`] | Figure 6 — top-10 countries |
+//! | [`fig7`] | Figure 7 — GDP vs Google+/Internet penetration |
+//! | [`fig8`] | Figure 8 — per-country profile openness |
+//! | [`fig9`] | Figure 9 — path miles |
+//! | [`fig10`] | Figure 10 — country-to-country link matrix |
+//!
+//! Every module follows the same contract: `run(dataset, ..) -> XxxResult`
+//! (serialisable), `render(&XxxResult) -> String` shaped like the paper's
+//! artifact, and paper-reference constants re-exported from
+//! [`crate::paper`] where applicable.
+
+pub mod fig10;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;

@@ -1,0 +1,244 @@
+//! Table 3: information shared by all users vs tel-users.
+//!
+//! §3.2 compares the gender, relationship, and location mixes of the whole
+//! population with the 72,736 "tel-users" who publish a phone number,
+//! finding tel-users strikingly more male (86% vs 68%), more single
+//! (57% vs 43%), and far more Indian (31.9% vs 16.7%).
+
+use crate::dataset::Dataset;
+use crate::render::{count, pct, TextTable};
+use gplus_geo::Country;
+use gplus_profiles::{calibration, Gender, RelationshipStatus};
+use serde::{Deserialize, Serialize};
+
+/// A labelled pair of fractions (all users, tel-users).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharePair {
+    /// Row label (Table-3 style).
+    pub label: String,
+    /// Fraction among all users exposing the block's field.
+    pub all: f64,
+    /// Fraction among tel-users exposing the block's field.
+    pub tel: f64,
+    /// The paper's fractions, where the row exists in Table 3.
+    pub paper: Option<(f64, f64)>,
+}
+
+/// The computed table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Result {
+    /// Total users with known profiles.
+    pub total_all: u64,
+    /// Total tel-users.
+    pub total_tel: u64,
+    /// Gender block (denominator: users exposing gender).
+    pub gender: Vec<SharePair>,
+    /// Relationship block.
+    pub relationship: Vec<SharePair>,
+    /// Location block: the paper's five named countries plus "Other".
+    pub location: Vec<SharePair>,
+}
+
+/// Runs the comparison.
+pub fn run(data: &impl Dataset) -> Table3Result {
+    let g = data.graph();
+    let mut total_all = 0u64;
+    let mut total_tel = 0u64;
+
+    let mut gender_all = [0u64; 3];
+    let mut gender_tel = [0u64; 3];
+    let mut rel_all = [0u64; 9];
+    let mut rel_tel = [0u64; 9];
+    // US, IN, BR, GB, CA, Other
+    const LOC_COUNTRIES: [Country; 5] =
+        [Country::Us, Country::In, Country::Br, Country::Gb, Country::Ca];
+    let mut loc_all = [0u64; 6];
+    let mut loc_tel = [0u64; 6];
+
+    for node in g.nodes() {
+        let Some(tel) = data.is_tel_user(node) else { continue };
+        total_all += 1;
+        if tel {
+            total_tel += 1;
+        }
+        if let Some(gender) = data.gender(node) {
+            let i = Gender::ALL.iter().position(|&x| x == gender).expect("known gender");
+            gender_all[i] += 1;
+            if tel {
+                gender_tel[i] += 1;
+            }
+        }
+        if let Some(rel) = data.relationship(node) {
+            let i = RelationshipStatus::ALL
+                .iter()
+                .position(|&x| x == rel)
+                .expect("known status");
+            rel_all[i] += 1;
+            if tel {
+                rel_tel[i] += 1;
+            }
+        }
+        if let Some(country) = data.country(node) {
+            let i = LOC_COUNTRIES.iter().position(|&c| c == country).unwrap_or(5);
+            loc_all[i] += 1;
+            if tel {
+                loc_tel[i] += 1;
+            }
+        }
+    }
+
+    let fractions = |counts: &[u64]| {
+        let sum: u64 = counts.iter().sum();
+        counts.iter().map(|&c| c as f64 / sum.max(1) as f64).collect::<Vec<f64>>()
+    };
+    let ga = fractions(&gender_all);
+    let gt = fractions(&gender_tel);
+    let gender = Gender::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, g)| SharePair {
+            label: g.label().to_string(),
+            all: ga[i],
+            tel: gt[i],
+            paper: Some((calibration::GENDER_ALL[i].1, calibration::GENDER_TEL[i].1)),
+        })
+        .collect();
+
+    let ra = fractions(&rel_all);
+    let rt = fractions(&rel_tel);
+    let relationship = RelationshipStatus::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, r)| SharePair {
+            label: r.label().to_string(),
+            all: ra[i],
+            tel: rt[i],
+            paper: Some((
+                calibration::RELATIONSHIP_ALL[i].1,
+                calibration::RELATIONSHIP_TEL[i].1,
+            )),
+        })
+        .collect();
+
+    let la = fractions(&loc_all);
+    let lt = fractions(&loc_tel);
+    // Table 3's location rows, with the paper's printed percentages
+    let paper_loc: [(f64, f64); 6] = [
+        (0.3138, 0.0892),
+        (0.1671, 0.3190),
+        (0.0576, 0.0472),
+        (0.0335, 0.0219),
+        (0.0230, 0.0152),
+        (0.4050, 0.5077),
+    ];
+    let location = LOC_COUNTRIES
+        .iter()
+        .map(|c| c.name().to_string())
+        .chain(std::iter::once("Other".to_string()))
+        .enumerate()
+        .map(|(i, label)| SharePair { label, all: la[i], tel: lt[i], paper: Some(paper_loc[i]) })
+        .collect();
+
+    Table3Result { total_all, total_tel, gender, relationship, location }
+}
+
+/// Renders the table, paper-style.
+pub fn render(result: &Table3Result) -> String {
+    let mut t = TextTable::new(format!(
+        "Table 3: Information shared by all users ({}) and tel-users ({})",
+        count(result.total_all),
+        count(result.total_tel)
+    ))
+    .header(&["Row", "All users", "Tel-users", "Paper (all / tel)"]);
+    let block = |name: &str, rows: &[SharePair], t: &mut TextTable| {
+        t.row(vec![format!("[{name}]"), String::new(), String::new(), String::new()]);
+        for r in rows {
+            let paper = r
+                .paper
+                .map(|(a, b)| format!("{} / {}", pct(a), pct(b)))
+                .unwrap_or_else(|| "-".into());
+            t.row(vec![format!("  {}", r.label), pct(r.all), pct(r.tel), paper]);
+        }
+    };
+    block("Gender", &result.gender, &mut t);
+    block("Relationship", &result.relationship, &mut t);
+    block("Location", &result.location, &mut t);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GroundTruthDataset;
+    use gplus_synth::{SynthConfig, SynthNetwork};
+    use std::sync::OnceLock;
+
+    fn result() -> &'static Table3Result {
+        static R: OnceLock<Table3Result> = OnceLock::new();
+        R.get_or_init(|| {
+            // tel-users are 0.26% of the population; a large n keeps the
+            // tel-side fractions stable
+            let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(150_000, 4));
+            run(&GroundTruthDataset::new(&net))
+        })
+    }
+
+    #[test]
+    fn blocks_sum_to_one() {
+        let r = result();
+        for block in [&r.gender, &r.relationship, &r.location] {
+            let sum_all: f64 = block.iter().map(|x| x.all).sum();
+            let sum_tel: f64 = block.iter().map(|x| x.tel).sum();
+            assert!((sum_all - 1.0).abs() < 1e-9);
+            assert!((sum_tel - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tel_users_more_male() {
+        let r = result();
+        let male = &r.gender[0];
+        assert_eq!(male.label, "Male");
+        assert!(
+            male.tel > male.all + 0.05,
+            "tel male {} vs all male {}",
+            male.tel,
+            male.all
+        );
+    }
+
+    #[test]
+    fn tel_users_more_single_less_partnered() {
+        let r = result();
+        let single = &r.relationship[0];
+        let in_rel = &r.relationship[2];
+        assert!(single.tel > single.all, "single: tel {} all {}", single.tel, single.all);
+        assert!(in_rel.tel < in_rel.all, "in-rel: tel {} all {}", in_rel.tel, in_rel.all);
+    }
+
+    #[test]
+    fn india_overrepresented_among_tel_users() {
+        let r = result();
+        let india = r.location.iter().find(|x| x.label == "India").unwrap();
+        let us = r.location.iter().find(|x| x.label == "United States").unwrap();
+        assert!(india.tel > india.all * 1.4, "IN tel {} vs all {}", india.tel, india.all);
+        assert!(us.tel < us.all, "US tel {} vs all {}", us.tel, us.all);
+        // the paper's headline inversion: India tops the tel-user ranking
+        assert!(india.tel > us.tel);
+    }
+
+    #[test]
+    fn tel_rate_order_of_magnitude() {
+        let r = result();
+        let rate = r.total_tel as f64 / r.total_all as f64;
+        assert!(rate > 0.0005 && rate < 0.02, "tel rate {rate} (paper 0.26%)");
+    }
+
+    #[test]
+    fn render_contains_blocks() {
+        let s = render(result());
+        for needle in ["[Gender]", "[Relationship]", "[Location]", "India", "Single"] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Table 4: comparison of topological characteristics across OSNs.
+//!
+//! The Google+ row is *measured* from the dataset; the Facebook, Twitter
+//! and Orkut rows are the literature values the paper itself cites
+//! ([26, 3, 39, 32]), embedded in [`crate::paper::TABLE4`]. The synth
+//! crate's `twitter_like` / `facebook_like` presets let the benches also
+//! regenerate comparison rows from simulation.
+
+use crate::dataset::Dataset;
+use crate::paper::{Table4Row, TABLE4};
+use crate::render::TextTable;
+use gplus_graph::{paths, reciprocity, scc};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Measurement parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table4Params {
+    /// BFS sources for the path-length estimate.
+    pub path_samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Coverage figure to report (1.0 for ground truth; a crawl supplies
+    /// its own estimate).
+    pub crawled_fraction: f64,
+}
+
+impl Default for Table4Params {
+    fn default() -> Self {
+        Self { path_samples: 400, seed: 2012, crawled_fraction: 1.0 }
+    }
+}
+
+/// The measured Google+ row plus context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table4Result {
+    /// Nodes in the measured graph.
+    pub nodes: u64,
+    /// Edges in the measured graph.
+    pub edges: u64,
+    /// Reported coverage.
+    pub crawled: f64,
+    /// Mean sampled shortest-path length (directed).
+    pub path_length: f64,
+    /// Global reciprocity.
+    pub reciprocity: f64,
+    /// Diameter estimate (max sampled eccentricity).
+    pub diameter: u32,
+    /// Mean degree (in = out = |E|/|V|).
+    pub mean_degree: f64,
+    /// Giant-SCC fraction (not a Table-4 column, but reported alongside).
+    pub giant_scc_fraction: f64,
+}
+
+/// Measures the Google+ row of Table 4 from a dataset.
+pub fn run(data: &impl Dataset, params: &Table4Params) -> Table4Result {
+    let g = data.graph();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let dist = paths::sampled_path_lengths(g, params.path_samples, &mut rng);
+    let s = scc::kosaraju(g);
+    Table4Result {
+        nodes: g.node_count() as u64,
+        edges: g.edge_count() as u64,
+        crawled: params.crawled_fraction,
+        path_length: dist.mean(),
+        reciprocity: reciprocity::global_reciprocity(g),
+        diameter: dist.max_distance,
+        mean_degree: gplus_graph::degree::mean_degree(g),
+        giant_scc_fraction: s.giant_fraction(),
+    }
+}
+
+/// Renders the full table: the measured Google+ row first, then the
+/// literature rows.
+pub fn render(result: &Table4Result) -> String {
+    let mut t = TextTable::new("Table 4: Topological characteristics across OSNs")
+        .header(&[
+            "Network",
+            "Nodes",
+            "Edges",
+            "% Crawled",
+            "Path length",
+            "Reciprocity",
+            "Diameter",
+            "Mean degree",
+        ]);
+    t.row(vec![
+        "Google+ (measured)".into(),
+        human(result.nodes as f64),
+        human(result.edges as f64),
+        format!("{:.0}%", result.crawled * 100.0),
+        format!("{:.1}", result.path_length),
+        format!("{:.0}%", result.reciprocity * 100.0),
+        result.diameter.to_string(),
+        format!("{:.1}", result.mean_degree),
+    ]);
+    for row in paper_rows() {
+        t.row(vec![
+            format!("{} (paper)", row.network),
+            human(row.nodes),
+            human(row.edges),
+            format!("{:.0}%", row.crawled * 100.0),
+            format!("{:.1}", row.path_length),
+            format!("{:.0}%", row.reciprocity * 100.0),
+            row.diameter.to_string(),
+            row.in_degree.map(|d| format!("{d:.1}")).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    format!("{}giant SCC fraction: {:.2}\n", t.render(), result.giant_scc_fraction)
+}
+
+/// The paper's four rows.
+pub fn paper_rows() -> &'static [Table4Row] {
+    &TABLE4
+}
+
+fn human(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.1}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.1}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GroundTruthDataset;
+    use gplus_synth::{SynthConfig, SynthNetwork};
+    use std::sync::OnceLock;
+
+    fn result() -> &'static Table4Result {
+        static R: OnceLock<Table4Result> = OnceLock::new();
+        R.get_or_init(|| {
+            let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(25_000, 5));
+            run(&GroundTruthDataset::new(&net), &Table4Params::default())
+        })
+    }
+
+    #[test]
+    fn reciprocity_between_twitter_and_facebook() {
+        // the paper's qualitative Table-4 finding
+        let r = result();
+        assert!(r.reciprocity > 0.221, "should exceed Twitter's 22.1%: {}", r.reciprocity);
+        assert!(r.reciprocity < 1.0, "should sit below Facebook's 100%");
+    }
+
+    #[test]
+    fn small_world_row() {
+        let r = result();
+        assert!(r.path_length > 2.0 && r.path_length < 9.0, "path {}", r.path_length);
+        assert!(r.diameter >= r.path_length as u32);
+        assert!(r.mean_degree > 5.0 && r.mean_degree < 30.0, "degree {}", r.mean_degree);
+        assert!(r.giant_scc_fraction > 0.45 && r.giant_scc_fraction < 0.95);
+    }
+
+    #[test]
+    fn render_includes_all_networks() {
+        let s = render(result());
+        for n in ["Google+ (measured)", "Facebook (paper)", "Twitter (paper)", "Orkut (paper)"] {
+            assert!(s.contains(n), "missing {n}");
+        }
+        assert!(s.contains("giant SCC"));
+    }
+
+    #[test]
+    fn human_format() {
+        assert_eq!(human(575_141_097.0), "575.1M");
+        assert_eq!(human(62.0e9), "62.0G");
+        assert_eq!(human(950.0), "950");
+        assert_eq!(human(3_500.0), "3.5k");
+    }
+}

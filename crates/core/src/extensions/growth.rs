@@ -1,0 +1,126 @@
+//! Growth-phase analysis (the paper's §7 future work).
+//!
+//! Runs the temporal model of [`gplus_synth::growth`] over a network,
+//! measuring each snapshot and fitting the densification exponent
+//! (Leskovec et al. \[28\], cited by the paper as the likely explanation of
+//! its longer-than-Facebook path lengths: "Google+ is a new platform and
+//! it should get denser in the future").
+
+use crate::render::TextTable;
+use gplus_synth::growth::{densification_exponent, GrowthModel, SnapshotStats};
+use gplus_synth::SynthNetwork;
+use serde::{Deserialize, Serialize};
+
+/// Growth-analysis parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrowthParams {
+    /// Fraction of users joining during the invitation-only phase.
+    pub invite_fraction: f64,
+    /// Snapshot fractions to measure.
+    pub fractions: Vec<f64>,
+    /// BFS sources per snapshot for path statistics.
+    pub path_samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GrowthParams {
+    fn default() -> Self {
+        Self {
+            invite_fraction: 0.4,
+            fractions: vec![0.2, 0.4, 0.6, 0.8, 1.0],
+            path_samples: 150,
+            seed: 2012,
+        }
+    }
+}
+
+/// The measured trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrowthResult {
+    /// Per-snapshot measurements.
+    pub series: Vec<SnapshotStats>,
+    /// Fitted densification exponent `a` in `E ∝ N^a`.
+    pub densification: Option<f64>,
+}
+
+/// Runs the growth analysis on a generated network.
+pub fn run(network: &SynthNetwork, params: &GrowthParams) -> GrowthResult {
+    let model = GrowthModel::new(network, params.invite_fraction, params.seed);
+    let series =
+        model.snapshot_series(network, &params.fractions, params.path_samples, params.seed);
+    let densification = densification_exponent(&series);
+    GrowthResult { series, densification }
+}
+
+/// Renders the trajectory.
+pub fn render(result: &GrowthResult) -> String {
+    let mut t = TextTable::new("Growth study (§7 future work): snapshots over adoption")
+        .header(&["Fraction", "Nodes", "Edges", "Mean degree", "Mean path", "Diameter"]);
+    for s in &result.series {
+        t.row(vec![
+            format!("{:.0}%", s.fraction * 100.0),
+            s.nodes.to_string(),
+            s.edges.to_string(),
+            format!("{:.2}", s.mean_degree),
+            format!("{:.2}", s.mean_path),
+            s.diameter.to_string(),
+        ]);
+    }
+    format!(
+        "{}densification exponent a = {} (Leskovec et al.: 1 < a < 2)\n",
+        t.render(),
+        result
+            .densification
+            .map(|a| format!("{a:.2}"))
+            .unwrap_or_else(|| "n/a".into())
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplus_synth::SynthConfig;
+    use std::sync::OnceLock;
+
+    fn result() -> &'static GrowthResult {
+        static R: OnceLock<GrowthResult> = OnceLock::new();
+        R.get_or_init(|| {
+            let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(12_000, 16));
+            run(&net, &GrowthParams { path_samples: 80, ..Default::default() })
+        })
+    }
+
+    #[test]
+    fn densification_in_leskovec_band() {
+        let r = result();
+        let a = r.densification.expect("fit exists");
+        assert!(a > 1.0 && a < 2.2, "densification exponent {a}");
+        // degree grows monotonically across snapshots
+        for w in r.series.windows(2) {
+            assert!(w[1].mean_degree > w[0].mean_degree);
+        }
+    }
+
+    #[test]
+    fn paths_shrink_as_network_matures() {
+        // the paper's §6 hypothesis: young network -> longer paths
+        let r = result();
+        let early = &r.series[0];
+        let late = r.series.last().unwrap();
+        assert!(
+            early.mean_path > late.mean_path,
+            "early {} vs late {}",
+            early.mean_path,
+            late.mean_path
+        );
+    }
+
+    #[test]
+    fn render_has_all_rows() {
+        let s = render(result());
+        assert!(s.contains("20%"));
+        assert!(s.contains("100%"));
+        assert!(s.contains("densification exponent"));
+    }
+}

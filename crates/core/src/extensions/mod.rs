@@ -1,0 +1,22 @@
+//! Extension analyses beyond the paper's published artifacts.
+//!
+//! * [`growth`] — the paper's §7 future work: growth-phase snapshots,
+//!   densification exponent, diameter trend.
+//! * [`rankings`] — robustness of Table 1's in-degree ranking against
+//!   PageRank, with rank-overlap measures.
+//! * [`structure`] — the standard OSN characterisation extras (degree
+//!   assortativity, k-core decomposition, degree Gini) for the Google+,
+//!   Twitter-like and Facebook-like presets.
+//! * [`recommend`] — §6's recommender implication: friend-of-friend
+//!   recommendations and their per-country domestic fraction.
+//! * [`cascade`] — §3.3's information-dissemination claims: independent
+//!   cascades from hubs vs random seeds.
+//! * [`convergence`] — how much sampling the paper's sampled estimators
+//!   (1M-node clustering, adaptive path schedule) actually need.
+
+pub mod cascade;
+pub mod convergence;
+pub mod growth;
+pub mod rankings;
+pub mod recommend;
+pub mod structure;

@@ -1,0 +1,166 @@
+//! Ranking robustness: is Table 1's "top users by in-degree" stable under
+//! a different popularity measure?
+//!
+//! The paper ranks by raw in-degree. This extension recomputes the top
+//! list with PageRank and sampled-Brandes betweenness and reports the
+//! overlaps — if the measures pick essentially the same people, the
+//! paper's Table 1 methodology is robust to the choice.
+
+use crate::dataset::Dataset;
+use crate::render::TextTable;
+use gplus_graph::betweenness::betweenness;
+use gplus_graph::degree::top_by_in_degree;
+use gplus_graph::pagerank::{pagerank, PageRankParams};
+use gplus_stats::jaccard_index;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Comparison of the two top-k lists.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankingResult {
+    /// k used.
+    pub k: usize,
+    /// Top-k by in-degree (node ids).
+    pub by_in_degree: Vec<u32>,
+    /// Top-k by PageRank (node ids).
+    pub by_pagerank: Vec<u32>,
+    /// Top-k by sampled betweenness (node ids).
+    pub by_betweenness: Vec<u32>,
+    /// Set-Jaccard overlap of the in-degree and PageRank lists.
+    pub overlap: f64,
+    /// Set-Jaccard overlap of the in-degree and betweenness lists.
+    pub overlap_betweenness: f64,
+    /// Spearman-style agreement: fraction of common members whose relative
+    /// order agrees between the two rankings.
+    pub order_agreement: f64,
+}
+
+/// Computes both rankings and their agreement.
+pub fn run(data: &impl Dataset, k: usize) -> RankingResult {
+    let g = data.graph();
+    let by_in_degree: Vec<u32> =
+        top_by_in_degree(g, k).into_iter().map(|(n, _)| n).collect();
+    let pr = pagerank(g, &PageRankParams::default());
+    let by_pagerank: Vec<u32> = pr.top(k).into_iter().map(|(n, _)| n).collect();
+    let mut rng = StdRng::seed_from_u64(2012);
+    let bt = betweenness(g, 300.min(g.node_count()), &mut rng);
+    let by_betweenness: Vec<u32> = bt.top(k).into_iter().map(|(n, _)| n).collect();
+
+    let overlap = jaccard_index(&by_in_degree, &by_pagerank);
+    let overlap_betweenness = jaccard_index(&by_in_degree, &by_betweenness);
+
+    // order agreement over the intersection: count concordant pairs
+    let common: Vec<u32> =
+        by_in_degree.iter().copied().filter(|n| by_pagerank.contains(n)).collect();
+    let pos = |list: &[u32], x: u32| list.iter().position(|&y| y == x).expect("member");
+    let mut concordant = 0usize;
+    let mut pairs = 0usize;
+    for i in 0..common.len() {
+        for j in (i + 1)..common.len() {
+            pairs += 1;
+            let a = pos(&by_in_degree, common[i]) < pos(&by_in_degree, common[j]);
+            let b = pos(&by_pagerank, common[i]) < pos(&by_pagerank, common[j]);
+            if a == b {
+                concordant += 1;
+            }
+        }
+    }
+    let order_agreement = if pairs == 0 { 1.0 } else { concordant as f64 / pairs as f64 };
+
+    RankingResult {
+        k,
+        by_in_degree,
+        by_pagerank,
+        by_betweenness,
+        overlap,
+        overlap_betweenness,
+        order_agreement,
+    }
+}
+
+/// Renders the side-by-side comparison.
+pub fn render(result: &RankingResult, data: &impl Dataset) -> String {
+    let mut t = TextTable::new("Ranking robustness: in-degree vs PageRank vs betweenness")
+        .header(&["Rank", "By in-degree", "By PageRank", "By betweenness"]);
+    for i in 0..result.k {
+        let name = |node: Option<&u32>| {
+            node.and_then(|&n| data.display_name(n)).unwrap_or_else(|| "-".into())
+        };
+        t.row(vec![
+            (i + 1).to_string(),
+            name(result.by_in_degree.get(i)),
+            name(result.by_pagerank.get(i)),
+            name(result.by_betweenness.get(i)),
+        ]);
+    }
+    format!(
+        "{}PageRank overlap {:.2} (order agreement {:.2}); betweenness overlap {:.2}\n",
+        t.render(),
+        result.overlap,
+        result.order_agreement,
+        result.overlap_betweenness
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GroundTruthDataset;
+    use gplus_synth::{SynthConfig, SynthNetwork};
+    use std::sync::OnceLock;
+
+    fn net() -> &'static SynthNetwork {
+        static NET: OnceLock<SynthNetwork> = OnceLock::new();
+        NET.get_or_init(|| SynthNetwork::generate(&SynthConfig::google_plus_2011(15_000, 17)))
+    }
+
+    #[test]
+    fn rankings_substantially_agree() {
+        let data = GroundTruthDataset::new(net());
+        let r = run(&data, 20);
+        assert_eq!(r.by_in_degree.len(), 20);
+        assert_eq!(r.by_pagerank.len(), 20);
+        // the celebrity core dominates either way
+        assert!(r.overlap > 0.5, "overlap {}", r.overlap);
+        assert!(r.order_agreement > 0.6, "order agreement {}", r.order_agreement);
+        assert_eq!(r.by_betweenness.len(), 20);
+        // betweenness ranks *bridges*, not sinks: celebrities collect
+        // followers but forward few shortest paths, so the overlap with the
+        // in-degree list is much weaker than PageRank's — itself a finding.
+        assert!(
+            r.overlap_betweenness < r.overlap,
+            "betweenness ({}) should diverge more than PageRank ({})",
+            r.overlap_betweenness,
+            r.overlap
+        );
+        // the bridge nodes are still well-connected: every betweenness
+        // top-20 member has total degree far above the population mean
+        let g = data.graph();
+        let mean_deg = g.edge_count() as f64 / g.node_count() as f64;
+        for &node in &r.by_betweenness {
+            let total = (g.in_degree(node) + g.out_degree(node)) as f64;
+            assert!(
+                total > mean_deg * 2.0,
+                "bridge {node} has degree {total} vs mean {mean_deg}"
+            );
+        }
+    }
+
+    #[test]
+    fn larry_page_tops_both() {
+        let data = GroundTruthDataset::new(net());
+        let r = run(&data, 5);
+        assert_eq!(r.by_in_degree[0], 0);
+        assert_eq!(r.by_pagerank[0], 0);
+    }
+
+    #[test]
+    fn render_two_columns() {
+        let data = GroundTruthDataset::new(net());
+        let r = run(&data, 5);
+        let s = render(&r, &data);
+        assert!(s.contains("Larry Page"));
+        assert!(s.contains("overlap"));
+    }
+}

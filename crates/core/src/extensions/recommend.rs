@@ -1,0 +1,222 @@
+//! Friend-recommendation locality (§6's implication, implemented).
+//!
+//! "When it comes to building recommender systems, it may make sense to
+//! recommend domestic users and their content for those countries that
+//! have high degree of self-loop such as Brazil and India. However, it may
+//! be of more interest to the users to recommend foreign users and content
+//! to those in Germany and United Kingdom due to their low fraction of
+//! self-loops."
+//!
+//! We implement the standard friend-of-friend recommender (rank candidates
+//! by common-neighbour count) and measure, per country, how domestic its
+//! top recommendations actually are — quantifying the paper's qualitative
+//! advice.
+
+use crate::dataset::Dataset;
+use crate::render::TextTable;
+use gplus_geo::{Country, TOP10_COUNTRIES};
+use gplus_graph::NodeId;
+use gplus_stats::sample_indices;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Recommender parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecommendParams {
+    /// Users sampled per country.
+    pub users_per_country: usize,
+    /// Recommendations per user.
+    pub top_k: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RecommendParams {
+    fn default() -> Self {
+        Self { users_per_country: 200, top_k: 5, seed: 2012 }
+    }
+}
+
+/// Per-country recommendation locality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecommendRow {
+    /// Country.
+    pub country: Country,
+    /// Users actually sampled (with >= 1 recommendation produced).
+    pub users: usize,
+    /// Fraction of top-k recommendations that are located domestic.
+    pub domestic_fraction: f64,
+    /// The country's Figure-10 self-loop target for comparison.
+    pub self_loop_target: f64,
+}
+
+/// The computed study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecommendResult {
+    /// One row per top-10 country.
+    pub rows: Vec<RecommendRow>,
+}
+
+/// Ranks friend-of-friend candidates for `u` by common-neighbour count
+/// (undirected contact sets), excluding existing contacts and `u` itself.
+pub fn recommend_for(data: &impl Dataset, u: NodeId, top_k: usize) -> Vec<(NodeId, u32)> {
+    let g = data.graph();
+    let mut contacts: Vec<NodeId> = g
+        .out_neighbors(u)
+        .iter()
+        .chain(g.in_neighbors(u))
+        .copied()
+        .collect();
+    contacts.sort_unstable();
+    contacts.dedup();
+    let mut scores: HashMap<NodeId, u32> = HashMap::new();
+    for &v in &contacts {
+        for &w in g.out_neighbors(v).iter().chain(g.in_neighbors(v)) {
+            if w != u && contacts.binary_search(&w).is_err() {
+                *scores.entry(w).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut ranked: Vec<(NodeId, u32)> = scores.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(top_k);
+    ranked
+}
+
+/// Measures recommendation locality per top-10 country.
+pub fn run(data: &impl Dataset, params: &RecommendParams) -> RecommendResult {
+    let g = data.graph();
+    // bucket located users by country
+    let mut by_country: HashMap<Country, Vec<NodeId>> = HashMap::new();
+    for node in g.nodes() {
+        if let Some(c) = data.country(node) {
+            if TOP10_COUNTRIES.contains(&c) {
+                by_country.entry(c).or_default().push(node);
+            }
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let rows = TOP10_COUNTRIES
+        .iter()
+        .map(|&country| {
+            let members = by_country.get(&country).cloned().unwrap_or_default();
+            let picks = sample_indices(&mut rng, members.len(), params.users_per_country);
+            let mut domestic = 0u64;
+            let mut total = 0u64;
+            let mut users = 0usize;
+            for idx in picks {
+                let u = members[idx];
+                let recs = recommend_for(data, u, params.top_k);
+                if recs.is_empty() {
+                    continue;
+                }
+                users += 1;
+                for (candidate, _) in recs {
+                    // count only geo-attributable recommendations
+                    if let Some(c) = data.country(candidate) {
+                        total += 1;
+                        if c == country {
+                            domestic += 1;
+                        }
+                    }
+                }
+            }
+            RecommendRow {
+                country,
+                users,
+                domestic_fraction: domestic as f64 / total.max(1) as f64,
+                self_loop_target: gplus_synth::SynthConfig::self_loop_fraction(country),
+            }
+        })
+        .collect();
+    RecommendResult { rows }
+}
+
+/// Renders the locality table.
+pub fn render(result: &RecommendResult) -> String {
+    let mut t = TextTable::new("Friend-recommendation locality (FoF, common-neighbour ranked)")
+        .header(&["Country", "Users", "Domestic recs", "Fig-10 self-loop"]);
+    for r in &result.rows {
+        t.row(vec![
+            r.country.code().to_string(),
+            r.users.to_string(),
+            format!("{:.0}%", r.domestic_fraction * 100.0),
+            format!("{:.0}%", r.self_loop_target * 100.0),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GroundTruthDataset;
+    use gplus_synth::{SynthConfig, SynthNetwork};
+    use std::sync::OnceLock;
+
+    fn net() -> &'static SynthNetwork {
+        static NET: OnceLock<SynthNetwork> = OnceLock::new();
+        NET.get_or_init(|| SynthNetwork::generate(&SynthConfig::google_plus_2011(40_000, 19)))
+    }
+
+    fn result() -> &'static RecommendResult {
+        static R: OnceLock<RecommendResult> = OnceLock::new();
+        R.get_or_init(|| {
+            run(
+                &GroundTruthDataset::new(net()),
+                &RecommendParams { users_per_country: 80, top_k: 5, seed: 4 },
+            )
+        })
+    }
+
+    #[test]
+    fn recommendations_exclude_self_and_existing_contacts() {
+        let data = GroundTruthDataset::new(net());
+        let g = data.graph();
+        for u in [200u32, 500, 3_000] {
+            for (candidate, score) in recommend_for(&data, u, 10) {
+                assert_ne!(candidate, u);
+                assert!(!g.has_edge(u, candidate), "{u} already follows {candidate}");
+                assert!(!g.has_edge(candidate, u), "{candidate} already follows {u}");
+                assert!(score >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn scores_descend() {
+        let data = GroundTruthDataset::new(net());
+        let recs = recommend_for(&data, 300, 10);
+        for w in recs.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn locality_tracks_figure10_split() {
+        // the §6 implication: high self-loop countries get domestic
+        // recommendations; GB/CA get far more foreign ones
+        let r = result();
+        let get = |c: Country| {
+            r.rows.iter().find(|x| x.country == c).expect("row").domestic_fraction
+        };
+        for inward in [Country::Us, Country::In, Country::Br] {
+            assert!(
+                get(inward) > get(Country::Gb),
+                "{inward} ({}) should be more domestic than GB ({})",
+                get(inward),
+                get(Country::Gb)
+            );
+        }
+        assert!(get(Country::Us) > 0.5, "US recs mostly domestic: {}", get(Country::Us));
+    }
+
+    #[test]
+    fn render_lists_countries() {
+        let s = render(result());
+        assert!(s.contains("US"));
+        assert!(s.contains("Domestic recs"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Structural extras: assortativity, k-core structure and degree
+//! concentration, across the three network presets.
+//!
+//! The characterisation papers this work builds on (Mislove et al. \[32\])
+//! report these for the classic OSNs; computing them across our presets
+//! shows the generator reproduces the *differences between regimes*, not
+//! just the Google+ point.
+
+use crate::render::TextTable;
+use gplus_graph::assortativity::undirected_assortativity;
+use gplus_graph::degree::in_degrees;
+use gplus_graph::kcore::core_decomposition;
+use gplus_graph::CsrGraph;
+use gplus_stats::gini;
+use serde::{Deserialize, Serialize};
+
+/// One network's structural extras.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StructureRow {
+    /// Label ("google_plus", "twitter_like", ...).
+    pub label: String,
+    /// Undirected degree assortativity (None when undefined).
+    pub assortativity: Option<f64>,
+    /// Graph degeneracy (maximum coreness).
+    pub degeneracy: u32,
+    /// Fraction of nodes in the 5-core or deeper.
+    pub core5_fraction: f64,
+    /// Gini coefficient of the in-degree distribution.
+    pub degree_gini: f64,
+}
+
+/// Computes the extras for one graph.
+pub fn measure(label: &str, g: &CsrGraph) -> StructureRow {
+    let core = core_decomposition(g);
+    let n = g.node_count().max(1);
+    let in_deg: Vec<f64> = in_degrees(g).into_iter().map(|d| d as f64).collect();
+    StructureRow {
+        label: label.to_string(),
+        assortativity: undirected_assortativity(g),
+        degeneracy: core.degeneracy,
+        core5_fraction: core.core_size(5) as f64 / n as f64,
+        degree_gini: gini(&in_deg),
+    }
+}
+
+/// Renders a set of rows.
+pub fn render(rows: &[StructureRow]) -> String {
+    let mut t = TextTable::new("Structural extras across presets")
+        .header(&["Network", "Assortativity", "Degeneracy", ">=5-core", "Degree Gini"]);
+    for r in rows {
+        t.row(vec![
+            r.label.clone(),
+            r.assortativity.map(|a| format!("{a:+.3}")).unwrap_or_else(|| "n/a".into()),
+            r.degeneracy.to_string(),
+            format!("{:.1}%", r.core5_fraction * 100.0),
+            format!("{:.3}", r.degree_gini),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplus_synth::{SynthConfig, SynthNetwork};
+    use std::sync::OnceLock;
+
+    fn rows() -> &'static Vec<StructureRow> {
+        static R: OnceLock<Vec<StructureRow>> = OnceLock::new();
+        R.get_or_init(|| {
+            let g = SynthNetwork::generate(&SynthConfig::google_plus_2011(12_000, 18));
+            let t = SynthNetwork::generate(&SynthConfig::twitter_like(12_000, 18));
+            let f = SynthNetwork::generate(&SynthConfig::facebook_like(12_000, 18));
+            vec![
+                measure("google_plus", &g.graph),
+                measure("twitter_like", &t.graph),
+                measure("facebook_like", &f.graph),
+            ]
+        })
+    }
+
+    #[test]
+    fn all_presets_have_deep_cores() {
+        for r in rows().iter() {
+            assert!(r.degeneracy >= 4, "{}: degeneracy {}", r.label, r.degeneracy);
+            assert!(r.core5_fraction > 0.02, "{}: 5-core {}", r.label, r.core5_fraction);
+        }
+    }
+
+    #[test]
+    fn degree_concentration_ordering() {
+        // the celebrity-heavy twitter-like regime concentrates in-degree
+        // harder than the flat facebook-like regime
+        let find = |label: &str| rows().iter().find(|r| r.label == label).unwrap();
+        let tw = find("twitter_like").degree_gini;
+        let fb = find("facebook_like").degree_gini;
+        let gp = find("google_plus").degree_gini;
+        assert!(tw > fb, "twitter gini {tw} vs facebook {fb}");
+        assert!(gp > 0.4, "Google+ degree inequality should be substantial: {gp}");
+    }
+
+    #[test]
+    fn assortativity_defined_for_all() {
+        for r in rows().iter() {
+            let a = r.assortativity.expect("heterogeneous degrees");
+            assert!((-1.0..=1.0).contains(&a), "{}: {a}", r.label);
+        }
+    }
+
+    #[test]
+    fn render_lists_presets() {
+        let s = render(rows());
+        for l in ["google_plus", "twitter_like", "facebook_like"] {
+            assert!(s.contains(l));
+        }
+    }
+}

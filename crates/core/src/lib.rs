@@ -1,0 +1,40 @@
+//! The measurement-study analysis library — the paper's primary
+//! contribution, as a reusable crate.
+//!
+//! Every table and figure of *New Kid on the Block: Exploring the Google+
+//! Social Graph* (IMC 2012) is implemented as an experiment module under
+//! [`experiments`]: a typed `run` function, a serialisable result, a text
+//! rendering shaped like the paper's artifact, and the paper's published
+//! numbers embedded for side-by-side comparison ([`paper`]).
+//!
+//! Analyses run over anything implementing [`Dataset`] — the ground-truth
+//! synthetic network directly ([`dataset::GroundTruthDataset`]) or the
+//! output of an actual simulated crawl ([`dataset::CrawlDataset`]), which
+//! is the faithful reproduction path: generate → serve → crawl → analyse.
+//! [`pipeline::Reproduction`] wires that end to end. [`extensions`] goes
+//! beyond the published artifacts: the §7 growth study, ranking-robustness
+//! checks, and the standard OSN structural extras.
+//!
+//! ```
+//! use gplus_core::dataset::GroundTruthDataset;
+//! use gplus_core::experiments::table2;
+//! use gplus_synth::{SynthConfig, SynthNetwork};
+//!
+//! let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(2_000, 1));
+//! let data = GroundTruthDataset::new(&net);
+//! let result = table2::run(&data);
+//! assert_eq!(result.rows.len(), 17);
+//! println!("{}", table2::render(&result));
+//! ```
+
+pub mod dataset;
+pub mod experiments;
+pub mod extensions;
+pub mod paper;
+pub mod pipeline;
+pub mod registry;
+pub mod render;
+
+pub use dataset::{CrawlDataset, Dataset, GroundTruthDataset};
+pub use pipeline::{Reproduction, ReproductionConfig, ReproductionReport};
+pub use registry::{ArtifactKind, ExperimentInfo, ALL_EXPERIMENTS};

@@ -1,0 +1,185 @@
+//! The paper's published numbers, embedded for side-by-side comparison.
+//!
+//! Experiment renderings print "paper vs measured" rows from these
+//! constants; the integration tests assert *shape* agreement against them
+//! (who wins, rough factors, orderings), never exact equality.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 4 (topological comparison across OSNs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Network name.
+    pub network: &'static str,
+    /// Nodes.
+    pub nodes: f64,
+    /// Edges.
+    pub edges: f64,
+    /// Fraction of the network crawled.
+    pub crawled: f64,
+    /// Average shortest-path length.
+    pub path_length: f64,
+    /// Global reciprocity.
+    pub reciprocity: f64,
+    /// Diameter.
+    pub diameter: u32,
+    /// Mean in-degree (None where the paper prints "-").
+    pub in_degree: Option<f64>,
+    /// Mean out-degree.
+    pub out_degree: Option<f64>,
+}
+
+/// Table 4 as printed in the paper.
+pub const TABLE4: [Table4Row; 4] = [
+    Table4Row {
+        network: "Google+",
+        nodes: 35.0e6,
+        edges: 575.0e6,
+        crawled: 0.56,
+        path_length: 5.9,
+        reciprocity: 0.32,
+        diameter: 19,
+        in_degree: Some(16.4),
+        out_degree: Some(16.4),
+    },
+    Table4Row {
+        network: "Facebook",
+        nodes: 721.0e6,
+        edges: 62.0e9,
+        crawled: 1.00,
+        path_length: 4.7,
+        reciprocity: 1.00,
+        diameter: 41,
+        in_degree: Some(190.2),
+        out_degree: Some(190.2),
+    },
+    Table4Row {
+        network: "Twitter",
+        nodes: 41.7e6,
+        edges: 106.0e6,
+        crawled: 1.00,
+        path_length: 4.1,
+        reciprocity: 0.221,
+        diameter: 18,
+        in_degree: Some(28.19),
+        out_degree: Some(29.34),
+    },
+    Table4Row {
+        network: "Orkut",
+        nodes: 3.0e6,
+        edges: 223.0e6,
+        crawled: 0.11,
+        path_length: 4.3,
+        reciprocity: 1.00,
+        diameter: 9,
+        in_degree: None,
+        out_degree: None,
+    },
+];
+
+/// §2.2 / §3: headline dataset numbers.
+pub mod dataset {
+    /// Profiles crawled.
+    pub const PROFILES_CRAWLED: u64 = 27_556_390;
+    /// Graph nodes (crawled + seen).
+    pub const GRAPH_NODES: u64 = 35_114_957;
+    /// Directed edges collected.
+    pub const GRAPH_EDGES: u64 = 575_141_097;
+    /// Estimated coverage of registered users.
+    pub const COVERAGE: f64 = 0.56;
+    /// Users with >10,000 declared followers.
+    pub const TRUNCATED_USERS: u64 = 915;
+    /// Their declared in-edges.
+    pub const TRUNCATED_DECLARED: u64 = 37_185_272;
+    /// Their collected in-edges.
+    pub const TRUNCATED_COLLECTED: u64 = 27_600_503;
+    /// Estimated lost-edge fraction.
+    pub const LOST_EDGE_FRACTION: f64 = 0.016;
+    /// Located users (country identified).
+    pub const LOCATED_USERS: u64 = 6_621_644;
+    /// Tel-users (publish a phone number).
+    pub const TEL_USERS: u64 = 72_736;
+}
+
+/// §3.3: structural findings.
+pub mod structure {
+    /// Power-law CCDF exponent fitted to the in-degree distribution.
+    pub const ALPHA_IN: f64 = 1.3;
+    /// Power-law CCDF exponent fitted to the out-degree distribution.
+    pub const ALPHA_OUT: f64 = 1.2;
+    /// R² of both fits.
+    pub const DEGREE_FIT_R2: f64 = 0.99;
+    /// Out-degree drop ("the out-degree curve drops sharply around 5000").
+    pub const OUT_DEGREE_CAP: u64 = 5_000;
+    /// Global reciprocity.
+    pub const RECIPROCITY: f64 = 0.32;
+    /// Twitter's reciprocity for comparison.
+    pub const TWITTER_RECIPROCITY: f64 = 0.221;
+    /// "More than 60% of the users have RR higher than 0.6".
+    pub const RR_ABOVE_06_FRACTION: f64 = 0.60;
+    /// "40% of all users have a CC greater than 0.2".
+    pub const CC_ABOVE_02_FRACTION: f64 = 0.40;
+    /// Number of SCCs found.
+    pub const SCC_COUNT: u64 = 9_771_696;
+    /// Size of the giant SCC.
+    pub const GIANT_SCC: u64 = 25_240_000;
+    /// Directed path length: mode and mean.
+    pub const PATH_MODE_DIRECTED: u32 = 6;
+    /// Mean directed path length.
+    pub const PATH_MEAN_DIRECTED: f64 = 5.9;
+    /// Undirected mode.
+    pub const PATH_MODE_UNDIRECTED: u32 = 5;
+    /// Mean undirected path length.
+    pub const PATH_MEAN_UNDIRECTED: f64 = 4.7;
+    /// Directed diameter.
+    pub const DIAMETER_DIRECTED: u32 = 19;
+    /// Undirected diameter.
+    pub const DIAMETER_UNDIRECTED: u32 = 13;
+}
+
+/// §4: geographic findings.
+pub mod geo {
+    /// "Nearly 58% of the users (friends) were separated by less than a
+    /// thousand miles".
+    pub const FRIENDS_WITHIN_1000_MILES: f64 = 0.58;
+    /// "15% of them were separated by in fact 10 miles".
+    pub const FRIENDS_WITHIN_10_MILES: f64 = 0.15;
+    /// Fraction of located users in the US (Table 3).
+    pub const US_SHARE: f64 = 0.3138;
+    /// Fraction in India.
+    pub const IN_SHARE: f64 = 0.1671;
+    /// §3.1: 7 of the global top-20 are IT-related.
+    pub const TOP20_IT_COUNT: usize = 7;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_google_plus_first() {
+        assert_eq!(TABLE4[0].network, "Google+");
+        assert_eq!(TABLE4[0].diameter, 19);
+        assert_eq!(TABLE4[3].in_degree, None); // Orkut prints "-"
+    }
+
+    #[test]
+    fn paper_reciprocity_ordering() {
+        // Facebook (100%) > Google+ (32%) > Twitter (22.1%)
+        assert!(TABLE4[1].reciprocity > TABLE4[0].reciprocity);
+        assert!(TABLE4[0].reciprocity > TABLE4[2].reciprocity);
+    }
+
+    #[test]
+    fn lost_edge_constants_consistent() {
+        let frac = (dataset::TRUNCATED_DECLARED - dataset::TRUNCATED_COLLECTED) as f64
+            / dataset::GRAPH_EDGES as f64;
+        assert!((frac - dataset::LOST_EDGE_FRACTION).abs() < 0.002);
+    }
+
+    #[test]
+    fn path_lengths_consistent() {
+        assert!(structure::PATH_MEAN_DIRECTED > structure::PATH_MEAN_UNDIRECTED);
+        assert!(structure::DIAMETER_DIRECTED > structure::DIAMETER_UNDIRECTED);
+    }
+}

@@ -1,0 +1,263 @@
+//! End-to-end reproduction pipeline: generate → serve → crawl → analyse.
+//!
+//! [`Reproduction::run`] performs the whole study on a synthetic
+//! population: it generates the network, stands up the simulated service,
+//! runs the paper's bidirectional BFS crawl (§2.2), then executes every
+//! table and figure over the *crawled* dataset — the faithful path.
+//! [`Reproduction::run_ground_truth`] skips the crawl and analyses the
+//! ground truth directly (faster; useful when the crawl itself is not
+//! under study).
+
+use crate::dataset::{CrawlDataset, Dataset, GroundTruthDataset};
+use crate::experiments::*;
+use gplus_crawler::{lost_edges, Crawler, CrawlerConfig, CrawlStats, LostEdgeEstimate};
+use gplus_service::{GooglePlusService, ServiceConfig};
+use gplus_synth::{SynthConfig, SynthNetwork};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a full reproduction run.
+#[derive(Debug, Clone)]
+pub struct ReproductionConfig {
+    /// Synthetic-network configuration.
+    pub synth: SynthConfig,
+    /// Simulated-service configuration.
+    pub service: ServiceConfig,
+    /// Crawler configuration.
+    pub crawler: CrawlerConfig,
+    /// Figure 3 fit parameters.
+    pub fig3: fig3::Fig3Params,
+    /// Figure 4 sampling parameters.
+    pub fig4: fig4::Fig4Params,
+    /// Figure 5 sampling schedule.
+    pub fig5: fig5::Fig5Params,
+    /// Figure 9 pair budgets.
+    pub fig9: fig9::Fig9Params,
+    /// Table 4 measurement parameters.
+    pub table4: table4::Table4Params,
+}
+
+impl ReproductionConfig {
+    /// Full-fidelity defaults at the given scale.
+    pub fn new(n_users: usize, seed: u64) -> Self {
+        Self {
+            synth: SynthConfig::google_plus_2011(n_users, seed),
+            service: ServiceConfig::default(),
+            crawler: CrawlerConfig::default(),
+            fig3: fig3::Fig3Params::default(),
+            fig4: fig4::Fig4Params::default(),
+            fig5: fig5::Fig5Params::default(),
+            fig9: fig9::Fig9Params::default(),
+            table4: table4::Table4Params::default(),
+        }
+    }
+
+    /// Reduced sampling budgets for quick runs and CI.
+    pub fn quick(n_users: usize, seed: u64) -> Self {
+        let mut cfg = Self::new(n_users, seed);
+        cfg.fig4.cc_sample = 20_000;
+        cfg.fig5 =
+            fig5::Fig5Params { k_start: 200, k_step: 200, k_max: 1_000, tol: 0.02, seed };
+        cfg.fig9.max_pairs = 50_000;
+        cfg.table4.path_samples = 200;
+        cfg
+    }
+}
+
+/// Every computed artifact of one reproduction run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReproductionReport {
+    /// Users generated.
+    pub n_users: usize,
+    /// Whether the analyses ran over a crawl (true) or ground truth.
+    pub crawled: bool,
+    /// Crawl statistics, when a crawl ran.
+    pub crawl_stats: Option<CrawlStats>,
+    /// §2.2 lost-edge estimate, when a crawl ran.
+    pub lost_edges: Option<LostEdgeEstimate>,
+    /// Table 1.
+    pub table1: table1::Table1Result,
+    /// Table 2.
+    pub table2: table2::Table2Result,
+    /// Table 3.
+    pub table3: table3::Table3Result,
+    /// Table 4 (measured Google+ row).
+    pub table4: table4::Table4Result,
+    /// Table 5.
+    pub table5: table5::Table5Result,
+    /// Figure 2.
+    pub fig2: fig2::Fig2Result,
+    /// Figure 3.
+    pub fig3: fig3::Fig3Result,
+    /// Figure 4.
+    pub fig4: fig4::Fig4Result,
+    /// Figure 5.
+    pub fig5: fig5::Fig5Result,
+    /// Figure 6.
+    pub fig6: fig6::Fig6Result,
+    /// Figure 7.
+    pub fig7: fig7::Fig7Result,
+    /// Figure 8.
+    pub fig8: fig8::Fig8Result,
+    /// Figure 9.
+    pub fig9: fig9::Fig9Result,
+    /// Figure 10.
+    pub fig10: fig10::Fig10Result,
+}
+
+impl ReproductionReport {
+    /// Renders every artifact, paper-ordered.
+    pub fn render_all(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "=== Reproduction over {} users ({} analyses) ===\n\n",
+            self.n_users,
+            if self.crawled { "crawled" } else { "ground-truth" }
+        ));
+        if let Some(stats) = &self.crawl_stats {
+            out.push_str(&format!(
+                "crawl: {} profiles, {} users discovered, {} raw edges, {} retries\n",
+                stats.profiles_crawled, stats.users_discovered, stats.raw_edges, stats.retries
+            ));
+        }
+        if let Some(est) = &self.lost_edges {
+            out.push_str(&format!(
+                "lost edges: {} truncated users, {:.2}% lost (paper: 915 users, 1.6%)\n\n",
+                est.truncated_users,
+                est.lost_fraction * 100.0
+            ));
+        }
+        out.push_str(&table1::render(&self.table1));
+        out.push('\n');
+        out.push_str(&table2::render(&self.table2));
+        out.push('\n');
+        out.push_str(&table3::render(&self.table3));
+        out.push('\n');
+        out.push_str(&table4::render(&self.table4));
+        out.push('\n');
+        out.push_str(&table5::render(&self.table5));
+        out.push('\n');
+        out.push_str(&fig2::render(&self.fig2));
+        out.push('\n');
+        out.push_str(&fig3::render(&self.fig3));
+        out.push('\n');
+        out.push_str(&fig4::render(&self.fig4));
+        out.push('\n');
+        out.push_str(&fig5::render(&self.fig5));
+        out.push('\n');
+        out.push_str(&fig6::render(&self.fig6));
+        out.push('\n');
+        out.push_str(&fig7::render(&self.fig7));
+        out.push('\n');
+        out.push_str(&fig8::render(&self.fig8));
+        out.push('\n');
+        out.push_str(&fig9::render(&self.fig9));
+        out.push('\n');
+        out.push_str(&fig10::render(&self.fig10));
+        out
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+}
+
+/// The pipeline driver.
+pub struct Reproduction;
+
+impl Reproduction {
+    /// Full path: generate → serve → crawl → analyse the crawled data.
+    pub fn run(config: &ReproductionConfig) -> ReproductionReport {
+        let network = SynthNetwork::generate(&config.synth);
+        let n_users = network.node_count();
+        let service = GooglePlusService::new(network, config.service.clone());
+        let crawler = Crawler::new(config.crawler.clone());
+        let result = crawler.run(&service);
+        let estimate =
+            lost_edges::estimate(&result, config.service.circle_list_limit as u64);
+        let data = CrawlDataset::new(&result);
+        let mut report = Self::analyse(&data, config);
+        report.n_users = n_users;
+        report.crawled = true;
+        report.crawl_stats = Some(result.stats.clone());
+        report.lost_edges = Some(estimate);
+        report
+    }
+
+    /// Fast path: analyse ground truth directly (no service, no crawl).
+    pub fn run_ground_truth(config: &ReproductionConfig) -> ReproductionReport {
+        let network = SynthNetwork::generate(&config.synth);
+        let data = GroundTruthDataset::new(&network);
+        let mut report = Self::analyse(&data, config);
+        report.n_users = network.node_count();
+        report
+    }
+
+    fn analyse(data: &impl Dataset, config: &ReproductionConfig) -> ReproductionReport {
+        ReproductionReport {
+            n_users: 0,
+            crawled: false,
+            crawl_stats: None,
+            lost_edges: None,
+            table1: table1::run(data, 20),
+            table2: table2::run(data),
+            table3: table3::run(data),
+            table4: table4::run(data, &config.table4),
+            table5: table5::run(data),
+            fig2: fig2::run(data),
+            fig3: fig3::run(data, &config.fig3),
+            fig4: fig4::run(data, &config.fig4),
+            fig5: fig5::run(data, &config.fig5),
+            fig6: fig6::run(data),
+            fig7: fig7::run(data),
+            fig8: fig8::run(data),
+            fig9: fig9::run(data, &config.fig9),
+            fig10: fig10::run(data),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_pipeline_produces_full_report() {
+        let report =
+            Reproduction::run_ground_truth(&ReproductionConfig::quick(15_000, 2012));
+        assert_eq!(report.n_users, 15_000);
+        assert!(!report.crawled);
+        assert!(report.crawl_stats.is_none());
+        assert_eq!(report.table1.rows.len(), 20);
+        assert_eq!(report.table2.rows.len(), 17);
+        let text = report.render_all();
+        for needle in ["Table 1", "Table 5", "Figure 4(c)", "Figure 10"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn crawled_pipeline_produces_crawl_artifacts() {
+        let mut cfg = ReproductionConfig::quick(8_000, 7);
+        cfg.service.failure_rate = 0.01;
+        let report = Reproduction::run(&cfg);
+        assert!(report.crawled);
+        let stats = report.crawl_stats.as_ref().unwrap();
+        assert!(stats.profiles_crawled > 7_000);
+        assert!(report.lost_edges.is_some());
+        // the crawled analyses still recover the headline structure
+        assert_eq!(report.table1.rows[0].name, "Larry Page");
+        assert!(report.table4.reciprocity > 0.2);
+    }
+
+    #[test]
+    fn report_serialises_to_json() {
+        let report = Reproduction::run_ground_truth(&ReproductionConfig::quick(5_000, 3));
+        let json = report.to_json();
+        assert!(json.contains("\"table1\""));
+        assert!(json.contains("\"fig10\""));
+        // round-trips
+        let back: ReproductionReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_users, report.n_users);
+    }
+}

@@ -1,0 +1,242 @@
+//! Registry of every experiment the crate implements.
+//!
+//! One row per paper artifact (plus the extensions), with the paper
+//! section it reproduces — the machine-readable version of DESIGN.md's
+//! per-experiment index. The CLI's `list` command and the report header
+//! render from here.
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of artifact an experiment reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArtifactKind {
+    /// A numbered table of the paper.
+    Table,
+    /// A numbered figure of the paper.
+    Figure,
+    /// A methodology element of §2.
+    Methodology,
+    /// An extension beyond the published artifacts.
+    Extension,
+}
+
+/// One registry row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentInfo {
+    /// Stable identifier ("table1", "fig4", "growth", ...).
+    pub id: &'static str,
+    /// Artifact kind.
+    pub kind: ArtifactKind,
+    /// Paper section the artifact appears in.
+    pub section: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// One-line description of what is measured.
+    pub description: &'static str,
+}
+
+/// All experiments, paper order first, extensions last.
+pub const ALL_EXPERIMENTS: [ExperimentInfo; 21] = [
+    ExperimentInfo {
+        id: "table1",
+        kind: ArtifactKind::Table,
+        section: "3.1",
+        title: "Top 20 users ranked by in-degree",
+        description: "celebrity ranking with occupation mix (7/20 IT)",
+    },
+    ExperimentInfo {
+        id: "table2",
+        kind: ArtifactKind::Table,
+        section: "3.1",
+        title: "Public attributes available",
+        description: "fraction of users sharing each of 17 profile fields",
+    },
+    ExperimentInfo {
+        id: "table3",
+        kind: ArtifactKind::Table,
+        section: "3.2",
+        title: "Information shared by all users and tel-users",
+        description: "gender / relationship / location mix of phone-sharing users",
+    },
+    ExperimentInfo {
+        id: "table4",
+        kind: ArtifactKind::Table,
+        section: "3.3.5",
+        title: "Topological comparison across OSNs",
+        description: "nodes, edges, path length, reciprocity, diameter, degrees",
+    },
+    ExperimentInfo {
+        id: "table5",
+        kind: ArtifactKind::Table,
+        section: "4.2",
+        title: "Occupation of top users per country",
+        description: "per-country top-10 occupation codes + Jaccard vs US",
+    },
+    ExperimentInfo {
+        id: "fig2",
+        kind: ArtifactKind::Figure,
+        section: "3.2",
+        title: "Fields shared: tel-users vs all",
+        description: "CCDF of profile fields shared, excluding contact fields",
+    },
+    ExperimentInfo {
+        id: "fig3",
+        kind: ArtifactKind::Figure,
+        section: "3.3.1",
+        title: "Degree distributions",
+        description: "in/out-degree CCDFs with power-law fits (1.3 / 1.2)",
+    },
+    ExperimentInfo {
+        id: "fig4",
+        kind: ArtifactKind::Figure,
+        section: "3.3.2-4",
+        title: "Reciprocity, clustering, SCC sizes",
+        description: "RR CDF, sampled CC CDF, SCC size CCDF",
+    },
+    ExperimentInfo {
+        id: "fig5",
+        kind: ArtifactKind::Figure,
+        section: "3.3.5",
+        title: "Path length distribution",
+        description: "adaptive sampled BFS, directed + undirected views",
+    },
+    ExperimentInfo {
+        id: "fig6",
+        kind: ArtifactKind::Figure,
+        section: "4",
+        title: "Top 10 countries",
+        description: "located-user shares per country",
+    },
+    ExperimentInfo {
+        id: "fig7",
+        kind: ArtifactKind::Figure,
+        section: "4.1",
+        title: "GDP vs penetration",
+        description: "Google+ penetration (Eq. 2) and Internet penetration vs GDP pc",
+    },
+    ExperimentInfo {
+        id: "fig8",
+        kind: ArtifactKind::Figure,
+        section: "4.3",
+        title: "Openness by country",
+        description: "CCDF of fields shared per top-10 country",
+    },
+    ExperimentInfo {
+        id: "fig9",
+        kind: ArtifactKind::Figure,
+        section: "4.4",
+        title: "Path miles",
+        description: "physical distance CDFs: friends / reciprocal / random",
+    },
+    ExperimentInfo {
+        id: "fig10",
+        kind: ArtifactKind::Figure,
+        section: "4.5",
+        title: "Country link matrix",
+        description: "proportion of outgoing links between top-10 countries",
+    },
+    ExperimentInfo {
+        id: "lost_edges",
+        kind: ArtifactKind::Methodology,
+        section: "2.2",
+        title: "Lost-edge estimate",
+        description: "edges hidden by the 10,000-entry circle-list cap",
+    },
+    ExperimentInfo {
+        id: "bias",
+        kind: ArtifactKind::Methodology,
+        section: "2.2",
+        title: "BFS sampling bias",
+        description: "degree bias of budget-limited BFS vs MHRW",
+    },
+    ExperimentInfo {
+        id: "growth",
+        kind: ArtifactKind::Extension,
+        section: "7",
+        title: "Growth study",
+        description: "adoption-phase snapshots, densification, diameter trend",
+    },
+    ExperimentInfo {
+        id: "rankings",
+        kind: ArtifactKind::Extension,
+        section: "3.1",
+        title: "Ranking robustness",
+        description: "in-degree vs PageRank top lists",
+    },
+    ExperimentInfo {
+        id: "structure",
+        kind: ArtifactKind::Extension,
+        section: "5",
+        title: "Structural extras",
+        description: "assortativity, k-cores, degree Gini across presets",
+    },
+    ExperimentInfo {
+        id: "recommend",
+        kind: ArtifactKind::Extension,
+        section: "6",
+        title: "Recommendation locality",
+        description: "FoF recommender domestic fraction per country",
+    },
+    ExperimentInfo {
+        id: "cascade",
+        kind: ArtifactKind::Extension,
+        section: "3.3",
+        title: "Information cascades",
+        description: "independent-cascade spread from hubs vs random seeds",
+    },
+];
+
+/// Looks up an experiment by id.
+pub fn find(id: &str) -> Option<&'static ExperimentInfo> {
+    ALL_EXPERIMENTS.iter().find(|e| e.id == id)
+}
+
+/// Renders the registry as a text table.
+pub fn render_index() -> String {
+    let mut t = crate::render::TextTable::new("Experiment registry")
+        .header(&["Id", "Kind", "Section", "Title"]);
+    for e in &ALL_EXPERIMENTS {
+        t.row(vec![
+            e.id.to_string(),
+            format!("{:?}", e.kind),
+            format!("§{}", e.section),
+            e.title.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_unique_and_findable() {
+        let mut ids: Vec<&str> = ALL_EXPERIMENTS.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ALL_EXPERIMENTS.len());
+        for e in &ALL_EXPERIMENTS {
+            assert_eq!(find(e.id), Some(e));
+        }
+        assert_eq!(find("nope"), None);
+    }
+
+    #[test]
+    fn covers_all_paper_artifacts() {
+        let tables =
+            ALL_EXPERIMENTS.iter().filter(|e| e.kind == ArtifactKind::Table).count();
+        let figures =
+            ALL_EXPERIMENTS.iter().filter(|e| e.kind == ArtifactKind::Figure).count();
+        assert_eq!(tables, 5, "the paper has five tables");
+        assert_eq!(figures, 9, "the paper has nine result figures (2-10)");
+    }
+
+    #[test]
+    fn index_renders() {
+        let s = render_index();
+        assert!(s.contains("table1"));
+        assert!(s.contains("fig10"));
+        assert!(s.contains("growth"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Plain-text rendering helpers shared by the experiment modules.
+//!
+//! Each experiment renders its result as a fixed-width text table or series
+//! shaped like the paper's artifact, so the harness output can be eyeballed
+//! against the PDF.
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title line.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self { title: title.into(), header: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Sets the column headers.
+    pub fn header(mut self, cols: &[&str]) -> Self {
+        self.header = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// Panics if the row width disagrees with the header (when set).
+    pub fn row(&mut self, cells: Vec<String>) {
+        if !self.header.is_empty() {
+            assert_eq!(
+                cells.len(),
+                self.header.len(),
+                "row width must match header width"
+            );
+        }
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", c, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        if !self.header.is_empty() {
+            out.push_str(&fmt_row(&self.header, &widths));
+            out.push('\n');
+            let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals, paper style
+/// ("67.65%").
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats a large count with thousands separators ("27,556,390").
+pub fn count(x: u64) -> String {
+    let s = x.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats a "paper vs measured" comparison cell.
+pub fn compare(paper: impl std::fmt::Display, measured: impl std::fmt::Display) -> String {
+    format!("paper {paper} / measured {measured}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new("Demo").header(&["Name", "Value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.starts_with("Demo\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5); // title, header, rule, two rows
+        assert!(lines[1].starts_with("Name"));
+        assert!(lines[2].chars().all(|c| c == '-'));
+        // aligned: "Value" column starts at the same offset in all rows
+        let col = lines[1].find("Value").unwrap();
+        assert_eq!(lines[3].find('1'), Some(col));
+        assert_eq!(lines[4].find("12345"), Some(col));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new("x").header(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn pct_and_count_formats() {
+        assert_eq!(pct(0.6765), "67.65%");
+        assert_eq!(pct(1.0), "100.00%");
+        assert_eq!(count(27_556_390), "27,556,390");
+        assert_eq!(count(999), "999");
+        assert_eq!(count(1_000), "1,000");
+    }
+
+    #[test]
+    fn compare_cell() {
+        assert_eq!(compare("5.9", "5.7"), "paper 5.9 / measured 5.7");
+    }
+}

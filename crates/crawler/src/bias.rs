@@ -1,0 +1,99 @@
+//! BFS sampling-bias measurement.
+//!
+//! §2.2: "Although the BFS technique is simple and efficient, it exhibits
+//! several well-known limitations such as the bias towards sampling high
+//! degree nodes, which may affect the degree distribution [18, 35]."
+//! The paper could only cite this; with a simulated service we can measure
+//! it: run budget-limited crawls and compare the mean true degree of
+//! crawled users against the population mean.
+
+use crate::config::CrawlerConfig;
+use crate::crawl::Crawler;
+use gplus_service::GooglePlusService;
+use serde::{Deserialize, Serialize};
+
+/// One budget point of the bias curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BiasPoint {
+    /// Profile budget of this crawl.
+    pub budget: usize,
+    /// Profiles actually crawled.
+    pub crawled: usize,
+    /// Mean *true* in-degree of crawled users.
+    pub crawled_mean_in_degree: f64,
+    /// Mean true in-degree of the whole population.
+    pub population_mean_in_degree: f64,
+    /// `crawled_mean / population_mean` — >1 means high-degree bias.
+    pub bias_ratio: f64,
+}
+
+/// Runs budget-limited crawls and reports the degree bias at each budget.
+///
+/// Uses the service's ground truth for evaluation (the crawler itself never
+/// sees it).
+pub fn measure_bias(
+    service: &GooglePlusService,
+    budgets: &[usize],
+    base_config: &CrawlerConfig,
+) -> Vec<BiasPoint> {
+    let truth = &service.ground_truth().graph;
+    let population_mean = truth.edge_count() as f64 / truth.node_count().max(1) as f64;
+    budgets
+        .iter()
+        .map(|&budget| {
+            let crawler = Crawler::new(CrawlerConfig {
+                max_profiles: Some(budget),
+                ..base_config.clone()
+            });
+            let result = crawler.run(service);
+            let crawled = result.crawled_count();
+            let sum: u64 = result
+                .pages
+                .keys()
+                .map(|&node| {
+                    let user = result.user_of(node) as u32;
+                    truth.in_degree(user) as u64
+                })
+                .sum();
+            let crawled_mean = sum as f64 / crawled.max(1) as f64;
+            BiasPoint {
+                budget,
+                crawled,
+                crawled_mean_in_degree: crawled_mean,
+                population_mean_in_degree: population_mean,
+                bias_ratio: crawled_mean / population_mean.max(f64::MIN_POSITIVE),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplus_service::ServiceConfig;
+    use gplus_synth::{SynthConfig, SynthNetwork};
+
+    #[test]
+    fn early_bfs_oversamples_high_degree_nodes() {
+        let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(4_000, 55));
+        let svc = GooglePlusService::new(
+            net,
+            ServiceConfig { failure_rate: 0.0, private_list_fraction: 0.0, ..Default::default() },
+        );
+        let points = measure_bias(&svc, &[150, 3_000], &CrawlerConfig::default());
+        assert_eq!(points.len(), 2);
+        // a small-budget BFS frontier is dominated by hubs
+        assert!(
+            points[0].bias_ratio > 1.3,
+            "early crawl should be biased, ratio {}",
+            points[0].bias_ratio
+        );
+        // bias washes out as coverage approaches 1
+        assert!(
+            points[1].bias_ratio < points[0].bias_ratio,
+            "bias should shrink with coverage: {} -> {}",
+            points[0].bias_ratio,
+            points[1].bias_ratio
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Crawler configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the BFS crawl.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrawlerConfig {
+    /// Seed user ids to start from. The paper used a single seed (Mark
+    /// Zuckerberg) because "numeric user IDs were not supported" for random
+    /// sampling; multiple seeds are supported for robustness experiments.
+    pub seeds: Vec<u64>,
+    /// Concurrent worker threads — the paper's "11 machines with different
+    /// IP addresses".
+    pub machines: usize,
+    /// Maximum attempts per request before giving up on that request.
+    pub max_retries: usize,
+    /// Stop after crawling this many profiles (`None` = exhaust the
+    /// frontier). Partial crawls feed the bias experiments.
+    pub max_profiles: Option<usize>,
+    /// Upper bound on circle-list pages fetched per direction per user
+    /// (`None` = page to the end). Guards runaway lists in stress tests.
+    pub max_pages_per_list: Option<usize>,
+}
+
+impl Default for CrawlerConfig {
+    fn default() -> Self {
+        Self {
+            // node 1 is Mark Zuckerberg in the seeded roster
+            seeds: vec![1],
+            machines: 11,
+            max_retries: 50,
+            max_profiles: None,
+            max_pages_per_list: None,
+        }
+    }
+}
+
+impl CrawlerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on an empty seed list, zero machines, or zero retries.
+    pub fn validate(&self) {
+        assert!(!self.seeds.is_empty(), "crawler needs at least one seed");
+        assert!(self.machines >= 1, "crawler needs at least one machine");
+        assert!(self.max_retries >= 1, "crawler needs at least one attempt");
+        if let Some(m) = self.max_profiles {
+            assert!(m >= 1, "max_profiles must be positive when set");
+        }
+        if let Some(p) = self.max_pages_per_list {
+            assert!(p >= 1, "max_pages_per_list must be positive when set");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let c = CrawlerConfig::default();
+        c.validate();
+        assert_eq!(c.machines, 11);
+        assert_eq!(c.seeds, vec![1]); // Mark Zuckerberg
+        assert_eq!(c.max_profiles, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn rejects_no_seeds() {
+        CrawlerConfig { seeds: vec![], ..CrawlerConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn rejects_zero_machines() {
+        CrawlerConfig { machines: 0, ..CrawlerConfig::default() }.validate();
+    }
+}

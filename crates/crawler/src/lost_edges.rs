@@ -1,0 +1,150 @@
+//! The §2.2 lost-edge estimator.
+//!
+//! "In our dataset there are 915 users with more than 10,000 in-circles
+//! users, which should have 37,185,272 incoming edges according to their
+//! profile pages, while we found 27,600,503 links for those users in our
+//! graph. By dividing the difference of these numbers by the total number
+//! of edges, we estimate that 1.6% of the edges are lost because of the
+//! 10,000 limit on the circle list."
+
+use crate::result::CrawlResult;
+use serde::{Deserialize, Serialize};
+
+/// Output of the estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LostEdgeEstimate {
+    /// Users whose declared follower count exceeds the circle-list limit
+    /// (the paper's 915).
+    pub truncated_users: u64,
+    /// Sum of declared follower counts over those users (37,185,272).
+    pub declared_in_sum: u64,
+    /// In-edges actually collected for those users (27,600,503).
+    pub collected_in_sum: u64,
+    /// `declared - collected`.
+    pub lost_edges: u64,
+    /// Lost edges divided by total collected edges (the paper's 1.6%).
+    pub lost_fraction: f64,
+}
+
+/// Runs the estimator over a crawl result, given the circle-list limit the
+/// service enforces.
+pub fn estimate(result: &CrawlResult, circle_list_limit: u64) -> LostEdgeEstimate {
+    let mut truncated_users = 0u64;
+    let mut declared_in_sum = 0u64;
+    let mut collected_in_sum = 0u64;
+    for (&node, page) in &result.pages {
+        if page.declared_in_count > circle_list_limit {
+            truncated_users += 1;
+            declared_in_sum += page.declared_in_count;
+            collected_in_sum += result.graph.in_degree(node) as u64;
+        }
+    }
+    // bidirectional recovery can push collected above the truncated list
+    // size (out-lists of followers refill the gap), so clamp at zero
+    let lost_edges = declared_in_sum.saturating_sub(collected_in_sum);
+    let total_edges = result.graph.edge_count() as u64;
+    LostEdgeEstimate {
+        truncated_users,
+        declared_in_sum,
+        collected_in_sum,
+        lost_edges,
+        lost_fraction: if total_edges == 0 {
+            0.0
+        } else {
+            lost_edges as f64 / total_edges as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CrawlerConfig;
+    use crate::crawl::Crawler;
+    use gplus_service::{GooglePlusService, ServiceConfig};
+    use gplus_synth::{SynthConfig, SynthNetwork};
+
+    fn crawl_with_limit(limit: usize, private_fraction: f64) -> (CrawlResult, u64) {
+        let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(3_000, 99));
+        let svc = GooglePlusService::new(
+            net,
+            ServiceConfig {
+                failure_rate: 0.0,
+                private_list_fraction: private_fraction,
+                circle_list_limit: limit,
+                page_size: limit.min(1_000),
+                ..Default::default()
+            },
+        );
+        let result = Crawler::new(CrawlerConfig::default()).run(&svc);
+        (result, limit as u64)
+    }
+
+    #[test]
+    fn no_truncation_no_loss() {
+        let (result, limit) = crawl_with_limit(1_000_000, 0.0);
+        let est = estimate(&result, limit);
+        assert_eq!(est.truncated_users, 0);
+        assert_eq!(est.lost_edges, 0);
+        assert_eq!(est.lost_fraction, 0.0);
+    }
+
+    #[test]
+    fn tight_limit_shows_losses() {
+        // Losses require followers whose own out-lists are unavailable —
+        // with every list public the bidirectional crawl recovers all
+        // truncated edges from the other side. 30% private lists mirrors
+        // the paper's situation (44% of users never crawled).
+        let (result, limit) = crawl_with_limit(100, 0.30);
+        let est = estimate(&result, limit);
+        assert!(est.truncated_users > 0, "celebrities exceed a 100-entry cap");
+        assert!(
+            est.declared_in_sum > est.collected_in_sum,
+            "declared {} vs collected {}",
+            est.declared_in_sum,
+            est.collected_in_sum
+        );
+        assert!(est.lost_fraction > 0.0);
+        assert!(est.lost_fraction < 1.0);
+    }
+
+    #[test]
+    fn fully_public_crawl_recovers_truncated_edges() {
+        // the flip side: with every list public, bidirectional recovery is
+        // complete and the estimator reports (near-)zero loss
+        let (result, limit) = crawl_with_limit(100, 0.0);
+        let est = estimate(&result, limit);
+        assert!(est.truncated_users > 0);
+        assert!(
+            est.lost_fraction < 0.01,
+            "public lists should recover nearly everything, lost {}",
+            est.lost_fraction
+        );
+    }
+
+    #[test]
+    fn bidirectional_recovery_reduces_the_estimate() {
+        // The estimator measures edges missing from the *graph*, which the
+        // bidirectional crawl partially recovers from followers' out-lists.
+        // So collected_in_sum must exceed truncated_users * limit — the
+        // naive one-directional floor.
+        let (result, limit) = crawl_with_limit(100, 0.30);
+        let est = estimate(&result, limit);
+        assert!(
+            est.collected_in_sum > est.truncated_users * limit,
+            "bidirectional recovery should beat the truncation floor: {} vs {}",
+            est.collected_in_sum,
+            est.truncated_users * limit
+        );
+    }
+
+    #[test]
+    fn estimator_matches_paper_arithmetic() {
+        // plug the paper's published numbers through the same formula
+        let declared: u64 = 37_185_272;
+        let collected: u64 = 27_600_503;
+        let total: u64 = 575_141_097;
+        let fraction = (declared - collected) as f64 / total as f64;
+        assert!((fraction - 0.0167).abs() < 0.001, "paper arithmetic gives {fraction}");
+    }
+}

@@ -1,0 +1,351 @@
+//! The paper's focus countries and their circa-2011 statistics.
+//!
+//! Figure 7 plots twenty countries; Figure 6 and Table 5 use the top ten by
+//! Google+ population. The embedded numbers are public historical
+//! statistics (late-2011 population, Internet users per
+//! internetworldstats.com — the paper's own source — and IMF GDP per capita
+//! at purchasing-power parity). They are approximate to the precision such
+//! compilations carry; the analyses only need relative rankings.
+
+use crate::distance::LatLon;
+use serde::{Deserialize, Serialize};
+
+/// A country in the study: the 20 Figure-7 focus countries plus the
+/// explicit "Other" bucket the paper's Table 3 uses (40.50% of located
+/// users fall outside the top five).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Country {
+    /// United States
+    Us,
+    /// India
+    In,
+    /// Brazil
+    Br,
+    /// United Kingdom
+    Gb,
+    /// Canada
+    Ca,
+    /// Germany
+    De,
+    /// Indonesia
+    Id,
+    /// Mexico
+    Mx,
+    /// Italy
+    It,
+    /// Spain
+    Es,
+    /// Russia
+    Ru,
+    /// France
+    Fr,
+    /// Vietnam
+    Vn,
+    /// China
+    Cn,
+    /// Thailand
+    Th,
+    /// Japan
+    Jp,
+    /// Taiwan
+    Tw,
+    /// Argentina
+    Ar,
+    /// Australia
+    Au,
+    /// Iran
+    Ir,
+    /// Everywhere else (aggregated)
+    Other,
+}
+
+/// Static per-country facts, all circa late 2011.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CountryStats {
+    /// Total population.
+    pub population: u64,
+    /// Internet users (internetworldstats.com-style estimate).
+    pub internet_users: u64,
+    /// GDP per capita at purchasing-power parity, USD.
+    pub gdp_per_capita_ppp: f64,
+}
+
+/// The twenty countries of Figure 7, in the paper's Figure 6 order for the
+/// first ten (descending Google+ population).
+pub const FOCUS_COUNTRIES: [Country; 20] = [
+    Country::Us,
+    Country::In,
+    Country::Br,
+    Country::Gb,
+    Country::Ca,
+    Country::De,
+    Country::Id,
+    Country::Mx,
+    Country::It,
+    Country::Es,
+    Country::Ru,
+    Country::Fr,
+    Country::Vn,
+    Country::Cn,
+    Country::Th,
+    Country::Jp,
+    Country::Tw,
+    Country::Ar,
+    Country::Au,
+    Country::Ir,
+];
+
+/// The top-10 countries of Figure 6 / Table 5 / Figures 8–10, in rank order.
+pub const TOP10_COUNTRIES: [Country; 10] = [
+    Country::Us,
+    Country::In,
+    Country::Br,
+    Country::Gb,
+    Country::Ca,
+    Country::De,
+    Country::Id,
+    Country::Mx,
+    Country::It,
+    Country::Es,
+];
+
+impl Country {
+    /// ISO-3166 alpha-2 code (upper case); `"??"` for [`Country::Other`].
+    pub fn code(self) -> &'static str {
+        match self {
+            Country::Us => "US",
+            Country::In => "IN",
+            Country::Br => "BR",
+            Country::Gb => "GB",
+            Country::Ca => "CA",
+            Country::De => "DE",
+            Country::Id => "ID",
+            Country::Mx => "MX",
+            Country::It => "IT",
+            Country::Es => "ES",
+            Country::Ru => "RU",
+            Country::Fr => "FR",
+            Country::Vn => "VN",
+            Country::Cn => "CN",
+            Country::Th => "TH",
+            Country::Jp => "JP",
+            Country::Tw => "TW",
+            Country::Ar => "AR",
+            Country::Au => "AU",
+            Country::Ir => "IR",
+            Country::Other => "??",
+        }
+    }
+
+    /// English name as the paper prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Country::Us => "United States",
+            Country::In => "India",
+            Country::Br => "Brazil",
+            Country::Gb => "United Kingdom",
+            Country::Ca => "Canada",
+            Country::De => "Germany",
+            Country::Id => "Indonesia",
+            Country::Mx => "Mexico",
+            Country::It => "Italy",
+            Country::Es => "Spain",
+            Country::Ru => "Russia",
+            Country::Fr => "France",
+            Country::Vn => "Vietnam",
+            Country::Cn => "China",
+            Country::Th => "Thailand",
+            Country::Jp => "Japan",
+            Country::Tw => "Taiwan",
+            Country::Ar => "Argentina",
+            Country::Au => "Australia",
+            Country::Ir => "Iran",
+            Country::Other => "Other",
+        }
+    }
+
+    /// Parses an ISO alpha-2 code (case-insensitive). Unknown codes map to
+    /// `None`; callers deciding to bucket them use [`Country::Other`]
+    /// explicitly.
+    pub fn from_code(code: &str) -> Option<Country> {
+        let up = code.to_ascii_uppercase();
+        FOCUS_COUNTRIES
+            .into_iter()
+            .find(|c| c.code() == up)
+            .or(if up == "??" { Some(Country::Other) } else { None })
+    }
+
+    /// Geographic centroid (approximate).
+    pub fn centroid(self) -> LatLon {
+        let (lat, lon) = match self {
+            Country::Us => (39.8, -98.6),
+            Country::In => (22.0, 79.0),
+            Country::Br => (-10.8, -52.9),
+            Country::Gb => (54.0, -2.5),
+            Country::Ca => (56.1, -106.3),
+            Country::De => (51.2, 10.4),
+            Country::Id => (-2.5, 118.0),
+            Country::Mx => (23.6, -102.5),
+            Country::It => (42.8, 12.5),
+            Country::Es => (40.2, -3.7),
+            Country::Ru => (61.5, 105.3),
+            Country::Fr => (46.6, 2.2),
+            Country::Vn => (14.1, 108.3),
+            Country::Cn => (35.9, 104.2),
+            Country::Th => (15.9, 100.9),
+            Country::Jp => (36.2, 138.3),
+            Country::Tw => (23.7, 121.0),
+            Country::Ar => (-38.4, -63.6),
+            Country::Au => (-25.3, 133.8),
+            Country::Ir => (32.4, 53.7),
+            Country::Other => (30.0, 0.0),
+        };
+        LatLon::new(lat, lon)
+    }
+
+    /// Circa-2011 statistics. [`Country::Other`] carries the rest-of-world
+    /// aggregate so totals remain meaningful; it is excluded from Figure 7.
+    pub fn stats(self) -> CountryStats {
+        let (population, internet_users, gdp) = match self {
+            Country::Us => (312_000_000, 245_200_000, 49_800.0),
+            Country::In => (1_210_000_000, 121_000_000, 3_700.0),
+            Country::Br => (196_700_000, 81_800_000, 11_900.0),
+            Country::Gb => (62_700_000, 52_700_000, 36_600.0),
+            Country::Ca => (34_500_000, 28_500_000, 41_100.0),
+            Country::De => (81_800_000, 67_400_000, 38_400.0),
+            Country::Id => (242_300_000, 39_600_000, 4_700.0),
+            Country::Mx => (114_800_000, 42_000_000, 14_800.0),
+            Country::It => (60_800_000, 35_800_000, 30_100.0),
+            Country::Es => (46_200_000, 30_600_000, 30_600.0),
+            Country::Ru => (142_900_000, 61_500_000, 17_000.0),
+            Country::Fr => (65_300_000, 50_300_000, 35_600.0),
+            Country::Vn => (87_800_000, 30_900_000, 3_400.0),
+            Country::Cn => (1_344_000_000, 513_100_000, 8_400.0),
+            Country::Th => (66_700_000, 18_300_000, 9_700.0),
+            Country::Jp => (127_800_000, 101_200_000, 34_300.0),
+            Country::Tw => (23_200_000, 16_100_000, 38_200.0),
+            Country::Ar => (41_000_000, 27_600_000, 17_700.0),
+            Country::Au => (22_300_000, 19_900_000, 40_200.0),
+            Country::Ir => (74_800_000, 36_500_000, 13_100.0),
+            // rest of world, very roughly: 7.0B total minus the above
+            Country::Other => (2_600_000_000, 700_000_000, 10_000.0),
+        };
+        CountryStats { population, internet_users, gdp_per_capita_ppp: gdp }
+    }
+
+    /// Whether the country's dominant first language is English — §4.5 ties
+    /// self-loop fractions to the language barrier ("the countries that
+    /// exhibit self-loop edges greater than 0.50 are those that do not have
+    /// English as their first languages ... Indonesia, India, Brazil,
+    /// Italy", with the US as the noted exception).
+    pub fn english_first_language(self) -> bool {
+        matches!(self, Country::Us | Country::Gb | Country::Ca | Country::Au)
+    }
+
+    /// All 21 variants including `Other`.
+    pub fn all() -> impl Iterator<Item = Country> {
+        FOCUS_COUNTRIES.into_iter().chain(std::iter::once(Country::Other))
+    }
+}
+
+impl std::fmt::Display for Country {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for c in FOCUS_COUNTRIES {
+            assert_eq!(Country::from_code(c.code()), Some(c));
+            assert_eq!(Country::from_code(&c.code().to_lowercase()), Some(c));
+        }
+        assert_eq!(Country::from_code("??"), Some(Country::Other));
+        assert_eq!(Country::from_code("ZZ"), None);
+    }
+
+    #[test]
+    fn top10_is_prefix_of_focus() {
+        assert_eq!(&FOCUS_COUNTRIES[..10], &TOP10_COUNTRIES[..]);
+    }
+
+    #[test]
+    fn stats_internally_consistent() {
+        for c in Country::all() {
+            let s = c.stats();
+            assert!(s.internet_users <= s.population, "{c}: more users than people");
+            assert!(s.population > 0);
+            assert!(s.gdp_per_capita_ppp > 0.0);
+        }
+    }
+
+    #[test]
+    fn internet_penetration_ordering_matches_paper() {
+        // Figure 7(b): "The top five countries of Internet penetration are
+        // United Kingdom, Germany, Canada, Japan, and Australia" among the
+        // focus set; India has the lowest.
+        let ipr = |c: Country| {
+            let s = c.stats();
+            s.internet_users as f64 / s.population as f64
+        };
+        for high in [Country::Gb, Country::De, Country::Ca, Country::Jp, Country::Au] {
+            for low in [Country::In, Country::Id, Country::Vn, Country::Cn] {
+                assert!(ipr(high) > ipr(low), "{high} should exceed {low}");
+            }
+        }
+    }
+
+    #[test]
+    fn gdp_ipr_roughly_monotone() {
+        // Figure 7(b)'s "linear relationship": the four wealthiest focus
+        // countries all out-penetrate the four poorest.
+        let mut by_gdp: Vec<Country> = FOCUS_COUNTRIES.to_vec();
+        by_gdp.sort_by(|a, b| {
+            b.stats()
+                .gdp_per_capita_ppp
+                .partial_cmp(&a.stats().gdp_per_capita_ppp)
+                .unwrap()
+        });
+        let ipr = |c: Country| {
+            let s = c.stats();
+            s.internet_users as f64 / s.population as f64
+        };
+        for &rich in &by_gdp[..4] {
+            for &poor in &by_gdp[16..] {
+                assert!(ipr(rich) > ipr(poor));
+            }
+        }
+    }
+
+    #[test]
+    fn english_flag() {
+        assert!(Country::Us.english_first_language());
+        assert!(Country::Gb.english_first_language());
+        assert!(!Country::Br.english_first_language());
+        assert!(!Country::In.english_first_language()); // first language
+    }
+
+    #[test]
+    fn centroids_in_valid_range() {
+        for c in Country::all() {
+            let p = c.centroid();
+            assert!(p.lat.abs() <= 90.0);
+            assert!(p.lon.abs() <= 180.0);
+        }
+    }
+
+    #[test]
+    fn display_is_code() {
+        assert_eq!(Country::Us.to_string(), "US");
+        assert_eq!(Country::Other.to_string(), "??");
+    }
+
+    #[test]
+    fn all_yields_21() {
+        assert_eq!(Country::all().count(), 21);
+    }
+}

@@ -1,0 +1,124 @@
+//! Great-circle geometry.
+//!
+//! §4.4 computes the "path mile" — the physical distance between pairs of
+//! users — for ~60M linked pairs, ~13M reciprocal pairs and 20M random
+//! pairs. Distances on the sphere are computed with the haversine formula
+//! in statute miles, the unit of Figures 9(a) and 9(b).
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in statute miles.
+pub const EARTH_RADIUS_MILES: f64 = 3_958.8;
+
+/// A point on the Earth in decimal degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatLon {
+    /// Latitude, degrees in `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude, degrees in `[-180, 180]`.
+    pub lon: f64,
+}
+
+impl LatLon {
+    /// Creates a coordinate.
+    ///
+    /// # Panics
+    /// Panics if the latitude is outside `[-90, 90]` or the longitude
+    /// outside `[-180, 180]`, or either is non-finite.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        assert!(lat.is_finite() && (-90.0..=90.0).contains(&lat), "invalid latitude {lat}");
+        assert!(
+            lon.is_finite() && (-180.0..=180.0).contains(&lon),
+            "invalid longitude {lon}"
+        );
+        Self { lat, lon }
+    }
+
+    /// Distance to `other` in statute miles.
+    pub fn distance_miles(self, other: LatLon) -> f64 {
+        haversine_miles(self, other)
+    }
+}
+
+/// Haversine great-circle distance in statute miles.
+pub fn haversine_miles(a: LatLon, b: LatLon) -> f64 {
+    let lat1 = a.lat.to_radians();
+    let lat2 = b.lat.to_radians();
+    let dlat = (b.lat - a.lat).to_radians();
+    let dlon = (b.lon - a.lon).to_radians();
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    // clamp guards the asin domain against floating-point drift on
+    // antipodal points
+    2.0 * EARTH_RADIUS_MILES * h.sqrt().min(1.0).asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nyc() -> LatLon {
+        LatLon::new(40.7128, -74.0060)
+    }
+    fn london() -> LatLon {
+        LatLon::new(51.5074, -0.1278)
+    }
+    fn sydney() -> LatLon {
+        LatLon::new(-33.8688, 151.2093)
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        assert_eq!(haversine_miles(nyc(), nyc()), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert!((haversine_miles(nyc(), london()) - haversine_miles(london(), nyc())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_distances() {
+        // NYC–London ≈ 3,461 mi; NYC–Sydney ≈ 9,934 mi (great-circle)
+        let d1 = haversine_miles(nyc(), london());
+        assert!((d1 - 3461.0).abs() < 40.0, "NYC-London got {d1}");
+        let d2 = haversine_miles(nyc(), sydney());
+        assert!((d2 - 9934.0).abs() < 100.0, "NYC-Sydney got {d2}");
+    }
+
+    #[test]
+    fn triangle_inequality() {
+        let ab = haversine_miles(nyc(), london());
+        let bc = haversine_miles(london(), sydney());
+        let ac = haversine_miles(nyc(), sydney());
+        assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn antipodal_is_half_circumference() {
+        let a = LatLon::new(0.0, 0.0);
+        let b = LatLon::new(0.0, 180.0);
+        let d = haversine_miles(a, b);
+        let half = std::f64::consts::PI * EARTH_RADIUS_MILES;
+        assert!((d - half).abs() < 1.0);
+    }
+
+    #[test]
+    fn poles() {
+        let n = LatLon::new(90.0, 0.0);
+        let s = LatLon::new(-90.0, 77.0); // longitude irrelevant at poles
+        let d = haversine_miles(n, s);
+        assert!((d - std::f64::consts::PI * EARTH_RADIUS_MILES).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid latitude")]
+    fn rejects_bad_latitude() {
+        let _ = LatLon::new(91.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid longitude")]
+    fn rejects_bad_longitude() {
+        let _ = LatLon::new(0.0, 200.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! A compact city gazetteer.
+//!
+//! In the real system, Google geocoded the free-text "places lived" field
+//! ("the Google+ system automatically tries to mark the place on the map",
+//! §3.1). Our substitute is a static gazetteer of major cities per focus
+//! country with approximate coordinates and population weights; the profile
+//! generator samples a home city from it, which is what gives the path-mile
+//! analysis (Figure 9) realistic intra-country distance structure.
+
+use crate::country::Country;
+use crate::distance::LatLon;
+
+/// One gazetteer entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct City {
+    /// City name.
+    pub name: &'static str,
+    /// Coordinates.
+    pub location: LatLon,
+    /// Relative sampling weight (roughly metro population, millions).
+    pub weight: f64,
+}
+
+const fn city(name: &'static str, lat: f64, lon: f64, weight: f64) -> City {
+    City { name, location: LatLon { lat, lon }, weight }
+}
+
+macro_rules! cities {
+    ($($name:literal @ $lat:literal, $lon:literal, $w:literal);* $(;)?) => {{
+        const LIST: &[City] = &[$(city($name, $lat, $lon, $w)),*];
+        LIST
+    }};
+}
+
+/// The cities of a country, each with coordinates and a sampling weight.
+/// Every country has at least three entries so intra-country distances are
+/// non-degenerate.
+pub fn cities_of(country: Country) -> &'static [City] {
+    match country {
+        Country::Us => cities![
+            "New York" @ 40.71, -74.01, 19.0;
+            "Los Angeles" @ 34.05, -118.24, 13.0;
+            "Chicago" @ 41.88, -87.63, 9.5;
+            "Houston" @ 29.76, -95.37, 6.1;
+            "San Francisco" @ 37.77, -122.42, 4.5;
+            "Seattle" @ 47.61, -122.33, 3.5;
+            "Miami" @ 25.76, -80.19, 5.7;
+            "Boston" @ 42.36, -71.06, 4.6;
+        ],
+        Country::In => cities![
+            "Mumbai" @ 19.08, 72.88, 20.7;
+            "Delhi" @ 28.61, 77.21, 21.7;
+            "Bangalore" @ 12.97, 77.59, 8.5;
+            "Hyderabad" @ 17.39, 78.49, 7.7;
+            "Chennai" @ 13.08, 80.27, 8.7;
+            "Kolkata" @ 22.57, 88.36, 14.1;
+        ],
+        Country::Br => cities![
+            "Sao Paulo" @ -23.55, -46.63, 19.9;
+            "Rio de Janeiro" @ -22.91, -43.17, 12.0;
+            "Belo Horizonte" @ -19.92, -43.94, 5.4;
+            "Brasilia" @ -15.79, -47.88, 3.7;
+            "Porto Alegre" @ -30.03, -51.23, 4.0;
+            "Recife" @ -8.05, -34.88, 3.7;
+        ],
+        Country::Gb => cities![
+            "London" @ 51.51, -0.13, 13.6;
+            "Manchester" @ 53.48, -2.24, 2.6;
+            "Birmingham" @ 52.49, -1.89, 2.4;
+            "Glasgow" @ 55.86, -4.25, 1.2;
+            "Leeds" @ 53.80, -1.55, 0.8;
+        ],
+        Country::Ca => cities![
+            "Toronto" @ 43.65, -79.38, 5.9;
+            "Montreal" @ 45.50, -73.57, 3.9;
+            "Vancouver" @ 49.28, -123.12, 2.4;
+            "Calgary" @ 51.05, -114.07, 1.2;
+            "Ottawa" @ 45.42, -75.70, 1.2;
+        ],
+        Country::De => cities![
+            "Berlin" @ 52.52, 13.41, 4.4;
+            "Hamburg" @ 53.55, 9.99, 3.1;
+            "Munich" @ 48.14, 11.58, 2.6;
+            "Cologne" @ 50.94, 6.96, 2.0;
+            "Frankfurt" @ 50.11, 8.68, 2.3;
+        ],
+        Country::Id => cities![
+            "Jakarta" @ -6.21, 106.85, 28.0;
+            "Surabaya" @ -7.25, 112.75, 5.6;
+            "Bandung" @ -6.92, 107.61, 6.9;
+            "Medan" @ 3.59, 98.67, 4.1;
+            "Makassar" @ -5.15, 119.43, 1.4;
+        ],
+        Country::Mx => cities![
+            "Mexico City" @ 19.43, -99.13, 20.4;
+            "Guadalajara" @ 20.66, -103.35, 4.4;
+            "Monterrey" @ 25.69, -100.32, 4.1;
+            "Puebla" @ 19.04, -98.21, 2.7;
+            "Tijuana" @ 32.51, -117.04, 1.8;
+        ],
+        Country::It => cities![
+            "Rome" @ 41.90, 12.50, 4.3;
+            "Milan" @ 45.46, 9.19, 5.2;
+            "Naples" @ 40.85, 14.27, 3.1;
+            "Turin" @ 45.07, 7.69, 1.7;
+            "Palermo" @ 38.12, 13.36, 1.2;
+        ],
+        Country::Es => cities![
+            "Madrid" @ 40.42, -3.70, 6.5;
+            "Barcelona" @ 41.39, 2.17, 5.4;
+            "Valencia" @ 39.47, -0.38, 1.7;
+            "Seville" @ 37.39, -5.99, 1.5;
+            "Bilbao" @ 43.26, -2.93, 1.0;
+        ],
+        Country::Ru => cities![
+            "Moscow" @ 55.76, 37.62, 11.9;
+            "Saint Petersburg" @ 59.93, 30.34, 5.0;
+            "Novosibirsk" @ 55.03, 82.92, 1.5;
+            "Yekaterinburg" @ 56.84, 60.61, 1.4;
+            "Vladivostok" @ 43.12, 131.89, 0.6;
+        ],
+        Country::Fr => cities![
+            "Paris" @ 48.86, 2.35, 12.2;
+            "Lyon" @ 45.76, 4.84, 2.2;
+            "Marseille" @ 43.30, 5.37, 1.7;
+            "Toulouse" @ 43.60, 1.44, 1.3;
+            "Lille" @ 50.63, 3.06, 1.2;
+        ],
+        Country::Vn => cities![
+            "Ho Chi Minh City" @ 10.82, 106.63, 7.4;
+            "Hanoi" @ 21.03, 105.85, 6.6;
+            "Da Nang" @ 16.05, 108.21, 1.0;
+            "Can Tho" @ 10.05, 105.75, 1.2;
+        ],
+        Country::Cn => cities![
+            "Shanghai" @ 31.23, 121.47, 23.0;
+            "Beijing" @ 39.90, 116.41, 19.6;
+            "Guangzhou" @ 23.13, 113.26, 12.7;
+            "Shenzhen" @ 22.54, 114.06, 10.4;
+            "Chengdu" @ 30.57, 104.07, 7.7;
+        ],
+        Country::Th => cities![
+            "Bangkok" @ 13.76, 100.50, 14.6;
+            "Chiang Mai" @ 18.79, 98.98, 1.0;
+            "Khon Kaen" @ 16.43, 102.84, 0.4;
+            "Hat Yai" @ 7.01, 100.47, 0.8;
+        ],
+        Country::Jp => cities![
+            "Tokyo" @ 35.68, 139.69, 37.2;
+            "Osaka" @ 34.69, 135.50, 19.3;
+            "Nagoya" @ 35.18, 136.91, 9.1;
+            "Sapporo" @ 43.06, 141.35, 2.6;
+            "Fukuoka" @ 33.59, 130.40, 5.5;
+        ],
+        Country::Tw => cities![
+            "Taipei" @ 25.03, 121.57, 7.0;
+            "Kaohsiung" @ 22.63, 120.30, 2.8;
+            "Taichung" @ 24.15, 120.67, 2.7;
+            "Tainan" @ 22.99, 120.21, 1.9;
+        ],
+        Country::Ar => cities![
+            "Buenos Aires" @ -34.60, -58.38, 13.6;
+            "Cordoba" @ -31.42, -64.18, 1.5;
+            "Rosario" @ -32.94, -60.65, 1.3;
+            "Mendoza" @ -32.89, -68.84, 1.0;
+        ],
+        Country::Au => cities![
+            "Sydney" @ -33.87, 151.21, 4.6;
+            "Melbourne" @ -37.81, 144.96, 4.1;
+            "Brisbane" @ -27.47, 153.03, 2.1;
+            "Perth" @ -31.95, 115.86, 1.7;
+            "Adelaide" @ -34.93, 138.60, 1.2;
+        ],
+        Country::Ir => cities![
+            "Tehran" @ 35.69, 51.39, 12.2;
+            "Mashhad" @ 36.26, 59.62, 2.8;
+            "Isfahan" @ 32.65, 51.67, 1.8;
+            "Shiraz" @ 29.59, 52.58, 1.5;
+        ],
+        // rest-of-world placeholder cities spanning the remaining regions
+        Country::Other => cities![
+            "Lagos" @ 6.52, 3.38, 13.0;
+            "Cairo" @ 30.04, 31.24, 18.4;
+            "Istanbul" @ 41.01, 28.98, 13.5;
+            "Karachi" @ 24.86, 67.01, 16.6;
+            "Manila" @ 14.60, 120.98, 12.9;
+            "Seoul" @ 37.57, 126.98, 25.6;
+            "Lima" @ -12.05, -77.04, 9.8;
+            "Nairobi" @ -1.29, 36.82, 3.4;
+            "Warsaw" @ 52.23, 21.01, 3.1;
+            "Amsterdam" @ 52.37, 4.90, 2.4;
+        ],
+    }
+}
+
+/// Sum of the sampling weights of a country's cities.
+pub fn total_weight(country: Country) -> f64 {
+    cities_of(country).iter().map(|c| c.weight).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::haversine_miles;
+
+    #[test]
+    fn every_country_has_cities() {
+        for c in Country::all() {
+            let cities = cities_of(c);
+            assert!(cities.len() >= 3, "{c} needs >= 3 cities, has {}", cities.len());
+            assert!(total_weight(c) > 0.0);
+        }
+    }
+
+    #[test]
+    fn coordinates_valid_and_weights_positive() {
+        for c in Country::all() {
+            for city in cities_of(c) {
+                assert!(city.location.lat.abs() <= 90.0, "{}", city.name);
+                assert!(city.location.lon.abs() <= 180.0, "{}", city.name);
+                assert!(city.weight > 0.0, "{}", city.name);
+            }
+        }
+    }
+
+    #[test]
+    fn cities_near_their_country_centroid() {
+        // sanity: every city within 3,500 miles of its country centroid
+        // (Russia/US/Canada are wide; anything beyond this is a typo)
+        for c in Country::all() {
+            if c == Country::Other {
+                continue;
+            }
+            for city in cities_of(c) {
+                let d = haversine_miles(city.location, c.centroid());
+                assert!(d < 3_500.0, "{} is {d} miles from {c} centroid", city.name);
+            }
+        }
+    }
+
+    #[test]
+    fn city_names_unique_within_country() {
+        for c in Country::all() {
+            let mut names: Vec<_> = cities_of(c).iter().map(|x| x.name).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), cities_of(c).len(), "duplicate city in {c}");
+        }
+    }
+
+    #[test]
+    fn intra_country_distances_smaller_than_intercontinental() {
+        // median intra-US city distance must be well below US->India
+        let us = cities_of(Country::Us);
+        let mut intra = Vec::new();
+        for i in 0..us.len() {
+            for j in (i + 1)..us.len() {
+                intra.push(haversine_miles(us[i].location, us[j].location));
+            }
+        }
+        intra.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = intra[intra.len() / 2];
+        let inter = haversine_miles(
+            us[0].location,
+            cities_of(Country::In)[0].location,
+        );
+        assert!(median < inter / 2.0, "median {median} vs inter {inter}");
+    }
+}

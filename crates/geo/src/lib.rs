@@ -1,0 +1,34 @@
+//! Geography substrate for the Google+ IMC'12 reproduction.
+//!
+//! Section 4 of the paper turns the "places lived" profile field into
+//! country-level and distance-level analyses: the top-10 country ranking
+//! (Figure 6), Google+ penetration rate vs. GDP per capita (Figure 7, via
+//! Eq. 2 and internetworldstats.com data), "path miles" between linked
+//! users (Figure 9, haversine over profile coordinates), and the
+//! country-to-country link matrix (Figure 10).
+//!
+//! This crate provides the facts and geometry those analyses need:
+//!
+//! * [`Country`] — the paper's 20 focus countries plus an explicit
+//!   [`Country::Other`] bucket, with circa-2011 population, Internet-user
+//!   counts and GDP per capita (PPP) embedded as static data (these are
+//!   public historical statistics, not crawl data; see DESIGN.md).
+//! * [`LatLon`] / [`haversine_miles`] — great-circle distance in miles, the
+//!   paper's unit for "path miles".
+//! * [`gazetteer`] — a small city database used by the profile generator to
+//!   place users at realistic coordinates inside their country, standing in
+//!   for Google's geocoding of the free-text "places lived" field.
+//! * [`penetration`] — Google+ Penetration Rate (Eq. 2) and Internet
+//!   Penetration Rate calculations.
+
+pub mod country;
+pub mod distance;
+pub mod gazetteer;
+pub mod geocode;
+pub mod penetration;
+
+pub use country::{Country, CountryStats, FOCUS_COUNTRIES, TOP10_COUNTRIES};
+pub use distance::{haversine_miles, LatLon};
+pub use gazetteer::{cities_of, City};
+pub use geocode::{format_place, geocode, Geocoded};
+pub use penetration::{gplus_penetration_rate, internet_penetration_rate};

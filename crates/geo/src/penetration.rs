@@ -1,0 +1,113 @@
+//! Penetration-rate calculations for Figure 7.
+//!
+//! Eq. 2 of the paper:
+//!
+//! ```text
+//! GPR(C) = number of users in our dataset living in C / Internet population of C
+//! ```
+//!
+//! The paper stresses that GPR "is meaningful only for the relative ranking
+//! of different countries" because the dataset is a sample and only ~27% of
+//! users expose a location. The IPR (Internet penetration rate) is the
+//! standard `internet users / population` ratio used for Figure 7(b).
+
+use crate::country::Country;
+
+/// Google+ Penetration Rate per Eq. 2, as a fraction of the country's
+/// Internet population.
+///
+/// `users_living_in_c` is the count of dataset users whose last "places
+/// lived" entry resolves to the country.
+pub fn gplus_penetration_rate(country: Country, users_living_in_c: u64) -> f64 {
+    let internet = country.stats().internet_users;
+    if internet == 0 {
+        0.0
+    } else {
+        users_living_in_c as f64 / internet as f64
+    }
+}
+
+/// Internet Penetration Rate: Internet users / population.
+pub fn internet_penetration_rate(country: Country) -> f64 {
+    let s = country.stats();
+    if s.population == 0 {
+        0.0
+    } else {
+        s.internet_users as f64 / s.population as f64
+    }
+}
+
+/// One row of Figure 7: a country with its GDP per capita and both rates.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PenetrationPoint {
+    /// Country.
+    pub country: Country,
+    /// GDP per capita (PPP), USD — the X axis of both panels.
+    pub gdp_per_capita: f64,
+    /// Google+ penetration (Eq. 2) — the Y axis of panel (a).
+    pub gpr: f64,
+    /// Internet penetration — the Y axis of panel (b).
+    pub ipr: f64,
+}
+
+/// Builds the Figure-7 point set from per-country user counts.
+pub fn penetration_points(user_counts: &[(Country, u64)]) -> Vec<PenetrationPoint> {
+    user_counts
+        .iter()
+        .filter(|(c, _)| *c != Country::Other)
+        .map(|&(c, n)| PenetrationPoint {
+            country: c,
+            gdp_per_capita: c.stats().gdp_per_capita_ppp,
+            gpr: gplus_penetration_rate(c, n),
+            ipr: internet_penetration_rate(c),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_definition() {
+        let internet = Country::Br.stats().internet_users;
+        let gpr = gplus_penetration_rate(Country::Br, internet / 100);
+        assert!((gpr - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gpr_zero_users() {
+        assert_eq!(gplus_penetration_rate(Country::Jp, 0), 0.0);
+    }
+
+    #[test]
+    fn ipr_matches_stats() {
+        let s = Country::Gb.stats();
+        let expected = s.internet_users as f64 / s.population as f64;
+        assert_eq!(internet_penetration_rate(Country::Gb), expected);
+        assert!(expected > 0.8, "UK IPR in 2011 exceeded 80%");
+    }
+
+    #[test]
+    fn india_gpr_can_top_ranking_despite_low_ipr() {
+        // §4.1: "The top country in Google+ adoption now becomes India" —
+        // with the paper's own located-user counts (Table 3), India's GPR
+        // outranks the US despite India's far lower IPR.
+        let us_users = 2_078_000; // ≈ 31.38% of 6.62M located users
+        let in_users = 1_106_000; // ≈ 16.71%
+        let gpr_us = gplus_penetration_rate(Country::Us, us_users);
+        let gpr_in = gplus_penetration_rate(Country::In, in_users);
+        assert!(gpr_in > gpr_us, "IN {gpr_in} should exceed US {gpr_us}");
+        assert!(
+            internet_penetration_rate(Country::In) < internet_penetration_rate(Country::Us)
+        );
+    }
+
+    #[test]
+    fn points_exclude_other() {
+        let pts = penetration_points(&[(Country::Us, 100), (Country::Other, 100)]);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].country, Country::Us);
+        assert!(pts[0].gdp_per_capita > 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Degree assortativity (Pearson degree–degree correlation over edges).
+//!
+//! Social networks are typically assortative (hubs befriend hubs) while
+//! web/technological graphs are disassortative; the OSN characterisation
+//! literature the paper builds on (Mislove et al. \[32\]) reports this
+//! coefficient, and our extension analyses use it to compare the presets.
+//!
+//! For a directed graph the coefficient correlates the *out*-degree of the
+//! source with the *in*-degree of the target across all edges (the common
+//! out–in convention); [`undirected_assortativity`] uses total degrees on
+//! the undirected view.
+
+use crate::csr::CsrGraph;
+
+/// Pearson correlation between source out-degree and target in-degree over
+/// directed edges. `None` when fewer than two edges exist or either side
+/// is degree-constant (the correlation is undefined).
+pub fn directed_assortativity(g: &CsrGraph) -> Option<f64> {
+    pearson_over_edges(g, |u| g.out_degree(u) as f64, |v| g.in_degree(v) as f64)
+}
+
+/// Pearson correlation of total degrees across the undirected view's
+/// edges.
+pub fn undirected_assortativity(g: &CsrGraph) -> Option<f64> {
+    let und = g.undirected_view();
+    // the view is symmetric, each undirected edge counted twice — that is
+    // the standard convention for this estimator
+    let deg = |u| und.out_degree(u) as f64;
+    pearson_over_edges(&und, deg, deg)
+}
+
+fn pearson_over_edges(
+    g: &CsrGraph,
+    fx: impl Fn(u32) -> f64,
+    fy: impl Fn(u32) -> f64,
+) -> Option<f64> {
+    let m = g.edge_count();
+    if m < 2 {
+        return None;
+    }
+    let m_f = m as f64;
+    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for (u, v) in g.edges() {
+        let x = fx(u);
+        let y = fy(v);
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        syy += y * y;
+        sxy += x * y;
+    }
+    let cov = sxy / m_f - (sx / m_f) * (sy / m_f);
+    let var_x = sxx / m_f - (sx / m_f).powi(2);
+    let var_y = syy / m_f - (sy / m_f).powi(2);
+    if var_x <= 1e-15 || var_y <= 1e-15 {
+        return None;
+    }
+    Some(cov / (var_x * var_y).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn star_is_disassortative() {
+        // undirected star: hubs connect only to leaves
+        let g = from_edges(6, (1..6).flat_map(|i| [(0, i), (i, 0)]));
+        let r = undirected_assortativity(&g).expect("defined");
+        assert!(r < -0.99, "star should be maximally disassortative, got {r}");
+    }
+
+    #[test]
+    fn regular_graph_undefined() {
+        // a cycle: every degree equal -> zero variance -> None
+        let g = from_edges(5, (0..5).flat_map(|i| {
+            let j = (i + 1) % 5;
+            [(i, j), (j, i)]
+        }));
+        assert_eq!(undirected_assortativity(&g), None);
+    }
+
+    #[test]
+    fn assortative_construction() {
+        // two cliques of different sizes, no cross edges: high-degree with
+        // high-degree, low with low
+        let mut edges = Vec::new();
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i != j {
+                    edges.push((i, j));
+                }
+            }
+        }
+        edges.push((4, 5));
+        edges.push((5, 4));
+        let g = from_edges(6, edges);
+        let r = undirected_assortativity(&g).expect("defined");
+        assert!(r > 0.99, "disconnected cliques are perfectly assortative, got {r}");
+    }
+
+    #[test]
+    fn too_few_edges_none() {
+        assert_eq!(directed_assortativity(&from_edges(2, [(0, 1)])), None);
+        assert_eq!(directed_assortativity(&from_edges(2, [])), None);
+    }
+
+    #[test]
+    fn directed_variant_uses_out_in() {
+        // broadcast pattern: low-out sources point at one high-in sink and
+        // high-out sources point at low-in sinks -> negative correlation
+        let mut edges = vec![(0u32, 1u32)]; // low-out -> high-in
+        for t in 2..8 {
+            edges.push((9, t)); // high-out -> low-in
+        }
+        edges.push((10, 1)); // another low-out -> high-in
+        let g = from_edges(11, edges);
+        let r = directed_assortativity(&g).expect("defined");
+        assert!(r < 0.0, "broadcast structure should be disassortative, got {r}");
+    }
+
+    #[test]
+    fn bounded_by_one() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10 {
+            let n = 20;
+            let edges: Vec<(u32, u32)> = (0..80)
+                .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+                .collect();
+            let g = from_edges(n as usize, edges);
+            if let Some(r) = directed_assortativity(&g) {
+                assert!((-1.0..=1.0).contains(&r), "r = {r}");
+            }
+        }
+    }
+}

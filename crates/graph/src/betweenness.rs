@@ -1,0 +1,200 @@
+//! Approximate betweenness centrality (sampled Brandes).
+//!
+//! A third popularity notion next to in-degree (Table 1) and PageRank:
+//! how often a user sits on shortest paths — the "bridge" role §3.3.4's
+//! information-dissemination discussion implies. Exact Brandes is
+//! `O(V·E)`; the standard remedy is to accumulate dependencies from a
+//! uniform sample of source nodes and rescale, which preserves the
+//! ranking of the top nodes (Brandes & Pich 2007).
+
+use crate::csr::{CsrGraph, NodeId};
+use gplus_stats::sample_indices;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Betweenness scores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Betweenness {
+    /// Per-node accumulated dependency, rescaled by `n / samples`.
+    pub scores: Vec<f64>,
+    /// Source samples used.
+    pub sources: usize,
+}
+
+impl Betweenness {
+    /// The `k` highest-scoring nodes, descending; ties by node id.
+    pub fn top(&self, k: usize) -> Vec<(NodeId, f64)> {
+        let mut ranked: Vec<(NodeId, f64)> = self
+            .scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as NodeId, s))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+/// Runs Brandes' dependency accumulation from `samples` uniformly chosen
+/// sources over the directed graph. `samples >= node_count` degenerates to
+/// the exact algorithm.
+pub fn betweenness<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    samples: usize,
+    rng: &mut R,
+) -> Betweenness {
+    let n = g.node_count();
+    let mut scores = vec![0.0f64; n];
+    if n == 0 || samples == 0 {
+        return Betweenness { scores, sources: 0 };
+    }
+    let sources = sample_indices(rng, n, samples);
+    let actual = sources.len();
+
+    // per-source scratch, reused
+    let mut sigma = vec![0.0f64; n]; // shortest-path counts
+    let mut dist = vec![-1i32; n];
+    let mut delta = vec![0.0f64; n];
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+
+    for &s in &sources {
+        let s = s as NodeId;
+        sigma.iter_mut().for_each(|x| *x = 0.0);
+        dist.iter_mut().for_each(|x| *x = -1);
+        delta.iter_mut().for_each(|x| *x = 0.0);
+        order.clear();
+        queue.clear();
+
+        sigma[s as usize] = 1.0;
+        dist[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in g.out_neighbors(u) {
+                if dist[v as usize] < 0 {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    queue.push_back(v);
+                }
+                if dist[v as usize] == dist[u as usize] + 1 {
+                    sigma[v as usize] += sigma[u as usize];
+                }
+            }
+        }
+        // dependency accumulation in reverse BFS order
+        for &w in order.iter().rev() {
+            for &v in g.out_neighbors(w) {
+                if dist[v as usize] == dist[w as usize] + 1 && sigma[v as usize] > 0.0 {
+                    let share =
+                        sigma[w as usize] / sigma[v as usize] * (1.0 + delta[v as usize]);
+                    delta[w as usize] += share;
+                }
+            }
+            if w != s {
+                scores[w as usize] += delta[w as usize];
+            }
+        }
+    }
+
+    // rescale so the expectation matches the full-source accumulation
+    let scale = n as f64 / actual.max(1) as f64;
+    scores.iter_mut().for_each(|x| *x *= scale);
+    Betweenness { scores, sources: actual }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn exact(g: &CsrGraph) -> Betweenness {
+        let mut rng = StdRng::seed_from_u64(0);
+        betweenness(g, g.node_count(), &mut rng)
+    }
+
+    #[test]
+    fn path_graph_middle_node_highest() {
+        // 0 <-> 1 <-> 2 <-> 3 <-> 4 (bidirectional path)
+        let g = from_edges(
+            5,
+            (0..4u32).flat_map(|i| [(i, i + 1), (i + 1, i)]),
+        );
+        let b = exact(&g);
+        assert!(b.scores[2] > b.scores[1]);
+        assert!(b.scores[1] > b.scores[0]);
+        assert_eq!(b.top(1)[0].0, 2);
+    }
+
+    #[test]
+    fn path_graph_exact_values() {
+        // directed path 0->1->2->3: betweenness counts interior positions:
+        // node 1 on paths 0->2, 0->3 = 2; node 2 on 0->3, 1->3 = 2
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let b = exact(&g);
+        assert_eq!(b.scores[0], 0.0);
+        assert!((b.scores[1] - 2.0).abs() < 1e-9);
+        assert!((b.scores[2] - 2.0).abs() < 1e-9);
+        assert_eq!(b.scores[3], 0.0);
+    }
+
+    #[test]
+    fn star_centre_carries_everything() {
+        // bidirectional star around 0 with 4 leaves: all leaf-to-leaf paths
+        // (4*3 = 12) pass through the centre
+        let g = from_edges(5, (1..5u32).flat_map(|i| [(0, i), (i, 0)]));
+        let b = exact(&g);
+        assert!((b.scores[0] - 12.0).abs() < 1e-9, "centre {}", b.scores[0]);
+        for leaf in 1..5 {
+            assert_eq!(b.scores[leaf], 0.0);
+        }
+    }
+
+    #[test]
+    fn split_shortest_paths_share_dependency() {
+        // two equal-length routes 0->3: via 1 and via 2; each carries 0.5
+        let g = from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let b = exact(&g);
+        assert!((b.scores[1] - 0.5).abs() < 1e-9);
+        assert!((b.scores[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_preserves_top_node() {
+        // lollipop: clique {0..4} + path 4-5-6-7; node 4/5 bridge
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                if i != j {
+                    edges.push((i, j));
+                }
+            }
+        }
+        for (a, b) in [(4u32, 5u32), (5, 6), (6, 7)] {
+            edges.push((a, b));
+            edges.push((b, a));
+        }
+        let g = from_edges(8, edges);
+        let full = exact(&g);
+        let mut rng = StdRng::seed_from_u64(11);
+        let approx = betweenness(&g, 6, &mut rng);
+        assert_eq!(full.top(1)[0].0, approx.top(1)[0].0, "top node must survive sampling");
+    }
+
+    #[test]
+    fn empty_and_zero_sample_graphs() {
+        let g = from_edges(0, []);
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = betweenness(&g, 10, &mut rng);
+        assert!(b.scores.is_empty());
+        let g2 = from_edges(3, [(0, 1)]);
+        let b2 = betweenness(&g2, 0, &mut rng);
+        assert_eq!(b2.sources, 0);
+        assert!(b2.scores.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,257 @@
+//! Breadth-first search over the CSR graph.
+//!
+//! BFS is the workhorse of the study: the crawler itself is a BFS (§2.2),
+//! and the path-length distribution of Figure 5 is estimated by running BFS
+//! from sampled sources. Distances use `u32::MAX` as the "unreachable"
+//! sentinel to keep the per-node state at 4 bytes — at the paper's 35M-node
+//! scale the distance array alone is 140 MB, so this matters.
+
+use crate::csr::{CsrGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Sentinel distance for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source shortest-path distances (in hops) over the directed graph.
+///
+/// Returns a vector of length `node_count()` where unreachable nodes hold
+/// [`UNREACHABLE`].
+///
+/// # Panics
+/// Panics if `source` is out of range.
+pub fn distances(g: &CsrGraph, source: NodeId) -> Vec<u32> {
+    assert!((source as usize) < g.node_count(), "source out of range");
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.out_neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Compact result of one BFS: how many nodes sit at each distance, the
+/// eccentricity of the source, and how many nodes were reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsLevels {
+    /// `counts[d]` = number of nodes at distance exactly `d` (including the
+    /// source at `d = 0`).
+    pub counts: Vec<u64>,
+    /// Largest finite distance (0 for an isolated source).
+    pub eccentricity: u32,
+    /// Total reachable nodes, including the source.
+    pub reached: u64,
+}
+
+/// Runs BFS from `source` and aggregates per-level counts without
+/// materialising the full distance vector for the caller.
+///
+/// This is the primitive the Figure 5 estimator runs thousands of times;
+/// it reuses a caller-provided scratch buffer so repeated calls do not
+/// reallocate 4·n bytes each time.
+///
+/// `scratch` must have length `node_count()` and is treated as opaque:
+/// pass the same buffer to successive calls. Internally it stores a visit
+/// epoch so it never needs clearing.
+pub fn levels_with_scratch(g: &CsrGraph, source: NodeId, scratch: &mut BfsScratch) -> BfsLevels {
+    assert!((source as usize) < g.node_count(), "source out of range");
+    scratch.ensure(g.node_count());
+    scratch.epoch += 1;
+    let epoch = scratch.epoch;
+
+    let mut counts: Vec<u64> = vec![1]; // the source at distance 0
+    scratch.mark[source as usize] = epoch;
+    scratch.queue.clear();
+    scratch.queue.push_back(source);
+    scratch.next.clear();
+
+    let mut reached: u64 = 1;
+    let mut depth: u32 = 0;
+    // Level-synchronous BFS: `queue` is the current frontier.
+    while !scratch.queue.is_empty() {
+        while let Some(u) = scratch.queue.pop_front() {
+            for &v in g.out_neighbors(u) {
+                if scratch.mark[v as usize] != epoch {
+                    scratch.mark[v as usize] = epoch;
+                    scratch.next.push_back(v);
+                }
+            }
+        }
+        if scratch.next.is_empty() {
+            break;
+        }
+        depth += 1;
+        let level = scratch.next.len() as u64;
+        counts.push(level);
+        reached += level;
+        std::mem::swap(&mut scratch.queue, &mut scratch.next);
+    }
+    BfsLevels { counts, eccentricity: depth, reached }
+}
+
+/// Reusable BFS scratch space (epoch-marked visited array + two frontiers).
+#[derive(Debug, Default)]
+pub struct BfsScratch {
+    mark: Vec<u64>,
+    epoch: u64,
+    queue: VecDeque<NodeId>,
+    next: VecDeque<NodeId>,
+}
+
+impl BfsScratch {
+    /// Creates scratch space sized for a graph of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self { mark: vec![0; n], epoch: 0, queue: VecDeque::new(), next: VecDeque::new() }
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+    }
+}
+
+/// Convenience wrapper allocating fresh scratch.
+pub fn levels(g: &CsrGraph, source: NodeId) -> BfsLevels {
+    let mut scratch = BfsScratch::new(g.node_count());
+    levels_with_scratch(g, source, &mut scratch)
+}
+
+/// The set of nodes reachable from `source` (including it), as a sorted vec.
+pub fn reachable_set(g: &CsrGraph, source: NodeId) -> Vec<NodeId> {
+    let dist = distances(g, source);
+    dist.iter()
+        .enumerate()
+        .filter(|(_, &d)| d != UNREACHABLE)
+        .map(|(i, _)| i as NodeId)
+        .collect()
+}
+
+/// Double-sweep diameter lower bound: BFS from `start`, then BFS again from
+/// the farthest node found. Cheap and usually tight on social graphs; the
+/// exact diameter computed on samples in [`crate::paths`] refines it.
+pub fn double_sweep_lower_bound(g: &CsrGraph, start: NodeId) -> u32 {
+    let mut scratch = BfsScratch::new(g.node_count());
+    let first = levels_with_scratch(g, start, &mut scratch);
+    // find a node at max distance via a fresh distance pass
+    let dist = distances(g, start);
+    let far = dist
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != UNREACHABLE)
+        .max_by_key(|(_, &d)| d)
+        .map(|(i, _)| i as NodeId)
+        .unwrap_or(start);
+    let second = levels_with_scratch(g, far, &mut scratch);
+    first.eccentricity.max(second.eccentricity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    fn path_graph(n: usize) -> CsrGraph {
+        from_edges(n, (0..n as NodeId - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path_graph(5);
+        let d = distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d_end = distances(&g, 4);
+        assert_eq!(d_end[0], UNREACHABLE);
+        assert_eq!(d_end[4], 0);
+    }
+
+    #[test]
+    fn distances_shortest_not_longest() {
+        // two routes 0->3: direct and via 1,2
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
+        assert_eq!(distances(&g, 0)[3], 1);
+    }
+
+    #[test]
+    fn levels_counts_sum_to_reached() {
+        let g = from_edges(6, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let l = levels(&g, 0);
+        assert_eq!(l.counts, vec![1, 2, 1, 1]);
+        assert_eq!(l.reached, 5);
+        assert_eq!(l.eccentricity, 3);
+    }
+
+    #[test]
+    fn levels_isolated_source() {
+        let g = from_edges(3, [(1, 2)]);
+        let l = levels(&g, 0);
+        assert_eq!(l.counts, vec![1]);
+        assert_eq!(l.reached, 1);
+        assert_eq!(l.eccentricity, 0);
+    }
+
+    #[test]
+    fn levels_agree_with_distances() {
+        let g = from_edges(
+            8,
+            [(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 3), (3, 6), (6, 7), (7, 0)],
+        );
+        let d = distances(&g, 0);
+        let l = levels(&g, 0);
+        let mut counts = vec![0u64; (l.eccentricity + 1) as usize];
+        for &x in &d {
+            if x != UNREACHABLE {
+                counts[x as usize] += 1;
+            }
+        }
+        assert_eq!(counts, l.counts);
+    }
+
+    #[test]
+    fn scratch_reuse_across_sources() {
+        let g = path_graph(10);
+        let mut scratch = BfsScratch::new(g.node_count());
+        let a = levels_with_scratch(&g, 0, &mut scratch);
+        let b = levels_with_scratch(&g, 9, &mut scratch);
+        assert_eq!(a.eccentricity, 9);
+        assert_eq!(b.eccentricity, 0);
+        // re-running source 0 after other traversals gives identical result
+        let a2 = levels_with_scratch(&g, 0, &mut scratch);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn reachable_set_directed() {
+        let g = from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(reachable_set(&g, 0), vec![0, 1, 2]);
+        assert_eq!(reachable_set(&g, 3), vec![3, 4]);
+    }
+
+    #[test]
+    fn double_sweep_on_path_exact() {
+        let g = path_graph(7).undirected_view();
+        assert_eq!(double_sweep_lower_bound(&g, 3), 6);
+    }
+
+    #[test]
+    fn undirected_view_shortens_paths() {
+        // directed cycle 0->1->2->3->0: dist(0,3)=3 directed, 1 undirected
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(distances(&g, 0)[3], 3);
+        assert_eq!(distances(&g.undirected_view(), 0)[3], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn distances_rejects_bad_source() {
+        let g = path_graph(3);
+        let _ = distances(&g, 10);
+    }
+}

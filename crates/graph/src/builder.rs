@@ -1,0 +1,176 @@
+//! Mutable edge-list accumulator that freezes into a [`CsrGraph`].
+//!
+//! The crawler discovers edges in arbitrary order, from both the in-circle
+//! and out-circle lists, with duplicates whenever both endpoints expose the
+//! same link (the paper's bidirectional crawl recovers "lost edges" exactly
+//! this way). The builder therefore accepts duplicate edges and deduplicates
+//! at freeze time.
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Accumulates directed edges, then compacts into CSR with [`Self::build`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(NodeId, NodeId)>,
+    max_node: Option<NodeId>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder expecting roughly `edges` edges, avoiding
+    /// reallocation during bulk loads.
+    pub fn with_capacity(edges: usize) -> Self {
+        Self { edges: Vec::with_capacity(edges), max_node: None }
+    }
+
+    /// Adds the directed edge `u -> v` ("u has v in circles"). Duplicates
+    /// and self-loops are accepted; duplicates are removed at build time,
+    /// self-loops are kept in the directed graph (Google+ never produced
+    /// them, but the builder is a general substrate).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        self.edges.push((u, v));
+        let m = u.max(v);
+        self.max_node = Some(self.max_node.map_or(m, |cur| cur.max(m)));
+    }
+
+    /// Ensures the graph contains at least `n` nodes even if some have no
+    /// edges (isolated profiles still exist in the crawl frontier).
+    pub fn ensure_nodes(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let last = (n - 1) as NodeId;
+        self.max_node = Some(self.max_node.map_or(last, |cur| cur.max(last)));
+    }
+
+    /// Number of edges accumulated so far (including duplicates).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freezes into an immutable [`CsrGraph`]. Neighbour lists come out
+    /// sorted and deduplicated; the reverse half is built in the same pass.
+    pub fn build(mut self) -> CsrGraph {
+        let n = self.max_node.map_or(0, |m| m as usize + 1);
+
+        // Sort by (src, dst) and dedup: O(E log E) once, after which both
+        // CSR halves can be laid out with counting passes.
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let mut out_offsets = vec![0usize; n + 1];
+        let mut in_counts = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            out_offsets[u as usize + 1] += 1;
+            in_counts[v as usize] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let out_targets: Vec<NodeId> = self.edges.iter().map(|&(_, v)| v).collect();
+
+        let mut in_offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            in_offsets[i + 1] = in_offsets[i] + in_counts[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_targets = vec![0 as NodeId; self.edges.len()];
+        // edges are sorted by source, so each in-list is filled in ascending
+        // source order and comes out sorted without a second sort.
+        for &(u, v) in &self.edges {
+            let c = &mut cursor[v as usize];
+            in_targets[*c] = u;
+            *c += 1;
+        }
+
+        CsrGraph { out_offsets, out_targets, in_offsets, in_targets }
+    }
+}
+
+/// Convenience: builds a graph directly from an edge list.
+pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    b.ensure_nodes(n);
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_builder_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn duplicates_removed() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.out_neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn ensure_nodes_creates_isolated() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_nodes(5);
+        let g = b.build();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.out_degree(4), 0);
+        assert_eq!(g.in_degree(4), 0);
+    }
+
+    #[test]
+    fn ensure_nodes_zero_noop() {
+        let mut b = GraphBuilder::new();
+        b.ensure_nodes(0);
+        assert_eq!(b.build().node_count(), 0);
+    }
+
+    #[test]
+    fn in_lists_sorted() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(5, 2);
+        b.add_edge(1, 2);
+        b.add_edge(3, 2);
+        let g = b.build();
+        assert_eq!(g.in_neighbors(2), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn from_edges_convenience() {
+        let g = from_edges(4, [(0, 1), (2, 3)]);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn self_loop_kept_in_directed_graph() {
+        let g = from_edges(2, [(0, 0), (0, 1)]);
+        assert_eq!(g.out_neighbors(0), &[0, 1]);
+        assert!(g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn degree_sums_match_edge_count() {
+        let g = from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (5, 0)]);
+        let out_sum: usize = g.nodes().map(|u| g.out_degree(u)).sum();
+        let in_sum: usize = g.nodes().map(|u| g.in_degree(u)).sum();
+        assert_eq!(out_sum, g.edge_count());
+        assert_eq!(in_sum, g.edge_count());
+    }
+}

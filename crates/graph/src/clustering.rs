@@ -1,0 +1,210 @@
+//! Directed clustering coefficient, exact and sampled.
+//!
+//! §3.3.3: "The CC of a node u ... is defined as the probability of any two
+//! of its neighbors (outgoing) being neighbors themselves. ... For a
+//! directed graph, the maximum number of triangles connecting the |OS(u)|
+//! outgoing neighbors of u is |OS(u)|(|OS(u)|−1). Thus, the CC measures the
+//! ratio between actual triangles and their maximal value. During
+//! clustering coefficient analysis we only consider the nodes with
+//! |OS(u)| > 1."
+//!
+//! So for each ordered pair of distinct out-neighbours `(v, w)` of `u`, we
+//! check whether the directed edge `v -> w` exists. The paper computed this
+//! over a random sample of one million nodes; [`sampled_cc`] reproduces that
+//! procedure and [`clustering_coefficient`] gives the exact per-node value.
+
+use crate::csr::{CsrGraph, NodeId};
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Exact directed clustering coefficient of `u` per the paper's definition.
+///
+/// Returns `None` when `|OS(u)| <= 1` (the denominator vanishes). Self-loops
+/// in the out-list are ignored: a user cannot form a triangle with herself.
+pub fn clustering_coefficient(g: &CsrGraph, u: NodeId) -> Option<f64> {
+    let outs: Vec<NodeId> =
+        g.out_neighbors(u).iter().copied().filter(|&v| v != u).collect();
+    let k = outs.len();
+    if k <= 1 {
+        return None;
+    }
+    let mut closed: u64 = 0;
+    for &v in &outs {
+        // count edges v -> w for w in outs \ {v}: intersect out_neighbors(v)
+        // with the out-set of u (both sorted).
+        closed += sorted_intersection_count(g.out_neighbors(v), &outs, v);
+    }
+    Some(closed as f64 / (k * (k - 1)) as f64)
+}
+
+/// Counts members of `targets` (sorted) present in `adj` (sorted),
+/// excluding `skip` (the node itself — no v -> v contributions).
+fn sorted_intersection_count(adj: &[NodeId], targets: &[NodeId], skip: NodeId) -> u64 {
+    let (mut i, mut j, mut count) = (0, 0, 0u64);
+    while i < adj.len() && j < targets.len() {
+        match adj[i].cmp(&targets[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if adj[i] != skip {
+                    count += 1;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Exact CC for every eligible node (`|OS(u)| > 1`), in parallel.
+/// Order is unspecified (the consumer builds a CDF).
+pub fn clustering_all(g: &CsrGraph) -> Vec<f64> {
+    (0..g.node_count() as NodeId)
+        .into_par_iter()
+        .filter_map(|u| clustering_coefficient(g, u))
+        .collect()
+}
+
+/// The paper's procedure: sample `sample_size` nodes uniformly (without
+/// replacement), compute CC for the eligible ones.
+///
+/// Returns the CC values (length <= `sample_size`, since ineligible nodes
+/// are skipped, exactly as the paper "only consider\[s\] the nodes with
+/// |OS(u)| > 1").
+pub fn sampled_cc<R: Rng + ?Sized>(g: &CsrGraph, sample_size: usize, rng: &mut R) -> Vec<f64> {
+    let idx = gplus_stats::sample_indices(rng, g.node_count(), sample_size);
+    idx.into_par_iter()
+        .filter_map(|u| clustering_coefficient(g, u as NodeId))
+        .collect()
+}
+
+/// Mean clustering coefficient over eligible nodes; `None` if no node is
+/// eligible.
+pub fn average_cc(g: &CsrGraph) -> Option<f64> {
+    let all = clustering_all(g);
+    if all.is_empty() {
+        None
+    } else {
+        Some(all.iter().sum::<f64>() / all.len() as f64)
+    }
+}
+
+/// Total number of directed triangles `u -> v`, `u -> w`, `v -> w` summed
+/// over all `u` (each geometric triangle is counted once per "apex" node
+/// and orientation that realises it). Exposed for tests and ablations.
+pub fn directed_triangle_closures(g: &CsrGraph) -> u64 {
+    (0..g.node_count() as NodeId)
+        .into_par_iter()
+        .map(|u| {
+            let outs: Vec<NodeId> =
+                g.out_neighbors(u).iter().copied().filter(|&v| v != u).collect();
+            outs.iter()
+                .map(|&v| sorted_intersection_count(g.out_neighbors(v), &outs, v))
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_triangle_cc_one() {
+        // complete directed triangle: every ordered pair linked
+        let g = from_edges(3, [(0, 1), (0, 2), (1, 0), (1, 2), (2, 0), (2, 1)]);
+        assert_eq!(clustering_coefficient(&g, 0), Some(1.0));
+    }
+
+    #[test]
+    fn one_way_triangle_half() {
+        // u=0 follows 1,2; only 1->2 exists (not 2->1):
+        // closed ordered pairs = 1 of max 2
+        let g = from_edges(3, [(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(clustering_coefficient(&g, 0), Some(0.5));
+    }
+
+    #[test]
+    fn star_center_zero() {
+        let g = from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(clustering_coefficient(&g, 0), Some(0.0));
+    }
+
+    #[test]
+    fn ineligible_nodes_return_none() {
+        let g = from_edges(3, [(0, 1), (1, 2)]);
+        assert!(clustering_coefficient(&g, 0).is_none()); // |OS| = 1
+        assert!(clustering_coefficient(&g, 2).is_none()); // |OS| = 0
+    }
+
+    #[test]
+    fn self_loops_excluded_from_outset() {
+        // 0 -> {0, 1, 2}; self-loop must not inflate k or triangles
+        let g = from_edges(3, [(0, 0), (0, 1), (0, 2), (1, 2), (2, 1)]);
+        assert_eq!(clustering_coefficient(&g, 0), Some(1.0));
+    }
+
+    #[test]
+    fn incoming_edges_irrelevant() {
+        // definition uses outgoing neighbours only
+        let g1 = from_edges(4, [(0, 1), (0, 2), (1, 2)]);
+        let g2 = from_edges(4, [(0, 1), (0, 2), (1, 2), (3, 0), (2, 0)]);
+        assert_eq!(clustering_coefficient(&g1, 0), clustering_coefficient(&g2, 0));
+    }
+
+    #[test]
+    fn clustering_all_skips_ineligible() {
+        let g = from_edges(4, [(0, 1), (0, 2), (1, 2), (3, 0)]);
+        // eligible: node 0 only (|OS|=2); nodes 1,3 have |OS|=1, node 2 none
+        let all = clustering_all(&g);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0], 0.5);
+    }
+
+    #[test]
+    fn sampled_cc_full_sample_equals_exact() {
+        let g = from_edges(
+            6,
+            [(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4), (4, 3), (5, 0), (5, 1), (5, 2)],
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sampled = sampled_cc(&g, g.node_count(), &mut rng);
+        let mut exact = clustering_all(&g);
+        sampled.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        exact.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(sampled, exact);
+    }
+
+    #[test]
+    fn sampled_cc_subsample_subset_of_range() {
+        let g = from_edges(10, (0..9).map(|i| (i, i + 1)));
+        let mut rng = StdRng::seed_from_u64(2);
+        let vals = sampled_cc(&g, 5, &mut rng);
+        // path graph: nobody has |OS|>1, so no eligible nodes
+        assert!(vals.is_empty());
+    }
+
+    #[test]
+    fn average_cc_none_when_no_eligible() {
+        let g = from_edges(2, [(0, 1)]);
+        assert!(average_cc(&g).is_none());
+        let g2 = from_edges(3, [(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(average_cc(&g2), Some(0.5));
+    }
+
+    #[test]
+    fn triangle_closures_count() {
+        // one directed triangle apexed at 0: (0->1,0->2,1->2)
+        let g = from_edges(3, [(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(directed_triangle_closures(&g), 1);
+        // adding 2->1 closes the second ordered pair
+        let g2 = from_edges(3, [(0, 1), (0, 2), (1, 2), (2, 1)]);
+        // apex 0: pairs (1,2) and (2,1) both closed = 2;
+        // apex 1: outs {2} ineligible contributes 0; apex 2: outs {1} -> 0
+        assert_eq!(directed_triangle_closures(&g2), 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! Compressed-sparse-row storage for a directed graph.
+//!
+//! The analysis algorithms are traversal-heavy, so after construction the
+//! graph is frozen into two CSR halves: forward adjacency (out-circles) and
+//! reverse adjacency (in-circles). Neighbour lists are sorted, which gives
+//! `O(log d)` membership tests — the primitive both the reciprocity and the
+//! clustering computations are built on.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense node identifier. `u32` comfortably covers the paper's 35M nodes.
+pub type NodeId = u32;
+
+/// An immutable directed graph in CSR form with forward and reverse
+/// adjacency.
+///
+/// Invariants (upheld by [`crate::GraphBuilder`]):
+/// * neighbour lists are sorted ascending and deduplicated;
+/// * `out_offsets.len() == in_offsets.len() == node_count + 1`;
+/// * the reverse half contains exactly the transposed edges of the forward
+///   half.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    pub(crate) out_offsets: Vec<usize>,
+    pub(crate) out_targets: Vec<NodeId>,
+    pub(crate) in_offsets: Vec<usize>,
+    pub(crate) in_targets: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-neighbours of `u` (the users `u` has added to circles), sorted.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        &self.out_targets[self.out_offsets[u]..self.out_offsets[u + 1]]
+    }
+
+    /// In-neighbours of `u` (the users who added `u`), sorted.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    pub fn in_neighbors(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        &self.in_targets[self.in_offsets[u]..self.in_offsets[u + 1]]
+    }
+
+    /// Out-degree of `u`.
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out_neighbors(u).len()
+    }
+
+    /// In-degree of `u`.
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        self.in_neighbors(u).len()
+    }
+
+    /// Whether the directed edge `u -> v` exists (`O(log d_out(u))`).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all directed edges `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.node_count() as NodeId)
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.node_count() as NodeId
+    }
+
+    /// The transposed graph (every edge reversed). `O(1)`: the two CSR
+    /// halves swap roles.
+    pub fn transpose(&self) -> CsrGraph {
+        CsrGraph {
+            out_offsets: self.in_offsets.clone(),
+            out_targets: self.in_targets.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_targets: self.out_targets.clone(),
+        }
+    }
+
+    /// Builds the undirected view: an edge between `u` and `v` whenever
+    /// either direction exists. Returned as a symmetric `CsrGraph` (each
+    /// undirected edge stored in both directions).
+    pub fn undirected_view(&self) -> CsrGraph {
+        let n = self.node_count();
+        // Merge the sorted out- and in-lists per node, deduplicating.
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut targets: Vec<NodeId> = Vec::with_capacity(self.edge_count());
+        for u in 0..n as NodeId {
+            let outs = self.out_neighbors(u);
+            let ins = self.in_neighbors(u);
+            let (mut i, mut j) = (0, 0);
+            while i < outs.len() || j < ins.len() {
+                let next = match (outs.get(i), ins.get(j)) {
+                    (Some(&a), Some(&b)) if a == b => {
+                        i += 1;
+                        j += 1;
+                        a
+                    }
+                    (Some(&a), Some(&b)) if a < b => {
+                        i += 1;
+                        a
+                    }
+                    (Some(_), Some(&b)) => {
+                        j += 1;
+                        b
+                    }
+                    (Some(&a), None) => {
+                        i += 1;
+                        a
+                    }
+                    (None, Some(&b)) => {
+                        j += 1;
+                        b
+                    }
+                    (None, None) => unreachable!("loop condition guarantees an element"),
+                };
+                // skip self-loops in the undirected view: they do not affect
+                // path lengths or components and would distort degree stats
+                if next != u {
+                    targets.push(next);
+                }
+            }
+            offsets.push(targets.len());
+        }
+        CsrGraph {
+            out_offsets: offsets.clone(),
+            out_targets: targets.clone(),
+            in_offsets: offsets,
+            in_targets: targets,
+        }
+    }
+
+    /// Approximate heap footprint in bytes (offsets + targets of both
+    /// halves); useful for scale planning in the examples.
+    pub fn memory_bytes(&self) -> usize {
+        (self.out_offsets.len() + self.in_offsets.len()) * std::mem::size_of::<usize>()
+            + (self.out_targets.len() + self.in_targets.len()) * std::mem::size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    fn diamond() -> crate::CsrGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 0
+        let mut b = GraphBuilder::new();
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)] {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 5);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_correct() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_neighbors(0), &[3]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+    }
+
+    #[test]
+    fn has_edge_binary_search() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(3, 0));
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn edges_iterator_yields_all() {
+        let g = diamond();
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)]);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.node_count(), g.node_count());
+        assert_eq!(t.edge_count(), g.edge_count());
+        for (u, v) in g.edges() {
+            assert!(t.has_edge(v, u));
+        }
+        assert_eq!(t.out_neighbors(3), g.in_neighbors(3));
+    }
+
+    #[test]
+    fn undirected_view_symmetric_dedup() {
+        // 0<->1 reciprocal pair plus 0->2 one-way
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(0, 2);
+        let u = b.build().undirected_view();
+        assert_eq!(u.out_neighbors(0), &[1, 2]);
+        assert_eq!(u.out_neighbors(1), &[0]);
+        assert_eq!(u.out_neighbors(2), &[0]);
+        // symmetric: forward and reverse halves identical
+        for n in u.nodes() {
+            assert_eq!(u.out_neighbors(n), u.in_neighbors(n));
+        }
+    }
+
+    #[test]
+    fn undirected_view_drops_self_loops() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        let u = b.build().undirected_view();
+        assert_eq!(u.out_neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn memory_bytes_positive() {
+        assert!(diamond().memory_bytes() > 0);
+    }
+}

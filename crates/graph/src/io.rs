@@ -1,0 +1,127 @@
+//! Edge-list I/O.
+//!
+//! The paper released its dataset as edge lists and attribute tables; this
+//! module reads and writes the same TSV shape so the synthetic datasets
+//! our CLI exports can round-trip through external tooling (NetworkX,
+//! SNAP, graph-tool — the ecosystems the paper's data release targeted).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, NodeId};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Errors from parsing an edge list.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that is not `src<TAB>dst` (1-based line number, content).
+    Malformed(usize, String),
+}
+
+impl std::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "io error: {e}"),
+            EdgeListError::Malformed(line, content) => {
+                write!(f, "malformed edge at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+impl From<std::io::Error> for EdgeListError {
+    fn from(e: std::io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Writes `g` as `src<TAB>dst` lines, one directed edge per line.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for (u, v) in g.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()
+}
+
+/// Reads a `src<TAB>dst` edge list. Blank lines and lines starting with
+/// `#` are skipped; node count is inferred from the largest id seen.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph, EdgeListError> {
+    let mut builder = GraphBuilder::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (Some(a), Some(b), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(EdgeListError::Malformed(idx + 1, line));
+        };
+        let (Ok(u), Ok(v)) = (a.parse::<NodeId>(), b.parse::<NodeId>()) else {
+            return Err(EdgeListError::Malformed(idx + 1, line));
+        };
+        builder.add_edge(u, v);
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn round_trip() {
+        let g = from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 3)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let input = "# a comment\n0\t1\n\n1\t2\n# trailing\n";
+        let g = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn whitespace_flexible() {
+        let g = read_edge_list("0 1\n2   3\n".as_bytes()).unwrap();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn malformed_lines_reported_with_position() {
+        let err = read_edge_list("0\t1\nnot an edge\n".as_bytes()).unwrap_err();
+        match err {
+            EdgeListError::Malformed(line, content) => {
+                assert_eq!(line, 2);
+                assert!(content.contains("not an edge"));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        // too many fields is also malformed
+        assert!(read_edge_list("0\t1\t2\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_empty_graph() {
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_deduplicated() {
+        let g = read_edge_list("0\t1\n0\t1\n".as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! k-core decomposition of the undirected view.
+//!
+//! The coreness of a node is the largest `k` such that the node survives
+//! in the subgraph where everyone has degree ≥ k. OSN characterisation
+//! papers (Mislove et al. \[32\], which this paper builds on) use the core
+//! decomposition to describe the densely connected nucleus that hubs form;
+//! we expose it for the ablation/extension analyses.
+//!
+//! Implementation: the Batagelj–Zaveršnik bucket algorithm, O(V + E).
+
+use crate::csr::{CsrGraph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Core decomposition result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreDecomposition {
+    /// Coreness per node.
+    pub coreness: Vec<u32>,
+    /// Maximum coreness (the degeneracy of the graph).
+    pub degeneracy: u32,
+}
+
+impl CoreDecomposition {
+    /// Nodes in the innermost (maximum) core.
+    pub fn innermost_core(&self) -> Vec<NodeId> {
+        self.coreness
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == self.degeneracy)
+            .map(|(i, _)| i as NodeId)
+            .collect()
+    }
+
+    /// Number of nodes with coreness >= k.
+    pub fn core_size(&self, k: u32) -> usize {
+        self.coreness.iter().filter(|&&c| c >= k).count()
+    }
+}
+
+/// Computes the k-core decomposition of the *undirected view* of `g`
+/// (degree = number of distinct neighbours in either direction).
+pub fn core_decomposition(g: &CsrGraph) -> CoreDecomposition {
+    let und = g.undirected_view();
+    let n = und.node_count();
+    if n == 0 {
+        return CoreDecomposition { coreness: Vec::new(), degeneracy: 0 };
+    }
+    let mut degree: Vec<u32> = (0..n as NodeId).map(|u| und.out_degree(u) as u32).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0) as usize;
+
+    // bucket sort nodes by degree
+    let mut bins = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bins[d as usize] += 1;
+    }
+    let mut start = 0usize;
+    for b in bins.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n]; // node -> index in `order`
+    let mut order = vec![0 as NodeId; n]; // nodes sorted by current degree
+    {
+        let mut cursor = bins.clone();
+        for u in 0..n as NodeId {
+            let d = degree[u as usize] as usize;
+            pos[u as usize] = cursor[d];
+            order[cursor[d]] = u;
+            cursor[d] += 1;
+        }
+    }
+
+    // peel in increasing degree order
+    let mut coreness = vec![0u32; n];
+    for i in 0..n {
+        let u = order[i];
+        coreness[u as usize] = degree[u as usize];
+        for &v in und.out_neighbors(u) {
+            if degree[v as usize] > degree[u as usize] {
+                // move v one bucket down: swap with the first element of
+                // its current bucket
+                let dv = degree[v as usize] as usize;
+                let pv = pos[v as usize];
+                let pw = bins[dv];
+                let w = order[pw];
+                if v != w {
+                    order.swap(pv, pw);
+                    pos[v as usize] = pw;
+                    pos[w as usize] = pv;
+                }
+                bins[dv] += 1;
+                degree[v as usize] -= 1;
+            }
+        }
+    }
+
+    let degeneracy = coreness.iter().copied().max().unwrap_or(0);
+    CoreDecomposition { coreness, degeneracy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn clique_is_its_own_core() {
+        // K4 (directed both ways): everyone coreness 3
+        let mut edges = Vec::new();
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i != j {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let g = from_edges(4, edges);
+        let core = core_decomposition(&g);
+        assert_eq!(core.degeneracy, 3);
+        assert_eq!(core.coreness, vec![3, 3, 3, 3]);
+        assert_eq!(core.innermost_core().len(), 4);
+    }
+
+    #[test]
+    fn path_graph_is_one_core() {
+        let g = from_edges(5, (0..4).map(|i| (i, i + 1)));
+        let core = core_decomposition(&g);
+        assert_eq!(core.degeneracy, 1);
+        assert!(core.coreness.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn pendant_on_triangle() {
+        // triangle {0,1,2} (undirected) + pendant 3-0
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 0), (3, 0)]);
+        let core = core_decomposition(&g);
+        assert_eq!(core.coreness[0], 2);
+        assert_eq!(core.coreness[1], 2);
+        assert_eq!(core.coreness[2], 2);
+        assert_eq!(core.coreness[3], 1);
+        assert_eq!(core.innermost_core(), vec![0, 1, 2]);
+        assert_eq!(core.core_size(1), 4);
+        assert_eq!(core.core_size(2), 3);
+    }
+
+    #[test]
+    fn direction_irrelevant() {
+        let a = core_decomposition(&from_edges(3, [(0, 1), (1, 2), (2, 0)]));
+        let b = core_decomposition(&from_edges(3, [(1, 0), (2, 1), (0, 2)]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn isolated_nodes_zero() {
+        let g = from_edges(3, [(0, 1)]);
+        let core = core_decomposition(&g);
+        assert_eq!(core.coreness[2], 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let core = core_decomposition(&from_edges(0, []));
+        assert_eq!(core.degeneracy, 0);
+        assert!(core.coreness.is_empty());
+    }
+
+    #[test]
+    fn coreness_bounded_by_degree() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 40;
+        let edges: Vec<(NodeId, NodeId)> = (0..150)
+            .map(|_| (rng.random_range(0..n) as NodeId, rng.random_range(0..n) as NodeId))
+            .collect();
+        let g = from_edges(n, edges);
+        let und = g.undirected_view();
+        let core = core_decomposition(&g);
+        for u in und.nodes() {
+            assert!(core.coreness[u as usize] <= und.out_degree(u) as u32);
+        }
+    }
+}

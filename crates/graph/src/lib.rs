@@ -1,0 +1,66 @@
+//! Directed social-graph substrate for the Google+ IMC'12 reproduction.
+//!
+//! §3 of the paper defines the object of study: "the social relations among
+//! Google+ users make a directed graph G(V, E)", where an edge `(u, v)`
+//! means `u` added `v` to one of her circles. This crate implements that
+//! graph and every structural algorithm the paper runs on it:
+//!
+//! * [`GraphBuilder`] / [`CsrGraph`] — edge-list accumulation compacted into
+//!   a compressed-sparse-row representation with *both* forward (out-circle)
+//!   and reverse (in-circle) adjacency, mirroring the paper's bidirectional
+//!   crawl.
+//! * [`bfs`] — breadth-first traversal and single-source shortest paths over
+//!   the directed graph or its undirected view (Figure 5 uses both).
+//! * [`scc`] — strongly connected components via Kosaraju's two-DFS
+//!   procedure ("we used a procedure involving two Depth First Searches",
+//!   §3.3.4) and, as a cross-check/ablation, iterative Tarjan.
+//! * [`wcc`] — weakly connected components by union–find.
+//! * [`reciprocity`] — the per-node Relation Reciprocity of Eq. 1 and the
+//!   global reciprocal-edge fraction (32% for Google+, §3.3.2).
+//! * [`clustering`] — the directed clustering coefficient of §3.3.3
+//!   (triangles among *outgoing* neighbours over `|OS(u)|(|OS(u)|-1)`),
+//!   exact or over a node sample as the paper did (1M nodes).
+//! * [`paths`] — sampled shortest-path-length distributions with the
+//!   paper's adaptive `k = 2000 → 10000` schedule, plus diameter estimation.
+//! * [`degree`] — degree sequences and distribution helpers for Figure 3.
+//!
+//! Beyond the paper's own toolkit, the crate ships the standard OSN
+//! characterisation extensions used by the ablation analyses:
+//! [`pagerank`] (ranking robustness vs Table 1's raw in-degree),
+//! [`betweenness`] (sampled Brandes bridge centrality), [`kcore`]
+//! (dense-nucleus structure) and [`assortativity`] (degree–degree
+//! correlation).
+//!
+//! All algorithms are deterministic given a seeded RNG. Node ids are dense
+//! `u32` indices assigned by the builder; callers keep their own mapping to
+//! external identities (the synth crate maps them to user ids).
+//!
+//! ```
+//! use gplus_graph::{GraphBuilder, reciprocity};
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 0); // reciprocated
+//! b.add_edge(0, 2); // not reciprocated
+//! let g = b.build();
+//! let global = reciprocity::global_reciprocity(&g);
+//! assert!((global - 2.0 / 3.0).abs() < 1e-12);
+//! ```
+
+pub mod assortativity;
+pub mod betweenness;
+pub mod bfs;
+pub mod builder;
+pub mod clustering;
+pub mod csr;
+pub mod degree;
+pub mod io;
+pub mod kcore;
+pub mod pagerank;
+pub mod paths;
+pub mod reciprocity;
+pub mod scc;
+pub mod wcc;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, NodeId};

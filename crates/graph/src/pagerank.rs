@@ -1,0 +1,171 @@
+//! PageRank over the directed social graph.
+//!
+//! Table 1 ranks users by raw in-degree; PageRank is the natural
+//! robustness check (is "most circled" the same as "most central"?) and
+//! the basis of the ranking-stability ablation bench. Standard power
+//! iteration with uniform teleportation; dangling mass (the lurkers'
+//! missing out-edges) is redistributed uniformly each sweep.
+
+use crate::csr::{CsrGraph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// PageRank parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PageRankParams {
+    /// Damping factor (teleportation is `1 - damping`).
+    pub damping: f64,
+    /// Convergence threshold on the L1 change per sweep.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for PageRankParams {
+    fn default() -> Self {
+        Self { damping: 0.85, tolerance: 1e-9, max_iterations: 200 }
+    }
+}
+
+/// PageRank result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PageRank {
+    /// Score per node; sums to 1.
+    pub scores: Vec<f64>,
+    /// Sweeps performed.
+    pub iterations: usize,
+    /// Final L1 change (below tolerance unless the cap hit).
+    pub final_delta: f64,
+}
+
+impl PageRank {
+    /// The `k` highest-scoring nodes, descending; ties by node id.
+    pub fn top(&self, k: usize) -> Vec<(NodeId, f64)> {
+        let mut ranked: Vec<(NodeId, f64)> = self
+            .scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as NodeId, s))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+/// Computes PageRank by power iteration.
+///
+/// # Panics
+/// Panics if `damping` is outside `[0, 1)` or the graph is empty.
+pub fn pagerank(g: &CsrGraph, params: &PageRankParams) -> PageRank {
+    assert!((0.0..1.0).contains(&params.damping), "damping must be in [0,1)");
+    let n = g.node_count();
+    assert!(n > 0, "pagerank requires a non-empty graph");
+    let n_f = n as f64;
+
+    let mut rank = vec![1.0 / n_f; n];
+    let mut next = vec![0.0; n];
+    let mut iterations = 0;
+    let mut delta = f64::INFINITY;
+
+    while iterations < params.max_iterations && delta > params.tolerance {
+        // teleport + dangling redistribution
+        let dangling: f64 = (0..n as NodeId)
+            .filter(|&u| g.out_degree(u) == 0)
+            .map(|u| rank[u as usize])
+            .sum();
+        let base = (1.0 - params.damping) / n_f + params.damping * dangling / n_f;
+        next.iter_mut().for_each(|x| *x = base);
+        for u in 0..n as NodeId {
+            let outs = g.out_neighbors(u);
+            if outs.is_empty() {
+                continue;
+            }
+            let share = params.damping * rank[u as usize] / outs.len() as f64;
+            for &v in outs {
+                next[v as usize] += share;
+            }
+        }
+        delta = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut rank, &mut next);
+        iterations += 1;
+    }
+
+    PageRank { scores: rank, iterations, final_delta: delta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn scores_sum_to_one() {
+        let g = from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 0), (4, 0)]);
+        let pr = pagerank(&g, &PageRankParams::default());
+        let sum: f64 = pr.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        assert!(pr.final_delta < 1e-6, "delta {}", pr.final_delta);
+    }
+
+    #[test]
+    fn hub_outranks_periphery() {
+        // star into node 0
+        let g = from_edges(6, (1..6).map(|i| (i, 0)));
+        let pr = pagerank(&g, &PageRankParams::default());
+        let top = pr.top(1);
+        assert_eq!(top[0].0, 0);
+        for i in 1..6 {
+            assert!(pr.scores[0] > pr.scores[i]);
+        }
+    }
+
+    #[test]
+    fn symmetric_cycle_uniform() {
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let pr = pagerank(&g, &PageRankParams::default());
+        for &s in &pr.scores {
+            assert!((s - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dangling_nodes_handled() {
+        // 0 -> 1, 1 dangles; mass must not leak
+        let g = from_edges(2, [(0, 1)]);
+        let pr = pagerank(&g, &PageRankParams::default());
+        let sum: f64 = pr.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(pr.scores[1] > pr.scores[0], "the pointed-at node gains");
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        // star graph: far from the uniform starting vector, so the cap
+        // binds before convergence
+        let g = from_edges(6, (1..6).map(|i| (i, 0)));
+        let pr = pagerank(
+            &g,
+            &PageRankParams { max_iterations: 2, tolerance: 0.0, ..Default::default() },
+        );
+        assert_eq!(pr.iterations, 2);
+        assert!(pr.final_delta > 0.0);
+    }
+
+    #[test]
+    fn top_k_sorted() {
+        let g = from_edges(5, [(1, 0), (2, 0), (3, 0), (3, 4), (2, 4)]);
+        let pr = pagerank(&g, &PageRankParams::default());
+        let top = pr.top(3);
+        assert_eq!(top.len(), 3);
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn rejects_bad_damping() {
+        let g = from_edges(2, [(0, 1)]);
+        let _ = pagerank(&g, &PageRankParams { damping: 1.0, ..Default::default() });
+    }
+}

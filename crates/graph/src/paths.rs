@@ -1,0 +1,312 @@
+//! Shortest-path-length distributions and diameter estimation.
+//!
+//! §3.3.5: computing all-pairs shortest paths on 35M nodes is infeasible, so
+//! the paper "sampled k different users and for each one of them ...
+//! computed the shortest path to all others users", growing `k` from 2000
+//! to 10000 and "stopping in this value once there were no more changes in
+//! the distribution". Figure 5 plots the resulting hop distribution for the
+//! directed graph (mode 6, mean 5.9, diameter 19) and its undirected view
+//! (mode 5, mean 4.7, diameter 13).
+//!
+//! [`sampled_path_lengths`] reproduces the fixed-`k` estimator;
+//! [`adaptive_path_lengths`] reproduces the full adaptive schedule with a
+//! KS-distance stopping rule. The diameter estimate is the maximum
+//! eccentricity observed across sampled sources (a lower bound that is
+//! near-exact for thousands of sources on small-world graphs, and exactly
+//! what sampling-based measurement studies report).
+
+use crate::bfs::{levels_with_scratch, BfsScratch};
+use crate::csr::{CsrGraph, NodeId};
+use gplus_stats::{ks_distance, sample_indices};
+use rand::Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// An estimated distribution of pairwise hop distances.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathLengthDistribution {
+    /// `counts[d]` = number of (source, target) pairs at distance `d >= 1`.
+    /// Index 0 is unused (distance-0 pairs are the sources themselves and
+    /// are excluded, as in the paper's hop histogram starting at 1).
+    pub counts: Vec<u64>,
+    /// Number of BFS sources used.
+    pub sources: usize,
+    /// Largest eccentricity observed (diameter estimate).
+    pub max_distance: u32,
+}
+
+impl PathLengthDistribution {
+    /// Total pairs observed.
+    pub fn total_pairs(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Probability mass at each distance (index = hops).
+    pub fn probabilities(&self) -> Vec<f64> {
+        let total = self.total_pairs().max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / total).collect()
+    }
+
+    /// Mean hop distance over reachable pairs; 0 when nothing observed.
+    pub fn mean(&self) -> f64 {
+        let total = self.total_pairs();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 =
+            self.counts.iter().enumerate().map(|(d, &c)| d as f64 * c as f64).sum();
+        weighted / total as f64
+    }
+
+    /// The most common hop distance (the paper's "mode"); 0 when empty.
+    pub fn mode(&self) -> u32 {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(d, _)| d as u32)
+            .unwrap_or(0)
+    }
+
+    /// Expands the histogram into one `f64` hop value per pair, capped at
+    /// `max_samples` (uniformly thinned), for KS-distance comparisons.
+    fn flatten(&self, max_samples: usize) -> Vec<f64> {
+        let total = self.total_pairs();
+        if total == 0 {
+            return Vec::new();
+        }
+        let stride = (total as usize / max_samples.max(1)).max(1) as u64;
+        let mut out = Vec::new();
+        let mut seen: u64 = 0;
+        for (d, &c) in self.counts.iter().enumerate() {
+            for _ in 0..c {
+                if seen % stride == 0 {
+                    out.push(d as f64);
+                }
+                seen += 1;
+            }
+        }
+        out
+    }
+
+    fn merge(&mut self, other: &PathLengthDistribution) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (d, &c) in other.counts.iter().enumerate() {
+            self.counts[d] += c;
+        }
+        self.sources += other.sources;
+        self.max_distance = self.max_distance.max(other.max_distance);
+    }
+}
+
+/// Estimates the path-length distribution from `k` uniformly sampled
+/// sources (the fixed-`k` variant). BFS runs in parallel across sources.
+pub fn sampled_path_lengths<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    k: usize,
+    rng: &mut R,
+) -> PathLengthDistribution {
+    let sources = sample_indices(rng, g.node_count(), k);
+    path_lengths_from_sources(g, &sources)
+}
+
+/// Estimates the distribution from an explicit source list.
+pub fn path_lengths_from_sources(g: &CsrGraph, sources: &[usize]) -> PathLengthDistribution {
+    let partials: Vec<PathLengthDistribution> = sources
+        .par_iter()
+        .map_init(
+            || BfsScratch::new(g.node_count()),
+            |scratch, &s| {
+                let levels = levels_with_scratch(g, s as NodeId, scratch);
+                // drop distance-0 (the source itself)
+                let mut counts = levels.counts.clone();
+                if !counts.is_empty() {
+                    counts[0] = 0;
+                }
+                PathLengthDistribution {
+                    counts,
+                    sources: 1,
+                    max_distance: levels.eccentricity,
+                }
+            },
+        )
+        .collect();
+    let mut acc =
+        PathLengthDistribution { counts: vec![0], sources: 0, max_distance: 0 };
+    for p in &partials {
+        acc.merge(p);
+    }
+    acc
+}
+
+/// Outcome of the paper's adaptive sampling schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveResult {
+    /// Final estimated distribution.
+    pub distribution: PathLengthDistribution,
+    /// KS distance after each batch beyond the first.
+    pub ks_trajectory: Vec<f64>,
+    /// Whether the KS stopping rule fired before `k_max` was exhausted.
+    pub converged_early: bool,
+}
+
+/// The paper's §3.3.5 schedule: start with `k_start` sources, add batches
+/// of `k_step` until the distribution stops changing (KS distance between
+/// consecutive estimates below `tol`) or `k_max` sources have been used.
+///
+/// # Panics
+/// Panics if `k_start == 0` or `k_step == 0` or `k_max < k_start`.
+pub fn adaptive_path_lengths<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    k_start: usize,
+    k_step: usize,
+    k_max: usize,
+    tol: f64,
+    rng: &mut R,
+) -> AdaptiveResult {
+    assert!(k_start > 0 && k_step > 0, "batch sizes must be positive");
+    assert!(k_max >= k_start, "k_max must be at least k_start");
+    let all_sources = sample_indices(rng, g.node_count(), k_max);
+    let mut used = k_start.min(all_sources.len());
+    let mut acc = path_lengths_from_sources(g, &all_sources[..used]);
+    let mut prev_flat = acc.flatten(20_000);
+    let mut ks_trajectory = Vec::new();
+    let mut converged_early = false;
+
+    while used < all_sources.len() {
+        let next = (used + k_step).min(all_sources.len());
+        let batch = path_lengths_from_sources(g, &all_sources[used..next]);
+        acc.merge(&batch);
+        used = next;
+        let flat = acc.flatten(20_000);
+        if !prev_flat.is_empty() && !flat.is_empty() {
+            let d = ks_distance(&prev_flat, &flat);
+            ks_trajectory.push(d);
+            if d < tol {
+                converged_early = used < all_sources.len();
+                break;
+            }
+        }
+        prev_flat = flat;
+    }
+    AdaptiveResult { distribution: acc, ks_trajectory, converged_early }
+}
+
+/// Exact all-pairs path-length distribution; only for graphs small enough
+/// that `n` BFS passes are acceptable. Used by tests to validate the
+/// sampled estimators.
+pub fn exact_path_lengths(g: &CsrGraph) -> PathLengthDistribution {
+    let sources: Vec<usize> = (0..g.node_count()).collect();
+    path_lengths_from_sources(g, &sources)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cycle(n: usize) -> CsrGraph {
+        from_edges(n, (0..n as NodeId).map(|i| (i, (i + 1) % n as NodeId)))
+    }
+
+    #[test]
+    fn exact_on_directed_cycle() {
+        // from any node of a 5-cycle: one node at each distance 1..=4
+        let d = exact_path_lengths(&cycle(5));
+        assert_eq!(d.counts, vec![0, 5, 5, 5, 5]);
+        assert_eq!(d.total_pairs(), 20);
+        assert_eq!(d.mean(), 2.5);
+        assert_eq!(d.max_distance, 4);
+        assert_eq!(d.sources, 5);
+    }
+
+    #[test]
+    fn mode_is_argmax() {
+        let d = PathLengthDistribution {
+            counts: vec![0, 3, 10, 7],
+            sources: 1,
+            max_distance: 3,
+        };
+        assert_eq!(d.mode(), 2);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let d = exact_path_lengths(&cycle(7));
+        let s: f64 = d.probabilities().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_full_k_matches_exact() {
+        let g = cycle(20);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sampled = sampled_path_lengths(&g, 20, &mut rng);
+        let exact = exact_path_lengths(&g);
+        assert_eq!(sampled.counts, exact.counts);
+    }
+
+    #[test]
+    fn sampled_partial_k_close_to_exact_on_symmetric_graph() {
+        // vertex-transitive graph: every source sees the same level profile,
+        // so any sample gives exact per-source proportions
+        let g = cycle(50);
+        let mut rng = StdRng::seed_from_u64(4);
+        let sampled = sampled_path_lengths(&g, 5, &mut rng);
+        let exact = exact_path_lengths(&g);
+        let ps = sampled.probabilities();
+        let pe = exact.probabilities();
+        for (a, b) in ps.iter().zip(&pe) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn adaptive_converges_on_symmetric_graph() {
+        let g = cycle(40);
+        let mut rng = StdRng::seed_from_u64(5);
+        let res = adaptive_path_lengths(&g, 4, 4, 40, 0.05, &mut rng);
+        assert!(res.converged_early, "cycle distribution is identical per source");
+        assert!(res.distribution.sources < 40);
+        assert!(!res.ks_trajectory.is_empty());
+    }
+
+    #[test]
+    fn adaptive_exhausts_kmax_without_convergence() {
+        // a highly irregular graph with tiny batches and zero tolerance
+        let g = from_edges(8, [(0, 1), (1, 2), (2, 3), (4, 5), (6, 7), (3, 4)]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let res = adaptive_path_lengths(&g, 1, 1, 8, 1e-12, &mut rng);
+        assert_eq!(res.distribution.sources, 8);
+    }
+
+    #[test]
+    fn disconnected_pairs_excluded() {
+        let g = from_edges(4, [(0, 1), (2, 3)]);
+        let d = exact_path_lengths(&g);
+        // reachable pairs: (0,1) and (2,3) only
+        assert_eq!(d.total_pairs(), 2);
+        assert_eq!(d.counts, vec![0, 2]);
+    }
+
+    #[test]
+    fn undirected_view_mean_not_longer() {
+        let g = cycle(9);
+        let d_dir = exact_path_lengths(&g);
+        let d_und = exact_path_lengths(&g.undirected_view());
+        assert!(d_und.mean() <= d_dir.mean());
+        assert!(d_und.max_distance <= d_dir.max_distance);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn adaptive_rejects_zero_batch() {
+        let g = cycle(5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = adaptive_path_lengths(&g, 0, 1, 5, 0.1, &mut rng);
+    }
+}

@@ -1,0 +1,185 @@
+//! Reciprocity metrics.
+//!
+//! §3.3.2 defines the per-node Relation Reciprocity
+//!
+//! ```text
+//! RR(u) = |OS(u) ∩ IS(u)| / |OS(u)|
+//! ```
+//!
+//! where `OS(u)` are the users `u` follows and `IS(u)` the users following
+//! `u`. The paper's Figure 4(a) plots the CDF of `RR` (more than 60% of
+//! users above 0.6) and reports a *global* reciprocity of 32% — the
+//! fraction of directed edges whose reverse edge also exists (22.1% for
+//! Twitter, 100% for Facebook by construction).
+
+use crate::csr::{CsrGraph, NodeId};
+use rayon::prelude::*;
+
+/// Relation Reciprocity of one node, per Eq. 1 of the paper.
+///
+/// Returns `None` when `OS(u)` is empty (the ratio is undefined; the paper
+/// implicitly restricts the CDF to nodes with outgoing edges).
+pub fn relation_reciprocity(g: &CsrGraph, u: NodeId) -> Option<f64> {
+    let outs = g.out_neighbors(u);
+    if outs.is_empty() {
+        return None;
+    }
+    let ins = g.in_neighbors(u);
+    Some(sorted_intersection_size(outs, ins) as f64 / outs.len() as f64)
+}
+
+/// RR for every node with at least one outgoing edge, parallelised.
+/// The result order is unspecified (it feeds a CDF).
+pub fn relation_reciprocity_all(g: &CsrGraph) -> Vec<f64> {
+    (0..g.node_count() as NodeId)
+        .into_par_iter()
+        .filter_map(|u| relation_reciprocity(g, u))
+        .collect()
+}
+
+/// Global reciprocity: the fraction of directed edges `(u, v)` for which
+/// `(v, u)` also exists. Self-loops count as reciprocated (their reverse is
+/// themselves). Returns 0 for an edgeless graph.
+pub fn global_reciprocity(g: &CsrGraph) -> f64 {
+    if g.edge_count() == 0 {
+        return 0.0;
+    }
+    let reciprocated: usize = (0..g.node_count() as NodeId)
+        .into_par_iter()
+        .map(|u| sorted_intersection_size(g.out_neighbors(u), g.in_neighbors(u)))
+        .sum();
+    reciprocated as f64 / g.edge_count() as f64
+}
+
+/// Number of *reciprocal pairs* `{u, v}` with both `u->v` and `v->u`
+/// (`u != v`). Used by the geo analysis (Figure 9's "reciprocal" pair set).
+pub fn reciprocal_pair_count(g: &CsrGraph) -> u64 {
+    let twice: u64 = (0..g.node_count() as NodeId)
+        .into_par_iter()
+        .map(|u| {
+            // count v in OS(u) ∩ IS(u) with v != u; each pair counted twice
+            let outs = g.out_neighbors(u);
+            let ins = g.in_neighbors(u);
+            let mut c = sorted_intersection_size(outs, ins) as u64;
+            if outs.binary_search(&u).is_ok() && ins.binary_search(&u).is_ok() {
+                c -= 1; // exclude self-loop from pair counting
+            }
+            c
+        })
+        .sum();
+    twice / 2
+}
+
+/// Iterates reciprocal pairs `(u, v)` with `u < v`. Sequential; intended
+/// for sampling-style consumers, not hot loops.
+pub fn reciprocal_pairs(g: &CsrGraph) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+    (0..g.node_count() as NodeId).flat_map(move |u| {
+        let ins = g.in_neighbors(u);
+        g.out_neighbors(u)
+            .iter()
+            .copied()
+            .filter(move |&v| v > u && ins.binary_search(&v).is_ok())
+            .map(move |v| (u, v))
+    })
+}
+
+/// Size of the intersection of two ascending-sorted slices, via a linear
+/// merge (the lists are both sorted CSR rows).
+fn sorted_intersection_size(a: &[NodeId], b: &[NodeId]) -> usize {
+    let (mut i, mut j, mut count) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn rr_matches_equation_one() {
+        // u=0 follows {1,2,3}; followed back by {1,3} only
+        let g = from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 0), (3, 0)]);
+        let rr = relation_reciprocity(&g, 0).unwrap();
+        assert!((rr - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rr_undefined_without_outgoing() {
+        let g = from_edges(2, [(0, 1)]);
+        assert!(relation_reciprocity(&g, 1).is_none());
+        assert_eq!(relation_reciprocity(&g, 0), Some(0.0));
+    }
+
+    #[test]
+    fn rr_celebrity_low_ordinary_high() {
+        // celebrity 0: followed by 1..=4, follows only 1 -> RR = 1.0 for
+        // that single out-edge; follows 5 (nobody follows back) -> RR = 0.5
+        let g = from_edges(6, [(1, 0), (2, 0), (3, 0), (4, 0), (0, 1), (0, 5)]);
+        let rr = relation_reciprocity(&g, 0).unwrap();
+        assert!((rr - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rr_all_skips_sinks() {
+        let g = from_edges(3, [(0, 1), (1, 0), (0, 2)]);
+        let all = relation_reciprocity_all(&g);
+        assert_eq!(all.len(), 2); // node 2 has no out-edges
+    }
+
+    #[test]
+    fn global_reciprocity_full_cycle_pair() {
+        let g = from_edges(2, [(0, 1), (1, 0)]);
+        assert_eq!(global_reciprocity(&g), 1.0);
+    }
+
+    #[test]
+    fn global_reciprocity_mixed() {
+        // 2 reciprocated edges out of 3
+        let g = from_edges(3, [(0, 1), (1, 0), (0, 2)]);
+        assert!((global_reciprocity(&g) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_reciprocity_empty_graph_zero() {
+        let g = from_edges(3, []);
+        assert_eq!(global_reciprocity(&g), 0.0);
+    }
+
+    #[test]
+    fn self_loop_counts_as_reciprocated_edge_but_not_pair() {
+        let g = from_edges(1, [(0, 0)]);
+        assert_eq!(global_reciprocity(&g), 1.0);
+        assert_eq!(reciprocal_pair_count(&g), 0);
+    }
+
+    #[test]
+    fn pair_count_matches_enumeration() {
+        let g = from_edges(
+            5,
+            [(0, 1), (1, 0), (2, 3), (3, 2), (0, 2), (4, 0), (0, 4), (1, 2)],
+        );
+        let pairs: Vec<_> = reciprocal_pairs(&g).collect();
+        assert_eq!(pairs.len() as u64, reciprocal_pair_count(&g));
+        assert_eq!(pairs, vec![(0, 1), (0, 4), (2, 3)]);
+    }
+
+    #[test]
+    fn twitter_vs_gplus_style_reciprocity_ordering() {
+        // A "Google+-like" graph with more mutual links should score higher
+        // than a "Twitter-like" broadcast graph.
+        let gplus = from_edges(4, [(0, 1), (1, 0), (2, 3), (3, 2), (0, 2)]);
+        let twitter = from_edges(4, [(1, 0), (2, 0), (3, 0), (0, 1)]);
+        assert!(global_reciprocity(&gplus) > global_reciprocity(&twitter));
+    }
+}

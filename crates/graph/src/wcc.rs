@@ -1,0 +1,202 @@
+//! Weakly connected components via union–find.
+//!
+//! §3.3.4 notes that "the social graph G consists of only one WCC" because
+//! the crawl was a bidirectional snowball — a property the crawler tests
+//! assert. The union–find here carries union-by-size and path halving, so
+//! building the WCC of a 575M-edge graph is effectively linear.
+
+use crate::csr::{CsrGraph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Disjoint-set forest over dense node ids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), size: vec![1; n], components: n }
+    }
+
+    /// Representative of `x`'s set, with path halving.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the set containing `x`.
+    pub fn component_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+}
+
+/// Weakly connected components of a directed graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WccResult {
+    /// Per-node component id, dense in `0..count`.
+    pub component: Vec<u32>,
+    /// Number of weakly connected components.
+    pub count: usize,
+}
+
+impl WccResult {
+    /// Size of every component, indexed by id.
+    pub fn sizes(&self) -> Vec<u64> {
+        let mut sizes = vec![0u64; self.count];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest component.
+    pub fn giant_size(&self) -> u64 {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// Fraction of nodes in the largest component.
+    pub fn giant_fraction(&self) -> f64 {
+        if self.component.is_empty() {
+            0.0
+        } else {
+            self.giant_size() as f64 / self.component.len() as f64
+        }
+    }
+}
+
+/// Computes the weakly connected components of `g`.
+pub fn weakly_connected_components(g: &CsrGraph) -> WccResult {
+    let n = g.node_count();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    // densify representative ids
+    let mut remap = std::collections::HashMap::new();
+    let mut component = vec![0u32; n];
+    for v in 0..n as NodeId {
+        let root = uf.find(v);
+        let next = remap.len() as u32;
+        let id = *remap.entry(root).or_insert(next);
+        component[v as usize] = id;
+    }
+    WccResult { component, count: remap.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        assert_eq!(uf.component_count(), 4);
+        assert_eq!(uf.component_size(0), 2);
+        assert_eq!(uf.component_size(3), 1);
+    }
+
+    #[test]
+    fn union_by_size_keeps_sizes_consistent() {
+        let mut uf = UnionFind::new(8);
+        for i in 0..7 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert_eq!(uf.component_size(3), 8);
+    }
+
+    #[test]
+    fn wcc_ignores_direction() {
+        // 0->1<-2 is weakly one component even though not strongly
+        let g = from_edges(3, [(0, 1), (2, 1)]);
+        let wcc = weakly_connected_components(&g);
+        assert_eq!(wcc.count, 1);
+        assert_eq!(wcc.giant_fraction(), 1.0);
+    }
+
+    #[test]
+    fn wcc_separate_islands() {
+        let g = from_edges(6, [(0, 1), (2, 3)]);
+        let wcc = weakly_connected_components(&g);
+        // {0,1}, {2,3}, {4}, {5}
+        assert_eq!(wcc.count, 4);
+        let mut sizes = wcc.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 2, 2]);
+        assert_eq!(wcc.giant_size(), 2);
+    }
+
+    #[test]
+    fn wcc_empty_graph() {
+        let g = from_edges(0, []);
+        let wcc = weakly_connected_components(&g);
+        assert_eq!(wcc.count, 0);
+        assert_eq!(wcc.giant_fraction(), 0.0);
+    }
+
+    #[test]
+    fn wcc_at_least_as_coarse_as_scc() {
+        use crate::scc::kosaraju;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let n = 2 + rng.random_range(0..50);
+            let m = rng.random_range(0..n * 2);
+            let edges: Vec<(NodeId, NodeId)> = (0..m)
+                .map(|_| (rng.random_range(0..n) as NodeId, rng.random_range(0..n) as NodeId))
+                .collect();
+            let g = from_edges(n, edges);
+            let wcc = weakly_connected_components(&g);
+            let scc = kosaraju(&g);
+            assert!(wcc.count <= scc.count);
+            // strongly connected implies weakly connected
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    if scc.same_component(u, v) {
+                        assert_eq!(wcc.component[u as usize], wcc.component[v as usize]);
+                    }
+                }
+            }
+        }
+    }
+}

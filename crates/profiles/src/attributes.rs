@@ -1,0 +1,201 @@
+//! The seventeen profile attributes of Table 2 and the visibility model.
+
+use serde::{Deserialize, Serialize};
+
+/// A profile field a Google+ user may expose, in Table 2 order
+/// (descending availability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Attribute {
+    /// Display name — "public by default" and mandatory (§3.1).
+    Name = 0,
+    /// Gender (restricted field).
+    Gender = 1,
+    /// Education history.
+    Education = 2,
+    /// The free-text, geocoded "places lived" list.
+    PlacesLived = 3,
+    /// Employment history.
+    Employment = 4,
+    /// Tagline phrase.
+    Phrase = 5,
+    /// Links to profiles on other services.
+    OtherProfiles = 6,
+    /// Occupation / job title.
+    Occupation = 7,
+    /// "Contributor to" links.
+    ContributorTo = 8,
+    /// Free-text introduction.
+    Introduction = 9,
+    /// Other names (nicknames, maiden names).
+    OtherNames = 10,
+    /// Relationship status (restricted field, nine options).
+    Relationship = 11,
+    /// "Bragging rights".
+    BragginRights = 12,
+    /// Recommended links.
+    RecommendedLinks = 13,
+    /// "Looking for" (restricted field).
+    LookingFor = 14,
+    /// Work contact info — phone; sharing it makes a "tel-user" (§3.2).
+    WorkContact = 15,
+    /// Home contact info — phone; sharing it makes a "tel-user" (§3.2).
+    HomeContact = 16,
+}
+
+/// All seventeen attributes in Table 2 order.
+pub const ALL_ATTRIBUTES: [Attribute; 17] = [
+    Attribute::Name,
+    Attribute::Gender,
+    Attribute::Education,
+    Attribute::PlacesLived,
+    Attribute::Employment,
+    Attribute::Phrase,
+    Attribute::OtherProfiles,
+    Attribute::Occupation,
+    Attribute::ContributorTo,
+    Attribute::Introduction,
+    Attribute::OtherNames,
+    Attribute::Relationship,
+    Attribute::BragginRights,
+    Attribute::RecommendedLinks,
+    Attribute::LookingFor,
+    Attribute::WorkContact,
+    Attribute::HomeContact,
+];
+
+impl Attribute {
+    /// Table-2 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Attribute::Name => "Name",
+            Attribute::Gender => "Gender",
+            Attribute::Education => "Education",
+            Attribute::PlacesLived => "Places lived",
+            Attribute::Employment => "Employment",
+            Attribute::Phrase => "Phrase",
+            Attribute::OtherProfiles => "Other profiles",
+            Attribute::Occupation => "Occupation",
+            Attribute::ContributorTo => "Contributor to",
+            Attribute::Introduction => "Introduction",
+            Attribute::OtherNames => "Other names",
+            Attribute::Relationship => "Relationship",
+            Attribute::BragginRights => "Braggin rights",
+            Attribute::RecommendedLinks => "Recommended links",
+            Attribute::LookingFor => "Looking for",
+            Attribute::WorkContact => "Work (contact)",
+            Attribute::HomeContact => "Home (contact)",
+        }
+    }
+
+    /// "Restricted fields" offer a fixed set of options; everything else is
+    /// free text (§3.1: "Only the fields relationship, looking for, and
+    /// gender are restricted fields").
+    pub fn is_restricted(self) -> bool {
+        matches!(self, Attribute::Gender | Attribute::Relationship | Attribute::LookingFor)
+    }
+
+    /// The name is the only field that is always public (§3.1).
+    pub fn always_public(self) -> bool {
+        self == Attribute::Name
+    }
+
+    /// Bit position in a [`crate::Profile`]'s public-field mask.
+    pub fn bit(self) -> u32 {
+        1u32 << (self as u8)
+    }
+
+    /// Inverse of [`Attribute::bit`]'s position; `None` for indices >= 17.
+    pub fn from_index(i: u8) -> Option<Attribute> {
+        ALL_ATTRIBUTES.get(i as usize).copied()
+    }
+}
+
+/// The five visibility levels of §3.1. The crawler sees a field iff it is
+/// [`Visibility::Public`]; the other four levels exist so the service crate
+/// can faithfully withhold them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Visibility {
+    /// "open to anyone in the Internet".
+    Public,
+    /// "open to people that are in circles and people that are in the
+    /// circles of those".
+    ExtendedCircles,
+    /// "open to people in one's circles".
+    YourCircles,
+    /// "only you".
+    OnlyYou,
+    /// "a user can choose exactly which circles may view that field".
+    Custom,
+}
+
+impl Visibility {
+    /// Whether an anonymous crawler (no circle relationship) can read the
+    /// field.
+    pub fn crawlable(self) -> bool {
+        self == Visibility::Public
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_attributes() {
+        assert_eq!(ALL_ATTRIBUTES.len(), 17);
+        // distinct bit positions
+        let mut mask = 0u32;
+        for a in ALL_ATTRIBUTES {
+            assert_eq!(mask & a.bit(), 0, "{a:?} bit collides");
+            mask |= a.bit();
+        }
+        assert_eq!(mask, (1 << 17) - 1);
+    }
+
+    #[test]
+    fn from_index_round_trip() {
+        for (i, a) in ALL_ATTRIBUTES.iter().enumerate() {
+            assert_eq!(Attribute::from_index(i as u8), Some(*a));
+        }
+        assert_eq!(Attribute::from_index(17), None);
+    }
+
+    #[test]
+    fn restricted_fields_match_paper() {
+        let restricted: Vec<_> =
+            ALL_ATTRIBUTES.iter().filter(|a| a.is_restricted()).collect();
+        assert_eq!(
+            restricted,
+            vec![&Attribute::Gender, &Attribute::Relationship, &Attribute::LookingFor]
+        );
+    }
+
+    #[test]
+    fn only_name_always_public() {
+        for a in ALL_ATTRIBUTES {
+            assert_eq!(a.always_public(), a == Attribute::Name);
+        }
+    }
+
+    #[test]
+    fn only_public_is_crawlable() {
+        assert!(Visibility::Public.crawlable());
+        for v in [
+            Visibility::ExtendedCircles,
+            Visibility::YourCircles,
+            Visibility::OnlyYou,
+            Visibility::Custom,
+        ] {
+            assert!(!v.crawlable());
+        }
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<_> = ALL_ATTRIBUTES.iter().map(|a| a.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 17);
+    }
+}

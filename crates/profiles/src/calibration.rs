@@ -1,0 +1,445 @@
+//! Calibration constants transcribed from the paper's tables and figures.
+//!
+//! Every constant here carries the table/figure it came from. The generator
+//! consumes these so that synthetic populations reproduce the paper's
+//! marginal and conditional structure; the analysis crate re-imports the
+//! same constants as the "paper reference" column of its reports.
+
+use crate::types::{Gender, Occupation, RelationshipStatus};
+use gplus_geo::Country;
+
+/// Table 2: fraction of the 27,556,390 crawled users with each attribute
+/// publicly available, in [`crate::ALL_ATTRIBUTES`] order.
+pub const TABLE2_AVAILABILITY: [f64; 17] = [
+    1.0,    // Name (mandatory, public by default)
+    0.9767, // Gender
+    0.2711, // Education
+    0.2675, // Places lived
+    0.2147, // Employment
+    0.1479, // Phrase
+    0.1348, // Other profiles
+    0.1327, // Occupation
+    0.1315, // Contributor to
+    0.0780, // Introduction
+    0.0439, // Other names
+    0.0431, // Relationship
+    0.0390, // Braggin rights
+    0.0363, // Recommended links
+    0.0274, // Looking for
+    0.0022, // Work (contact)
+    0.0021, // Home (contact)
+];
+
+/// Table 3, "Gender" block, all users: (male, female, other).
+pub const GENDER_ALL: [(Gender, f64); 3] = [
+    (Gender::Male, 0.6765),
+    (Gender::Female, 0.3146),
+    (Gender::Other, 0.0089),
+];
+
+/// Table 3, "Gender" block, tel-users.
+pub const GENDER_TEL: [(Gender, f64); 3] = [
+    (Gender::Male, 0.8599),
+    (Gender::Female, 0.1126),
+    (Gender::Other, 0.0275),
+];
+
+/// Table 3, "Relationship" block, all users (fractions of those who expose
+/// the field).
+pub const RELATIONSHIP_ALL: [(RelationshipStatus, f64); 9] = [
+    (RelationshipStatus::Single, 0.4282),
+    (RelationshipStatus::Married, 0.2659),
+    (RelationshipStatus::InARelationship, 0.1980),
+    (RelationshipStatus::ItsComplicated, 0.0316),
+    (RelationshipStatus::Engaged, 0.0439),
+    (RelationshipStatus::InAnOpenRelationship, 0.0126),
+    (RelationshipStatus::Widowed, 0.0050),
+    (RelationshipStatus::InADomesticPartnership, 0.0108),
+    (RelationshipStatus::InACivilUnion, 0.0039),
+];
+
+/// Table 3, "Relationship" block, tel-users.
+pub const RELATIONSHIP_TEL: [(RelationshipStatus, f64); 9] = [
+    (RelationshipStatus::Single, 0.5724),
+    (RelationshipStatus::Married, 0.2103),
+    (RelationshipStatus::InARelationship, 0.1023),
+    (RelationshipStatus::ItsComplicated, 0.0398),
+    (RelationshipStatus::Engaged, 0.0298),
+    (RelationshipStatus::InAnOpenRelationship, 0.0277),
+    (RelationshipStatus::Widowed, 0.0058),
+    (RelationshipStatus::InADomesticPartnership, 0.0077),
+    (RelationshipStatus::InACivilUnion, 0.0041),
+];
+
+/// Overall tel-user rate: "a total of 72,736 users share telephone number
+/// in Google+, which represent 0.26% of the population" (§3.2).
+pub const TEL_USER_RATE: f64 = 0.0026;
+
+/// Figure 6 / Table 3 "Location": fraction of *located* users per country.
+/// The first ten are the paper's top-10 (US…ES); the second ten fill in the
+/// remaining Figure-7 focus countries with weights chosen so the GPR
+/// ranking of Figure 7(a) is reproduced (India top; Taiwan/Thailand in the
+/// top ten; Japan/Russia/China far below their Internet penetration).
+/// The remainder goes to [`Country::Other`].
+pub const LOCATED_COUNTRY_WEIGHTS: [(Country, f64); 21] = [
+    (Country::Us, 0.3138), // Table 3
+    (Country::In, 0.1671), // Table 3
+    (Country::Br, 0.0576), // Table 3
+    (Country::Gb, 0.0335), // Table 3
+    (Country::Ca, 0.0230), // Table 3
+    (Country::De, 0.0223), // Figure 6 (read off)
+    (Country::Id, 0.0208), // Figure 6 (read off)
+    (Country::Mx, 0.0190), // Figure 6 (read off)
+    (Country::It, 0.0172), // Figure 6 (read off)
+    (Country::Es, 0.0160), // Figure 6 (read off)
+    (Country::Vn, 0.0110), // Figure 7 shape
+    (Country::Cn, 0.0100), // Figure 7 shape (big IPR/GPR gap)
+    (Country::Tw, 0.0090), // Figure 7 shape (top-10 GPR)
+    (Country::Fr, 0.0090), // Figure 7 shape
+    (Country::Au, 0.0085), // Figure 7 shape
+    (Country::Th, 0.0080), // Figure 7 shape (top-10 GPR)
+    (Country::Ir, 0.0070), // Figure 7 shape
+    (Country::Ru, 0.0060), // Figure 7 shape (big IPR/GPR gap)
+    (Country::Jp, 0.0060), // Figure 7 shape (big IPR/GPR gap)
+    (Country::Ar, 0.0060), // Figure 7 shape
+    (Country::Other, 0.2292), // remainder
+];
+
+/// Table 3 "Location", tel-users relative propensity: the ratio of a
+/// country's share among tel-users to its share among all located users
+/// (US 8.92/31.38, IN 31.90/16.71, BR 4.72/5.76, GB 2.19/3.35,
+/// CA 1.52/2.30; everything else pooled under "Other" 50.77/40.50).
+pub fn tel_country_multiplier(c: Country) -> f64 {
+    match c {
+        Country::Us => 0.0892 / 0.3138,
+        Country::In => 0.3190 / 0.1671,
+        Country::Br => 0.0472 / 0.0576,
+        Country::Gb => 0.0219 / 0.0335,
+        Country::Ca => 0.0152 / 0.0230,
+        _ => 0.5077 / 0.4050,
+    }
+}
+
+/// Tel-user gender propensity: `P(g | tel) / P(g)` from Table 3.
+pub fn tel_gender_multiplier(g: Gender) -> f64 {
+    match g {
+        Gender::Male => 0.8599 / 0.6765,
+        Gender::Female => 0.1126 / 0.3146,
+        Gender::Other => 0.0275 / 0.0089,
+    }
+}
+
+/// Tel-user relationship propensity: `P(r | tel) / P(r)` from Table 3.
+pub fn tel_relationship_multiplier(r: RelationshipStatus) -> f64 {
+    use RelationshipStatus::*;
+    match r {
+        Single => 0.5724 / 0.4282,
+        Married => 0.2103 / 0.2659,
+        InARelationship => 0.1023 / 0.1980,
+        ItsComplicated => 0.0398 / 0.0316,
+        Engaged => 0.0298 / 0.0439,
+        InAnOpenRelationship => 0.0277 / 0.0126,
+        Widowed => 0.0058 / 0.0050,
+        InADomesticPartnership => 0.0077 / 0.0108,
+        InACivilUnion => 0.0041 / 0.0039,
+    }
+}
+
+/// Figure 8: per-country openness multiplier applied to every optional
+/// field's share probability. Ordered to reproduce the figure's ranking —
+/// "Indonesia and Mexico share more information than ... United States and
+/// United Kingdom. Germany is the most conservative" (§4.3).
+pub fn country_openness(c: Country) -> f64 {
+    match c {
+        Country::Id => 1.30,
+        Country::Mx => 1.22,
+        Country::Us => 1.10,
+        Country::Br => 1.06,
+        Country::Gb => 1.00,
+        Country::Es => 0.97,
+        Country::Ca => 0.94,
+        Country::It => 0.90,
+        Country::In => 0.85,
+        Country::De => 0.68,
+        _ => 1.00,
+    }
+}
+
+/// Table 5: the occupation codes of the ten most-connected users per
+/// top-10 country, verbatim.
+pub fn top_user_occupations(c: Country) -> Option<[Occupation; 10]> {
+    use Occupation::*;
+    Some(match c {
+        Country::Us => [
+            Comedian,
+            Musician,
+            InformationTechnology,
+            Musician,
+            InformationTechnology,
+            Musician,
+            Businessman,
+            InformationTechnology,
+            Model,
+            Actor,
+        ],
+        Country::In => [
+            Musician,
+            Socialite,
+            InformationTechnology,
+            Musician,
+            Model,
+            Model,
+            InformationTechnology,
+            Businessman,
+            InformationTechnology,
+            Musician,
+        ],
+        Country::Br => [
+            Comedian,
+            TelevisionHost,
+            Journalist,
+            Writer,
+            Artist,
+            Blogger,
+            Blogger,
+            Comedian,
+            Musician,
+            Comedian,
+        ],
+        Country::Gb => [
+            Businessman,
+            Musician,
+            InformationTechnology,
+            InformationTechnology,
+            Musician,
+            Musician,
+            InformationTechnology,
+            Model,
+            Socialite,
+            InformationTechnology,
+        ],
+        Country::Ca => [
+            InformationTechnology,
+            InformationTechnology,
+            Musician,
+            Comedian,
+            Businessman,
+            Actor,
+            InformationTechnology,
+            Musician,
+            Comedian,
+            Actor,
+        ],
+        Country::De => [
+            Blogger,
+            InformationTechnology,
+            InformationTechnology,
+            Journalist,
+            Blogger,
+            InformationTechnology,
+            Journalist,
+            Economist,
+            Musician,
+            Blogger,
+        ],
+        Country::Id => [
+            Musician,
+            InformationTechnology,
+            Socialite,
+            Model,
+            Model,
+            InformationTechnology,
+            Musician,
+            Economist,
+            Photographer,
+            Journalist,
+        ],
+        Country::Mx => [
+            Musician,
+            Musician,
+            Musician,
+            InformationTechnology,
+            Musician,
+            Blogger,
+            Blogger,
+            Musician,
+            Actor,
+            Journalist,
+        ],
+        Country::It => [
+            Journalist,
+            Journalist,
+            InformationTechnology,
+            InformationTechnology,
+            Journalist,
+            InformationTechnology,
+            Journalist,
+            Musician,
+            Musician,
+            InformationTechnology,
+        ],
+        Country::Es => [
+            Journalist,
+            Politician,
+            Politician,
+            InformationTechnology,
+            Musician,
+            Musician,
+            InformationTechnology,
+            Musician,
+            Politician,
+            InformationTechnology,
+        ],
+        _ => return None,
+    })
+}
+
+/// Table 1: the global top-20 users by in-degree, with name and category.
+/// "7 out of the 20 users are IT related" (§3.1).
+pub const TABLE1_TOP_USERS: [(&str, &str, bool); 20] = [
+    // (name, about, is_IT_related)
+    ("Larry Page", "IT (Google)", true),
+    ("Mark Zuckerberg", "IT (Facebook)", true),
+    ("Britney Spears", "Musician", false),
+    ("Snoop Dogg", "Musician", false),
+    ("Sergey Brin", "IT (Google)", true),
+    ("Tyra Banks", "Model", false),
+    ("Vic Gundotra", "IT (Google)", true),
+    ("Paris Hilton", "Socialite", false),
+    ("Richard Branson", "Businessman (Virgin Group)", false),
+    ("Dane Cook", "Comedian", false),
+    ("Jessi June", "Model", false),
+    ("Trey Ratcliff", "Blogger", false),
+    ("will.i.am", "Musician", false),
+    ("Felicia Day", "Actor", false),
+    ("Thomas Hawk", "Blogger", false),
+    ("Tom Anderson", "IT (Myspace)", true),
+    ("Pete Cashmore", "IT (Mashable)", true),
+    ("Guy Kawasaki", "IT (Apple) & Writer", true),
+    ("Wil Wheaton", "Actor & Writer", false),
+    ("Ron Garan", "Astronaut (NASA)", false),
+];
+
+/// §3.1: fraction of users whose location could be identified —
+/// "we were able to identify the country of 6,621,644 users" out of
+/// 27,556,390 crawled minus those without public places lived. We model it
+/// as: places-lived shared (Table 2, 26.75%) and the last entry resolving
+/// to a country (6.62M / 7.37M ≈ 89.8% resolution success).
+pub const GEOCODING_SUCCESS_RATE: f64 = 0.898;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_attribute_order_and_monotone_after_name() {
+        assert_eq!(TABLE2_AVAILABILITY.len(), 17);
+        assert_eq!(TABLE2_AVAILABILITY[0], 1.0);
+        // Table 2 lists rows in descending availability
+        for w in TABLE2_AVAILABILITY.windows(2) {
+            assert!(w[0] >= w[1], "availability must be non-increasing");
+        }
+    }
+
+    #[test]
+    fn distributions_sum_to_one() {
+        let close = |s: f64| (s - 1.0).abs() < 0.01;
+        assert!(close(GENDER_ALL.iter().map(|x| x.1).sum()));
+        assert!(close(GENDER_TEL.iter().map(|x| x.1).sum()));
+        assert!(close(RELATIONSHIP_ALL.iter().map(|x| x.1).sum()));
+        assert!(close(RELATIONSHIP_TEL.iter().map(|x| x.1).sum()));
+        assert!(close(LOCATED_COUNTRY_WEIGHTS.iter().map(|x| x.1).sum()));
+    }
+
+    #[test]
+    fn india_tel_multiplier_highest_of_named() {
+        let named = [Country::Us, Country::In, Country::Br, Country::Gb, Country::Ca];
+        for c in named {
+            if c != Country::In {
+                assert!(tel_country_multiplier(Country::In) > tel_country_multiplier(c));
+            }
+        }
+        assert!(tel_country_multiplier(Country::Us) < 0.5);
+    }
+
+    #[test]
+    fn male_more_tel_prone_than_female() {
+        assert!(tel_gender_multiplier(Gender::Male) > 1.0);
+        assert!(tel_gender_multiplier(Gender::Female) < 0.5);
+    }
+
+    #[test]
+    fn single_more_tel_prone_than_in_relationship() {
+        assert!(
+            tel_relationship_multiplier(RelationshipStatus::Single)
+                > tel_relationship_multiplier(RelationshipStatus::InARelationship)
+        );
+        // §3.2: "only half of the users 'in a relationship' shared"
+        assert!(tel_relationship_multiplier(RelationshipStatus::InARelationship) < 0.6);
+    }
+
+    #[test]
+    fn openness_ranking_matches_figure8() {
+        // ID and MX above US and GB; DE strictly the most conservative
+        assert!(country_openness(Country::Id) > country_openness(Country::Us));
+        assert!(country_openness(Country::Mx) > country_openness(Country::Gb));
+        for c in gplus_geo::TOP10_COUNTRIES {
+            if c != Country::De {
+                assert!(country_openness(Country::De) < country_openness(c));
+            }
+        }
+    }
+
+    #[test]
+    fn table5_verbatim_set_jaccard_matches_paper() {
+        // The paper's Jaccard column (US=1.00, CA=0.83, IN=GB=0.57,
+        // BR=0.18, DE=0.22, ID=0.30, IT=0.29, ES=0.25) is the *set*
+        // Jaccard of the occupation-code lists; verify our transcription.
+        let us = top_user_occupations(Country::Us).unwrap();
+        let set = |l: &[Occupation; 10]| {
+            let mut v: Vec<_> = l.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let jac = |a: &[Occupation], b: &[Occupation]| {
+            let inter = a.iter().filter(|x| b.contains(x)).count();
+            let union = a.len() + b.iter().filter(|x| !a.contains(x)).count();
+            inter as f64 / union as f64
+        };
+        let us_set = set(&us);
+        let expect = [
+            (Country::Us, 1.00),
+            (Country::In, 0.57),
+            (Country::Br, 0.18),
+            (Country::Gb, 0.57),
+            (Country::Ca, 0.83),
+            (Country::De, 0.22),
+            (Country::Id, 0.30),
+            (Country::It, 0.29),
+            (Country::Es, 0.25),
+        ];
+        for (c, j) in expect {
+            let other = set(&top_user_occupations(c).unwrap());
+            let got = jac(&us_set, &other);
+            assert!((got - j).abs() < 0.015, "{c}: got {got}, paper {j}");
+        }
+    }
+
+    #[test]
+    fn table1_seven_it_users() {
+        let it = TABLE1_TOP_USERS.iter().filter(|(_, _, it)| *it).count();
+        assert_eq!(it, 7, "paper: 7 of top 20 are IT related");
+        assert_eq!(TABLE1_TOP_USERS.len(), 20);
+        assert_eq!(TABLE1_TOP_USERS[0].0, "Larry Page");
+    }
+
+    #[test]
+    fn top_user_occupations_only_for_top10() {
+        assert!(top_user_occupations(Country::Jp).is_none());
+        assert!(top_user_occupations(Country::Other).is_none());
+        for c in gplus_geo::TOP10_COUNTRIES {
+            assert!(top_user_occupations(c).is_some());
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The calibrated generative profile model.
+//!
+//! Substitutes for the real 2011 Google+ population (the dataset is gone).
+//! Each profile is drawn so that the population reproduces the paper's
+//! published structure:
+//!
+//! * country marginals from Figure 6 / Table 3
+//!   ([`calibration::LOCATED_COUNTRY_WEIGHTS`]);
+//! * per-attribute public-share marginals from Table 2, preserved *exactly*
+//!   (up to the per-country openness multiplier) by a Gaussian copula: each
+//!   user has an openness latent `z ~ N(0,1)` and shares field `f` iff
+//!   `ρ·z + √(1-ρ²)·ε_f > Φ⁻¹(1 - p_f)` — the marginal stays `p_f` while
+//!   sharing decisions correlate within a user;
+//! * tel-user probability proportional to `exp(β·z - β²/2)` (mean 1), so
+//!   phone-sharers are drawn from the open end of the population — this is
+//!   what produces Figure 2's stochastic dominance of tel-users;
+//! * tel-user conditionals from Table 3 (country, gender, relationship
+//!   multipliers);
+//! * per-country openness multipliers ordered as in Figure 8.
+
+use crate::attributes::{Attribute, ALL_ATTRIBUTES};
+use crate::calibration;
+use crate::profile::Profile;
+use crate::types::{LookingFor, Occupation};
+use gplus_geo::{cities_of, Country};
+use gplus_stats::phi_inv;
+use rand::distr::weighted::WeightedIndex;
+use rand::prelude::*;
+use rand_distr::StandardNormal;
+
+/// Tunable knobs of the generative model. [`GeneratorConfig::default`] is
+/// the paper calibration; tests and ablations perturb single knobs.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Target overall tel-user rate (paper: 0.26%).
+    pub tel_rate: f64,
+    /// Copula correlation `ρ ∈ [0, 1)` between a user's openness latent and
+    /// each field-share decision. 0 makes fields independent; higher values
+    /// concentrate sharing in open users (Figure 2's separation).
+    pub field_correlation: f64,
+    /// Exponential tilt `β` of the tel-user probability in the openness
+    /// latent: `P(tel | z) ∝ exp(β z)`. 0 decouples phone sharing from
+    /// openness.
+    pub tel_openness_beta: f64,
+    /// Country weights for the located population.
+    pub country_weights: Vec<(Country, f64)>,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            tel_rate: calibration::TEL_USER_RATE,
+            field_correlation: 0.60,
+            tel_openness_beta: 1.5,
+            country_weights: calibration::LOCATED_COUNTRY_WEIGHTS.to_vec(),
+        }
+    }
+}
+
+/// Samples [`Profile`]s from the calibrated model.
+pub struct ProfileGenerator {
+    config: GeneratorConfig,
+    countries: Vec<Country>,
+    country_dist: WeightedIndex<f64>,
+    gender_dist: WeightedIndex<f64>,
+    relationship_dist: WeightedIndex<f64>,
+    /// Precomputed `Φ⁻¹(1 - clamp(base_f * openness_c))` per (country slot,
+    /// attribute) would cost 21×17 entries; instead cache per-attribute
+    /// thresholds for multiplier 1.0 and adjust per country at sample time.
+    rho: f64,
+    rho_comp: f64,
+}
+
+impl ProfileGenerator {
+    /// Creates a generator from a configuration.
+    ///
+    /// # Panics
+    /// Panics if the country weight vector is empty or non-positive, or if
+    /// `field_correlation` is outside `[0, 1)`.
+    pub fn new(config: GeneratorConfig) -> Self {
+        assert!(
+            (0.0..1.0).contains(&config.field_correlation),
+            "field_correlation must be in [0,1)"
+        );
+        let countries: Vec<Country> = config.country_weights.iter().map(|c| c.0).collect();
+        let country_dist = WeightedIndex::new(config.country_weights.iter().map(|c| c.1))
+            .expect("country weights must be positive");
+        let gender_dist = WeightedIndex::new(calibration::GENDER_ALL.iter().map(|g| g.1))
+            .expect("gender weights");
+        let relationship_dist =
+            WeightedIndex::new(calibration::RELATIONSHIP_ALL.iter().map(|r| r.1))
+                .expect("relationship weights");
+        let rho = config.field_correlation;
+        let rho_comp = (1.0 - rho * rho).sqrt();
+        Self { config, countries, country_dist, gender_dist, relationship_dist, rho, rho_comp }
+    }
+
+    /// Paper-calibrated generator.
+    pub fn paper_calibrated() -> Self {
+        Self::new(GeneratorConfig::default())
+    }
+
+    /// Access the active configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Samples the country of residence.
+    pub fn sample_country<R: Rng + ?Sized>(&self, rng: &mut R) -> Country {
+        self.countries[self.country_dist.sample(rng)]
+    }
+
+    /// Samples a home-city index within `country`, weighted by city size.
+    pub fn sample_city<R: Rng + ?Sized>(&self, country: Country, rng: &mut R) -> u8 {
+        let cities = cities_of(country);
+        let dist = WeightedIndex::new(cities.iter().map(|c| c.weight))
+            .expect("gazetteer weights are positive");
+        dist.sample(rng) as u8
+    }
+
+    /// Generates one ordinary user.
+    pub fn generate<R: Rng + ?Sized>(&self, user_id: u64, rng: &mut R) -> Profile {
+        let country = self.sample_country(rng);
+        self.generate_in_country(user_id, country, rng)
+    }
+
+    /// Generates one ordinary user pinned to a country (the synth crate
+    /// assigns countries itself when it needs geographic structure first).
+    pub fn generate_in_country<R: Rng + ?Sized>(
+        &self,
+        user_id: u64,
+        country: Country,
+        rng: &mut R,
+    ) -> Profile {
+        let city_index = self.sample_city(country, rng);
+        let gender = calibration::GENDER_ALL[self.gender_dist.sample(rng)].0;
+        let relationship =
+            calibration::RELATIONSHIP_ALL[self.relationship_dist.sample(rng)].0;
+        let occupation = self.sample_occupation(country, rng);
+        // "looking for" skews social: friends and networking dominate
+        let looking_for = match rng.random_range(0..10u8) {
+            0..=3 => LookingFor::Friends,
+            4..=6 => LookingFor::Networking,
+            7..=8 => LookingFor::Dating,
+            _ => LookingFor::ARelationship,
+        };
+        // the user's openness latent: high z = open profile
+        let z: f64 = rng.sample(StandardNormal);
+        let c_open = calibration::country_openness(country);
+
+        let mut mask = Attribute::Name.bit();
+        for attr in ALL_ATTRIBUTES {
+            if attr == Attribute::Name
+                || attr == Attribute::WorkContact
+                || attr == Attribute::HomeContact
+            {
+                continue;
+            }
+            let base = calibration::TABLE2_AVAILABILITY[attr as u8 as usize];
+            // "places lived" is the geo-conditioning field: scaling it by
+            // country openness would distort the Figure 6 country marginals,
+            // so the openness multiplier applies to every *other* field
+            let mult = if attr == Attribute::PlacesLived { 1.0 } else { c_open };
+            let p = (base * mult).clamp(1e-9, 1.0 - 1e-9);
+            // Gaussian copula: share iff ρz + √(1-ρ²)ε exceeds the
+            // (1-p)-quantile; the marginal over users is exactly p.
+            let eps: f64 = rng.sample(StandardNormal);
+            if self.rho * z + self.rho_comp * eps > phi_inv(1.0 - p) {
+                mask |= attr.bit();
+            }
+        }
+
+        // Phone sharing: exponentially tilted in the same openness latent
+        // (mean of the tilt is 1), times the Table-3 conditional
+        // multipliers. The work/home split follows Table 2 (0.22%/0.21%).
+        let beta = self.config.tel_openness_beta;
+        let tilt = (beta * z - beta * beta / 2.0).exp();
+        let tel_mult = calibration::tel_country_multiplier(country)
+            * calibration::tel_gender_multiplier(gender)
+            * calibration::tel_relationship_multiplier(relationship)
+            * tilt;
+        let p_work = (0.0022 / 0.0026 * self.config.tel_rate * tel_mult).clamp(0.0, 1.0);
+        let p_home = (0.0021 / 0.0026 * self.config.tel_rate * tel_mult).clamp(0.0, 1.0);
+        if rng.random_bool(p_work) {
+            mask |= Attribute::WorkContact.bit();
+        }
+        if rng.random_bool(p_home) {
+            mask |= Attribute::HomeContact.bit();
+        }
+
+        let mut profile = Profile {
+            user_id,
+            public_mask: mask,
+            gender,
+            relationship,
+            country,
+            city_index,
+            occupation,
+            looking_for,
+            geocodable: false,
+            celebrity_name: None,
+        };
+        // geocodability is emergent: the §3.1 resolver either pins the
+        // user's free-text place on the map or it does not. One of the
+        // eight text styles is unresolvable junk, so ~88% of shared places
+        // geocode — the paper located 6.62M of 7.37M sharers (89.8%).
+        profile.geocodable = gplus_geo::geocode(&profile.places_lived_text()).is_some();
+        profile
+    }
+
+    /// Generates a celebrity archetype: a named, highly open profile with a
+    /// fixed occupation, used to seed Table 1 and Table 5 top users.
+    pub fn generate_celebrity<R: Rng + ?Sized>(
+        &self,
+        user_id: u64,
+        name: &str,
+        occupation: Occupation,
+        country: Country,
+        rng: &mut R,
+    ) -> Profile {
+        let mut p = self.generate_in_country(user_id, country, rng);
+        p.celebrity_name = Some(name.to_string());
+        p.occupation = occupation;
+        // Celebrities run public-facing profiles: name, gender, occupation,
+        // employment, introduction, places lived all visible.
+        p.public_mask |= Attribute::Gender.bit()
+            | Attribute::Occupation.bit()
+            | Attribute::Employment.bit()
+            | Attribute::Introduction.bit()
+            | Attribute::PlacesLived.bit()
+            | Attribute::OtherProfiles.bit();
+        p.geocodable = true;
+        p
+    }
+
+    fn sample_occupation<R: Rng + ?Sized>(&self, country: Country, rng: &mut R) -> Occupation {
+        // Ordinary users: blend the country's celebrity occupation mix
+        // (which encodes what each national audience gravitates to) with a
+        // uniform background so every code appears.
+        if let Some(mix) = calibration::top_user_occupations(country) {
+            if rng.random_bool(0.5) {
+                return mix[rng.random_range(0..mix.len())];
+            }
+        }
+        Occupation::ALL[rng.random_range(0..Occupation::ALL.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Gender, RelationshipStatus};
+    use rand::rngs::StdRng;
+
+    fn population(n: usize, seed: u64) -> Vec<Profile> {
+        let generator = ProfileGenerator::paper_calibrated();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n as u64).map(|id| generator.generate(id, &mut rng)).collect()
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(population(100, 7), population(100, 7));
+        assert_ne!(population(100, 7), population(100, 8));
+    }
+
+    #[test]
+    fn name_always_shared() {
+        for p in population(500, 1) {
+            assert!(p.shares(Attribute::Name));
+            assert!(p.fields_shared() >= 1);
+        }
+    }
+
+    #[test]
+    fn table2_marginals_approximately_reproduced() {
+        let pop = population(60_000, 2);
+        let n = pop.len() as f64;
+        for attr in [
+            Attribute::Gender,
+            Attribute::Education,
+            Attribute::PlacesLived,
+            Attribute::Employment,
+            Attribute::Relationship,
+        ] {
+            let base = calibration::TABLE2_AVAILABILITY[attr as u8 as usize];
+            let got = pop.iter().filter(|p| p.shares(attr)).count() as f64 / n;
+            // per-country multipliers and saturation shift rates slightly
+            assert!(
+                (got - base).abs() < base * 0.15 + 0.01,
+                "{attr:?}: got {got}, table {base}"
+            );
+        }
+        // rare fields stay rare but present
+        let tel = pop.iter().filter(|p| p.is_tel_user()).count() as f64 / n;
+        assert!(tel < 0.02, "tel rate {tel} should be well under 2%");
+        assert!(tel > 0.0005, "tel rate {tel} should be nonzero at 60k users");
+    }
+
+    #[test]
+    fn tel_users_skew_male_and_single() {
+        let pop = population(400_000, 3);
+        let tel: Vec<&Profile> = pop.iter().filter(|p| p.is_tel_user()).collect();
+        assert!(tel.len() > 100, "need enough tel-users, got {}", tel.len());
+        let frac = |ps: &[&Profile], f: &dyn Fn(&Profile) -> bool| {
+            ps.iter().filter(|p| f(p)).count() as f64 / ps.len() as f64
+        };
+        let all: Vec<&Profile> = pop.iter().collect();
+        let male_tel = frac(&tel, &|p| p.gender == Gender::Male);
+        let male_all = frac(&all, &|p| p.gender == Gender::Male);
+        assert!(male_tel > male_all + 0.05, "tel male {male_tel} vs all {male_all}");
+        let single_tel = frac(&tel, &|p| p.relationship == RelationshipStatus::Single);
+        let single_all = frac(&all, &|p| p.relationship == RelationshipStatus::Single);
+        assert!(single_tel > single_all, "tel single {single_tel} vs all {single_all}");
+    }
+
+    #[test]
+    fn tel_users_share_more_fields_fig2() {
+        let pop = population(400_000, 4);
+        let mean = |ps: &[&Profile]| {
+            ps.iter().map(|p| p.fields_shared_excl_contact() as f64).sum::<f64>()
+                / ps.len() as f64
+        };
+        let tel: Vec<&Profile> = pop.iter().filter(|p| p.is_tel_user()).collect();
+        let all: Vec<&Profile> = pop.iter().collect();
+        assert!(tel.len() > 100);
+        assert!(
+            mean(&tel) > mean(&all) + 1.0,
+            "tel {} vs all {}",
+            mean(&tel),
+            mean(&all)
+        );
+    }
+
+    #[test]
+    fn india_overrepresented_among_tel_users() {
+        let pop = population(400_000, 12);
+        let tel: Vec<&Profile> = pop.iter().filter(|p| p.is_tel_user()).collect();
+        let frac_in_tel = tel.iter().filter(|p| p.country == Country::In).count() as f64
+            / tel.len() as f64;
+        let frac_in_all =
+            pop.iter().filter(|p| p.country == Country::In).count() as f64 / pop.len() as f64;
+        assert!(
+            frac_in_tel > frac_in_all * 1.4,
+            "IN tel {frac_in_tel} vs all {frac_in_all}"
+        );
+    }
+
+    #[test]
+    fn country_marginals_roughly_weighted() {
+        let pop = population(80_000, 5);
+        let n = pop.len() as f64;
+        let frac = |c: Country| pop.iter().filter(|p| p.country == c).count() as f64 / n;
+        assert!((frac(Country::Us) - 0.3138).abs() < 0.02);
+        assert!((frac(Country::In) - 0.1671).abs() < 0.02);
+        assert!(frac(Country::Us) > frac(Country::In));
+        assert!(frac(Country::In) > frac(Country::Br));
+    }
+
+    #[test]
+    fn germany_less_open_than_indonesia_fig8() {
+        let pop = population(150_000, 6);
+        let mean_fields = |c: Country| {
+            let sel: Vec<_> = pop.iter().filter(|p| p.country == c).collect();
+            sel.iter().map(|p| p.fields_shared() as f64).sum::<f64>() / sel.len() as f64
+        };
+        assert!(mean_fields(Country::Id) > mean_fields(Country::De) + 0.5);
+        assert!(mean_fields(Country::Mx) > mean_fields(Country::De));
+    }
+
+    #[test]
+    fn field_correlation_zero_removes_fig2_gap() {
+        // ablation: with ρ = 0 and β = 0, tel-users look like everyone else
+        let config = GeneratorConfig {
+            field_correlation: 0.0,
+            tel_openness_beta: 0.0,
+            tel_rate: 0.01, // raise the rate so the tel sample is large
+            ..GeneratorConfig::default()
+        };
+        let generator = ProfileGenerator::new(config);
+        let mut rng = StdRng::seed_from_u64(13);
+        let pop: Vec<Profile> =
+            (0..150_000u64).map(|id| generator.generate(id, &mut rng)).collect();
+        let mean = |ps: &[&Profile]| {
+            ps.iter().map(|p| p.fields_shared_excl_contact() as f64).sum::<f64>()
+                / ps.len() as f64
+        };
+        let tel: Vec<&Profile> = pop.iter().filter(|p| p.is_tel_user()).collect();
+        let all: Vec<&Profile> = pop.iter().collect();
+        assert!(tel.len() > 200);
+        assert!(
+            (mean(&tel) - mean(&all)).abs() < 0.35,
+            "decoupled model should close the gap: tel {} all {}",
+            mean(&tel),
+            mean(&all)
+        );
+    }
+
+    #[test]
+    fn celebrity_profiles_named_and_open() {
+        let generator = ProfileGenerator::paper_calibrated();
+        let mut rng = StdRng::seed_from_u64(9);
+        let c = generator.generate_celebrity(
+            1,
+            "Larry Page",
+            Occupation::InformationTechnology,
+            Country::Us,
+            &mut rng,
+        );
+        assert_eq!(c.display_name(), "Larry Page");
+        assert_eq!(c.occupation, Occupation::InformationTechnology);
+        assert!(c.shares(Attribute::Occupation));
+        assert!(c.shares(Attribute::PlacesLived));
+        assert_eq!(c.public_country(), Some(Country::Us));
+    }
+
+    #[test]
+    fn city_index_valid_for_country() {
+        for p in population(2_000, 10) {
+            assert!((p.city_index as usize) < cities_of(p.country).len());
+        }
+    }
+
+    #[test]
+    fn geocoding_failures_exist_but_minority() {
+        let pop = population(50_000, 11);
+        let fail = pop.iter().filter(|p| !p.geocodable).count() as f64 / pop.len() as f64;
+        assert!(fail > 0.05 && fail < 0.2, "failure rate {fail}");
+    }
+
+    #[test]
+    #[should_panic(expected = "field_correlation")]
+    fn rejects_invalid_correlation() {
+        let config = GeneratorConfig { field_correlation: 1.0, ..GeneratorConfig::default() };
+        let _ = ProfileGenerator::new(config);
+    }
+}

@@ -1,0 +1,34 @@
+//! User-profile substrate for the Google+ IMC'12 reproduction.
+//!
+//! §3.1 of the paper enumerates the seventeen profile attributes a Google+
+//! user could expose (Table 2), the five-level visibility control, the
+//! restricted fields (gender, relationship, "looking for"), and the free
+//! "places lived" field. §3.2 studies the "tel-users" who publish a phone
+//! number. §4.2 assigns occupation codes to top users and §4.3 ranks
+//! countries by profile openness.
+//!
+//! This crate models all of that:
+//!
+//! * [`Attribute`] / [`Visibility`] — the seventeen fields of Table 2 and
+//!   the five privacy levels of §3.1.
+//! * [`Gender`], [`RelationshipStatus`], [`Occupation`] — the restricted
+//!   field domains (nine relationship states, Table 3) and the fifteen
+//!   profession codes of Table 5.
+//! * [`Profile`] — one user's attribute values plus a bitmask of which are
+//!   public; compact enough to hold millions in memory.
+//! * [`ProfileGenerator`] — the calibrated generative model: per-country
+//!   adoption (Figure 6), per-attribute share marginals (Table 2),
+//!   per-country openness (Figure 8), and the tel-user conditional
+//!   structure (Table 3, Figure 2). Calibration constants live in
+//!   [`calibration`] with a paper citation on each.
+
+pub mod attributes;
+pub mod calibration;
+pub mod generator;
+pub mod profile;
+pub mod types;
+
+pub use attributes::{Attribute, Visibility, ALL_ATTRIBUTES};
+pub use generator::{GeneratorConfig, ProfileGenerator};
+pub use profile::Profile;
+pub use types::{Gender, LookingFor, Occupation, RelationshipStatus};

@@ -1,0 +1,296 @@
+//! The compact per-user profile record.
+
+use crate::attributes::{Attribute, ALL_ATTRIBUTES};
+use crate::types::{Gender, LookingFor, Occupation, RelationshipStatus};
+use gplus_geo::{cities_of, format_place, Country, LatLon};
+use serde::{Deserialize, Serialize};
+
+/// One user's profile: ground-truth attribute values plus the mask of
+/// fields the user made public.
+///
+/// The struct is deliberately compact (no heap allocation for ordinary
+/// users) so tens of millions fit in memory, matching the paper's scale
+/// ambitions. Ground truth exists for every field; the *public* view —
+/// what the crawler can see — is gated by [`Profile::shares`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Stable user id (the synth crate makes this the graph node id).
+    pub user_id: u64,
+    /// Bitmask over [`Attribute`] bit positions of publicly shared fields.
+    /// Bit 0 (Name) is always set.
+    pub public_mask: u32,
+    /// Ground-truth gender.
+    pub gender: Gender,
+    /// Ground-truth relationship status.
+    pub relationship: RelationshipStatus,
+    /// Ground-truth country of the *last* "places lived" entry (the one the
+    /// paper geocodes, §4).
+    pub country: Country,
+    /// Index into [`gplus_geo::cities_of`]`(country)` for the home city.
+    pub city_index: u8,
+    /// Ground-truth occupation.
+    pub occupation: Occupation,
+    /// Ground-truth "looking for" selection.
+    pub looking_for: LookingFor,
+    /// Whether the free-text place resolves in geocoding (§3.1's automatic
+    /// map marking sometimes fails; see
+    /// [`crate::calibration::GEOCODING_SUCCESS_RATE`]).
+    pub geocodable: bool,
+    /// Celebrity display name, when this profile is one of the seeded
+    /// archetypes (Table 1 / Table 5 top users). `None` for ordinary users.
+    pub celebrity_name: Option<String>,
+}
+
+impl Profile {
+    /// Whether `attr` is publicly visible.
+    pub fn shares(&self, attr: Attribute) -> bool {
+        self.public_mask & attr.bit() != 0
+    }
+
+    /// Number of publicly shared fields (Name always counts; Figure 2's
+    /// x-axis, which excludes the Work/Home contact fields from the count —
+    /// "removing the fields of Home and Work information from the
+    /// contabilization").
+    pub fn fields_shared_excl_contact(&self) -> u32 {
+        let mask = self.public_mask
+            & !(Attribute::WorkContact.bit() | Attribute::HomeContact.bit());
+        mask.count_ones()
+    }
+
+    /// Number of publicly shared fields including the contact fields
+    /// (Figure 8 uses the full count; its minimum is 2 because name and
+    /// places-lived are both present for the geo-located population).
+    pub fn fields_shared(&self) -> u32 {
+        self.public_mask.count_ones()
+    }
+
+    /// A "tel-user": shares work or home contact info publicly (§3.2).
+    pub fn is_tel_user(&self) -> bool {
+        self.shares(Attribute::WorkContact) || self.shares(Attribute::HomeContact)
+    }
+
+    /// Publicly visible gender, if shared.
+    pub fn public_gender(&self) -> Option<Gender> {
+        self.shares(Attribute::Gender).then_some(self.gender)
+    }
+
+    /// Publicly visible relationship status, if shared.
+    pub fn public_relationship(&self) -> Option<RelationshipStatus> {
+        self.shares(Attribute::Relationship).then_some(self.relationship)
+    }
+
+    /// Publicly visible occupation, if shared.
+    pub fn public_occupation(&self) -> Option<Occupation> {
+        self.shares(Attribute::Occupation).then_some(self.occupation)
+    }
+
+    /// Publicly visible "looking for" selection, if shared.
+    pub fn public_looking_for(&self) -> Option<LookingFor> {
+        self.shares(Attribute::LookingFor).then_some(self.looking_for)
+    }
+
+    /// Ground-truth home coordinates: the user's city centre plus a
+    /// deterministic within-metro offset (±~20 miles). Real metros are not
+    /// points; without the spread, Figure 9's "< 10 miles" bucket would
+    /// absorb every same-city pair.
+    pub fn true_location(&self) -> LatLon {
+        let cities = cities_of(self.country);
+        let centre = cities[self.city_index as usize % cities.len()].location;
+        // splitmix64 of the user id -> two uniform offsets in [-0.15, 0.15]°
+        let mut x = self.user_id.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        let u1 = ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+        let u2 = (((x.wrapping_mul(0x2545_f491_4f6c_dd1d)) >> 11) as f64
+            / (1u64 << 53) as f64)
+            - 0.5;
+        let lat = (centre.lat + u1 * 0.3).clamp(-89.9, 89.9);
+        // widen the longitude offset at high latitude so the metro stays
+        // roughly round in miles
+        let lon_scale = 0.3 / centre.lat.to_radians().cos().max(0.2);
+        let mut lon = centre.lon + u2 * lon_scale;
+        if lon > 180.0 {
+            lon -= 360.0;
+        } else if lon < -180.0 {
+            lon += 360.0;
+        }
+        LatLon::new(lat, lon)
+    }
+
+    /// The "places lived" entry as the user typed it: a deterministic
+    /// free-text rendering of the home city in one of eight real-world
+    /// styles ("New York", "new york", "New York, United States", junk...).
+    /// Whether it geocodes is what decides [`Profile::public_country`] —
+    /// the §3.1 pipeline, faithfully: free text in, map pin out (or not).
+    pub fn places_lived_text(&self) -> String {
+        let cities = cities_of(self.country);
+        let city = &cities[self.city_index as usize % cities.len()];
+        format_place(city, self.country, self.place_style())
+    }
+
+    /// The text style this user writes their place in (hashed off the id).
+    pub fn place_style(&self) -> u8 {
+        let mut x = self.user_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x706c_6163;
+        x = (x ^ (x >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        (x >> 59) as u8 // top bits, 0..32 -> % 8 in format_place
+    }
+
+    /// The publicly visible "places lived" text, when shared.
+    pub fn public_places_text(&self) -> Option<String> {
+        self.shares(Attribute::PlacesLived).then(|| self.places_lived_text())
+    }
+
+    /// The country visible to an observer of the public profile: requires
+    /// the places-lived field to be shared *and* geocodable, mirroring the
+    /// paper's 6.62M located users out of 7.37M sharing the field.
+    pub fn public_country(&self) -> Option<Country> {
+        (self.shares(Attribute::PlacesLived) && self.geocodable).then_some(self.country)
+    }
+
+    /// Coordinates visible to an observer, under the same conditions as
+    /// [`Profile::public_country`].
+    pub fn public_location(&self) -> Option<LatLon> {
+        self.public_country().map(|_| self.true_location())
+    }
+
+    /// Display name: celebrity name if any, otherwise a deterministic
+    /// pseudonym derived from the user id.
+    pub fn display_name(&self) -> String {
+        match &self.celebrity_name {
+            Some(n) => n.clone(),
+            None => format!("user-{:08x}", self.user_id),
+        }
+    }
+
+    /// The publicly shared attributes, in Table-2 order.
+    pub fn public_attributes(&self) -> Vec<Attribute> {
+        ALL_ATTRIBUTES.into_iter().filter(|a| self.shares(*a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_profile() -> Profile {
+        Profile {
+            user_id: 42,
+            public_mask: Attribute::Name.bit(),
+            gender: Gender::Female,
+            relationship: RelationshipStatus::Single,
+            country: Country::Br,
+            city_index: 1,
+            occupation: Occupation::Musician,
+            looking_for: LookingFor::Friends,
+            geocodable: true,
+            celebrity_name: None,
+        }
+    }
+
+    #[test]
+    fn name_only_profile() {
+        let p = base_profile();
+        assert!(p.shares(Attribute::Name));
+        assert_eq!(p.fields_shared(), 1);
+        assert_eq!(p.fields_shared_excl_contact(), 1);
+        assert!(!p.is_tel_user());
+        assert!(p.public_gender().is_none());
+        assert!(p.public_country().is_none());
+        assert!(p.public_location().is_none());
+    }
+
+    #[test]
+    fn contact_fields_excluded_from_fig2_count() {
+        let mut p = base_profile();
+        p.public_mask |= Attribute::WorkContact.bit() | Attribute::HomeContact.bit();
+        assert_eq!(p.fields_shared(), 3);
+        assert_eq!(p.fields_shared_excl_contact(), 1);
+        assert!(p.is_tel_user());
+    }
+
+    #[test]
+    fn tel_user_either_contact_field() {
+        let mut p = base_profile();
+        p.public_mask |= Attribute::HomeContact.bit();
+        assert!(p.is_tel_user());
+        let mut q = base_profile();
+        q.public_mask |= Attribute::WorkContact.bit();
+        assert!(q.is_tel_user());
+    }
+
+    #[test]
+    fn public_getters_require_sharing() {
+        let mut p = base_profile();
+        assert_eq!(p.public_relationship(), None);
+        assert_eq!(p.public_looking_for(), None);
+        p.public_mask |= Attribute::Relationship.bit()
+            | Attribute::Gender.bit()
+            | Attribute::LookingFor.bit();
+        assert_eq!(p.public_relationship(), Some(RelationshipStatus::Single));
+        assert_eq!(p.public_gender(), Some(Gender::Female));
+        assert_eq!(p.public_looking_for(), Some(LookingFor::Friends));
+    }
+
+    #[test]
+    fn location_requires_share_and_geocodable() {
+        let mut p = base_profile();
+        p.public_mask |= Attribute::PlacesLived.bit();
+        assert_eq!(p.public_country(), Some(Country::Br));
+        assert_eq!(p.public_location(), Some(p.true_location()));
+        p.geocodable = false;
+        assert_eq!(p.public_country(), None);
+    }
+
+    #[test]
+    fn true_location_near_gazetteer_city() {
+        use gplus_geo::haversine_miles;
+        let p = base_profile();
+        let loc = p.true_location();
+        let nearest = cities_of(Country::Br)
+            .iter()
+            .map(|c| haversine_miles(c.location, loc))
+            .fold(f64::INFINITY, f64::min);
+        assert!(nearest < 40.0, "user should live within the metro, {nearest} miles out");
+        assert!(nearest > 0.0, "jitter should move users off the city centre");
+    }
+
+    #[test]
+    fn same_city_users_spread_apart() {
+        use gplus_geo::haversine_miles;
+        let mut a = base_profile();
+        let mut b = base_profile();
+        a.user_id = 1;
+        b.user_id = 2;
+        let d = haversine_miles(a.true_location(), b.true_location());
+        assert!(d > 0.1, "distinct users should not collide exactly");
+        assert!(d < 80.0, "same-city users stay within the metro, got {d}");
+        // deterministic
+        assert_eq!(a.true_location(), a.true_location());
+    }
+
+    #[test]
+    fn city_index_wraps_defensively() {
+        let mut p = base_profile();
+        p.city_index = 250; // beyond Brazil's city list
+        let _ = p.true_location(); // must not panic
+    }
+
+    #[test]
+    fn display_name_celebrity_vs_pseudonym() {
+        let mut p = base_profile();
+        assert_eq!(p.display_name(), "user-0000002a");
+        p.celebrity_name = Some("Larry Page".into());
+        assert_eq!(p.display_name(), "Larry Page");
+    }
+
+    #[test]
+    fn public_attributes_lists_in_order() {
+        let mut p = base_profile();
+        p.public_mask |= Attribute::Gender.bit() | Attribute::Relationship.bit();
+        assert_eq!(
+            p.public_attributes(),
+            vec![Attribute::Name, Attribute::Gender, Attribute::Relationship]
+        );
+    }
+}

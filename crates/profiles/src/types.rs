@@ -1,0 +1,260 @@
+//! Domains of the restricted fields and the Table-5 occupation codes.
+
+use serde::{Deserialize, Serialize};
+
+/// Gender, as Google+ offered it (Table 3 groups: male / female / other).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gender {
+    /// Male.
+    Male,
+    /// Female.
+    Female,
+    /// "Other".
+    Other,
+}
+
+impl Gender {
+    /// All variants in Table-3 order.
+    pub const ALL: [Gender; 3] = [Gender::Male, Gender::Female, Gender::Other];
+
+    /// Table-3 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Gender::Male => "Male",
+            Gender::Female => "Female",
+            Gender::Other => "Other",
+        }
+    }
+}
+
+/// The nine relationship-status options Google+ offered (§3.2: "What is
+/// particular about Google+ is that it asks users to provide a very
+/// detailed level of information about their relationship status ... The
+/// nine default options").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RelationshipStatus {
+    /// Single.
+    Single,
+    /// Married.
+    Married,
+    /// In a relationship.
+    InARelationship,
+    /// It's complicated.
+    ItsComplicated,
+    /// Engaged.
+    Engaged,
+    /// In an open relationship.
+    InAnOpenRelationship,
+    /// Widowed.
+    Widowed,
+    /// In a domestic partnership.
+    InADomesticPartnership,
+    /// In a civil union.
+    InACivilUnion,
+}
+
+impl RelationshipStatus {
+    /// All nine options in Table-3 order.
+    pub const ALL: [RelationshipStatus; 9] = [
+        RelationshipStatus::Single,
+        RelationshipStatus::Married,
+        RelationshipStatus::InARelationship,
+        RelationshipStatus::ItsComplicated,
+        RelationshipStatus::Engaged,
+        RelationshipStatus::InAnOpenRelationship,
+        RelationshipStatus::Widowed,
+        RelationshipStatus::InADomesticPartnership,
+        RelationshipStatus::InACivilUnion,
+    ];
+
+    /// Table-3 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RelationshipStatus::Single => "Single",
+            RelationshipStatus::Married => "Married",
+            RelationshipStatus::InARelationship => "In a relationship",
+            RelationshipStatus::ItsComplicated => "It's complicated",
+            RelationshipStatus::Engaged => "Engaged",
+            RelationshipStatus::InAnOpenRelationship => "In an open relationship",
+            RelationshipStatus::Widowed => "Widowed",
+            RelationshipStatus::InADomesticPartnership => "In a domestic partnership",
+            RelationshipStatus::InACivilUnion => "In a civil union",
+        }
+    }
+}
+
+/// The "looking for" options Google+ offered (§3.1 names the field as one
+/// of the three restricted fields; these were its choices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LookingFor {
+    /// Friends.
+    Friends,
+    /// Dating.
+    Dating,
+    /// A relationship.
+    ARelationship,
+    /// Networking.
+    Networking,
+}
+
+impl LookingFor {
+    /// All four options.
+    pub const ALL: [LookingFor; 4] = [
+        LookingFor::Friends,
+        LookingFor::Dating,
+        LookingFor::ARelationship,
+        LookingFor::Networking,
+    ];
+
+    /// UI label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LookingFor::Friends => "Friends",
+            LookingFor::Dating => "Dating",
+            LookingFor::ARelationship => "A relationship",
+            LookingFor::Networking => "Networking",
+        }
+    }
+}
+
+/// The fifteen profession codes of Table 5's footnote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Occupation {
+    /// Co: Comedian.
+    Comedian,
+    /// Mu: Musician.
+    Musician,
+    /// IT: Information Technology Person.
+    InformationTechnology,
+    /// Bu: Businessman.
+    Businessman,
+    /// Mo: Model.
+    Model,
+    /// Ac: Actor.
+    Actor,
+    /// So: Socialite.
+    Socialite,
+    /// TV: Television Host.
+    TelevisionHost,
+    /// Jo: Journalist.
+    Journalist,
+    /// Bl: Blogger.
+    Blogger,
+    /// Ec: Economist.
+    Economist,
+    /// Ar: Artist.
+    Artist,
+    /// Po: Politician.
+    Politician,
+    /// Ph: Photographer.
+    Photographer,
+    /// Wr: Writer.
+    Writer,
+}
+
+impl Occupation {
+    /// All fifteen codes.
+    pub const ALL: [Occupation; 15] = [
+        Occupation::Comedian,
+        Occupation::Musician,
+        Occupation::InformationTechnology,
+        Occupation::Businessman,
+        Occupation::Model,
+        Occupation::Actor,
+        Occupation::Socialite,
+        Occupation::TelevisionHost,
+        Occupation::Journalist,
+        Occupation::Blogger,
+        Occupation::Economist,
+        Occupation::Artist,
+        Occupation::Politician,
+        Occupation::Photographer,
+        Occupation::Writer,
+    ];
+
+    /// The two-letter code Table 5 prints.
+    pub fn code(self) -> &'static str {
+        match self {
+            Occupation::Comedian => "Co",
+            Occupation::Musician => "Mu",
+            Occupation::InformationTechnology => "IT",
+            Occupation::Businessman => "Bu",
+            Occupation::Model => "Mo",
+            Occupation::Actor => "Ac",
+            Occupation::Socialite => "So",
+            Occupation::TelevisionHost => "TV",
+            Occupation::Journalist => "Jo",
+            Occupation::Blogger => "Bl",
+            Occupation::Economist => "Ec",
+            Occupation::Artist => "Ar",
+            Occupation::Politician => "Po",
+            Occupation::Photographer => "Ph",
+            Occupation::Writer => "Wr",
+        }
+    }
+
+    /// Full label from the Table-5 footnote.
+    pub fn label(self) -> &'static str {
+        match self {
+            Occupation::Comedian => "Comedian",
+            Occupation::Musician => "Musician",
+            Occupation::InformationTechnology => "Information Technology Person",
+            Occupation::Businessman => "Businessman",
+            Occupation::Model => "Model",
+            Occupation::Actor => "Actor",
+            Occupation::Socialite => "Socialite",
+            Occupation::TelevisionHost => "Television Host",
+            Occupation::Journalist => "Journalist",
+            Occupation::Blogger => "Blogger",
+            Occupation::Economist => "Economist",
+            Occupation::Artist => "Artist",
+            Occupation::Politician => "Politician",
+            Occupation::Photographer => "Photographer",
+            Occupation::Writer => "Writer",
+        }
+    }
+
+    /// Parses a two-letter Table-5 code.
+    pub fn from_code(code: &str) -> Option<Occupation> {
+        Occupation::ALL.into_iter().find(|o| o.code() == code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_relationship_options() {
+        assert_eq!(RelationshipStatus::ALL.len(), 9);
+        let mut labels: Vec<_> = RelationshipStatus::ALL.iter().map(|r| r.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 9);
+    }
+
+    #[test]
+    fn fifteen_occupation_codes_round_trip() {
+        assert_eq!(Occupation::ALL.len(), 15);
+        for o in Occupation::ALL {
+            assert_eq!(Occupation::from_code(o.code()), Some(o));
+            assert_eq!(o.code().len(), 2);
+        }
+        assert_eq!(Occupation::from_code("XX"), None);
+    }
+
+    #[test]
+    fn looking_for_options() {
+        assert_eq!(LookingFor::ALL.len(), 4);
+        let mut labels: Vec<_> = LookingFor::ALL.iter().map(|l| l.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn gender_labels() {
+        assert_eq!(Gender::Male.label(), "Male");
+        assert_eq!(Gender::ALL.len(), 3);
+    }
+}

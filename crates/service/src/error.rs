@@ -1,0 +1,59 @@
+//! Error surface of the simulated service — the failure modes a real HTTP
+//! crawl sees.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a fetch failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FetchError {
+    /// No such user id (dangling references never happen from our own
+    /// service, but a robust crawler must handle the arm).
+    NotFound,
+    /// Transient server-side failure (5xx); retrying usually succeeds.
+    Transient,
+    /// The client exhausted its request budget; back off and retry.
+    RateLimited,
+    /// The page exists but this circle list is private (§2.1) — not
+    /// retryable; edges must come from the other endpoint.
+    PrivateList,
+}
+
+impl FetchError {
+    /// Whether a retry can succeed.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, FetchError::Transient | FetchError::RateLimited)
+    }
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FetchError::NotFound => "user not found",
+            FetchError::Transient => "transient server failure",
+            FetchError::RateLimited => "rate limited",
+            FetchError::PrivateList => "circle list is private",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability() {
+        assert!(FetchError::Transient.is_retryable());
+        assert!(FetchError::RateLimited.is_retryable());
+        assert!(!FetchError::NotFound.is_retryable());
+        assert!(!FetchError::PrivateList.is_retryable());
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(FetchError::PrivateList.to_string(), "circle list is private");
+        assert_eq!(FetchError::RateLimited.to_string(), "rate limited");
+    }
+}

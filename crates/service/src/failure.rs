@@ -1,0 +1,115 @@
+//! Deterministic failure injection.
+//!
+//! Real crawls see sporadic 5xx responses. The injector decides, purely
+//! from `(seed, user, nonce)`, whether a given request attempt fails — so a
+//! retry with a new nonce can succeed, runs are reproducible bit-for-bit,
+//! and no shared RNG state serialises the concurrent workers.
+
+/// SplitMix64 finaliser — a well-mixed 64-bit hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Stateless Bernoulli failure decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureInjector {
+    seed: u64,
+    /// Probability in `[0, 1]` that any single attempt fails transiently.
+    pub rate: f64,
+}
+
+impl FailureInjector {
+    /// Creates an injector.
+    ///
+    /// # Panics
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "failure rate must be in [0,1]");
+        Self { seed, rate }
+    }
+
+    /// Whether the attempt identified by `(user, nonce)` fails.
+    pub fn fails(&self, user: u64, nonce: u64) -> bool {
+        if self.rate <= 0.0 {
+            return false;
+        }
+        if self.rate >= 1.0 {
+            return true;
+        }
+        let h = splitmix64(self.seed ^ splitmix64(user) ^ nonce.rotate_left(17));
+        // map the top 53 bits to [0,1)
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.rate
+    }
+}
+
+/// Deterministic per-user Bernoulli decision (e.g. "is this user's circle
+/// list private"), independent of the failure stream.
+pub fn user_coin(seed: u64, user: u64, rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        return true;
+    }
+    let h = splitmix64(seed.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ splitmix64(user));
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+    u < rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let inj = FailureInjector::new(9, 0.3);
+        for user in 0..50 {
+            for nonce in 0..5 {
+                assert_eq!(inj.fails(user, nonce), inj.fails(user, nonce));
+            }
+        }
+    }
+
+    #[test]
+    fn rate_zero_and_one() {
+        let never = FailureInjector::new(1, 0.0);
+        let always = FailureInjector::new(1, 1.0);
+        for user in 0..20 {
+            assert!(!never.fails(user, 0));
+            assert!(always.fails(user, 0));
+        }
+    }
+
+    #[test]
+    fn empirical_rate_close() {
+        let inj = FailureInjector::new(42, 0.2);
+        let n = 50_000u64;
+        let fails = (0..n).filter(|&i| inj.fails(i % 1000, i)).count();
+        let rate = fails as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.01, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn retry_can_succeed() {
+        let inj = FailureInjector::new(3, 0.5);
+        // some user whose first attempt fails must succeed within 20 retries
+        let user = (0..1000).find(|&u| inj.fails(u, 0)).expect("some failure");
+        assert!((1..20).any(|nonce| !inj.fails(user, nonce)));
+    }
+
+    #[test]
+    fn user_coin_deterministic_and_calibrated() {
+        let picked = (0..100_000).filter(|&u| user_coin(7, u, 0.1)).count();
+        let rate = picked as f64 / 100_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "coin rate {rate}");
+        assert_eq!(user_coin(7, 5, 0.1), user_coin(7, 5, 0.1));
+        // different seeds give different selections
+        let a: Vec<bool> = (0..100).map(|u| user_coin(1, u, 0.5)).collect();
+        let b: Vec<bool> = (0..100).map(|u| user_coin(2, u, 0.5)).collect();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,41 @@
+//! Simulated Google+ frontend.
+//!
+//! The paper's crawler (§2.2) retrieved "publicly available user profile
+//! pages" over HTTP from 11 machines between 2011-11-11 and 2011-12-27.
+//! That service no longer exists; this crate is the stand-in the crawler
+//! crate runs against. It serves, from a generated [`SynthNetwork`]:
+//!
+//! * **profile pages** — the public view of a profile (only fields the user
+//!   shared; §3.1's five-level visibility collapses to public-or-not for an
+//!   anonymous crawler) plus the *declared* in/out circle counts shown on
+//!   the page;
+//! * **paginated circle lists** — both "Have user in circles" (followers)
+//!   and "In user's circles" (followees), truncated at 10,000 entries
+//!   ("There is a limit on the maximum number of users that could appear in
+//!   any public circle, which is 10,000 users", §2.2) — the truncation that
+//!   forces the paper's 1.6% lost-edge estimate;
+//! * **private circle lists** — a configurable fraction of users set their
+//!   lists private (§2.1: "The user has the option to set these lists as
+//!   private"), so their edges are only recoverable from the other side —
+//!   the reason the paper crawled bidirectionally;
+//! * **failure injection and rate limiting** — deterministic transient
+//!   failures and a token-bucket limiter, so the crawler's retry/backoff
+//!   machinery has something real to do.
+//!
+//! Everything is deterministic given the service seed, and thread-safe: the
+//! crawler's simulated "11 machines" hit it concurrently.
+//!
+//! [`SynthNetwork`]: gplus_synth::SynthNetwork
+
+pub mod error;
+pub mod failure;
+pub mod page;
+pub mod ratelimit;
+pub mod service;
+pub mod wire;
+
+pub use error::FetchError;
+pub use page::{CirclePage, Direction, ProfilePage};
+pub use ratelimit::TokenBucket;
+pub use service::{GooglePlusService, ServiceConfig, ServiceStats, SocialApi};
+pub use wire::{Request, Response, WireService};

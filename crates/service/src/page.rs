@@ -1,0 +1,195 @@
+//! The response types the simulated service returns — the public view of a
+//! profile and one page of a circle list.
+
+use gplus_geo::{Country, LatLon};
+use gplus_profiles::{Attribute, Gender, LookingFor, Occupation, Profile, RelationshipStatus};
+use serde::{Deserialize, Serialize};
+
+/// Which circle list to page through (§2.1's two default profile lists).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// "Have user in circles" — followers; edges point *to* this user.
+    InCircles,
+    /// "In user's circles" — followees; edges point *from* this user.
+    OutCircles,
+}
+
+/// The public profile page as an anonymous crawler sees it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfilePage {
+    /// User id.
+    pub user_id: u64,
+    /// Display name (always public).
+    pub display_name: String,
+    /// Which attributes are publicly visible.
+    pub public_attributes: Vec<Attribute>,
+    /// Gender, if shared.
+    pub gender: Option<Gender>,
+    /// Relationship status, if shared.
+    pub relationship: Option<RelationshipStatus>,
+    /// Occupation, if shared.
+    pub occupation: Option<Occupation>,
+    /// "Looking for" selection, if shared.
+    pub looking_for: Option<LookingFor>,
+    /// Country resolved from the shared "places lived" field, if shared and
+    /// geocodable.
+    pub country: Option<Country>,
+    /// Map coordinates of the last "places lived" entry, under the same
+    /// visibility conditions as `country` (§3.1: "the Google+ system
+    /// automatically tries to mark the place on the map").
+    pub location: Option<LatLon>,
+    /// The raw "places lived" free text, when shared — what the user
+    /// actually typed; `country`/`location` are what the geocoder made of
+    /// it (absent when it could not resolve the text).
+    pub places_lived_text: Option<String>,
+    /// The follower count *declared on the page* — the full number, even
+    /// when the list itself is truncated at the circle limit. §2.2's
+    /// lost-edge estimate compares this to the edges actually collected.
+    pub declared_in_count: u64,
+    /// The followee count declared on the page.
+    pub declared_out_count: u64,
+    /// Whether the circle lists are private (§2.1).
+    pub lists_private: bool,
+}
+
+impl ProfilePage {
+    /// Builds the public view of `profile` with declared circle counts.
+    pub fn from_profile(
+        profile: &Profile,
+        declared_in: u64,
+        declared_out: u64,
+        lists_private: bool,
+    ) -> Self {
+        Self {
+            user_id: profile.user_id,
+            display_name: profile.display_name(),
+            public_attributes: profile.public_attributes(),
+            gender: profile.public_gender(),
+            relationship: profile.public_relationship(),
+            occupation: profile.public_occupation(),
+            looking_for: profile.public_looking_for(),
+            country: profile.public_country(),
+            location: profile.public_location(),
+            places_lived_text: profile.public_places_text(),
+            declared_in_count: declared_in,
+            declared_out_count: declared_out,
+            lists_private,
+        }
+    }
+
+    /// Number of shared fields (Figure 8's statistic).
+    pub fn fields_shared(&self) -> usize {
+        self.public_attributes.len()
+    }
+
+    /// Number of shared fields excluding the Work/Home contact entries —
+    /// Figure 2's x-axis ("removing the fields of Home and Work information
+    /// from the contabilization", §3.2).
+    pub fn fields_shared_excl_contact(&self) -> usize {
+        self.public_attributes
+            .iter()
+            .filter(|a| !matches!(a, Attribute::WorkContact | Attribute::HomeContact))
+            .count()
+    }
+
+    /// Whether this user exposes a phone number (tel-user, §3.2).
+    pub fn is_tel_user(&self) -> bool {
+        self.public_attributes
+            .iter()
+            .any(|a| matches!(a, Attribute::WorkContact | Attribute::HomeContact))
+    }
+}
+
+/// One page of a circle list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CirclePage {
+    /// The user whose list this is.
+    pub user_id: u64,
+    /// Direction of the list.
+    pub direction: Direction,
+    /// User ids on this page.
+    pub users: Vec<u64>,
+    /// Zero-based page number.
+    pub page: usize,
+    /// Whether another page exists (within the 10,000-entry cap).
+    pub has_more: bool,
+    /// Whether the underlying list was cut off by the circle-list limit —
+    /// i.e. the declared count exceeds what paging can ever return.
+    pub truncated: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplus_geo::Country;
+
+    fn profile() -> Profile {
+        Profile {
+            user_id: 7,
+            public_mask: Attribute::Name.bit()
+                | Attribute::Gender.bit()
+                | Attribute::PlacesLived.bit()
+                | Attribute::WorkContact.bit(),
+            gender: Gender::Female,
+            relationship: RelationshipStatus::Married,
+            country: Country::Mx,
+            city_index: 0,
+            occupation: Occupation::Journalist,
+            looking_for: LookingFor::Networking,
+            geocodable: true,
+            celebrity_name: None,
+        }
+    }
+
+    #[test]
+    fn public_view_respects_mask() {
+        let page = ProfilePage::from_profile(&profile(), 10, 5, false);
+        assert_eq!(page.gender, Some(Gender::Female));
+        assert_eq!(page.relationship, None); // not shared
+        assert_eq!(page.occupation, None); // not shared
+        assert_eq!(page.looking_for, None); // not shared
+        assert_eq!(page.country, Some(Country::Mx));
+        assert!(page.location.is_some());
+        assert!(page.places_lived_text.is_some());
+        assert_eq!(page.declared_in_count, 10);
+        assert_eq!(page.declared_out_count, 5);
+        assert_eq!(page.fields_shared(), 4);
+        assert!(page.is_tel_user());
+    }
+
+    #[test]
+    fn geocode_failure_hides_country() {
+        let mut p = profile();
+        p.geocodable = false;
+        let page = ProfilePage::from_profile(&p, 0, 0, false);
+        assert_eq!(page.country, None);
+        assert_eq!(page.location, None);
+        // the raw text is still visible — the user shared it; only the
+        // geocoder failed
+        assert!(page.places_lived_text.is_some());
+    }
+
+    #[test]
+    fn page_text_geocodes_back_to_page_country() {
+        let page = ProfilePage::from_profile(&profile(), 0, 0, false);
+        let text = page.places_lived_text.as_deref().unwrap();
+        let resolved = gplus_geo::geocode(text).expect("geocodable profile text");
+        assert_eq!(Some(resolved.country), page.country);
+    }
+
+    #[test]
+    fn tel_user_requires_contact_field() {
+        let mut p = profile();
+        p.public_mask &= !Attribute::WorkContact.bit();
+        let page = ProfilePage::from_profile(&p, 0, 0, false);
+        assert!(!page.is_tel_user());
+        assert_eq!(page.fields_shared_excl_contact(), page.fields_shared());
+    }
+
+    #[test]
+    fn contact_fields_excluded_from_fig2_count() {
+        let page = ProfilePage::from_profile(&profile(), 0, 0, false);
+        assert_eq!(page.fields_shared(), 4);
+        assert_eq!(page.fields_shared_excl_contact(), 3);
+    }
+}

@@ -1,0 +1,424 @@
+//! The service itself: serves profile pages and paginated circle lists
+//! from a generated network, with truncation, privacy, failures, and rate
+//! limiting.
+
+use crate::error::FetchError;
+use crate::failure::{user_coin, FailureInjector};
+use crate::page::{CirclePage, Direction, ProfilePage};
+use crate::ratelimit::TokenBucket;
+use gplus_synth::SynthNetwork;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Service behaviour knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Maximum entries any public circle list exposes (§2.2: 10,000).
+    pub circle_list_limit: usize,
+    /// Entries per circle-list page.
+    pub page_size: usize,
+    /// Probability any single request attempt fails transiently.
+    pub failure_rate: f64,
+    /// Fraction of users whose circle lists are private (§2.1).
+    pub private_list_fraction: f64,
+    /// Token-bucket capacity (requests); `None` disables rate limiting.
+    pub rate_limit_capacity: Option<f64>,
+    /// Token-bucket refill per request tick.
+    pub rate_limit_refill: f64,
+    /// Seed for failure/privacy decisions (independent of the network
+    /// seed so the same network can be served with different weather).
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            circle_list_limit: 10_000,
+            page_size: 1_000,
+            failure_rate: 0.02,
+            private_list_fraction: 0.03,
+            rate_limit_capacity: None,
+            rate_limit_refill: 1.0,
+            seed: 0x5e71_11ce,
+        }
+    }
+}
+
+/// Request counters, all monotone.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Profile pages served.
+    pub profile_requests: AtomicU64,
+    /// Circle pages served.
+    pub circle_requests: AtomicU64,
+    /// Requests rejected with [`FetchError::Transient`].
+    pub transient_failures: AtomicU64,
+    /// Requests rejected with [`FetchError::RateLimited`].
+    pub rate_limited: AtomicU64,
+    /// Requests rejected with [`FetchError::PrivateList`].
+    pub private_rejections: AtomicU64,
+}
+
+impl ServiceStats {
+    /// Total successful responses.
+    pub fn successes(&self) -> u64 {
+        self.profile_requests.load(Ordering::Relaxed)
+            + self.circle_requests.load(Ordering::Relaxed)
+    }
+}
+
+/// The surface a crawler needs: profile pages and paginated circle
+/// lists. Implemented by [`GooglePlusService`] (direct calls) and
+/// [`crate::WireService`] (every byte through the wire protocol), so the
+/// crawler is agnostic to the transport — like the paper's crawler was to
+/// Google's server stack.
+pub trait SocialApi: Sync {
+    /// Fetches a user's public profile page.
+    fn fetch_profile(&self, user: u64) -> Result<crate::ProfilePage, crate::FetchError>;
+
+    /// Fetches one page of a user's circle list.
+    fn fetch_circle_page(
+        &self,
+        user: u64,
+        direction: crate::Direction,
+        page: usize,
+    ) -> Result<crate::CirclePage, crate::FetchError>;
+}
+
+/// The simulated Google+ frontend over one synthetic network.
+pub struct GooglePlusService {
+    network: SynthNetwork,
+    config: ServiceConfig,
+    injector: FailureInjector,
+    nonce: AtomicU64,
+    bucket: Option<Mutex<TokenBucket>>,
+    stats: ServiceStats,
+}
+
+impl GooglePlusService {
+    /// Wraps a generated network in a service.
+    ///
+    /// # Panics
+    /// Panics on nonsensical config (zero page size, limit smaller than a
+    /// page, invalid probabilities).
+    pub fn new(network: SynthNetwork, config: ServiceConfig) -> Self {
+        assert!(config.page_size > 0, "page_size must be positive");
+        assert!(
+            config.circle_list_limit >= config.page_size,
+            "circle_list_limit must hold at least one page"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.private_list_fraction),
+            "private_list_fraction must be in [0,1]"
+        );
+        let injector = FailureInjector::new(config.seed, config.failure_rate);
+        let bucket = config
+            .rate_limit_capacity
+            .map(|cap| Mutex::new(TokenBucket::new(cap, config.rate_limit_refill)));
+        Self { network, config, injector, nonce: AtomicU64::new(0), bucket, stats: ServiceStats::default() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Request statistics.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Ground truth (for evaluation code only; the crawler must not peek).
+    pub fn ground_truth(&self) -> &SynthNetwork {
+        &self.network
+    }
+
+    /// Number of user ids the service could ever serve.
+    pub fn user_count(&self) -> usize {
+        self.network.node_count()
+    }
+
+    /// Whether this user's circle lists are private.
+    pub fn lists_private(&self, user: u64) -> bool {
+        // celebrities keep their follower lists public (that is how the
+        // paper could rank them); ordinary users flip a deterministic coin
+        if (user as usize) < self.network.population.celebrities.len() {
+            return false;
+        }
+        user_coin(self.config.seed, user, self.config.private_list_fraction)
+    }
+
+    fn admit(&self, user: u64) -> Result<(), FetchError> {
+        if let Some(bucket) = &self.bucket {
+            if !bucket.lock().try_acquire() {
+                self.stats.rate_limited.fetch_add(1, Ordering::Relaxed);
+                return Err(FetchError::RateLimited);
+            }
+        }
+        let nonce = self.nonce.fetch_add(1, Ordering::Relaxed);
+        if self.injector.fails(user, nonce) {
+            self.stats.transient_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(FetchError::Transient);
+        }
+        Ok(())
+    }
+
+    /// Fetches a user's public profile page.
+    pub fn fetch_profile(&self, user: u64) -> Result<ProfilePage, FetchError> {
+        if user as usize >= self.network.node_count() {
+            return Err(FetchError::NotFound);
+        }
+        self.admit(user)?;
+        let node = user as u32;
+        let profile = self.network.population.profile(node);
+        let page = ProfilePage::from_profile(
+            profile,
+            self.network.graph.in_degree(node) as u64,
+            self.network.graph.out_degree(node) as u64,
+            self.lists_private(user),
+        );
+        self.stats.profile_requests.fetch_add(1, Ordering::Relaxed);
+        Ok(page)
+    }
+
+    /// Fetches one page of a user's circle list.
+    ///
+    /// Pages beyond the data (or beyond the 10,000-entry cap) return an
+    /// empty page with `has_more = false`, like paging past the end of a
+    /// real listing.
+    pub fn fetch_circle_page(
+        &self,
+        user: u64,
+        direction: Direction,
+        page: usize,
+    ) -> Result<CirclePage, FetchError> {
+        if user as usize >= self.network.node_count() {
+            return Err(FetchError::NotFound);
+        }
+        self.admit(user)?;
+        if self.lists_private(user) {
+            self.stats.private_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(FetchError::PrivateList);
+        }
+        let node = user as u32;
+        let full: &[u32] = match direction {
+            Direction::InCircles => self.network.graph.in_neighbors(node),
+            Direction::OutCircles => self.network.graph.out_neighbors(node),
+        };
+        let limit = self.config.circle_list_limit;
+        let visible = &full[..full.len().min(limit)];
+        let start = page.saturating_mul(self.config.page_size).min(visible.len());
+        let end = (start + self.config.page_size).min(visible.len());
+        let users: Vec<u64> = visible[start..end].iter().map(|&v| v as u64).collect();
+        self.stats.circle_requests.fetch_add(1, Ordering::Relaxed);
+        Ok(CirclePage {
+            user_id: user,
+            direction,
+            users,
+            page,
+            has_more: end < visible.len(),
+            truncated: full.len() > limit,
+        })
+    }
+
+    /// Convenience: fetches the *entire* visible circle list (all pages),
+    /// retrying transient errors internally. Intended for tests and small
+    /// tools; the real crawler drives paging itself.
+    pub fn fetch_full_circle_list(
+        &self,
+        user: u64,
+        direction: Direction,
+    ) -> Result<Vec<u64>, FetchError> {
+        let mut out = Vec::new();
+        let mut page = 0;
+        loop {
+            match self.fetch_circle_page(user, direction, page) {
+                Ok(p) => {
+                    out.extend_from_slice(&p.users);
+                    if !p.has_more {
+                        return Ok(out);
+                    }
+                    page += 1;
+                }
+                Err(e) if e.is_retryable() => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl SocialApi for GooglePlusService {
+    fn fetch_profile(&self, user: u64) -> Result<ProfilePage, FetchError> {
+        GooglePlusService::fetch_profile(self, user)
+    }
+
+    fn fetch_circle_page(
+        &self,
+        user: u64,
+        direction: Direction,
+        page: usize,
+    ) -> Result<CirclePage, FetchError> {
+        GooglePlusService::fetch_circle_page(self, user, direction, page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplus_synth::SynthConfig;
+
+    fn service(n: usize, cfg: ServiceConfig) -> GooglePlusService {
+        let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(n, 77));
+        GooglePlusService::new(net, cfg)
+    }
+
+    fn quiet_config() -> ServiceConfig {
+        ServiceConfig {
+            failure_rate: 0.0,
+            private_list_fraction: 0.0,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn profile_page_matches_ground_truth() {
+        let svc = service(2_000, quiet_config());
+        let page = svc.fetch_profile(0).unwrap();
+        assert_eq!(page.display_name, "Larry Page");
+        let truth = svc.ground_truth();
+        assert_eq!(page.declared_in_count, truth.graph.in_degree(0) as u64);
+        assert_eq!(page.declared_out_count, truth.graph.out_degree(0) as u64);
+    }
+
+    #[test]
+    fn unknown_user_not_found() {
+        let svc = service(500, quiet_config());
+        assert_eq!(svc.fetch_profile(10_000_000), Err(FetchError::NotFound));
+        assert_eq!(
+            svc.fetch_circle_page(10_000_000, Direction::InCircles, 0),
+            Err(FetchError::NotFound)
+        );
+    }
+
+    #[test]
+    fn paging_reconstructs_full_list() {
+        let mut cfg = quiet_config();
+        cfg.page_size = 7; // force multi-page lists
+        cfg.circle_list_limit = 10_000;
+        let svc = service(2_000, cfg);
+        let truth = svc.ground_truth();
+        for user in [0u64, 1, 300, 1500] {
+            let got = svc.fetch_full_circle_list(user, Direction::OutCircles).unwrap();
+            let expect: Vec<u64> = truth
+                .graph
+                .out_neighbors(user as u32)
+                .iter()
+                .map(|&v| v as u64)
+                .collect();
+            assert_eq!(got, expect, "user {user}");
+        }
+    }
+
+    #[test]
+    fn truncation_at_circle_limit() {
+        let mut cfg = quiet_config();
+        cfg.circle_list_limit = 50;
+        cfg.page_size = 50;
+        let svc = service(3_000, cfg);
+        let truth = svc.ground_truth();
+        // node 0 (Larry Page) has way more than 50 followers
+        let declared = truth.graph.in_degree(0);
+        assert!(declared > 50, "test premise: top celebrity has >50 followers");
+        let got = svc.fetch_full_circle_list(0, Direction::InCircles).unwrap();
+        assert_eq!(got.len(), 50);
+        let page = svc.fetch_circle_page(0, Direction::InCircles, 0).unwrap();
+        assert!(page.truncated);
+        // the profile page still declares the full count
+        let profile = svc.fetch_profile(0).unwrap();
+        assert_eq!(profile.declared_in_count, declared as u64);
+    }
+
+    #[test]
+    fn page_past_end_is_empty() {
+        let svc = service(500, quiet_config());
+        let p = svc.fetch_circle_page(200, Direction::OutCircles, 9999).unwrap();
+        assert!(p.users.is_empty());
+        assert!(!p.has_more);
+    }
+
+    #[test]
+    fn private_lists_reject_circles_but_serve_profile() {
+        let mut cfg = quiet_config();
+        cfg.private_list_fraction = 1.0; // everyone ordinary is private
+        let svc = service(500, cfg);
+        // celebrities stay public
+        assert!(svc.fetch_circle_page(0, Direction::InCircles, 0).is_ok());
+        // ordinary users are private
+        let user = 200u64;
+        assert!(svc.lists_private(user));
+        assert_eq!(
+            svc.fetch_circle_page(user, Direction::InCircles, 0),
+            Err(FetchError::PrivateList)
+        );
+        assert!(svc.fetch_profile(user).is_ok());
+        assert!(svc.fetch_profile(user).unwrap().lists_private);
+        assert!(svc.stats().private_rejections.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn transient_failures_occur_and_retries_succeed() {
+        let mut cfg = quiet_config();
+        cfg.failure_rate = 0.3;
+        let svc = service(500, cfg);
+        let mut failures = 0;
+        for user in 0..200u64 {
+            loop {
+                match svc.fetch_profile(user) {
+                    Ok(_) => break,
+                    Err(FetchError::Transient) => failures += 1,
+                    Err(e) => panic!("unexpected error {e}"),
+                }
+            }
+        }
+        assert!(failures > 20, "expected many transient failures, got {failures}");
+        assert_eq!(svc.stats().profile_requests.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn rate_limiter_fires_when_configured() {
+        let mut cfg = quiet_config();
+        cfg.rate_limit_capacity = Some(10.0);
+        cfg.rate_limit_refill = 0.5;
+        let svc = service(500, cfg);
+        let mut limited = 0;
+        for user in 0..200u64 {
+            if svc.fetch_profile(user % 400) == Err(FetchError::RateLimited) {
+                limited += 1;
+            }
+        }
+        assert!(limited > 50, "expected rate limiting, got {limited}");
+        assert_eq!(svc.stats().rate_limited.load(Ordering::Relaxed), limited);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let cfg = ServiceConfig { failure_rate: 0.2, ..ServiceConfig::default() };
+        let a = service(500, cfg.clone());
+        let b = service(500, cfg);
+        let run = |svc: &GooglePlusService| {
+            (0..300u64)
+                .map(|u| svc.fetch_profile(u).is_ok())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(&a), run(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "page_size")]
+    fn rejects_zero_page_size() {
+        let mut cfg = quiet_config();
+        cfg.page_size = 0;
+        let _ = service(150, cfg);
+    }
+}

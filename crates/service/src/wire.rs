@@ -1,0 +1,284 @@
+//! Length-delimited wire protocol for the service API.
+//!
+//! The paper's crawler spoke HTTP to Google's frontend; our in-process
+//! simulation normally short-circuits that. This module restores the
+//! network boundary as a byte protocol: requests and responses serialise
+//! into length-delimited JSON frames (the framing pattern from the Tokio
+//! tutorial, minus the async runtime — the transport here is any
+//! `Read`/`Write` pair or an in-memory buffer). [`WireService`] wraps a
+//! [`GooglePlusService`] behind an encode→decode round trip, so tests can
+//! prove the protocol carries the entire API faithfully.
+//!
+//! Frame layout: `u32` big-endian payload length, then the JSON payload.
+//! JSON keeps the frames debuggable; the framing machinery (buffering,
+//! partial reads, length checks) is what a binary protocol would need too.
+
+use crate::error::FetchError;
+use crate::page::{CirclePage, Direction, ProfilePage};
+use crate::service::{GooglePlusService, SocialApi};
+use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Maximum accepted frame payload (guards against corrupt lengths).
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// A request frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Request {
+    /// Fetch a profile page.
+    Profile {
+        /// Target user.
+        user: u64,
+    },
+    /// Fetch one page of a circle list.
+    Circle {
+        /// Target user.
+        user: u64,
+        /// Which list.
+        direction: Direction,
+        /// Zero-based page number.
+        page: usize,
+    },
+}
+
+/// A response frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Profile page.
+    Profile(ProfilePage),
+    /// Circle page.
+    Circle(CirclePage),
+    /// Error outcome.
+    Error(FetchError),
+}
+
+/// Encodes one frame (request or response) into `dst`.
+pub fn encode<T: Serialize>(message: &T, dst: &mut BytesMut) {
+    let payload = serde_json::to_vec(message).expect("wire types serialise");
+    assert!(payload.len() <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
+    dst.reserve(4 + payload.len());
+    dst.put_u32(payload.len() as u32);
+    dst.put_slice(&payload);
+}
+
+/// Frame-decoding errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Not enough bytes buffered yet; read more and retry.
+    Incomplete,
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge(usize),
+    /// The payload failed to parse.
+    Malformed(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Incomplete => f.write_str("incomplete frame"),
+            DecodeError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds cap"),
+            DecodeError::Malformed(e) => write!(f, "malformed frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Attempts to decode one frame from `src`, consuming it on success.
+/// Returns [`DecodeError::Incomplete`] when more bytes are needed —
+/// the caller keeps the buffer and reads more, exactly the Tokio framing
+/// discipline.
+pub fn decode<T: for<'de> Deserialize<'de>>(src: &mut BytesMut) -> Result<T, DecodeError> {
+    if src.len() < 4 {
+        return Err(DecodeError::Incomplete);
+    }
+    let len = u32::from_be_bytes([src[0], src[1], src[2], src[3]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(DecodeError::FrameTooLarge(len));
+    }
+    if src.len() < 4 + len {
+        return Err(DecodeError::Incomplete);
+    }
+    src.advance(4);
+    let payload = src.split_to(len);
+    serde_json::from_slice(&payload).map_err(|e| DecodeError::Malformed(e.to_string()))
+}
+
+/// The service exposed through the wire protocol: every call encodes the
+/// request, "transmits" it, decodes it server-side, executes, encodes the
+/// response and decodes it client-side. Functionally identical to calling
+/// the service directly — which the tests assert — but every byte crosses
+/// the protocol boundary.
+pub struct WireService {
+    inner: GooglePlusService,
+}
+
+impl WireService {
+    /// Wraps a service.
+    pub fn new(inner: GooglePlusService) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &GooglePlusService {
+        &self.inner
+    }
+
+    /// Server side: executes one decoded request.
+    pub fn serve(&self, request: Request) -> Response {
+        match request {
+            Request::Profile { user } => match self.inner.fetch_profile(user) {
+                Ok(p) => Response::Profile(p),
+                Err(e) => Response::Error(e),
+            },
+            Request::Circle { user, direction, page } => {
+                match self.inner.fetch_circle_page(user, direction, page) {
+                    Ok(c) => Response::Circle(c),
+                    Err(e) => Response::Error(e),
+                }
+            }
+        }
+    }
+
+    /// Full round trip: encode request → decode request → serve → encode
+    /// response → decode response.
+    pub fn call(&self, request: &Request) -> Response {
+        let mut wire = BytesMut::new();
+        encode(request, &mut wire);
+        let server_side: Request = decode(&mut wire).expect("client encodes valid frames");
+        let response = self.serve(server_side);
+        let mut wire = BytesMut::new();
+        encode(&response, &mut wire);
+        decode(&mut wire).expect("server encodes valid frames")
+    }
+
+    /// Client-convenience: profile fetch over the wire.
+    pub fn fetch_profile(&self, user: u64) -> Result<ProfilePage, FetchError> {
+        match self.call(&Request::Profile { user }) {
+            Response::Profile(p) => Ok(p),
+            Response::Error(e) => Err(e),
+            Response::Circle(_) => unreachable!("profile request yields profile response"),
+        }
+    }
+
+    /// Client-convenience: circle fetch over the wire.
+    pub fn fetch_circle_page(
+        &self,
+        user: u64,
+        direction: Direction,
+        page: usize,
+    ) -> Result<CirclePage, FetchError> {
+        match self.call(&Request::Circle { user, direction, page }) {
+            Response::Circle(c) => Ok(c),
+            Response::Error(e) => Err(e),
+            Response::Profile(_) => unreachable!("circle request yields circle response"),
+        }
+    }
+}
+
+impl SocialApi for WireService {
+    fn fetch_profile(&self, user: u64) -> Result<ProfilePage, FetchError> {
+        WireService::fetch_profile(self, user)
+    }
+
+    fn fetch_circle_page(
+        &self,
+        user: u64,
+        direction: Direction,
+        page: usize,
+    ) -> Result<CirclePage, FetchError> {
+        WireService::fetch_circle_page(self, user, direction, page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use gplus_synth::{SynthConfig, SynthNetwork};
+
+    fn wire_service(n: usize) -> WireService {
+        let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(n, 41));
+        WireService::new(GooglePlusService::new(
+            net,
+            ServiceConfig { failure_rate: 0.0, private_list_fraction: 0.0, ..Default::default() },
+        ))
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        for req in [
+            Request::Profile { user: 42 },
+            Request::Circle { user: 7, direction: Direction::InCircles, page: 3 },
+        ] {
+            let mut buf = BytesMut::new();
+            encode(&req, &mut buf);
+            let back: Request = decode(&mut buf).unwrap();
+            assert_eq!(back, req);
+            assert!(buf.is_empty(), "frame fully consumed");
+        }
+    }
+
+    #[test]
+    fn incomplete_frames_wait_for_more_bytes() {
+        let mut buf = BytesMut::new();
+        encode(&Request::Profile { user: 1 }, &mut buf);
+        let full = buf.clone();
+        // drip-feed byte by byte: everything short of the full frame is
+        // Incomplete, never an error
+        for cut in 0..full.len() {
+            let mut partial = BytesMut::from(&full[..cut]);
+            let r: Result<Request, _> = decode(&mut partial);
+            assert_eq!(r.unwrap_err(), DecodeError::Incomplete, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn two_frames_in_one_buffer() {
+        let mut buf = BytesMut::new();
+        encode(&Request::Profile { user: 1 }, &mut buf);
+        encode(&Request::Profile { user: 2 }, &mut buf);
+        let a: Request = decode(&mut buf).unwrap();
+        let b: Request = decode(&mut buf).unwrap();
+        assert_eq!(a, Request::Profile { user: 1 });
+        assert_eq!(b, Request::Profile { user: 2 });
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(u32::MAX);
+        buf.put_slice(b"junk");
+        let r: Result<Request, _> = decode(&mut buf);
+        assert!(matches!(r.unwrap_err(), DecodeError::FrameTooLarge(_)));
+    }
+
+    #[test]
+    fn malformed_payload_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(4);
+        buf.put_slice(b"}{!(");
+        let r: Result<Request, _> = decode(&mut buf);
+        assert!(matches!(r.unwrap_err(), DecodeError::Malformed(_)));
+    }
+
+    #[test]
+    fn wire_calls_match_direct_calls() {
+        let wire = wire_service(800);
+        let direct = wire.inner();
+        for user in [0u64, 1, 100, 500] {
+            assert_eq!(wire.fetch_profile(user), direct.fetch_profile(user));
+            assert_eq!(
+                wire.fetch_circle_page(user, Direction::OutCircles, 0),
+                direct.fetch_circle_page(user, Direction::OutCircles, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn wire_propagates_errors() {
+        let wire = wire_service(200);
+        assert_eq!(wire.fetch_profile(10_000_000), Err(FetchError::NotFound));
+    }
+}

@@ -1,0 +1,146 @@
+//! Convergence detection for iteratively-refined empirical distributions.
+//!
+//! §3.3.5: "We sampled k different users ... We started with k = 2000 and
+//! increased it until 10000, stopping in this value once there were no more
+//! changes in the distribution." [`ConvergenceDetector`] formalises "no more
+//! changes" as the Kolmogorov–Smirnov distance between successive empirical
+//! distributions dropping below a tolerance.
+
+use serde::{Deserialize, Serialize};
+
+use crate::distribution::Cdf;
+
+/// Two-sample Kolmogorov–Smirnov distance: the supremum of the absolute
+/// difference between the two empirical CDFs.
+///
+/// # Panics
+/// Panics if either sample is empty.
+pub fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
+    let ca = Cdf::new(a);
+    let cb = Cdf::new(b);
+    let mut d: f64 = 0.0;
+    // The supremum is attained at an observation point of either sample.
+    for &x in ca.sorted_values().iter().chain(cb.sorted_values()) {
+        d = d.max((ca.eval(x) - cb.eval(x)).abs());
+        // also check just below x (left limit) via the previous value; the
+        // step structure means evaluating at each observation suffices for
+        // the max over the union of jump points.
+    }
+    d
+}
+
+/// Tracks successive snapshots of a distribution and reports convergence
+/// when the KS distance between consecutive snapshots stays below `tol`
+/// for `patience` comparisons in a row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConvergenceDetector {
+    tol: f64,
+    patience: usize,
+    streak: usize,
+    last: Option<Vec<f64>>,
+    history: Vec<f64>,
+}
+
+impl ConvergenceDetector {
+    /// Creates a detector with KS tolerance `tol` (> 0) requiring
+    /// `patience` (>= 1) consecutive sub-tolerance steps.
+    ///
+    /// # Panics
+    /// Panics if `tol <= 0` or `patience == 0`.
+    pub fn new(tol: f64, patience: usize) -> Self {
+        assert!(tol > 0.0, "tolerance must be positive");
+        assert!(patience >= 1, "patience must be at least 1");
+        Self { tol, patience, streak: 0, last: None, history: Vec::new() }
+    }
+
+    /// Feeds the next snapshot; returns `true` once converged.
+    ///
+    /// # Panics
+    /// Panics if `snapshot` is empty.
+    pub fn update(&mut self, snapshot: &[f64]) -> bool {
+        assert!(!snapshot.is_empty(), "snapshot must be non-empty");
+        if let Some(prev) = &self.last {
+            let d = ks_distance(prev, snapshot);
+            self.history.push(d);
+            if d < self.tol {
+                self.streak += 1;
+            } else {
+                self.streak = 0;
+            }
+        }
+        self.last = Some(snapshot.to_vec());
+        self.converged()
+    }
+
+    /// Whether the convergence criterion has been met.
+    pub fn converged(&self) -> bool {
+        self.streak >= self.patience
+    }
+
+    /// The KS distances observed between successive snapshots, in order.
+    pub fn ks_history(&self) -> &[f64] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ks_identical_samples_zero() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(ks_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn ks_disjoint_samples_one() {
+        let a = [1.0, 2.0];
+        let b = [10.0, 20.0];
+        assert_eq!(ks_distance(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn ks_known_value() {
+        // F_a steps 0.5 at 1 and 1.0 at 3; F_b steps 0.5 at 2 and 1.0 at 3.
+        // At x=1: |0.5 - 0| = 0.5.
+        let a = [1.0, 3.0];
+        let b = [2.0, 3.0];
+        assert!((ks_distance(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_symmetric() {
+        let a = [1.0, 5.0, 9.0, 2.0];
+        let b = [0.5, 4.0, 4.5];
+        assert_eq!(ks_distance(&a, &b), ks_distance(&b, &a));
+    }
+
+    #[test]
+    fn detector_converges_on_stable_distribution() {
+        let mut det = ConvergenceDetector::new(0.05, 2);
+        let snap: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(!det.update(&snap)); // first snapshot: no comparison yet
+        assert!(!det.update(&snap)); // streak 1
+        assert!(det.update(&snap)); // streak 2 -> converged
+        assert_eq!(det.ks_history().len(), 2);
+    }
+
+    #[test]
+    fn detector_resets_streak_on_change() {
+        let mut det = ConvergenceDetector::new(0.05, 2);
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| i as f64 + 50.0).collect();
+        det.update(&a);
+        det.update(&a); // streak 1
+        assert!(!det.update(&b)); // big jump resets streak
+        assert!(!det.update(&b)); // streak 1 again
+        assert!(det.update(&b)); // streak 2
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn detector_rejects_zero_tol() {
+        let _ = ConvergenceDetector::new(0.0, 1);
+    }
+}

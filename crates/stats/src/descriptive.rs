@@ -1,0 +1,226 @@
+//! Descriptive statistics: streaming mean/variance (Welford), medians,
+//! percentiles.
+//!
+//! Figure 9(b) reports per-country *average path miles with standard
+//! deviation*; Table 4 reports average path lengths and degrees. [`Summary`]
+//! accumulates those moments in one pass without storing the observations.
+
+use serde::{Deserialize, Serialize};
+
+/// Single-pass summary statistics using Welford's online algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Builds a summary over a slice in one call.
+    pub fn of(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.add(v);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    /// Panics on non-finite input: a NaN silently poisons every statistic.
+    pub fn add(&mut self, x: f64) {
+        assert!(x.is_finite(), "Summary::add requires finite observations");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another summary into this one (parallel reduction), using the
+    /// Chan et al. pairwise update.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; 0 when fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample (Bessel-corrected) variance; 0 when fewer than two observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation; `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation; `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Median by the standard "average the two middle elements" convention.
+///
+/// # Panics
+/// Panics on empty input.
+pub fn median(values: &[f64]) -> f64 {
+    percentile(values, 50.0)
+}
+
+/// The `p`-th percentile (`0 <= p <= 100`) with linear interpolation between
+/// closest ranks.
+///
+/// # Panics
+/// Panics on empty input or `p` outside `[0, 100]`.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile requires p in [0,100]");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_moments() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_sample_variance_bessel() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert!((s.sample_variance() - 1.0).abs() < 1e-12);
+        assert!((s.variance() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_defaults() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let all: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole = Summary::of(&all);
+        let mut merged = Summary::of(&all[..37]);
+        merged.merge(&Summary::of(&all[37..]));
+        assert_eq!(whole.count(), merged.count());
+        assert!((whole.mean() - merged.mean()).abs() < 1e-9);
+        assert!((whole.variance() - merged.variance()).abs() < 1e-9);
+        assert_eq!(whole.min(), merged.min());
+        assert_eq!(whole.max(), merged.max());
+    }
+
+    #[test]
+    fn summary_merge_with_empty_is_identity() {
+        let mut a = Summary::of(&[1.0, 2.0]);
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn summary_rejects_nan() {
+        Summary::new().add(f64::NAN);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 100.0), 40.0);
+        assert!((percentile(&v, 25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        let _ = percentile(&[], 50.0);
+    }
+}

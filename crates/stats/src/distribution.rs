@@ -1,0 +1,468 @@
+//! Empirical distribution functions: CDF, CCDF, histograms, log binning.
+//!
+//! The paper presents nearly every result as a CDF (Figures 4a, 4b, 9a) or a
+//! CCDF (Figures 2, 3, 4c, 8). These types build the corresponding step
+//! functions from raw observations and expose evaluation, quantiles, and the
+//! `(x, y)` point series the benches print.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution function over `f64` observations.
+///
+/// `F(x) = P(X <= x)`, built by sorting the observations once. Evaluation is
+/// `O(log n)` by binary search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from arbitrary (unsorted) observations.
+    ///
+    /// Non-finite values are rejected because they have no meaningful order.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or contains a NaN/infinite value.
+    pub fn new(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "Cdf::new requires at least one observation");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "Cdf::new requires finite observations"
+        );
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are totally ordered"));
+        Self { sorted }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the CDF holds no observations (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluates `P(X <= x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.sorted.len();
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / n as f64
+    }
+
+    /// Evaluates `P(X > x)` — the complementary CDF at `x`.
+    pub fn ccdf(&self, x: f64) -> f64 {
+        1.0 - self.eval(x)
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`) using the nearest-rank method.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1]");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let n = self.sorted.len();
+        let rank = (q * n as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Mean of the observations.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// The `(x, F(x))` step points at each distinct observation, suitable for
+    /// plotting the CDF curve exactly.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut pts = Vec::new();
+        let mut i = 0;
+        while i < self.sorted.len() {
+            let x = self.sorted[i];
+            // advance over duplicates so each x appears once with its final F(x)
+            let mut j = i;
+            while j + 1 < self.sorted.len() && self.sorted[j + 1] == x {
+                j += 1;
+            }
+            pts.push((x, (j + 1) as f64 / n));
+            i = j + 1;
+        }
+        pts
+    }
+
+    /// Sorted view of the underlying observations.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// An empirical complementary CDF over non-negative integer counts
+/// (degrees, field counts, component sizes).
+///
+/// `G(x) = P(X >= x)`, the convention the paper's log–log CCDF plots use:
+/// the curve starts at 1 for the minimum value and each distinct value `x`
+/// is plotted against the fraction of observations that are `>= x`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ccdf {
+    /// Distinct observed values, ascending.
+    values: Vec<u64>,
+    /// `survival[i]` = fraction of observations `>= values[i]`.
+    survival: Vec<f64>,
+    n: usize,
+}
+
+impl Ccdf {
+    /// Builds the CCDF of a sequence of counts.
+    ///
+    /// # Panics
+    /// Panics if `counts` is empty.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        assert!(!counts.is_empty(), "Ccdf::from_counts requires observations");
+        let mut sorted = counts.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let mut values = Vec::new();
+        let mut survival = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let v = sorted[i];
+            // fraction of observations >= v  ==  (n - i) / n
+            values.push(v);
+            survival.push((n - i) as f64 / n as f64);
+            while i < n && sorted[i] == v {
+                i += 1;
+            }
+        }
+        Self { values, survival, n }
+    }
+
+    /// Number of observations the CCDF was built from.
+    pub fn sample_size(&self) -> usize {
+        self.n
+    }
+
+    /// Evaluates `P(X >= x)`.
+    pub fn eval(&self, x: u64) -> f64 {
+        // first index with values[i] >= x
+        let idx = self.values.partition_point(|&v| v < x);
+        if idx == self.values.len() {
+            0.0
+        } else {
+            self.survival[idx]
+        }
+    }
+
+    /// The `(value, survival)` series, ascending in value.
+    pub fn points(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.values.iter().copied().zip(self.survival.iter().copied())
+    }
+
+    /// The subset of points with strictly positive values, in `(ln x, ln y)`
+    /// space — the input to the paper's log–log regression.
+    pub fn log_log_points(&self) -> Vec<(f64, f64)> {
+        self.points()
+            .filter(|&(x, y)| x > 0 && y > 0.0)
+            .map(|(x, y)| ((x as f64).ln(), y.ln()))
+            .collect()
+    }
+
+    /// Largest observed value.
+    pub fn max_value(&self) -> u64 {
+        *self.values.last().expect("non-empty by construction")
+    }
+
+    /// Smallest observed value.
+    pub fn min_value(&self) -> u64 {
+        self.values[0]
+    }
+}
+
+/// A fixed-width histogram over `f64` observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Observations outside `[lo, hi)`.
+    out_of_range: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "Histogram requires at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid histogram range");
+        Self { lo, hi, counts: vec![0; bins], out_of_range: 0, total: 0 }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if !x.is_finite() || x < self.lo || x >= self.hi {
+            self.out_of_range += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = ((x - self.lo) / width) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Adds every observation in `xs`.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Raw per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of observations that fell outside `[lo, hi)`.
+    pub fn out_of_range(&self) -> u64 {
+        self.out_of_range
+    }
+
+    /// Total observations added (including out-of-range ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bin `(bin_center, density)` where density integrates to the
+    /// in-range fraction.
+    pub fn density(&self) -> Vec<(f64, f64)> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let total = self.total.max(1) as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let center = self.lo + (i as f64 + 0.5) * width;
+                (center, c as f64 / total / width)
+            })
+            .collect()
+    }
+}
+
+/// Logarithmic binning for heavy-tailed count data.
+///
+/// Power-law tails are noisy under linear binning; the conventional remedy
+/// (used when plotting Figure 3-style distributions) is bins whose edges grow
+/// geometrically. Bin `i` covers `[base^i, base^(i+1))` scaled so the first
+/// bin starts at 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogBins {
+    base: f64,
+    counts: Vec<u64>,
+    zero_count: u64,
+    total: u64,
+}
+
+impl LogBins {
+    /// Creates empty log bins with the given geometric `base` (> 1) covering
+    /// values up to `max_value`.
+    ///
+    /// # Panics
+    /// Panics if `base <= 1.0`.
+    pub fn new(base: f64, max_value: u64) -> Self {
+        assert!(base > 1.0, "LogBins base must exceed 1");
+        let nbins = if max_value <= 1 {
+            1
+        } else {
+            ((max_value as f64).ln() / base.ln()).floor() as usize + 1
+        };
+        Self { base, counts: vec![0; nbins], zero_count: 0, total: 0 }
+    }
+
+    /// Adds one count observation. Zeros are tracked separately because they
+    /// have no logarithm.
+    pub fn add(&mut self, x: u64) {
+        self.total += 1;
+        if x == 0 {
+            self.zero_count += 1;
+            return;
+        }
+        let idx = ((x as f64).ln() / self.base.ln()).floor() as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Number of zero observations seen.
+    pub fn zeros(&self) -> u64 {
+        self.zero_count
+    }
+
+    /// Per-bin `(geometric_center, normalized_density)` points.
+    pub fn density(&self) -> Vec<(f64, f64)> {
+        let total = self.total.max(1) as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let lo = self.base.powi(i as i32);
+                let hi = self.base.powi(i as i32 + 1);
+                let center = (lo * hi).sqrt();
+                (center, c as f64 / total / (hi - lo))
+            })
+            .collect()
+    }
+
+    /// Raw per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_eval_matches_definition() {
+        let cdf = Cdf::new(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.eval(3.0), 1.0);
+        assert_eq!(cdf.eval(10.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_ccdf_complements() {
+        let cdf = Cdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        for x in [0.0, 1.5, 2.0, 5.0] {
+            assert!((cdf.eval(x) + cdf.ccdf(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_quantiles_nearest_rank() {
+        let cdf = Cdf::new(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(cdf.quantile(0.0), 10.0);
+        assert_eq!(cdf.quantile(0.5), 30.0);
+        assert_eq!(cdf.quantile(1.0), 50.0);
+        assert_eq!(cdf.min(), 10.0);
+        assert_eq!(cdf.max(), 50.0);
+    }
+
+    #[test]
+    fn cdf_points_deduplicate() {
+        let cdf = Cdf::new(&[1.0, 1.0, 2.0]);
+        let pts = cdf.points();
+        assert_eq!(pts, vec![(1.0, 2.0 / 3.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn cdf_rejects_empty() {
+        let _ = Cdf::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn cdf_rejects_nan() {
+        let _ = Cdf::new(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn ccdf_eval_matches_definition() {
+        let ccdf = Ccdf::from_counts(&[1, 2, 2, 5]);
+        assert_eq!(ccdf.eval(0), 1.0);
+        assert_eq!(ccdf.eval(1), 1.0);
+        assert_eq!(ccdf.eval(2), 0.75);
+        assert_eq!(ccdf.eval(3), 0.25);
+        assert_eq!(ccdf.eval(5), 0.25);
+        assert_eq!(ccdf.eval(6), 0.0);
+    }
+
+    #[test]
+    fn ccdf_points_start_at_one() {
+        let ccdf = Ccdf::from_counts(&[3, 7, 7, 9, 12]);
+        let first = ccdf.points().next().unwrap();
+        assert_eq!(first, (3, 1.0));
+        assert_eq!(ccdf.min_value(), 3);
+        assert_eq!(ccdf.max_value(), 12);
+        assert_eq!(ccdf.sample_size(), 5);
+    }
+
+    #[test]
+    fn ccdf_monotone_nonincreasing() {
+        let ccdf = Ccdf::from_counts(&[1, 1, 4, 9, 9, 20, 100]);
+        let ys: Vec<f64> = ccdf.points().map(|(_, y)| y).collect();
+        for w in ys.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn ccdf_log_log_points_skip_zero() {
+        let ccdf = Ccdf::from_counts(&[0, 0, 1, 2]);
+        let pts = ccdf.log_log_points();
+        // value 0 has no logarithm and must be excluded
+        assert!(pts.iter().all(|&(lx, _)| lx >= 0.0));
+        assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn histogram_bins_and_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend([0.0, 1.0, 2.5, 9.99, 10.0, -1.0]);
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.out_of_range(), 2);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn histogram_density_integrates_to_in_range_fraction() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for i in 0..100 {
+            h.add(i as f64 / 100.0);
+        }
+        let width = 0.1;
+        let integral: f64 = h.density().iter().map(|&(_, d)| d * width).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_bins_geometric_growth() {
+        let mut lb = LogBins::new(2.0, 1024);
+        lb.add(1); // bin 0: [1,2)
+        lb.add(2); // bin 1: [2,4)
+        lb.add(3); // bin 1
+        lb.add(1000); // bin 9: [512,1024)
+        lb.add(0); // tracked separately
+        assert_eq!(lb.counts()[0], 1);
+        assert_eq!(lb.counts()[1], 2);
+        assert_eq!(lb.counts()[9], 1);
+        assert_eq!(lb.zeros(), 1);
+    }
+
+    #[test]
+    fn log_bins_density_positive_only_where_counts() {
+        let mut lb = LogBins::new(10.0, 1000);
+        lb.add(5);
+        let dens = lb.density();
+        assert!(dens[0].1 > 0.0);
+        assert_eq!(dens[1].1, 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Jaccard similarity indices.
+//!
+//! Table 5 compares the occupation mix of each country's top-10 users with
+//! that of the United States via a Jaccard index. Because the same
+//! occupation code can appear several times in a top-10 list (e.g. "Mu Mu Mu
+//! IT Mu ..." for Mexico), the multiset (weighted) Jaccard variant is the
+//! faithful estimator; the plain set variant is provided for comparison.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Set Jaccard index `|A ∩ B| / |A ∪ B|`, ignoring multiplicities.
+///
+/// Returns 1.0 when both collections are empty (two empty sets are
+/// identical).
+pub fn jaccard_index<T: Eq + Hash + Clone>(a: &[T], b: &[T]) -> f64 {
+    let sa: std::collections::HashSet<&T> = a.iter().collect();
+    let sb: std::collections::HashSet<&T> = b.iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    inter as f64 / union as f64
+}
+
+/// Multiset (weighted) Jaccard index
+/// `Σ min(m_A(x), m_B(x)) / Σ max(m_A(x), m_B(x))` over element
+/// multiplicities.
+///
+/// Returns 1.0 when both collections are empty.
+pub fn multiset_jaccard<T: Eq + Hash + Clone>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut counts_a: HashMap<&T, usize> = HashMap::new();
+    for x in a {
+        *counts_a.entry(x).or_insert(0) += 1;
+    }
+    let mut counts_b: HashMap<&T, usize> = HashMap::new();
+    for x in b {
+        *counts_b.entry(x).or_insert(0) += 1;
+    }
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for (k, &ca) in &counts_a {
+        let cb = counts_b.get(k).copied().unwrap_or(0);
+        inter += ca.min(cb);
+        union += ca.max(cb);
+    }
+    for (k, &cb) in &counts_b {
+        if !counts_a.contains_key(k) {
+            union += cb;
+        }
+    }
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_lists_are_one() {
+        let a = ["Mu", "IT", "Co"];
+        assert_eq!(jaccard_index(&a, &a), 1.0);
+        assert_eq!(multiset_jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn disjoint_lists_are_zero() {
+        assert_eq!(jaccard_index(&["a", "b"], &["c", "d"]), 0.0);
+        assert_eq!(multiset_jaccard(&["a", "b"], &["c", "d"]), 0.0);
+    }
+
+    #[test]
+    fn set_index_ignores_multiplicity() {
+        assert_eq!(jaccard_index(&["a", "a", "b"], &["a", "b", "b"]), 1.0);
+    }
+
+    #[test]
+    fn multiset_index_respects_multiplicity() {
+        // A = {a:2, b:1}, B = {a:1, b:2}: inter = 1+1, union = 2+2
+        assert_eq!(multiset_jaccard(&["a", "a", "b"], &["a", "b", "b"]), 0.5);
+    }
+
+    #[test]
+    fn empty_vs_empty_is_one_empty_vs_nonempty_zero() {
+        let e: [&str; 0] = [];
+        assert_eq!(jaccard_index(&e, &e), 1.0);
+        assert_eq!(multiset_jaccard(&e, &e), 1.0);
+        assert_eq!(jaccard_index(&e, &["a"]), 0.0);
+        assert_eq!(multiset_jaccard(&e, &["a"]), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = ["x", "y", "y", "z"];
+        let b = ["y", "z", "z", "w"];
+        assert_eq!(multiset_jaccard(&a, &b), multiset_jaccard(&b, &a));
+        assert_eq!(jaccard_index(&a, &b), jaccard_index(&b, &a));
+    }
+
+    #[test]
+    fn table5_style_profession_codes() {
+        // US and Canada from Table 5 share most codes -> high index.
+        let us = ["Co", "Mu", "IT", "Mu", "IT", "Mu", "Bu", "IT", "Mo", "Ac"];
+        let ca = ["IT", "IT", "Mu", "Co", "Bu", "Ac", "IT", "Mu", "Co", "Ac"];
+        let sim = multiset_jaccard(&us, &ca);
+        assert!(sim > 0.5, "US/CA should be similar, got {sim}");
+        // Germany's list shares far less with the US.
+        let de = ["Bl", "IT", "IT", "Jo", "Bl", "IT", "Jo", "Ec", "Mu", "Bl"];
+        let sim_de = multiset_jaccard(&us, &de);
+        assert!(sim_de < sim, "DE should be less similar than CA");
+    }
+}

@@ -1,0 +1,46 @@
+//! Statistics substrate for the Google+ IMC'12 reproduction.
+//!
+//! The measurement study reports almost all of its findings as empirical
+//! distributions (CDFs and CCDFs), power-law fits obtained by linear
+//! regression in log–log space, descriptive statistics, and one Jaccard
+//! similarity table. This crate implements those estimators from scratch,
+//! plus the sampling and convergence machinery the paper's methodology
+//! relies on (reservoir sampling of nodes, and the "grow k until the
+//! distribution stops changing" schedule of §3.3.5).
+//!
+//! Everything here is deterministic given a seeded RNG and operates on
+//! plain slices, so the graph and analysis crates stay decoupled from any
+//! particular storage layout.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use gplus_stats::{Ccdf, PowerLawFit};
+//!
+//! // Degree sequence -> CCDF -> power-law exponent, as in Figure 3.
+//! let degrees: Vec<u64> = (1..1000).map(|i| 1 + 100_000 / (i * i)).collect();
+//! let ccdf = Ccdf::from_counts(&degrees);
+//! let fit = PowerLawFit::from_ccdf(&ccdf);
+//! assert!(fit.alpha > 0.0);
+//! assert!(fit.r_squared > 0.8);
+//! ```
+
+pub mod convergence;
+pub mod descriptive;
+pub mod distribution;
+pub mod jaccard;
+pub mod linreg;
+pub mod normal;
+pub mod powerlaw;
+pub mod resample;
+pub mod sampling;
+
+pub use convergence::{ks_distance, ConvergenceDetector};
+pub use descriptive::{median, percentile, Summary};
+pub use distribution::{Ccdf, Cdf, Histogram, LogBins};
+pub use jaccard::{jaccard_index, multiset_jaccard};
+pub use linreg::LinearRegression;
+pub use normal::{phi, phi_inv};
+pub use powerlaw::PowerLawFit;
+pub use resample::{bootstrap_ci, entropy_bits, gini, BootstrapCi};
+pub use sampling::{reservoir_sample, sample_indices};

@@ -1,0 +1,117 @@
+//! Ordinary least-squares simple linear regression.
+//!
+//! The paper estimates power-law exponents "by using a simple statistical
+//! linear regression (in the log-log scale)" (§3.3.1) and reports the R²
+//! goodness of fit. This module provides exactly that primitive.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of fitting `y = slope * x + intercept` by least squares.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegression {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (clamped).
+    pub r_squared: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl LinearRegression {
+    /// Fits a least-squares line through `points`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two points are supplied, or if all `x` values are
+    /// identical (the slope is undefined).
+    pub fn fit(points: &[(f64, f64)]) -> Self {
+        assert!(points.len() >= 2, "linear regression requires >= 2 points");
+        let n = points.len() as f64;
+        let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+        let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for &(x, y) in points {
+            let dx = x - mean_x;
+            let dy = y - mean_y;
+            sxx += dx * dx;
+            sxy += dx * dy;
+            syy += dy * dy;
+        }
+        assert!(sxx > 0.0, "linear regression requires non-degenerate x values");
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        // R^2 = 1 - SS_res / SS_tot; when y is constant the line fits exactly.
+        let r_squared = if syy == 0.0 {
+            1.0
+        } else {
+            let ss_res: f64 = points
+                .iter()
+                .map(|&(x, y)| {
+                    let e = y - (slope * x + intercept);
+                    e * e
+                })
+                .sum();
+            (1.0 - ss_res / syy).clamp(0.0, 1.0)
+        };
+        Self { slope, intercept, r_squared, n: points.len() }
+    }
+
+    /// Predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
+        let fit = LinearRegression::fit(&pts);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert_eq!(fit.n, 10);
+    }
+
+    #[test]
+    fn predict_uses_fit() {
+        let pts = [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)];
+        let fit = LinearRegression::fit(&pts);
+        assert!((fit.predict(3.0) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let pts = [(0.0, 0.0), (1.0, 1.2), (2.0, 1.8), (3.0, 3.1), (4.0, 3.9)];
+        let fit = LinearRegression::fit(&pts);
+        assert!(fit.slope > 0.8 && fit.slope < 1.2);
+        assert!(fit.r_squared > 0.95 && fit.r_squared < 1.0);
+    }
+
+    #[test]
+    fn constant_y_perfect_fit() {
+        let pts = [(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)];
+        let fit = LinearRegression::fit(&pts);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2 points")]
+    fn rejects_single_point() {
+        let _ = LinearRegression::fit(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-degenerate")]
+    fn rejects_vertical_line() {
+        let _ = LinearRegression::fit(&[(1.0, 1.0), (1.0, 2.0)]);
+    }
+}

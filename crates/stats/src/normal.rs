@@ -1,0 +1,150 @@
+//! Standard normal CDF and quantile function.
+//!
+//! The profile generator uses a Gaussian copula to correlate field-sharing
+//! decisions within a user while preserving each field's Table-2 marginal
+//! exactly; that needs Φ and Φ⁻¹. Both are implemented from scratch:
+//! Φ via the Abramowitz–Stegun erf approximation (|error| < 1.5e-7) and
+//! Φ⁻¹ via Acklam's rational approximation refined with one Halley step
+//! (relative error < 1e-9).
+
+/// Error function, Abramowitz & Stegun 7.1.26 (|ε| ≤ 1.5·10⁻⁷).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF `Φ(x)`.
+pub fn phi(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal quantile `Φ⁻¹(p)` for `p ∈ (0, 1)`.
+///
+/// Acklam's piecewise rational approximation, refined by one Halley
+/// iteration against [`phi`].
+///
+/// # Panics
+/// Panics if `p` is outside the open interval `(0, 1)`.
+pub fn phi_inv(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "phi_inv requires p in (0,1), got {p}");
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step against the forward CDF.
+    let e = phi(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        // the A&S 7.1.26 approximation carries ~1.5e-7 absolute error
+        assert!((erf(0.0)).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(3.0) - 0.9999779095).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phi_known_values() {
+        assert!((phi(0.0) - 0.5).abs() < 1e-9);
+        assert!((phi(1.0) - 0.8413447461).abs() < 1e-6);
+        assert!((phi(-1.96) - 0.0249978951).abs() < 1e-6);
+        assert!((phi(2.5758) - 0.995).abs() < 1e-4);
+    }
+
+    #[test]
+    fn phi_inv_round_trips() {
+        for p in [0.001, 0.01, 0.024, 0.1, 0.3, 0.5, 0.7, 0.9, 0.976, 0.99, 0.999] {
+            let x = phi_inv(p);
+            assert!((phi(x) - p).abs() < 1e-6, "p={p}: phi(phi_inv)={}", phi(x));
+        }
+    }
+
+    #[test]
+    fn phi_inv_symmetry() {
+        for p in [0.01, 0.2, 0.4] {
+            assert!((phi_inv(p) + phi_inv(1.0 - p)).abs() < 1e-7);
+        }
+        assert!(phi_inv(0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phi_monotone() {
+        let mut prev = phi(-6.0);
+        let mut x = -6.0;
+        while x < 6.0 {
+            x += 0.1;
+            let cur = phi(x);
+            assert!(cur >= prev);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p in (0,1)")]
+    fn phi_inv_rejects_zero() {
+        let _ = phi_inv(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p in (0,1)")]
+    fn phi_inv_rejects_one() {
+        let _ = phi_inv(1.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Bootstrap resampling for confidence intervals.
+//!
+//! The paper reports point estimates only; a reproduction should know how
+//! wide its own estimates are. [`bootstrap_ci`] wraps any statistic of a
+//! sample with a percentile-bootstrap confidence interval, used by the
+//! harness when reporting paper-vs-measured rows at small scale.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A percentile-bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapCi {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level (e.g. 0.95).
+    pub level: f64,
+    /// Bootstrap replicates used.
+    pub replicates: usize,
+}
+
+impl BootstrapCi {
+    /// Whether the interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        (self.lo..=self.hi).contains(&x)
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Percentile bootstrap of `statistic` over `sample`.
+///
+/// # Panics
+/// Panics on an empty sample, `replicates == 0`, or `level` outside (0,1).
+pub fn bootstrap_ci<R: Rng + ?Sized>(
+    sample: &[f64],
+    replicates: usize,
+    level: f64,
+    statistic: impl Fn(&[f64]) -> f64,
+    rng: &mut R,
+) -> BootstrapCi {
+    assert!(!sample.is_empty(), "bootstrap requires a non-empty sample");
+    assert!(replicates > 0, "bootstrap requires replicates");
+    assert!(level > 0.0 && level < 1.0, "confidence level in (0,1)");
+
+    let estimate = statistic(sample);
+    let mut stats = Vec::with_capacity(replicates);
+    let mut scratch = vec![0.0; sample.len()];
+    for _ in 0..replicates {
+        for slot in scratch.iter_mut() {
+            *slot = sample[rng.random_range(0..sample.len())];
+        }
+        stats.push(statistic(&scratch));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((alpha * replicates as f64) as usize).min(replicates - 1);
+    let hi_idx = (((1.0 - alpha) * replicates as f64) as usize).min(replicates - 1);
+    BootstrapCi { estimate, lo: stats[lo_idx], hi: stats[hi_idx], level, replicates }
+}
+
+/// Gini coefficient of a non-negative sample — the standard inequality
+/// measure for degree concentration ("a small fraction of the individuals
+/// have disproportionately large number of neighbors", §3.3.1).
+///
+/// Returns 0 for an empty or all-zero sample.
+pub fn gini(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = sorted.len() as f64;
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 =
+        sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+/// Shannon entropy (bits) of a discrete distribution given as counts.
+/// Zero-count categories contribute nothing. Returns 0 for empty input.
+pub fn entropy_bits(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bootstrap_mean_covers_truth() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sample: Vec<f64> = (0..500).map(|i| (i % 10) as f64).collect(); // mean 4.5
+        let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+        let ci = bootstrap_ci(&sample, 500, 0.95, mean, &mut rng);
+        assert!((ci.estimate - 4.5).abs() < 1e-9);
+        assert!(ci.contains(4.5));
+        assert!(ci.lo < ci.hi);
+        assert!(ci.width() < 1.0, "width {}", ci.width());
+    }
+
+    #[test]
+    fn bootstrap_tighter_with_larger_sample() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+        let small: Vec<f64> = (0..30).map(|i| (i % 7) as f64).collect();
+        let large: Vec<f64> = (0..3000).map(|i| (i % 7) as f64).collect();
+        let ci_small = bootstrap_ci(&small, 300, 0.95, mean, &mut rng);
+        let ci_large = bootstrap_ci(&large, 300, 0.95, mean, &mut rng);
+        assert!(ci_large.width() < ci_small.width());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn bootstrap_rejects_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = bootstrap_ci(&[], 10, 0.9, |s| s.len() as f64, &mut rng);
+    }
+
+    #[test]
+    fn gini_known_values() {
+        assert_eq!(gini(&[]), 0.0);
+        assert!(gini(&[5.0, 5.0, 5.0]).abs() < 1e-12, "equal shares -> 0");
+        // one person owns everything among n: G = (n-1)/n
+        let g = gini(&[0.0, 0.0, 0.0, 12.0]);
+        assert!((g - 0.75).abs() < 1e-12, "got {g}");
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn gini_monotone_in_concentration() {
+        let even = gini(&[1.0, 1.0, 1.0, 1.0]);
+        let skewed = gini(&[0.1, 0.1, 0.1, 3.7]);
+        assert!(skewed > even);
+    }
+
+    #[test]
+    fn entropy_known_values() {
+        assert_eq!(entropy_bits(&[]), 0.0);
+        assert_eq!(entropy_bits(&[10]), 0.0);
+        assert!((entropy_bits(&[1, 1]) - 1.0).abs() < 1e-12);
+        assert!((entropy_bits(&[1, 1, 1, 1]) - 2.0).abs() < 1e-12);
+        // zeros ignored
+        assert!((entropy_bits(&[1, 1, 0, 0]) - 1.0).abs() < 1e-12);
+    }
+}

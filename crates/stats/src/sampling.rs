@@ -1,0 +1,158 @@
+//! Random sampling utilities.
+//!
+//! The paper samples nodes in two places: one million nodes for the
+//! clustering-coefficient CDF (§3.3.3) and `k` BFS sources for the
+//! path-length distribution (§3.3.5). Both need uniform sampling without
+//! replacement from a large index range; [`sample_indices`] provides that,
+//! and [`reservoir_sample`] covers streams of unknown length (e.g. edges
+//! seen during a crawl).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Samples `k` distinct indices uniformly from `0..n` without replacement.
+///
+/// Uses a partial Fisher–Yates shuffle when `k` is a large fraction of `n`
+/// and rejection sampling otherwise, so both "sample 10k of 35M" and
+/// "sample 90% of the nodes" are efficient.
+///
+/// If `k >= n`, returns all indices `0..n` (shuffled).
+pub fn sample_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    if k >= n {
+        let mut all: Vec<usize> = (0..n).collect();
+        all.shuffle(rng);
+        return all;
+    }
+    if k == 0 || n == 0 {
+        return Vec::new();
+    }
+    // Rejection sampling is expected O(k) while k/n is small; beyond ~1/4 the
+    // collision rate makes the partial shuffle cheaper.
+    if k * 4 <= n {
+        let mut seen = std::collections::HashSet::with_capacity(k * 2);
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            let idx = rng.random_range(0..n);
+            if seen.insert(idx) {
+                out.push(idx);
+            }
+        }
+        out
+    } else {
+        let mut all: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = rng.random_range(i..n);
+            all.swap(i, j);
+        }
+        all.truncate(k);
+        all
+    }
+}
+
+/// Reservoir sampling (Algorithm R): a uniform sample of size `k` from a
+/// stream of unknown length, in one pass and `O(k)` memory.
+///
+/// If the stream yields fewer than `k` items, all of them are returned.
+pub fn reservoir_sample<T, I, R>(rng: &mut R, stream: I, k: usize) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+    R: Rng + ?Sized,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    for (i, item) in stream.into_iter().enumerate() {
+        if i < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.random_range(0..=i);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(n, k) in &[(100usize, 10usize), (100, 80), (1000, 999), (50, 0)] {
+            let s = sample_indices(&mut rng, n, k);
+            assert_eq!(s.len(), k);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), k, "indices must be distinct");
+            assert!(s.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn sample_indices_k_ge_n_returns_all() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = sample_indices(&mut rng, 10, 25);
+        s.sort_unstable();
+        assert_eq!(s, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20;
+        let mut hits = vec![0u32; n];
+        for _ in 0..4000 {
+            for i in sample_indices(&mut rng, n, 5) {
+                hits[i] += 1;
+            }
+        }
+        // each index expected 1000 times; allow generous slack
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((700..1300).contains(&h), "index {i} hit {h} times");
+        }
+    }
+
+    #[test]
+    fn reservoir_short_stream_returns_everything() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut s = reservoir_sample(&mut rng, 0..5, 10);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reservoir_exact_size() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = reservoir_sample(&mut rng, 0..10_000, 32);
+        assert_eq!(s.len(), 32);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 32);
+    }
+
+    #[test]
+    fn reservoir_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 10;
+        let mut hits = vec![0u32; n];
+        for _ in 0..5000 {
+            for v in reservoir_sample(&mut rng, 0..n, 3) {
+                hits[v] += 1;
+            }
+        }
+        // each value expected 1500 times
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((1150..1850).contains(&h), "value {i} hit {h} times");
+        }
+    }
+
+    #[test]
+    fn reservoir_k_zero() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(reservoir_sample(&mut rng, 0..100, 0).is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! Celebrity archetypes: Table 1's global top-20 and Table 5's per-country
+//! top-10 lists.
+//!
+//! Two disjoint groups are seeded:
+//!
+//! * **Global celebrities** (Table 1): the twenty named users, with the
+//!   paper's categories mapped to occupation codes. They do *not* share
+//!   "places lived" — which is exactly why the paper's Table 5 (computed
+//!   over geo-located users) shows a different US top-10 than Table 1.
+//! * **Country celebrities** (Table 5): ten per top-10 country carrying the
+//!   paper's verbatim occupation-code sequences, sharing their location.
+//!
+//! Attractiveness ("fitness") decays with rank inside each group so that
+//! ranking by in-degree recovers the intended order.
+
+use gplus_geo::{Country, TOP10_COUNTRIES};
+use gplus_profiles::calibration::{top_user_occupations, TABLE1_TOP_USERS};
+use gplus_profiles::Occupation;
+use serde::{Deserialize, Serialize};
+
+/// One seeded celebrity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Celebrity {
+    /// Graph node id (celebrities occupy the first ids).
+    pub node: u32,
+    /// Display name ("Larry Page" or a synthesized national handle).
+    pub name: String,
+    /// Occupation code per Table 1 / Table 5.
+    pub occupation: Occupation,
+    /// Country of residence.
+    pub country: Country,
+    /// Rank within Table 1, if a global celebrity (0 = Larry Page).
+    pub global_rank: Option<usize>,
+    /// Rank within the country's Table-5 list, if a country celebrity.
+    pub country_rank: Option<usize>,
+    /// Relative probability of being picked as a celebrity target.
+    pub fitness: f64,
+    /// Whether the profile exposes "places lived" (global celebrities
+    /// withhold it; country celebrities share it).
+    pub shares_location: bool,
+}
+
+impl Celebrity {
+    /// Whether this is a Table-1 global celebrity.
+    pub fn is_global(&self) -> bool {
+        self.global_rank.is_some()
+    }
+}
+
+/// Maps a Table-1 "About" string to an occupation code.
+fn table1_occupation(about: &str) -> Occupation {
+    if about.starts_with("IT") {
+        Occupation::InformationTechnology
+    } else if about.starts_with("Musician") {
+        Occupation::Musician
+    } else if about.starts_with("Model") {
+        Occupation::Model
+    } else if about.starts_with("Socialite") {
+        Occupation::Socialite
+    } else if about.starts_with("Businessman") {
+        Occupation::Businessman
+    } else if about.starts_with("Comedian") {
+        Occupation::Comedian
+    } else if about.starts_with("Blogger") {
+        Occupation::Blogger
+    } else if about.starts_with("Actor") {
+        Occupation::Actor
+    } else {
+        // "Astronaut (NASA)" has no Table-5 code; Writer is the nearest
+        // archetype the paper's code list offers for public figures
+        Occupation::Writer
+    }
+}
+
+/// Country of residence for Table-1 celebrities. Richard Branson and Pete
+/// Cashmore are British; everyone else on the list is US-based.
+fn table1_country(name: &str) -> Country {
+    match name {
+        "Richard Branson" | "Pete Cashmore" => Country::Gb,
+        _ => Country::Us,
+    }
+}
+
+/// Seeds the full celebrity roster: 20 global + 10 × top-10 countries.
+///
+/// Node ids are `0..120`. Fitness decays as `rank^-0.8` within each group;
+/// the global group carries `global_weight` times the mass of a country
+/// group so Table-1 members dominate the overall in-degree ranking.
+pub fn seed_celebrities() -> Vec<Celebrity> {
+    let mut out = Vec::with_capacity(120);
+    let mut node: u32 = 0;
+
+    // Table 1: global top-20.
+    for (rank, (name, about, _is_it)) in TABLE1_TOP_USERS.iter().enumerate() {
+        out.push(Celebrity {
+            node,
+            name: (*name).to_string(),
+            occupation: table1_occupation(about),
+            country: table1_country(name),
+            global_rank: Some(rank),
+            country_rank: None,
+            fitness: 10.0 / ((rank + 1) as f64).powf(0.6),
+            shares_location: false,
+        });
+        node += 1;
+    }
+
+    // Table 5: per-country top-10.
+    for country in TOP10_COUNTRIES {
+        let occupations =
+            top_user_occupations(country).expect("top-10 countries have occupation lists");
+        for (rank, occ) in occupations.into_iter().enumerate() {
+            out.push(Celebrity {
+                node,
+                name: format!("{} top-{} ({})", country.code(), rank + 1, occ.code()),
+                occupation: occ,
+                country,
+                global_rank: None,
+                country_rank: Some(rank),
+                fitness: 1.0 / ((rank + 1) as f64).powf(1.1),
+                shares_location: true,
+            });
+            node += 1;
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_size_and_dense_ids() {
+        let c = seed_celebrities();
+        assert_eq!(c.len(), 120);
+        for (i, celeb) in c.iter().enumerate() {
+            assert_eq!(celeb.node as usize, i);
+        }
+    }
+
+    #[test]
+    fn first_twenty_are_table1_in_order() {
+        let c = seed_celebrities();
+        assert_eq!(c[0].name, "Larry Page");
+        assert_eq!(c[1].name, "Mark Zuckerberg");
+        assert_eq!(c[19].name, "Ron Garan");
+        for (i, celeb) in c[..20].iter().enumerate() {
+            assert_eq!(celeb.global_rank, Some(i));
+            assert!(celeb.is_global());
+            assert!(!celeb.shares_location, "Table-1 celebs withhold location");
+        }
+    }
+
+    #[test]
+    fn seven_it_celebrities_globally() {
+        let c = seed_celebrities();
+        let it = c[..20]
+            .iter()
+            .filter(|x| x.occupation == Occupation::InformationTechnology)
+            .count();
+        assert_eq!(it, 7);
+    }
+
+    #[test]
+    fn country_groups_carry_table5_occupations() {
+        let c = seed_celebrities();
+        for country in TOP10_COUNTRIES {
+            let group: Vec<&Celebrity> = c
+                .iter()
+                .filter(|x| x.country_rank.is_some() && x.country == country)
+                .collect();
+            assert_eq!(group.len(), 10, "{country}");
+            let expected = top_user_occupations(country).unwrap();
+            for (rank, celeb) in group.iter().enumerate() {
+                assert_eq!(celeb.country_rank, Some(rank));
+                assert_eq!(celeb.occupation, expected[rank], "{country} rank {rank}");
+                assert!(celeb.shares_location);
+            }
+        }
+    }
+
+    #[test]
+    fn fitness_decays_with_rank() {
+        let c = seed_celebrities();
+        assert!(c[0].fitness > c[1].fitness);
+        assert!(c[1].fitness > c[19].fitness);
+        // global group strictly outweighs country groups at equal rank
+        let us_top = c.iter().find(|x| x.country_rank == Some(0)).unwrap();
+        assert!(c[0].fitness > us_top.fitness);
+    }
+
+    #[test]
+    fn branson_and_cashmore_british() {
+        let c = seed_celebrities();
+        let branson = c.iter().find(|x| x.name == "Richard Branson").unwrap();
+        let cashmore = c.iter().find(|x| x.name == "Pete Cashmore").unwrap();
+        assert_eq!(branson.country, Country::Gb);
+        assert_eq!(cashmore.country, Country::Gb);
+        assert_eq!(c[0].country, Country::Us);
+    }
+}

@@ -1,0 +1,415 @@
+//! Generator configuration and the three network presets.
+
+use gplus_geo::Country;
+use serde::{Deserialize, Serialize};
+
+/// How a user's edge slots are distributed across target pickers.
+///
+/// Each outgoing edge slot is assigned, in order of precedence:
+/// a celebrity pick with `celebrity_fraction`, a friend-of-friend closure
+/// with `fof_fraction`, otherwise a geographic pick. Geographic picks copy
+/// an existing edge's target (preferential attachment) with `copy_prob`,
+/// else sample a uniform member of the chosen country — from the user's own
+/// city with `same_city_prob`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixProfile {
+    /// Probability an edge slot targets a celebrity.
+    pub celebrity_fraction: f64,
+    /// Probability an edge slot closes a friend-of-friend triangle.
+    pub fof_fraction: f64,
+    /// Probability a geographic pick copies an existing in-country edge
+    /// target (preferential attachment; emergent in-degree CCDF exponent is
+    /// roughly `1 / copy_prob`).
+    pub copy_prob: f64,
+    /// Probability a uniform geographic pick stays in the user's own city.
+    pub same_city_prob: f64,
+    /// Probability a same-city pick narrows further to the user's own
+    /// *community* (a small group of ~community_size users within the
+    /// city). Communities are what give the graph its Figure 4(b)
+    /// clustering: dense little pockets whose members follow each other.
+    pub community_prob: f64,
+}
+
+impl MixProfile {
+    fn validate(&self, name: &str) {
+        for (field, v) in [
+            ("celebrity_fraction", self.celebrity_fraction),
+            ("fof_fraction", self.fof_fraction),
+            ("copy_prob", self.copy_prob),
+            ("same_city_prob", self.same_city_prob),
+            ("community_prob", self.community_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name}.{field} must be in [0,1], got {v}");
+        }
+        assert!(
+            self.celebrity_fraction + self.fof_fraction <= 1.0,
+            "{name}: celebrity + fof fractions exceed 1"
+        );
+    }
+}
+
+/// Follow-back probabilities by edge provenance (§3.3.2's reciprocity
+/// structure). When `u` follows `v`, `v` follows back with the probability
+/// matching how the edge arose; friend-like edges (same city, FoF) are far
+/// more likely to be reciprocated than stranger-like edges (copy-model
+/// picks of already-popular users, celebrity adds). This is what produces
+/// Figure 4(a)'s split between ordinary users (high RR) and
+/// collectors/celebrities (low RR).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FollowBackProfile {
+    /// Uniform geographic pick within the user's own city.
+    pub same_city: f64,
+    /// Uniform geographic pick within the country.
+    pub same_country: f64,
+    /// Uniform geographic pick across countries.
+    pub cross_country: f64,
+    /// Friend-of-friend closure edge.
+    pub fof: f64,
+    /// Copy-model (preferential attachment) edge.
+    pub copy: f64,
+    /// Celebrity target.
+    pub celebrity: f64,
+    /// Multiplier applied when the *source* of the edge is a celebrity
+    /// (mass accounts rarely get followed back by the paper's top users'
+    /// audiences; this keeps celebrity RR low).
+    pub celebrity_source_damping: f64,
+}
+
+impl FollowBackProfile {
+    fn validate(&self) {
+        for (field, v) in [
+            ("same_city", self.same_city),
+            ("same_country", self.same_country),
+            ("cross_country", self.cross_country),
+            ("fof", self.fof),
+            ("copy", self.copy),
+            ("celebrity", self.celebrity),
+            ("celebrity_source_damping", self.celebrity_source_damping),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "follow_back.{field} must be in [0,1], got {v}");
+        }
+    }
+}
+
+/// All knobs of the synthetic network generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Number of users.
+    pub n_users: usize,
+    /// RNG seed; the whole generation is deterministic given this.
+    pub seed: u64,
+
+    // ---- out-degree model (§3.3.1) ----
+    /// Fraction of ordinary users who are pure lurkers: zero out-circles
+    /// and no follow-backs. These are the sink nodes that keep the giant
+    /// SCC at ~70% of the graph rather than ~100% (§3.3.4: 25.2M of 35.1M
+    /// nodes in the giant component, with 9.77M mostly-singleton SCCs).
+    pub lurker_fraction: f64,
+    /// Fraction of non-lurker ordinary users in the geometric "head"
+    /// (casual users).
+    pub head_fraction: f64,
+    /// Mean out-degree of head users.
+    pub head_mean: f64,
+    /// Mean out-degree of celebrity sources.
+    pub celebrity_out_mean: f64,
+    /// Scale `x₀` of the Pareto tail: `d = x₀·U^(-1/α)`.
+    pub tail_x0: f64,
+    /// Tail CCDF exponent α (paper fits α_out = 1.2).
+    pub tail_alpha: f64,
+    /// Hard cap on out-degree — "Google maintains a policy that allows only
+    /// some special users to outpass a specified threshold ... 5000"
+    /// (§3.3.1). Celebrities are the exempt "special users".
+    pub out_degree_cap: usize,
+    /// Target size of the intra-city communities that drive clustering.
+    pub community_size: usize,
+    /// Extra community-directed edges every casual user adds on top of the
+    /// mixture slots. Communities must be *dense* for the Figure 4(b)
+    /// clustering mass ("40% of all users have a CC greater than 0.2");
+    /// the mixture alone cannot reach that density without starving the
+    /// other pickers, so casual users bond explicitly with their community.
+    pub community_bonus_edges: usize,
+
+    // ---- target mixing ----
+    /// Slot mixture for casual users (friend-driven).
+    pub casual_mix: MixProfile,
+    /// Slot mixture for collectors (interest-driven).
+    pub collector_mix: MixProfile,
+    /// Probability a celebrity pick uses the global Table-1 roster rather
+    /// than the user's own country's Table-5 roster.
+    pub celebrity_global_prob: f64,
+
+    // ---- reciprocity (§3.3.2) ----
+    /// Follow-back probabilities by provenance.
+    pub follow_back: FollowBackProfile,
+
+    // ---- geography (Figures 9, 10) ----
+    /// English-affinity multiplier on cross-country picks between
+    /// English-first-language countries (GB/CA → US in Figure 10).
+    pub english_affinity: f64,
+
+    // ---- archetypes ----
+    /// Whether to seed Table-1 / Table-5 celebrities.
+    pub with_celebrities: bool,
+}
+
+impl SynthConfig {
+    /// The Google+ late-2011 calibration.
+    pub fn google_plus_2011(n_users: usize, seed: u64) -> Self {
+        Self {
+            n_users,
+            seed,
+            lurker_fraction: 0.25,
+            head_fraction: 0.75,
+            head_mean: 4.5,
+            celebrity_out_mean: 25.0,
+            tail_x0: 13.0,
+            tail_alpha: 1.2,
+            out_degree_cap: 5_000,
+            community_size: 10,
+            community_bonus_edges: 4,
+            casual_mix: MixProfile {
+                celebrity_fraction: 0.05,
+                fof_fraction: 0.30,
+                copy_prob: 0.10,
+                same_city_prob: 0.85,
+                community_prob: 0.90,
+            },
+            collector_mix: MixProfile {
+                celebrity_fraction: 0.25,
+                fof_fraction: 0.10,
+                copy_prob: 0.88,
+                same_city_prob: 0.15,
+                community_prob: 0.30,
+            },
+            celebrity_global_prob: 0.65,
+            follow_back: FollowBackProfile {
+                same_city: 0.84,
+                same_country: 0.52,
+                cross_country: 0.42,
+                fof: 0.55,
+                copy: 0.04,
+                celebrity: 0.004,
+                celebrity_source_damping: 0.08,
+            },
+            english_affinity: 2.5,
+            with_celebrities: true,
+        }
+    }
+
+    /// A Twitter-like regime: broadcast-heavy, low reciprocity (22.1% per
+    /// Kwak et al. \[26\], the paper's comparison), more celebrity/media
+    /// mass, weaker geo structure.
+    pub fn twitter_like(n_users: usize, seed: u64) -> Self {
+        let base = Self::google_plus_2011(n_users, seed);
+        Self {
+            casual_mix: MixProfile {
+                celebrity_fraction: 0.20,
+                fof_fraction: 0.15,
+                copy_prob: 0.50,
+                same_city_prob: 0.30,
+                community_prob: 0.50,
+            },
+            collector_mix: MixProfile {
+                celebrity_fraction: 0.40,
+                fof_fraction: 0.05,
+                copy_prob: 0.92,
+                same_city_prob: 0.05,
+                community_prob: 0.20,
+            },
+            follow_back: FollowBackProfile {
+                same_city: 0.60,
+                same_country: 0.35,
+                cross_country: 0.15,
+                fof: 0.30,
+                copy: 0.04,
+                celebrity: 0.002,
+                celebrity_source_damping: 0.08,
+            },
+            english_affinity: 1.0,
+            community_bonus_edges: 1,
+            ..base
+        }
+    }
+
+    /// A Facebook-like regime: every link mutual (reciprocity 100% by
+    /// construction in Table 4), no celebrity broadcast edges, strong
+    /// local closure.
+    pub fn facebook_like(n_users: usize, seed: u64) -> Self {
+        let base = Self::google_plus_2011(n_users, seed);
+        Self {
+            casual_mix: MixProfile {
+                celebrity_fraction: 0.0,
+                fof_fraction: 0.35,
+                copy_prob: 0.30,
+                same_city_prob: 0.70,
+                community_prob: 0.85,
+            },
+            collector_mix: MixProfile {
+                celebrity_fraction: 0.0,
+                fof_fraction: 0.30,
+                copy_prob: 0.60,
+                same_city_prob: 0.40,
+                community_prob: 0.60,
+            },
+            follow_back: FollowBackProfile {
+                same_city: 1.0,
+                same_country: 1.0,
+                cross_country: 1.0,
+                fof: 1.0,
+                copy: 1.0,
+                celebrity: 1.0,
+                celebrity_source_damping: 1.0,
+            },
+            // Facebook links require both sides to agree, so there is no
+            // lurker population receiving edges it never returns
+            lurker_fraction: 0.0,
+            with_celebrities: false,
+            ..base
+        }
+    }
+
+    /// Figure 10 self-loop target: the probability that an edge from a
+    /// user in `country` stays inside that country. Values read from
+    /// Figure 10 (§4.5 quotes GB = 0.30 and CA = 0.33 explicitly and names
+    /// ID/IN/BR/IT as the > 0.50 group alongside the US).
+    pub fn self_loop_fraction(country: Country) -> f64 {
+        match country {
+            Country::Us => 0.79,
+            Country::In => 0.77,
+            Country::Br => 0.78,
+            Country::Id => 0.74,
+            Country::It => 0.56,
+            Country::Es => 0.49,
+            Country::De => 0.49,
+            Country::Mx => 0.46,
+            Country::Ca => 0.33,
+            Country::Gb => 0.30,
+            _ => 0.50,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics with a description of the first violated constraint.
+    pub fn validate(&self) {
+        assert!(self.n_users > 0, "n_users must be positive");
+        assert!((0.0..=1.0).contains(&self.lurker_fraction), "lurker_fraction in [0,1]");
+        assert!((0.0..=1.0).contains(&self.head_fraction), "head_fraction in [0,1]");
+        assert!(self.head_mean >= 1.0, "head_mean >= 1");
+        assert!(self.celebrity_out_mean >= 1.0, "celebrity_out_mean >= 1");
+        assert!(self.tail_x0 >= 1.0, "tail_x0 >= 1");
+        assert!(self.tail_alpha > 0.0, "tail_alpha > 0");
+        assert!(self.out_degree_cap >= 1, "out_degree_cap >= 1");
+        assert!(self.community_size >= 2, "community_size >= 2");
+        assert!(
+            self.community_bonus_edges <= self.community_size,
+            "community_bonus_edges cannot exceed community_size"
+        );
+        self.casual_mix.validate("casual_mix");
+        self.collector_mix.validate("collector_mix");
+        assert!(
+            (0.0..=1.0).contains(&self.celebrity_global_prob),
+            "celebrity_global_prob in [0,1]"
+        );
+        self.follow_back.validate();
+        assert!(self.english_affinity >= 0.0, "english_affinity >= 0");
+    }
+
+    /// Expected mean out-degree before reciprocation, from the head/tail
+    /// mixture (the Pareto-tail mean is the capped closed form).
+    pub fn expected_base_out_degree(&self) -> f64 {
+        let a = self.tail_alpha;
+        let x0 = self.tail_x0;
+        let cap = self.out_degree_cap as f64;
+        // E[min(x0·U^(-1/a), cap)]
+        let tail_mean = if (a - 1.0).abs() < 1e-9 {
+            x0 * (1.0 + (cap / x0).ln())
+        } else {
+            let r = (x0 / cap).powf(a); // P(hit the cap)
+            x0 * a / (a - 1.0) * (1.0 - (x0 / cap).powf(a - 1.0)) + cap * r
+        };
+        (1.0 - self.lurker_fraction)
+            * (self.head_fraction * self.head_mean + (1.0 - self.head_fraction) * tail_mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        SynthConfig::google_plus_2011(1000, 1).validate();
+        SynthConfig::twitter_like(1000, 1).validate();
+        SynthConfig::facebook_like(1000, 1).validate();
+    }
+
+    #[test]
+    fn facebook_preset_fully_reciprocal() {
+        let c = SynthConfig::facebook_like(10, 0);
+        assert_eq!(c.follow_back.same_city, 1.0);
+        assert_eq!(c.follow_back.copy, 1.0);
+        assert_eq!(c.casual_mix.celebrity_fraction, 0.0);
+        assert!(!c.with_celebrities);
+    }
+
+    #[test]
+    fn twitter_less_reciprocal_than_gplus() {
+        let t = SynthConfig::twitter_like(10, 0);
+        let g = SynthConfig::google_plus_2011(10, 0);
+        assert!(t.follow_back.same_city < g.follow_back.same_city);
+        assert!(t.casual_mix.celebrity_fraction > g.casual_mix.celebrity_fraction);
+    }
+
+    #[test]
+    fn self_loops_match_figure10_quotes() {
+        assert!((SynthConfig::self_loop_fraction(Country::Gb) - 0.30).abs() < 1e-9);
+        assert!((SynthConfig::self_loop_fraction(Country::Ca) - 0.33).abs() < 1e-9);
+        // the >0.50 group of §4.5
+        for c in [Country::Us, Country::In, Country::Br, Country::Id, Country::It] {
+            assert!(SynthConfig::self_loop_fraction(c) > 0.50, "{c}");
+        }
+    }
+
+    #[test]
+    fn expected_out_degree_in_paper_ballpark() {
+        let c = SynthConfig::google_plus_2011(1000, 1);
+        let m = c.expected_base_out_degree();
+        // paper's mean degree is 16.4 *after* reciprocation edges; the base
+        // process sits somewhat below that
+        assert!(m > 8.0 && m < 25.0, "expected base mean {m}");
+    }
+
+    #[test]
+    fn persona_mixes_differ_in_the_intended_direction() {
+        let c = SynthConfig::google_plus_2011(10, 0);
+        assert!(c.collector_mix.copy_prob > c.casual_mix.copy_prob);
+        assert!(c.casual_mix.same_city_prob > c.collector_mix.same_city_prob);
+        assert!(c.collector_mix.celebrity_fraction > c.casual_mix.celebrity_fraction);
+    }
+
+    #[test]
+    fn friendlike_follow_back_exceeds_strangerlike() {
+        let f = SynthConfig::google_plus_2011(10, 0).follow_back;
+        assert!(f.same_city > f.same_country);
+        assert!(f.same_country > f.cross_country);
+        assert!(f.fof > f.copy);
+        assert!(f.copy > f.celebrity);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_users")]
+    fn validate_rejects_empty() {
+        SynthConfig::google_plus_2011(0, 1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "celebrity + fof")]
+    fn validate_rejects_overfull_mixture() {
+        let mut c = SynthConfig::google_plus_2011(10, 1);
+        c.casual_mix.celebrity_fraction = 0.8;
+        c.casual_mix.fof_fraction = 0.4;
+        c.validate();
+    }
+}

@@ -1,0 +1,570 @@
+//! The edge-generation process.
+//!
+//! Every user gets a *persona* (casual / collector / celebrity) which fixes
+//! their out-degree distribution and target-picking mixture; targets come
+//! from five pickers (celebrity roster, friend-of-friend closure,
+//! copy-model preferential attachment, same-city uniform, country/cross
+//! uniform); each new edge may be reciprocated with a provenance-dependent
+//! follow-back probability. See the crate docs for which published
+//! statistic each mechanism is responsible for.
+
+use crate::config::{MixProfile, SynthConfig};
+use crate::population::Population;
+use gplus_geo::Country;
+use rand::distr::weighted::WeightedIndex;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A user's behavioural archetype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Persona {
+    /// Friend-driven user with a small, mostly-local circle.
+    Casual,
+    /// Interest-driven user following many popular accounts.
+    Collector,
+    /// Seeded Table-1 / Table-5 archetype.
+    Celebrity,
+    /// Pure consumer: no out-circles, never follows back (§3.3.4's
+    /// outside-the-giant-SCC population).
+    Lurker,
+}
+
+/// How a particular edge came to exist (decides its follow-back rate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Provenance {
+    /// Uniform pick within the source's own city.
+    SameCity,
+    /// Uniform pick within the source's country.
+    SameCountry,
+    /// Uniform pick in another country.
+    CrossCountry,
+    /// Friend-of-friend closure.
+    Fof,
+    /// Copy-model (preferential attachment) pick.
+    Copy,
+    /// Celebrity roster pick.
+    Celebrity,
+}
+
+/// Aggregate statistics of one generation run, for tests and reports.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EdgeStats {
+    /// Base (non-follow-back) edges per provenance.
+    pub by_provenance: HashMap<String, u64>,
+    /// Follow-back edges added.
+    pub follow_backs: u64,
+    /// Base edges total.
+    pub base_edges: u64,
+}
+
+/// Result of the edge process: a directed edge list (with possible
+/// duplicates — the graph builder dedups) plus personas and stats.
+#[derive(Debug, Clone)]
+pub struct EdgeOutcome {
+    /// Directed edges `(u, v)`.
+    pub edges: Vec<(u32, u32)>,
+    /// Persona per node.
+    pub personas: Vec<Persona>,
+    /// Run statistics.
+    pub stats: EdgeStats,
+}
+
+/// Runs the edge process over a generated population.
+pub fn generate_edges(cfg: &SynthConfig, pop: &Population) -> EdgeOutcome {
+    cfg.validate();
+    let n = pop.len();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6564_6765_735f_6765); // "edges_ge"
+
+    // --- personas and base out-degrees ---
+    let roster = pop.celebrities.len();
+    let personas: Vec<Persona> = (0..n)
+        .map(|id| {
+            if id < roster {
+                Persona::Celebrity
+            } else if rng.random_bool(cfg.lurker_fraction) {
+                Persona::Lurker
+            } else if rng.random_bool(cfg.head_fraction) {
+                Persona::Casual
+            } else {
+                Persona::Collector
+            }
+        })
+        .collect();
+    let base_degree: Vec<u32> = personas
+        .iter()
+        .map(|p| sample_out_degree(cfg, *p, &mut rng))
+        .collect();
+    let bonus = cfg.community_bonus_edges as u32;
+
+    // --- pickers ---
+    let pickers = Pickers::build(cfg, pop);
+
+    // --- the process ---
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut rng);
+
+    let expected_edges = base_degree.iter().map(|&d| d as usize).sum::<usize>();
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(expected_edges * 5 / 4);
+    let mut global_copy: Vec<u32> = Vec::new();
+    let mut country_copy: HashMap<Country, Vec<u32>> = HashMap::new();
+    let mut stats = EdgeStats::default();
+
+    for &u in &order {
+        let persona = personas[u as usize];
+        let mix = match persona {
+            Persona::Casual | Persona::Celebrity | Persona::Lurker => &cfg.casual_mix,
+            Persona::Collector => &cfg.collector_mix,
+        };
+        let d = base_degree[u as usize];
+        if persona == Persona::Casual {
+            // community bonding edges (see SynthConfig::community_bonus_edges).
+            // Bonus edges are always domestic, so outward-looking countries
+            // (low Figure-10 self-loop targets) get proportionally fewer of
+            // them — otherwise GB/CA could never reach their 0.30/0.33
+            // cross-border mixing.
+            let home = pop.profile(u).country;
+            let gate = SynthConfig::self_loop_fraction(home) / 0.79;
+            let comm = pop.community_of(u);
+            if comm.len() > 1 {
+                for _ in 0..bonus {
+                    if !rng.random_bool(gate.clamp(0.0, 1.0)) {
+                        continue;
+                    }
+                    let v = comm[rng.random_range(0..comm.len())];
+                    if v == u {
+                        continue;
+                    }
+                    push_edge(
+                        cfg,
+                        pop,
+                        &personas,
+                        u,
+                        v,
+                        Provenance::SameCity,
+                        &mut out,
+                        &mut edges,
+                        &mut global_copy,
+                        &mut country_copy,
+                        &mut stats,
+                        &mut rng,
+                    );
+                }
+            }
+        }
+        for _ in 0..d {
+            let Some((v, provenance)) = pick_target(
+                cfg,
+                pop,
+                &pickers,
+                mix,
+                u,
+                &out,
+                &global_copy,
+                &country_copy,
+                &mut rng,
+            ) else {
+                continue;
+            };
+            if v == u {
+                continue;
+            }
+            push_edge(
+                cfg,
+                pop,
+                &personas,
+                u,
+                v,
+                provenance,
+                &mut out,
+                &mut edges,
+                &mut global_copy,
+                &mut country_copy,
+                &mut stats,
+                &mut rng,
+            );
+        }
+    }
+
+    EdgeOutcome { edges, personas, stats }
+}
+
+/// Records the base edge `u -> v` with its provenance and rolls the
+/// follow-back `v -> u`.
+#[allow(clippy::too_many_arguments)]
+fn push_edge(
+    cfg: &SynthConfig,
+    pop: &Population,
+    personas: &[Persona],
+    u: u32,
+    v: u32,
+    provenance: Provenance,
+    out: &mut [Vec<u32>],
+    edges: &mut Vec<(u32, u32)>,
+    global_copy: &mut Vec<u32>,
+    country_copy: &mut HashMap<Country, Vec<u32>>,
+    stats: &mut EdgeStats,
+    rng: &mut StdRng,
+) {
+    edges.push((u, v));
+    out[u as usize].push(v);
+    global_copy.push(v);
+    country_copy.entry(pop.profile(v).country).or_default().push(v);
+    stats.base_edges += 1;
+    *stats.by_provenance.entry(format!("{provenance:?}")).or_insert(0) += 1;
+
+    // follow-back v -> u?
+    let mut r = if personas[v as usize] == Persona::Lurker {
+        0.0
+    } else if personas[v as usize] == Persona::Celebrity {
+        cfg.follow_back.celebrity
+    } else {
+        match provenance {
+            Provenance::SameCity => cfg.follow_back.same_city,
+            Provenance::SameCountry => cfg.follow_back.same_country,
+            Provenance::CrossCountry => cfg.follow_back.cross_country,
+            Provenance::Fof => cfg.follow_back.fof,
+            Provenance::Copy => cfg.follow_back.copy,
+            Provenance::Celebrity => cfg.follow_back.celebrity,
+        }
+    };
+    if personas[u as usize] == Persona::Celebrity {
+        r *= cfg.follow_back.celebrity_source_damping;
+    }
+    if r > 0.0 && rng.random_bool(r.min(1.0)) {
+        edges.push((v, u));
+        out[v as usize].push(u);
+        stats.follow_backs += 1;
+    }
+}
+
+/// Precomputed weighted samplers for celebrity and cross-country picks.
+struct Pickers {
+    global_celebs: Option<(Vec<u32>, WeightedIndex<f64>)>,
+    country_celebs: HashMap<Country, (Vec<u32>, WeightedIndex<f64>)>,
+    /// Cross-country target sampler per source country.
+    cross: HashMap<Country, (Vec<Country>, WeightedIndex<f64>)>,
+}
+
+impl Pickers {
+    fn build(cfg: &SynthConfig, pop: &Population) -> Self {
+        let mut global_nodes = Vec::new();
+        let mut global_weights = Vec::new();
+        let mut per_country: HashMap<Country, (Vec<u32>, Vec<f64>)> = HashMap::new();
+        for celeb in &pop.celebrities {
+            if celeb.is_global() {
+                global_nodes.push(celeb.node);
+                global_weights.push(celeb.fitness);
+            } else {
+                let entry = per_country.entry(celeb.country).or_default();
+                entry.0.push(celeb.node);
+                entry.1.push(celeb.fitness);
+            }
+        }
+        let global_celebs = if global_nodes.is_empty() {
+            None
+        } else {
+            let w = WeightedIndex::new(&global_weights).expect("positive fitness");
+            Some((global_nodes, w))
+        };
+        let country_celebs = per_country
+            .into_iter()
+            .map(|(c, (nodes, weights))| {
+                let w = WeightedIndex::new(&weights).expect("positive fitness");
+                (c, (nodes, w))
+            })
+            .collect();
+
+        // cross-country samplers, deterministic iteration order
+        let mut cross = HashMap::new();
+        for src in Country::all() {
+            let mut countries = Vec::new();
+            let mut weights = Vec::new();
+            for dst in Country::all() {
+                if dst == src {
+                    continue;
+                }
+                let members = pop.country_members(dst).len();
+                if members == 0 {
+                    continue;
+                }
+                let mut w = members as f64;
+                if src.english_first_language() && dst.english_first_language() {
+                    w *= cfg.english_affinity.max(f64::MIN_POSITIVE);
+                }
+                countries.push(dst);
+                weights.push(w);
+            }
+            if !countries.is_empty() {
+                let w = WeightedIndex::new(&weights).expect("positive weights");
+                cross.insert(src, (countries, w));
+            }
+        }
+        Self { global_celebs, country_celebs, cross }
+    }
+}
+
+/// Samples one target for `u`, returning the node and the provenance.
+/// Returns `None` when every applicable picker comes up empty (tiny
+/// populations).
+#[allow(clippy::too_many_arguments)]
+fn pick_target(
+    cfg: &SynthConfig,
+    pop: &Population,
+    pickers: &Pickers,
+    mix: &MixProfile,
+    u: u32,
+    out: &[Vec<u32>],
+    global_copy: &[u32],
+    country_copy: &HashMap<Country, Vec<u32>>,
+    rng: &mut StdRng,
+) -> Option<(u32, Provenance)> {
+    {
+        let roll: f64 = rng.random();
+        let home = pop.profile(u).country;
+
+        // 1. celebrity pick
+        if roll < mix.celebrity_fraction {
+            let use_global = rng.random_bool(cfg.celebrity_global_prob)
+                || !pickers.country_celebs.contains_key(&home);
+            let roster = if use_global {
+                pickers.global_celebs.as_ref()
+            } else {
+                pickers.country_celebs.get(&home)
+            };
+            if let Some((nodes, weights)) = roster {
+                return Some((nodes[weights.sample(rng)], Provenance::Celebrity));
+            }
+            // no roster at all (celebrities disabled): fall through to geo
+        }
+
+        // 2. friend-of-friend closure
+        if roll < mix.celebrity_fraction + mix.fof_fraction {
+            let mine = &out[u as usize];
+            if !mine.is_empty() {
+                // prefer a non-celebrity intermediary: a celebrity's
+                // followee list is unrelated to u's social circle and
+                // contributes no local closure
+                let roster = pop.celebrities.len() as u32;
+                let mut v = mine[rng.random_range(0..mine.len())];
+                if v < roster && mine.len() > 1 {
+                    v = mine[rng.random_range(0..mine.len())];
+                }
+                let theirs = &out[v as usize];
+                if !theirs.is_empty() {
+                    let w = theirs[rng.random_range(0..theirs.len())];
+                    if w != u {
+                        return Some((w, Provenance::Fof));
+                    }
+                }
+            }
+            // fall through to geo when the neighbourhood is still empty
+        }
+
+        // 3. geographic pick: choose target country first
+        let (target_country, cross) = if rng.random_bool(SynthConfig::self_loop_fraction(home))
+        {
+            (home, false)
+        } else if let Some((countries, weights)) = pickers.cross.get(&home) {
+            (countries[weights.sample(rng)], true)
+        } else {
+            (home, false)
+        };
+
+        // 3a. copy-model (preferential attachment) within the country
+        if rng.random_bool(mix.copy_prob) {
+            if let Some(list) = country_copy.get(&target_country) {
+                if !list.is_empty() {
+                    return Some((list[rng.random_range(0..list.len())], Provenance::Copy));
+                }
+            }
+            if !global_copy.is_empty() {
+                return Some((
+                    global_copy[rng.random_range(0..global_copy.len())],
+                    Provenance::Copy,
+                ));
+            }
+        }
+
+        // 3b. uniform pick, same-city (and usually same-community)
+        // preferred when staying home
+        if !cross && rng.random_bool(mix.same_city_prob) {
+            if rng.random_bool(mix.community_prob) {
+                let comm = pop.community_of(u);
+                if comm.len() > 1 {
+                    let v = comm[rng.random_range(0..comm.len())];
+                    if v != u {
+                        return Some((v, Provenance::SameCity));
+                    }
+                }
+            }
+            let city = pop.profile(u).city_index;
+            let members = pop.city_members(home, city);
+            if members.len() > 1 {
+                let v = members[rng.random_range(0..members.len())];
+                return Some((v, Provenance::SameCity));
+            }
+        }
+        let members = pop.country_members(target_country);
+        if members.is_empty() {
+            return None;
+        }
+        let v = members[rng.random_range(0..members.len())];
+        let provenance =
+            if cross { Provenance::CrossCountry } else { Provenance::SameCountry };
+        Some((v, provenance))
+    }
+}
+
+fn sample_out_degree(cfg: &SynthConfig, persona: Persona, rng: &mut StdRng) -> u32 {
+    match persona {
+        Persona::Lurker => 0,
+        Persona::Casual => 1 + sample_geometric(cfg.head_mean - 1.0, rng),
+        Persona::Celebrity => 1 + sample_geometric(cfg.celebrity_out_mean - 1.0, rng),
+        Persona::Collector => {
+            let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            let d = cfg.tail_x0 * u.powf(-1.0 / cfg.tail_alpha);
+            d.min(cfg.out_degree_cap as f64).round().max(1.0) as u32
+        }
+    }
+}
+
+/// Geometric over {0, 1, 2, ...} with the given mean (0 when mean <= 0).
+fn sample_geometric(mean: f64, rng: &mut StdRng) -> u32 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let p = 1.0 / (1.0 + mean); // success prob: mean failures = (1-p)/p
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    (u.ln() / (1.0 - p).ln()).floor().min(u32::MAX as f64) as u32
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(n: usize, seed: u64) -> (Population, EdgeOutcome) {
+        let cfg = SynthConfig::google_plus_2011(n, seed);
+        let pop = Population::generate(&cfg);
+        let out = generate_edges(&cfg, &pop);
+        (pop, out)
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, a) = outcome(2_000, 5);
+        let (_, b) = outcome(2_000, 5);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.personas, b.personas);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let (_, o) = outcome(2_000, 6);
+        assert!(o.edges.iter().all(|&(u, v)| u != v));
+    }
+
+    #[test]
+    fn personas_assigned_sensibly() {
+        let (pop, o) = outcome(3_000, 7);
+        for celeb in &pop.celebrities {
+            assert_eq!(o.personas[celeb.node as usize], Persona::Celebrity);
+        }
+        let ordinary = (pop.len() - pop.celebrities.len()) as f64;
+        let lurkers =
+            o.personas.iter().filter(|p| **p == Persona::Lurker).count() as f64;
+        assert!((lurkers / ordinary - 0.25).abs() < 0.05, "lurker share");
+        let casual =
+            o.personas.iter().filter(|p| **p == Persona::Casual).count() as f64;
+        // casual = (1 - lurker) * head_fraction of ordinary users
+        assert!((casual / ordinary - 0.5625).abs() < 0.05, "casual share");
+    }
+
+    #[test]
+    fn mean_degree_in_target_band() {
+        let (pop, o) = outcome(10_000, 8);
+        let mean = o.edges.len() as f64 / pop.len() as f64;
+        assert!(mean > 6.0 && mean < 30.0, "mean degree {mean}");
+    }
+
+    #[test]
+    fn follow_backs_are_substantial_minority() {
+        let (_, o) = outcome(10_000, 9);
+        let frac = o.stats.follow_backs as f64 / o.stats.base_edges as f64;
+        assert!(frac > 0.1 && frac < 0.5, "follow-back fraction {frac}");
+    }
+
+    #[test]
+    fn provenance_mix_covers_all_pickers() {
+        let (_, o) = outcome(10_000, 10);
+        for key in ["SameCity", "SameCountry", "CrossCountry", "Fof", "Copy", "Celebrity"] {
+            assert!(
+                o.stats.by_provenance.get(key).copied().unwrap_or(0) > 0,
+                "no {key} edges generated"
+            );
+        }
+    }
+
+    #[test]
+    fn celebrities_attract_mass() {
+        let (pop, o) = outcome(10_000, 11);
+        let mut indeg = vec![0u64; pop.len()];
+        for &(_, v) in &o.edges {
+            indeg[v as usize] += 1;
+        }
+        let celeb_mean: f64 = (0..120).map(|i| indeg[i] as f64).sum::<f64>() / 120.0;
+        let all_mean: f64 = indeg.iter().sum::<u64>() as f64 / indeg.len() as f64;
+        assert!(celeb_mean > all_mean * 10.0, "celeb {celeb_mean} vs all {all_mean}");
+    }
+
+    #[test]
+    fn ordinary_out_degree_respects_cap() {
+        let mut cfg = SynthConfig::google_plus_2011(5_000, 12);
+        cfg.out_degree_cap = 50; // low cap to make hits observable
+        let pop = Population::generate(&cfg);
+        let o = generate_edges(&cfg, &pop);
+        let mut outdeg = vec![0u32; pop.len()];
+        for &(u, _) in &o.edges {
+            outdeg[u as usize] += 1;
+        }
+        for (id, &d) in outdeg.iter().enumerate() {
+            if o.personas[id] == Persona::Collector {
+                // base degree capped; follow-backs may add a few on top
+                assert!(d <= 50 + 25, "collector {id} has out-degree {d}");
+            }
+        }
+        // and the cap actually binds for someone
+        let hits = outdeg
+            .iter()
+            .enumerate()
+            .filter(|(id, &d)| o.personas[*id] == Persona::Collector && d >= 50)
+            .count();
+        assert!(hits > 0, "cap never binds — tail too thin for the test");
+    }
+
+    #[test]
+    fn geometric_sampler_mean() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 50_000;
+        let mean =
+            (0..n).map(|_| sample_geometric(4.0, &mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.15, "geometric mean {mean}");
+    }
+
+    #[test]
+    fn collector_degrees_heavy_tailed() {
+        let cfg = SynthConfig::google_plus_2011(10, 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<u32> =
+            (0..20_000).map(|_| sample_out_degree(&cfg, Persona::Collector, &mut rng)).collect();
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        assert!(min >= 1);
+        assert!(max > 500, "tail should reach high degrees, max {max}");
+        // all at least x0-ish
+        assert!(samples.iter().filter(|&&d| d >= 10).count() > 19_000);
+    }
+}

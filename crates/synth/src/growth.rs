@@ -1,0 +1,342 @@
+//! Temporal growth: the paper's §7 future work, implemented.
+//!
+//! "First, we are interested in measuring the speed at which a new social
+//! network service grows ... By collecting multiple snapshots of the
+//! Google+ topology, we hope to gain insight in the dynamic changes in the
+//! internal structure of the social network over various adoption phases."
+//!
+//! This module assigns every user a *join rank* following the service's
+//! actual adoption history (§2.1): a 90-day invitation-only field trial in
+//! which "the network grew virally through social contacts", then open
+//! sign-up. Viral ranks come from a randomized contagion over the social
+//! graph seeded at the celebrity core; open-phase ranks are uniform.
+//! [`GrowthModel::snapshot`] induces the subgraph of the first `fraction`
+//! of joiners — a reconstruction of what a crawl at that point in time
+//! would have seen — and [`GrowthModel::snapshot_series`] measures the
+//! growth trajectory (densification in the sense of Leskovec et al. \[28\],
+//! which the paper cites for exactly this phenomenon, and the diameter
+//! trend).
+
+use crate::network::SynthNetwork;
+use gplus_graph::{paths, CsrGraph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Join-order model over a generated network.
+#[derive(Debug, Clone)]
+pub struct GrowthModel {
+    /// `join_order[rank] = node`.
+    pub join_order: Vec<NodeId>,
+    /// `join_rank[node] = rank`.
+    pub join_rank: Vec<u32>,
+    /// Ranks below this joined during the invitation-only field trial.
+    pub invite_phase_end: usize,
+    /// Seed for the per-edge formation delays.
+    delay_seed: u64,
+}
+
+/// Measurements of one growth snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotStats {
+    /// Fraction of the final population present.
+    pub fraction: f64,
+    /// Nodes in the snapshot.
+    pub nodes: u64,
+    /// Induced edges.
+    pub edges: u64,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Sampled mean shortest-path length (directed).
+    pub mean_path: f64,
+    /// Diameter estimate (max sampled eccentricity).
+    pub diameter: u32,
+}
+
+impl GrowthModel {
+    /// Builds a join order for `network`: contagion from the celebrity
+    /// core over the first `invite_fraction` of users, uniform afterwards.
+    ///
+    /// # Panics
+    /// Panics if `invite_fraction` is outside `\[0, 1\]`.
+    pub fn new(network: &SynthNetwork, invite_fraction: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&invite_fraction),
+            "invite_fraction must be in [0,1]"
+        );
+        let g = &network.graph;
+        let n = g.node_count();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6772_6f77_7468); // "growth"
+        let invite_phase_end = (n as f64 * invite_fraction) as usize;
+
+        let mut joined = vec![false; n];
+        let mut join_order: Vec<NodeId> = Vec::with_capacity(n);
+
+        // --- invitation phase: randomized contagion from the seeds ---
+        // frontier holds users with at least one joined contact; picking a
+        // uniformly random frontier member approximates the exponential
+        // viral spread ("the network grew virally through social contacts")
+        let mut frontier: Vec<NodeId> = Vec::new();
+        let seeds = if network.population.celebrities.is_empty() {
+            vec![0 as NodeId]
+        } else {
+            network.population.celebrities.iter().map(|c| c.node).collect()
+        };
+        for s in seeds {
+            if (s as usize) < n && !joined[s as usize] {
+                joined[s as usize] = true;
+                join_order.push(s);
+                frontier.extend(contacts(g, s).filter(|&v| !joined[v as usize]));
+            }
+        }
+        while join_order.len() < invite_phase_end {
+            // compact the frontier lazily: swap-remove the chosen element
+            let Some(pick) = pick_unjoined(&mut frontier, &joined, &mut rng) else {
+                // contagion exhausted its component: seed a random outsider
+                // (invitations also travelled by email, §2.1)
+                let mut outsider = rng.random_range(0..n) as NodeId;
+                while joined[outsider as usize] {
+                    outsider = rng.random_range(0..n) as NodeId;
+                }
+                joined[outsider as usize] = true;
+                join_order.push(outsider);
+                frontier.extend(contacts(g, outsider).filter(|&v| !joined[v as usize]));
+                continue;
+            };
+            joined[pick as usize] = true;
+            join_order.push(pick);
+            frontier.extend(contacts(g, pick).filter(|&v| !joined[v as usize]));
+        }
+
+        // --- open sign-up: the rest join in uniform random order ---
+        let mut rest: Vec<NodeId> =
+            (0..n as NodeId).filter(|&v| !joined[v as usize]).collect();
+        use rand::seq::SliceRandom;
+        rest.shuffle(&mut rng);
+        join_order.extend(rest);
+
+        let mut join_rank = vec![0u32; n];
+        for (rank, &node) in join_order.iter().enumerate() {
+            join_rank[node as usize] = rank as u32;
+        }
+        Self { join_order, join_rank, invite_phase_end, delay_seed: seed ^ 0x64656c61 }
+    }
+
+    /// When the edge `(u, v)` becomes visible, in join-rank time units.
+    ///
+    /// Circles fill up gradually after both endpoints have accounts — this
+    /// is the paper's own reading of its long path lengths ("Google+ is a
+    /// new system where relationships are still rapidly growing"). The
+    /// activation point is `max_join + B·(n - max_join)` with a
+    /// deterministic `B = U² ∈ [0, 1)` per edge, so early cores are sparse
+    /// at first and every edge exists by the final snapshot.
+    fn edge_activation(&self, u: NodeId, v: NodeId) -> f64 {
+        let n = self.join_order.len() as f64;
+        let max_join =
+            self.join_rank[u as usize].max(self.join_rank[v as usize]) as f64;
+        let h = splitmix64(
+            self.delay_seed ^ ((u as u64) << 32 | v as u64).wrapping_mul(0x9e37_79b9),
+        );
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let b = unit * unit;
+        max_join + b * (n - max_join)
+    }
+
+    /// The subgraph of the first `fraction` of joiners, with node ids
+    /// remapped to join rank (so snapshots nest).
+    ///
+    /// # Panics
+    /// Panics if `fraction` is outside `(0, 1]`.
+    pub fn snapshot(&self, network: &SynthNetwork, fraction: f64) -> CsrGraph {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+        let keep = ((self.join_order.len() as f64 * fraction) as usize).max(1);
+        let horizon = keep as f64;
+        let full = keep == self.join_order.len();
+        let mut builder = GraphBuilder::new();
+        builder.ensure_nodes(keep);
+        for (u, v) in network.graph.edges() {
+            let ru = self.join_rank[u as usize] as usize;
+            let rv = self.join_rank[v as usize] as usize;
+            if ru < keep && rv < keep && (full || self.edge_activation(u, v) <= horizon) {
+                builder.add_edge(ru as NodeId, rv as NodeId);
+            }
+        }
+        builder.build()
+    }
+
+    /// Measures a series of snapshots.
+    pub fn snapshot_series(
+        &self,
+        network: &SynthNetwork,
+        fractions: &[f64],
+        path_samples: usize,
+        seed: u64,
+    ) -> Vec<SnapshotStats> {
+        fractions
+            .iter()
+            .map(|&fraction| {
+                let g = self.snapshot(network, fraction);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let dist = paths::sampled_path_lengths(&g, path_samples, &mut rng);
+                SnapshotStats {
+                    fraction,
+                    nodes: g.node_count() as u64,
+                    edges: g.edge_count() as u64,
+                    mean_degree: g.edge_count() as f64 / g.node_count().max(1) as f64,
+                    mean_path: dist.mean(),
+                    diameter: dist.max_distance,
+                }
+            })
+            .collect()
+    }
+}
+
+/// SplitMix64 finaliser.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn contacts(g: &CsrGraph, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+    g.out_neighbors(u).iter().copied().chain(g.in_neighbors(u).iter().copied())
+}
+
+fn pick_unjoined(
+    frontier: &mut Vec<NodeId>,
+    joined: &[bool],
+    rng: &mut StdRng,
+) -> Option<NodeId> {
+    while !frontier.is_empty() {
+        let i = rng.random_range(0..frontier.len());
+        let v = frontier.swap_remove(i);
+        if !joined[v as usize] {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Fits the densification exponent `a` in `E(t) ∝ N(t)^a` over a snapshot
+/// series (Leskovec et al. \[28\]: real networks show `1 < a < 2`).
+/// Returns `None` with fewer than two usable snapshots.
+pub fn densification_exponent(series: &[SnapshotStats]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .filter(|s| s.nodes > 1 && s.edges > 0)
+        .map(|s| ((s.nodes as f64).ln(), (s.edges as f64).ln()))
+        .collect();
+    if pts.len() < 2 || pts.iter().all(|p| p.0 == pts[0].0) {
+        return None;
+    }
+    Some(gplus_stats::LinearRegression::fit(&pts).slope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SynthConfig;
+    use std::sync::OnceLock;
+
+    fn net() -> &'static SynthNetwork {
+        static NET: OnceLock<SynthNetwork> = OnceLock::new();
+        NET.get_or_init(|| SynthNetwork::generate(&SynthConfig::google_plus_2011(12_000, 77)))
+    }
+
+    fn model() -> GrowthModel {
+        GrowthModel::new(net(), 0.4, 5)
+    }
+
+    #[test]
+    fn join_order_is_a_permutation() {
+        let m = model();
+        let mut sorted = m.join_order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..net().node_count() as NodeId).collect::<Vec<_>>());
+        for (rank, &node) in m.join_order.iter().enumerate() {
+            assert_eq!(m.join_rank[node as usize] as usize, rank);
+        }
+    }
+
+    #[test]
+    fn celebrities_join_first() {
+        let m = model();
+        for celeb in &net().population.celebrities {
+            assert!(
+                (m.join_rank[celeb.node as usize] as usize) < 200,
+                "{} joined at rank {}",
+                celeb.name,
+                m.join_rank[celeb.node as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn invite_phase_joiners_are_socially_connected() {
+        // during the viral phase, (almost) every joiner after the seeds has
+        // a contact who joined earlier
+        let m = model();
+        let g = &net().graph;
+        let mut connected = 0;
+        let mut total = 0;
+        for rank in 120..m.invite_phase_end {
+            let u = m.join_order[rank];
+            total += 1;
+            let has_earlier_contact =
+                contacts(g, u).any(|v| m.join_rank[v as usize] < rank as u32);
+            if has_earlier_contact {
+                connected += 1;
+            }
+        }
+        assert!(
+            connected as f64 / total as f64 > 0.95,
+            "viral joiners should follow contacts: {connected}/{total}"
+        );
+    }
+
+    #[test]
+    fn snapshots_nest_and_grow() {
+        let m = model();
+        let s1 = m.snapshot(net(), 0.3);
+        let s2 = m.snapshot(net(), 0.7);
+        assert!(s1.node_count() < s2.node_count());
+        assert!(s1.edge_count() < s2.edge_count());
+        // nesting: every edge of the early snapshot exists in the later one
+        for (u, v) in s1.edges() {
+            assert!(s2.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn full_snapshot_is_the_network() {
+        let m = model();
+        let full = m.snapshot(net(), 1.0);
+        assert_eq!(full.node_count(), net().node_count());
+        assert_eq!(full.edge_count(), net().graph.edge_count());
+    }
+
+    #[test]
+    fn network_densifies_over_time() {
+        let m = model();
+        let series = m.snapshot_series(net(), &[0.2, 0.4, 0.6, 0.8, 1.0], 60, 1);
+        // mean degree grows monotonically (densification)
+        for w in series.windows(2) {
+            assert!(
+                w[1].mean_degree > w[0].mean_degree,
+                "mean degree should grow: {} -> {}",
+                w[0].mean_degree,
+                w[1].mean_degree
+            );
+        }
+        let a = densification_exponent(&series).expect("fit exists");
+        assert!(a > 1.0 && a < 2.0, "densification exponent {a} (Leskovec: 1 < a < 2)");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn snapshot_rejects_zero() {
+        let m = model();
+        let _ = m.snapshot(net(), 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Top-level network assembly: population + edge process + CSR graph.
+
+use crate::config::SynthConfig;
+use crate::edges::{generate_edges, EdgeStats, Persona};
+use crate::population::Population;
+use gplus_graph::{CsrGraph, GraphBuilder};
+
+/// A fully generated synthetic network: profiles, personas and the social
+/// graph, ready for the analysis and crawling layers.
+#[derive(Debug, Clone)]
+pub struct SynthNetwork {
+    /// The configuration that produced this network.
+    pub config: SynthConfig,
+    /// Profiles and geographic indices.
+    pub population: Population,
+    /// The directed social graph (node id = profile index).
+    pub graph: CsrGraph,
+    /// Persona per node.
+    pub personas: Vec<Persona>,
+    /// Edge-process statistics.
+    pub edge_stats: EdgeStats,
+}
+
+impl SynthNetwork {
+    /// Generates a network. Deterministic given `config.seed`.
+    pub fn generate(config: &SynthConfig) -> Self {
+        let population = Population::generate(config);
+        let outcome = generate_edges(config, &population);
+        let mut builder = GraphBuilder::with_capacity(outcome.edges.len());
+        builder.ensure_nodes(population.len());
+        for (u, v) in &outcome.edges {
+            builder.add_edge(*u, *v);
+        }
+        let graph = builder.build();
+        Self {
+            config: config.clone(),
+            population,
+            graph,
+            personas: outcome.personas,
+            edge_stats: outcome.stats,
+        }
+    }
+
+    /// Number of users.
+    pub fn node_count(&self) -> usize {
+        self.population.len()
+    }
+
+    /// Number of distinct directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplus_graph::{degree, paths, reciprocity, scc};
+    use gplus_stats::median;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// One mid-sized network shared by the structural assertions (generation
+    /// is the expensive part; the assertions are cheap).
+    fn gplus_net() -> &'static SynthNetwork {
+        use std::sync::OnceLock;
+        static NET: OnceLock<SynthNetwork> = OnceLock::new();
+        NET.get_or_init(|| {
+            SynthNetwork::generate(&SynthConfig::google_plus_2011(30_000, 2012))
+        })
+    }
+
+    #[test]
+    fn graph_covers_population() {
+        let net = gplus_net();
+        assert_eq!(net.graph.node_count(), net.node_count());
+        assert!(net.edge_count() > net.node_count() * 5);
+    }
+
+    #[test]
+    fn global_reciprocity_near_paper() {
+        // paper: 32% for Google+ (§3.3.2); we accept the band [0.22, 0.45]
+        let r = reciprocity::global_reciprocity(&gplus_net().graph);
+        assert!(r > 0.22 && r < 0.45, "global reciprocity {r}");
+    }
+
+    #[test]
+    fn reciprocity_bimodal_by_persona() {
+        let net = gplus_net();
+        let g = &net.graph;
+        let mut casual = Vec::new();
+        let mut collector = Vec::new();
+        for u in g.nodes() {
+            if let Some(rr) = reciprocity::relation_reciprocity(g, u) {
+                match net.personas[u as usize] {
+                    Persona::Casual => casual.push(rr),
+                    Persona::Collector => collector.push(rr),
+                    // celebrities tracked separately; lurkers have no
+                    // out-edges so RR is undefined for them anyway
+                    Persona::Celebrity | Persona::Lurker => {}
+                }
+            }
+        }
+        let med_casual = median(&casual);
+        let med_collector = median(&collector);
+        assert!(
+            med_casual > med_collector + 0.2,
+            "casual median {med_casual} vs collector {med_collector}"
+        );
+        assert!(med_casual > 0.45, "casual users should have high RR, got {med_casual}");
+    }
+
+    #[test]
+    fn giant_scc_majority_of_nodes() {
+        // paper: the giant SCC holds 25.2M of 35.1M nodes ≈ 72% (§3.3.4)
+        let s = scc::kosaraju(&gplus_net().graph);
+        let frac = s.giant_fraction();
+        assert!(frac > 0.45 && frac < 0.95, "giant SCC fraction {frac}");
+        // and the rest of the components are tiny
+        let mut sizes = s.sizes();
+        sizes.sort_unstable();
+        let second = sizes[sizes.len() - 2];
+        assert!(second < 100, "second SCC should be tiny, got {second}");
+    }
+
+    #[test]
+    fn small_world_path_lengths() {
+        // paper: directed mean 5.9, mode 6, diameter 19 (§3.3.5) at 35M
+        // nodes; at 30k nodes paths are shorter but still small-world
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = paths::sampled_path_lengths(&gplus_net().graph, 300, &mut rng);
+        let mean = d.mean();
+        assert!(mean > 2.0 && mean < 8.0, "mean path length {mean}");
+        assert!(d.max_distance < 40, "diameter estimate {}", d.max_distance);
+    }
+
+    #[test]
+    fn degree_ccdfs_heavy_tailed() {
+        let net = gplus_net();
+        let (fit_in, fit_out) = degree::degree_power_laws(&net.graph, 10);
+        assert!(
+            fit_in.alpha > 0.7 && fit_in.alpha < 2.2,
+            "alpha_in {} should be near 1.3",
+            fit_in.alpha
+        );
+        assert!(
+            fit_out.alpha > 0.7 && fit_out.alpha < 2.2,
+            "alpha_out {} should be near 1.2",
+            fit_out.alpha
+        );
+        assert!(fit_in.r_squared > 0.8, "r2_in {}", fit_in.r_squared);
+    }
+
+    #[test]
+    fn table1_celebrities_top_the_in_degree_ranking() {
+        let net = gplus_net();
+        let top = degree::top_by_in_degree(&net.graph, 20);
+        // the single most-followed user is Larry Page (node 0)
+        assert_eq!(top[0].0, 0, "rank 1 should be node 0 (Larry Page)");
+        // at least 15 of the top 20 are global (Table-1) celebrities
+        let globals = top.iter().filter(|(id, _)| *id < 20).count();
+        assert!(globals >= 15, "only {globals} of top-20 are Table-1 celebrities");
+    }
+
+    #[test]
+    fn country_celebrities_top_their_countries() {
+        let net = gplus_net();
+        let g = &net.graph;
+        // among users sharing a US location, the top in-degree nodes should
+        // be dominated by the seeded US country celebrities (20..30)
+        let mut us_located: Vec<(u32, usize)> = g
+            .nodes()
+            .filter(|&u| {
+                net.population.profile(u).public_country() == Some(gplus_geo::Country::Us)
+            })
+            .map(|u| (u, g.in_degree(u)))
+            .collect();
+        us_located.sort_by(|a, b| b.1.cmp(&a.1));
+        let top10: Vec<u32> = us_located.iter().take(10).map(|x| x.0).collect();
+        let seeded = top10.iter().filter(|&&id| (20..30).contains(&id)).count();
+        assert!(seeded >= 7, "only {seeded} of located-US top-10 are seeded: {top10:?}");
+    }
+
+    #[test]
+    fn twitter_preset_less_reciprocal() {
+        let t = SynthNetwork::generate(&SynthConfig::twitter_like(8_000, 3));
+        let g = SynthNetwork::generate(&SynthConfig::google_plus_2011(8_000, 3));
+        let rt = reciprocity::global_reciprocity(&t.graph);
+        let rg = reciprocity::global_reciprocity(&g.graph);
+        assert!(rt < rg, "twitter {rt} should be below gplus {rg}");
+    }
+
+    #[test]
+    fn facebook_preset_fully_reciprocal() {
+        let f = SynthNetwork::generate(&SynthConfig::facebook_like(5_000, 4));
+        let r = reciprocity::global_reciprocity(&f.graph);
+        assert!(r > 0.95, "facebook-like reciprocity {r}");
+    }
+
+    #[test]
+    fn self_loop_country_fractions_follow_figure10() {
+        let net = gplus_net();
+        let frac = |c: gplus_geo::Country| {
+            let mut total = 0u64;
+            let mut same = 0u64;
+            for u in net.graph.nodes() {
+                if net.population.profile(u).country != c {
+                    continue;
+                }
+                for &v in net.graph.out_neighbors(u) {
+                    total += 1;
+                    if net.population.profile(v).country == c {
+                        same += 1;
+                    }
+                }
+            }
+            same as f64 / total.max(1) as f64
+        };
+        let us = frac(gplus_geo::Country::Us);
+        let gb = frac(gplus_geo::Country::Gb);
+        assert!(us > 0.60, "US self-loop {us}");
+        assert!(gb < us - 0.2, "GB self-loop {gb} should sit well below US {us}");
+    }
+}

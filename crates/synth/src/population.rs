@@ -1,0 +1,234 @@
+//! Population assembly: celebrity roster + ordinary users, indexed by
+//! country and city for the geographic edge process.
+
+use crate::celebrities::{seed_celebrities, Celebrity};
+use crate::config::SynthConfig;
+use gplus_geo::Country;
+use gplus_profiles::{Attribute, Profile, ProfileGenerator};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// The generated user population with geographic indices.
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// One profile per node, indexed by node id.
+    pub profiles: Vec<Profile>,
+    /// Seeded celebrities (empty when the config disables them).
+    pub celebrities: Vec<Celebrity>,
+    /// Node ids per country, ascending.
+    pub by_country: HashMap<Country, Vec<u32>>,
+    /// Node ids per (country, city index), ascending.
+    pub by_city: HashMap<(Country, u8), Vec<u32>>,
+    /// Community id per node (communities are small groups inside a city).
+    pub community: Vec<u32>,
+    /// Members of each community, indexed by community id.
+    pub community_members: Vec<Vec<u32>>,
+}
+
+impl Population {
+    /// Generates the population for `config` (profiles only, no edges).
+    ///
+    /// Celebrities occupy node ids `0..roster_len` when enabled; ordinary
+    /// users fill the rest. Deterministic given `config.seed`.
+    ///
+    /// # Panics
+    /// Panics if `config.n_users` is smaller than the celebrity roster
+    /// while celebrities are enabled.
+    pub fn generate(config: &SynthConfig) -> Self {
+        config.validate();
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x706f_7075_6c61_7469); // "populati"
+        let generator = ProfileGenerator::paper_calibrated();
+
+        let celebrities = if config.with_celebrities { seed_celebrities() } else { Vec::new() };
+        assert!(
+            config.n_users >= celebrities.len(),
+            "n_users ({}) must cover the celebrity roster ({})",
+            config.n_users,
+            celebrities.len()
+        );
+
+        let mut profiles = Vec::with_capacity(config.n_users);
+        for celeb in &celebrities {
+            let mut p = generator.generate_celebrity(
+                celeb.node as u64,
+                &celeb.name,
+                celeb.occupation,
+                celeb.country,
+                &mut rng,
+            );
+            if !celeb.shares_location {
+                // Table-1 celebrities withhold "places lived" — this is
+                // what keeps them out of the Table-5 per-country rankings.
+                p.public_mask &= !Attribute::PlacesLived.bit();
+            }
+            profiles.push(p);
+        }
+        for id in celebrities.len()..config.n_users {
+            profiles.push(generator.generate(id as u64, &mut rng));
+        }
+
+        let mut by_country: HashMap<Country, Vec<u32>> = HashMap::new();
+        let mut by_city: HashMap<(Country, u8), Vec<u32>> = HashMap::new();
+        for (id, p) in profiles.iter().enumerate() {
+            by_country.entry(p.country).or_default().push(id as u32);
+            by_city.entry((p.country, p.city_index)).or_default().push(id as u32);
+        }
+
+        // Communities: shuffle each city's members and chunk them into
+        // groups of community_size. Iterate cities in sorted order so the
+        // assignment is deterministic.
+        let mut community = vec![0u32; profiles.len()];
+        let mut community_members: Vec<Vec<u32>> = Vec::new();
+        let mut city_keys: Vec<(Country, u8)> = by_city.keys().copied().collect();
+        city_keys.sort_unstable();
+        for key in city_keys {
+            let mut members = by_city[&key].clone();
+            members.shuffle(&mut rng);
+            for chunk in members.chunks(config.community_size.max(2)) {
+                let cid = community_members.len() as u32;
+                for &m in chunk {
+                    community[m as usize] = cid;
+                }
+                community_members.push(chunk.to_vec());
+            }
+        }
+
+        Self { profiles, celebrities, by_country, by_city, community, community_members }
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The profile of node `id`.
+    pub fn profile(&self, id: u32) -> &Profile {
+        &self.profiles[id as usize]
+    }
+
+    /// Members of `country` (empty slice if none).
+    pub fn country_members(&self, country: Country) -> &[u32] {
+        self.by_country.get(&country).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Members of a specific city (empty slice if none).
+    pub fn city_members(&self, country: Country, city: u8) -> &[u32] {
+        self.by_city.get(&(country, city)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Members of the community containing `id` (always includes `id`).
+    pub fn community_of(&self, id: u32) -> &[u32] {
+        &self.community_members[self.community[id as usize] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Population {
+        Population::generate(&SynthConfig::google_plus_2011(3_000, 11))
+    }
+
+    #[test]
+    fn sizes_and_ids() {
+        let pop = small();
+        assert_eq!(pop.len(), 3_000);
+        assert_eq!(pop.celebrities.len(), 120);
+        for (i, p) in pop.profiles.iter().enumerate() {
+            assert_eq!(p.user_id, i as u64);
+        }
+    }
+
+    #[test]
+    fn celebrity_profiles_first_and_named() {
+        let pop = small();
+        assert_eq!(pop.profile(0).display_name(), "Larry Page");
+        assert!(pop.profile(0).celebrity_name.is_some());
+        assert!(pop.profile(120).celebrity_name.is_none());
+    }
+
+    #[test]
+    fn global_celebs_hide_location_country_celebs_share() {
+        let pop = small();
+        for celeb in &pop.celebrities {
+            let p = pop.profile(celeb.node);
+            assert_eq!(
+                p.public_country().is_some(),
+                celeb.shares_location,
+                "{}",
+                celeb.name
+            );
+        }
+    }
+
+    #[test]
+    fn indices_cover_population() {
+        let pop = small();
+        let total: usize = pop.by_country.values().map(Vec::len).sum();
+        assert_eq!(total, pop.len());
+        let total_city: usize = pop.by_city.values().map(Vec::len).sum();
+        assert_eq!(total_city, pop.len());
+        // city lists refine country lists
+        for ((country, city), members) in &pop.by_city {
+            for m in members {
+                assert_eq!(pop.profile(*m).country, *country);
+                assert_eq!(pop.profile(*m).city_index, *city);
+            }
+        }
+    }
+
+    #[test]
+    fn communities_partition_cities() {
+        let pop = small();
+        // every node belongs to exactly one community, inside its own city
+        let total: usize = pop.community_members.iter().map(Vec::len).sum();
+        assert_eq!(total, pop.len());
+        for (id, p) in pop.profiles.iter().enumerate() {
+            let comm = pop.community_of(id as u32);
+            assert!(comm.contains(&(id as u32)));
+            for &m in comm {
+                let q = pop.profile(m);
+                assert_eq!((q.country, q.city_index), (p.country, p.city_index));
+            }
+        }
+    }
+
+    #[test]
+    fn communities_bounded_by_config_size() {
+        let pop = small();
+        for members in &pop.community_members {
+            assert!(!members.is_empty());
+            assert!(members.len() <= 12, "community of {}", members.len());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Population::generate(&SynthConfig::google_plus_2011(500, 3));
+        let b = Population::generate(&SynthConfig::google_plus_2011(500, 3));
+        assert_eq!(a.profiles, b.profiles);
+    }
+
+    #[test]
+    fn no_celebrities_when_disabled() {
+        let mut cfg = SynthConfig::google_plus_2011(300, 5);
+        cfg.with_celebrities = false;
+        let pop = Population::generate(&cfg);
+        assert!(pop.celebrities.is_empty());
+        assert!(pop.profile(0).celebrity_name.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "celebrity roster")]
+    fn rejects_population_smaller_than_roster() {
+        let _ = Population::generate(&SynthConfig::google_plus_2011(50, 1));
+    }
+}

@@ -1,0 +1,46 @@
+//! Geography of friendship: the §4.4/§4.5 analyses — path miles, country
+//! adoption, penetration economics, and the country-to-country link matrix.
+//!
+//! ```sh
+//! cargo run --release --example geo_links [n_users] [seed]
+//! ```
+
+use gplus_core::dataset::GroundTruthDataset;
+use gplus_core::experiments::{fig10, fig6, fig7, fig9};
+use gplus_geo::Country;
+use gplus_synth::{SynthConfig, SynthNetwork};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(150_000);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2012);
+
+    println!("Generating population ({n} users, seed {seed}) ...\n");
+    let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(n, seed));
+    let data = GroundTruthDataset::new(&net);
+
+    // Where do users live? (Figure 6)
+    println!("{}", fig6::render(&fig6::run(&data)));
+
+    // Penetration economics (Figure 7)
+    let f7 = fig7::run(&data);
+    println!("{}", fig7::render(&f7));
+    println!(
+        "GPR top three: {:?} (paper: India first)\n",
+        &f7.gpr_ranking()[..3].iter().map(|c| c.code()).collect::<Vec<_>>()
+    );
+
+    // Distance and friendship (Figure 9)
+    let f9 = fig9::run(&data, &fig9::Fig9Params { max_pairs: 150_000, seed });
+    println!("{}", fig9::render(&f9));
+
+    // The country link matrix (Figure 10)
+    let f10 = fig10::run(&data);
+    println!("{}", fig10::render(&f10));
+    println!(
+        "self-loops: US {:.2} (paper 0.79), GB {:.2} (paper 0.30), CA {:.2} (paper 0.33)",
+        f10.self_loop(Country::Us).unwrap_or(f64::NAN),
+        f10.self_loop(Country::Gb).unwrap_or(f64::NAN),
+        f10.self_loop(Country::Ca).unwrap_or(f64::NAN)
+    );
+}

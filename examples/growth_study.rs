@@ -1,0 +1,39 @@
+//! Growth study (the paper's §7 future work): adoption-phase snapshots,
+//! densification, path-length shrinkage, and a ranking-robustness check.
+//!
+//! ```sh
+//! cargo run --release --example growth_study [n_users] [seed]
+//! ```
+
+use gplus_core::dataset::GroundTruthDataset;
+use gplus_core::extensions::{growth, rankings, structure};
+use gplus_synth::{SynthConfig, SynthNetwork};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(40_000);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2012);
+
+    println!("Generating network ({n} users, seed {seed}) ...\n");
+    let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(n, seed));
+
+    // adoption-phase snapshots (§7: "multiple snapshots of the Google+
+    // topology ... over various adoption phases")
+    let g = growth::run(&net, &growth::GrowthParams::default());
+    println!("{}", growth::render(&g));
+
+    // is Table 1's in-degree ranking robust to the popularity measure?
+    let data = GroundTruthDataset::new(&net);
+    let r = rankings::run(&data, 20);
+    println!("{}", rankings::render(&r, &data));
+
+    // structural extras across the three presets
+    let tw = SynthNetwork::generate(&SynthConfig::twitter_like(n / 2, seed));
+    let fb = SynthNetwork::generate(&SynthConfig::facebook_like(n / 2, seed));
+    let rows = vec![
+        structure::measure("google_plus", &net.graph),
+        structure::measure("twitter_like", &tw.graph),
+        structure::measure("facebook_like", &fb.graph),
+    ];
+    println!("{}", structure::render(&rows));
+}

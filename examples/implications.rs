@@ -1,0 +1,29 @@
+//! The §6 "Implications" section, made executable: recommendation
+//! locality per country and information-cascade reach from hubs.
+//!
+//! ```sh
+//! cargo run --release --example implications [n_users] [seed]
+//! ```
+
+use gplus_core::dataset::GroundTruthDataset;
+use gplus_core::extensions::{cascade, recommend};
+use gplus_synth::{SynthConfig, SynthNetwork};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(40_000);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2012);
+
+    println!("Generating network ({n} users, seed {seed}) ...\n");
+    let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(n, seed));
+    let data = GroundTruthDataset::new(&net);
+
+    // "it may make sense to recommend domestic users ... for countries
+    // that have high degree of self-loop such as Brazil and India"
+    let r = recommend::run(&data, &recommend::RecommendParams::default());
+    println!("{}", recommend::render(&r));
+
+    // "hubs play a central role in information propagation"
+    let c = cascade::run(&data, &cascade::CascadeParams::default());
+    println!("{}", cascade::render(&c));
+}

@@ -1,0 +1,292 @@
+//! `gplus` — command-line front end for the reproduction workspace.
+//!
+//! ```text
+//! gplus list                                  # experiment registry
+//! gplus run      [-n N] [-s SEED] [--crawl] [--json PATH] [ID ...]
+//! gplus crawl    [-n N] [-s SEED] [--failure-rate F] [--private F]
+//! gplus export   [-n N] [-s SEED] [--edges PATH] [--profiles PATH]
+//! gplus growth   [-n N] [-s SEED]
+//! ```
+//!
+//! `run` executes the full pipeline (ground truth by default, `--crawl`
+//! for the faithful generate→serve→crawl path) and prints either every
+//! artifact or only the requested experiment ids. `export` writes the
+//! synthetic dataset in the TSV layout of the paper's own public release
+//! (edge list + profile attributes), so downstream tooling can consume it.
+
+use gplus::analysis::registry;
+use gplus::analysis::{Reproduction, ReproductionConfig};
+use gplus::crawler::Crawler;
+use gplus::service::{GooglePlusService, ServiceConfig};
+use gplus::synth::{GrowthModel, SynthConfig, SynthNetwork};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("crawl") => cmd_crawl(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some("growth") => cmd_growth(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command: {other}\n");
+            print_usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_usage() {
+    eprintln!(
+        "gplus — IMC 2012 Google+ study reproduction\n\n\
+         USAGE:\n  \
+         gplus list\n  \
+         gplus run    [-n N] [-s SEED] [--crawl] [--json PATH] [ID ...]\n  \
+         gplus crawl  [-n N] [-s SEED] [--failure-rate F] [--private F]\n  \
+         gplus export [-n N] [-s SEED] [--edges PATH] [--profiles PATH]\n  \
+         gplus growth [-n N] [-s SEED]\n\n\
+         Experiment IDs for `run`: see `gplus list`."
+    );
+}
+
+/// Minimal flag parser: `-n`, `-s`, `--flag value` pairs and positionals.
+struct Flags {
+    n: usize,
+    seed: u64,
+    options: std::collections::HashMap<String, String>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+fn parse_flags(args: &[String], value_flags: &[&str], switch_flags: &[&str]) -> Flags {
+    let mut flags = Flags {
+        n: 50_000,
+        seed: 2012,
+        options: Default::default(),
+        switches: Vec::new(),
+        positional: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let grab = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_default()
+        };
+        if a == "-n" {
+            flags.n = grab(&mut i).parse().unwrap_or(flags.n);
+        } else if a == "-s" {
+            flags.seed = grab(&mut i).parse().unwrap_or(flags.seed);
+        } else if switch_flags.contains(&a.as_str()) {
+            flags.switches.push(a.clone());
+        } else if value_flags.contains(&a.as_str()) {
+            let v = grab(&mut i);
+            flags.options.insert(a.clone(), v);
+        } else {
+            flags.positional.push(a.clone());
+        }
+        i += 1;
+    }
+    flags
+}
+
+fn cmd_list() -> i32 {
+    println!("{}", registry::render_index());
+    0
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let flags = parse_flags(args, &["--json"], &["--crawl"]);
+    for id in &flags.positional {
+        if registry::find(id).is_none() {
+            eprintln!("unknown experiment id: {id} (see `gplus list`)");
+            return 2;
+        }
+    }
+    let config = ReproductionConfig::quick(flags.n, flags.seed);
+    eprintln!(
+        "running {} pipeline at {} users (seed {}) ...",
+        if flags.switches.iter().any(|s| s == "--crawl") { "crawled" } else { "ground-truth" },
+        flags.n,
+        flags.seed
+    );
+    let report = if flags.switches.iter().any(|s| s == "--crawl") {
+        Reproduction::run(&config)
+    } else {
+        Reproduction::run_ground_truth(&config)
+    };
+
+    if flags.positional.is_empty() {
+        println!("{}", report.render_all());
+    } else {
+        use gplus::analysis::experiments::*;
+        for id in &flags.positional {
+            let text = match id.as_str() {
+                "table1" => table1::render(&report.table1),
+                "table2" => table2::render(&report.table2),
+                "table3" => table3::render(&report.table3),
+                "table4" => table4::render(&report.table4),
+                "table5" => table5::render(&report.table5),
+                "fig2" => fig2::render(&report.fig2),
+                "fig3" => fig3::render(&report.fig3),
+                "fig4" => fig4::render(&report.fig4),
+                "fig5" => fig5::render(&report.fig5),
+                "fig6" => fig6::render(&report.fig6),
+                "fig7" => fig7::render(&report.fig7),
+                "fig8" => fig8::render(&report.fig8),
+                "fig9" => fig9::render(&report.fig9),
+                "fig10" => fig10::render(&report.fig10),
+                "lost_edges" => report
+                    .lost_edges
+                    .map(|e| {
+                        format!(
+                            "lost edges: {} truncated users, {} lost, {:.2}% of edges\n",
+                            e.truncated_users,
+                            e.lost_edges,
+                            e.lost_fraction * 100.0
+                        )
+                    })
+                    .unwrap_or_else(|| "lost_edges requires --crawl\n".into()),
+                other => format!("(no renderer for {other} under `run`; see examples)\n"),
+            };
+            println!("{text}");
+        }
+    }
+
+    if let Some(path) = flags.options.get("--json") {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            return 1;
+        }
+        eprintln!("JSON report written to {path}");
+    }
+    0
+}
+
+fn cmd_crawl(args: &[String]) -> i32 {
+    let flags = parse_flags(args, &["--failure-rate", "--private"], &[]);
+    let failure_rate: f64 =
+        flags.options.get("--failure-rate").and_then(|v| v.parse().ok()).unwrap_or(0.02);
+    let private: f64 =
+        flags.options.get("--private").and_then(|v| v.parse().ok()).unwrap_or(0.03);
+    eprintln!("generating network ({} users, seed {}) ...", flags.n, flags.seed);
+    let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(flags.n, flags.seed));
+    let svc = GooglePlusService::new(
+        net,
+        ServiceConfig {
+            failure_rate,
+            private_list_fraction: private,
+            ..ServiceConfig::default()
+        },
+    );
+    let result = Crawler::paper_setup().run(&svc);
+    let cov = result.coverage(&svc.ground_truth().graph);
+    let est =
+        gplus::crawler::lost_edges::estimate(&result, svc.config().circle_list_limit as u64);
+    println!(
+        "crawl finished: {} profiles, {} users discovered, {} edges",
+        result.crawled_count(),
+        result.discovered_count(),
+        result.graph.edge_count()
+    );
+    println!(
+        "coverage: {:.1}% nodes, {:.1}% edges; retries {}, transient errors {}, private lists {}",
+        cov.node_coverage * 100.0,
+        cov.edge_coverage * 100.0,
+        result.stats.retries,
+        result.stats.transient_errors,
+        result.stats.private_list_users
+    );
+    println!(
+        "lost-edge estimate: {} truncated users, {:.3}% of edges (paper: 915 / 1.6%)",
+        est.truncated_users,
+        est.lost_fraction * 100.0
+    );
+    0
+}
+
+fn cmd_export(args: &[String]) -> i32 {
+    let flags = parse_flags(args, &["--edges", "--profiles"], &[]);
+    let edges_path = flags.options.get("--edges").cloned().unwrap_or("edges.tsv".into());
+    let profiles_path =
+        flags.options.get("--profiles").cloned().unwrap_or("profiles.tsv".into());
+    eprintln!("generating network ({} users, seed {}) ...", flags.n, flags.seed);
+    let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(flags.n, flags.seed));
+
+    let write = || -> std::io::Result<()> {
+        let mut ef = std::io::BufWriter::new(std::fs::File::create(&edges_path)?);
+        for (u, v) in net.graph.edges() {
+            writeln!(ef, "{u}\t{v}")?;
+        }
+        let mut pf = std::io::BufWriter::new(std::fs::File::create(&profiles_path)?);
+        writeln!(
+            pf,
+            "user_id\tname\tgender\trelationship\tcountry\toccupation\tfields_shared\ttel_user"
+        )?;
+        for node in net.graph.nodes() {
+            let p = net.population.profile(node);
+            let opt = |b: bool, s: String| if b { s } else { "-".into() };
+            writeln!(
+                pf,
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                p.user_id,
+                p.display_name(),
+                opt(p.public_gender().is_some(), format!("{:?}", p.gender)),
+                opt(
+                    p.public_relationship().is_some(),
+                    p.relationship.label().to_string()
+                ),
+                p.public_country().map(|c| c.code().to_string()).unwrap_or("-".into()),
+                p.public_occupation().map(|o| o.code().to_string()).unwrap_or("-".into()),
+                p.fields_shared(),
+                p.is_tel_user() as u8
+            )?;
+        }
+        Ok(())
+    };
+    match write() {
+        Ok(()) => {
+            println!(
+                "exported {} edges to {edges_path} and {} profiles to {profiles_path}",
+                net.graph.edge_count(),
+                net.node_count()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("export failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_growth(args: &[String]) -> i32 {
+    let flags = parse_flags(args, &[], &[]);
+    eprintln!("generating network ({} users, seed {}) ...", flags.n, flags.seed);
+    let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(flags.n, flags.seed));
+    let model = GrowthModel::new(&net, 0.4, flags.seed);
+    let series =
+        model.snapshot_series(&net, &[0.2, 0.4, 0.6, 0.8, 1.0], 150, flags.seed);
+    println!("fraction  nodes    edges     mean_degree  mean_path  diameter");
+    for s in &series {
+        println!(
+            "{:>8.0}%  {:>7}  {:>8}  {:>11.2}  {:>9.2}  {:>8}",
+            s.fraction * 100.0,
+            s.nodes,
+            s.edges,
+            s.mean_degree,
+            s.mean_path,
+            s.diameter
+        );
+    }
+    if let Some(a) = gplus::synth::densification_exponent(&series) {
+        println!("densification exponent a = {a:.2} (Leskovec: 1 < a < 2)");
+    }
+    0
+}

@@ -1,0 +1,34 @@
+//! # gplus — a full reproduction of the IMC 2012 Google+ measurement study
+//!
+//! This meta-crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`graph`] — the directed social-graph substrate (CSR storage, BFS,
+//!   SCC, reciprocity, clustering, path sampling).
+//! * [`stats`] — distributions, power-law fits, sampling, convergence.
+//! * [`geo`] — circa-2011 country statistics, haversine miles, gazetteer.
+//! * [`profiles`] — the Google+ profile model and its calibrated generator.
+//! * [`synth`] — the synthetic Google+ 2011 network generator.
+//! * [`service`] — the simulated Google+ frontend (truncation, privacy,
+//!   failures, rate limiting).
+//! * [`crawler`] — the bidirectional BFS crawler and the lost-edge /
+//!   bias estimators.
+//! * [`analysis`] — every table and figure of the paper as a typed
+//!   experiment, plus the end-to-end [`analysis::Reproduction`] pipeline.
+//!
+//! ## One-liner
+//!
+//! ```
+//! use gplus::analysis::{Reproduction, ReproductionConfig};
+//!
+//! let report = Reproduction::run_ground_truth(&ReproductionConfig::quick(5_000, 42));
+//! assert_eq!(report.table2.rows.len(), 17);
+//! ```
+
+pub use gplus_core as analysis;
+pub use gplus_crawler as crawler;
+pub use gplus_geo as geo;
+pub use gplus_graph as graph;
+pub use gplus_profiles as profiles;
+pub use gplus_service as service;
+pub use gplus_stats as stats;
+pub use gplus_synth as synth;

@@ -1,0 +1,135 @@
+//! Cross-crate integration: the full generate → serve → crawl → analyse
+//! pipeline, checked for internal consistency and against the paper's
+//! qualitative findings.
+
+use gplus::analysis::dataset::{CrawlDataset, Dataset, GroundTruthDataset};
+use gplus::analysis::{experiments::*, Reproduction, ReproductionConfig};
+use gplus::crawler::{lost_edges, Crawler, CrawlerConfig};
+use gplus::service::{GooglePlusService, ServiceConfig};
+use gplus::synth::{SynthConfig, SynthNetwork};
+use std::sync::OnceLock;
+
+const N: usize = 20_000;
+const SEED: u64 = 20121114; // IMC'12 opening day
+
+fn network() -> &'static SynthNetwork {
+    static NET: OnceLock<SynthNetwork> = OnceLock::new();
+    NET.get_or_init(|| SynthNetwork::generate(&SynthConfig::google_plus_2011(N, SEED)))
+}
+
+fn crawl() -> &'static gplus::crawler::CrawlResult {
+    static RES: OnceLock<gplus::crawler::CrawlResult> = OnceLock::new();
+    RES.get_or_init(|| {
+        let svc = GooglePlusService::new(
+            network().clone(),
+            ServiceConfig { failure_rate: 0.05, private_list_fraction: 0.03, ..Default::default() },
+        );
+        Crawler::new(CrawlerConfig::default()).run(&svc)
+    })
+}
+
+#[test]
+fn crawl_covers_nearly_everything_reachable() {
+    let result = crawl();
+    let truth = &network().graph;
+    let cov = result.coverage(truth);
+    assert!(cov.node_coverage > 0.95, "node coverage {}", cov.node_coverage);
+    assert!(cov.edge_coverage > 0.90, "edge coverage {}", cov.edge_coverage);
+    // failures and private lists actually occurred
+    assert!(result.stats.transient_errors > 0);
+    assert!(result.stats.private_list_users > 0);
+}
+
+#[test]
+fn crawled_analyses_agree_with_ground_truth_analyses() {
+    let truth_data = GroundTruthDataset::new(network());
+    let crawl_data = CrawlDataset::new(crawl());
+
+    // Table 2 fractions should agree closely (same population, same fields)
+    let t2_truth = table2::run(&truth_data);
+    let t2_crawl = table2::run(&crawl_data);
+    for (a, b) in t2_truth.rows.iter().zip(&t2_crawl.rows) {
+        assert!(
+            (a.fraction - b.fraction).abs() < 0.02,
+            "{:?}: truth {} vs crawl {}",
+            a.attribute,
+            a.fraction,
+            b.fraction
+        );
+    }
+
+    // structural metrics agree
+    let p = table4::Table4Params { path_samples: 150, seed: 9, crawled_fraction: 1.0 };
+    let t4_truth = table4::run(&truth_data, &p);
+    let t4_crawl = table4::run(&crawl_data, &p);
+    assert!((t4_truth.reciprocity - t4_crawl.reciprocity).abs() < 0.03);
+    assert!((t4_truth.mean_degree - t4_crawl.mean_degree).abs() < 1.5);
+}
+
+#[test]
+fn lost_edge_estimator_on_truncating_service() {
+    // a tight cap forces truncation; the estimator must see it and the
+    // true loss must be of the estimated order
+    let svc = GooglePlusService::new(
+        network().clone(),
+        ServiceConfig {
+            failure_rate: 0.0,
+            private_list_fraction: 0.0,
+            circle_list_limit: 200,
+            page_size: 200,
+            ..Default::default()
+        },
+    );
+    let result = Crawler::new(CrawlerConfig::default()).run(&svc);
+    let est = lost_edges::estimate(&result, 200);
+    assert!(est.truncated_users > 0);
+    let truth_edges = network().graph.edge_count() as u64;
+    let collected = result.graph.edge_count() as u64;
+    let actually_lost = truth_edges.saturating_sub(collected);
+    // the estimator can't be wildly off the true loss
+    assert!(
+        est.lost_edges <= actually_lost * 3 + 100,
+        "estimate {} vs actual {}",
+        est.lost_edges,
+        actually_lost
+    );
+}
+
+#[test]
+fn full_report_runs_and_renders_on_crawl() {
+    let mut cfg = ReproductionConfig::quick(6_000, 77);
+    cfg.service.failure_rate = 0.02;
+    let report = Reproduction::run(&cfg);
+    let text = report.render_all();
+    for needle in [
+        "Table 1",
+        "Table 2",
+        "Table 3",
+        "Table 4",
+        "Table 5",
+        "Figure 2",
+        "Figure 3",
+        "Figure 4(a)",
+        "Figure 5",
+        "Figure 6",
+        "Figure 7",
+        "Figure 8",
+        "Figure 9(a)",
+        "Figure 10",
+        "lost edges",
+    ] {
+        assert!(text.contains(needle), "rendered report missing {needle}");
+    }
+    // JSON round-trip of the full report
+    let json = report.to_json();
+    assert!(json.len() > 10_000);
+}
+
+#[test]
+fn same_seed_same_network_different_seed_different() {
+    let a = SynthNetwork::generate(&SynthConfig::google_plus_2011(2_000, 1));
+    let b = SynthNetwork::generate(&SynthConfig::google_plus_2011(2_000, 1));
+    let c = SynthNetwork::generate(&SynthConfig::google_plus_2011(2_000, 2));
+    assert_eq!(a.graph, b.graph);
+    assert_ne!(a.graph, c.graph);
+}

@@ -1,0 +1,110 @@
+//! The paper's enumerated findings (§1's summary list and the section
+//! headlines), asserted end-to-end on one ground-truth dataset.
+//!
+//! These are *shape* assertions: who wins, rough factors, orderings —
+//! never exact numbers (our substrate is a calibrated simulation, not the
+//! 2011 crawl).
+
+use gplus::analysis::dataset::GroundTruthDataset;
+use gplus::analysis::experiments::*;
+use gplus::geo::Country;
+use gplus::synth::{SynthConfig, SynthNetwork};
+use std::sync::OnceLock;
+
+fn network() -> &'static SynthNetwork {
+    static NET: OnceLock<SynthNetwork> = OnceLock::new();
+    NET.get_or_init(|| SynthNetwork::generate(&SynthConfig::google_plus_2011(60_000, 42)))
+}
+
+fn data() -> GroundTruthDataset<'static> {
+    GroundTruthDataset::new(network())
+}
+
+#[test]
+fn finding1_top_users_dominated_by_it() {
+    // "the majority of the top users (7 out of 20) are well-known
+    // individuals from information technology industry"
+    let t1 = table1::run(&data(), 20);
+    assert!((5..=10).contains(&t1.it_count), "IT count {}", t1.it_count);
+    assert_eq!(t1.rows[0].name, "Larry Page");
+    assert!(t1.rows.iter().any(|r| r.name == "Mark Zuckerberg"));
+}
+
+#[test]
+fn finding2_tel_users_male_and_single() {
+    // "a large fraction of the users who share telephone numbers are male
+    // and single"
+    let t3 = table3::run(&data());
+    let male = &t3.gender[0];
+    let single = &t3.relationship[0];
+    assert!(male.tel > 0.70, "tel-users male fraction {}", male.tel);
+    assert!(single.tel > single.all, "single overrepresented among tel-users");
+}
+
+#[test]
+fn finding3_openness_varies_by_country() {
+    // "users share strikingly different amounts of information to public
+    // in their profiles depending the country they live in"
+    let f8 = fig8::run(&data());
+    let de = f8.mean_fields(Country::De).expect("DE present");
+    let id = f8.mean_fields(Country::Id).expect("ID present");
+    assert!(id > de + 0.8, "ID {id} vs DE {de}");
+}
+
+#[test]
+fn finding4_distance_shapes_links() {
+    // "physical distance is crucial in the likelihood of forming a social
+    // link between two users"
+    let f9 = fig9::run(&data(), &fig9::Fig9Params { max_pairs: 60_000, seed: 1 });
+    assert!(
+        f9.friends.eval(1_000.0) > f9.random.eval(1_000.0) + 0.15,
+        "friends {} vs random {} within 1000 miles",
+        f9.friends.eval(1_000.0),
+        f9.random.eval(1_000.0)
+    );
+}
+
+#[test]
+fn finding5_national_vs_global_links_vary() {
+    // "The fraction of global and national links also vary according the
+    // countries"
+    let f10 = fig10::run(&data());
+    let us = f10.self_loop(Country::Us).unwrap();
+    let gb = f10.self_loop(Country::Gb).unwrap();
+    assert!(us > 0.55, "US self-loop {us}");
+    assert!(gb < us - 0.2, "GB self-loop {gb}");
+}
+
+#[test]
+fn reciprocity_above_twitter() {
+    // "Google+ shows a higher level of reciprocity than Twitter" (32% vs
+    // 22.1%)
+    let f4 = fig4::run(&data(), &fig4::Fig4Params { cc_sample: 20_000, seed: 2 });
+    assert!(
+        f4.global_reciprocity > 0.221,
+        "reciprocity {} should beat Twitter's",
+        f4.global_reciprocity
+    );
+}
+
+#[test]
+fn path_length_slightly_higher_than_other_networks_shape() {
+    // directed mean > undirected mean, both small-world
+    let params = fig5::Fig5Params { k_start: 200, k_step: 200, k_max: 800, tol: 0.02, seed: 3 };
+    let f5 = fig5::run(&data(), &params);
+    let (_, dmean, _) = f5.directed_summary();
+    let (_, umean, _) = f5.undirected_summary();
+    assert!(dmean > umean);
+    assert!(dmean < 9.0);
+}
+
+#[test]
+fn low_internet_penetration_countries_adopt_gplus() {
+    // "Google+ is popular in countries with relatively low Internet
+    // penetration rate" — India's GPR tops the chart despite its IPR
+    let f7 = fig7::run(&data());
+    let ranking = f7.gpr_ranking();
+    assert_eq!(ranking[0], Country::In);
+    let india = f7.point(Country::In).unwrap();
+    assert!(india.ipr < 0.2, "India's 2011 IPR was ~10%");
+}

@@ -1,0 +1,199 @@
+//! Property-based tests over the core substrates, spanning crates.
+//!
+//! These complement the per-module unit suites with randomized invariants:
+//! graph algorithms against brute-force oracles on arbitrary digraphs, and
+//! estimator laws that must hold for any input.
+
+use gplus::graph::{bfs, builder::from_edges, clustering, reciprocity, scc, wcc, NodeId};
+use gplus::stats::{ks_distance, Ccdf, Cdf, Summary};
+use proptest::prelude::*;
+
+/// Strategy: a small arbitrary digraph as (n, edge list).
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2usize..24).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as NodeId, 0..n as NodeId),
+            0..(n * 3),
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn scc_partition_agrees_between_algorithms((n, edges) in arb_graph()) {
+        let g = from_edges(n, edges);
+        let a = scc::kosaraju(&g);
+        let b = scc::tarjan(&g);
+        prop_assert!(scc::same_partition(&a, &b));
+    }
+
+    #[test]
+    fn scc_components_mutually_reachable((n, edges) in arb_graph()) {
+        let g = from_edges(n, edges);
+        let s = scc::kosaraju(&g);
+        for u in g.nodes() {
+            let reach = bfs::reachable_set(&g, u);
+            for v in g.nodes() {
+                if s.same_component(u, v) {
+                    prop_assert!(reach.contains(&v), "{u} must reach {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wcc_coarser_than_scc((n, edges) in arb_graph()) {
+        let g = from_edges(n, edges);
+        let s = scc::kosaraju(&g);
+        let w = wcc::weakly_connected_components(&g);
+        prop_assert!(w.count <= s.count);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if s.same_component(u, v) {
+                    prop_assert_eq!(w.component[u as usize], w.component[v as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_reciprocity_counts_mutual_edges((n, edges) in arb_graph()) {
+        let g = from_edges(n, edges);
+        // brute force: count edges whose reverse exists
+        let mut mutual = 0usize;
+        for (u, v) in g.edges() {
+            if g.has_edge(v, u) {
+                mutual += 1;
+            }
+        }
+        let expected = if g.edge_count() == 0 {
+            0.0
+        } else {
+            mutual as f64 / g.edge_count() as f64
+        };
+        prop_assert!((reciprocity::global_reciprocity(&g) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rr_bounded_and_defined_iff_outgoing((n, edges) in arb_graph()) {
+        let g = from_edges(n, edges);
+        for u in g.nodes() {
+            match reciprocity::relation_reciprocity(&g, u) {
+                Some(rr) => {
+                    prop_assert!(g.out_degree(u) > 0);
+                    prop_assert!((0.0..=1.0).contains(&rr));
+                }
+                None => prop_assert_eq!(g.out_degree(u), 0),
+            }
+        }
+    }
+
+    #[test]
+    fn clustering_matches_brute_force((n, edges) in arb_graph()) {
+        let g = from_edges(n, edges);
+        for u in g.nodes() {
+            let outs: Vec<NodeId> =
+                g.out_neighbors(u).iter().copied().filter(|&v| v != u).collect();
+            let expected = if outs.len() <= 1 {
+                None
+            } else {
+                let mut closed = 0u64;
+                for &v in &outs {
+                    for &w in &outs {
+                        if v != w && g.has_edge(v, w) {
+                            closed += 1;
+                        }
+                    }
+                }
+                Some(closed as f64 / (outs.len() * (outs.len() - 1)) as f64)
+            };
+            let got = clustering::clustering_coefficient(&g, u);
+            match (got, expected) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-12),
+                (None, None) => {}
+                other => prop_assert!(false, "mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_step((n, edges) in arb_graph()) {
+        let g = from_edges(n, edges);
+        let d = bfs::distances(&g, 0);
+        // every edge (u,v) with u reachable: d[v] <= d[u] + 1
+        for (u, v) in g.edges() {
+            if d[u as usize] != bfs::UNREACHABLE {
+                prop_assert!(d[v as usize] <= d[u as usize] + 1);
+            }
+        }
+        // and every reachable non-source node has a predecessor at d-1
+        for v in g.nodes() {
+            let dv = d[v as usize];
+            if v != 0 && dv != bfs::UNREACHABLE {
+                let has_pred = g
+                    .in_neighbors(v)
+                    .iter()
+                    .any(|&u| d[u as usize] != bfs::UNREACHABLE && d[u as usize] + 1 == dv);
+                prop_assert!(has_pred, "node {v} at distance {dv} lacks predecessor");
+            }
+        }
+    }
+
+    #[test]
+    fn undirected_view_symmetric((n, edges) in arb_graph()) {
+        let g = from_edges(n, edges).undirected_view();
+        for (u, v) in g.edges() {
+            prop_assert!(g.has_edge(v, u));
+            prop_assert!(u != v, "self-loops must be dropped");
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_right_continuous_step(values in proptest::collection::vec(-1e6f64..1e6, 1..60)) {
+        let cdf = Cdf::new(&values);
+        let mut xs = values.clone();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for &x in &xs {
+            let y = cdf.eval(x);
+            prop_assert!(y >= prev - 1e-12);
+            prev = y;
+        }
+        prop_assert!((cdf.eval(f64::MAX) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccdf_complements_counting(values in proptest::collection::vec(0u64..1000, 1..60)) {
+        let ccdf = Ccdf::from_counts(&values);
+        for &x in values.iter().take(10) {
+            let expected =
+                values.iter().filter(|&&v| v >= x).count() as f64 / values.len() as f64;
+            prop_assert!((ccdf.eval(x) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn summary_merge_associative(a in proptest::collection::vec(-1e3f64..1e3, 0..30),
+                                 b in proptest::collection::vec(-1e3f64..1e3, 0..30)) {
+        let mut merged = Summary::of(&a);
+        merged.merge(&Summary::of(&b));
+        let mut all = a.clone();
+        all.extend(&b);
+        let whole = Summary::of(&all);
+        prop_assert_eq!(merged.count(), whole.count());
+        if whole.count() > 0 {
+            prop_assert!((merged.mean() - whole.mean()).abs() < 1e-6);
+            prop_assert!((merged.variance() - whole.variance()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ks_distance_is_a_metric_on_samples(a in proptest::collection::vec(-100f64..100.0, 1..30),
+                                          b in proptest::collection::vec(-100f64..100.0, 1..30)) {
+        let d = ks_distance(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((ks_distance(&b, &a) - d).abs() < 1e-12);
+        prop_assert_eq!(ks_distance(&a, &a), 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! System-level property tests: invariants of the generator, the service,
+//! the wire protocol, the crawler and the growth model under randomized
+//! inputs. (Graph-algorithm properties live in `proptests.rs`.)
+
+use bytes::BytesMut;
+use gplus::crawler::{Crawler, CrawlerConfig};
+use gplus::service::wire::{decode, encode, DecodeError, Request};
+use gplus::service::{Direction, GooglePlusService, ServiceConfig};
+use gplus::synth::{GrowthModel, SynthConfig, SynthNetwork};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared mid-size network for the service/crawler properties —
+/// generation dominates runtime, the property checks are cheap.
+fn shared_net() -> &'static SynthNetwork {
+    static NET: OnceLock<SynthNetwork> = OnceLock::new();
+    NET.get_or_init(|| SynthNetwork::generate(&SynthConfig::google_plus_2011(2_000, 321)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generator_invariants_hold_for_any_seed(seed in 0u64..1_000, n in 150usize..500) {
+        let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(n, seed));
+        // node space matches the population
+        prop_assert_eq!(net.graph.node_count(), n);
+        prop_assert_eq!(net.population.len(), n);
+        // no self-loops
+        for (u, v) in net.graph.edges() {
+            prop_assert_ne!(u, v);
+        }
+        // degree accounting
+        let out_sum: usize = net.graph.nodes().map(|u| net.graph.out_degree(u)).sum();
+        prop_assert_eq!(out_sum, net.graph.edge_count());
+        // celebrities occupy the first ids and keep their identities
+        prop_assert_eq!(net.population.celebrities.len(), 120);
+        prop_assert_eq!(net.population.profile(0).display_name(), "Larry Page");
+    }
+
+    #[test]
+    fn circle_paging_partitions_the_list(page_size in 1usize..64, user in 0u64..1_000) {
+        let svc = GooglePlusService::new(
+            shared_net().clone(),
+            ServiceConfig {
+                failure_rate: 0.0,
+                private_list_fraction: 0.0,
+                page_size,
+                circle_list_limit: 10_000.max(page_size),
+                ..Default::default()
+            },
+        );
+        for direction in [Direction::InCircles, Direction::OutCircles] {
+            let mut collected = Vec::new();
+            let mut page_no = 0;
+            loop {
+                let page = svc.fetch_circle_page(user, direction, page_no).unwrap();
+                // every page except possibly the last is exactly page_size
+                if page.has_more {
+                    prop_assert_eq!(page.users.len(), page_size);
+                }
+                collected.extend_from_slice(&page.users);
+                if !page.has_more {
+                    break;
+                }
+                page_no += 1;
+            }
+            let truth: Vec<u64> = match direction {
+                Direction::InCircles => shared_net().graph.in_neighbors(user as u32),
+                Direction::OutCircles => shared_net().graph.out_neighbors(user as u32),
+            }
+            .iter()
+            .map(|&v| v as u64)
+            .collect();
+            prop_assert_eq!(collected, truth, "direction {:?}", direction);
+        }
+    }
+
+    #[test]
+    fn wire_requests_round_trip(user in any::<u64>(), page in any::<usize>(), dir in 0u8..2) {
+        let direction =
+            if dir == 0 { Direction::InCircles } else { Direction::OutCircles };
+        for req in [Request::Profile { user }, Request::Circle { user, direction, page }] {
+            let mut buf = BytesMut::new();
+            encode(&req, &mut buf);
+            let back: Request = decode(&mut buf).unwrap();
+            prop_assert_eq!(back, req);
+            prop_assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn wire_decoder_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut buf = BytesMut::from(&noise[..]);
+        // any outcome is fine; panicking or consuming past the buffer is not
+        let before = buf.len();
+        let result: Result<Request, DecodeError> = decode(&mut buf);
+        if result.is_err() {
+            prop_assert!(buf.len() <= before);
+        }
+    }
+
+    #[test]
+    fn budgeted_crawls_monotone_in_budget(budget in 10usize..300) {
+        let svc = GooglePlusService::new(
+            shared_net().clone(),
+            ServiceConfig {
+                failure_rate: 0.0,
+                private_list_fraction: 0.0,
+                ..Default::default()
+            },
+        );
+        let crawler = Crawler::new(CrawlerConfig {
+            machines: 1,
+            max_profiles: Some(budget),
+            ..Default::default()
+        });
+        let result = crawler.run(&svc);
+        prop_assert!(result.crawled_count() <= budget);
+        // discovery always covers the crawled set
+        prop_assert!(result.discovered_count() >= result.crawled_count());
+        // all ids discovered map back consistently
+        for node in result.graph.nodes().take(50) {
+            let user = result.user_of(node);
+            prop_assert_eq!(result.node_of(user), Some(node));
+        }
+    }
+
+    #[test]
+    fn growth_snapshots_monotone(f1 in 0.05f64..0.95, delta in 0.02f64..0.5) {
+        let net = shared_net();
+        let model = GrowthModel::new(net, 0.4, 9);
+        let f2 = (f1 + delta).min(1.0);
+        let s1 = model.snapshot(net, f1);
+        let s2 = model.snapshot(net, f2);
+        prop_assert!(s1.node_count() <= s2.node_count());
+        prop_assert!(s1.edge_count() <= s2.edge_count());
+        for (u, v) in s1.edges() {
+            prop_assert!(s2.has_edge(u, v), "snapshots must nest");
+        }
+    }
+}
+
+#[test]
+fn crawl_result_json_round_trip() {
+    let svc = GooglePlusService::new(
+        shared_net().clone(),
+        ServiceConfig { failure_rate: 0.0, private_list_fraction: 0.0, ..Default::default() },
+    );
+    let result = Crawler::new(CrawlerConfig { machines: 2, ..Default::default() }).run(&svc);
+    let json = result.to_json();
+    let back = gplus::crawler::CrawlResult::from_json(&json).expect("round trip");
+    assert_eq!(back.user_ids, result.user_ids);
+    assert_eq!(back.graph, result.graph);
+    assert_eq!(back.stats, result.stats);
+    assert_eq!(back.pages.len(), result.pages.len());
+}
