@@ -110,9 +110,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("ablation/bfs_csr", |b| {
         b.iter(|| black_box(bfs::levels_with_scratch(g, 0, &mut scratch).eccentricity))
     });
-    c.bench_function("ablation/bfs_vecvec", |b| {
-        b.iter(|| black_box(vec_graph.bfs_levels(0)))
-    });
+    c.bench_function("ablation/bfs_vecvec", |b| b.iter(|| black_box(vec_graph.bfs_levels(0))));
 }
 
 criterion_group! { name = benches; config = cfg(); targets = bench }

@@ -10,7 +10,8 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let data = dataset();
-    let params = fig5::Fig5Params { k_start: 200, k_step: 200, k_max: 1_000, tol: 0.02, seed: 2 };
+    let params =
+        fig5::Fig5Params { k_start: 200, k_step: 200, k_max: 1_000, tol: 0.02, seed: 2 };
     println!("{}", fig5::render(&fig5::run(&data, &params)));
 
     let g = &network().graph;

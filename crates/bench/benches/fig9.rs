@@ -9,9 +9,7 @@ fn bench(c: &mut Criterion) {
     let data = dataset();
     let params = fig9::Fig9Params { max_pairs: 60_000, seed: 5 };
     println!("{}", fig9::render(&fig9::run(&data, &params)));
-    c.bench_function("fig9/path_miles", |b| {
-        b.iter(|| black_box(fig9::run(&data, &params)))
-    });
+    c.bench_function("fig9/path_miles", |b| b.iter(|| black_box(fig9::run(&data, &params))));
 }
 
 criterion_group! { name = benches; config = cfg(); targets = bench }

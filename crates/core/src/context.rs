@@ -1,0 +1,248 @@
+//! Shared, lazily-memoized analysis context.
+//!
+//! Every experiment in [`crate::experiments`] used to re-derive the same
+//! expensive intermediates from the raw [`Dataset`]: degree vectors and
+//! their CCDFs, the undirected view of the graph, per-node country
+//! assignments, the known-profile node list, the SCC partition, global
+//! reciprocity. [`AnalysisCtx`] computes each of them at most once —
+//! thread-safely, via [`OnceLock`] — so the whole analysis suite can fan
+//! out across cores while sharing one set of intermediates.
+//!
+//! Each accessor is a pure function of the wrapped dataset, so memoization
+//! never changes a result: an experiment run against a fresh context is
+//! byte-identical to one run against a warm context, which is what the
+//! parallel executor's determinism contract rests on.
+
+use crate::dataset::Dataset;
+use gplus_geo::{Country, LatLon};
+use gplus_graph::scc::SccResult;
+use gplus_graph::{reciprocity, scc, CsrGraph, NodeId};
+use gplus_stats::Ccdf;
+use std::sync::OnceLock;
+
+/// Thread-safe memoization cache over a [`Dataset`].
+///
+/// Cheap to construct (nothing is computed up front); expensive
+/// intermediates materialize on first use and are shared by every
+/// subsequent consumer, across threads.
+pub struct AnalysisCtx<'a, D: Dataset> {
+    data: &'a D,
+    in_degrees: OnceLock<Vec<u64>>,
+    out_degrees: OnceLock<Vec<u64>>,
+    in_ccdf: OnceLock<Ccdf>,
+    out_ccdf: OnceLock<Ccdf>,
+    undirected: OnceLock<CsrGraph>,
+    countries: OnceLock<Vec<Option<Country>>>,
+    locations: OnceLock<Vec<Option<LatLon>>>,
+    known_profiles: OnceLock<Vec<NodeId>>,
+    country_counts: OnceLock<(Vec<(Country, u64)>, u64)>,
+    scc: OnceLock<SccResult>,
+    global_reciprocity: OnceLock<f64>,
+}
+
+impl<'a, D: Dataset> AnalysisCtx<'a, D> {
+    /// Wraps a dataset. Nothing is computed until first use.
+    pub fn new(data: &'a D) -> Self {
+        Self {
+            data,
+            in_degrees: OnceLock::new(),
+            out_degrees: OnceLock::new(),
+            in_ccdf: OnceLock::new(),
+            out_ccdf: OnceLock::new(),
+            undirected: OnceLock::new(),
+            countries: OnceLock::new(),
+            locations: OnceLock::new(),
+            known_profiles: OnceLock::new(),
+            country_counts: OnceLock::new(),
+            scc: OnceLock::new(),
+            global_reciprocity: OnceLock::new(),
+        }
+    }
+
+    /// The wrapped dataset, for per-node profile accessors.
+    pub fn data(&self) -> &'a D {
+        self.data
+    }
+
+    /// The social graph.
+    pub fn graph(&self) -> &'a CsrGraph {
+        self.data.graph()
+    }
+
+    /// In-degree of every node, indexed by node id.
+    pub fn in_degrees(&self) -> &[u64] {
+        self.in_degrees.get_or_init(|| gplus_graph::degree::in_degrees(self.graph()))
+    }
+
+    /// Out-degree of every node, indexed by node id.
+    pub fn out_degrees(&self) -> &[u64] {
+        self.out_degrees.get_or_init(|| gplus_graph::degree::out_degrees(self.graph()))
+    }
+
+    /// CCDF of the in-degree sequence (Figure 3's left curve).
+    pub fn in_degree_ccdf(&self) -> &Ccdf {
+        self.in_ccdf.get_or_init(|| Ccdf::from_counts(self.in_degrees()))
+    }
+
+    /// CCDF of the out-degree sequence (Figure 3's right curve).
+    pub fn out_degree_ccdf(&self) -> &Ccdf {
+        self.out_ccdf.get_or_init(|| Ccdf::from_counts(self.out_degrees()))
+    }
+
+    /// The `k` nodes with largest in-degree, descending, ties broken by
+    /// node id ascending — Table 1's ranking, computed from the cached
+    /// degree vector with the same ordering contract as
+    /// [`gplus_graph::degree::top_by_in_degree`].
+    pub fn top_by_in_degree(&self, k: usize) -> Vec<(NodeId, u64)> {
+        let mut ranked: Vec<(NodeId, u64)> =
+            self.in_degrees().iter().enumerate().map(|(n, &d)| (n as NodeId, d)).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// The undirected view of the graph (Figure 5's second panel).
+    pub fn undirected_view(&self) -> &CsrGraph {
+        self.undirected.get_or_init(|| self.graph().undirected_view())
+    }
+
+    /// Per-node country assignment, indexed by node id. `None` for nodes
+    /// whose profile is unknown or withholds a geocodable location.
+    pub fn countries(&self) -> &[Option<Country>] {
+        self.countries
+            .get_or_init(|| self.graph().nodes().map(|n| self.data.country(n)).collect())
+    }
+
+    /// A single node's country, from the cached assignment.
+    pub fn country_of(&self, node: NodeId) -> Option<Country> {
+        self.countries()[node as usize]
+    }
+
+    /// Per-node coordinates, indexed by node id, under the same conditions
+    /// as [`AnalysisCtx::countries`].
+    pub fn locations(&self) -> &[Option<LatLon>] {
+        self.locations
+            .get_or_init(|| self.graph().nodes().map(|n| self.data.location(n)).collect())
+    }
+
+    /// A single node's coordinates, from the cached assignment.
+    pub fn location_of(&self, node: NodeId) -> Option<LatLon> {
+        self.locations()[node as usize]
+    }
+
+    /// Node ids with known profiles, ascending — the paper's 27.5M crawled
+    /// pages as opposed to the graph's 35.1M nodes.
+    pub fn known_profiles(&self) -> &[NodeId] {
+        self.known_profiles.get_or_init(|| {
+            self.graph().nodes().filter(|&n| self.data.profile_known(n)).collect()
+        })
+    }
+
+    /// Number of nodes with known profiles.
+    pub fn known_profile_count(&self) -> usize {
+        self.known_profiles().len()
+    }
+
+    /// Located users per country, descending by count (ties by country),
+    /// plus the total located-user count — Figure 6's raw tally, shared
+    /// with Figure 7's penetration analysis.
+    pub fn country_counts(&self) -> (&[(Country, u64)], u64) {
+        let (counts, located) = self.country_counts.get_or_init(|| {
+            let mut counts: std::collections::HashMap<Country, u64> =
+                std::collections::HashMap::new();
+            let mut located = 0u64;
+            for c in self.countries().iter().flatten() {
+                *counts.entry(*c).or_insert(0) += 1;
+                located += 1;
+            }
+            let mut counts: Vec<(Country, u64)> = counts.into_iter().collect();
+            counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            (counts, located)
+        });
+        (counts, *located)
+    }
+
+    /// The SCC partition (Figure 4(c), Table 4), via the paper's two-DFS
+    /// Kosaraju scheme.
+    pub fn scc(&self) -> &SccResult {
+        self.scc.get_or_init(|| scc::kosaraju(self.graph()))
+    }
+
+    /// Global edge reciprocity (Figure 4(a), Table 4).
+    pub fn global_reciprocity(&self) -> f64 {
+        *self.global_reciprocity.get_or_init(|| reciprocity::global_reciprocity(self.graph()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GroundTruthDataset;
+    use gplus_graph::degree;
+    use gplus_synth::{SynthConfig, SynthNetwork};
+
+    fn net() -> SynthNetwork {
+        SynthNetwork::generate(&SynthConfig::google_plus_2011(3_000, 42))
+    }
+
+    #[test]
+    fn memoized_values_equal_direct_recomputation() {
+        let net = net();
+        let data = GroundTruthDataset::new(&net);
+        let ctx = AnalysisCtx::new(&data);
+        let g = data.graph();
+        assert_eq!(ctx.in_degrees(), degree::in_degrees(g).as_slice());
+        assert_eq!(ctx.out_degrees(), degree::out_degrees(g).as_slice());
+        assert_eq!(ctx.in_degree_ccdf(), &degree::in_degree_ccdf(g));
+        assert_eq!(ctx.out_degree_ccdf(), &degree::out_degree_ccdf(g));
+        assert_eq!(ctx.top_by_in_degree(20), degree::top_by_in_degree(g, 20));
+        assert_eq!(ctx.undirected_view(), &g.undirected_view());
+        assert_eq!(ctx.scc(), &scc::kosaraju(g));
+        assert_eq!(ctx.global_reciprocity(), reciprocity::global_reciprocity(g));
+        for n in g.nodes() {
+            assert_eq!(ctx.country_of(n), data.country(n));
+            assert_eq!(ctx.location_of(n), data.location(n));
+        }
+        assert_eq!(ctx.known_profile_count(), data.known_profile_count());
+    }
+
+    #[test]
+    fn accessors_return_the_same_allocation() {
+        let net = net();
+        let data = GroundTruthDataset::new(&net);
+        let ctx = AnalysisCtx::new(&data);
+        assert!(std::ptr::eq(ctx.in_degrees(), ctx.in_degrees()));
+        assert!(std::ptr::eq(ctx.undirected_view(), ctx.undirected_view()));
+        assert!(std::ptr::eq(ctx.countries(), ctx.countries()));
+        assert!(std::ptr::eq(ctx.known_profiles(), ctx.known_profiles()));
+    }
+
+    #[test]
+    fn country_counts_cover_all_located_users() {
+        let net = net();
+        let data = GroundTruthDataset::new(&net);
+        let ctx = AnalysisCtx::new(&data);
+        let (counts, located) = ctx.country_counts();
+        let sum: u64 = counts.iter().map(|(_, n)| n).sum();
+        assert_eq!(sum, located);
+        let direct = data.graph().nodes().filter(|&n| data.country(n).is_some()).count();
+        assert_eq!(located as usize, direct);
+        for w in counts.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn concurrent_first_use_is_safe_and_consistent() {
+        let net = net();
+        let data = GroundTruthDataset::new(&net);
+        let ctx = AnalysisCtx::new(&data);
+        let views: Vec<&CsrGraph> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4).map(|_| s.spawn(|| ctx.undirected_view())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for v in &views {
+            assert!(std::ptr::eq(*v, views[0]), "all threads see one allocation");
+        }
+    }
+}

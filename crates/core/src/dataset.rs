@@ -243,7 +243,11 @@ mod tests {
         let net = network();
         let svc = GooglePlusService::new(
             net,
-            ServiceConfig { failure_rate: 0.0, private_list_fraction: 0.0, ..Default::default() },
+            ServiceConfig {
+                failure_rate: 0.0,
+                private_list_fraction: 0.0,
+                ..Default::default()
+            },
         );
         let result = Crawler::paper_setup().run(&svc);
         let data = CrawlDataset::new(&result);
@@ -265,7 +269,11 @@ mod tests {
         let net = network();
         let svc = GooglePlusService::new(
             net,
-            ServiceConfig { failure_rate: 0.0, private_list_fraction: 0.0, ..Default::default() },
+            ServiceConfig {
+                failure_rate: 0.0,
+                private_list_fraction: 0.0,
+                ..Default::default()
+            },
         );
         let crawler = Crawler::new(gplus_crawler::CrawlerConfig {
             max_profiles: Some(50),

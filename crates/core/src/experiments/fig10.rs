@@ -7,6 +7,7 @@
 //! ... have a large number of out-going edges to the US"; countries with
 //! self-loops > 0.50 are ID, IN, BR, IT — and the US.
 
+use crate::context::AnalysisCtx;
 use crate::dataset::Dataset;
 use crate::render::TextTable;
 use gplus_geo::{Country, TOP10_COUNTRIES};
@@ -43,16 +44,20 @@ impl Fig10Result {
     }
 }
 
-/// Builds the matrix over edges whose endpoints are both geo-located.
+/// Builds the matrix over a fresh single-use context.
 pub fn run(data: &impl Dataset) -> Fig10Result {
-    let g = data.graph();
-    // cache per-node top-10 index (or 10 = other located, None = unlocated)
-    let country_idx: Vec<Option<usize>> = g
-        .nodes()
-        .map(|n| {
-            data.country(n)
-                .map(|c| Fig10Result::idx(c).unwrap_or(TOP10_COUNTRIES.len()))
-        })
+    run_ctx(&AnalysisCtx::new(data))
+}
+
+/// Builds the matrix over edges whose endpoints are both geo-located,
+/// reusing the context's cached country assignments.
+pub fn run_ctx<D: Dataset>(ctx: &AnalysisCtx<'_, D>) -> Fig10Result {
+    let g = ctx.graph();
+    // per-node top-10 index (or 10 = other located, None = unlocated)
+    let country_idx: Vec<Option<usize>> = ctx
+        .countries()
+        .iter()
+        .map(|c| c.map(|c| Fig10Result::idx(c).unwrap_or(TOP10_COUNTRIES.len())))
         .collect();
 
     let mut counts = vec![vec![0u64; TOP10_COUNTRIES.len() + 1]; TOP10_COUNTRIES.len()];
@@ -69,9 +74,7 @@ pub fn run(data: &impl Dataset) -> Fig10Result {
     let matrix = counts
         .iter()
         .enumerate()
-        .map(|(i, row)| {
-            row.iter().map(|&c| c as f64 / out_links[i].max(1) as f64).collect()
-        })
+        .map(|(i, row)| row.iter().map(|&c| c as f64 / out_links[i].max(1) as f64).collect())
         .collect();
     Fig10Result { matrix, out_links }
 }
@@ -81,8 +84,8 @@ pub fn render(result: &Fig10Result) -> String {
     let mut header: Vec<&str> = TOP10_COUNTRIES.iter().map(|c| c.code()).collect();
     header.insert(0, "from\\to");
     header.push("rest");
-    let mut t = TextTable::new("Figure 10: Link distribution across the top countries")
-        .header(&header);
+    let mut t =
+        TextTable::new("Figure 10: Link distribution across the top countries").header(&header);
     for (i, c) in TOP10_COUNTRIES.iter().enumerate() {
         let mut row = vec![c.code().to_string()];
         for j in 0..=TOP10_COUNTRIES.len() {

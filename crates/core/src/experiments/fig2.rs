@@ -6,6 +6,7 @@
 //! fields, while 66% of the tel-users do the same." (§3.2)
 //! The count excludes the Home/Work contact fields themselves.
 
+use crate::context::AnalysisCtx;
 use crate::dataset::Dataset;
 use gplus_stats::Ccdf;
 use serde::{Deserialize, Serialize};
@@ -23,12 +24,18 @@ pub struct Fig2Result {
     pub tel_above_six: f64,
 }
 
-/// Builds both distributions.
+/// Builds both distributions over a fresh single-use context.
 pub fn run(data: &impl Dataset) -> Fig2Result {
-    let g = data.graph();
+    run_ctx(&AnalysisCtx::new(data))
+}
+
+/// Builds both distributions from a shared [`AnalysisCtx`], iterating its
+/// cached known-profile list.
+pub fn run_ctx<D: Dataset>(ctx: &AnalysisCtx<'_, D>) -> Fig2Result {
+    let data = ctx.data();
     let mut all = Vec::new();
     let mut tel = Vec::new();
-    for node in g.nodes() {
+    for &node in ctx.known_profiles() {
         let Some(fields) = data.fields_shared_excl_contact(node) else { continue };
         all.push(fields as u64);
         if data.is_tel_user(node) == Some(true) {

@@ -4,6 +4,7 @@
 //! R² = 0.99) for out-degree. ... the out-degree curve drops sharply
 //! around 5000." (§3.3.1)
 
+use crate::context::AnalysisCtx;
 use crate::dataset::Dataset;
 use crate::paper::structure;
 use gplus_stats::{Ccdf, PowerLawFit};
@@ -36,11 +37,16 @@ pub struct Fig3Result {
     pub out_fit: PowerLawFit,
 }
 
-/// Builds the distributions and fits.
+/// Builds the distributions and fits over a fresh single-use context.
 pub fn run(data: &impl Dataset, params: &Fig3Params) -> Fig3Result {
-    let g = data.graph();
-    let in_ccdf = gplus_graph::degree::in_degree_ccdf(g);
-    let out_ccdf = gplus_graph::degree::out_degree_ccdf(g);
+    run_ctx(&AnalysisCtx::new(data), params)
+}
+
+/// Builds the distributions and fits from a shared [`AnalysisCtx`],
+/// reusing its cached degree CCDFs.
+pub fn run_ctx<D: Dataset>(ctx: &AnalysisCtx<'_, D>, params: &Fig3Params) -> Fig3Result {
+    let in_ccdf = ctx.in_degree_ccdf().clone();
+    let out_ccdf = ctx.out_degree_ccdf().clone();
     let in_fit = PowerLawFit::from_ccdf_with_xmin(&in_ccdf, params.fit_x_min);
     let out_fit = PowerLawFit::from_ccdf_with_xmin(&out_ccdf, params.fit_x_min);
     Fig3Result { in_ccdf, out_ccdf, in_fit, out_fit }
@@ -48,7 +54,8 @@ pub fn run(data: &impl Dataset, params: &Fig3Params) -> Fig3Result {
 
 /// Renders decade points of both curves and the fits.
 pub fn render(result: &Fig3Result) -> String {
-    let mut out = String::from("Figure 3: Degree distributions (CCDF)\ndegree  P(in>=x)  P(out>=x)\n");
+    let mut out =
+        String::from("Figure 3: Degree distributions (CCDF)\ndegree  P(in>=x)  P(out>=x)\n");
     let mut x = 1u64;
     let max = result.in_ccdf.max_value().max(result.out_ccdf.max_value());
     while x <= max {

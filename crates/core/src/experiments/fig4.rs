@@ -6,9 +6,10 @@
 //! sample of one million nodes; "40% of all users have a CC greater than
 //! 0.2". §3.3.4: 9,771,696 SCCs with one giant component of 25.24M nodes.
 
+use crate::context::AnalysisCtx;
 use crate::dataset::Dataset;
 use crate::paper::structure;
-use gplus_graph::{clustering, reciprocity, scc};
+use gplus_graph::{clustering, reciprocity};
 use gplus_stats::{Ccdf, Cdf};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,9 +51,15 @@ pub struct Fig4Result {
     pub giant_scc_fraction: f64,
 }
 
-/// Computes all three panels.
+/// Computes all three panels over a fresh single-use context.
 pub fn run(data: &impl Dataset, params: &Fig4Params) -> Fig4Result {
-    let g = data.graph();
+    run_ctx(&AnalysisCtx::new(data), params)
+}
+
+/// Computes all three panels from a shared [`AnalysisCtx`], reusing its
+/// cached SCC partition and global reciprocity.
+pub fn run_ctx<D: Dataset>(ctx: &AnalysisCtx<'_, D>, params: &Fig4Params) -> Fig4Result {
+    let g = ctx.graph();
     let rr = reciprocity::relation_reciprocity_all(g);
     let rr_cdf = Cdf::new(&rr);
     let rr_above_06 = rr_cdf.ccdf(0.6);
@@ -62,11 +69,11 @@ pub fn run(data: &impl Dataset, params: &Fig4Params) -> Fig4Result {
     let cc_cdf = (!cc.is_empty()).then(|| Cdf::new(&cc));
     let cc_above_02 = cc_cdf.as_ref().map(|c| c.ccdf(0.2)).unwrap_or(0.0);
 
-    let s = scc::kosaraju(g);
+    let s = ctx.scc();
     let sizes = s.sizes();
     Fig4Result {
         rr_cdf,
-        global_reciprocity: reciprocity::global_reciprocity(g),
+        global_reciprocity: ctx.global_reciprocity(),
         rr_above_06,
         cc_cdf,
         cc_above_02,
@@ -145,11 +152,7 @@ mod tests {
         // the paper's Figure 4(a) shape: a large mass of ordinary users
         // with high RR; we require a substantial fraction above 0.6
         let r = result();
-        assert!(
-            r.rr_above_06 > 0.35,
-            "RR>0.6 fraction {} should be large",
-            r.rr_above_06
-        );
+        assert!(r.rr_above_06 > 0.35, "RR>0.6 fraction {} should be large", r.rr_above_06);
         // and a visible low-RR mass (collectors/celebrities)
         assert!(r.rr_cdf.eval(0.2) > 0.05, "some users must have low RR");
     }

@@ -4,6 +4,7 @@
 //! distribution stabilised. Directed: mode 6, mean 5.9, diameter 19.
 //! Undirected: mode 5, mean 4.7, diameter 13.
 
+use crate::context::AnalysisCtx;
 use crate::dataset::Dataset;
 use crate::paper::structure;
 use gplus_graph::paths::{adaptive_path_lengths, AdaptiveResult};
@@ -55,10 +56,16 @@ impl Fig5Result {
     }
 }
 
-/// Runs the paper's adaptive estimator on both graph views.
+/// Runs the paper's adaptive estimator over a fresh single-use context.
 pub fn run(data: &impl Dataset, params: &Fig5Params) -> Fig5Result {
-    let g = data.graph();
-    let undirected_view = g.undirected_view();
+    run_ctx(&AnalysisCtx::new(data), params)
+}
+
+/// Runs the paper's adaptive estimator on both graph views, reusing the
+/// context's cached undirected view.
+pub fn run_ctx<D: Dataset>(ctx: &AnalysisCtx<'_, D>, params: &Fig5Params) -> Fig5Result {
+    let g = ctx.graph();
+    let undirected_view = ctx.undirected_view();
     let mut rng = StdRng::seed_from_u64(params.seed);
     let directed = adaptive_path_lengths(
         g,
@@ -70,7 +77,7 @@ pub fn run(data: &impl Dataset, params: &Fig5Params) -> Fig5Result {
     );
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0xdead);
     let undirected = adaptive_path_lengths(
-        &undirected_view,
+        undirected_view,
         params.k_start,
         params.k_step,
         params.k_max,
@@ -82,8 +89,9 @@ pub fn run(data: &impl Dataset, params: &Fig5Params) -> Fig5Result {
 
 /// Renders both histograms.
 pub fn render(result: &Fig5Result) -> String {
-    let mut out =
-        String::from("Figure 5: Estimated path length distribution\nhops  P(directed)  P(undirected)\n");
+    let mut out = String::from(
+        "Figure 5: Estimated path length distribution\nhops  P(directed)  P(undirected)\n",
+    );
     let pd = result.directed.distribution.probabilities();
     let pu = result.undirected.distribution.probabilities();
     let max = pd.len().max(pu.len());

@@ -4,11 +4,11 @@
 //! identified as living in the US. ... Google+ is relatively popular in
 //! India and Brazil." (§4)
 
+use crate::context::AnalysisCtx;
 use crate::dataset::Dataset;
 use crate::render::{count, pct, TextTable};
 use gplus_geo::Country;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// One bar of the figure.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,26 +42,23 @@ impl Fig6Result {
     }
 }
 
-/// Attributes located users to countries.
+/// Attributes located users to countries over a fresh single-use context.
 pub fn run(data: &impl Dataset) -> Fig6Result {
-    let g = data.graph();
-    let mut counts: HashMap<Country, u64> = HashMap::new();
-    let mut located = 0u64;
-    for node in g.nodes() {
-        if let Some(country) = data.country(node) {
-            *counts.entry(country).or_insert(0) += 1;
-            located += 1;
-        }
-    }
-    let mut shares: Vec<CountryShare> = counts
-        .into_iter()
-        .map(|(country, users)| CountryShare {
+    run_ctx(&AnalysisCtx::new(data))
+}
+
+/// Builds the figure from a shared [`AnalysisCtx`], reusing its cached
+/// per-country user counts (already sorted by descending count).
+pub fn run_ctx<D: Dataset>(ctx: &AnalysisCtx<'_, D>) -> Fig6Result {
+    let (counts, located) = ctx.country_counts();
+    let shares = counts
+        .iter()
+        .map(|&(country, users)| CountryShare {
             country,
             users,
             fraction: users as f64 / located.max(1) as f64,
         })
         .collect();
-    shares.sort_by(|a, b| b.users.cmp(&a.users).then(a.country.cmp(&b.country)));
     Fig6Result { shares, located_users: located }
 }
 

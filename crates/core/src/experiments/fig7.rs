@@ -5,6 +5,7 @@
 //! "The top country in Google+ adoption now becomes India"; Japan, Russia
 //! and China show a large IPR/GPR gap (domestic networks / blocking).
 
+use crate::context::AnalysisCtx;
 use crate::dataset::Dataset;
 use crate::experiments::fig6;
 use crate::render::TextTable;
@@ -38,14 +39,18 @@ impl Fig7Result {
     }
 }
 
-/// Computes both panels from the dataset's located-user counts.
+/// Computes both panels over a fresh single-use context.
 pub fn run(data: &impl Dataset) -> Fig7Result {
-    let counts = fig6::run(data).counts();
+    run_ctx(&AnalysisCtx::new(data))
+}
+
+/// Computes both panels from a shared [`AnalysisCtx`], reusing its cached
+/// located-user counts.
+pub fn run_ctx<D: Dataset>(ctx: &AnalysisCtx<'_, D>) -> Fig7Result {
+    let counts = fig6::run_ctx(ctx).counts();
     let points = penetration_points(&counts);
-    let ipr_pts: Vec<(f64, f64)> =
-        points.iter().map(|p| (p.gdp_per_capita, p.ipr)).collect();
-    let gpr_pts: Vec<(f64, f64)> =
-        points.iter().map(|p| (p.gdp_per_capita, p.gpr)).collect();
+    let ipr_pts: Vec<(f64, f64)> = points.iter().map(|p| (p.gdp_per_capita, p.ipr)).collect();
+    let gpr_pts: Vec<(f64, f64)> = points.iter().map(|p| (p.gdp_per_capita, p.gpr)).collect();
     Fig7Result {
         ipr_gdp_fit: LinearRegression::fit(&ipr_pts),
         gpr_gdp_fit: LinearRegression::fit(&gpr_pts),
@@ -115,10 +120,7 @@ mod tests {
             // normalized gap: their GPR/IPR ratio far below Brazil's
             let ratio = p.gpr / p.ipr;
             let ratio_br = brazil.gpr / brazil.ipr;
-            assert!(
-                ratio < ratio_br / 2.0,
-                "{c}: GPR/IPR {ratio} vs BR {ratio_br}"
-            );
+            assert!(ratio < ratio_br / 2.0, "{c}: GPR/IPR {ratio} vs BR {ratio_br}");
         }
     }
 

@@ -5,6 +5,7 @@
 //! information than other more popular countries like United States and
 //! United Kingdom. Germany is the most conservative."
 
+use crate::context::AnalysisCtx;
 use crate::dataset::Dataset;
 use gplus_geo::{Country, TOP10_COUNTRIES};
 use gplus_stats::Ccdf;
@@ -34,12 +35,19 @@ impl Fig8Result {
     }
 }
 
-/// Builds the per-country distributions over located users.
+/// Builds the per-country distributions over a fresh single-use context.
 pub fn run(data: &impl Dataset) -> Fig8Result {
-    let g = data.graph();
+    run_ctx(&AnalysisCtx::new(data))
+}
+
+/// Builds the per-country distributions from a shared [`AnalysisCtx`],
+/// reusing its cached country assignments.
+pub fn run_ctx<D: Dataset>(ctx: &AnalysisCtx<'_, D>) -> Fig8Result {
+    let data = ctx.data();
+    let g = ctx.graph();
     let mut counts: HashMap<Country, Vec<u64>> = HashMap::new();
     for node in g.nodes() {
-        let Some(country) = data.country(node) else { continue };
+        let Some(country) = ctx.country_of(node) else { continue };
         if !TOP10_COUNTRIES.contains(&country) {
             continue;
         }

@@ -7,6 +7,7 @@
 //! 10 miles. ... users with symmetric links (reciprocal) live closer."
 //! Panel (b): average path miles per top-10 country, with std deviation.
 
+use crate::context::AnalysisCtx;
 use crate::dataset::Dataset;
 use crate::paper::geo as paper_geo;
 use crate::render::TextTable;
@@ -50,18 +51,26 @@ pub struct Fig9Result {
     pub by_country: Vec<(Country, f64, f64)>,
 }
 
-/// Samples the three pair sets and computes distances.
+/// Samples the three pair sets over a fresh single-use context.
 pub fn run(data: &impl Dataset, params: &Fig9Params) -> Fig9Result {
-    let g = data.graph();
+    run_ctx(&AnalysisCtx::new(data), params)
+}
+
+/// Samples the three pair sets and computes distances, reusing the
+/// context's cached coordinates and country assignments.
+pub fn run_ctx<D: Dataset>(ctx: &AnalysisCtx<'_, D>, params: &Fig9Params) -> Fig9Result {
+    let g = ctx.graph();
     let mut rng = StdRng::seed_from_u64(params.seed);
 
     // located nodes and their coordinates
-    let located: Vec<(u32, gplus_geo::LatLon)> = g
-        .nodes()
-        .filter_map(|n| data.location(n).map(|loc| (n, loc)))
+    let located: Vec<(u32, gplus_geo::LatLon)> = ctx
+        .locations()
+        .iter()
+        .enumerate()
+        .filter_map(|(n, loc)| loc.map(|l| (n as u32, l)))
         .collect();
     assert!(located.len() >= 2, "need at least two located users");
-    let coord = |node: u32| data.location(node);
+    let coord = |node: u32| ctx.location_of(node);
 
     // friends: every directed edge with both endpoints located, thinned to
     // the pair budget
@@ -76,7 +85,7 @@ pub fn run(data: &impl Dataset, params: &Fig9Params) -> Fig9Result {
         let (Some(a), Some(b)) = (coord(u), coord(v)) else { continue };
         let miles = haversine_miles(a, b);
         friend_miles.push(miles);
-        if let Some(cu) = data.country(u) {
+        if let Some(cu) = ctx.country_of(u) {
             if let Some(i) = TOP10_COUNTRIES.iter().position(|&c| c == cu) {
                 per_country[i].add(miles);
             }
@@ -126,9 +135,8 @@ pub fn run(data: &impl Dataset, params: &Fig9Params) -> Fig9Result {
 
 /// Renders both panels.
 pub fn render(result: &Fig9Result) -> String {
-    let mut out = String::from(
-        "Figure 9(a): Path-mile CDF\nmiles     friends  reciprocal  random\n",
-    );
+    let mut out =
+        String::from("Figure 9(a): Path-mile CDF\nmiles     friends  reciprocal  random\n");
     for miles in [10.0, 100.0, 500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0, 12_000.0] {
         let recip = result.reciprocal.as_ref().map(|c| c.eval(miles)).unwrap_or(f64::NAN);
         out.push_str(&format!(
@@ -146,8 +154,11 @@ pub fn render(result: &Fig9Result) -> String {
         result.friends_within_10 * 100.0,
         paper_geo::FRIENDS_WITHIN_10_MILES * 100.0
     ));
-    let mut t = TextTable::new("Figure 9(b): Average path mile per country")
-        .header(&["Country", "Mean miles", "Std dev"]);
+    let mut t = TextTable::new("Figure 9(b): Average path mile per country").header(&[
+        "Country",
+        "Mean miles",
+        "Std dev",
+    ]);
     for (c, mean, std) in &result.by_country {
         t.row(vec![c.code().to_string(), format!("{mean:.0}"), format!("{std:.0}")]);
     }
@@ -166,10 +177,7 @@ mod tests {
         static R: OnceLock<Fig9Result> = OnceLock::new();
         R.get_or_init(|| {
             let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(60_000, 14));
-            run(
-                &GroundTruthDataset::new(&net),
-                &Fig9Params { max_pairs: 60_000, seed: 4 },
-            )
+            run(&GroundTruthDataset::new(&net), &Fig9Params { max_pairs: 60_000, seed: 4 })
         })
     }
 

@@ -5,6 +5,7 @@
 //! the 20 users are IT related, which is uncommon in other social
 //! networks." (§3.1)
 
+use crate::context::AnalysisCtx;
 use crate::dataset::Dataset;
 use crate::render::{count, TextTable};
 use gplus_profiles::Occupation;
@@ -34,33 +35,41 @@ pub struct Table1Result {
     pub it_count: usize,
 }
 
-/// Computes the top-`k` ranking (the paper uses k = 20).
+/// Computes the top-`k` ranking (the paper uses k = 20) over a fresh
+/// single-use context. Prefer [`run_ctx`] when running several experiments
+/// over the same dataset.
 pub fn run(data: &impl Dataset, k: usize) -> Table1Result {
-    let ranked = gplus_graph::degree::top_by_in_degree(data.graph(), k);
+    run_ctx(&AnalysisCtx::new(data), k)
+}
+
+/// Computes the ranking from a shared [`AnalysisCtx`].
+pub fn run_ctx<D: Dataset>(ctx: &AnalysisCtx<'_, D>, k: usize) -> Table1Result {
+    let data = ctx.data();
+    let ranked = ctx.top_by_in_degree(k);
     let rows: Vec<Table1Row> = ranked
         .into_iter()
         .enumerate()
         .map(|(i, (node, in_degree))| Table1Row {
             rank: i + 1,
             node,
-            name: data
-                .display_name(node)
-                .unwrap_or_else(|| format!("<uncrawled node {node}>")),
+            name: data.display_name(node).unwrap_or_else(|| format!("<uncrawled node {node}>")),
             occupation: data.occupation(node),
             in_degree,
         })
         .collect();
-    let it_count = rows
-        .iter()
-        .filter(|r| r.occupation == Some(Occupation::InformationTechnology))
-        .count();
+    let it_count =
+        rows.iter().filter(|r| r.occupation == Some(Occupation::InformationTechnology)).count();
     Table1Result { rows, it_count }
 }
 
 /// Renders the table, paper-style.
 pub fn render(result: &Table1Result) -> String {
-    let mut t = TextTable::new("Table 1: Top users ranked by in-degree")
-        .header(&["Rank", "Name", "About", "In-degree"]);
+    let mut t = TextTable::new("Table 1: Top users ranked by in-degree").header(&[
+        "Rank",
+        "Name",
+        "About",
+        "In-degree",
+    ]);
     for row in &result.rows {
         t.row(vec![
             row.rank.to_string(),

@@ -3,6 +3,7 @@
 //! "In Table 2, we show the number and fraction of users that have made
 //! each type of information available." (§3.1)
 
+use crate::context::AnalysisCtx;
 use crate::dataset::Dataset;
 use crate::render::{count, pct, TextTable};
 use gplus_profiles::calibration::TABLE2_AVAILABILITY;
@@ -31,16 +32,19 @@ pub struct Table2Result {
     pub population: u64,
 }
 
-/// Counts attribute availability over all known profiles.
+/// Counts attribute availability over all known profiles, via a fresh
+/// single-use context.
 pub fn run(data: &impl Dataset) -> Table2Result {
-    let g = data.graph();
+    run_ctx(&AnalysisCtx::new(data))
+}
+
+/// Counts attribute availability from a shared [`AnalysisCtx`], iterating
+/// its cached known-profile node list.
+pub fn run_ctx<D: Dataset>(ctx: &AnalysisCtx<'_, D>) -> Table2Result {
+    let data = ctx.data();
     let mut counts = [0u64; 17];
-    let mut population = 0u64;
-    for node in g.nodes() {
-        if !data.profile_known(node) {
-            continue;
-        }
-        population += 1;
+    let population = ctx.known_profile_count() as u64;
+    for &node in ctx.known_profiles() {
         // reconstruct per-attribute sharing from the dataset's accessors:
         // fields_shared tells us how many, but Table 2 needs which — the
         // dataset exposes the full public attribute view through the

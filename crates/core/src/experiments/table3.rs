@@ -5,6 +5,7 @@
 //! finding tel-users strikingly more male (86% vs 68%), more single
 //! (57% vs 43%), and far more Indian (31.9% vs 16.7%).
 
+use crate::context::AnalysisCtx;
 use crate::dataset::Dataset;
 use crate::render::{count, pct, TextTable};
 use gplus_geo::Country;
@@ -39,9 +40,15 @@ pub struct Table3Result {
     pub location: Vec<SharePair>,
 }
 
-/// Runs the comparison.
+/// Runs the comparison over a fresh single-use context.
 pub fn run(data: &impl Dataset) -> Table3Result {
-    let g = data.graph();
+    run_ctx(&AnalysisCtx::new(data))
+}
+
+/// Runs the comparison from a shared [`AnalysisCtx`], using its cached
+/// known-profile list and country assignments.
+pub fn run_ctx<D: Dataset>(ctx: &AnalysisCtx<'_, D>) -> Table3Result {
+    let data = ctx.data();
     let mut total_all = 0u64;
     let mut total_tel = 0u64;
 
@@ -55,7 +62,7 @@ pub fn run(data: &impl Dataset) -> Table3Result {
     let mut loc_all = [0u64; 6];
     let mut loc_tel = [0u64; 6];
 
-    for node in g.nodes() {
+    for &node in ctx.known_profiles() {
         let Some(tel) = data.is_tel_user(node) else { continue };
         total_all += 1;
         if tel {
@@ -69,16 +76,14 @@ pub fn run(data: &impl Dataset) -> Table3Result {
             }
         }
         if let Some(rel) = data.relationship(node) {
-            let i = RelationshipStatus::ALL
-                .iter()
-                .position(|&x| x == rel)
-                .expect("known status");
+            let i =
+                RelationshipStatus::ALL.iter().position(|&x| x == rel).expect("known status");
             rel_all[i] += 1;
             if tel {
                 rel_tel[i] += 1;
             }
         }
-        if let Some(country) = data.country(node) {
+        if let Some(country) = ctx.country_of(node) {
             let i = LOC_COUNTRIES.iter().position(|&c| c == country).unwrap_or(5);
             loc_all[i] += 1;
             if tel {
@@ -136,7 +141,12 @@ pub fn run(data: &impl Dataset) -> Table3Result {
         .map(|c| c.name().to_string())
         .chain(std::iter::once("Other".to_string()))
         .enumerate()
-        .map(|(i, label)| SharePair { label, all: la[i], tel: lt[i], paper: Some(paper_loc[i]) })
+        .map(|(i, label)| SharePair {
+            label,
+            all: la[i],
+            tel: lt[i],
+            paper: Some(paper_loc[i]),
+        })
         .collect();
 
     Table3Result { total_all, total_tel, gender, relationship, location }
@@ -199,12 +209,7 @@ mod tests {
         let r = result();
         let male = &r.gender[0];
         assert_eq!(male.label, "Male");
-        assert!(
-            male.tel > male.all + 0.05,
-            "tel male {} vs all male {}",
-            male.tel,
-            male.all
-        );
+        assert!(male.tel > male.all + 0.05, "tel male {} vs all male {}", male.tel, male.all);
     }
 
     #[test]

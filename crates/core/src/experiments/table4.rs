@@ -6,10 +6,11 @@
 //! crate's `twitter_like` / `facebook_like` presets let the benches also
 //! regenerate comparison rows from simulation.
 
+use crate::context::AnalysisCtx;
 use crate::dataset::Dataset;
 use crate::paper::{Table4Row, TABLE4};
 use crate::render::TextTable;
-use gplus_graph::{paths, reciprocity, scc};
+use gplus_graph::paths;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -53,38 +54,42 @@ pub struct Table4Result {
     pub giant_scc_fraction: f64,
 }
 
-/// Measures the Google+ row of Table 4 from a dataset.
+/// Measures the Google+ row of Table 4 over a fresh single-use context.
 pub fn run(data: &impl Dataset, params: &Table4Params) -> Table4Result {
-    let g = data.graph();
+    run_ctx(&AnalysisCtx::new(data), params)
+}
+
+/// Measures the Google+ row from a shared [`AnalysisCtx`], reusing its
+/// cached SCC partition and global reciprocity.
+pub fn run_ctx<D: Dataset>(ctx: &AnalysisCtx<'_, D>, params: &Table4Params) -> Table4Result {
+    let g = ctx.graph();
     let mut rng = StdRng::seed_from_u64(params.seed);
     let dist = paths::sampled_path_lengths(g, params.path_samples, &mut rng);
-    let s = scc::kosaraju(g);
     Table4Result {
         nodes: g.node_count() as u64,
         edges: g.edge_count() as u64,
         crawled: params.crawled_fraction,
         path_length: dist.mean(),
-        reciprocity: reciprocity::global_reciprocity(g),
+        reciprocity: ctx.global_reciprocity(),
         diameter: dist.max_distance,
         mean_degree: gplus_graph::degree::mean_degree(g),
-        giant_scc_fraction: s.giant_fraction(),
+        giant_scc_fraction: ctx.scc().giant_fraction(),
     }
 }
 
 /// Renders the full table: the measured Google+ row first, then the
 /// literature rows.
 pub fn render(result: &Table4Result) -> String {
-    let mut t = TextTable::new("Table 4: Topological characteristics across OSNs")
-        .header(&[
-            "Network",
-            "Nodes",
-            "Edges",
-            "% Crawled",
-            "Path length",
-            "Reciprocity",
-            "Diameter",
-            "Mean degree",
-        ]);
+    let mut t = TextTable::new("Table 4: Topological characteristics across OSNs").header(&[
+        "Network",
+        "Nodes",
+        "Edges",
+        "% Crawled",
+        "Path length",
+        "Reciprocity",
+        "Diameter",
+        "Mean degree",
+    ]);
     t.row(vec![
         "Google+ (measured)".into(),
         human(result.nodes as f64),
@@ -162,7 +167,8 @@ mod tests {
     #[test]
     fn render_includes_all_networks() {
         let s = render(result());
-        for n in ["Google+ (measured)", "Facebook (paper)", "Twitter (paper)", "Orkut (paper)"] {
+        for n in ["Google+ (measured)", "Facebook (paper)", "Twitter (paper)", "Orkut (paper)"]
+        {
             assert!(s.contains(n), "missing {n}");
         }
         assert!(s.contains("giant SCC"));

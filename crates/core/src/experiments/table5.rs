@@ -6,6 +6,7 @@
 //! profile to that of the United States ... In contrast, Brazil, Italy,
 //! and Spain show a different set of celebrities and professions." (§4.2)
 
+use crate::context::AnalysisCtx;
 use crate::dataset::Dataset;
 use crate::render::TextTable;
 use gplus_geo::{Country, TOP10_COUNTRIES};
@@ -59,25 +60,32 @@ fn paper_jaccard(c: Country) -> f64 {
 /// over users whose occupation is determinable). Ranking over located
 /// users is also why the US list differs from the global Table 1.
 pub fn run(data: &impl Dataset) -> Table5Result {
-    let g = data.graph();
+    run_ctx(&AnalysisCtx::new(data))
+}
+
+/// Computes the table from a shared [`AnalysisCtx`], using its cached
+/// country assignments and in-degree vector.
+pub fn run_ctx<D: Dataset>(ctx: &AnalysisCtx<'_, D>) -> Table5Result {
+    let data = ctx.data();
+    let g = ctx.graph();
+    let in_degrees = ctx.in_degrees();
     // bucket located users (with a public occupation) by country
     let mut by_country: HashMap<Country, Vec<(u32, usize)>> = HashMap::new();
     for node in g.nodes() {
         if data.occupation(node).is_none() {
             continue;
         }
-        if let Some(country) = data.country(node) {
-            by_country.entry(country).or_default().push((node, g.in_degree(node)));
+        if let Some(country) = ctx.country_of(node) {
+            by_country
+                .entry(country)
+                .or_default()
+                .push((node, in_degrees[node as usize] as usize));
         }
     }
     let top_occupations = |country: Country| -> Vec<Occupation> {
         let mut members = by_country.get(&country).cloned().unwrap_or_default();
         members.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        members
-            .into_iter()
-            .take(10)
-            .filter_map(|(node, _)| data.occupation(node))
-            .collect()
+        members.into_iter().take(10).filter_map(|(node, _)| data.occupation(node)).collect()
     };
 
     let us_codes = top_occupations(Country::Us);
@@ -98,8 +106,12 @@ pub fn run(data: &impl Dataset) -> Table5Result {
 
 /// Renders the table, paper-style (two-letter codes).
 pub fn render(result: &Table5Result) -> String {
-    let mut t = TextTable::new("Table 5: Occupation-Job Title of the top users")
-        .header(&["Country", "Profession codes of the top-10 users", "Jaccard", "Paper"]);
+    let mut t = TextTable::new("Table 5: Occupation-Job Title of the top users").header(&[
+        "Country",
+        "Profession codes of the top-10 users",
+        "Jaccard",
+        "Paper",
+    ]);
     for row in &result.rows {
         let codes: Vec<&str> = row.occupations.iter().map(|o| o.code()).collect();
         t.row(vec![
@@ -173,8 +185,18 @@ mod tests {
         let r = result();
         let j = |c: Country| r.rows.iter().find(|x| x.country == c).unwrap().jaccard_vs_us;
         // Canada closest to the US; Brazil and Germany far
-        assert!(j(Country::Ca) > j(Country::Br), "CA {} vs BR {}", j(Country::Ca), j(Country::Br));
-        assert!(j(Country::Ca) > j(Country::De), "CA {} vs DE {}", j(Country::Ca), j(Country::De));
+        assert!(
+            j(Country::Ca) > j(Country::Br),
+            "CA {} vs BR {}",
+            j(Country::Ca),
+            j(Country::Br)
+        );
+        assert!(
+            j(Country::Ca) > j(Country::De),
+            "CA {} vs DE {}",
+            j(Country::Ca),
+            j(Country::De)
+        );
         assert!(j(Country::Br) < 0.45, "BR should be dissimilar, got {}", j(Country::Br));
         // measured values stay within a band of the paper's column
         for row in &r.rows {

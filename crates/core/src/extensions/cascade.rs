@@ -8,9 +8,10 @@
 //! along *reversed* follow edges (followers see what the followed posts)
 //! with a fixed per-edge activation probability.
 
+use crate::context::AnalysisCtx;
 use crate::dataset::Dataset;
 use crate::render::TextTable;
-use gplus_graph::{degree, NodeId};
+use gplus_graph::NodeId;
 use gplus_stats::{sample_indices, Summary};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -82,18 +83,21 @@ fn cascade(data: &impl Dataset, seed_node: NodeId, p: f64, rng: &mut StdRng) -> 
     (size, depth)
 }
 
-/// Compares cascades seeded at the top-20 in-degree hubs against cascades
-/// from uniformly random seeds.
+/// Compares hub-seeded and random-seeded cascades over a fresh context.
 pub fn run(data: &impl Dataset, params: &CascadeParams) -> CascadeResult {
-    let g = data.graph();
+    run_ctx(&AnalysisCtx::new(data), params)
+}
+
+/// Compares cascades seeded at the top-20 in-degree hubs against cascades
+/// from uniformly random seeds, reusing the context's in-degree ranking.
+pub fn run_ctx<D: Dataset>(ctx: &AnalysisCtx<'_, D>, params: &CascadeParams) -> CascadeResult {
+    let data = ctx.data();
+    let g = ctx.graph();
     let mut rng = StdRng::seed_from_u64(params.seed);
 
-    let hubs: Vec<NodeId> =
-        degree::top_by_in_degree(g, 20).into_iter().map(|(n, _)| n).collect();
-    let randoms: Vec<NodeId> = sample_indices(&mut rng, g.node_count(), 20)
-        .into_iter()
-        .map(|i| i as NodeId)
-        .collect();
+    let hubs: Vec<NodeId> = ctx.top_by_in_degree(20).into_iter().map(|(n, _)| n).collect();
+    let randoms: Vec<NodeId> =
+        sample_indices(&mut rng, g.node_count(), 20).into_iter().map(|i| i as NodeId).collect();
 
     let mut measure = |label: &str, seeds: &[NodeId]| {
         let mut sizes = Summary::new();
@@ -115,17 +119,18 @@ pub fn run(data: &impl Dataset, params: &CascadeParams) -> CascadeResult {
     };
 
     CascadeResult {
-        groups: vec![
-            measure("top-20 hubs", &hubs),
-            measure("random users", &randoms),
-        ],
+        groups: vec![measure("top-20 hubs", &hubs), measure("random users", &randoms)],
     }
 }
 
 /// Renders the comparison.
 pub fn render(result: &CascadeResult) -> String {
-    let mut t = TextTable::new("Independent-cascade spread (reversed follow edges)")
-        .header(&["Seed group", "Mean size", "Max size", "Mean depth"]);
+    let mut t = TextTable::new("Independent-cascade spread (reversed follow edges)").header(&[
+        "Seed group",
+        "Mean size",
+        "Max size",
+        "Mean depth",
+    ]);
     for g in &result.groups {
         t.row(vec![
             g.label.clone(),

@@ -7,6 +7,7 @@
 //! numbers on both choices: estimator error as a function of sample size,
 //! and the KS-distance trajectory of the adaptive path schedule.
 
+use crate::context::AnalysisCtx;
 use crate::dataset::Dataset;
 use crate::render::TextTable;
 use gplus_graph::{clustering, paths};
@@ -62,9 +63,17 @@ impl Default for ConvergenceParams {
     }
 }
 
-/// Runs both studies.
+/// Runs both studies over a fresh single-use context.
 pub fn run(data: &impl Dataset, params: &ConvergenceParams) -> ConvergenceResult {
-    let g = data.graph();
+    run_ctx(&AnalysisCtx::new(data), params)
+}
+
+/// Runs both studies against a shared [`AnalysisCtx`]'s graph.
+pub fn run_ctx<D: Dataset>(
+    ctx: &AnalysisCtx<'_, D>,
+    params: &ConvergenceParams,
+) -> ConvergenceResult {
+    let g = ctx.graph();
     let exact_cc = clustering::average_cc(g).unwrap_or(0.0);
     let cc_curve = params
         .cc_samples
@@ -72,11 +81,8 @@ pub fn run(data: &impl Dataset, params: &ConvergenceParams) -> ConvergenceResult
         .map(|&sample_size| {
             let mut rng = StdRng::seed_from_u64(params.seed);
             let cc = clustering::sampled_cc(g, sample_size.min(g.node_count()), &mut rng);
-            let estimate = if cc.is_empty() {
-                0.0
-            } else {
-                cc.iter().sum::<f64>() / cc.len() as f64
-            };
+            let estimate =
+                if cc.is_empty() { 0.0 } else { cc.iter().sum::<f64>() / cc.len() as f64 };
             CcErrorPoint { sample_size, estimate, abs_error: (estimate - exact_cc).abs() }
         })
         .collect();

@@ -70,10 +70,7 @@ pub fn render(result: &GrowthResult) -> String {
     format!(
         "{}densification exponent a = {} (Leskovec et al.: 1 < a < 2)\n",
         t.render(),
-        result
-            .densification
-            .map(|a| format!("{a:.2}"))
-            .unwrap_or_else(|| "n/a".into())
+        result.densification.map(|a| format!("{a:.2}")).unwrap_or_else(|| "n/a".into())
     )
 }
 

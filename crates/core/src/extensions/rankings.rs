@@ -6,10 +6,10 @@
 //! overlaps — if the measures pick essentially the same people, the
 //! paper's Table 1 methodology is robust to the choice.
 
+use crate::context::AnalysisCtx;
 use crate::dataset::Dataset;
 use crate::render::TextTable;
 use gplus_graph::betweenness::betweenness;
-use gplus_graph::degree::top_by_in_degree;
 use gplus_graph::pagerank::{pagerank, PageRankParams};
 use gplus_stats::jaccard_index;
 use rand::rngs::StdRng;
@@ -36,11 +36,16 @@ pub struct RankingResult {
     pub order_agreement: f64,
 }
 
-/// Computes both rankings and their agreement.
+/// Computes both rankings and their agreement over a fresh context.
 pub fn run(data: &impl Dataset, k: usize) -> RankingResult {
-    let g = data.graph();
-    let by_in_degree: Vec<u32> =
-        top_by_in_degree(g, k).into_iter().map(|(n, _)| n).collect();
+    run_ctx(&AnalysisCtx::new(data), k)
+}
+
+/// Computes both rankings from a shared [`AnalysisCtx`], reusing its
+/// cached in-degree ranking.
+pub fn run_ctx<D: Dataset>(ctx: &AnalysisCtx<'_, D>, k: usize) -> RankingResult {
+    let g = ctx.graph();
+    let by_in_degree: Vec<u32> = ctx.top_by_in_degree(k).into_iter().map(|(n, _)| n).collect();
     let pr = pagerank(g, &PageRankParams::default());
     let by_pagerank: Vec<u32> = pr.top(k).into_iter().map(|(n, _)| n).collect();
     let mut rng = StdRng::seed_from_u64(2012);

@@ -12,6 +12,7 @@
 //! top recommendations actually are — quantifying the paper's qualitative
 //! advice.
 
+use crate::context::AnalysisCtx;
 use crate::dataset::Dataset;
 use crate::render::TextTable;
 use gplus_geo::{Country, TOP10_COUNTRIES};
@@ -63,12 +64,8 @@ pub struct RecommendResult {
 /// (undirected contact sets), excluding existing contacts and `u` itself.
 pub fn recommend_for(data: &impl Dataset, u: NodeId, top_k: usize) -> Vec<(NodeId, u32)> {
     let g = data.graph();
-    let mut contacts: Vec<NodeId> = g
-        .out_neighbors(u)
-        .iter()
-        .chain(g.in_neighbors(u))
-        .copied()
-        .collect();
+    let mut contacts: Vec<NodeId> =
+        g.out_neighbors(u).iter().chain(g.in_neighbors(u)).copied().collect();
     contacts.sort_unstable();
     contacts.dedup();
     let mut scores: HashMap<NodeId, u32> = HashMap::new();
@@ -85,13 +82,23 @@ pub fn recommend_for(data: &impl Dataset, u: NodeId, top_k: usize) -> Vec<(NodeI
     ranked
 }
 
-/// Measures recommendation locality per top-10 country.
+/// Measures recommendation locality over a fresh single-use context.
 pub fn run(data: &impl Dataset, params: &RecommendParams) -> RecommendResult {
-    let g = data.graph();
+    run_ctx(&AnalysisCtx::new(data), params)
+}
+
+/// Measures recommendation locality per top-10 country, reusing the
+/// context's cached country assignments.
+pub fn run_ctx<D: Dataset>(
+    ctx: &AnalysisCtx<'_, D>,
+    params: &RecommendParams,
+) -> RecommendResult {
+    let data = ctx.data();
+    let g = ctx.graph();
     // bucket located users by country
     let mut by_country: HashMap<Country, Vec<NodeId>> = HashMap::new();
     for node in g.nodes() {
-        if let Some(c) = data.country(node) {
+        if let Some(c) = ctx.country_of(node) {
             if TOP10_COUNTRIES.contains(&c) {
                 by_country.entry(c).or_default().push(node);
             }
@@ -115,7 +122,7 @@ pub fn run(data: &impl Dataset, params: &RecommendParams) -> RecommendResult {
                 users += 1;
                 for (candidate, _) in recs {
                     // count only geo-attributable recommendations
-                    if let Some(c) = data.country(candidate) {
+                    if let Some(c) = ctx.country_of(candidate) {
                         total += 1;
                         if c == country {
                             domestic += 1;
@@ -199,9 +206,8 @@ mod tests {
         // the §6 implication: high self-loop countries get domestic
         // recommendations; GB/CA get far more foreign ones
         let r = result();
-        let get = |c: Country| {
-            r.rows.iter().find(|x| x.country == c).expect("row").domestic_fraction
-        };
+        let get =
+            |c: Country| r.rows.iter().find(|x| x.country == c).expect("row").domestic_fraction;
         for inward in [Country::Us, Country::In, Country::Br] {
             assert!(
                 get(inward) > get(Country::Gb),

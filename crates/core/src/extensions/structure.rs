@@ -45,8 +45,13 @@ pub fn measure(label: &str, g: &CsrGraph) -> StructureRow {
 
 /// Renders a set of rows.
 pub fn render(rows: &[StructureRow]) -> String {
-    let mut t = TextTable::new("Structural extras across presets")
-        .header(&["Network", "Assortativity", "Degeneracy", ">=5-core", "Degree Gini"]);
+    let mut t = TextTable::new("Structural extras across presets").header(&[
+        "Network",
+        "Assortativity",
+        "Degeneracy",
+        ">=5-core",
+        "Degree Gini",
+    ]);
     for r in rows {
         t.row(vec![
             r.label.clone(),

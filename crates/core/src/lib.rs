@@ -27,6 +27,7 @@
 //! println!("{}", table2::render(&result));
 //! ```
 
+pub mod context;
 pub mod dataset;
 pub mod experiments;
 pub mod extensions;
@@ -35,6 +36,9 @@ pub mod pipeline;
 pub mod registry;
 pub mod render;
 
+pub use context::AnalysisCtx;
 pub use dataset::{CrawlDataset, Dataset, GroundTruthDataset};
-pub use pipeline::{Reproduction, ReproductionConfig, ReproductionReport};
+pub use pipeline::{
+    Reproduction, ReproductionConfig, ReproductionReport, StageTiming, StageTimings,
+};
 pub use registry::{ArtifactKind, ExperimentInfo, ALL_EXPERIMENTS};

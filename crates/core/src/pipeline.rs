@@ -7,13 +7,28 @@
 //! [`Reproduction::run_ground_truth`] skips the crawl and analyses the
 //! ground truth directly (faster; useful when the crawl itself is not
 //! under study).
+//!
+//! # Execution model and determinism
+//!
+//! [`Reproduction::analyse`] fans the analysis stages out across threads
+//! with rayon, all sharing one [`AnalysisCtx`]. Each stage is internally
+//! sequential and seeds its own RNG from the config, so no stage observes
+//! another's scheduling — the assembled report is byte-identical to
+//! [`Reproduction::analyse_sequential`]'s regardless of thread count or
+//! interleaving. Wall-clock per stage is recorded in [`StageTimings`],
+//! which is deliberately *excluded* from [`ReproductionReport::to_json`]
+//! (timings are nondeterministic); use
+//! [`ReproductionReport::to_json_with_timings`] to export them.
 
+use crate::context::AnalysisCtx;
 use crate::dataset::{CrawlDataset, Dataset, GroundTruthDataset};
 use crate::experiments::*;
-use gplus_crawler::{lost_edges, Crawler, CrawlerConfig, CrawlStats, LostEdgeEstimate};
+use crate::registry::STAGE_IDS;
+use gplus_crawler::{lost_edges, CrawlStats, Crawler, CrawlerConfig, LostEdgeEstimate};
 use gplus_service::{GooglePlusService, ServiceConfig};
 use gplus_synth::{SynthConfig, SynthNetwork};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Configuration of a full reproduction run.
 #[derive(Debug, Clone)]
@@ -63,6 +78,36 @@ impl ReproductionConfig {
     }
 }
 
+/// Wall-clock of one analysis stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage id, from [`crate::registry::STAGE_IDS`].
+    pub id: String,
+    /// Stage wall-clock in milliseconds.
+    pub millis: f64,
+}
+
+/// Wall-clock profile of one [`Reproduction::analyse`] invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Whether the stages ran on the rayon executor (false: sequential).
+    pub parallel: bool,
+    /// Worker threads available to the executor.
+    pub threads: usize,
+    /// End-to-end analysis wall-clock in milliseconds.
+    pub wall_ms: f64,
+    /// Per-stage wall-clock, report order.
+    pub stages: Vec<StageTiming>,
+}
+
+impl StageTimings {
+    /// Summed per-stage wall-clock — the sequential-equivalent cost; its
+    /// ratio to `wall_ms` is the executor's effective speedup.
+    pub fn stage_total_ms(&self) -> f64 {
+        self.stages.iter().map(|s| s.millis).sum()
+    }
+}
+
 /// Every computed artifact of one reproduction run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReproductionReport {
@@ -102,6 +147,11 @@ pub struct ReproductionReport {
     pub fig9: fig9::Fig9Result,
     /// Figure 10.
     pub fig10: fig10::Fig10Result,
+    /// Wall-clock profile of the analysis stages. Skipped by serde so
+    /// [`ReproductionReport::to_json`] stays canonical (timings vary run
+    /// to run); exported via [`ReproductionReport::to_json_with_timings`].
+    #[serde(skip)]
+    pub timings: Option<StageTimings>,
 }
 
 impl ReproductionReport {
@@ -153,12 +203,40 @@ impl ReproductionReport {
         out.push_str(&fig9::render(&self.fig9));
         out.push('\n');
         out.push_str(&fig10::render(&self.fig10));
+        if let Some(t) = &self.timings {
+            out.push('\n');
+            out.push_str(&format!(
+                "=== Stage timings ({}, {} threads) ===\n",
+                if t.parallel { "parallel" } else { "sequential" },
+                t.threads
+            ));
+            for s in &t.stages {
+                out.push_str(&format!("{:<8} {:>9.1} ms\n", s.id, s.millis));
+            }
+            out.push_str(&format!(
+                "total {:.1} ms wall ({:.1} ms summed, {:.2}x)\n",
+                t.wall_ms,
+                t.stage_total_ms(),
+                t.stage_total_ms() / t.wall_ms.max(f64::EPSILON)
+            ));
+        }
         out
     }
 
-    /// Serialises to pretty JSON.
+    /// Serialises to pretty JSON. Deterministic for a given config: stage
+    /// timings are excluded (see [`ReproductionReport::timings`]).
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serialises")
+    }
+
+    /// Serialises to pretty JSON with a `stage_timings` section appended —
+    /// the observable form written to report files by the CLI.
+    pub fn to_json_with_timings(&self) -> String {
+        let mut value = serde_json::to_value(self).expect("report serialises");
+        if let Some(t) = &self.timings {
+            value["stage_timings"] = serde_json::to_value(t).expect("timings serialise");
+        }
+        serde_json::to_string_pretty(&value).expect("report serialises")
     }
 }
 
@@ -173,8 +251,7 @@ impl Reproduction {
         let service = GooglePlusService::new(network, config.service.clone());
         let crawler = Crawler::new(config.crawler.clone());
         let result = crawler.run(&service);
-        let estimate =
-            lost_edges::estimate(&result, config.service.circle_list_limit as u64);
+        let estimate = lost_edges::estimate(&result, config.service.circle_list_limit as u64);
         let data = CrawlDataset::new(&result);
         let mut report = Self::analyse(&data, config);
         report.n_users = n_users;
@@ -193,28 +270,161 @@ impl Reproduction {
         report
     }
 
-    fn analyse(data: &impl Dataset, config: &ReproductionConfig) -> ReproductionReport {
+    /// Executes every analysis stage over one shared [`AnalysisCtx`],
+    /// fanned out on the rayon thread pool.
+    ///
+    /// Heavier stages are spawned first so they overlap the long tail of
+    /// cheap ones. Each stage is internally sequential with its own
+    /// config-seeded RNG, and the report is assembled in fixed order, so
+    /// the output is byte-identical to [`Reproduction::analyse_sequential`]
+    /// whatever the scheduling.
+    pub fn analyse<D: Dataset>(data: &D, config: &ReproductionConfig) -> ReproductionReport {
+        let wall = Instant::now();
+        let ctx = &AnalysisCtx::new(data);
+        let mut t1 = None;
+        let mut t2 = None;
+        let mut t3 = None;
+        let mut t4 = None;
+        let mut t5 = None;
+        let mut f2 = None;
+        let mut f3 = None;
+        let mut f4 = None;
+        let mut f5 = None;
+        let mut f6 = None;
+        let mut f7 = None;
+        let mut f8 = None;
+        let mut f9 = None;
+        let mut f10 = None;
+        rayon::scope(|s| {
+            s.spawn(|_| f5 = Some(timed(|| fig5::run_ctx(ctx, &config.fig5))));
+            s.spawn(|_| f4 = Some(timed(|| fig4::run_ctx(ctx, &config.fig4))));
+            s.spawn(|_| f9 = Some(timed(|| fig9::run_ctx(ctx, &config.fig9))));
+            s.spawn(|_| t4 = Some(timed(|| table4::run_ctx(ctx, &config.table4))));
+            s.spawn(|_| f10 = Some(timed(|| fig10::run_ctx(ctx))));
+            s.spawn(|_| t1 = Some(timed(|| table1::run_ctx(ctx, 20))));
+            s.spawn(|_| t2 = Some(timed(|| table2::run_ctx(ctx))));
+            s.spawn(|_| t3 = Some(timed(|| table3::run_ctx(ctx))));
+            s.spawn(|_| t5 = Some(timed(|| table5::run_ctx(ctx))));
+            s.spawn(|_| f2 = Some(timed(|| fig2::run_ctx(ctx))));
+            s.spawn(|_| f3 = Some(timed(|| fig3::run_ctx(ctx, &config.fig3))));
+            s.spawn(|_| f6 = Some(timed(|| fig6::run_ctx(ctx))));
+            s.spawn(|_| f7 = Some(timed(|| fig7::run_ctx(ctx))));
+            s.spawn(|_| f8 = Some(timed(|| fig8::run_ctx(ctx))));
+        });
+        Self::assemble(
+            true,
+            rayon::current_num_threads(),
+            wall,
+            t1.expect("stage ran"),
+            t2.expect("stage ran"),
+            t3.expect("stage ran"),
+            t4.expect("stage ran"),
+            t5.expect("stage ran"),
+            f2.expect("stage ran"),
+            f3.expect("stage ran"),
+            f4.expect("stage ran"),
+            f5.expect("stage ran"),
+            f6.expect("stage ran"),
+            f7.expect("stage ran"),
+            f8.expect("stage ran"),
+            f9.expect("stage ran"),
+            f10.expect("stage ran"),
+        )
+    }
+
+    /// Executes every analysis stage on the calling thread, report order —
+    /// the executor's reference implementation for determinism checks and
+    /// speedup baselines.
+    pub fn analyse_sequential<D: Dataset>(
+        data: &D,
+        config: &ReproductionConfig,
+    ) -> ReproductionReport {
+        let wall = Instant::now();
+        let ctx = &AnalysisCtx::new(data);
+        Self::assemble(
+            false,
+            1,
+            wall,
+            timed(|| table1::run_ctx(ctx, 20)),
+            timed(|| table2::run_ctx(ctx)),
+            timed(|| table3::run_ctx(ctx)),
+            timed(|| table4::run_ctx(ctx, &config.table4)),
+            timed(|| table5::run_ctx(ctx)),
+            timed(|| fig2::run_ctx(ctx)),
+            timed(|| fig3::run_ctx(ctx, &config.fig3)),
+            timed(|| fig4::run_ctx(ctx, &config.fig4)),
+            timed(|| fig5::run_ctx(ctx, &config.fig5)),
+            timed(|| fig6::run_ctx(ctx)),
+            timed(|| fig7::run_ctx(ctx)),
+            timed(|| fig8::run_ctx(ctx)),
+            timed(|| fig9::run_ctx(ctx, &config.fig9)),
+            timed(|| fig10::run_ctx(ctx)),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        parallel: bool,
+        threads: usize,
+        wall: Instant,
+        table1: (table1::Table1Result, f64),
+        table2: (table2::Table2Result, f64),
+        table3: (table3::Table3Result, f64),
+        table4: (table4::Table4Result, f64),
+        table5: (table5::Table5Result, f64),
+        fig2: (fig2::Fig2Result, f64),
+        fig3: (fig3::Fig3Result, f64),
+        fig4: (fig4::Fig4Result, f64),
+        fig5: (fig5::Fig5Result, f64),
+        fig6: (fig6::Fig6Result, f64),
+        fig7: (fig7::Fig7Result, f64),
+        fig8: (fig8::Fig8Result, f64),
+        fig9: (fig9::Fig9Result, f64),
+        fig10: (fig10::Fig10Result, f64),
+    ) -> ReproductionReport {
+        let stage_ms = [
+            table1.1, table2.1, table3.1, table4.1, table5.1, fig2.1, fig3.1, fig4.1, fig5.1,
+            fig6.1, fig7.1, fig8.1, fig9.1, fig10.1,
+        ];
+        let stages = STAGE_IDS
+            .iter()
+            .zip(stage_ms)
+            .map(|(&id, millis)| StageTiming { id: id.to_string(), millis })
+            .collect();
         ReproductionReport {
             n_users: 0,
             crawled: false,
             crawl_stats: None,
             lost_edges: None,
-            table1: table1::run(data, 20),
-            table2: table2::run(data),
-            table3: table3::run(data),
-            table4: table4::run(data, &config.table4),
-            table5: table5::run(data),
-            fig2: fig2::run(data),
-            fig3: fig3::run(data, &config.fig3),
-            fig4: fig4::run(data, &config.fig4),
-            fig5: fig5::run(data, &config.fig5),
-            fig6: fig6::run(data),
-            fig7: fig7::run(data),
-            fig8: fig8::run(data),
-            fig9: fig9::run(data, &config.fig9),
-            fig10: fig10::run(data),
+            table1: table1.0,
+            table2: table2.0,
+            table3: table3.0,
+            table4: table4.0,
+            table5: table5.0,
+            fig2: fig2.0,
+            fig3: fig3.0,
+            fig4: fig4.0,
+            fig5: fig5.0,
+            fig6: fig6.0,
+            fig7: fig7.0,
+            fig8: fig8.0,
+            fig9: fig9.0,
+            fig10: fig10.0,
+            timings: Some(StageTimings {
+                parallel,
+                threads,
+                wall_ms: wall.elapsed().as_secs_f64() * 1_000.0,
+                stages,
+            }),
         }
     }
+}
+
+/// Runs a stage and pairs its result with its wall-clock in milliseconds.
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1_000.0)
 }
 
 #[cfg(test)]
@@ -223,8 +433,7 @@ mod tests {
 
     #[test]
     fn ground_truth_pipeline_produces_full_report() {
-        let report =
-            Reproduction::run_ground_truth(&ReproductionConfig::quick(15_000, 2012));
+        let report = Reproduction::run_ground_truth(&ReproductionConfig::quick(15_000, 2012));
         assert_eq!(report.n_users, 15_000);
         assert!(!report.crawled);
         assert!(report.crawl_stats.is_none());
@@ -256,8 +465,47 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"table1\""));
         assert!(json.contains("\"fig10\""));
+        // timings are runtime profile, not report content
+        assert!(!json.contains("stage_timings"));
         // round-trips
         let back: ReproductionReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.n_users, report.n_users);
+        assert!(back.timings.is_none(), "timings must not survive the round-trip");
+    }
+
+    #[test]
+    fn parallel_executor_matches_sequential_byte_for_byte() {
+        let config = ReproductionConfig::quick(6_000, 11);
+        let network = SynthNetwork::generate(&config.synth);
+        let data = GroundTruthDataset::new(&network);
+        let par = Reproduction::analyse(&data, &config);
+        let seq = Reproduction::analyse_sequential(&data, &config);
+        assert_eq!(par.to_json(), seq.to_json());
+        // and a second parallel run reproduces itself
+        let par2 = Reproduction::analyse(&data, &config);
+        assert_eq!(par.to_json(), par2.to_json());
+    }
+
+    #[test]
+    fn stage_timings_cover_every_stage() {
+        let config = ReproductionConfig::quick(5_000, 13);
+        let network = SynthNetwork::generate(&config.synth);
+        let data = GroundTruthDataset::new(&network);
+        let report = Reproduction::analyse(&data, &config);
+        let timings = report.timings.as_ref().expect("executor records timings");
+        assert!(timings.parallel);
+        assert!(timings.threads >= 1);
+        let ids: Vec<&str> = timings.stages.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids, crate::registry::STAGE_IDS.to_vec());
+        for stage in &timings.stages {
+            assert!(stage.millis >= 0.0);
+        }
+        assert!(timings.wall_ms > 0.0);
+        // with timings exported, the JSON grows a stage_timings section
+        let json = report.to_json_with_timings();
+        assert!(json.contains("\"stage_timings\""));
+        assert!(json.contains("\"wall_ms\""));
+        // render surfaces the profile too
+        assert!(report.render_all().contains("Stage timings"));
     }
 }

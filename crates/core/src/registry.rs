@@ -186,6 +186,15 @@ pub const ALL_EXPERIMENTS: [ExperimentInfo; 21] = [
     },
 ];
 
+/// The analysis stages [`crate::pipeline::Reproduction`] executes, in
+/// report order — the labels the executor stamps on
+/// [`crate::pipeline::StageTimings`] entries. Every id resolves in
+/// [`ALL_EXPERIMENTS`].
+pub const STAGE_IDS: [&str; 14] = [
+    "table1", "table2", "table3", "table4", "table5", "fig2", "fig3", "fig4", "fig5", "fig6",
+    "fig7", "fig8", "fig9", "fig10",
+];
+
 /// Looks up an experiment by id.
 pub fn find(id: &str) -> Option<&'static ExperimentInfo> {
     ALL_EXPERIMENTS.iter().find(|e| e.id == id)
@@ -224,12 +233,25 @@ mod tests {
 
     #[test]
     fn covers_all_paper_artifacts() {
-        let tables =
-            ALL_EXPERIMENTS.iter().filter(|e| e.kind == ArtifactKind::Table).count();
-        let figures =
-            ALL_EXPERIMENTS.iter().filter(|e| e.kind == ArtifactKind::Figure).count();
+        let tables = ALL_EXPERIMENTS.iter().filter(|e| e.kind == ArtifactKind::Table).count();
+        let figures = ALL_EXPERIMENTS.iter().filter(|e| e.kind == ArtifactKind::Figure).count();
         assert_eq!(tables, 5, "the paper has five tables");
         assert_eq!(figures, 9, "the paper has nine result figures (2-10)");
+    }
+
+    #[test]
+    fn stage_ids_resolve_in_registry_order() {
+        // every pipeline stage is a registered paper artifact, and the
+        // executor's order matches the registry's paper order
+        let registry_ids: Vec<&str> = ALL_EXPERIMENTS
+            .iter()
+            .filter(|e| matches!(e.kind, ArtifactKind::Table | ArtifactKind::Figure))
+            .map(|e| e.id)
+            .collect();
+        assert_eq!(STAGE_IDS.to_vec(), registry_ids);
+        for id in STAGE_IDS {
+            assert!(find(id).is_some(), "unregistered stage {id}");
+        }
     }
 
     #[test]

@@ -30,21 +30,14 @@ impl TextTable {
     /// Panics if the row width disagrees with the header (when set).
     pub fn row(&mut self, cells: Vec<String>) {
         if !self.header.is_empty() {
-            assert_eq!(
-                cells.len(),
-                self.header.len(),
-                "row width must match header width"
-            );
+            assert_eq!(cells.len(), self.header.len(), "row width must match header width");
         }
         self.rows.push(cells);
     }
 
     /// Renders the table.
     pub fn render(&self) -> String {
-        let ncols = self
-            .header
-            .len()
-            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let ncols = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; ncols];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.len());

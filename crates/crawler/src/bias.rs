@@ -78,7 +78,11 @@ mod tests {
         let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(4_000, 55));
         let svc = GooglePlusService::new(
             net,
-            ServiceConfig { failure_rate: 0.0, private_list_fraction: 0.0, ..Default::default() },
+            ServiceConfig {
+                failure_rate: 0.0,
+                private_list_fraction: 0.0,
+                ..Default::default()
+            },
         );
         let points = measure_bias(&svc, &[150, 3_000], &CrawlerConfig::default());
         assert_eq!(points.len(), 2);

@@ -77,4 +77,12 @@ mod tests {
     fn rejects_zero_machines() {
         CrawlerConfig { machines: 0, ..CrawlerConfig::default() }.validate();
     }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn rejects_zero_retries() {
+        // max_retries counts *attempts*: 0 would mean never calling the
+        // service and failing every request with a fabricated error
+        CrawlerConfig { max_retries: 0, ..CrawlerConfig::default() }.validate();
+    }
 }

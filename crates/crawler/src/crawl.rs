@@ -91,9 +91,7 @@ impl Crawler {
 
         std::thread::scope(|scope| {
             for _ in 0..self.config.machines {
-                scope.spawn(|| {
-                    self.worker(service, &shared, &work_ready, &collected, &failed)
-                });
+                scope.spawn(|| self.worker(service, &shared, &work_ready, &collected, &failed));
             }
         });
 
@@ -102,11 +100,10 @@ impl Crawler {
         let collected = collected.into_inner();
         let failed = failed.into_inner();
 
-        let mut stats = CrawlStats {
-            users_discovered: shared.user_ids.len() as u64,
-            failed_profiles: failed.len() as u64,
-            ..CrawlStats::default()
-        };
+        // users_discovered is set after interning: failed profiles' list
+        // entries can add users beyond what the workers saw
+        let mut stats =
+            CrawlStats { failed_profiles: failed.len() as u64, ..CrawlStats::default() };
 
         // The graph covers every discovered user; edges come from both
         // directions of every crawled user's lists.
@@ -232,9 +229,10 @@ impl Crawler {
         let mut transient = 0u64;
         let mut rate_limited = 0u64;
 
-        let page = self.with_retries(&mut retries, &mut transient, &mut rate_limited, || {
-            service.fetch_profile(user)
-        })?;
+        let page =
+            self.with_retries(&mut retries, &mut transient, &mut rate_limited, || {
+                service.fetch_profile(user)
+            })?;
 
         let mut item = CrawledUser {
             private: page.lists_private,
@@ -257,10 +255,12 @@ impl Crawler {
                             break;
                         }
                     }
-                    let result =
-                        self.with_retries(&mut retries, &mut transient, &mut rate_limited, || {
-                            service.fetch_circle_page(user, direction, page_no)
-                        });
+                    let result = self.with_retries(
+                        &mut retries,
+                        &mut transient,
+                        &mut rate_limited,
+                        || service.fetch_circle_page(user, direction, page_no),
+                    );
                     let circle = match result {
                         Ok(c) => c,
                         // a list can flip private between requests only in
@@ -292,6 +292,10 @@ impl Crawler {
         Ok(item)
     }
 
+    /// Runs `attempt` up to `max_retries` times. Always makes at least one
+    /// attempt, even if a caller bypassed [`CrawlerConfig::validate`] with
+    /// `max_retries: 0` — the returned error must come from the service,
+    /// never be fabricated here.
     fn with_retries<T>(
         &self,
         retries: &mut u64,
@@ -299,8 +303,9 @@ impl Crawler {
         rate_limited: &mut u64,
         mut attempt: impl FnMut() -> Result<T, FetchError>,
     ) -> Result<T, FetchError> {
+        let attempts = self.config.max_retries.max(1);
         let mut last = FetchError::Transient;
-        for try_no in 0..self.config.max_retries {
+        for try_no in 0..attempts {
             match attempt() {
                 Ok(v) => return Ok(v),
                 Err(e @ FetchError::Transient) => {
@@ -316,7 +321,7 @@ impl Crawler {
                 }
                 Err(e) => return Err(e),
             }
-            if try_no + 1 < self.config.max_retries {
+            if try_no + 1 < attempts {
                 *retries += 1;
             }
         }
@@ -334,7 +339,11 @@ mod tests {
         let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(n, seed));
         GooglePlusService::new(
             net,
-            ServiceConfig { failure_rate: 0.0, private_list_fraction: 0.0, ..Default::default() },
+            ServiceConfig {
+                failure_rate: 0.0,
+                private_list_fraction: 0.0,
+                ..Default::default()
+            },
         )
     }
 
@@ -354,7 +363,11 @@ mod tests {
         let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(1_500, 22));
         let svc = GooglePlusService::new(
             net,
-            ServiceConfig { failure_rate: 0.2, private_list_fraction: 0.0, ..Default::default() },
+            ServiceConfig {
+                failure_rate: 0.2,
+                private_list_fraction: 0.0,
+                ..Default::default()
+            },
         );
         let result = Crawler::paper_setup().run(&svc);
         assert!(result.stats.transient_errors > 0, "failures should have occurred");
@@ -385,17 +398,11 @@ mod tests {
     #[test]
     fn budget_limits_profiles_crawled() {
         let svc = quiet_service(2_000, 24);
-        let crawler = Crawler::new(CrawlerConfig {
-            max_profiles: Some(100),
-            ..CrawlerConfig::default()
-        });
+        let crawler =
+            Crawler::new(CrawlerConfig { max_profiles: Some(100), ..CrawlerConfig::default() });
         let result = crawler.run(&svc);
         // workers in flight when the budget trips may add a handful over
-        assert!(
-            result.crawled_count() <= 100 + 11,
-            "crawled {}",
-            result.crawled_count()
-        );
+        assert!(result.crawled_count() <= 100 + 11, "crawled {}", result.crawled_count());
         assert!(result.crawled_count() >= 50);
         // discovered exceeds crawled, as in the paper (35.1M vs 27.5M)
         assert!(result.discovered_count() > result.crawled_count());
@@ -421,11 +428,8 @@ mod tests {
         assert_eq!(one.graph.edge_count(), many.graph.edge_count());
         // same edge set under the user-id mapping
         let canon = |r: &CrawlResult| {
-            let mut edges: Vec<(u64, u64)> = r
-                .graph
-                .edges()
-                .map(|(a, b)| (r.user_of(a), r.user_of(b)))
-                .collect();
+            let mut edges: Vec<(u64, u64)> =
+                r.graph.edges().map(|(a, b)| (r.user_of(a), r.user_of(b))).collect();
             edges.sort_unstable();
             edges
         };
@@ -450,6 +454,42 @@ mod tests {
             result.stats.truncated_in_lists > 0,
             "celebrities should exceed a 100-entry cap"
         );
+    }
+
+    #[test]
+    fn with_retries_always_attempts_at_least_once() {
+        // regression: with max_retries == 0 (validate bypassed by direct
+        // construction), with_retries used to skip the loop entirely and
+        // return a fabricated Transient error without calling the service
+        for max_retries in [0usize, 1] {
+            let crawler =
+                Crawler { config: CrawlerConfig { max_retries, ..Default::default() } };
+            let (mut r, mut t, mut rl) = (0u64, 0u64, 0u64);
+            let mut calls = 0u32;
+            let result = crawler.with_retries(&mut r, &mut t, &mut rl, || {
+                calls += 1;
+                Ok::<u32, FetchError>(7)
+            });
+            assert_eq!(result, Ok(7), "max_retries={max_retries}");
+            assert_eq!(calls, 1, "exactly one attempt for max_retries={max_retries}");
+            assert_eq!(r, 0, "a lone attempt is not a retry");
+        }
+    }
+
+    #[test]
+    fn with_retries_error_comes_from_the_service() {
+        let crawler =
+            Crawler { config: CrawlerConfig { max_retries: 0, ..Default::default() } };
+        let (mut r, mut t, mut rl) = (0u64, 0u64, 0u64);
+        let mut calls = 0u32;
+        let result: Result<u32, FetchError> =
+            crawler.with_retries(&mut r, &mut t, &mut rl, || {
+                calls += 1;
+                Err(FetchError::RateLimited)
+            });
+        assert_eq!(calls, 1, "the service must be consulted before failing");
+        assert_eq!(result, Err(FetchError::RateLimited));
+        assert_eq!(rl, 1);
     }
 
     #[test]

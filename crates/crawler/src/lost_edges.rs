@@ -20,7 +20,9 @@ pub struct LostEdgeEstimate {
     pub declared_in_sum: u64,
     /// In-edges actually collected for those users (27,600,503).
     pub collected_in_sum: u64,
-    /// `declared - collected`.
+    /// Sum over truncated users of `max(declared - collected, 0)`. Clamped
+    /// per user: one over-recovered user (bidirectional recovery can push
+    /// collected above declared) must not mask another user's losses.
     pub lost_edges: u64,
     /// Lost edges divided by total collected edges (the paper's 1.6%).
     pub lost_fraction: f64,
@@ -32,16 +34,20 @@ pub fn estimate(result: &CrawlResult, circle_list_limit: u64) -> LostEdgeEstimat
     let mut truncated_users = 0u64;
     let mut declared_in_sum = 0u64;
     let mut collected_in_sum = 0u64;
+    let mut lost_edges = 0u64;
     for (&node, page) in &result.pages {
         if page.declared_in_count > circle_list_limit {
             truncated_users += 1;
+            let collected = result.graph.in_degree(node) as u64;
             declared_in_sum += page.declared_in_count;
-            collected_in_sum += result.graph.in_degree(node) as u64;
+            collected_in_sum += collected;
+            // clamp per user: bidirectional recovery can push one user's
+            // collected count above their declared count (followers'
+            // out-lists refill the gap), and that surplus must not offset
+            // edges genuinely lost on other users
+            lost_edges += page.declared_in_count.saturating_sub(collected);
         }
     }
-    // bidirectional recovery can push collected above the truncated list
-    // size (out-lists of followers refill the gap), so clamp at zero
-    let lost_edges = declared_in_sum.saturating_sub(collected_in_sum);
     let total_edges = result.graph.edge_count() as u64;
     LostEdgeEstimate {
         truncated_users,
@@ -136,6 +142,59 @@ mod tests {
             est.collected_in_sum,
             est.truncated_users * limit
         );
+    }
+
+    #[test]
+    fn per_user_clamp_keeps_over_recovery_from_masking_losses() {
+        // Hand-built crawl: two truncated users under a limit of 10.
+        //  node 0: declares 25 followers, graph holds 5  -> 20 edges lost
+        //  node 1: declares 15 followers, graph holds 18 -> over-recovered
+        //          (bidirectional recovery), 0 edges lost
+        // The aggregate-clamp bug summed first (40 declared vs 23
+        // collected) and reported 17; per-user clamping reports 20.
+        use gplus_graph::GraphBuilder;
+        use gplus_service::ProfilePage;
+        use std::collections::HashMap;
+
+        let page = |user_id: u64, declared_in_count: u64| ProfilePage {
+            user_id,
+            display_name: format!("user {user_id}"),
+            public_attributes: Vec::new(),
+            gender: None,
+            relationship: None,
+            occupation: None,
+            looking_for: None,
+            country: None,
+            location: None,
+            places_lived_text: None,
+            declared_in_count,
+            declared_out_count: 0,
+            lists_private: false,
+        };
+
+        let mut builder = GraphBuilder::new();
+        let mut next_source = 2u32;
+        for (target, in_degree) in [(0u32, 5u32), (1, 18)] {
+            for _ in 0..in_degree {
+                builder.add_edge(next_source, target);
+                next_source += 1;
+            }
+        }
+        builder.ensure_nodes(next_source as usize);
+        let graph = builder.build();
+
+        let user_ids: Vec<u64> = (0..next_source as u64).collect();
+        let index: HashMap<u64, u32> = user_ids.iter().map(|&u| (u, u as u32)).collect();
+        let pages: HashMap<u32, ProfilePage> =
+            [(0u32, page(0, 25)), (1, page(1, 15))].into_iter().collect();
+        let result = CrawlResult { user_ids, index, graph, pages, stats: Default::default() };
+
+        let est = estimate(&result, 10);
+        assert_eq!(est.truncated_users, 2);
+        assert_eq!(est.declared_in_sum, 40);
+        assert_eq!(est.collected_in_sum, 23);
+        assert_eq!(est.lost_edges, 20, "per-user clamp: 20 lost, not 40 - 23 = 17");
+        assert!((est.lost_fraction - 20.0 / 23.0).abs() < 1e-12);
     }
 
     #[test]

@@ -13,7 +13,10 @@ pub struct CrawlStats {
     pub profiles_crawled: u64,
     /// Users discovered (crawled or merely seen in someone's lists).
     pub users_discovered: u64,
-    /// Raw edges collected, before deduplication.
+    /// Circle-list entries collected across all crawled users' in- and
+    /// out-lists, *before* deduplication — the same edge observed from both
+    /// endpoints (u's out-list and v's in-list) counts twice here, so this
+    /// exceeds the final graph's edge count.
     pub raw_edges: u64,
     /// Retries performed across all requests.
     pub retries: u64,

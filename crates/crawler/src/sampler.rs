@@ -166,7 +166,11 @@ mod tests {
         let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(n, seed));
         GooglePlusService::new(
             net,
-            ServiceConfig { failure_rate: 0.0, private_list_fraction: 0.0, ..Default::default() },
+            ServiceConfig {
+                failure_rate: 0.0,
+                private_list_fraction: 0.0,
+                ..Default::default()
+            },
         )
     }
 
@@ -190,7 +194,8 @@ mod tests {
         let pop_mean = truth.edge_count() as f64 / truth.node_count() as f64;
 
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = MhrwConfig { steps: 6_000, burn_in: 1_000, thinning: 3, ..Default::default() };
+        let cfg =
+            MhrwConfig { steps: 6_000, burn_in: 1_000, thinning: 3, ..Default::default() };
         let walk = mhrw(&svc, &cfg, &mut rng);
         let mhrw_mean = walk.estimate(|u| truth.in_degree(u as u32) as f64);
 

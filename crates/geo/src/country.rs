@@ -169,10 +169,11 @@ impl Country {
     /// explicitly.
     pub fn from_code(code: &str) -> Option<Country> {
         let up = code.to_ascii_uppercase();
-        FOCUS_COUNTRIES
-            .into_iter()
-            .find(|c| c.code() == up)
-            .or(if up == "??" { Some(Country::Other) } else { None })
+        FOCUS_COUNTRIES.into_iter().find(|c| c.code() == up).or(if up == "??" {
+            Some(Country::Other)
+        } else {
+            None
+        })
     }
 
     /// Geographic centroid (approximate).
@@ -305,10 +306,7 @@ mod tests {
         // countries all out-penetrate the four poorest.
         let mut by_gdp: Vec<Country> = FOCUS_COUNTRIES.to_vec();
         by_gdp.sort_by(|a, b| {
-            b.stats()
-                .gdp_per_capita_ppp
-                .partial_cmp(&a.stats().gdp_per_capita_ppp)
-                .unwrap()
+            b.stats().gdp_per_capita_ppp.partial_cmp(&a.stats().gdp_per_capita_ppp).unwrap()
         });
         let ipr = |c: Country| {
             let s = c.stats();

@@ -27,10 +27,7 @@ impl LatLon {
     /// outside `[-180, 180]`, or either is non-finite.
     pub fn new(lat: f64, lon: f64) -> Self {
         assert!(lat.is_finite() && (-90.0..=90.0).contains(&lat), "invalid latitude {lat}");
-        assert!(
-            lon.is_finite() && (-180.0..=180.0).contains(&lon),
-            "invalid longitude {lon}"
-        );
+        assert!(lon.is_finite() && (-180.0..=180.0).contains(&lon), "invalid longitude {lon}");
         Self { lat, lon }
     }
 
@@ -73,7 +70,9 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        assert!((haversine_miles(nyc(), london()) - haversine_miles(london(), nyc())).abs() < 1e-9);
+        assert!(
+            (haversine_miles(nyc(), london()) - haversine_miles(london(), nyc())).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -260,10 +260,7 @@ mod tests {
         }
         intra.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = intra[intra.len() / 2];
-        let inter = haversine_miles(
-            us[0].location,
-            cities_of(Country::In)[0].location,
-        );
+        let inter = haversine_miles(us[0].location, cities_of(Country::In)[0].location);
         assert!(median < inter / 2.0, "median {median} vs inter {inter}");
     }
 }

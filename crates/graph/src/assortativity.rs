@@ -74,10 +74,13 @@ mod tests {
     #[test]
     fn regular_graph_undefined() {
         // a cycle: every degree equal -> zero variance -> None
-        let g = from_edges(5, (0..5).flat_map(|i| {
-            let j = (i + 1) % 5;
-            [(i, j), (j, i)]
-        }));
+        let g = from_edges(
+            5,
+            (0..5).flat_map(|i| {
+                let j = (i + 1) % 5;
+                [(i, j), (j, i)]
+            }),
+        );
         assert_eq!(undirected_assortativity(&g), None);
     }
 
@@ -127,9 +130,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         for _ in 0..10 {
             let n = 20;
-            let edges: Vec<(u32, u32)> = (0..80)
-                .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
-                .collect();
+            let edges: Vec<(u32, u32)> =
+                (0..80).map(|_| (rng.random_range(0..n), rng.random_range(0..n))).collect();
             let g = from_edges(n as usize, edges);
             if let Some(r) = directed_assortativity(&g) {
                 assert!((-1.0..=1.0).contains(&r), "r = {r}");

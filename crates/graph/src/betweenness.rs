@@ -25,15 +25,10 @@ pub struct Betweenness {
 impl Betweenness {
     /// The `k` highest-scoring nodes, descending; ties by node id.
     pub fn top(&self, k: usize) -> Vec<(NodeId, f64)> {
-        let mut ranked: Vec<(NodeId, f64)> = self
-            .scores
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| (i as NodeId, s))
-            .collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0))
-        });
+        let mut ranked: Vec<(NodeId, f64)> =
+            self.scores.iter().enumerate().map(|(i, &s)| (i as NodeId, s)).collect();
+        ranked
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
         ranked.truncate(k);
         ranked
     }
@@ -42,11 +37,7 @@ impl Betweenness {
 /// Runs Brandes' dependency accumulation from `samples` uniformly chosen
 /// sources over the directed graph. `samples >= node_count` degenerates to
 /// the exact algorithm.
-pub fn betweenness<R: Rng + ?Sized>(
-    g: &CsrGraph,
-    samples: usize,
-    rng: &mut R,
-) -> Betweenness {
+pub fn betweenness<R: Rng + ?Sized>(g: &CsrGraph, samples: usize, rng: &mut R) -> Betweenness {
     let n = g.node_count();
     let mut scores = vec![0.0f64; n];
     if n == 0 || samples == 0 {
@@ -121,10 +112,7 @@ mod tests {
     #[test]
     fn path_graph_middle_node_highest() {
         // 0 <-> 1 <-> 2 <-> 3 <-> 4 (bidirectional path)
-        let g = from_edges(
-            5,
-            (0..4u32).flat_map(|i| [(i, i + 1), (i + 1, i)]),
-        );
+        let g = from_edges(5, (0..4u32).flat_map(|i| [(i, i + 1), (i + 1, i)]));
         let b = exact(&g);
         assert!(b.scores[2] > b.scores[1]);
         assert!(b.scores[1] > b.scores[0]);

@@ -60,7 +60,11 @@ pub struct BfsLevels {
 /// `scratch` must have length `node_count()` and is treated as opaque:
 /// pass the same buffer to successive calls. Internally it stores a visit
 /// epoch so it never needs clearing.
-pub fn levels_with_scratch(g: &CsrGraph, source: NodeId, scratch: &mut BfsScratch) -> BfsLevels {
+pub fn levels_with_scratch(
+    g: &CsrGraph,
+    source: NodeId,
+    scratch: &mut BfsScratch,
+) -> BfsLevels {
     assert!((source as usize) < g.node_count(), "source out of range");
     scratch.ensure(g.node_count());
     scratch.epoch += 1;

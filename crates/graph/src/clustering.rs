@@ -22,8 +22,7 @@ use rayon::prelude::*;
 /// Returns `None` when `|OS(u)| <= 1` (the denominator vanishes). Self-loops
 /// in the out-list are ignored: a user cannot form a triangle with herself.
 pub fn clustering_coefficient(g: &CsrGraph, u: NodeId) -> Option<f64> {
-    let outs: Vec<NodeId> =
-        g.out_neighbors(u).iter().copied().filter(|&v| v != u).collect();
+    let outs: Vec<NodeId> = g.out_neighbors(u).iter().copied().filter(|&v| v != u).collect();
     let k = outs.len();
     if k <= 1 {
         return None;
@@ -74,9 +73,7 @@ pub fn clustering_all(g: &CsrGraph) -> Vec<f64> {
 /// |OS(u)| > 1").
 pub fn sampled_cc<R: Rng + ?Sized>(g: &CsrGraph, sample_size: usize, rng: &mut R) -> Vec<f64> {
     let idx = gplus_stats::sample_indices(rng, g.node_count(), sample_size);
-    idx.into_par_iter()
-        .filter_map(|u| clustering_coefficient(g, u as NodeId))
-        .collect()
+    idx.into_par_iter().filter_map(|u| clustering_coefficient(g, u as NodeId)).collect()
 }
 
 /// Mean clustering coefficient over eligible nodes; `None` if no node is

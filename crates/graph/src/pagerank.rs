@@ -40,15 +40,10 @@ pub struct PageRank {
 impl PageRank {
     /// The `k` highest-scoring nodes, descending; ties by node id.
     pub fn top(&self, k: usize) -> Vec<(NodeId, f64)> {
-        let mut ranked: Vec<(NodeId, f64)> = self
-            .scores
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| (i as NodeId, s))
-            .collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0))
-        });
+        let mut ranked: Vec<(NodeId, f64)> =
+            self.scores.iter().enumerate().map(|(i, &s)| (i as NodeId, s)).collect();
+        ranked
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
         ranked.truncate(k);
         ranked
     }
@@ -71,10 +66,8 @@ pub fn pagerank(g: &CsrGraph, params: &PageRankParams) -> PageRank {
 
     while iterations < params.max_iterations && delta > params.tolerance {
         // teleport + dangling redistribution
-        let dangling: f64 = (0..n as NodeId)
-            .filter(|&u| g.out_degree(u) == 0)
-            .map(|u| rank[u as usize])
-            .sum();
+        let dangling: f64 =
+            (0..n as NodeId).filter(|&u| g.out_degree(u) == 0).map(|u| rank[u as usize]).sum();
         let base = (1.0 - params.damping) / n_f + params.damping * dangling / n_f;
         next.iter_mut().for_each(|x| *x = base);
         for u in 0..n as NodeId {

@@ -125,16 +125,11 @@ pub fn path_lengths_from_sources(g: &CsrGraph, sources: &[usize]) -> PathLengthD
                 if !counts.is_empty() {
                     counts[0] = 0;
                 }
-                PathLengthDistribution {
-                    counts,
-                    sources: 1,
-                    max_distance: levels.eccentricity,
-                }
+                PathLengthDistribution { counts, sources: 1, max_distance: levels.eccentricity }
             },
         )
         .collect();
-    let mut acc =
-        PathLengthDistribution { counts: vec![0], sources: 0, max_distance: 0 };
+    let mut acc = PathLengthDistribution { counts: vec![0], sources: 0, max_distance: 0 };
     for p in &partials {
         acc.merge(p);
     }
@@ -226,11 +221,8 @@ mod tests {
 
     #[test]
     fn mode_is_argmax() {
-        let d = PathLengthDistribution {
-            counts: vec![0, 3, 10, 7],
-            sources: 1,
-            max_distance: 3,
-        };
+        let d =
+            PathLengthDistribution { counts: vec![0, 3, 10, 7], sources: 1, max_distance: 3 };
         assert_eq!(d.mode(), 2);
     }
 

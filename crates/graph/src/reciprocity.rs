@@ -165,10 +165,7 @@ mod tests {
 
     #[test]
     fn pair_count_matches_enumeration() {
-        let g = from_edges(
-            5,
-            [(0, 1), (1, 0), (2, 3), (3, 2), (0, 2), (4, 0), (0, 4), (1, 2)],
-        );
+        let g = from_edges(5, [(0, 1), (1, 0), (2, 3), (3, 2), (0, 2), (4, 0), (0, 4), (1, 2)]);
         let pairs: Vec<_> = reciprocal_pairs(&g).collect();
         assert_eq!(pairs.len() as u64, reciprocal_pair_count(&g));
         assert_eq!(pairs, vec![(0, 1), (0, 4), (2, 3)]);

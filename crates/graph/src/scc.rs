@@ -156,7 +156,8 @@ pub fn tarjan(g: &CsrGraph) -> SccResult {
             } else {
                 call.pop();
                 if let Some(&(parent, _)) = call.last() {
-                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[u as usize]);
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[u as usize]);
                 }
                 if lowlink[u as usize] == index[u as usize] {
                     // u is the root of an SCC: pop the component off the stack
@@ -292,10 +293,7 @@ mod tests {
     fn scc_members_mutually_reachable() {
         // verify the defining property on a nontrivial graph
         use crate::bfs;
-        let g = from_edges(
-            7,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)],
-        );
+        let g = from_edges(7, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)]);
         let scc = kosaraju(&g);
         for u in g.nodes() {
             let reach = bfs::reachable_set(&g, u);

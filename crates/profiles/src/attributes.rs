@@ -163,8 +163,7 @@ mod tests {
 
     #[test]
     fn restricted_fields_match_paper() {
-        let restricted: Vec<_> =
-            ALL_ATTRIBUTES.iter().filter(|a| a.is_restricted()).collect();
+        let restricted: Vec<_> = ALL_ATTRIBUTES.iter().filter(|a| a.is_restricted()).collect();
         assert_eq!(
             restricted,
             vec![&Attribute::Gender, &Attribute::Relationship, &Attribute::LookingFor]

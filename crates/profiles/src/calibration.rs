@@ -31,18 +31,12 @@ pub const TABLE2_AVAILABILITY: [f64; 17] = [
 ];
 
 /// Table 3, "Gender" block, all users: (male, female, other).
-pub const GENDER_ALL: [(Gender, f64); 3] = [
-    (Gender::Male, 0.6765),
-    (Gender::Female, 0.3146),
-    (Gender::Other, 0.0089),
-];
+pub const GENDER_ALL: [(Gender, f64); 3] =
+    [(Gender::Male, 0.6765), (Gender::Female, 0.3146), (Gender::Other, 0.0089)];
 
 /// Table 3, "Gender" block, tel-users.
-pub const GENDER_TEL: [(Gender, f64); 3] = [
-    (Gender::Male, 0.8599),
-    (Gender::Female, 0.1126),
-    (Gender::Other, 0.0275),
-];
+pub const GENDER_TEL: [(Gender, f64); 3] =
+    [(Gender::Male, 0.8599), (Gender::Female, 0.1126), (Gender::Other, 0.0275)];
 
 /// Table 3, "Relationship" block, all users (fractions of those who expose
 /// the field).
@@ -82,26 +76,26 @@ pub const TEL_USER_RATE: f64 = 0.0026;
 /// top ten; Japan/Russia/China far below their Internet penetration).
 /// The remainder goes to [`Country::Other`].
 pub const LOCATED_COUNTRY_WEIGHTS: [(Country, f64); 21] = [
-    (Country::Us, 0.3138), // Table 3
-    (Country::In, 0.1671), // Table 3
-    (Country::Br, 0.0576), // Table 3
-    (Country::Gb, 0.0335), // Table 3
-    (Country::Ca, 0.0230), // Table 3
-    (Country::De, 0.0223), // Figure 6 (read off)
-    (Country::Id, 0.0208), // Figure 6 (read off)
-    (Country::Mx, 0.0190), // Figure 6 (read off)
-    (Country::It, 0.0172), // Figure 6 (read off)
-    (Country::Es, 0.0160), // Figure 6 (read off)
-    (Country::Vn, 0.0110), // Figure 7 shape
-    (Country::Cn, 0.0100), // Figure 7 shape (big IPR/GPR gap)
-    (Country::Tw, 0.0090), // Figure 7 shape (top-10 GPR)
-    (Country::Fr, 0.0090), // Figure 7 shape
-    (Country::Au, 0.0085), // Figure 7 shape
-    (Country::Th, 0.0080), // Figure 7 shape (top-10 GPR)
-    (Country::Ir, 0.0070), // Figure 7 shape
-    (Country::Ru, 0.0060), // Figure 7 shape (big IPR/GPR gap)
-    (Country::Jp, 0.0060), // Figure 7 shape (big IPR/GPR gap)
-    (Country::Ar, 0.0060), // Figure 7 shape
+    (Country::Us, 0.3138),    // Table 3
+    (Country::In, 0.1671),    // Table 3
+    (Country::Br, 0.0576),    // Table 3
+    (Country::Gb, 0.0335),    // Table 3
+    (Country::Ca, 0.0230),    // Table 3
+    (Country::De, 0.0223),    // Figure 6 (read off)
+    (Country::Id, 0.0208),    // Figure 6 (read off)
+    (Country::Mx, 0.0190),    // Figure 6 (read off)
+    (Country::It, 0.0172),    // Figure 6 (read off)
+    (Country::Es, 0.0160),    // Figure 6 (read off)
+    (Country::Vn, 0.0110),    // Figure 7 shape
+    (Country::Cn, 0.0100),    // Figure 7 shape (big IPR/GPR gap)
+    (Country::Tw, 0.0090),    // Figure 7 shape (top-10 GPR)
+    (Country::Fr, 0.0090),    // Figure 7 shape
+    (Country::Au, 0.0085),    // Figure 7 shape
+    (Country::Th, 0.0080),    // Figure 7 shape (top-10 GPR)
+    (Country::Ir, 0.0070),    // Figure 7 shape
+    (Country::Ru, 0.0060),    // Figure 7 shape (big IPR/GPR gap)
+    (Country::Jp, 0.0060),    // Figure 7 shape (big IPR/GPR gap)
+    (Country::Ar, 0.0060),    // Figure 7 shape
     (Country::Other, 0.2292), // remainder
 ];
 

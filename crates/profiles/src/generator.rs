@@ -134,8 +134,7 @@ impl ProfileGenerator {
     ) -> Profile {
         let city_index = self.sample_city(country, rng);
         let gender = calibration::GENDER_ALL[self.gender_dist.sample(rng)].0;
-        let relationship =
-            calibration::RELATIONSHIP_ALL[self.relationship_dist.sample(rng)].0;
+        let relationship = calibration::RELATIONSHIP_ALL[self.relationship_dist.sample(rng)].0;
         let occupation = self.sample_occupation(country, rng);
         // "looking for" skews social: friends and networking dominate
         let looking_for = match rng.random_range(0..10u8) {
@@ -324,26 +323,18 @@ mod tests {
         let tel: Vec<&Profile> = pop.iter().filter(|p| p.is_tel_user()).collect();
         let all: Vec<&Profile> = pop.iter().collect();
         assert!(tel.len() > 100);
-        assert!(
-            mean(&tel) > mean(&all) + 1.0,
-            "tel {} vs all {}",
-            mean(&tel),
-            mean(&all)
-        );
+        assert!(mean(&tel) > mean(&all) + 1.0, "tel {} vs all {}", mean(&tel), mean(&all));
     }
 
     #[test]
     fn india_overrepresented_among_tel_users() {
         let pop = population(400_000, 12);
         let tel: Vec<&Profile> = pop.iter().filter(|p| p.is_tel_user()).collect();
-        let frac_in_tel = tel.iter().filter(|p| p.country == Country::In).count() as f64
-            / tel.len() as f64;
+        let frac_in_tel =
+            tel.iter().filter(|p| p.country == Country::In).count() as f64 / tel.len() as f64;
         let frac_in_all =
             pop.iter().filter(|p| p.country == Country::In).count() as f64 / pop.len() as f64;
-        assert!(
-            frac_in_tel > frac_in_all * 1.4,
-            "IN tel {frac_in_tel} vs all {frac_in_all}"
-        );
+        assert!(frac_in_tel > frac_in_all * 1.4, "IN tel {frac_in_tel} vs all {frac_in_all}");
     }
 
     #[test]

@@ -52,8 +52,8 @@ impl Profile {
     /// "removing the fields of Home and Work information from the
     /// contabilization").
     pub fn fields_shared_excl_contact(&self) -> u32 {
-        let mask = self.public_mask
-            & !(Attribute::WorkContact.bit() | Attribute::HomeContact.bit());
+        let mask =
+            self.public_mask & !(Attribute::WorkContact.bit() | Attribute::HomeContact.bit());
         mask.count_ones()
     }
 
@@ -102,8 +102,7 @@ impl Profile {
         x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         x ^= x >> 31;
         let u1 = ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
-        let u2 = (((x.wrapping_mul(0x2545_f491_4f6c_dd1d)) >> 11) as f64
-            / (1u64 << 53) as f64)
+        let u2 = (((x.wrapping_mul(0x2545_f491_4f6c_dd1d)) >> 11) as f64 / (1u64 << 53) as f64)
             - 0.5;
         let lat = (centre.lat + u1 * 0.3).clamp(-89.9, 89.9);
         // widen the longitude offset at high latitude so the metro stays

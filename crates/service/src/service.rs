@@ -116,7 +116,14 @@ impl GooglePlusService {
         let bucket = config
             .rate_limit_capacity
             .map(|cap| Mutex::new(TokenBucket::new(cap, config.rate_limit_refill)));
-        Self { network, config, injector, nonce: AtomicU64::new(0), bucket, stats: ServiceStats::default() }
+        Self {
+            network,
+            config,
+            injector,
+            nonce: AtomicU64::new(0),
+            bucket,
+            stats: ServiceStats::default(),
+        }
     }
 
     /// The active configuration.
@@ -310,12 +317,8 @@ mod tests {
         let truth = svc.ground_truth();
         for user in [0u64, 1, 300, 1500] {
             let got = svc.fetch_full_circle_list(user, Direction::OutCircles).unwrap();
-            let expect: Vec<u64> = truth
-                .graph
-                .out_neighbors(user as u32)
-                .iter()
-                .map(|&v| v as u64)
-                .collect();
+            let expect: Vec<u64> =
+                truth.graph.out_neighbors(user as u32).iter().map(|&v| v as u64).collect();
             assert_eq!(got, expect, "user {user}");
         }
     }
@@ -407,9 +410,7 @@ mod tests {
         let a = service(500, cfg.clone());
         let b = service(500, cfg);
         let run = |svc: &GooglePlusService| {
-            (0..300u64)
-                .map(|u| svc.fetch_profile(u).is_ok())
-                .collect::<Vec<bool>>()
+            (0..300u64).map(|u| svc.fetch_profile(u).is_ok()).collect::<Vec<bool>>()
         };
         assert_eq!(run(&a), run(&b));
     }

@@ -201,7 +201,11 @@ mod tests {
         let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(n, 41));
         WireService::new(GooglePlusService::new(
             net,
-            ServiceConfig { failure_rate: 0.0, private_list_fraction: 0.0, ..Default::default() },
+            ServiceConfig {
+                failure_rate: 0.0,
+                private_list_fraction: 0.0,
+                ..Default::default()
+            },
         ))
     }
 

@@ -25,10 +25,7 @@ impl Cdf {
     /// Panics if `values` is empty or contains a NaN/infinite value.
     pub fn new(values: &[f64]) -> Self {
         assert!(!values.is_empty(), "Cdf::new requires at least one observation");
-        assert!(
-            values.iter().all(|v| v.is_finite()),
-            "Cdf::new requires finite observations"
-        );
+        assert!(values.iter().all(|v| v.is_finite()), "Cdf::new requires finite observations");
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are totally ordered"));
         Self { sorted }

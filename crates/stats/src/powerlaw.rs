@@ -127,11 +127,7 @@ mod tests {
         let data = sample_power_law(1.3, 200_000, 42);
         let ccdf = Ccdf::from_counts(&data);
         let fit = PowerLawFit::from_ccdf_with_xmin(&ccdf, 2);
-        assert!(
-            (fit.alpha - 1.3).abs() < 0.25,
-            "alpha {} should be near 1.3",
-            fit.alpha
-        );
+        assert!((fit.alpha - 1.3).abs() < 0.25, "alpha {} should be near 1.3", fit.alpha);
         assert!(fit.r_squared > 0.9, "r2 {}", fit.r_squared);
     }
 

@@ -82,8 +82,7 @@ pub fn gini(values: &[f64]) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    let weighted: f64 =
-        sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    let weighted: f64 = sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
     (2.0 * weighted) / (n * total) - (n + 1.0) / n
 }
 

@@ -167,10 +167,8 @@ mod tests {
     fn country_groups_carry_table5_occupations() {
         let c = seed_celebrities();
         for country in TOP10_COUNTRIES {
-            let group: Vec<&Celebrity> = c
-                .iter()
-                .filter(|x| x.country_rank.is_some() && x.country == country)
-                .collect();
+            let group: Vec<&Celebrity> =
+                c.iter().filter(|x| x.country_rank.is_some() && x.country == country).collect();
             assert_eq!(group.len(), 10, "{country}");
             let expected = top_user_occupations(country).unwrap();
             for (rank, celeb) in group.iter().enumerate() {

@@ -92,10 +92,8 @@ pub fn generate_edges(cfg: &SynthConfig, pop: &Population) -> EdgeOutcome {
             }
         })
         .collect();
-    let base_degree: Vec<u32> = personas
-        .iter()
-        .map(|p| sample_out_degree(cfg, *p, &mut rng))
-        .collect();
+    let base_degree: Vec<u32> =
+        personas.iter().map(|p| sample_out_degree(cfg, *p, &mut rng)).collect();
     let bonus = cfg.community_bonus_edges as u32;
 
     // --- pickers ---
@@ -412,8 +410,7 @@ fn pick_target(
             return None;
         }
         let v = members[rng.random_range(0..members.len())];
-        let provenance =
-            if cross { Provenance::CrossCountry } else { Provenance::SameCountry };
+        let provenance = if cross { Provenance::CrossCountry } else { Provenance::SameCountry };
         Some((v, provenance))
     }
 }
@@ -440,7 +437,6 @@ fn sample_geometric(mean: f64, rng: &mut StdRng) -> u32 {
     let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
     (u.ln() / (1.0 - p).ln()).floor().min(u32::MAX as f64) as u32
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -474,11 +470,9 @@ mod tests {
             assert_eq!(o.personas[celeb.node as usize], Persona::Celebrity);
         }
         let ordinary = (pop.len() - pop.celebrities.len()) as f64;
-        let lurkers =
-            o.personas.iter().filter(|p| **p == Persona::Lurker).count() as f64;
+        let lurkers = o.personas.iter().filter(|p| **p == Persona::Lurker).count() as f64;
         assert!((lurkers / ordinary - 0.25).abs() < 0.05, "lurker share");
-        let casual =
-            o.personas.iter().filter(|p| **p == Persona::Casual).count() as f64;
+        let casual = o.personas.iter().filter(|p| **p == Persona::Casual).count() as f64;
         // casual = (1 - lurker) * head_fraction of ordinary users
         assert!((casual / ordinary - 0.5625).abs() < 0.05, "casual share");
     }
@@ -558,8 +552,9 @@ mod tests {
     fn collector_degrees_heavy_tailed() {
         let cfg = SynthConfig::google_plus_2011(10, 1);
         let mut rng = StdRng::seed_from_u64(7);
-        let samples: Vec<u32> =
-            (0..20_000).map(|_| sample_out_degree(&cfg, Persona::Collector, &mut rng)).collect();
+        let samples: Vec<u32> = (0..20_000)
+            .map(|_| sample_out_degree(&cfg, Persona::Collector, &mut rng))
+            .collect();
         let min = *samples.iter().min().unwrap();
         let max = *samples.iter().max().unwrap();
         assert!(min >= 1);

@@ -60,10 +60,7 @@ impl GrowthModel {
     /// # Panics
     /// Panics if `invite_fraction` is outside `\[0, 1\]`.
     pub fn new(network: &SynthNetwork, invite_fraction: f64, seed: u64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&invite_fraction),
-            "invite_fraction must be in [0,1]"
-        );
+        assert!((0.0..=1.0).contains(&invite_fraction), "invite_fraction must be in [0,1]");
         let g = &network.graph;
         let n = g.node_count();
         let mut rng = StdRng::seed_from_u64(seed ^ 0x6772_6f77_7468); // "growth"
@@ -109,8 +106,7 @@ impl GrowthModel {
         }
 
         // --- open sign-up: the rest join in uniform random order ---
-        let mut rest: Vec<NodeId> =
-            (0..n as NodeId).filter(|&v| !joined[v as usize]).collect();
+        let mut rest: Vec<NodeId> = (0..n as NodeId).filter(|&v| !joined[v as usize]).collect();
         use rand::seq::SliceRandom;
         rest.shuffle(&mut rng);
         join_order.extend(rest);
@@ -132,8 +128,7 @@ impl GrowthModel {
     /// at first and every edge exists by the final snapshot.
     fn edge_activation(&self, u: NodeId, v: NodeId) -> f64 {
         let n = self.join_order.len() as f64;
-        let max_join =
-            self.join_rank[u as usize].max(self.join_rank[v as usize]) as f64;
+        let max_join = self.join_rank[u as usize].max(self.join_rank[v as usize]) as f64;
         let h = splitmix64(
             self.delay_seed ^ ((u as u64) << 32 | v as u64).wrapping_mul(0x9e37_79b9),
         );

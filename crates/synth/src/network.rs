@@ -65,9 +65,7 @@ mod tests {
     fn gplus_net() -> &'static SynthNetwork {
         use std::sync::OnceLock;
         static NET: OnceLock<SynthNetwork> = OnceLock::new();
-        NET.get_or_init(|| {
-            SynthNetwork::generate(&SynthConfig::google_plus_2011(30_000, 2012))
-        })
+        NET.get_or_init(|| SynthNetwork::generate(&SynthConfig::google_plus_2011(30_000, 2012)))
     }
 
     #[test]

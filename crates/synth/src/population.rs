@@ -160,12 +160,7 @@ mod tests {
         let pop = small();
         for celeb in &pop.celebrities {
             let p = pop.profile(celeb.node);
-            assert_eq!(
-                p.public_country().is_some(),
-                celeb.shares_location,
-                "{}",
-                celeb.name
-            );
+            assert_eq!(p.public_country().is_some(), celeb.shares_location, "{}", celeb.name);
         }
     }
 

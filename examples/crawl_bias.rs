@@ -26,7 +26,10 @@ fn main() {
     let svc = GooglePlusService::new(net.clone(), quiet.clone());
     let budgets = [n / 100, n / 20, n / 4, n];
     println!("\nBFS degree bias (mean true in-degree of crawled vs population):");
-    println!("{:>10}  {:>8}  {:>12}  {:>10}", "budget", "crawled", "crawled mean", "bias ratio");
+    println!(
+        "{:>10}  {:>8}  {:>12}  {:>10}",
+        "budget", "crawled", "crawled mean", "bias ratio"
+    );
     for p in measure_bias(&svc, &budgets, &CrawlerConfig::default()) {
         println!(
             "{:>10}  {:>8}  {:>12.2}  {:>10.2}",

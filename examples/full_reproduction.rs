@@ -18,14 +18,16 @@ fn main() {
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2012);
     let out_path = args.next();
 
-    eprintln!("Running the full pipeline at {n} users (seed {seed}) — this crawls every profile ...");
+    eprintln!(
+        "Running the full pipeline at {n} users (seed {seed}) — this crawls every profile ..."
+    );
     let config = ReproductionConfig::quick(n, seed);
     let report = Reproduction::run(&config);
 
     println!("{}", report.render_all());
 
     if let Some(path) = out_path {
-        std::fs::write(&path, report.to_json()).expect("write JSON report");
+        std::fs::write(&path, report.to_json_with_timings()).expect("write JSON report");
         eprintln!("JSON report written to {path}");
     }
 }

@@ -30,10 +30,8 @@ fn main() {
     let f8 = fig8::run(&data);
     println!("{}", fig8::render(&f8));
     println!("Openness ranking (mean public fields, located users):");
-    let mut ranked: Vec<_> = TOP10_COUNTRIES
-        .iter()
-        .filter_map(|&c| f8.mean_fields(c).map(|m| (c, m)))
-        .collect();
+    let mut ranked: Vec<_> =
+        TOP10_COUNTRIES.iter().filter_map(|&c| f8.mean_fields(c).map(|m| (c, m))).collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite means"));
     for (i, (c, m)) in ranked.iter().enumerate() {
         println!("  {:>2}. {}  {:.2}", i + 1, c.name(), m);

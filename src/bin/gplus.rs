@@ -160,7 +160,7 @@ fn cmd_run(args: &[String]) -> i32 {
     }
 
     if let Some(path) = flags.options.get("--json") {
-        if let Err(e) = std::fs::write(path, report.to_json()) {
+        if let Err(e) = std::fs::write(path, report.to_json_with_timings()) {
             eprintln!("failed to write {path}: {e}");
             return 1;
         }
@@ -238,10 +238,7 @@ fn cmd_export(args: &[String]) -> i32 {
                 p.user_id,
                 p.display_name(),
                 opt(p.public_gender().is_some(), format!("{:?}", p.gender)),
-                opt(
-                    p.public_relationship().is_some(),
-                    p.relationship.label().to_string()
-                ),
+                opt(p.public_relationship().is_some(), p.relationship.label().to_string()),
                 p.public_country().map(|c| c.code().to_string()).unwrap_or("-".into()),
                 p.public_occupation().map(|o| o.code().to_string()).unwrap_or("-".into()),
                 p.fields_shared(),
@@ -271,8 +268,7 @@ fn cmd_growth(args: &[String]) -> i32 {
     eprintln!("generating network ({} users, seed {}) ...", flags.n, flags.seed);
     let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(flags.n, flags.seed));
     let model = GrowthModel::new(&net, 0.4, flags.seed);
-    let series =
-        model.snapshot_series(&net, &[0.2, 0.4, 0.6, 0.8, 1.0], 150, flags.seed);
+    let series = model.snapshot_series(&net, &[0.2, 0.4, 0.6, 0.8, 1.0], 150, flags.seed);
     println!("fraction  nodes    edges     mean_degree  mean_path  diameter");
     for s in &series {
         println!(

@@ -22,7 +22,11 @@ fn crawl() -> &'static gplus::crawler::CrawlResult {
     RES.get_or_init(|| {
         let svc = GooglePlusService::new(
             network().clone(),
-            ServiceConfig { failure_rate: 0.05, private_list_fraction: 0.03, ..Default::default() },
+            ServiceConfig {
+                failure_rate: 0.05,
+                private_list_fraction: 0.03,
+                ..Default::default()
+            },
         );
         Crawler::new(CrawlerConfig::default()).run(&svc)
     })

@@ -11,10 +11,7 @@ use proptest::prelude::*;
 /// Strategy: a small arbitrary digraph as (n, edge list).
 fn arb_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
     (2usize..24).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as NodeId, 0..n as NodeId),
-            0..(n * 3),
-        );
+        let edges = proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..(n * 3));
         (Just(n), edges)
     })
 }
