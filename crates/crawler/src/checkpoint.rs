@@ -1,0 +1,141 @@
+//! Checkpoint/resume for long crawls.
+//!
+//! The paper's crawl ran 47 days; anything that long dies at least once.
+//! A [`CrawlCheckpoint`] is a versioned snapshot of the entire crawl
+//! state — discovery order, frontier (including requeued dead letters),
+//! collected records, counters, and the simulated clock — taken under the
+//! frontier lock so it is coherent: every user is either fully recorded
+//! or back in the frontier, never half-crawled.
+//!
+//! Resume correctness rests on BFS closure being frontier-order
+//! independent: the crawled set is the reachable set (minus permanently
+//! failing users), whatever order the frontier drains in. A resumed crawl
+//! therefore converges to the same canonical edge set as an uninterrupted
+//! one — the chaos suite asserts exactly that.
+
+use crate::config::CrawlerConfig;
+use gplus_service::ProfilePage;
+use serde::{Deserialize, Serialize};
+
+/// Current checkpoint format version. Bump on any incompatible change to
+/// [`CrawlCheckpoint`]; loading rejects other versions instead of
+/// misinterpreting bytes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Everything one worker collected for one user. Public (unlike the old
+/// crawl-internal struct) because checkpoints persist these.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrawledRecord {
+    /// The user's profile page.
+    pub page: ProfilePage,
+    /// Followers (users having this user in circles).
+    pub in_list: Vec<u64>,
+    /// Followees (users in this user's circles).
+    pub out_list: Vec<u64>,
+    /// Whether the in-list hit the service's truncation cap.
+    pub truncated_in: bool,
+    /// Whether the out-list hit the cap.
+    pub truncated_out: bool,
+    /// Whether the circle lists were private.
+    pub private: bool,
+    /// Retries spent on this user.
+    pub retries: u64,
+    /// Transient errors observed for this user.
+    pub transient: u64,
+    /// Rate-limit rejections observed for this user.
+    pub rate_limited: u64,
+    /// Simulated ticks spent backing off for this user.
+    #[serde(default)]
+    pub backoff_ticks: u64,
+}
+
+/// A coherent, versioned snapshot of crawl state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrawlCheckpoint {
+    /// Format version; must equal [`CHECKPOINT_VERSION`] to load.
+    pub version: u32,
+    /// The configuration the crawl ran under (resume reuses it).
+    pub config: CrawlerConfig,
+    /// Simulated clock at snapshot time.
+    pub clock: u64,
+    /// Discovery-ordered external user ids.
+    pub user_ids: Vec<u64>,
+    /// Users discovered but not yet crawled: the queue plus everything
+    /// that was in flight at snapshot time (in-flight work is rolled back
+    /// into the frontier — a half-crawled user is re-crawled on resume).
+    pub frontier: Vec<u64>,
+    /// Users whose retries exhausted, awaiting an end-of-frontier sweep.
+    pub dead_letters: Vec<u64>,
+    /// Sweep rounds still available to the dead-letter queue.
+    pub sweeps_left: usize,
+    /// Profiles started (for `max_profiles` accounting), not counting
+    /// rolled-back in-flight work.
+    pub started: usize,
+    /// Users dropped because the profile budget tripped.
+    pub dropped_on_budget: u64,
+    /// Dead-letter users requeued so far.
+    pub requeues: u64,
+    /// Dead-letter sweep rounds performed so far.
+    pub sweep_rounds: u64,
+    /// Users abandoned for good (retries and sweeps both exhausted).
+    pub failed: Vec<u64>,
+    /// Fully collected per-user records.
+    pub records: Vec<CrawledRecord>,
+}
+
+/// Why a checkpoint failed to load.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The snapshot's format version is not supported.
+    Version {
+        /// Version found in the snapshot.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The snapshot bytes failed to parse.
+    Parse(serde_json::Error),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Version { found, supported } => {
+                write!(f, "checkpoint version {found} unsupported (expected {supported})")
+            }
+            CheckpointError::Parse(e) => write!(f, "checkpoint failed to parse: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl CrawlCheckpoint {
+    /// Serialises the checkpoint to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoints serialise")
+    }
+
+    /// Loads a checkpoint saved by [`CrawlCheckpoint::to_json`],
+    /// rejecting unsupported versions.
+    pub fn from_json(json: &str) -> Result<Self, CheckpointError> {
+        let cp: CrawlCheckpoint = serde_json::from_str(json).map_err(CheckpointError::Parse)?;
+        if cp.version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::Version {
+                found: cp.version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
+        Ok(cp)
+    }
+
+    /// Profiles fully recorded in this snapshot.
+    pub fn crawled_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Users still awaiting work (frontier plus dead letters).
+    pub fn pending_count(&self) -> usize {
+        self.frontier.len() + self.dead_letters.len()
+    }
+}

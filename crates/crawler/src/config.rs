@@ -1,5 +1,6 @@
 //! Crawler configuration.
 
+use crate::retry::RetryPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Knobs of the BFS crawl.
@@ -12,14 +13,28 @@ pub struct CrawlerConfig {
     /// Concurrent worker threads — the paper's "11 machines with different
     /// IP addresses".
     pub machines: usize,
-    /// Maximum attempts per request before giving up on that request.
-    pub max_retries: usize,
+    /// Per-request retry behaviour (budgets, backoff, jitter).
+    #[serde(default)]
+    pub retry: RetryPolicy,
     /// Stop after crawling this many profiles (`None` = exhaust the
     /// frontier). Partial crawls feed the bias experiments.
     pub max_profiles: Option<usize>,
     /// Upper bound on circle-list pages fetched per direction per user
     /// (`None` = page to the end). Guards runaway lists in stress tests.
     pub max_pages_per_list: Option<usize>,
+    /// End-of-frontier sweep rounds over the dead-letter queue: users
+    /// whose retries exhausted are parked and re-queued this many times
+    /// once the frontier drains, so a mid-crawl outage does not
+    /// permanently cost their subtrees.
+    #[serde(default = "default_dead_letter_sweeps")]
+    pub dead_letter_sweeps: usize,
+    /// Snapshot the crawl every N collected profiles (`None` = never).
+    #[serde(default)]
+    pub checkpoint_every: Option<usize>,
+}
+
+fn default_dead_letter_sweeps() -> usize {
+    2
 }
 
 impl Default for CrawlerConfig {
@@ -28,9 +43,11 @@ impl Default for CrawlerConfig {
             // node 1 is Mark Zuckerberg in the seeded roster
             seeds: vec![1],
             machines: 11,
-            max_retries: 50,
+            retry: RetryPolicy::default(),
             max_profiles: None,
             max_pages_per_list: None,
+            dead_letter_sweeps: default_dead_letter_sweeps(),
+            checkpoint_every: None,
         }
     }
 }
@@ -39,16 +56,20 @@ impl CrawlerConfig {
     /// Validates the configuration.
     ///
     /// # Panics
-    /// Panics on an empty seed list, zero machines, or zero retries.
+    /// Panics on an empty seed list, zero machines, an invalid retry
+    /// policy, or non-positive budgets/cadences.
     pub fn validate(&self) {
         assert!(!self.seeds.is_empty(), "crawler needs at least one seed");
         assert!(self.machines >= 1, "crawler needs at least one machine");
-        assert!(self.max_retries >= 1, "crawler needs at least one attempt");
+        self.retry.validate();
         if let Some(m) = self.max_profiles {
             assert!(m >= 1, "max_profiles must be positive when set");
         }
         if let Some(p) = self.max_pages_per_list {
             assert!(p >= 1, "max_pages_per_list must be positive when set");
+        }
+        if let Some(k) = self.checkpoint_every {
+            assert!(k >= 1, "checkpoint_every must be positive when set");
         }
     }
 }
@@ -64,6 +85,8 @@ mod tests {
         assert_eq!(c.machines, 11);
         assert_eq!(c.seeds, vec![1]); // Mark Zuckerberg
         assert_eq!(c.max_profiles, None);
+        assert_eq!(c.dead_letter_sweeps, 2);
+        assert_eq!(c.checkpoint_every, None);
     }
 
     #[test]
@@ -79,10 +102,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one attempt")]
-    fn rejects_zero_retries() {
-        // max_retries counts *attempts*: 0 would mean never calling the
+    #[should_panic(expected = "transient_attempts")]
+    fn rejects_zero_retry_budget() {
+        // attempt budgets count *attempts*: 0 would mean never calling the
         // service and failing every request with a fabricated error
-        CrawlerConfig { max_retries: 0, ..CrawlerConfig::default() }.validate();
+        let retry = RetryPolicy { transient_attempts: 0, ..RetryPolicy::default() };
+        CrawlerConfig { retry, ..CrawlerConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint_every")]
+    fn rejects_zero_checkpoint_cadence() {
+        CrawlerConfig { checkpoint_every: Some(0), ..CrawlerConfig::default() }.validate();
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let c = CrawlerConfig {
+            max_profiles: Some(10),
+            checkpoint_every: Some(5),
+            ..CrawlerConfig::default()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CrawlerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
     }
 }

@@ -1,30 +1,35 @@
 //! The multi-worker bidirectional BFS crawl.
+//!
+//! Fault tolerance model:
+//!
+//! * every request runs under the configured [`RetryPolicy`] — bounded
+//!   budgets per error class, decorrelated-jitter backoff on a shared
+//!   [`SimClock`] (no wall-clock sleeps anywhere in the crawler);
+//! * users whose retries exhaust go to a **dead-letter queue** instead of
+//!   being abandoned: when the frontier drains, up to
+//!   [`CrawlerConfig::dead_letter_sweeps`] sweep rounds re-queue them, so
+//!   a mid-crawl outage does not permanently cost whole subtrees;
+//! * with [`CrawlerConfig::checkpoint_every`] set, workers take coherent
+//!   [`CrawlCheckpoint`] snapshots under the frontier lock;
+//!   [`Crawler::resume`] restarts from one and converges to the same
+//!   graph as an uninterrupted run (BFS closure is frontier-order
+//!   independent).
 
+use crate::checkpoint::{CrawlCheckpoint, CrawledRecord, CHECKPOINT_VERSION};
+use crate::clock::SimClock;
 use crate::config::CrawlerConfig;
 use crate::result::{CrawlResult, CrawlStats};
+use crate::retry::{RetryCounters, RetryPolicy};
 use gplus_graph::GraphBuilder;
 use gplus_service::{Direction, FetchError, ProfilePage, SocialApi};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 
-/// The crawler. Holds only configuration; all run state lives on the
-/// stack of [`Crawler::run`], so one crawler can run multiple crawls.
+/// The crawler. Holds only configuration; all run state lives in
+/// [`Crawler::run`]'s frame, so one crawler can run multiple crawls.
 #[derive(Debug, Clone)]
 pub struct Crawler {
     config: CrawlerConfig,
-}
-
-/// What one worker collected for one user.
-struct CrawledUser {
-    page: ProfilePage,
-    in_list: Vec<u64>,
-    out_list: Vec<u64>,
-    truncated_in: bool,
-    truncated_out: bool,
-    private: bool,
-    retries: u64,
-    transient: u64,
-    rate_limited: u64,
 }
 
 /// Frontier and bookkeeping shared between workers.
@@ -32,9 +37,20 @@ struct Shared {
     queue: VecDeque<u64>,
     discovered: HashMap<u64, u32>,
     user_ids: Vec<u64>,
-    in_flight: usize,
+    /// Identities (not just a count) of users being crawled right now —
+    /// checkpoints roll these back into the frontier.
+    in_flight: Vec<u64>,
     started: usize,
     stop: bool,
+    /// Users whose retry budgets exhausted, parked for a sweep round.
+    dead_letters: Vec<u64>,
+    sweeps_left: usize,
+    sweep_rounds: u64,
+    requeues: u64,
+    dropped_on_budget: u64,
+    /// Users abandoned for good (non-retryable error, or retries and
+    /// sweeps both exhausted).
+    failed: Vec<u64>,
 }
 
 impl Shared {
@@ -49,6 +65,15 @@ impl Shared {
             }
         }
     }
+}
+
+/// One crawl's complete run state.
+struct RunCtx {
+    shared: Mutex<Shared>,
+    work_ready: Condvar,
+    collected: Mutex<Vec<CrawledRecord>>,
+    snapshots: Mutex<Vec<CrawlCheckpoint>>,
+    clock: SimClock,
 }
 
 impl Crawler {
@@ -67,43 +92,117 @@ impl Crawler {
         Self::new(CrawlerConfig::default())
     }
 
+    /// The active configuration.
+    pub fn config(&self) -> &CrawlerConfig {
+        &self.config
+    }
+
     /// Runs a full crawl against any [`SocialApi`] transport.
     pub fn run<S: SocialApi>(&self, service: &S) -> CrawlResult {
-        let shared = Mutex::new(Shared {
-            queue: VecDeque::new(),
-            discovered: HashMap::new(),
-            user_ids: Vec::new(),
-            in_flight: 0,
-            started: 0,
-            stop: false,
-        });
-        let work_ready = Condvar::new();
-        {
-            let mut s = shared.lock();
-            for &seed in &self.config.seeds {
-                s.discover(seed);
-                s.queue.push_back(seed);
-            }
-        }
+        self.run_inner(service, None).0
+    }
 
-        let collected: Mutex<Vec<CrawledUser>> = Mutex::new(Vec::new());
-        let failed: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    /// Runs a full crawl, also returning every checkpoint taken along the
+    /// way (empty unless [`CrawlerConfig::checkpoint_every`] is set).
+    pub fn run_checkpointed<S: SocialApi>(
+        &self,
+        service: &S,
+    ) -> (CrawlResult, Vec<CrawlCheckpoint>) {
+        self.run_inner(service, None)
+    }
+
+    /// Resumes a crawl from a checkpoint: the frontier, discovery order,
+    /// collected records, counters and simulated clock all restore; users
+    /// that were in flight at snapshot time are re-crawled. Converges to
+    /// the same graph as the uninterrupted crawl would have.
+    pub fn resume<S: SocialApi>(service: &S, checkpoint: &CrawlCheckpoint) -> CrawlResult {
+        let crawler = Crawler::new(checkpoint.config.clone());
+        crawler.run_inner(service, Some(checkpoint)).0
+    }
+
+    fn run_inner<S: SocialApi>(
+        &self,
+        service: &S,
+        resume: Option<&CrawlCheckpoint>,
+    ) -> (CrawlResult, Vec<CrawlCheckpoint>) {
+        let ctx = match resume {
+            None => {
+                let mut shared = Shared {
+                    queue: VecDeque::new(),
+                    discovered: HashMap::new(),
+                    user_ids: Vec::new(),
+                    in_flight: Vec::new(),
+                    started: 0,
+                    stop: false,
+                    dead_letters: Vec::new(),
+                    sweeps_left: self.config.dead_letter_sweeps,
+                    sweep_rounds: 0,
+                    requeues: 0,
+                    dropped_on_budget: 0,
+                    failed: Vec::new(),
+                };
+                for &seed in &self.config.seeds {
+                    shared.discover(seed);
+                    shared.queue.push_back(seed);
+                }
+                RunCtx {
+                    shared: Mutex::new(shared),
+                    work_ready: Condvar::new(),
+                    collected: Mutex::new(Vec::new()),
+                    snapshots: Mutex::new(Vec::new()),
+                    clock: SimClock::new(),
+                }
+            }
+            Some(cp) => {
+                let mut discovered = HashMap::with_capacity(cp.user_ids.len());
+                for (node, &user) in cp.user_ids.iter().enumerate() {
+                    discovered.insert(user, node as u32);
+                }
+                RunCtx {
+                    shared: Mutex::new(Shared {
+                        queue: cp.frontier.iter().copied().collect(),
+                        discovered,
+                        user_ids: cp.user_ids.clone(),
+                        in_flight: Vec::new(),
+                        started: cp.started,
+                        stop: false,
+                        dead_letters: cp.dead_letters.clone(),
+                        sweeps_left: cp.sweeps_left,
+                        sweep_rounds: cp.sweep_rounds,
+                        requeues: cp.requeues,
+                        dropped_on_budget: cp.dropped_on_budget,
+                        failed: cp.failed.clone(),
+                    }),
+                    work_ready: Condvar::new(),
+                    collected: Mutex::new(cp.records.clone()),
+                    snapshots: Mutex::new(Vec::new()),
+                    clock: SimClock::starting_at(cp.clock),
+                }
+            }
+        };
 
         std::thread::scope(|scope| {
             for _ in 0..self.config.machines {
-                scope.spawn(|| self.worker(service, &shared, &work_ready, &collected, &failed));
+                scope.spawn(|| self.worker(service, &ctx));
             }
         });
 
         // --- assemble the result ---
+        let RunCtx { shared, collected, snapshots, clock, .. } = ctx;
         let shared = shared.into_inner();
         let collected = collected.into_inner();
-        let failed = failed.into_inner();
+        let snapshots = snapshots.into_inner();
 
         // users_discovered is set after interning: failed profiles' list
         // entries can add users beyond what the workers saw
-        let mut stats =
-            CrawlStats { failed_profiles: failed.len() as u64, ..CrawlStats::default() };
+        let mut stats = CrawlStats {
+            failed_profiles: (shared.failed.len() + shared.dead_letters.len()) as u64,
+            dead_letter_requeues: shared.requeues,
+            sweep_rounds: shared.sweep_rounds,
+            dropped_on_budget: shared.dropped_on_budget,
+            sim_ticks: clock.now(),
+            ..CrawlStats::default()
+        };
 
         // The graph covers every discovered user; edges come from both
         // directions of every crawled user's lists.
@@ -124,6 +223,7 @@ impl Crawler {
             stats.retries += item.retries;
             stats.transient_errors += item.transient;
             stats.rate_limited += item.rate_limited;
+            stats.backoff_ticks += item.backoff_ticks;
             if item.private {
                 stats.private_list_users += 1;
             }
@@ -149,21 +249,14 @@ impl Crawler {
         builder.ensure_nodes(user_ids.len());
         let graph = builder.build();
 
-        CrawlResult { user_ids, index, graph, pages, stats }
+        (CrawlResult { user_ids, index, graph, pages, stats }, snapshots)
     }
 
-    fn worker<S: SocialApi>(
-        &self,
-        service: &S,
-        shared: &Mutex<Shared>,
-        work_ready: &Condvar,
-        collected: &Mutex<Vec<CrawledUser>>,
-        failed: &Mutex<Vec<u64>>,
-    ) {
+    fn worker<S: SocialApi>(&self, service: &S, ctx: &RunCtx) {
         loop {
             // --- acquire a user to crawl ---
             let user = {
-                let mut s = shared.lock();
+                let mut s = ctx.shared.lock();
                 loop {
                     if s.stop {
                         return;
@@ -171,70 +264,113 @@ impl Crawler {
                     if let Some(u) = s.queue.pop_front() {
                         if let Some(budget) = self.config.max_profiles {
                             if s.started >= budget {
+                                s.dropped_on_budget += 1;
                                 s.stop = true;
-                                work_ready.notify_all();
+                                ctx.work_ready.notify_all();
                                 return;
                             }
                         }
                         s.started += 1;
-                        s.in_flight += 1;
+                        s.in_flight.push(u);
                         break u;
                     }
-                    if s.in_flight == 0 {
+                    if s.in_flight.is_empty() {
+                        if !s.dead_letters.is_empty() && s.sweeps_left > 0 {
+                            // end-of-frontier sweep: give every dead
+                            // letter another shot
+                            s.sweeps_left -= 1;
+                            s.sweep_rounds += 1;
+                            s.requeues += s.dead_letters.len() as u64;
+                            let retry_users = std::mem::take(&mut s.dead_letters);
+                            s.queue.extend(retry_users);
+                            ctx.work_ready.notify_all();
+                            continue;
+                        }
                         // frontier exhausted and nobody can refill it
-                        work_ready.notify_all();
+                        ctx.work_ready.notify_all();
                         return;
                     }
-                    work_ready.wait(&mut s);
+                    ctx.work_ready.wait(&mut s);
                 }
             };
 
             // --- crawl the user (no locks held) ---
-            let outcome = self.crawl_user(service, user);
+            let outcome = self.crawl_user(service, &ctx.clock, user);
 
             // --- publish results and refill the frontier ---
+            let mut s = ctx.shared.lock();
+            let pos =
+                s.in_flight.iter().position(|&u| u == user).expect("crawled user is in flight");
+            s.in_flight.swap_remove(pos);
             match outcome {
-                Ok(item) => {
-                    let mut s = shared.lock();
-                    for &other in item.in_list.iter().chain(&item.out_list) {
+                Ok(record) => {
+                    for &other in record.in_list.iter().chain(&record.out_list) {
                         let before = s.user_ids.len();
                         s.discover(other);
                         if s.user_ids.len() > before {
                             s.queue.push_back(other);
                         }
                     }
-                    s.in_flight -= 1;
-                    work_ready.notify_all();
-                    drop(s);
-                    collected.lock().push(item);
+                    // push the record and (maybe) snapshot while holding
+                    // the frontier lock: a checkpoint must see every user
+                    // either fully recorded or in the frontier, never
+                    // half-crawled
+                    let mut collected = ctx.collected.lock();
+                    collected.push(record);
+                    if self.config.checkpoint_every.is_some_and(|k| collected.len() % k == 0) {
+                        let cp = self.snapshot(&s, &collected, ctx.clock.now());
+                        ctx.snapshots.lock().push(cp);
+                    }
+                    drop(collected);
                 }
-                Err(_) => {
-                    let mut s = shared.lock();
-                    s.in_flight -= 1;
-                    work_ready.notify_all();
-                    drop(s);
-                    failed.lock().push(user);
+                Err(e) => {
+                    if e.is_retryable() {
+                        s.dead_letters.push(user);
+                    } else {
+                        s.failed.push(user);
+                    }
                 }
             }
+            ctx.work_ready.notify_all();
         }
     }
 
-    /// Fetches one user's profile and both circle lists, with retries.
+    /// A coherent snapshot of the crawl, taken under the frontier lock.
+    /// In-flight users roll back into the frontier (and out of `started`,
+    /// so resume re-counts them against the budget).
+    fn snapshot(&self, s: &Shared, collected: &[CrawledRecord], clock: u64) -> CrawlCheckpoint {
+        CrawlCheckpoint {
+            version: CHECKPOINT_VERSION,
+            config: self.config.clone(),
+            clock,
+            user_ids: s.user_ids.clone(),
+            frontier: s.in_flight.iter().chain(s.queue.iter()).copied().collect(),
+            dead_letters: s.dead_letters.clone(),
+            sweeps_left: s.sweeps_left,
+            started: s.started.saturating_sub(s.in_flight.len()),
+            dropped_on_budget: s.dropped_on_budget,
+            requeues: s.requeues,
+            sweep_rounds: s.sweep_rounds,
+            failed: s.failed.clone(),
+            records: collected.to_vec(),
+        }
+    }
+
+    /// Fetches one user's profile and both circle lists, with every
+    /// request under the retry policy on the simulated clock.
     fn crawl_user<S: SocialApi>(
         &self,
         service: &S,
+        clock: &SimClock,
         user: u64,
-    ) -> Result<CrawledUser, FetchError> {
-        let mut retries = 0u64;
-        let mut transient = 0u64;
-        let mut rate_limited = 0u64;
+    ) -> Result<CrawledRecord, FetchError> {
+        let policy: &RetryPolicy = &self.config.retry;
+        let mut counters = RetryCounters::default();
 
         let page =
-            self.with_retries(&mut retries, &mut transient, &mut rate_limited, || {
-                service.fetch_profile(user)
-            })?;
+            policy.execute(clock, user, &mut counters, || service.fetch_profile(user))?;
 
-        let mut item = CrawledUser {
+        let mut record = CrawledRecord {
             private: page.lists_private,
             page,
             in_list: Vec::new(),
@@ -244,9 +380,10 @@ impl Crawler {
             retries: 0,
             transient: 0,
             rate_limited: 0,
+            backoff_ticks: 0,
         };
 
-        if !item.private {
+        if !record.private {
             for direction in [Direction::InCircles, Direction::OutCircles] {
                 let mut page_no = 0usize;
                 loop {
@@ -255,12 +392,9 @@ impl Crawler {
                             break;
                         }
                     }
-                    let result = self.with_retries(
-                        &mut retries,
-                        &mut transient,
-                        &mut rate_limited,
-                        || service.fetch_circle_page(user, direction, page_no),
-                    );
+                    let result = policy.execute(clock, user, &mut counters, || {
+                        service.fetch_circle_page(user, direction, page_no)
+                    });
                     let circle = match result {
                         Ok(c) => c,
                         // a list can flip private between requests only in
@@ -270,12 +404,12 @@ impl Crawler {
                     };
                     match direction {
                         Direction::InCircles => {
-                            item.in_list.extend_from_slice(&circle.users);
-                            item.truncated_in |= circle.truncated;
+                            record.in_list.extend_from_slice(&circle.users);
+                            record.truncated_in |= circle.truncated;
                         }
                         Direction::OutCircles => {
-                            item.out_list.extend_from_slice(&circle.users);
-                            item.truncated_out |= circle.truncated;
+                            record.out_list.extend_from_slice(&circle.users);
+                            record.truncated_out |= circle.truncated;
                         }
                     }
                     if !circle.has_more {
@@ -286,53 +420,18 @@ impl Crawler {
             }
         }
 
-        item.retries = retries;
-        item.transient = transient;
-        item.rate_limited = rate_limited;
-        Ok(item)
-    }
-
-    /// Runs `attempt` up to `max_retries` times. Always makes at least one
-    /// attempt, even if a caller bypassed [`CrawlerConfig::validate`] with
-    /// `max_retries: 0` — the returned error must come from the service,
-    /// never be fabricated here.
-    fn with_retries<T>(
-        &self,
-        retries: &mut u64,
-        transient: &mut u64,
-        rate_limited: &mut u64,
-        mut attempt: impl FnMut() -> Result<T, FetchError>,
-    ) -> Result<T, FetchError> {
-        let attempts = self.config.max_retries.max(1);
-        let mut last = FetchError::Transient;
-        for try_no in 0..attempts {
-            match attempt() {
-                Ok(v) => return Ok(v),
-                Err(e @ FetchError::Transient) => {
-                    *transient += 1;
-                    last = e;
-                }
-                Err(e @ FetchError::RateLimited) => {
-                    *rate_limited += 1;
-                    // a real crawler sleeps here; in simulated time, the
-                    // retry itself advances the clock
-                    last = e;
-                    std::thread::yield_now();
-                }
-                Err(e) => return Err(e),
-            }
-            if try_no + 1 < attempts {
-                *retries += 1;
-            }
-        }
-        Err(last)
+        record.retries = counters.retries;
+        record.transient = counters.transient;
+        record.rate_limited = counters.rate_limited;
+        record.backoff_ticks = counters.backoff_ticks;
+        Ok(record)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gplus_service::{GooglePlusService, ServiceConfig};
+    use gplus_service::{FaultPlan, GooglePlusService, ServiceConfig};
     use gplus_synth::{SynthConfig, SynthNetwork};
 
     fn quiet_service(n: usize, seed: u64) -> GooglePlusService {
@@ -371,6 +470,11 @@ mod tests {
         );
         let result = Crawler::paper_setup().run(&svc);
         assert!(result.stats.transient_errors > 0, "failures should have occurred");
+        assert!(result.stats.backoff_ticks > 0, "retries must have backed off");
+        assert_eq!(
+            result.stats.sim_ticks, result.stats.backoff_ticks,
+            "all simulated time comes from backoff"
+        );
         let cov = result.coverage(&svc.ground_truth().graph);
         assert!(cov.node_coverage > 0.9, "node coverage {}", cov.node_coverage);
     }
@@ -401,11 +505,13 @@ mod tests {
         let crawler =
             Crawler::new(CrawlerConfig { max_profiles: Some(100), ..CrawlerConfig::default() });
         let result = crawler.run(&svc);
-        // workers in flight when the budget trips may add a handful over
-        assert!(result.crawled_count() <= 100 + 11, "crawled {}", result.crawled_count());
+        assert!(result.crawled_count() <= 100, "crawled {}", result.crawled_count());
         assert!(result.crawled_count() >= 50);
         // discovered exceeds crawled, as in the paper (35.1M vs 27.5M)
         assert!(result.discovered_count() > result.crawled_count());
+        // the user popped when the budget tripped is counted, not silently
+        // dropped
+        assert!(result.stats.dropped_on_budget >= 1, "budget trip must be visible in stats");
     }
 
     #[test]
@@ -414,7 +520,7 @@ mod tests {
             let svc = quiet_service(800, seed);
             let crawler = Crawler::new(CrawlerConfig { machines: 1, ..Default::default() });
             let r = crawler.run(&svc);
-            (r.user_ids.clone(), r.graph.edge_count())
+            (r.user_ids.clone(), r.graph.edge_count(), r.stats.clone())
         };
         assert_eq!(run(31), run(31));
     }
@@ -457,45 +563,132 @@ mod tests {
     }
 
     #[test]
-    fn with_retries_always_attempts_at_least_once() {
-        // regression: with max_retries == 0 (validate bypassed by direct
-        // construction), with_retries used to skip the loop entirely and
-        // return a fabricated Transient error without calling the service
-        for max_retries in [0usize, 1] {
-            let crawler =
-                Crawler { config: CrawlerConfig { max_retries, ..Default::default() } };
-            let (mut r, mut t, mut rl) = (0u64, 0u64, 0u64);
-            let mut calls = 0u32;
-            let result = crawler.with_retries(&mut r, &mut t, &mut rl, || {
-                calls += 1;
-                Ok::<u32, FetchError>(7)
-            });
-            assert_eq!(result, Ok(7), "max_retries={max_retries}");
-            assert_eq!(calls, 1, "exactly one attempt for max_retries={max_retries}");
-            assert_eq!(r, 0, "a lone attempt is not a retry");
-        }
-    }
-
-    #[test]
-    fn with_retries_error_comes_from_the_service() {
-        let crawler =
-            Crawler { config: CrawlerConfig { max_retries: 0, ..Default::default() } };
-        let (mut r, mut t, mut rl) = (0u64, 0u64, 0u64);
-        let mut calls = 0u32;
-        let result: Result<u32, FetchError> =
-            crawler.with_retries(&mut r, &mut t, &mut rl, || {
-                calls += 1;
-                Err(FetchError::RateLimited)
-            });
-        assert_eq!(calls, 1, "the service must be consulted before failing");
-        assert_eq!(result, Err(FetchError::RateLimited));
-        assert_eq!(rl, 1);
-    }
-
-    #[test]
     fn seed_is_first_discovered() {
         let svc = quiet_service(800, 27);
         let result = Crawler::paper_setup().run(&svc);
         assert_eq!(result.user_of(0), 1, "Mark Zuckerberg (user 1) is the seed");
+    }
+
+    #[test]
+    fn dead_letter_sweep_recovers_outage_victims() {
+        // an outage long enough to exhaust a user's transient budget sends
+        // it to the dead-letter queue; the sweep re-crawls it after the
+        // outage lifted, so coverage stays complete
+        let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(800, 28));
+        let retry = RetryPolicy { transient_attempts: 3, ..RetryPolicy::default() };
+        let svc = GooglePlusService::new(
+            net,
+            ServiceConfig {
+                failure_rate: 0.0,
+                private_list_fraction: 0.0,
+                fault_plan: FaultPlan::none().with_outage(200, 40),
+                ..Default::default()
+            },
+        );
+        let crawler = Crawler::new(CrawlerConfig { retry, ..CrawlerConfig::default() });
+        let result = crawler.run(&svc);
+        assert!(
+            result.stats.dead_letter_requeues > 0,
+            "the outage should have dead-lettered someone"
+        );
+        assert_eq!(result.stats.failed_profiles, 0, "sweeps should recover everyone");
+        let cov = result.coverage(&svc.ground_truth().graph);
+        assert!(cov.node_coverage > 0.95, "node coverage {}", cov.node_coverage);
+    }
+
+    #[test]
+    fn permanently_failing_user_lands_in_failed_after_sweeps() {
+        let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(600, 29));
+        // user 2 is an early celebrity: reachable, and permafailed
+        let retry = RetryPolicy { transient_attempts: 2, ..RetryPolicy::default() };
+        let svc = GooglePlusService::new(
+            net,
+            ServiceConfig {
+                failure_rate: 0.0,
+                private_list_fraction: 0.0,
+                fault_plan: FaultPlan::none().with_permafail_users([2]),
+                ..Default::default()
+            },
+        );
+        let crawler = Crawler::new(CrawlerConfig {
+            retry,
+            dead_letter_sweeps: 2,
+            ..CrawlerConfig::default()
+        });
+        let result = crawler.run(&svc);
+        assert_eq!(result.stats.failed_profiles, 1);
+        // one initial crawl + two sweeps = two requeues
+        assert_eq!(result.stats.dead_letter_requeues, 2);
+        assert_eq!(result.stats.sweep_rounds, 2);
+        assert!(result.node_of(2).is_some(), "the user is discovered, just not crawled");
+        assert!(!result.pages.contains_key(&result.node_of(2).unwrap()));
+    }
+
+    #[test]
+    fn checkpoints_are_taken_at_cadence() {
+        let svc = quiet_service(800, 30);
+        let crawler = Crawler::new(CrawlerConfig {
+            checkpoint_every: Some(50),
+            ..CrawlerConfig::default()
+        });
+        let (result, snapshots) = crawler.run_checkpointed(&svc);
+        let expected = result.crawled_count() / 50;
+        assert_eq!(snapshots.len(), expected, "one snapshot per 50 profiles");
+        for cp in &snapshots {
+            assert_eq!(cp.version, CHECKPOINT_VERSION);
+            // coherence: recorded + pending covers every discovered user
+            // that is not failed
+            assert!(
+                cp.crawled_count() + cp.pending_count() + cp.failed.len() <= cp.user_ids.len()
+            );
+        }
+    }
+
+    #[test]
+    fn resume_from_checkpoint_converges_to_uninterrupted_graph() {
+        let canon = |r: &CrawlResult| {
+            let mut edges: Vec<(u64, u64)> =
+                r.graph.edges().map(|(a, b)| (r.user_of(a), r.user_of(b))).collect();
+            edges.sort_unstable();
+            edges
+        };
+        let uninterrupted = Crawler::paper_setup().run(&quiet_service(800, 32));
+        let crawler = Crawler::new(CrawlerConfig {
+            checkpoint_every: Some(100),
+            ..CrawlerConfig::default()
+        });
+        let (_, snapshots) = crawler.run_checkpointed(&quiet_service(800, 32));
+        assert!(!snapshots.is_empty(), "test premise: at least one checkpoint");
+        // "kill" the crawl at the first checkpoint, restart on a fresh
+        // service (the crawler process died; the service did not lose the
+        // social graph)
+        let resumed = Crawler::resume(&quiet_service(800, 32), &snapshots[0]);
+        assert_eq!(canon(&resumed), canon(&uninterrupted));
+        assert_eq!(resumed.stats.profiles_crawled, uninterrupted.stats.profiles_crawled);
+    }
+
+    #[test]
+    fn resume_restores_clock_and_counters() {
+        let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(600, 33));
+        let svc = GooglePlusService::new(
+            net,
+            ServiceConfig {
+                failure_rate: 0.15,
+                private_list_fraction: 0.0,
+                ..Default::default()
+            },
+        );
+        let crawler = Crawler::new(CrawlerConfig {
+            checkpoint_every: Some(40),
+            ..CrawlerConfig::default()
+        });
+        let (_, snapshots) = crawler.run_checkpointed(&svc);
+        assert!(!snapshots.is_empty());
+        let cp = &snapshots[0];
+        let resumed = Crawler::resume(&svc, cp);
+        assert!(
+            resumed.stats.sim_ticks >= cp.clock,
+            "resumed clock starts where the checkpoint left off"
+        );
     }
 }

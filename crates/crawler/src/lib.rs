@@ -8,9 +8,15 @@
 //! This crate reproduces that measurement apparatus:
 //!
 //! * [`Crawler`] — a multi-worker BFS: a shared FIFO frontier, `machines`
-//!   worker threads (the paper's 11), per-request retry with bounded
-//!   attempts, pagination over both circle lists, and discovery-order node
-//!   id assignment (the crawler never peeks at ground truth).
+//!   worker threads (the paper's 11), per-request retry under a
+//!   [`RetryPolicy`] (class-specific budgets, decorrelated-jitter backoff
+//!   on a simulated [`SimClock`]), a dead-letter queue with
+//!   end-of-frontier sweeps, pagination over both circle lists, and
+//!   discovery-order node id assignment (the crawler never peeks at
+//!   ground truth).
+//! * [`CrawlCheckpoint`] — versioned snapshots of crawl state at a
+//!   configurable cadence; [`Crawler::resume`] restarts a killed crawl
+//!   and converges to the same graph as an uninterrupted run.
 //! * [`CrawlResult`] — the collected profiles and edge list, compacted into
 //!   a [`gplus_graph::CsrGraph`] whose nodes include users *seen but not
 //!   crawled* — exactly why the paper's graph has 35.1M nodes from 27.5M
@@ -26,14 +32,20 @@
 //!   samplers compare head-to-head.
 
 pub mod bias;
+pub mod checkpoint;
+pub mod clock;
 pub mod config;
 pub mod crawl;
 pub mod lost_edges;
 pub mod result;
+pub mod retry;
 pub mod sampler;
 
+pub use checkpoint::{CheckpointError, CrawlCheckpoint, CrawledRecord, CHECKPOINT_VERSION};
+pub use clock::SimClock;
 pub use config::CrawlerConfig;
 pub use crawl::Crawler;
 pub use lost_edges::LostEdgeEstimate;
 pub use result::{CrawlResult, CrawlStats};
+pub use retry::{RetryCounters, RetryPolicy};
 pub use sampler::{mhrw, MhrwConfig, MhrwSample};

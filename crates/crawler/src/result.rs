@@ -30,8 +30,25 @@ pub struct CrawlStats {
     pub truncated_in_lists: u64,
     /// Users whose out-circles list hit the cap.
     pub truncated_out_lists: u64,
-    /// Users abandoned after exhausting retries.
+    /// Users abandoned after exhausting retries *and* dead-letter sweeps.
     pub failed_profiles: u64,
+    /// Simulated clock ticks spent backing off across all requests.
+    #[serde(default)]
+    pub backoff_ticks: u64,
+    /// Final simulated clock reading (total backoff the whole crawl paid).
+    #[serde(default)]
+    pub sim_ticks: u64,
+    /// Users re-queued from the dead-letter queue by sweep rounds.
+    #[serde(default)]
+    pub dead_letter_requeues: u64,
+    /// End-of-frontier sweep rounds performed over the dead-letter queue.
+    #[serde(default)]
+    pub sweep_rounds: u64,
+    /// Users popped from the frontier but dropped because the profile
+    /// budget had tripped. Previously these silently vanished, making
+    /// `started` accounting unauditable.
+    #[serde(default)]
+    pub dropped_on_budget: u64,
 }
 
 /// Everything a crawl produced.

@@ -1,0 +1,305 @@
+//! Retry policy: exponential backoff with decorrelated jitter on a
+//! simulated clock.
+//!
+//! The seed crawler retried in a bare loop with `yield_now()` — no
+//! backoff, no per-error budgets, untestable timing. [`RetryPolicy`]
+//! replaces it:
+//!
+//! * **separate budgets** for [`FetchError::Transient`] (give up early —
+//!   the user may be permanently broken) and [`FetchError::RateLimited`]
+//!   (be patient — the bucket refills with time);
+//! * **decorrelated jitter** (the AWS Architecture Blog scheme):
+//!   `sleep = min(cap, base + uniform(0, 3·prev − base))`, which spreads
+//!   synchronized workers apart after a shared outage instead of letting
+//!   them retry in lockstep;
+//! * **deterministic jitter**: the "random" draw hashes
+//!   `(jitter_seed, user, attempt)`, so a rerun with the same seeds waits
+//!   the same ticks — and because decisions are per-user, the *total*
+//!   backoff spent is independent of how workers interleave;
+//! * **simulated time**: waits advance a [`SimClock`], never a wall clock.
+
+use crate::clock::SimClock;
+use gplus_service::failure::splitmix64;
+use gplus_service::FetchError;
+use serde::{Deserialize, Serialize};
+
+/// Stream-separation constant for jitter draws.
+const STREAM_JITTER: u64 = 0xd6e8_feb8_6659_fd93;
+
+/// Retry behaviour for one logical request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Attempts allowed when the service answers [`FetchError::Transient`].
+    pub transient_attempts: usize,
+    /// Attempts allowed when the service answers
+    /// [`FetchError::RateLimited`]. Rate limiting heals with time, so this
+    /// budget is typically much larger than the transient one.
+    pub rate_limited_attempts: usize,
+    /// Minimum backoff per retry, in clock ticks (>= 1).
+    pub base_backoff: u64,
+    /// Backoff cap per retry, in clock ticks (>= `base_backoff`).
+    pub max_backoff: u64,
+    /// Seed for the deterministic jitter draws.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            transient_attempts: 50,
+            rate_limited_attempts: 400,
+            base_backoff: 1,
+            max_backoff: 1_024,
+            jitter_seed: 0x7e57_ab1e_c0ff_ee00,
+        }
+    }
+}
+
+/// Counters one retried request accumulates.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RetryCounters {
+    /// Failed attempts that led to another attempt.
+    pub retries: u64,
+    /// Transient errors observed.
+    pub transient: u64,
+    /// Rate-limit rejections observed.
+    pub rate_limited: u64,
+    /// Simulated ticks spent backing off.
+    pub backoff_ticks: u64,
+}
+
+impl RetryPolicy {
+    /// Validates the policy.
+    ///
+    /// # Panics
+    /// Panics on zero attempt budgets, a zero base, or a cap below the
+    /// base.
+    pub fn validate(&self) {
+        assert!(self.transient_attempts >= 1, "transient_attempts must be >= 1");
+        assert!(self.rate_limited_attempts >= 1, "rate_limited_attempts must be >= 1");
+        assert!(self.base_backoff >= 1, "base_backoff must be >= 1 tick");
+        assert!(self.max_backoff >= self.base_backoff, "max_backoff must be >= base_backoff");
+    }
+
+    /// The decorrelated-jitter wait before retry number `attempt` of a
+    /// request for `user`, given the previous wait. Deterministic in
+    /// `(jitter_seed, user, attempt)`.
+    pub fn backoff(&self, user: u64, attempt: u32, prev: u64) -> u64 {
+        // span of the uniform draw: [0, 3·prev − base), at least 1 wide
+        let ceiling = prev.saturating_mul(3).max(self.base_backoff + 1);
+        let span = ceiling - self.base_backoff;
+        let h = splitmix64(
+            self.jitter_seed.wrapping_mul(STREAM_JITTER)
+                ^ splitmix64(user)
+                ^ u64::from(attempt).rotate_left(23),
+        );
+        (self.base_backoff + h % span).min(self.max_backoff)
+    }
+
+    /// Runs `attempt` until it succeeds, exhausts the budget matching its
+    /// error class, or fails non-retryably. Always makes at least one
+    /// attempt; the returned error always comes from the service, never
+    /// fabricated here. Each retry advances `clock` by the jittered
+    /// backoff and accumulates into `counters`.
+    pub fn execute<T>(
+        &self,
+        clock: &SimClock,
+        user: u64,
+        counters: &mut RetryCounters,
+        mut attempt: impl FnMut() -> Result<T, FetchError>,
+    ) -> Result<T, FetchError> {
+        let mut transient_left = self.transient_attempts.max(1);
+        let mut rate_limited_left = self.rate_limited_attempts.max(1);
+        let mut prev = self.base_backoff;
+        let mut attempt_no: u32 = 0;
+        loop {
+            match attempt() {
+                Ok(v) => return Ok(v),
+                Err(e @ FetchError::Transient) => {
+                    counters.transient += 1;
+                    transient_left -= 1;
+                    if transient_left == 0 {
+                        return Err(e);
+                    }
+                }
+                Err(e @ FetchError::RateLimited) => {
+                    counters.rate_limited += 1;
+                    rate_limited_left -= 1;
+                    if rate_limited_left == 0 {
+                        return Err(e);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+            counters.retries += 1;
+            let pause = self.backoff(user, attempt_no, prev);
+            prev = pause;
+            counters.backoff_ticks += pause;
+            clock.advance(pause);
+            attempt_no += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy { transient_attempts: 5, rate_limited_attempts: 8, ..Default::default() }
+    }
+
+    #[test]
+    fn success_needs_no_backoff() {
+        let clock = SimClock::new();
+        let mut counters = RetryCounters::default();
+        let mut calls = 0u32;
+        let r = policy().execute(&clock, 1, &mut counters, || {
+            calls += 1;
+            Ok::<u32, FetchError>(7)
+        });
+        assert_eq!(r, Ok(7));
+        assert_eq!(calls, 1);
+        assert_eq!(clock.now(), 0, "no backoff on immediate success");
+        assert_eq!(counters, RetryCounters::default());
+    }
+
+    #[test]
+    fn always_attempts_at_least_once() {
+        // regression carried over from the old with_retries: zero budgets
+        // (validate bypassed) must still consult the service once
+        let p = RetryPolicy { transient_attempts: 0, rate_limited_attempts: 0, ..policy() };
+        let clock = SimClock::new();
+        let mut counters = RetryCounters::default();
+        let mut calls = 0u32;
+        let r = p.execute(&clock, 1, &mut counters, || {
+            calls += 1;
+            Ok::<u32, FetchError>(9)
+        });
+        assert_eq!(r, Ok(9));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn error_comes_from_the_service() {
+        let clock = SimClock::new();
+        let mut counters = RetryCounters::default();
+        let mut calls = 0u32;
+        let r: Result<u32, FetchError> = policy().execute(&clock, 1, &mut counters, || {
+            calls += 1;
+            Err(FetchError::NotFound)
+        });
+        assert_eq!(calls, 1, "non-retryable errors end the loop immediately");
+        assert_eq!(r, Err(FetchError::NotFound));
+        assert_eq!(clock.now(), 0);
+    }
+
+    #[test]
+    fn transient_budget_is_separate_from_rate_limit_budget() {
+        let p = policy(); // 5 transient, 8 rate-limited
+        let clock = SimClock::new();
+        let mut counters = RetryCounters::default();
+        let r: Result<u32, FetchError> =
+            p.execute(&clock, 1, &mut counters, || Err(FetchError::Transient));
+        assert_eq!(r, Err(FetchError::Transient));
+        assert_eq!(counters.transient, 5);
+        assert_eq!(counters.retries, 4, "the exhausting failure is not a retry");
+
+        let mut counters = RetryCounters::default();
+        let r: Result<u32, FetchError> =
+            p.execute(&clock, 1, &mut counters, || Err(FetchError::RateLimited));
+        assert_eq!(r, Err(FetchError::RateLimited));
+        assert_eq!(counters.rate_limited, 8);
+    }
+
+    #[test]
+    fn mixed_errors_draw_from_both_budgets() {
+        let p = policy();
+        let clock = SimClock::new();
+        let mut counters = RetryCounters::default();
+        let mut calls = 0u32;
+        // alternate Transient / RateLimited; succeed on call 7
+        let r = p.execute(&clock, 1, &mut counters, || {
+            calls += 1;
+            match calls {
+                7 => Ok(1u32),
+                n if n % 2 == 1 => Err(FetchError::Transient),
+                _ => Err(FetchError::RateLimited),
+            }
+        });
+        assert_eq!(r, Ok(1));
+        assert_eq!(counters.transient, 3);
+        assert_eq!(counters.rate_limited, 3);
+        assert_eq!(counters.retries, 6);
+    }
+
+    #[test]
+    fn backoff_advances_the_simulated_clock() {
+        let p = policy();
+        let clock = SimClock::new();
+        let mut counters = RetryCounters::default();
+        let _: Result<u32, FetchError> =
+            p.execute(&clock, 42, &mut counters, || Err(FetchError::Transient));
+        assert!(counters.backoff_ticks > 0, "retries must back off");
+        assert_eq!(
+            clock.now(),
+            counters.backoff_ticks,
+            "every backoff tick lands on the shared clock"
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        let mut prev = p.base_backoff;
+        for attempt in 0..40u32 {
+            let a = p.backoff(9, attempt, prev);
+            let b = p.backoff(9, attempt, prev);
+            assert_eq!(a, b);
+            assert!(a >= p.base_backoff && a <= p.max_backoff, "attempt {attempt}: {a}");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn backoff_grows_from_base_toward_cap() {
+        let p = RetryPolicy::default();
+        // follow the decorrelated chain; it must reach well above base and
+        // respect the cap
+        let mut prev = p.base_backoff;
+        let mut peak = 0u64;
+        for attempt in 0..64u32 {
+            prev = p.backoff(3, attempt, prev);
+            peak = peak.max(prev);
+        }
+        assert!(peak > p.base_backoff * 8, "jitter never grew: peak {peak}");
+        assert!(peak <= p.max_backoff);
+    }
+
+    #[test]
+    fn different_users_get_decorrelated_schedules() {
+        let p = RetryPolicy::default();
+        let chain = |user: u64| {
+            let mut prev = p.base_backoff;
+            (0..10u32)
+                .map(|a| {
+                    prev = p.backoff(user, a, prev);
+                    prev
+                })
+                .collect::<Vec<u64>>()
+        };
+        assert_ne!(chain(1), chain(2), "users must not retry in lockstep");
+    }
+
+    #[test]
+    #[should_panic(expected = "transient_attempts")]
+    fn validate_rejects_zero_transient_budget() {
+        RetryPolicy { transient_attempts: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_backoff")]
+    fn validate_rejects_cap_below_base() {
+        RetryPolicy { base_backoff: 10, max_backoff: 5, ..Default::default() }.validate();
+    }
+}

@@ -5,8 +5,10 @@
 //! retry with a new nonce can succeed, runs are reproducible bit-for-bit,
 //! and no shared RNG state serialises the concurrent workers.
 
-/// SplitMix64 finaliser — a well-mixed 64-bit hash.
-fn splitmix64(mut x: u64) -> u64 {
+/// SplitMix64 finaliser — a well-mixed 64-bit hash. Public because every
+/// seed-derived decision in the workspace (fault plans, retry jitter,
+/// frame corruption) hashes through it.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

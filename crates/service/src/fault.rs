@@ -1,0 +1,406 @@
+//! Composable fault plans.
+//!
+//! [`crate::failure::FailureInjector`] models one failure mode: i.i.d.
+//! transient errors. Real crawls see richer weather — whole-service
+//! outages, correlated bursts of 5xxs, and individual accounts that never
+//! load. A [`FaultPlan`] composes those modes; every decision is a pure
+//! function of `(plan, seed, key)`, so runs are reproducible bit-for-bit
+//! and no RNG state serialises the concurrent workers.
+//!
+//! Two kinds of keys drive the plan, with different determinism scopes:
+//!
+//! * **per-user keys** (`user`, per-user `attempt` counter) drive the
+//!   Bernoulli and permanent-failure modes. These are independent of how
+//!   requests from concurrent workers interleave, so crawl statistics
+//!   under a plan using only these modes are identical across machine
+//!   counts.
+//! * **sequence keys** (the global request sequence number `seq`) drive
+//!   outage windows and bursts. These model *service-side* weather: which
+//!   user a given outage hits depends on arrival order, so under these
+//!   modes only coverage/accounting invariants — not exact statistics —
+//!   are stable across machine counts.
+
+use crate::failure::splitmix64;
+use serde::{Deserialize, Serialize};
+
+/// Stream-separation constants: each fault mode hashes the seed through a
+/// distinct odd multiplier so enabling one mode never perturbs another.
+const STREAM_BERNOULLI: u64 = 0x9e6c_6df1_d0b5_a329;
+const STREAM_PERMAFAIL: u64 = 0xc2b2_ae3d_27d4_eb4f;
+const STREAM_BURST: u64 = 0x1656_67b1_9e37_79f9;
+
+/// Identifies one request attempt for fault decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultKey {
+    /// Global request sequence number (arrival order at the service).
+    pub seq: u64,
+    /// Target user.
+    pub user: u64,
+    /// Per-user attempt counter (how many requests for this user the
+    /// service has admitted before this one).
+    pub attempt: u64,
+}
+
+/// Why an injected fault fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultCause {
+    /// I.i.d. per-attempt coin.
+    Bernoulli,
+    /// A scheduled outage window covered this request.
+    Outage,
+    /// A correlated burst covered this request's sequence block.
+    Burst,
+    /// The target user permanently fails.
+    Permafail,
+}
+
+impl std::fmt::Display for FaultCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultCause::Bernoulli => f.write_str("bernoulli"),
+            FaultCause::Outage => f.write_str("outage"),
+            FaultCause::Burst => f.write_str("burst"),
+            FaultCause::Permafail => f.write_str("permafail"),
+        }
+    }
+}
+
+/// A deterministic outage: every request whose sequence number lands in
+/// `[start, start + len)` fails transiently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// First affected sequence number.
+    pub start: u64,
+    /// Number of consecutive affected sequence numbers.
+    pub len: u64,
+}
+
+impl OutageWindow {
+    /// Whether `seq` falls inside the window.
+    pub fn covers(&self, seq: u64) -> bool {
+        seq >= self.start && seq - self.start < self.len
+    }
+}
+
+/// Correlated failure runs: the sequence space is cut into blocks of
+/// `block_len`; each block independently fails *in its entirety* with
+/// probability `fail_prob`. Models the observation that real 5xxs arrive
+/// in runs, not i.i.d.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstSpec {
+    /// Requests per burst block (>= 1).
+    pub block_len: u64,
+    /// Probability a given block fails entirely, in `[0, 1]`.
+    pub fail_prob: f64,
+}
+
+/// A composable, seed-derived fault schedule. All modes default to off;
+/// the builder methods switch individual modes on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    /// I.i.d. probability any single attempt fails, keyed on
+    /// `(user, attempt)` so it is interleaving-independent.
+    #[serde(default)]
+    pub bernoulli_rate: f64,
+    /// Scheduled outage windows over the request sequence space.
+    #[serde(default)]
+    pub outages: Vec<OutageWindow>,
+    /// Correlated burst failures over sequence blocks.
+    #[serde(default)]
+    pub burst: Option<BurstSpec>,
+    /// Fraction of users that fail permanently (seed-derived coin).
+    #[serde(default)]
+    pub permafail_fraction: f64,
+    /// Explicit users that fail permanently (in addition to the fraction).
+    #[serde(default)]
+    pub permafail_users: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// A plan injecting no faults at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan with only the i.i.d. mode, equivalent to the legacy
+    /// `failure_rate` knob.
+    pub fn uniform(rate: f64) -> Self {
+        Self { bernoulli_rate: rate, ..Self::default() }
+    }
+
+    /// Adds an outage window.
+    pub fn with_outage(mut self, start: u64, len: u64) -> Self {
+        self.outages.push(OutageWindow { start, len });
+        self
+    }
+
+    /// Enables correlated bursts.
+    pub fn with_burst(mut self, block_len: u64, fail_prob: f64) -> Self {
+        self.burst = Some(BurstSpec { block_len, fail_prob });
+        self
+    }
+
+    /// Marks a fraction of users as permanently failing.
+    pub fn with_permafail_fraction(mut self, fraction: f64) -> Self {
+        self.permafail_fraction = fraction;
+        self
+    }
+
+    /// Marks explicit users as permanently failing.
+    pub fn with_permafail_users(mut self, users: impl IntoIterator<Item = u64>) -> Self {
+        self.permafail_users.extend(users);
+        self
+    }
+
+    /// Whether the plan injects nothing (fast path for quiet services).
+    pub fn is_quiet(&self) -> bool {
+        self.bernoulli_rate <= 0.0
+            && self.outages.is_empty()
+            && self.burst.is_none()
+            && self.permafail_fraction <= 0.0
+            && self.permafail_users.is_empty()
+    }
+
+    /// Whether every configured mode is keyed purely on `(user, attempt)`,
+    /// i.e. the plan's decisions do not depend on request interleaving.
+    pub fn is_interleaving_independent(&self) -> bool {
+        self.outages.is_empty() && self.burst.is_none()
+    }
+
+    /// Validates probabilities and window shapes.
+    ///
+    /// # Panics
+    /// Panics on rates outside `[0, 1]` (NaN included) or zero-length
+    /// burst blocks.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.bernoulli_rate),
+            "bernoulli_rate must be in [0,1], got {}",
+            self.bernoulli_rate
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.permafail_fraction),
+            "permafail_fraction must be in [0,1], got {}",
+            self.permafail_fraction
+        );
+        if let Some(burst) = &self.burst {
+            assert!(burst.block_len >= 1, "burst block_len must be >= 1");
+            assert!(
+                (0.0..=1.0).contains(&burst.fail_prob),
+                "burst fail_prob must be in [0,1], got {}",
+                burst.fail_prob
+            );
+        }
+        for w in &self.outages {
+            assert!(w.len >= 1, "outage windows must cover at least one request");
+        }
+    }
+
+    /// Whether `user` is marked permanently failing under `seed`.
+    pub fn permafails(&self, seed: u64, user: u64) -> bool {
+        if self.permafail_users.contains(&user) {
+            return true;
+        }
+        coin(seed.wrapping_mul(STREAM_PERMAFAIL) ^ splitmix64(user), self.permafail_fraction)
+    }
+
+    /// Decides whether the attempt identified by `key` fails, and why.
+    /// Pure: the same `(plan, seed, key)` always yields the same answer.
+    /// Checks the modes most specific first: permafail, then outage, then
+    /// burst, then the i.i.d. coin.
+    pub fn decide(&self, seed: u64, key: FaultKey) -> Option<FaultCause> {
+        if self.permafails(seed, key.user) {
+            return Some(FaultCause::Permafail);
+        }
+        if self.outages.iter().any(|w| w.covers(key.seq)) {
+            return Some(FaultCause::Outage);
+        }
+        if let Some(burst) = &self.burst {
+            let block = key.seq / burst.block_len.max(1);
+            if coin(seed.wrapping_mul(STREAM_BURST) ^ splitmix64(block), burst.fail_prob) {
+                return Some(FaultCause::Burst);
+            }
+        }
+        let h = seed.wrapping_mul(STREAM_BERNOULLI)
+            ^ splitmix64(key.user)
+            ^ splitmix64(key.attempt.rotate_left(17));
+        if coin(h, self.bernoulli_rate) {
+            return Some(FaultCause::Bernoulli);
+        }
+        None
+    }
+}
+
+/// Maps a hash input to `[0, 1)` and compares against `rate`.
+fn coin(input: u64, rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        return true;
+    }
+    let u = (splitmix64(input) >> 11) as f64 / (1u64 << 53) as f64;
+    u < rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEED: u64 = 0xfeed_beef;
+
+    #[test]
+    fn quiet_plan_never_fails() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_quiet());
+        for seq in 0..1000 {
+            let key = FaultKey { seq, user: seq % 37, attempt: seq % 3 };
+            assert_eq!(plan.decide(SEED, key), None);
+        }
+    }
+
+    #[test]
+    fn uniform_matches_configured_rate() {
+        let plan = FaultPlan::uniform(0.25);
+        let n = 40_000u64;
+        let fails = (0..n)
+            .filter(|&i| {
+                plan.decide(SEED, FaultKey { seq: i, user: i % 997, attempt: i / 997 })
+                    .is_some()
+            })
+            .count();
+        let rate = fails as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn bernoulli_is_independent_of_seq() {
+        // the i.i.d. mode keys on (user, attempt) only: permuting seq must
+        // not change any decision — this is what makes crawl stats
+        // machine-count-invariant
+        let plan = FaultPlan::uniform(0.4);
+        for user in 0..200u64 {
+            for attempt in 0..4u64 {
+                let a = plan.decide(SEED, FaultKey { seq: 10, user, attempt });
+                let b = plan.decide(SEED, FaultKey { seq: 99_999, user, attempt });
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn retry_escapes_bernoulli() {
+        let plan = FaultPlan::uniform(0.5);
+        let user = (0..500u64)
+            .find(|&u| plan.decide(SEED, FaultKey { seq: 0, user: u, attempt: 0 }).is_some())
+            .expect("some first attempt fails");
+        assert!((1..30u64).any(|attempt| plan
+            .decide(SEED, FaultKey { seq: attempt, user, attempt })
+            .is_none()));
+    }
+
+    #[test]
+    fn outage_window_covers_exactly_its_range() {
+        let plan = FaultPlan::none().with_outage(100, 50);
+        for seq in 0..300u64 {
+            let got = plan.decide(SEED, FaultKey { seq, user: 1, attempt: 0 });
+            if (100..150).contains(&seq) {
+                assert_eq!(got, Some(FaultCause::Outage), "seq {seq}");
+            } else {
+                assert_eq!(got, None, "seq {seq}");
+            }
+        }
+    }
+
+    #[test]
+    fn bursts_fail_whole_blocks() {
+        let plan = FaultPlan::none().with_burst(64, 0.3);
+        let mut failed_blocks = 0u64;
+        let blocks = 500u64;
+        for block in 0..blocks {
+            let decisions: Vec<bool> = (0..64u64)
+                .map(|i| {
+                    plan.decide(SEED, FaultKey { seq: block * 64 + i, user: i, attempt: 0 })
+                        .is_some()
+                })
+                .collect();
+            // a block fails entirely or not at all
+            assert!(
+                decisions.iter().all(|&d| d) || decisions.iter().all(|&d| !d),
+                "block {block} partially failed"
+            );
+            if decisions[0] {
+                failed_blocks += 1;
+            }
+        }
+        let rate = failed_blocks as f64 / blocks as f64;
+        assert!((rate - 0.3).abs() < 0.08, "block failure rate {rate}");
+    }
+
+    #[test]
+    fn permafail_users_always_fail() {
+        let plan = FaultPlan::none().with_permafail_users([7, 13]);
+        for attempt in 0..100u64 {
+            let key = FaultKey { seq: attempt, user: 7, attempt };
+            assert_eq!(plan.decide(SEED, key), Some(FaultCause::Permafail));
+        }
+        assert_eq!(plan.decide(SEED, FaultKey { seq: 0, user: 8, attempt: 0 }), None);
+    }
+
+    #[test]
+    fn permafail_fraction_is_calibrated_and_sticky() {
+        let plan = FaultPlan::none().with_permafail_fraction(0.1);
+        let doomed = (0..50_000u64).filter(|&u| plan.permafails(SEED, u)).count();
+        let rate = doomed as f64 / 50_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "permafail rate {rate}");
+        // sticky: a doomed user fails on every attempt
+        let user = (0..1000).find(|&u| plan.permafails(SEED, u)).unwrap();
+        for attempt in 0..50u64 {
+            let key = FaultKey { seq: 1_000_000 + attempt, user, attempt };
+            assert_eq!(plan.decide(SEED, key), Some(FaultCause::Permafail));
+        }
+    }
+
+    #[test]
+    fn modes_use_independent_streams() {
+        // enabling an outage must not change bernoulli decisions outside it
+        let bare = FaultPlan::uniform(0.3);
+        let with_outage = FaultPlan::uniform(0.3).with_outage(1_000_000, 10);
+        for i in 0..2000u64 {
+            let key = FaultKey { seq: i, user: i % 101, attempt: i / 101 };
+            assert_eq!(bare.decide(SEED, key), with_outage.decide(SEED, key));
+        }
+    }
+
+    #[test]
+    fn interleaving_independence_classifier() {
+        assert!(FaultPlan::uniform(0.2)
+            .with_permafail_fraction(0.1)
+            .is_interleaving_independent());
+        assert!(!FaultPlan::none().with_outage(0, 5).is_interleaving_independent());
+        assert!(!FaultPlan::none().with_burst(8, 0.5).is_interleaving_independent());
+    }
+
+    #[test]
+    #[should_panic(expected = "bernoulli_rate")]
+    fn validate_rejects_nan_rate() {
+        FaultPlan::uniform(f64::NAN).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "block_len")]
+    fn validate_rejects_zero_burst_block() {
+        FaultPlan::none().with_burst(0, 0.5).validate();
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan::uniform(0.1)
+            .with_outage(50, 20)
+            .with_burst(32, 0.4)
+            .with_permafail_users([3]);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

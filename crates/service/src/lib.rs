@@ -29,13 +29,15 @@
 
 pub mod error;
 pub mod failure;
+pub mod fault;
 pub mod page;
 pub mod ratelimit;
 pub mod service;
 pub mod wire;
 
 pub use error::FetchError;
+pub use fault::{FaultCause, FaultKey, FaultPlan, OutageWindow};
 pub use page::{CirclePage, Direction, ProfilePage};
 pub use ratelimit::TokenBucket;
 pub use service::{GooglePlusService, ServiceConfig, ServiceStats, SocialApi};
-pub use wire::{Request, Response, WireService};
+pub use wire::{CorruptionPlan, Request, Response, WireService};

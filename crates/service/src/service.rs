@@ -3,12 +3,14 @@
 //! limiting.
 
 use crate::error::FetchError;
-use crate::failure::{user_coin, FailureInjector};
+use crate::failure::user_coin;
+use crate::fault::{FaultCause, FaultKey, FaultPlan};
 use crate::page::{CirclePage, Direction, ProfilePage};
 use crate::ratelimit::TokenBucket;
 use gplus_synth::SynthNetwork;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Service behaviour knobs.
@@ -29,6 +31,11 @@ pub struct ServiceConfig {
     /// Seed for failure/privacy decisions (independent of the network
     /// seed so the same network can be served with different weather).
     pub seed: u64,
+    /// Composable fault schedule (outages, bursts, permanent failures).
+    /// `failure_rate` above is folded into the plan's Bernoulli mode when
+    /// the plan does not set one itself, so legacy configs keep working.
+    #[serde(default)]
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for ServiceConfig {
@@ -41,6 +48,7 @@ impl Default for ServiceConfig {
             rate_limit_capacity: None,
             rate_limit_refill: 1.0,
             seed: 0x5e71_11ce,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -52,12 +60,20 @@ pub struct ServiceStats {
     pub profile_requests: AtomicU64,
     /// Circle pages served.
     pub circle_requests: AtomicU64,
-    /// Requests rejected with [`FetchError::Transient`].
+    /// Requests rejected with [`FetchError::Transient`] (all causes).
     pub transient_failures: AtomicU64,
     /// Requests rejected with [`FetchError::RateLimited`].
     pub rate_limited: AtomicU64,
     /// Requests rejected with [`FetchError::PrivateList`].
     pub private_rejections: AtomicU64,
+    /// Transient failures attributed to the i.i.d. Bernoulli mode.
+    pub injected_bernoulli: AtomicU64,
+    /// Transient failures attributed to scheduled outage windows.
+    pub injected_outage: AtomicU64,
+    /// Transient failures attributed to correlated bursts.
+    pub injected_burst: AtomicU64,
+    /// Transient failures attributed to permanently failing users.
+    pub injected_permafail: AtomicU64,
 }
 
 impl ServiceStats {
@@ -90,8 +106,14 @@ pub trait SocialApi: Sync {
 pub struct GooglePlusService {
     network: SynthNetwork,
     config: ServiceConfig,
-    injector: FailureInjector,
-    nonce: AtomicU64,
+    /// Effective fault plan: `config.fault_plan` with the legacy
+    /// `failure_rate` folded into the Bernoulli mode.
+    plan: FaultPlan,
+    /// Global request sequence number (drives outage/burst modes).
+    seq: AtomicU64,
+    /// Per-user admitted-attempt counters (drive the Bernoulli and retry
+    /// escape paths independently of request interleaving).
+    attempts: Mutex<HashMap<u64, u64>>,
     bucket: Option<Mutex<TokenBucket>>,
     stats: ServiceStats,
 }
@@ -101,7 +123,7 @@ impl GooglePlusService {
     ///
     /// # Panics
     /// Panics on nonsensical config (zero page size, limit smaller than a
-    /// page, invalid probabilities).
+    /// page, invalid probabilities, NaN/negative rate-limiter knobs).
     pub fn new(network: SynthNetwork, config: ServiceConfig) -> Self {
         assert!(config.page_size > 0, "page_size must be positive");
         assert!(
@@ -112,15 +134,31 @@ impl GooglePlusService {
             (0.0..=1.0).contains(&config.private_list_fraction),
             "private_list_fraction must be in [0,1]"
         );
-        let injector = FailureInjector::new(config.seed, config.failure_rate);
+        assert!((0.0..=1.0).contains(&config.failure_rate), "failure_rate must be in [0,1]");
+        if let Some(cap) = config.rate_limit_capacity {
+            // NaN fails every ordered comparison, so spell the checks as
+            // "must be" assertions rather than reject-if
+            assert!(cap > 0.0, "rate_limit_capacity must be positive, got {cap}");
+            assert!(
+                config.rate_limit_refill >= 0.0,
+                "rate_limit_refill must be non-negative, got {}",
+                config.rate_limit_refill
+            );
+        }
+        let mut plan = config.fault_plan.clone();
+        if plan.bernoulli_rate <= 0.0 {
+            plan.bernoulli_rate = config.failure_rate;
+        }
+        plan.validate();
         let bucket = config
             .rate_limit_capacity
             .map(|cap| Mutex::new(TokenBucket::new(cap, config.rate_limit_refill)));
         Self {
             network,
             config,
-            injector,
-            nonce: AtomicU64::new(0),
+            plan,
+            seq: AtomicU64::new(0),
+            attempts: Mutex::new(HashMap::new()),
             bucket,
             stats: ServiceStats::default(),
         }
@@ -156,6 +194,11 @@ impl GooglePlusService {
         user_coin(self.config.seed, user, self.config.private_list_fraction)
     }
 
+    /// The effective fault plan the service runs under.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
     fn admit(&self, user: u64) -> Result<(), FetchError> {
         if let Some(bucket) = &self.bucket {
             if !bucket.lock().try_acquire() {
@@ -163,8 +206,26 @@ impl GooglePlusService {
                 return Err(FetchError::RateLimited);
             }
         }
-        let nonce = self.nonce.fetch_add(1, Ordering::Relaxed);
-        if self.injector.fails(user, nonce) {
+        if self.plan.is_quiet() {
+            return Ok(());
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let attempt = {
+            let mut attempts = self.attempts.lock();
+            let counter = attempts.entry(user).or_insert(0);
+            let current = *counter;
+            *counter += 1;
+            current
+        };
+        if let Some(cause) = self.plan.decide(self.config.seed, FaultKey { seq, user, attempt })
+        {
+            let counter = match cause {
+                FaultCause::Bernoulli => &self.stats.injected_bernoulli,
+                FaultCause::Outage => &self.stats.injected_outage,
+                FaultCause::Burst => &self.stats.injected_burst,
+                FaultCause::Permafail => &self.stats.injected_permafail,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
             self.stats.transient_failures.fetch_add(1, Ordering::Relaxed);
             return Err(FetchError::Transient);
         }
@@ -229,9 +290,20 @@ impl GooglePlusService {
         })
     }
 
+    /// Per-page retry budget of [`Self::fetch_full_circle_list`]. Large
+    /// enough to ride out realistic failure rates, small enough that a
+    /// permanently failing page (permafailed user, zero-refill limiter)
+    /// surfaces its error instead of spinning forever.
+    pub const FULL_LIST_RETRY_LIMIT: usize = 512;
+
     /// Convenience: fetches the *entire* visible circle list (all pages),
     /// retrying transient errors internally. Intended for tests and small
     /// tools; the real crawler drives paging itself.
+    ///
+    /// Each page gets at most [`Self::FULL_LIST_RETRY_LIMIT`] consecutive
+    /// retryable failures before the last error is surfaced — a page that
+    /// can never succeed (e.g. a rate limiter that never refills, or a
+    /// permanently failing user) must not hang the caller.
     pub fn fetch_full_circle_list(
         &self,
         user: u64,
@@ -239,6 +311,7 @@ impl GooglePlusService {
     ) -> Result<Vec<u64>, FetchError> {
         let mut out = Vec::new();
         let mut page = 0;
+        let mut failures_this_page = 0usize;
         loop {
             match self.fetch_circle_page(user, direction, page) {
                 Ok(p) => {
@@ -247,8 +320,14 @@ impl GooglePlusService {
                         return Ok(out);
                     }
                     page += 1;
+                    failures_this_page = 0;
                 }
-                Err(e) if e.is_retryable() => continue,
+                Err(e) if e.is_retryable() => {
+                    failures_this_page += 1;
+                    if failures_this_page >= Self::FULL_LIST_RETRY_LIMIT {
+                        return Err(e);
+                    }
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -421,5 +500,120 @@ mod tests {
         let mut cfg = quiet_config();
         cfg.page_size = 0;
         let _ = service(150, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate_limit_capacity must be positive")]
+    fn rejects_non_positive_rate_limit_capacity() {
+        let mut cfg = quiet_config();
+        cfg.rate_limit_capacity = Some(0.0);
+        let _ = service(150, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate_limit_capacity must be positive")]
+    fn rejects_nan_rate_limit_capacity() {
+        let mut cfg = quiet_config();
+        cfg.rate_limit_capacity = Some(f64::NAN);
+        let _ = service(150, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate_limit_refill must be non-negative")]
+    fn rejects_negative_rate_limit_refill() {
+        let mut cfg = quiet_config();
+        cfg.rate_limit_capacity = Some(10.0);
+        cfg.rate_limit_refill = -1.0;
+        let _ = service(150, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate_limit_refill must be non-negative")]
+    fn rejects_nan_rate_limit_refill() {
+        let mut cfg = quiet_config();
+        cfg.rate_limit_capacity = Some(10.0);
+        cfg.rate_limit_refill = f64::NAN;
+        let _ = service(150, cfg);
+    }
+
+    #[test]
+    fn full_list_fetch_terminates_under_zero_refill_limiter() {
+        // regression: a token bucket that never refills makes every
+        // request after the first few RateLimited forever; the convenience
+        // helper used to spin on `continue` without bound
+        let mut cfg = quiet_config();
+        cfg.rate_limit_capacity = Some(2.0);
+        cfg.rate_limit_refill = 0.0;
+        let svc = service(2_000, cfg);
+        // burn the bucket
+        let _ = svc.fetch_profile(0);
+        let _ = svc.fetch_profile(1);
+        let got = svc.fetch_full_circle_list(0, Direction::InCircles);
+        assert_eq!(got, Err(FetchError::RateLimited));
+    }
+
+    #[test]
+    fn full_list_fetch_surfaces_permanent_failure() {
+        let mut cfg = quiet_config();
+        cfg.fault_plan = crate::fault::FaultPlan::none().with_permafail_users([5]);
+        let svc = service(500, cfg);
+        assert_eq!(
+            svc.fetch_full_circle_list(5, Direction::OutCircles),
+            Err(FetchError::Transient)
+        );
+        assert!(
+            svc.stats().injected_permafail.load(Ordering::Relaxed)
+                >= GooglePlusService::FULL_LIST_RETRY_LIMIT as u64
+        );
+    }
+
+    #[test]
+    fn outage_window_fails_requests_then_recovers() {
+        let mut cfg = quiet_config();
+        cfg.fault_plan = crate::fault::FaultPlan::none().with_outage(0, 10);
+        let svc = service(500, cfg);
+        for _ in 0..10 {
+            assert_eq!(svc.fetch_profile(3), Err(FetchError::Transient));
+        }
+        assert!(svc.fetch_profile(3).is_ok());
+        assert_eq!(svc.stats().injected_outage.load(Ordering::Relaxed), 10);
+        assert_eq!(svc.stats().transient_failures.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn legacy_failure_rate_folds_into_plan() {
+        let mut cfg = quiet_config();
+        cfg.failure_rate = 0.3;
+        let svc = service(200, cfg);
+        assert_eq!(svc.fault_plan().bernoulli_rate, 0.3);
+        // explicit plan rate wins over the legacy knob
+        let mut cfg = quiet_config();
+        cfg.failure_rate = 0.3;
+        cfg.fault_plan = crate::fault::FaultPlan::uniform(0.7);
+        let svc = service(200, cfg);
+        assert_eq!(svc.fault_plan().bernoulli_rate, 0.7);
+    }
+
+    #[test]
+    fn bernoulli_failures_are_per_user_attempt_keyed() {
+        // two services, same seed: interleave requests differently; the
+        // outcome for (user, attempt) must match regardless of order
+        let mut cfg = quiet_config();
+        cfg.failure_rate = 0.4;
+        let a = service(500, cfg.clone());
+        let b = service(500, cfg);
+        // a: users in order, two passes; b: pairs of attempts per user
+        let mut outcomes_a = std::collections::HashMap::new();
+        for pass in 0..2u64 {
+            for user in 0..100u64 {
+                outcomes_a.insert((user, pass), a.fetch_profile(user).is_ok());
+            }
+        }
+        for user in 0..100u64 {
+            for pass in 0..2u64 {
+                let ok = b.fetch_profile(user).is_ok();
+                assert_eq!(outcomes_a[&(user, pass)], ok, "user {user} attempt {pass}");
+            }
+        }
     }
 }

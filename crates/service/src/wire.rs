@@ -14,10 +14,12 @@
 //! partial reads, length checks) is what a binary protocol would need too.
 
 use crate::error::FetchError;
+use crate::failure::splitmix64;
 use crate::page::{CirclePage, Direction, ProfilePage};
 use crate::service::{GooglePlusService, SocialApi};
 use bytes::{Buf, BufMut, BytesMut};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Maximum accepted frame payload (guards against corrupt lengths).
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
@@ -104,24 +106,105 @@ pub fn decode<T: for<'de> Deserialize<'de>>(src: &mut BytesMut) -> Result<T, Dec
     serde_json::from_slice(&payload).map_err(|e| DecodeError::Malformed(e.to_string()))
 }
 
+/// Deterministic frame corruption: a seed-derived fraction of response
+/// frames is damaged in transit (truncated or byte-flipped), exercising
+/// the client's decode-failure path. Decisions key on the frame sequence
+/// number, so a resend of the same logical response can succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorruptionPlan {
+    /// Seed for corruption decisions.
+    pub seed: u64,
+    /// Probability a response frame is corrupted, in `[0, 1]`.
+    pub rate: f64,
+}
+
+impl CorruptionPlan {
+    /// Creates a corruption plan.
+    ///
+    /// # Panics
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "corruption rate must be in [0,1]");
+        Self { seed, rate }
+    }
+
+    /// Whether response frame number `frame` is corrupted.
+    pub fn corrupts(&self, frame: u64) -> bool {
+        if self.rate <= 0.0 {
+            return false;
+        }
+        if self.rate >= 1.0 {
+            return true;
+        }
+        let h = splitmix64(self.seed.wrapping_mul(0x27d4_eb2f_1656_67c5) ^ splitmix64(frame));
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.rate
+    }
+
+    /// Damages an encoded frame in place, deterministically per frame
+    /// number: even frames lose the second half of their bytes (decodes as
+    /// [`DecodeError::Incomplete`]), odd frames get their first payload
+    /// byte smashed to an invalid UTF-8 sequence (decodes as
+    /// [`DecodeError::Malformed`]). Both damage shapes are guaranteed to
+    /// fail decoding — corruption must never silently alter data.
+    pub fn damage(&self, frame: u64, wire: &mut BytesMut) {
+        if frame % 2 == 0 {
+            let keep = 4 + (wire.len().saturating_sub(4)) / 2;
+            wire.truncate(keep);
+        } else if wire.len() > 4 {
+            wire[4] = 0xff;
+        }
+    }
+}
+
 /// The service exposed through the wire protocol: every call encodes the
 /// request, "transmits" it, decodes it server-side, executes, encodes the
 /// response and decodes it client-side. Functionally identical to calling
 /// the service directly — which the tests assert — but every byte crosses
-/// the protocol boundary.
+/// the protocol boundary. An optional [`CorruptionPlan`] damages a
+/// fraction of response frames; the client surfaces those as
+/// [`FetchError::Transient`], exactly how a real client treats a garbled
+/// HTTP body.
 pub struct WireService {
     inner: GooglePlusService,
+    corruption: Option<CorruptionPlan>,
+    /// Response frames sent (the corruption key).
+    frames_sent: AtomicU64,
+    /// Response frames damaged in transit.
+    frames_corrupted: AtomicU64,
 }
 
 impl WireService {
     /// Wraps a service.
     pub fn new(inner: GooglePlusService) -> Self {
-        Self { inner }
+        Self {
+            inner,
+            corruption: None,
+            frames_sent: AtomicU64::new(0),
+            frames_corrupted: AtomicU64::new(0),
+        }
+    }
+
+    /// Wraps a service with frame corruption enabled.
+    pub fn with_corruption(inner: GooglePlusService, plan: CorruptionPlan) -> Self {
+        let mut wire = Self::new(inner);
+        wire.corruption = Some(plan);
+        wire
     }
 
     /// The wrapped service.
     pub fn inner(&self) -> &GooglePlusService {
         &self.inner
+    }
+
+    /// Response frames sent so far.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent.load(Ordering::Relaxed)
+    }
+
+    /// Response frames corrupted in transit so far.
+    pub fn frames_corrupted(&self) -> u64 {
+        self.frames_corrupted.load(Ordering::Relaxed)
     }
 
     /// Server side: executes one decoded request.
@@ -141,7 +224,11 @@ impl WireService {
     }
 
     /// Full round trip: encode request → decode request → serve → encode
-    /// response → decode response.
+    /// response → decode response. With a [`CorruptionPlan`] active, a
+    /// deterministic fraction of response frames is damaged in transit;
+    /// the resulting decode failure surfaces as
+    /// [`Response::Error`]`(`[`FetchError::Transient`]`)` so callers retry
+    /// like they would any flaky transport.
     pub fn call(&self, request: &Request) -> Response {
         let mut wire = BytesMut::new();
         encode(request, &mut wire);
@@ -149,6 +236,19 @@ impl WireService {
         let response = self.serve(server_side);
         let mut wire = BytesMut::new();
         encode(&response, &mut wire);
+        if let Some(plan) = &self.corruption {
+            let frame = self.frames_sent.fetch_add(1, Ordering::Relaxed);
+            if plan.corrupts(frame) {
+                self.frames_corrupted.fetch_add(1, Ordering::Relaxed);
+                plan.damage(frame, &mut wire);
+                return match decode::<Response>(&mut wire) {
+                    Ok(_) => unreachable!("damaged frames must not decode"),
+                    Err(_) => Response::Error(FetchError::Transient),
+                };
+            }
+        } else {
+            self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        }
         decode(&mut wire).expect("server encodes valid frames")
     }
 
@@ -284,5 +384,77 @@ mod tests {
     fn wire_propagates_errors() {
         let wire = wire_service(200);
         assert_eq!(wire.fetch_profile(10_000_000), Err(FetchError::NotFound));
+    }
+
+    fn corrupt_service(n: usize, rate: f64) -> WireService {
+        let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(n, 41));
+        WireService::with_corruption(
+            GooglePlusService::new(
+                net,
+                ServiceConfig {
+                    failure_rate: 0.0,
+                    private_list_fraction: 0.0,
+                    ..Default::default()
+                },
+            ),
+            CorruptionPlan::new(99, rate),
+        )
+    }
+
+    #[test]
+    fn corrupted_frames_surface_as_transient() {
+        let wire = corrupt_service(300, 1.0);
+        assert_eq!(wire.fetch_profile(0), Err(FetchError::Transient));
+        assert_eq!(
+            wire.fetch_circle_page(0, Direction::InCircles, 0),
+            Err(FetchError::Transient)
+        );
+        assert_eq!(wire.frames_corrupted(), 2);
+    }
+
+    #[test]
+    fn corruption_rate_zero_is_transparent() {
+        let wire = corrupt_service(300, 0.0);
+        for user in [0u64, 5, 100] {
+            assert_eq!(wire.fetch_profile(user), wire.inner().fetch_profile(user));
+        }
+        assert_eq!(wire.frames_corrupted(), 0);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_calibrated() {
+        let plan = CorruptionPlan::new(7, 0.3);
+        let hits = (0..20_000u64).filter(|&f| plan.corrupts(f)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "corruption rate {rate}");
+        assert_eq!(
+            (0..100u64).map(|f| plan.corrupts(f)).collect::<Vec<_>>(),
+            (0..100u64).map(|f| plan.corrupts(f)).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn both_damage_shapes_fail_decoding() {
+        let plan = CorruptionPlan::new(1, 1.0);
+        let response = Response::Error(FetchError::NotFound);
+        for frame in 0..6u64 {
+            let mut wire = BytesMut::new();
+            encode(&response, &mut wire);
+            plan.damage(frame, &mut wire);
+            let r: Result<Response, _> = decode(&mut wire);
+            assert!(r.is_err(), "frame {frame} decoded after damage");
+        }
+    }
+
+    #[test]
+    fn corrupted_transport_still_completes_with_retries() {
+        // a retrying client rides out 30% frame corruption
+        let wire = corrupt_service(300, 0.3);
+        for user in 0..50u64 {
+            let ok = (0..100).any(|_| wire.fetch_profile(user).is_ok());
+            assert!(ok, "user {user} never fetched through corrupt transport");
+        }
+        assert!(wire.frames_corrupted() > 0);
+        assert!(wire.frames_sent() > wire.frames_corrupted());
     }
 }

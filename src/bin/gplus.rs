@@ -4,6 +4,9 @@
 //! gplus list                                  # experiment registry
 //! gplus run      [-n N] [-s SEED] [--crawl] [--json PATH] [ID ...]
 //! gplus crawl    [-n N] [-s SEED] [--failure-rate F] [--private F]
+//!                [--outage START:LEN] [--burst PROB:LEN] [--permafail F]
+//!                [--corrupt RATE] [--sweeps N] [--checkpoint-every N]
+//!                [--checkpoint PATH] [--resume PATH]
 //! gplus export   [-n N] [-s SEED] [--edges PATH] [--profiles PATH]
 //! gplus growth   [-n N] [-s SEED]
 //! ```
@@ -16,8 +19,10 @@
 
 use gplus::analysis::registry;
 use gplus::analysis::{Reproduction, ReproductionConfig};
-use gplus::crawler::Crawler;
-use gplus::service::{GooglePlusService, ServiceConfig};
+use gplus::crawler::{CrawlCheckpoint, CrawlResult, Crawler, CrawlerConfig};
+use gplus::service::{
+    CorruptionPlan, FaultPlan, GooglePlusService, ServiceConfig, SocialApi, WireService,
+};
 use gplus::synth::{GrowthModel, SynthConfig, SynthNetwork};
 use std::io::Write;
 
@@ -48,7 +53,10 @@ fn print_usage() {
          USAGE:\n  \
          gplus list\n  \
          gplus run    [-n N] [-s SEED] [--crawl] [--json PATH] [ID ...]\n  \
-         gplus crawl  [-n N] [-s SEED] [--failure-rate F] [--private F]\n  \
+         gplus crawl  [-n N] [-s SEED] [--failure-rate F] [--private F]\n               \
+         [--outage START:LEN] [--burst PROB:LEN] [--permafail F]\n               \
+         [--corrupt RATE] [--sweeps N] [--checkpoint-every N]\n               \
+         [--checkpoint PATH] [--resume PATH]\n  \
          gplus export [-n N] [-s SEED] [--edges PATH] [--profiles PATH]\n  \
          gplus growth [-n N] [-s SEED]\n\n\
          Experiment IDs for `run`: see `gplus list`."
@@ -169,26 +177,169 @@ fn cmd_run(args: &[String]) -> i32 {
     0
 }
 
+/// Parses `"A:B"` into two values (e.g. `--outage START:LEN`).
+fn parse_pair<A: std::str::FromStr, B: std::str::FromStr>(v: &str) -> Option<(A, B)> {
+    let (a, b) = v.split_once(':')?;
+    Some((a.parse().ok()?, b.parse().ok()?))
+}
+
+/// Runs (or resumes) a crawl against any transport that speaks [`SocialApi`].
+fn crawl_with<S: SocialApi>(
+    crawler: &Crawler,
+    svc: &S,
+    resume: Option<&CrawlCheckpoint>,
+) -> (CrawlResult, Vec<CrawlCheckpoint>) {
+    match resume {
+        Some(cp) => (Crawler::resume(svc, cp), Vec::new()),
+        None => crawler.run_checkpointed(svc),
+    }
+}
+
 fn cmd_crawl(args: &[String]) -> i32 {
-    let flags = parse_flags(args, &["--failure-rate", "--private"], &[]);
+    let flags = parse_flags(
+        args,
+        &[
+            "--failure-rate",
+            "--private",
+            "--outage",
+            "--burst",
+            "--permafail",
+            "--corrupt",
+            "--sweeps",
+            "--checkpoint-every",
+            "--checkpoint",
+            "--resume",
+        ],
+        &[],
+    );
     let failure_rate: f64 =
         flags.options.get("--failure-rate").and_then(|v| v.parse().ok()).unwrap_or(0.02);
     let private: f64 =
         flags.options.get("--private").and_then(|v| v.parse().ok()).unwrap_or(0.03);
+
+    let mut plan = FaultPlan::none();
+    if let Some(v) = flags.options.get("--outage") {
+        let Some((start, len)) = parse_pair::<u64, u64>(v) else {
+            eprintln!("--outage expects START:LEN (request sequence numbers)");
+            return 2;
+        };
+        plan = plan.with_outage(start, len);
+    }
+    if let Some(v) = flags.options.get("--burst") {
+        let Some((prob, len)) = parse_pair::<f64, u64>(v) else {
+            eprintln!("--burst expects PROB:LEN (e.g. 0.3:16)");
+            return 2;
+        };
+        plan = plan.with_burst(len, prob);
+    }
+    if let Some(v) = flags.options.get("--permafail") {
+        let Ok(frac) = v.parse::<f64>() else {
+            eprintln!("--permafail expects a fraction in [0,1]");
+            return 2;
+        };
+        plan = plan.with_permafail_fraction(frac);
+    }
+    let corrupt: f64 =
+        flags.options.get("--corrupt").and_then(|v| v.parse().ok()).unwrap_or(0.0);
+
+    let mut crawler_config = CrawlerConfig::default();
+    if let Some(v) = flags.options.get("--sweeps") {
+        crawler_config.dead_letter_sweeps = match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--sweeps expects a count");
+                return 2;
+            }
+        };
+    }
+    if let Some(v) = flags.options.get("--checkpoint-every") {
+        crawler_config.checkpoint_every = match v.parse() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("--checkpoint-every expects a profile count");
+                return 2;
+            }
+        };
+    }
+    let resume_cp = match flags.options.get("--resume") {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("failed to read checkpoint {path}: {e}");
+                    return 1;
+                }
+            };
+            match CrawlCheckpoint::from_json(&text) {
+                Ok(cp) => {
+                    eprintln!(
+                        "resuming from {path}: {} crawled, {} pending, clock {}",
+                        cp.crawled_count(),
+                        cp.pending_count(),
+                        cp.clock
+                    );
+                    Some(cp)
+                }
+                Err(e) => {
+                    eprintln!("bad checkpoint {path}: {e}");
+                    return 1;
+                }
+            }
+        }
+        None => None,
+    };
+
     eprintln!("generating network ({} users, seed {}) ...", flags.n, flags.seed);
     let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(flags.n, flags.seed));
+    let truth = net.graph.clone();
     let svc = GooglePlusService::new(
         net,
         ServiceConfig {
             failure_rate,
             private_list_fraction: private,
+            fault_plan: plan,
             ..ServiceConfig::default()
         },
     );
-    let result = Crawler::paper_setup().run(&svc);
-    let cov = result.coverage(&svc.ground_truth().graph);
-    let est =
-        gplus::crawler::lost_edges::estimate(&result, svc.config().circle_list_limit as u64);
+    let circle_list_limit = svc.config().circle_list_limit as u64;
+    let crawler = Crawler::new(crawler_config);
+    let (result, snapshots) = if corrupt > 0.0 {
+        let wire = WireService::with_corruption(svc, CorruptionPlan::new(flags.seed, corrupt));
+        let out = crawl_with(&crawler, &wire, resume_cp.as_ref());
+        eprintln!(
+            "wire transport: {} frames sent, {} corrupted",
+            wire.frames_sent(),
+            wire.frames_corrupted()
+        );
+        out
+    } else {
+        crawl_with(&crawler, &svc, resume_cp.as_ref())
+    };
+
+    if let Some(path) = flags.options.get("--checkpoint") {
+        match snapshots.last() {
+            Some(cp) => {
+                if let Err(e) = std::fs::write(path, cp.to_json()) {
+                    eprintln!("failed to write checkpoint {path}: {e}");
+                    return 1;
+                }
+                eprintln!(
+                    "checkpoint written to {path} ({} crawled, {} pending)",
+                    cp.crawled_count(),
+                    cp.pending_count()
+                );
+            }
+            None if resume_cp.is_some() => {
+                eprintln!("note: resumed runs take no new checkpoints; {path} not written");
+            }
+            None => {
+                eprintln!("no checkpoint taken (set --checkpoint-every N); {path} not written");
+            }
+        }
+    }
+
+    let cov = result.coverage(&truth);
+    let est = gplus::crawler::lost_edges::estimate(&result, circle_list_limit);
     println!(
         "crawl finished: {} profiles, {} users discovered, {} edges",
         result.crawled_count(),
@@ -202,6 +353,15 @@ fn cmd_crawl(args: &[String]) -> i32 {
         result.stats.retries,
         result.stats.transient_errors,
         result.stats.private_list_users
+    );
+    println!(
+        "faults ridden out: {} failed profiles, {} dead-letter requeues over {} sweeps, \
+         {} backoff ticks across {} simulated ticks",
+        result.stats.failed_profiles,
+        result.stats.dead_letter_requeues,
+        result.stats.sweep_rounds,
+        result.stats.backoff_ticks,
+        result.stats.sim_ticks
     );
     println!(
         "lost-edge estimate: {} truncated users, {:.3}% of edges (paper: 915 / 1.6%)",

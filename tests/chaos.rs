@@ -1,0 +1,254 @@
+//! Chaos suite: the fault-tolerant crawl engine under adversarial
+//! weather.
+//!
+//! Every scenario runs a full crawl against a deliberately hostile
+//! service — scheduled outages, correlated burst failures, permanently
+//! failing celebrities, corrupted wire frames, kill-and-resume — and
+//! asserts the engine's contract:
+//!
+//! * **coverage or accounting**: under every fault plan the crawl either
+//!   keeps >0.9 node coverage or every missing user is accounted for in
+//!   `CrawlStats` (`users_discovered == profiles_crawled +
+//!   failed_profiles` when unbudgeted — nothing silently vanishes);
+//! * **resume convergence**: a crawl killed at any checkpoint and resumed
+//!   produces the identical canonical edge set to an uninterrupted run;
+//! * **determinism**: with an interleaving-independent fault plan, crawl
+//!   statistics are byte-identical across machine counts;
+//! * **simulated time**: all backoff lands on the simulated clock — the
+//!   suite finishes in test time, not crawl time.
+
+use gplus::crawler::{
+    CheckpointError, CrawlCheckpoint, CrawlResult, Crawler, CrawlerConfig, RetryPolicy,
+    CHECKPOINT_VERSION,
+};
+use gplus::service::{
+    CorruptionPlan, FaultPlan, GooglePlusService, ServiceConfig, WireService,
+};
+use gplus::synth::{SynthConfig, SynthNetwork};
+
+/// A service over a fresh synthetic network with the given fault plan
+/// (and no legacy failure knobs — all weather comes from the plan).
+fn service(n: usize, seed: u64, plan: FaultPlan) -> GooglePlusService {
+    let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(n, seed));
+    GooglePlusService::new(
+        net,
+        ServiceConfig {
+            failure_rate: 0.0,
+            private_list_fraction: 0.0,
+            fault_plan: plan,
+            ..Default::default()
+        },
+    )
+}
+
+/// Canonical edge set under external user ids — the machine- and
+/// order-independent fingerprint of a crawl.
+fn canon(r: &CrawlResult) -> Vec<(u64, u64)> {
+    let mut edges: Vec<(u64, u64)> =
+        r.graph.edges().map(|(a, b)| (r.user_of(a), r.user_of(b))).collect();
+    edges.sort_unstable();
+    edges
+}
+
+/// The accounting invariant for unbudgeted crawls: every discovered user
+/// was either fully crawled or explicitly failed.
+fn assert_accounted(r: &CrawlResult, name: &str) {
+    assert_eq!(
+        r.stats.users_discovered,
+        r.stats.profiles_crawled + r.stats.failed_profiles,
+        "{name}: users neither crawled nor accounted as failed"
+    );
+}
+
+#[test]
+fn every_fault_plan_keeps_coverage_or_accounts_for_losses() {
+    let plans: Vec<(&str, FaultPlan)> = vec![
+        ("quiet", FaultPlan::none()),
+        ("bernoulli30", FaultPlan::uniform(0.30)),
+        ("outage", FaultPlan::none().with_outage(300, 80)),
+        ("burst30", FaultPlan::none().with_burst(16, 0.30)),
+        ("permafail", FaultPlan::none().with_permafail_users([2, 3, 4])),
+        (
+            "kitchen_sink",
+            FaultPlan::uniform(0.10)
+                .with_outage(500, 50)
+                .with_burst(16, 0.20)
+                .with_permafail_users([5]),
+        ),
+    ];
+    for (name, plan) in plans {
+        let svc = service(1_200, 70, plan);
+        let r = Crawler::paper_setup().run(&svc);
+        assert_accounted(&r, name);
+        let cov = r.coverage(&svc.ground_truth().graph).node_coverage;
+        assert!(
+            cov > 0.9 || r.stats.failed_profiles > 0,
+            "{name}: coverage {cov} with zero accounted failures"
+        );
+        assert!(r.stats.profiles_crawled > 0, "{name}: crawled nothing");
+    }
+}
+
+#[test]
+fn outage_mid_crawl_dead_letters_then_recovers_everyone() {
+    // a 60-request outage with a tight transient budget: victims must go
+    // to the dead-letter queue, and the end-of-frontier sweeps must
+    // recover every one of them once the outage lifts
+    let retry = RetryPolicy { transient_attempts: 4, ..RetryPolicy::default() };
+    let svc = service(1_000, 71, FaultPlan::none().with_outage(400, 60));
+    let crawler = Crawler::new(CrawlerConfig { retry, ..CrawlerConfig::default() });
+    let r = crawler.run(&svc);
+    assert!(
+        r.stats.dead_letter_requeues > 0,
+        "the outage should have exhausted someone's retry budget"
+    );
+    assert_eq!(r.stats.failed_profiles, 0, "sweeps must recover all outage victims");
+    assert_accounted(&r, "outage");
+    let cov = r.coverage(&svc.ground_truth().graph);
+    assert!(cov.node_coverage > 0.95, "node coverage {}", cov.node_coverage);
+}
+
+#[test]
+fn thirty_percent_bursts_still_converge() {
+    let svc = service(1_000, 72, FaultPlan::none().with_burst(16, 0.30));
+    let r = Crawler::paper_setup().run(&svc);
+    assert!(r.stats.transient_errors > 0, "bursts should have hit the crawl");
+    assert!(r.stats.backoff_ticks > 0, "failures must be answered with backoff");
+    assert_accounted(&r, "burst30");
+    let cov = r.coverage(&svc.ground_truth().graph);
+    assert!(cov.node_coverage > 0.9, "node coverage {}", cov.node_coverage);
+}
+
+#[test]
+fn permafailed_celebrities_are_accounted_not_hung() {
+    // celebrities 2, 3, 4 never answer; the crawl must terminate, count
+    // them as failed, and still recover their edges from the other side
+    let retry = RetryPolicy { transient_attempts: 3, ..RetryPolicy::default() };
+    let svc = service(900, 73, FaultPlan::none().with_permafail_users([2, 3, 4]));
+    let crawler = Crawler::new(CrawlerConfig {
+        retry,
+        dead_letter_sweeps: 2,
+        ..CrawlerConfig::default()
+    });
+    let r = crawler.run(&svc);
+    assert_eq!(r.stats.failed_profiles, 3);
+    assert_accounted(&r, "permafail");
+    for user in [2u64, 3, 4] {
+        let node = r.node_of(user).expect("permafailed users are still discovered");
+        assert!(!r.pages.contains_key(&node), "user {user} must not have a page");
+    }
+    // node coverage barely dents: the three users are discovered via
+    // everyone else's lists
+    let cov = r.coverage(&svc.ground_truth().graph);
+    assert!(cov.node_coverage > 0.95, "node coverage {}", cov.node_coverage);
+}
+
+#[test]
+fn corrupted_wire_frames_are_retried_through() {
+    let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(800, 74));
+    let inner = GooglePlusService::new(
+        net,
+        ServiceConfig { failure_rate: 0.0, private_list_fraction: 0.0, ..Default::default() },
+    );
+    let wire = WireService::with_corruption(inner, CorruptionPlan::new(7, 0.10));
+    let r = Crawler::paper_setup().run(&wire);
+    assert!(wire.frames_corrupted() > 0, "corruption should have fired");
+    // every corrupted frame surfaced to the crawler as exactly one
+    // transient error — nothing was silently swallowed or double-counted
+    assert_eq!(r.stats.transient_errors, wire.frames_corrupted());
+    assert_accounted(&r, "corrupt-wire");
+    let cov = r.coverage(&wire.inner().ground_truth().graph);
+    assert!(cov.node_coverage > 0.95, "node coverage {}", cov.node_coverage);
+}
+
+#[test]
+fn kill_and_resume_matches_uninterrupted_run_under_faults() {
+    let plan = FaultPlan::uniform(0.20);
+    let uninterrupted = Crawler::paper_setup().run(&service(900, 75, plan.clone()));
+    let crawler =
+        Crawler::new(CrawlerConfig { checkpoint_every: Some(60), ..CrawlerConfig::default() });
+    let (full, snapshots) = crawler.run_checkpointed(&service(900, 75, plan.clone()));
+    assert_eq!(canon(&full), canon(&uninterrupted), "checkpointing must not perturb the crawl");
+    assert!(snapshots.len() >= 3, "test premise: several checkpoints, got {}", snapshots.len());
+    // kill at an early, a middle, and the last checkpoint; each resumed
+    // crawl (fresh crawler process, same external service) must converge
+    // to the identical canonical edge set
+    let picks = [0, snapshots.len() / 2, snapshots.len() - 1];
+    for &i in &picks {
+        let resumed = Crawler::resume(&service(900, 75, plan.clone()), &snapshots[i]);
+        assert_eq!(
+            canon(&resumed),
+            canon(&uninterrupted),
+            "resume from checkpoint {i} diverged"
+        );
+        assert_eq!(resumed.stats.profiles_crawled, uninterrupted.stats.profiles_crawled);
+        assert!(
+            resumed.stats.sim_ticks >= snapshots[i].clock,
+            "resumed clock must continue from the checkpoint"
+        );
+    }
+}
+
+#[test]
+fn checkpoints_round_trip_and_version_gate_holds() {
+    let crawler =
+        Crawler::new(CrawlerConfig { checkpoint_every: Some(50), ..CrawlerConfig::default() });
+    let (_, snapshots) = crawler.run_checkpointed(&service(600, 76, FaultPlan::none()));
+    assert!(!snapshots.is_empty(), "test premise: at least one checkpoint");
+    let cp = &snapshots[snapshots.len() - 1];
+    assert_eq!(cp.version, CHECKPOINT_VERSION);
+
+    let back = CrawlCheckpoint::from_json(&cp.to_json()).expect("round trip");
+    assert_eq!(&back, cp);
+
+    let mut wrong = cp.clone();
+    wrong.version = 99;
+    match CrawlCheckpoint::from_json(&wrong.to_json()) {
+        Err(CheckpointError::Version { found: 99, supported: CHECKPOINT_VERSION }) => {}
+        other => panic!("version gate failed: {other:?}"),
+    }
+    assert!(matches!(
+        CrawlCheckpoint::from_json("not a checkpoint"),
+        Err(CheckpointError::Parse(_))
+    ));
+}
+
+#[test]
+fn stats_are_byte_identical_across_machine_counts_under_user_keyed_faults() {
+    // the Bernoulli and permafail modes key on (user, attempt), never on
+    // global request order — so the entire CrawlStats (including retries
+    // and simulated clock totals) must not depend on how many machines
+    // interleave their requests
+    let plan = FaultPlan::uniform(0.25).with_permafail_users([9]);
+    assert!(plan.is_interleaving_independent());
+    let run = |machines: usize| {
+        let retry = RetryPolicy { transient_attempts: 6, ..RetryPolicy::default() };
+        let svc = service(700, 77, plan.clone());
+        let crawler =
+            Crawler::new(CrawlerConfig { machines, retry, ..CrawlerConfig::default() });
+        let r = crawler.run(&svc);
+        serde_json::to_string(&r.stats).expect("stats serialise")
+    };
+    let one = run(1);
+    assert_eq!(one, run(4), "1 vs 4 machines");
+    assert_eq!(one, run(11), "1 vs 11 machines");
+}
+
+#[test]
+fn backoff_happens_on_the_simulated_clock_not_the_wall_clock() {
+    let started = std::time::Instant::now();
+    let svc = service(600, 78, FaultPlan::uniform(0.30));
+    let r = Crawler::paper_setup().run(&svc);
+    assert!(r.stats.backoff_ticks > 0, "a 30% failure rate must force backoff");
+    assert!(
+        r.stats.sim_ticks >= r.stats.backoff_ticks,
+        "the shared clock accumulates at least the recorded backoff"
+    );
+    // thousands of simulated ticks must not translate into wall time:
+    // sleeping them for real (even at 1ms/tick) would blow way past this
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(60),
+        "crawl with {} simulated ticks took wall time",
+        r.stats.sim_ticks
+    );
+}

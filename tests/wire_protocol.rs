@@ -2,8 +2,10 @@
 //! length-delimited byte boundary, and the crawl result must be identical
 //! to the direct-call crawl — proof the protocol carries the full API.
 
+use bytes::{BufMut, BytesMut};
 use gplus::crawler::{mhrw, Crawler, CrawlerConfig, MhrwConfig};
-use gplus::service::{GooglePlusService, ServiceConfig, WireService};
+use gplus::service::wire::{decode, encode, DecodeError, Request, MAX_FRAME_LEN};
+use gplus::service::{CorruptionPlan, GooglePlusService, ServiceConfig, WireService};
 use gplus::synth::{SynthConfig, SynthNetwork};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,6 +46,83 @@ fn crawl_over_wire_equals_direct_crawl() {
         let other = b.node_of(user).expect("same users discovered");
         assert_eq!(b.pages.get(&other), Some(page));
     }
+}
+
+#[test]
+fn oversized_frame_length_is_rejected_not_allocated() {
+    // a corrupt length prefix just over the cap must error cleanly —
+    // never attempt a 16MB+ allocation on attacker-controlled input
+    let mut buf = BytesMut::new();
+    buf.put_u32((MAX_FRAME_LEN + 1) as u32);
+    buf.put_slice(b"whatever");
+    let r: Result<Request, _> = decode(&mut buf);
+    assert_eq!(r.unwrap_err(), DecodeError::FrameTooLarge(MAX_FRAME_LEN + 1));
+}
+
+#[test]
+fn truncated_length_prefix_waits_for_more_bytes() {
+    // 0-3 bytes of length prefix: Incomplete every time, never a parse
+    // error and never a panic
+    for n in 0..4usize {
+        let mut buf = BytesMut::from(&[0u8; 4][..n]);
+        let r: Result<Request, _> = decode(&mut buf);
+        assert_eq!(r.unwrap_err(), DecodeError::Incomplete, "prefix of {n} bytes");
+        assert_eq!(buf.len(), n, "incomplete reads must not consume the buffer");
+    }
+}
+
+#[test]
+fn truncated_payload_waits_for_more_bytes() {
+    let mut full = BytesMut::new();
+    encode(&Request::Profile { user: 7 }, &mut full);
+    let mut partial = BytesMut::from(&full[..full.len() - 1]);
+    let r: Result<Request, _> = decode(&mut partial);
+    assert_eq!(r.unwrap_err(), DecodeError::Incomplete);
+}
+
+#[test]
+fn invalid_json_payload_errors_cleanly() {
+    let garbage = b"\xff\xfe{{{{";
+    let mut buf = BytesMut::new();
+    buf.put_u32(garbage.len() as u32);
+    buf.put_slice(garbage);
+    let r: Result<Request, _> = decode(&mut buf);
+    assert!(matches!(r.unwrap_err(), DecodeError::Malformed(_)));
+}
+
+#[test]
+fn valid_json_of_the_wrong_shape_errors_cleanly() {
+    // parses as JSON, but is not a Request
+    let payload = br#"{"Unknown":{"user":1}}"#;
+    let mut buf = BytesMut::new();
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+    let r: Result<Request, _> = decode(&mut buf);
+    assert!(matches!(r.unwrap_err(), DecodeError::Malformed(_)));
+}
+
+#[test]
+fn crawl_over_corrupt_wire_matches_clean_crawl() {
+    // 10% of response frames damaged in transit: the retry policy rides
+    // it out and the final graph is identical to the clean-transport one
+    let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(800, 63));
+    let clean = WireService::new(GooglePlusService::new(net.clone(), quiet(63)));
+    let corrupt = WireService::with_corruption(
+        GooglePlusService::new(net, quiet(63)),
+        CorruptionPlan::new(5, 0.10),
+    );
+    let crawler = Crawler::new(CrawlerConfig { machines: 4, ..Default::default() });
+    let a = crawler.run(&clean);
+    let b = crawler.run(&corrupt);
+    assert!(corrupt.frames_corrupted() > 0, "corruption should have fired");
+    assert!(b.stats.transient_errors > 0);
+    let canon = |r: &gplus::crawler::CrawlResult| {
+        let mut edges: Vec<(u64, u64)> =
+            r.graph.edges().map(|(x, y)| (r.user_of(x), r.user_of(y))).collect();
+        edges.sort_unstable();
+        edges
+    };
+    assert_eq!(canon(&a), canon(&b));
 }
 
 #[test]
