@@ -1,0 +1,273 @@
+//! Machine-readable bench-suite output and the CI regression gate.
+//!
+//! `gplus bench-suite` runs the full pipeline (generate → crawl → analyse)
+//! at a fixed scale and writes a [`BenchReport`]: coarse phase timings, the
+//! per-stage analysis profile, a full [`MetricsSnapshot`], and the
+//! metrics-overhead measurement (the same analysis run with the registry
+//! gate closed). `gplus bench-check` compares a fresh report against the
+//! checked-in `BENCH_baseline.json` with [`compare`].
+//!
+//! ## Why the gate is share-based
+//!
+//! Absolute wall-clock differs across machines (the committed baseline and
+//! an arbitrary CI runner do not share hardware), so the gate compares each
+//! stage's *share* of its group's total time instead of its milliseconds.
+//! A stage that regresses relative to its siblings — an accidentally
+//! quadratic loop, a lost memoization — shifts its share no matter how fast
+//! the machine is, while a uniformly slower machine shifts nothing.
+//! Stages below [`BenchGate::min_share`] are skipped: their timings are
+//! dominated by timer noise, not work.
+
+use crate::pipeline::StageTiming;
+use gplus_obs::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Schema tag written into every report, bumped on layout changes.
+pub const BENCH_SCHEMA: &str = "gplus-bench/1";
+
+/// Scale and environment of one bench run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchConfig {
+    /// Users generated.
+    pub n_users: usize,
+    /// Generation seed.
+    pub seed: u64,
+    /// Rayon worker threads during the run.
+    pub threads: usize,
+}
+
+/// Everything one `gplus bench-suite` run produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema tag ([`BENCH_SCHEMA`]).
+    pub schema: String,
+    /// Git commit the binary was built from (or "unknown").
+    pub git_sha: String,
+    /// `rustc --version` of the toolchain.
+    pub toolchain: String,
+    /// Free-form provenance: machine class, or a note that the numbers
+    /// are provisional.
+    pub host: String,
+    /// Run scale.
+    pub config: BenchConfig,
+    /// Coarse end-to-end phases: generate, crawl, dataset, analyse.
+    pub phases: Vec<StageTiming>,
+    /// The 14 analysis stages, report order.
+    pub stages: Vec<StageTiming>,
+    /// Analysis wall-clock with metrics recording enabled.
+    pub analyse_wall_ms: f64,
+    /// Analysis wall-clock with the registry gate closed (every record
+    /// call degrades to one relaxed load + branch).
+    pub analyse_wall_ms_metrics_off: f64,
+    /// `analyse_wall_ms / analyse_wall_ms_metrics_off` — the acceptance
+    /// bound is 1.05.
+    pub metrics_overhead_ratio: f64,
+    /// Full snapshot of the global registry at the end of the run.
+    pub metrics: MetricsSnapshot,
+}
+
+impl BenchReport {
+    /// Pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench report serialises")
+    }
+
+    /// Parses a report, surfacing schema mismatches as errors.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let report: BenchReport =
+            serde_json::from_str(json).map_err(|e| format!("malformed bench report: {e}"))?;
+        if report.schema != BENCH_SCHEMA {
+            return Err(format!(
+                "bench report schema {:?} does not match expected {BENCH_SCHEMA:?}",
+                report.schema
+            ));
+        }
+        Ok(report)
+    }
+}
+
+/// Regression-gate thresholds; [`BenchGate::default`] is what CI runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchGate {
+    /// Maximum relative growth of a stage's time share (0.30 = +30%).
+    pub threshold: f64,
+    /// Stages whose baseline share is below this are noise-skipped.
+    pub min_share: f64,
+    /// Maximum accepted `metrics_overhead_ratio`.
+    pub max_overhead_ratio: f64,
+    /// Minimum distinct metric names a healthy run must export.
+    pub min_metrics: usize,
+}
+
+impl Default for BenchGate {
+    fn default() -> Self {
+        Self { threshold: 0.30, min_share: 0.02, max_overhead_ratio: 1.05, min_metrics: 20 }
+    }
+}
+
+/// Each entry's share of the group's summed time; empty when the total
+/// is not positive (nothing meaningful to compare).
+fn shares(group: &[StageTiming]) -> Vec<(&str, f64)> {
+    let total: f64 = group.iter().map(|s| s.millis.max(0.0)).sum();
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    group.iter().map(|s| (s.id.as_str(), s.millis.max(0.0) / total)).collect()
+}
+
+fn gate_group(
+    label: &str,
+    baseline: &[StageTiming],
+    current: &[StageTiming],
+    gate: &BenchGate,
+    failures: &mut Vec<String>,
+) {
+    let base_shares = shares(baseline);
+    let cur_shares = shares(current);
+    for (id, base_share) in &base_shares {
+        let Some((_, cur_share)) = cur_shares.iter().find(|(c, _)| c == id) else {
+            failures.push(format!("{label} {id:?} present in baseline but missing from run"));
+            continue;
+        };
+        if *base_share < gate.min_share {
+            continue;
+        }
+        // absolute guard (+1pp) keeps borderline stages from flapping on
+        // timer noise even when the relative threshold trips
+        if *cur_share > base_share * (1.0 + gate.threshold) && *cur_share > base_share + 0.01 {
+            failures.push(format!(
+                "{label} {id:?} time share regressed: {:.1}% of {label} time vs {:.1}% in \
+                 baseline (>{:.0}% relative growth)",
+                cur_share * 100.0,
+                base_share * 100.0,
+                gate.threshold * 100.0
+            ));
+        }
+    }
+}
+
+/// Compares a fresh bench run against the checked-in baseline. Returns the
+/// list of gate failures; empty means the run passes.
+pub fn compare(baseline: &BenchReport, current: &BenchReport, gate: &BenchGate) -> Vec<String> {
+    let mut failures = Vec::new();
+    gate_group("phase", &baseline.phases, &current.phases, gate, &mut failures);
+    gate_group("stage", &baseline.stages, &current.stages, gate, &mut failures);
+    let metric_count = current.metrics.distinct_metrics();
+    if metric_count < gate.min_metrics {
+        failures.push(format!(
+            "run exported {metric_count} distinct metrics, below the {} floor",
+            gate.min_metrics
+        ));
+    }
+    // spelled as a negated <= so a NaN ratio (zero-duration run) fails too
+    if !(current.metrics_overhead_ratio <= gate.max_overhead_ratio) {
+        failures.push(format!(
+            "metrics overhead ratio {:.3} exceeds the {:.2} bound",
+            current.metrics_overhead_ratio, gate.max_overhead_ratio
+        ));
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(id: &str, millis: f64) -> StageTiming {
+        StageTiming { id: id.to_string(), millis }
+    }
+
+    fn report(stages: Vec<StageTiming>) -> BenchReport {
+        let metrics = {
+            let r = gplus_obs::Registry::new();
+            for i in 0..25 {
+                r.counter(&format!("m{i}.count")).inc();
+            }
+            r.snapshot()
+        };
+        BenchReport {
+            schema: BENCH_SCHEMA.to_string(),
+            git_sha: "deadbeef".to_string(),
+            toolchain: "rustc test".to_string(),
+            host: "test".to_string(),
+            config: BenchConfig { n_users: 1000, seed: 2012, threads: 4 },
+            phases: vec![stage("generate", 100.0), stage("analyse", 300.0)],
+            stages,
+            analyse_wall_ms: 300.0,
+            analyse_wall_ms_metrics_off: 295.0,
+            metrics_overhead_ratio: 300.0 / 295.0,
+            metrics,
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(vec![stage("fig5", 200.0), stage("table1", 50.0)]);
+        assert_eq!(compare(&r, &r, &BenchGate::default()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn uniform_slowdown_passes() {
+        // twice as slow everywhere = slower machine, same shares
+        let base = report(vec![stage("fig5", 200.0), stage("table1", 50.0)]);
+        let mut cur = report(vec![stage("fig5", 400.0), stage("table1", 100.0)]);
+        cur.phases = vec![stage("generate", 200.0), stage("analyse", 600.0)];
+        assert!(compare(&base, &cur, &BenchGate::default()).is_empty());
+    }
+
+    #[test]
+    fn share_regression_fails() {
+        let base = report(vec![stage("fig5", 100.0), stage("table1", 100.0)]);
+        let cur = report(vec![stage("fig5", 500.0), stage("table1", 100.0)]);
+        let failures = compare(&base, &cur, &BenchGate::default());
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("fig5"));
+    }
+
+    #[test]
+    fn tiny_stage_noise_is_skipped() {
+        // table1 is 0.5% of baseline time: tripling it is timer noise
+        let base = report(vec![stage("fig5", 199.0), stage("table1", 1.0)]);
+        let cur = report(vec![stage("fig5", 199.0), stage("table1", 3.0)]);
+        assert!(compare(&base, &cur, &BenchGate::default()).is_empty());
+    }
+
+    #[test]
+    fn missing_stage_fails() {
+        let base = report(vec![stage("fig5", 100.0), stage("table1", 100.0)]);
+        let cur = report(vec![stage("fig5", 100.0)]);
+        let failures = compare(&base, &cur, &BenchGate::default());
+        assert!(failures.iter().any(|f| f.contains("missing")), "{failures:?}");
+    }
+
+    #[test]
+    fn overhead_ratio_gate() {
+        let base = report(vec![stage("fig5", 100.0)]);
+        let mut cur = base.clone();
+        cur.metrics_overhead_ratio = 1.2;
+        let failures = compare(&base, &cur, &BenchGate::default());
+        assert!(failures.iter().any(|f| f.contains("overhead")), "{failures:?}");
+        cur.metrics_overhead_ratio = f64::NAN;
+        assert!(!compare(&base, &cur, &BenchGate::default()).is_empty());
+    }
+
+    #[test]
+    fn metric_floor_gate() {
+        let base = report(vec![stage("fig5", 100.0)]);
+        let mut cur = base.clone();
+        cur.metrics = MetricsSnapshot::default();
+        let failures = compare(&base, &cur, &BenchGate::default());
+        assert!(failures.iter().any(|f| f.contains("distinct metrics")), "{failures:?}");
+    }
+
+    #[test]
+    fn json_round_trip_and_schema_check() {
+        let r = report(vec![stage("fig5", 100.0)]);
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        let mut wrong = r.clone();
+        wrong.schema = "gplus-bench/0".to_string();
+        assert!(BenchReport::from_json(&wrong.to_json()).is_err());
+        assert!(BenchReport::from_json("{not json").is_err());
+    }
+}

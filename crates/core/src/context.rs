@@ -64,6 +64,21 @@ impl<'a, D: Dataset> AnalysisCtx<'a, D> {
         self.data
     }
 
+    /// Memoizes through `cell`, counting cache hits and misses into the
+    /// global registry (`pipeline.ctx.hit_count` / `pipeline.ctx.miss_count`).
+    /// Under a concurrent first use, every racing thread counts a miss even
+    /// though only one runs `init` — the counters measure how often callers
+    /// found a warm cache, not how many initializations ran.
+    fn memo<'s, T>(&self, cell: &'s OnceLock<T>, init: impl FnOnce() -> T) -> &'s T {
+        let obs = gplus_obs::global();
+        if let Some(v) = cell.get() {
+            obs.counter("pipeline.ctx.hit_count").inc();
+            return v;
+        }
+        obs.counter("pipeline.ctx.miss_count").inc();
+        cell.get_or_init(init)
+    }
+
     /// The social graph.
     pub fn graph(&self) -> &'a CsrGraph {
         self.data.graph()
@@ -71,22 +86,23 @@ impl<'a, D: Dataset> AnalysisCtx<'a, D> {
 
     /// In-degree of every node, indexed by node id.
     pub fn in_degrees(&self) -> &[u64] {
-        self.in_degrees.get_or_init(|| gplus_graph::degree::in_degrees(self.graph()))
+        self.memo(&self.in_degrees, || gplus_graph::degree::in_degrees(self.graph())).as_slice()
     }
 
     /// Out-degree of every node, indexed by node id.
     pub fn out_degrees(&self) -> &[u64] {
-        self.out_degrees.get_or_init(|| gplus_graph::degree::out_degrees(self.graph()))
+        self.memo(&self.out_degrees, || gplus_graph::degree::out_degrees(self.graph()))
+            .as_slice()
     }
 
     /// CCDF of the in-degree sequence (Figure 3's left curve).
     pub fn in_degree_ccdf(&self) -> &Ccdf {
-        self.in_ccdf.get_or_init(|| Ccdf::from_counts(self.in_degrees()))
+        self.memo(&self.in_ccdf, || Ccdf::from_counts(self.in_degrees()))
     }
 
     /// CCDF of the out-degree sequence (Figure 3's right curve).
     pub fn out_degree_ccdf(&self) -> &Ccdf {
-        self.out_ccdf.get_or_init(|| Ccdf::from_counts(self.out_degrees()))
+        self.memo(&self.out_ccdf, || Ccdf::from_counts(self.out_degrees()))
     }
 
     /// The `k` nodes with largest in-degree, descending, ties broken by
@@ -103,14 +119,16 @@ impl<'a, D: Dataset> AnalysisCtx<'a, D> {
 
     /// The undirected view of the graph (Figure 5's second panel).
     pub fn undirected_view(&self) -> &CsrGraph {
-        self.undirected.get_or_init(|| self.graph().undirected_view())
+        self.memo(&self.undirected, || self.graph().undirected_view())
     }
 
     /// Per-node country assignment, indexed by node id. `None` for nodes
     /// whose profile is unknown or withholds a geocodable location.
     pub fn countries(&self) -> &[Option<Country>] {
-        self.countries
-            .get_or_init(|| self.graph().nodes().map(|n| self.data.country(n)).collect())
+        self.memo(&self.countries, || {
+            self.graph().nodes().map(|n| self.data.country(n)).collect::<Vec<_>>()
+        })
+        .as_slice()
     }
 
     /// A single node's country, from the cached assignment.
@@ -121,8 +139,10 @@ impl<'a, D: Dataset> AnalysisCtx<'a, D> {
     /// Per-node coordinates, indexed by node id, under the same conditions
     /// as [`AnalysisCtx::countries`].
     pub fn locations(&self) -> &[Option<LatLon>] {
-        self.locations
-            .get_or_init(|| self.graph().nodes().map(|n| self.data.location(n)).collect())
+        self.memo(&self.locations, || {
+            self.graph().nodes().map(|n| self.data.location(n)).collect::<Vec<_>>()
+        })
+        .as_slice()
     }
 
     /// A single node's coordinates, from the cached assignment.
@@ -133,9 +153,10 @@ impl<'a, D: Dataset> AnalysisCtx<'a, D> {
     /// Node ids with known profiles, ascending — the paper's 27.5M crawled
     /// pages as opposed to the graph's 35.1M nodes.
     pub fn known_profiles(&self) -> &[NodeId] {
-        self.known_profiles.get_or_init(|| {
-            self.graph().nodes().filter(|&n| self.data.profile_known(n)).collect()
+        self.memo(&self.known_profiles, || {
+            self.graph().nodes().filter(|&n| self.data.profile_known(n)).collect::<Vec<_>>()
         })
+        .as_slice()
     }
 
     /// Number of nodes with known profiles.
@@ -147,7 +168,7 @@ impl<'a, D: Dataset> AnalysisCtx<'a, D> {
     /// plus the total located-user count — Figure 6's raw tally, shared
     /// with Figure 7's penetration analysis.
     pub fn country_counts(&self) -> (&[(Country, u64)], u64) {
-        let (counts, located) = self.country_counts.get_or_init(|| {
+        let (counts, located) = self.memo(&self.country_counts, || {
             let mut counts: std::collections::HashMap<Country, u64> =
                 std::collections::HashMap::new();
             let mut located = 0u64;
@@ -159,18 +180,18 @@ impl<'a, D: Dataset> AnalysisCtx<'a, D> {
             counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
             (counts, located)
         });
-        (counts, *located)
+        (counts.as_slice(), *located)
     }
 
     /// The SCC partition (Figure 4(c), Table 4), via the paper's two-DFS
     /// Kosaraju scheme.
     pub fn scc(&self) -> &SccResult {
-        self.scc.get_or_init(|| scc::kosaraju(self.graph()))
+        self.memo(&self.scc, || scc::kosaraju(self.graph()))
     }
 
     /// Global edge reciprocity (Figure 4(a), Table 4).
     pub fn global_reciprocity(&self) -> f64 {
-        *self.global_reciprocity.get_or_init(|| reciprocity::global_reciprocity(self.graph()))
+        *self.memo(&self.global_reciprocity, || reciprocity::global_reciprocity(self.graph()))
     }
 }
 

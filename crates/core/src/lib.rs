@@ -27,6 +27,7 @@
 //! println!("{}", table2::render(&result));
 //! ```
 
+pub mod benchreport;
 pub mod context;
 pub mod dataset;
 pub mod experiments;
@@ -36,6 +37,7 @@ pub mod pipeline;
 pub mod registry;
 pub mod render;
 
+pub use benchreport::{compare as bench_compare, BenchConfig, BenchGate, BenchReport};
 pub use context::AnalysisCtx;
 pub use dataset::{CrawlDataset, Dataset, GroundTruthDataset};
 pub use pipeline::{

@@ -386,11 +386,18 @@ impl Reproduction {
             table1.1, table2.1, table3.1, table4.1, table5.1, fig2.1, fig3.1, fig4.1, fig5.1,
             fig6.1, fig7.1, fig8.1, fig9.1, fig10.1,
         ];
-        let stages = STAGE_IDS
+        let stages: Vec<StageTiming> = STAGE_IDS
             .iter()
             .zip(stage_ms)
             .map(|(&id, millis)| StageTiming { id: id.to_string(), millis })
             .collect();
+        let wall_ms = wall.elapsed().as_secs_f64() * 1_000.0;
+        let obs = gplus_obs::global();
+        for stage in &stages {
+            obs.gauge(&format!("pipeline.stage.{}_ms", stage.id)).set(stage.millis);
+        }
+        obs.counter("pipeline.analyse.runs").inc();
+        obs.gauge("pipeline.analyse.wall_ms").set(wall_ms);
         ReproductionReport {
             n_users: 0,
             crawled: false,
@@ -410,12 +417,7 @@ impl Reproduction {
             fig8: fig8.0,
             fig9: fig9.0,
             fig10: fig10.0,
-            timings: Some(StageTimings {
-                parallel,
-                threads,
-                wall_ms: wall.elapsed().as_secs_f64() * 1_000.0,
-                stages,
-            }),
+            timings: Some(StageTimings { parallel, threads, wall_ms, stages }),
         }
     }
 }

@@ -21,15 +21,19 @@ use crate::config::CrawlerConfig;
 use crate::result::{CrawlResult, CrawlStats};
 use crate::retry::{RetryCounters, RetryPolicy};
 use gplus_graph::GraphBuilder;
+use gplus_obs::Registry;
 use gplus_service::{Direction, FetchError, ProfilePage, SocialApi};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
-/// The crawler. Holds only configuration; all run state lives in
-/// [`Crawler::run`]'s frame, so one crawler can run multiple crawls.
+/// The crawler. Holds only configuration (and a metrics registry); all
+/// run state lives in [`Crawler::run`]'s frame, so one crawler can run
+/// multiple crawls.
 #[derive(Debug, Clone)]
 pub struct Crawler {
     config: CrawlerConfig,
+    registry: Arc<Registry>,
 }
 
 /// Frontier and bookkeeping shared between workers.
@@ -82,8 +86,17 @@ impl Crawler {
     /// # Panics
     /// Panics if the configuration is invalid.
     pub fn new(config: CrawlerConfig) -> Self {
+        Self::with_registry(config, Arc::clone(gplus_obs::global()))
+    }
+
+    /// Like [`Self::new`] but recording metrics into `registry` instead
+    /// of the process-global one (for exact-equality tests).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn with_registry(config: CrawlerConfig, registry: Arc<Registry>) -> Self {
         config.validate();
-        Self { config }
+        Self { config, registry }
     }
 
     /// The paper's setup: single seed (node 1 = Mark Zuckerberg), 11
@@ -95,6 +108,11 @@ impl Crawler {
     /// The active configuration.
     pub fn config(&self) -> &CrawlerConfig {
         &self.config
+    }
+
+    /// The metrics registry this crawler records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Runs a full crawl against any [`SocialApi`] transport.
@@ -217,7 +235,9 @@ impl Crawler {
                 id
             })
         };
+        let backoff_hist = self.registry.histogram("crawler.retry.backoff_per_user_ticks");
         for item in collected {
+            backoff_hist.observe(item.backoff_ticks);
             let u = intern(item.page.user_id, &mut index, &mut user_ids);
             stats.profiles_crawled += 1;
             stats.retries += item.retries;
@@ -248,6 +268,18 @@ impl Crawler {
         stats.users_discovered = user_ids.len() as u64;
         builder.ensure_nodes(user_ids.len());
         let graph = builder.build();
+
+        let obs = &self.registry;
+        obs.counter("crawler.profiles_crawled_count").add(stats.profiles_crawled);
+        obs.counter("crawler.retry.attempts_count").add(stats.retries);
+        obs.counter("crawler.retry.transient_count").add(stats.transient_errors);
+        obs.counter("crawler.retry.rate_limited_count").add(stats.rate_limited);
+        obs.counter("crawler.retry.backoff_ticks").add(stats.backoff_ticks);
+        obs.counter("crawler.dead_letter.requeues_count").add(stats.dead_letter_requeues);
+        obs.counter("crawler.dead_letter.sweep_rounds_count").add(stats.sweep_rounds);
+        obs.counter("crawler.failed_profiles_count").add(stats.failed_profiles);
+        obs.gauge("crawler.sim_ticks").set(stats.sim_ticks as f64);
+        obs.gauge("crawler.users_discovered_count").set(stats.users_discovered as f64);
 
         (CrawlResult { user_ids, index, graph, pages, stats }, snapshots)
     }
@@ -339,6 +371,13 @@ impl Crawler {
     /// In-flight users roll back into the frontier (and out of `started`,
     /// so resume re-counts them against the budget).
     fn snapshot(&self, s: &Shared, collected: &[CrawledRecord], clock: u64) -> CrawlCheckpoint {
+        self.registry.counter("crawler.checkpoint.taken_count").inc();
+        self.registry
+            .histogram("crawler.checkpoint.records_count")
+            .observe(collected.len() as u64);
+        self.registry
+            .histogram("crawler.checkpoint.frontier_count")
+            .observe((s.in_flight.len() + s.queue.len()) as u64);
         CrawlCheckpoint {
             version: CHECKPOINT_VERSION,
             config: self.config.clone(),
@@ -622,6 +661,36 @@ mod tests {
         assert_eq!(result.stats.sweep_rounds, 2);
         assert!(result.node_of(2).is_some(), "the user is discovered, just not crawled");
         assert!(!result.pages.contains_key(&result.node_of(2).unwrap()));
+    }
+
+    #[test]
+    fn metrics_mirror_crawl_stats() {
+        let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(800, 34));
+        let svc = GooglePlusService::new(
+            net,
+            ServiceConfig {
+                failure_rate: 0.15,
+                private_list_fraction: 0.0,
+                ..Default::default()
+            },
+        );
+        let registry = Arc::new(Registry::new());
+        let crawler = Crawler::with_registry(CrawlerConfig::default(), Arc::clone(&registry));
+        let result = crawler.run(&svc);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("crawler.profiles_crawled_count"),
+            result.stats.profiles_crawled
+        );
+        assert_eq!(
+            snap.counter("crawler.retry.transient_count"),
+            result.stats.transient_errors
+        );
+        assert_eq!(snap.counter("crawler.retry.backoff_ticks"), result.stats.backoff_ticks);
+        // the per-user backoff histogram aggregates to the same totals
+        let hist = &snap.histograms["crawler.retry.backoff_per_user_ticks"];
+        assert_eq!(hist.count, result.stats.profiles_crawled);
+        assert_eq!(hist.sum, result.stats.backoff_ticks);
     }
 
     #[test]

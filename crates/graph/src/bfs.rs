@@ -25,15 +25,20 @@ pub fn distances(g: &CsrGraph, source: NodeId) -> Vec<u32> {
     let mut queue = VecDeque::new();
     dist[source as usize] = 0;
     queue.push_back(source);
+    let mut visited = 1u64;
     while let Some(u) = queue.pop_front() {
         let du = dist[u as usize];
         for &v in g.out_neighbors(u) {
             if dist[v as usize] == UNREACHABLE {
                 dist[v as usize] = du + 1;
+                visited += 1;
                 queue.push_back(v);
             }
         }
     }
+    let obs = gplus_obs::global();
+    obs.counter("graph.bfs.runs").inc();
+    obs.counter("graph.bfs.visited_count").add(visited);
     dist
 }
 
@@ -97,6 +102,9 @@ pub fn levels_with_scratch(
         reached += level;
         std::mem::swap(&mut scratch.queue, &mut scratch.next);
     }
+    let obs = gplus_obs::global();
+    obs.counter("graph.bfs.runs").inc();
+    obs.counter("graph.bfs.visited_count").add(reached);
     BfsLevels { counts, eccentricity: depth, reached }
 }
 

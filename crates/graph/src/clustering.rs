@@ -59,6 +59,8 @@ fn sorted_intersection_count(adj: &[NodeId], targets: &[NodeId], skip: NodeId) -
 /// Exact CC for every eligible node (`|OS(u)| > 1`), in parallel.
 /// Order is unspecified (the consumer builds a CDF).
 pub fn clustering_all(g: &CsrGraph) -> Vec<f64> {
+    let _span = gplus_obs::global().span("graph.clustering.exact");
+    gplus_obs::global().counter("graph.clustering.nodes_count").add(g.node_count() as u64);
     (0..g.node_count() as NodeId)
         .into_par_iter()
         .filter_map(|u| clustering_coefficient(g, u))
@@ -72,7 +74,9 @@ pub fn clustering_all(g: &CsrGraph) -> Vec<f64> {
 /// are skipped, exactly as the paper "only consider\[s\] the nodes with
 /// |OS(u)| > 1").
 pub fn sampled_cc<R: Rng + ?Sized>(g: &CsrGraph, sample_size: usize, rng: &mut R) -> Vec<f64> {
+    let _span = gplus_obs::global().span("graph.clustering.sampled");
     let idx = gplus_stats::sample_indices(rng, g.node_count(), sample_size);
+    gplus_obs::global().counter("graph.clustering.nodes_count").add(idx.len() as u64);
     idx.into_par_iter().filter_map(|u| clustering_coefficient(g, u as NodeId)).collect()
 }
 

@@ -54,6 +54,7 @@ impl PageRank {
 /// # Panics
 /// Panics if `damping` is outside `[0, 1)` or the graph is empty.
 pub fn pagerank(g: &CsrGraph, params: &PageRankParams) -> PageRank {
+    let _span = gplus_obs::global().span("graph.pagerank");
     assert!((0.0..1.0).contains(&params.damping), "damping must be in [0,1)");
     let n = g.node_count();
     assert!(n > 0, "pagerank requires a non-empty graph");
@@ -85,6 +86,9 @@ pub fn pagerank(g: &CsrGraph, params: &PageRankParams) -> PageRank {
         iterations += 1;
     }
 
+    let obs = gplus_obs::global();
+    obs.gauge("graph.pagerank.iterations").set(iterations as f64);
+    obs.counter("graph.pagerank.nodes_count").add(n as u64);
     PageRank { scores: rank, iterations, final_delta: delta }
 }
 

@@ -56,7 +56,9 @@ impl SccResult {
 /// the transpose in reverse completion order; each tree is one SCC. The
 /// transpose is free because [`CsrGraph`] stores reverse adjacency.
 pub fn kosaraju(g: &CsrGraph) -> SccResult {
+    let _span = gplus_obs::global().span("graph.scc.kosaraju");
     let n = g.node_count();
+    gplus_obs::global().counter("graph.scc.nodes_count").add(n as u64);
     let mut finish_order: Vec<NodeId> = Vec::with_capacity(n);
     let mut visited = vec![false; n];
 
@@ -115,6 +117,7 @@ pub fn kosaraju(g: &CsrGraph) -> SccResult {
 /// suite asserts it partitions identically to [`kosaraju`]) and for the
 /// ablation bench comparing the two.
 pub fn tarjan(g: &CsrGraph) -> SccResult {
+    let _span = gplus_obs::global().span("graph.scc.tarjan");
     const UNSET: u32 = u32::MAX;
     let n = g.node_count();
     let mut index = vec![UNSET; n]; // discovery index

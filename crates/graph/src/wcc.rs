@@ -99,21 +99,27 @@ impl WccResult {
 
 /// Computes the weakly connected components of `g`.
 pub fn weakly_connected_components(g: &CsrGraph) -> WccResult {
+    let _span = gplus_obs::global().span("graph.wcc");
     let n = g.node_count();
     let mut uf = UnionFind::new(n);
     for (u, v) in g.edges() {
         uf.union(u, v);
     }
-    // densify representative ids
-    let mut remap = std::collections::HashMap::new();
+    // densify representative ids: roots are node ids (already dense in
+    // 0..n), so a Vec remap table replaces the old per-node HashMap
+    let mut remap = vec![u32::MAX; n];
     let mut component = vec![0u32; n];
+    let mut count = 0u32;
     for v in 0..n as NodeId {
-        let root = uf.find(v);
-        let next = remap.len() as u32;
-        let id = *remap.entry(root).or_insert(next);
-        component[v as usize] = id;
+        let root = uf.find(v) as usize;
+        if remap[root] == u32::MAX {
+            remap[root] = count;
+            count += 1;
+        }
+        component[v as usize] = remap[root];
     }
-    WccResult { component, count: remap.len() }
+    gplus_obs::global().counter("graph.wcc.nodes_count").add(n as u64);
+    WccResult { component, count: count as usize }
 }
 
 #[cfg(test)]

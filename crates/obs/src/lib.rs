@@ -1,0 +1,48 @@
+//! # gplus-obs — the workspace's observability layer
+//!
+//! A lock-light metrics registry plus a span-timing API, built for a
+//! system whose north star is "as fast as the hardware allows": you
+//! cannot optimize what you cannot see, and you must not pay for the
+//! seeing.
+//!
+//! * [`Counter`] / [`Gauge`] / [`Histogram`] — atomic instruments; the
+//!   histogram uses fixed log₂ buckets so recording never allocates.
+//! * [`Registry`] — name → instrument map; handles are `Arc`s, so hot
+//!   paths resolve once and record lock-free. [`global`] is the
+//!   process-wide default every component records into unless handed an
+//!   explicit registry.
+//! * [`Registry::span`] — RAII wall-clock timing: drop the guard, get a
+//!   `*.runs` counter bump and a `*.duration_us` histogram observation.
+//! * [`MetricsSnapshot`] — the serde-exportable frozen view, with
+//!   deterministic (sorted) serialisation; `gplus bench-suite` embeds one
+//!   in every `BENCH_pipeline.json`.
+//! * [`Registry::set_enabled`] — the no-op gate: closed, every record
+//!   call is one relaxed load and a branch, which is how the bench suite
+//!   demonstrates the overhead bound without a second compilation.
+//!
+//! ```
+//! use gplus_obs::Registry;
+//!
+//! let reg = Registry::new();
+//! let fetched = reg.counter("crawler.profiles_crawled");
+//! fetched.inc();
+//! reg.histogram("crawler.retry.backoff_ticks").observe(17);
+//! {
+//!     let _timing = reg.span("graph.scc.kosaraju");
+//!     // ... work ...
+//! }
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("crawler.profiles_crawled"), 1);
+//! assert_eq!(snap.counter("graph.scc.kosaraju.runs"), 1);
+//! ```
+
+pub mod metrics;
+pub mod registry;
+pub mod snapshot;
+
+pub use metrics::{
+    bucket_bounds, bucket_index, BucketCount, Counter, Gauge, Histogram, HistogramSnapshot,
+    NUM_BUCKETS,
+};
+pub use registry::{global, Registry, Span};
+pub use snapshot::MetricsSnapshot;

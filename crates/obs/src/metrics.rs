@@ -1,0 +1,276 @@
+//! The metric primitives: atomic counters, f64 gauges, and fixed-bucket
+//! log₂-scale histograms.
+//!
+//! Every primitive shares the owning registry's *gate* — an
+//! [`AtomicBool`] consulted with one relaxed load per operation. With the
+//! gate closed every record call is a load-and-branch, which is how the
+//! registry doubles as its own no-op implementation: the bench suite
+//! measures the metrics overhead by running the identical pipeline twice,
+//! once per gate position.
+//!
+//! All operations use [`Ordering::Relaxed`]: metrics are monotone
+//! statistics, not synchronization edges. Concurrent increments never
+//! lose counts (atomic RMW), but a snapshot taken mid-update may observe
+//! a histogram whose `count` and `sum` straddle an in-flight observation
+//! — acceptable for telemetry, and the reason snapshots are not used as
+//! barriers anywhere.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets: one for zero, one per power of two up to
+/// `2^63`, and a final bucket for `[2^63, u64::MAX]`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// Bucket index for a value: `0` holds exactly `0`; bucket `i ≥ 1` holds
+/// `[2^(i-1), 2^i - 1]`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` bounds of bucket `index`.
+///
+/// # Panics
+/// Panics if `index >= NUM_BUCKETS`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < NUM_BUCKETS, "bucket index out of range");
+    match index {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        i => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+/// A monotone counter.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+    gate: Arc<AtomicBool>,
+}
+
+impl Counter {
+    pub(crate) fn new(gate: Arc<AtomicBool>) -> Self {
+        Self { value: AtomicU64::new(0), gate }
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.gate.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+    gate: Arc<AtomicBool>,
+}
+
+impl Gauge {
+    pub(crate) fn new(gate: Arc<AtomicBool>) -> Self {
+        Self { bits: AtomicU64::new(0f64.to_bits()), gate }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if self.gate.load(Ordering::Relaxed) {
+            self.bits.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket log₂ histogram over `u64` observations.
+///
+/// Bucket layout is compile-time fixed (see [`bucket_index`]), so
+/// recording is a shift, two atomic adds and one atomic increment — no
+/// allocation, no locking, no configuration to mismatch between runs.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+    gate: Arc<AtomicBool>,
+}
+
+impl Histogram {
+    pub(crate) fn new(gate: Arc<AtomicBool>) -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            gate,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if self.gate.load(Ordering::Relaxed) {
+            self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(value, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (wraps on overflow, like any u64 total).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Occupancy of bucket `index`.
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.buckets[index].load(Ordering::Relaxed)
+    }
+
+    /// Serialisable view: count, sum, and every non-empty bucket.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = (0..NUM_BUCKETS)
+            .filter_map(|i| {
+                let count = self.bucket_count(i);
+                (count > 0).then(|| {
+                    let (lo, hi) = bucket_bounds(i);
+                    BucketCount { lo, hi, count }
+                })
+            })
+            .collect();
+        HistogramSnapshot { count: self.count(), sum: self.sum(), buckets }
+    }
+}
+
+/// One non-empty histogram bucket in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+    /// Observations that fell in `[lo, hi]`.
+    pub count: u64,
+}
+
+/// Frozen view of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Non-empty buckets, ascending by bound.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_gate() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(true))
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // bounds and index agree on every bucket edge
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "hi of bucket {i}");
+            if i + 1 < NUM_BUCKETS {
+                assert_eq!(hi + 1, bucket_bounds(i + 1).0, "buckets {i},{} abut", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_observations_land_in_the_right_bucket() {
+        let h = Histogram::new(open_gate());
+        for v in [0, 1, 2, 3, 4, 7, 8, 1000, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.sum(), 2049);
+        assert_eq!(h.bucket_count(0), 1); // 0
+        assert_eq!(h.bucket_count(1), 1); // 1
+        assert_eq!(h.bucket_count(2), 2); // 2, 3
+        assert_eq!(h.bucket_count(3), 2); // 4, 7
+        assert_eq!(h.bucket_count(4), 1); // 8
+        assert_eq!(h.bucket_count(10), 1); // 1000
+        assert_eq!(h.bucket_count(11), 1); // 1024
+    }
+
+    #[test]
+    fn closed_gate_makes_every_recorder_a_no_op() {
+        let gate = Arc::new(AtomicBool::new(false));
+        let c = Counter::new(gate.clone());
+        let g = Gauge::new(gate.clone());
+        let h = Histogram::new(gate.clone());
+        c.inc();
+        c.add(10);
+        g.set(3.5);
+        h.observe(42);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        assert_eq!(h.count(), 0);
+        // reopening the gate resumes recording on the same instances
+        gate.store(true, Ordering::Relaxed);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn gauge_holds_last_written_value() {
+        let g = Gauge::new(open_gate());
+        g.set(1.25);
+        g.set(-7.5);
+        assert_eq!(g.get(), -7.5);
+    }
+}

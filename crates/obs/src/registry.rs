@@ -1,0 +1,236 @@
+//! The metrics registry and the span-timing API.
+//!
+//! A [`Registry`] maps metric names to shared atomic instruments. Lookup
+//! takes a short read-lock on a per-kind `BTreeMap`; registration (first
+//! use of a name) upgrades to a write-lock once. Hot paths resolve their
+//! handles up front ([`Registry::counter`] returns an `Arc`) and then
+//! record lock-free forever after.
+//!
+//! ## Naming scheme
+//!
+//! Names are dot-separated `component.subsystem.event` paths with a unit
+//! suffix on anything that is not a plain count: `_ms`, `_us`, `_ticks`,
+//! `_bytes`, `_count`. Examples: `crawler.retry.backoff_ticks`,
+//! `service.fault.injected.outage`, `pipeline.stage.fig5_ms`,
+//! `graph.scc.kosaraju.duration_us`. Counters, gauges and histograms live
+//! in separate namespaces, but the convention keeps names globally unique
+//! anyway so snapshots stay greppable.
+//!
+//! ## The global registry
+//!
+//! Components that cannot reasonably thread a handle through their API
+//! (graph kernels, the analysis executor) record into [`global`].
+//! Components with construction sites (`GooglePlusService`, `Crawler`)
+//! default to [`global`] but accept an explicit registry, which is what
+//! exact-equality tests use for isolation.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::snapshot::MetricsSnapshot;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// A named collection of metric instruments.
+#[derive(Debug)]
+pub struct Registry {
+    gate: Arc<AtomicBool>,
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty, enabled registry.
+    pub fn new() -> Self {
+        Self {
+            gate: Arc::new(AtomicBool::new(true)),
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether recording is enabled.
+    pub fn enabled(&self) -> bool {
+        self.gate.load(Ordering::Relaxed)
+    }
+
+    /// Opens or closes the recording gate. With the gate closed every
+    /// record call on every instrument of this registry — including
+    /// handles resolved earlier — degrades to one relaxed load and a
+    /// branch, which is the "metrics compiled out" arm of the overhead
+    /// bench.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.gate.store(enabled, Ordering::Relaxed);
+    }
+
+    fn get_or_insert<M>(
+        map: &RwLock<BTreeMap<String, Arc<M>>>,
+        name: &str,
+        make: impl FnOnce() -> M,
+    ) -> Arc<M> {
+        if let Some(m) = map.read().get(name) {
+            return m.clone();
+        }
+        map.write().entry(name.to_string()).or_insert_with(|| Arc::new(make())).clone()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Self::get_or_insert(&self.counters, name, || Counter::new(self.gate.clone()))
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Self::get_or_insert(&self.gauges, name, || Gauge::new(self.gate.clone()))
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Self::get_or_insert(&self.histograms, name, || Histogram::new(self.gate.clone()))
+    }
+
+    /// Starts a timing span. Dropping the returned guard increments
+    /// `<name>.runs` and records the elapsed microseconds into
+    /// `<name>.duration_us`.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            runs: self.counter(&format!("{name}.runs")),
+            duration_us: self.histogram(&format!("{name}.duration_us")),
+            start: Instant::now(),
+        }
+    }
+
+    /// A frozen, serialisable view of every registered metric. Names are
+    /// sorted (BTreeMap order), so two snapshots of identical state
+    /// serialise byte-identically.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.read().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: self.gauges.read().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// An in-flight timing span; see [`Registry::span`].
+#[must_use = "a span records on drop; binding it to _ discards the timing"]
+pub struct Span {
+    runs: Arc<Counter>,
+    duration_us: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.runs.inc();
+        self.duration_us.observe(self.start.elapsed().as_micros() as u64);
+    }
+}
+
+/// The process-wide default registry.
+pub fn global() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(Registry::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_per_name() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("x").get(), 3);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn counters_are_exact_under_rayon_contention() {
+        use rayon::prelude::*;
+        let r = Registry::new();
+        let c = r.counter("contended.total");
+        let h = r.histogram("contended.values");
+        (0..10_000u64).into_par_iter().for_each(|i| {
+            c.inc();
+            h.observe(i % 128);
+        });
+        assert_eq!(c.get(), 10_000);
+        assert_eq!(h.count(), 10_000);
+        let expected_sum: u64 = (0..10_000u64).map(|i| i % 128).sum();
+        assert_eq!(h.sum(), expected_sum);
+    }
+
+    #[test]
+    fn concurrent_first_registration_yields_one_instrument() {
+        use rayon::prelude::*;
+        let r = Registry::new();
+        (0..1_000u64).into_par_iter().for_each(|_| r.counter("raced.total").inc());
+        assert_eq!(r.counter("raced.total").get(), 1_000);
+        assert_eq!(r.snapshot().counters.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_regardless_of_registration_order() {
+        let run = |names: &[&str]| {
+            let r = Registry::new();
+            for n in names {
+                r.counter(n).add(n.len() as u64);
+                r.histogram(&format!("{n}.h")).observe(n.len() as u64);
+                r.gauge(&format!("{n}.g")).set(n.len() as f64);
+            }
+            r.snapshot()
+        };
+        let a = run(&["alpha", "beta", "gamma"]);
+        let b = run(&["gamma", "alpha", "beta"]);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing_but_keeps_names() {
+        let r = Registry::new();
+        let c = r.counter("quiet.total");
+        r.set_enabled(false);
+        c.inc();
+        r.histogram("quiet.h").observe(9);
+        assert_eq!(c.get(), 0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["quiet.total"], 0);
+        assert_eq!(snap.histograms["quiet.h"].count, 0);
+        r.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn span_records_runs_and_duration() {
+        let r = Registry::new();
+        {
+            let _span = r.span("work.unit");
+        }
+        {
+            let _span = r.span("work.unit");
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["work.unit.runs"], 2);
+        assert_eq!(snap.histograms["work.unit.duration_us"].count, 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Frozen, serialisable metric state.
+//!
+//! A [`MetricsSnapshot`] is the export format of the whole observability
+//! layer: `BTreeMap`s keyed by metric name, so serialisation order is
+//! deterministic and two snapshots of identical state are byte-identical
+//! JSON — the property the bench suite's regression gate relies on when
+//! diffing runs.
+
+use crate::metrics::HistogramSnapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Frozen view of one [`crate::Registry`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram views by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Every metric name in the snapshot, sorted, across all kinds.
+    pub fn metric_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(String::as_str)
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of distinct metric names.
+    pub fn distinct_metrics(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// A counter's value, or 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialises")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn names_span_all_kinds_and_sort() {
+        let r = Registry::new();
+        r.counter("b.count").inc();
+        r.gauge("a.gauge_ms").set(1.0);
+        r.histogram("c.hist_us").observe(5);
+        let snap = r.snapshot();
+        assert_eq!(snap.metric_names(), vec!["a.gauge_ms", "b.count", "c.hist_us"]);
+        assert_eq!(snap.distinct_metrics(), 3);
+        assert_eq!(snap.counter("b.count"), 1);
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let r = Registry::new();
+        r.counter("x.total").add(7);
+        r.gauge("x.level_ms").set(2.5);
+        for v in [1u64, 10, 100, 1000] {
+            r.histogram("x.sizes_bytes").observe(v);
+        }
+        let snap = r.snapshot();
+        let back: MetricsSnapshot = serde_json::from_str(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+}

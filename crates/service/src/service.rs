@@ -7,11 +7,13 @@ use crate::failure::user_coin;
 use crate::fault::{FaultCause, FaultKey, FaultPlan};
 use crate::page::{CirclePage, Direction, ProfilePage};
 use crate::ratelimit::TokenBucket;
+use gplus_obs::{Counter, Registry};
 use gplus_synth::SynthNetwork;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Service behaviour knobs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -84,6 +86,37 @@ impl ServiceStats {
     }
 }
 
+/// Pre-resolved metric handles mirroring [`ServiceStats`] into an
+/// observability [`Registry`]. Resolving once at construction keeps the
+/// per-request cost to a single atomic add (plus a relaxed gate load).
+struct ServiceObs {
+    profile_requests: Arc<Counter>,
+    circle_requests: Arc<Counter>,
+    rate_limited: Arc<Counter>,
+    private_rejections: Arc<Counter>,
+    fault_total: Arc<Counter>,
+    fault_bernoulli: Arc<Counter>,
+    fault_outage: Arc<Counter>,
+    fault_burst: Arc<Counter>,
+    fault_permafail: Arc<Counter>,
+}
+
+impl ServiceObs {
+    fn resolve(registry: &Registry) -> Self {
+        Self {
+            profile_requests: registry.counter("service.requests.profile_count"),
+            circle_requests: registry.counter("service.requests.circle_count"),
+            rate_limited: registry.counter("service.ratelimit.rejected_count"),
+            private_rejections: registry.counter("service.privacy.rejections_count"),
+            fault_total: registry.counter("service.fault.injected.total_count"),
+            fault_bernoulli: registry.counter("service.fault.injected.bernoulli_count"),
+            fault_outage: registry.counter("service.fault.injected.outage_count"),
+            fault_burst: registry.counter("service.fault.injected.burst_count"),
+            fault_permafail: registry.counter("service.fault.injected.permafail_count"),
+        }
+    }
+}
+
 /// The surface a crawler needs: profile pages and paginated circle
 /// lists. Implemented by [`GooglePlusService`] (direct calls) and
 /// [`crate::WireService`] (every byte through the wire protocol), so the
@@ -116,6 +149,8 @@ pub struct GooglePlusService {
     attempts: Mutex<HashMap<u64, u64>>,
     bucket: Option<Mutex<TokenBucket>>,
     stats: ServiceStats,
+    registry: Arc<Registry>,
+    obs: ServiceObs,
 }
 
 impl GooglePlusService {
@@ -125,6 +160,20 @@ impl GooglePlusService {
     /// Panics on nonsensical config (zero page size, limit smaller than a
     /// page, invalid probabilities, NaN/negative rate-limiter knobs).
     pub fn new(network: SynthNetwork, config: ServiceConfig) -> Self {
+        Self::with_registry(network, config, Arc::clone(gplus_obs::global()))
+    }
+
+    /// Like [`Self::new`] but recording metrics into `registry` instead of
+    /// the process-global one. Tests use this to make exact-equality
+    /// assertions on counters without interference from parallel tests.
+    ///
+    /// # Panics
+    /// Same validation as [`Self::new`].
+    pub fn with_registry(
+        network: SynthNetwork,
+        config: ServiceConfig,
+        registry: Arc<Registry>,
+    ) -> Self {
         assert!(config.page_size > 0, "page_size must be positive");
         assert!(
             config.circle_list_limit >= config.page_size,
@@ -153,6 +202,7 @@ impl GooglePlusService {
         let bucket = config
             .rate_limit_capacity
             .map(|cap| Mutex::new(TokenBucket::new(cap, config.rate_limit_refill)));
+        let obs = ServiceObs::resolve(&registry);
         Self {
             network,
             config,
@@ -161,6 +211,8 @@ impl GooglePlusService {
             attempts: Mutex::new(HashMap::new()),
             bucket,
             stats: ServiceStats::default(),
+            registry,
+            obs,
         }
     }
 
@@ -172,6 +224,11 @@ impl GooglePlusService {
     /// Request statistics.
     pub fn stats(&self) -> &ServiceStats {
         &self.stats
+    }
+
+    /// The metrics registry this service records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Ground truth (for evaluation code only; the crawler must not peek).
@@ -203,6 +260,7 @@ impl GooglePlusService {
         if let Some(bucket) = &self.bucket {
             if !bucket.lock().try_acquire() {
                 self.stats.rate_limited.fetch_add(1, Ordering::Relaxed);
+                self.obs.rate_limited.inc();
                 return Err(FetchError::RateLimited);
             }
         }
@@ -219,13 +277,19 @@ impl GooglePlusService {
         };
         if let Some(cause) = self.plan.decide(self.config.seed, FaultKey { seq, user, attempt })
         {
-            let counter = match cause {
-                FaultCause::Bernoulli => &self.stats.injected_bernoulli,
-                FaultCause::Outage => &self.stats.injected_outage,
-                FaultCause::Burst => &self.stats.injected_burst,
-                FaultCause::Permafail => &self.stats.injected_permafail,
+            let (counter, metric) = match cause {
+                FaultCause::Bernoulli => {
+                    (&self.stats.injected_bernoulli, &self.obs.fault_bernoulli)
+                }
+                FaultCause::Outage => (&self.stats.injected_outage, &self.obs.fault_outage),
+                FaultCause::Burst => (&self.stats.injected_burst, &self.obs.fault_burst),
+                FaultCause::Permafail => {
+                    (&self.stats.injected_permafail, &self.obs.fault_permafail)
+                }
             };
             counter.fetch_add(1, Ordering::Relaxed);
+            metric.inc();
+            self.obs.fault_total.inc();
             self.stats.transient_failures.fetch_add(1, Ordering::Relaxed);
             return Err(FetchError::Transient);
         }
@@ -247,6 +311,7 @@ impl GooglePlusService {
             self.lists_private(user),
         );
         self.stats.profile_requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.profile_requests.inc();
         Ok(page)
     }
 
@@ -267,6 +332,7 @@ impl GooglePlusService {
         self.admit(user)?;
         if self.lists_private(user) {
             self.stats.private_rejections.fetch_add(1, Ordering::Relaxed);
+            self.obs.private_rejections.inc();
             return Err(FetchError::PrivateList);
         }
         let node = user as u32;
@@ -280,6 +346,7 @@ impl GooglePlusService {
         let end = (start + self.config.page_size).min(visible.len());
         let users: Vec<u64> = visible[start..end].iter().map(|&v| v as u64).collect();
         self.stats.circle_requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.circle_requests.inc();
         Ok(CirclePage {
             user_id: user,
             direction,
@@ -592,6 +659,37 @@ mod tests {
         cfg.fault_plan = crate::fault::FaultPlan::uniform(0.7);
         let svc = service(200, cfg);
         assert_eq!(svc.fault_plan().bernoulli_rate, 0.7);
+    }
+
+    #[test]
+    fn metrics_mirror_stats_exactly() {
+        // a dedicated registry sees exactly what ServiceStats sees; the
+        // process-global registry would only support >= assertions because
+        // parallel tests share it
+        let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(500, 77));
+        let registry = Arc::new(Registry::new());
+        let mut cfg = quiet_config();
+        cfg.failure_rate = 0.3;
+        cfg.private_list_fraction = 0.4;
+        let svc = GooglePlusService::with_registry(net, cfg, Arc::clone(&registry));
+        for user in 0..300u64 {
+            let _ = svc.fetch_profile(user);
+            let _ = svc.fetch_circle_page(user, Direction::InCircles, 0);
+        }
+        let snap = registry.snapshot();
+        let stats = svc.stats();
+        let pairs = [
+            ("service.requests.profile_count", &stats.profile_requests),
+            ("service.requests.circle_count", &stats.circle_requests),
+            ("service.privacy.rejections_count", &stats.private_rejections),
+            ("service.fault.injected.bernoulli_count", &stats.injected_bernoulli),
+            ("service.fault.injected.total_count", &stats.transient_failures),
+        ];
+        for (name, stat) in pairs {
+            assert_eq!(snap.counter(name), stat.load(Ordering::Relaxed), "{name}");
+        }
+        assert!(snap.counter("service.requests.profile_count") > 0);
+        assert!(snap.counter("service.fault.injected.bernoulli_count") > 0);
     }
 
     #[test]

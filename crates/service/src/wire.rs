@@ -18,8 +18,10 @@ use crate::failure::splitmix64;
 use crate::page::{CirclePage, Direction, ProfilePage};
 use crate::service::{GooglePlusService, SocialApi};
 use bytes::{Buf, BufMut, BytesMut};
+use gplus_obs::{Counter, Histogram};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Maximum accepted frame payload (guards against corrupt lengths).
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
@@ -172,16 +174,34 @@ pub struct WireService {
     frames_sent: AtomicU64,
     /// Response frames damaged in transit.
     frames_corrupted: AtomicU64,
+    obs: WireObs,
+}
+
+/// Pre-resolved wire-level metric handles (same registry as the wrapped
+/// service's request counters).
+struct WireObs {
+    frames_sent: Arc<Counter>,
+    frames_corrupted: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    frame_bytes: Arc<Histogram>,
 }
 
 impl WireService {
     /// Wraps a service.
     pub fn new(inner: GooglePlusService) -> Self {
+        let registry = inner.registry();
+        let obs = WireObs {
+            frames_sent: registry.counter("service.wire.frames_sent_count"),
+            frames_corrupted: registry.counter("service.wire.frames_corrupted_count"),
+            bytes_sent: registry.counter("service.wire.sent_bytes"),
+            frame_bytes: registry.histogram("service.wire.frame_bytes"),
+        };
         Self {
             inner,
             corruption: None,
             frames_sent: AtomicU64::new(0),
             frames_corrupted: AtomicU64::new(0),
+            obs,
         }
     }
 
@@ -236,10 +256,14 @@ impl WireService {
         let response = self.serve(server_side);
         let mut wire = BytesMut::new();
         encode(&response, &mut wire);
+        self.obs.frames_sent.inc();
+        self.obs.bytes_sent.add(wire.len() as u64);
+        self.obs.frame_bytes.observe(wire.len() as u64);
         if let Some(plan) = &self.corruption {
             let frame = self.frames_sent.fetch_add(1, Ordering::Relaxed);
             if plan.corrupts(frame) {
                 self.frames_corrupted.fetch_add(1, Ordering::Relaxed);
+                self.obs.frames_corrupted.inc();
                 plan.damage(frame, &mut wire);
                 return match decode::<Response>(&mut wire) {
                     Ok(_) => unreachable!("damaged frames must not decode"),

@@ -9,6 +9,8 @@
 //!                [--checkpoint PATH] [--resume PATH]
 //! gplus export   [-n N] [-s SEED] [--edges PATH] [--profiles PATH]
 //! gplus growth   [-n N] [-s SEED]
+//! gplus bench-suite [-n N] [-s SEED] [--out PATH] [--write-baseline PATH]
+//! gplus bench-check [--baseline PATH] [--current PATH] [--threshold F]
 //! ```
 //!
 //! `run` executes the full pipeline (ground truth by default, `--crawl`
@@ -18,7 +20,10 @@
 //! (edge list + profile attributes), so downstream tooling can consume it.
 
 use gplus::analysis::registry;
-use gplus::analysis::{Reproduction, ReproductionConfig};
+use gplus::analysis::{
+    bench_compare, BenchConfig, BenchGate, BenchReport, CrawlDataset, Reproduction,
+    ReproductionConfig, StageTiming,
+};
 use gplus::crawler::{CrawlCheckpoint, CrawlResult, Crawler, CrawlerConfig};
 use gplus::service::{
     CorruptionPlan, FaultPlan, GooglePlusService, ServiceConfig, SocialApi, WireService,
@@ -34,6 +39,8 @@ fn main() {
         Some("crawl") => cmd_crawl(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("growth") => cmd_growth(&args[1..]),
+        Some("bench-suite") => cmd_bench_suite(&args[1..]),
+        Some("bench-check") => cmd_bench_check(&args[1..]),
         Some("help") | None => {
             print_usage();
             0
@@ -58,7 +65,9 @@ fn print_usage() {
          [--corrupt RATE] [--sweeps N] [--checkpoint-every N]\n               \
          [--checkpoint PATH] [--resume PATH]\n  \
          gplus export [-n N] [-s SEED] [--edges PATH] [--profiles PATH]\n  \
-         gplus growth [-n N] [-s SEED]\n\n\
+         gplus growth [-n N] [-s SEED]\n  \
+         gplus bench-suite [-n N] [-s SEED] [--out PATH] [--write-baseline PATH]\n  \
+         gplus bench-check [--baseline PATH] [--current PATH] [--threshold F]\n\n\
          Experiment IDs for `run`: see `gplus list`."
     );
 }
@@ -445,4 +454,177 @@ fn cmd_growth(args: &[String]) -> i32 {
         println!("densification exponent a = {a:.2} (Leskovec: 1 < a < 2)");
     }
     0
+}
+
+/// Output of a child process's first line, or `None` on any failure —
+/// bench provenance fields degrade to "unknown" rather than erroring.
+fn command_line(cmd: &str, args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new(cmd).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(out.stdout).ok()?;
+    text.lines().next().map(|l| l.trim().to_string())
+}
+
+fn cmd_bench_suite(args: &[String]) -> i32 {
+    let mut flags = parse_flags(args, &["--out", "--write-baseline"], &[]);
+    if !args.iter().any(|a| a == "-n") {
+        flags.n = 20_000; // bench default: the committed-baseline scale
+    }
+    let out_path =
+        flags.options.get("--out").cloned().unwrap_or_else(|| "BENCH_pipeline.json".into());
+    let obs = gplus::obs::global();
+
+    eprintln!("bench-suite: {} users, seed {}", flags.n, flags.seed);
+    let config = ReproductionConfig::quick(flags.n, flags.seed);
+
+    let timed = |label: &str, f: &mut dyn FnMut()| -> f64 {
+        let start = std::time::Instant::now();
+        f();
+        let ms = start.elapsed().as_secs_f64() * 1_000.0;
+        eprintln!("  {label}: {ms:.0} ms");
+        ms
+    };
+
+    let mut network = None;
+    let generate_ms = timed("generate", &mut || {
+        network = Some(SynthNetwork::generate(&config.synth));
+    });
+    let network = network.expect("generated");
+
+    let service = GooglePlusService::new(network, config.service.clone());
+    let crawler = Crawler::new(config.crawler.clone());
+    let mut crawl_result = None;
+    let crawl_ms = timed("crawl", &mut || {
+        crawl_result = Some(crawler.run(&service));
+    });
+    let crawl_result = crawl_result.expect("crawled");
+
+    let mut dataset = None;
+    let dataset_ms = timed("dataset", &mut || {
+        dataset = Some(CrawlDataset::new(&crawl_result));
+    });
+    let dataset = dataset.expect("built");
+
+    let mut report = None;
+    let analyse_ms = timed("analyse (metrics on)", &mut || {
+        report = Some(Reproduction::analyse(&dataset, &config));
+    });
+    let report = report.expect("analysed");
+    let timings = report.timings.as_ref().expect("executor records timings");
+
+    // same binary, gate closed: the "metrics compiled out" arm of the
+    // overhead bound (every record call is one relaxed load + branch)
+    obs.set_enabled(false);
+    let analyse_off_ms = timed("analyse (metrics off)", &mut || {
+        let _ = Reproduction::analyse(&dataset, &config);
+    });
+    obs.set_enabled(true);
+    let overhead = analyse_ms / analyse_off_ms.max(f64::EPSILON);
+    eprintln!("  metrics overhead ratio: {overhead:.3}");
+
+    let phase = |id: &str, millis: f64| StageTiming { id: id.to_string(), millis };
+    let bench = BenchReport {
+        schema: gplus::analysis::benchreport::BENCH_SCHEMA.to_string(),
+        git_sha: command_line("git", &["rev-parse", "HEAD"])
+            .or_else(|| std::env::var("GITHUB_SHA").ok())
+            .unwrap_or_else(|| "unknown".into()),
+        toolchain: command_line("rustc", &["--version"]).unwrap_or_else(|| "unknown".into()),
+        host: format!(
+            "{}-{} ({} threads)",
+            std::env::consts::OS,
+            std::env::consts::ARCH,
+            timings.threads
+        ),
+        config: BenchConfig { n_users: flags.n, seed: flags.seed, threads: timings.threads },
+        phases: vec![
+            phase("generate", generate_ms),
+            phase("crawl", crawl_ms),
+            phase("dataset", dataset_ms),
+            phase("analyse", analyse_ms),
+        ],
+        stages: timings.stages.clone(),
+        analyse_wall_ms: analyse_ms,
+        analyse_wall_ms_metrics_off: analyse_off_ms,
+        metrics_overhead_ratio: overhead,
+        metrics: obs.snapshot(),
+    };
+
+    eprintln!(
+        "  {} distinct metrics captured across crawler/service/pipeline/graph",
+        bench.metrics.distinct_metrics()
+    );
+    if let Err(e) = std::fs::write(&out_path, bench.to_json()) {
+        eprintln!("failed to write {out_path}: {e}");
+        return 1;
+    }
+    println!("bench report written to {out_path}");
+    if let Some(baseline_path) = flags.options.get("--write-baseline") {
+        if let Err(e) = std::fs::write(baseline_path, bench.to_json()) {
+            eprintln!("failed to write baseline {baseline_path}: {e}");
+            return 1;
+        }
+        println!("baseline refreshed at {baseline_path}");
+    }
+    0
+}
+
+fn cmd_bench_check(args: &[String]) -> i32 {
+    let flags = parse_flags(args, &["--baseline", "--current", "--threshold"], &[]);
+    let baseline_path = flags
+        .options
+        .get("--baseline")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_baseline.json".into());
+    let current_path =
+        flags.options.get("--current").cloned().unwrap_or_else(|| "BENCH_pipeline.json".into());
+    let mut gate = BenchGate::default();
+    if let Some(v) = flags.options.get("--threshold") {
+        match v.parse::<f64>() {
+            Ok(t) if t > 0.0 => gate.threshold = t,
+            _ => {
+                eprintln!("--threshold expects a positive fraction (e.g. 0.30)");
+                return 2;
+            }
+        }
+    }
+    let load = |path: &str| -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench-check: {err}");
+            }
+            return 1;
+        }
+    };
+    eprintln!(
+        "bench-check: {} (sha {}) vs baseline {} (sha {}), threshold {:.0}%",
+        current_path,
+        &current.git_sha[..current.git_sha.len().min(12)],
+        baseline_path,
+        &baseline.git_sha[..baseline.git_sha.len().min(12)],
+        gate.threshold * 100.0
+    );
+    let failures = bench_compare(&baseline, &current, &gate);
+    if failures.is_empty() {
+        println!(
+            "bench-check passed: {} phases, {} stages, {} metrics, overhead ratio {:.3}",
+            current.phases.len(),
+            current.stages.len(),
+            current.metrics.distinct_metrics(),
+            current.metrics_overhead_ratio
+        );
+        0
+    } else {
+        for f in &failures {
+            eprintln!("REGRESSION: {f}");
+        }
+        eprintln!("bench-check failed with {} regression(s)", failures.len());
+        1
+    }
 }

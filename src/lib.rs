@@ -12,6 +12,8 @@
 //!   failures, rate limiting).
 //! * [`crawler`] — the bidirectional BFS crawler and the lost-edge /
 //!   bias estimators.
+//! * [`obs`] — the observability layer: lock-light metrics registry,
+//!   span timing, serialisable snapshots.
 //! * [`analysis`] — every table and figure of the paper as a typed
 //!   experiment, plus the end-to-end [`analysis::Reproduction`] pipeline.
 //!
@@ -28,6 +30,7 @@ pub use gplus_core as analysis;
 pub use gplus_crawler as crawler;
 pub use gplus_geo as geo;
 pub use gplus_graph as graph;
+pub use gplus_obs as obs;
 pub use gplus_profiles as profiles;
 pub use gplus_service as service;
 pub use gplus_stats as stats;

@@ -1,0 +1,31 @@
+//! The committed bench baseline must stay loadable and self-consistent:
+//! if the report schema or the stage list drifts, this fails in tier-1
+//! instead of in the (slower) CI bench job.
+
+use gplus::analysis::{bench_compare, BenchGate, BenchReport};
+
+#[test]
+fn committed_baseline_parses_and_passes_its_own_gate() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_baseline.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_baseline.json is committed");
+    let baseline =
+        BenchReport::from_json(&text).expect("baseline parses under the current schema");
+    assert_eq!(baseline.config.n_users, 20_000, "baseline scale is the documented n=20k");
+    assert_eq!(baseline.config.seed, 2012, "baseline seed is the documented 2012");
+    assert!(
+        baseline.metrics.distinct_metrics() >= 20,
+        "baseline snapshot must itself clear the metric floor"
+    );
+    // a report always passes the gate against itself — if this fails the
+    // gate logic or the baseline's internal consistency broke
+    let failures = bench_compare(&baseline, &baseline, &BenchGate::default());
+    assert!(failures.is_empty(), "{failures:?}");
+    // all 14 analysis stages present, report order — a fresh run must be
+    // able to match every baseline stage id
+    let ids: Vec<&str> = baseline.stages.iter().map(|s| s.id.as_str()).collect();
+    assert_eq!(ids, gplus::analysis::registry::STAGE_IDS.to_vec());
+    assert!(
+        baseline.metrics_overhead_ratio <= BenchGate::default().max_overhead_ratio,
+        "baseline overhead ratio must satisfy the bound it enforces"
+    );
+}

@@ -15,7 +15,9 @@
 //! * **determinism**: with an interleaving-independent fault plan, crawl
 //!   statistics are byte-identical across machine counts;
 //! * **simulated time**: all backoff lands on the simulated clock — the
-//!   suite finishes in test time, not crawl time.
+//!   suite finishes in test time, not crawl time;
+//! * **observability**: every injected fault is mirrored, per cause, into
+//!   the metrics registry — the snapshot and `ServiceStats` never disagree.
 
 use gplus::crawler::{
     CheckpointError, CrawlCheckpoint, CrawlResult, Crawler, CrawlerConfig, RetryPolicy,
@@ -232,6 +234,67 @@ fn stats_are_byte_identical_across_machine_counts_under_user_keyed_faults() {
     let one = run(1);
     assert_eq!(one, run(4), "1 vs 4 machines");
     assert_eq!(one, run(11), "1 vs 11 machines");
+}
+
+#[test]
+fn fault_injection_metrics_mirror_service_stats_per_cause() {
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    // every injected fault must be visible twice and identically: once in
+    // the service's own ServiceStats and once in the observability
+    // registry, attributed to the same cause
+    let plan = FaultPlan::uniform(0.15)
+        .with_outage(300, 60)
+        .with_burst(16, 0.25)
+        .with_permafail_users([2, 3]);
+    let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(900, 79));
+    let registry = Arc::new(gplus::obs::Registry::new());
+    let svc = GooglePlusService::with_registry(
+        net,
+        ServiceConfig {
+            failure_rate: 0.0,
+            private_list_fraction: 0.0,
+            fault_plan: plan,
+            ..Default::default()
+        },
+        Arc::clone(&registry),
+    );
+    let retry = RetryPolicy { transient_attempts: 4, ..RetryPolicy::default() };
+    let crawler = Crawler::new(CrawlerConfig {
+        retry,
+        dead_letter_sweeps: 2,
+        ..CrawlerConfig::default()
+    });
+    let r = crawler.run(&svc);
+    assert!(r.stats.transient_errors > 0, "the kitchen sink should have injected faults");
+
+    let stats = svc.stats();
+    let snap = registry.snapshot();
+    for (metric, atomic) in [
+        ("service.fault.injected.bernoulli_count", &stats.injected_bernoulli),
+        ("service.fault.injected.outage_count", &stats.injected_outage),
+        ("service.fault.injected.burst_count", &stats.injected_burst),
+        ("service.fault.injected.permafail_count", &stats.injected_permafail),
+        ("service.fault.injected.total_count", &stats.transient_failures),
+    ] {
+        assert_eq!(
+            snap.counter(metric),
+            atomic.load(Ordering::Relaxed),
+            "{metric} diverged from ServiceStats"
+        );
+    }
+    // the causes partition the total — nothing double-attributed or lost
+    assert_eq!(
+        snap.counter("service.fault.injected.total_count"),
+        snap.counter("service.fault.injected.bernoulli_count")
+            + snap.counter("service.fault.injected.outage_count")
+            + snap.counter("service.fault.injected.burst_count")
+            + snap.counter("service.fault.injected.permafail_count"),
+        "per-cause fault metrics must partition the total"
+    );
+    assert!(snap.counter("service.fault.injected.bernoulli_count") > 0);
+    assert!(snap.counter("service.fault.injected.permafail_count") > 0);
 }
 
 #[test]
