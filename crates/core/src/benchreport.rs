@@ -97,11 +97,26 @@ pub struct BenchGate {
     pub max_overhead_ratio: f64,
     /// Minimum distinct metric names a healthy run must export.
     pub min_metrics: usize,
+    /// Counter names every run must register (present in the snapshot even
+    /// at 0) — the kernel-choice counters proving the optimized traversal
+    /// paths were compiled in and wired up.
+    pub required_counters: &'static [&'static str],
 }
 
 impl Default for BenchGate {
     fn default() -> Self {
-        Self { threshold: 0.30, min_share: 0.02, max_overhead_ratio: 1.05, min_metrics: 20 }
+        Self {
+            threshold: 0.30,
+            min_share: 0.02,
+            max_overhead_ratio: 1.05,
+            min_metrics: 20,
+            required_counters: &[
+                "graph.bfs.batch.runs",
+                "graph.bfs.top_down_levels",
+                "graph.bfs.bottom_up_levels",
+                "graph.relabel.runs",
+            ],
+        }
     }
 }
 
@@ -166,6 +181,13 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, gate: &BenchGate) 
             current.metrics_overhead_ratio, gate.max_overhead_ratio
         ));
     }
+    for name in gate.required_counters {
+        // presence, not value: `MetricsSnapshot::counter` returns 0 for
+        // absent names, which is exactly the case this check must catch
+        if !current.metrics.counters.contains_key(*name) {
+            failures.push(format!("run is missing required kernel counter {name:?}"));
+        }
+    }
     failures
 }
 
@@ -182,6 +204,9 @@ mod tests {
             let r = gplus_obs::Registry::new();
             for i in 0..25 {
                 r.counter(&format!("m{i}.count")).inc();
+            }
+            for name in BenchGate::default().required_counters {
+                let _ = r.counter(name);
             }
             r.snapshot()
         };
@@ -258,6 +283,17 @@ mod tests {
         cur.metrics = MetricsSnapshot::default();
         let failures = compare(&base, &cur, &BenchGate::default());
         assert!(failures.iter().any(|f| f.contains("distinct metrics")), "{failures:?}");
+    }
+
+    #[test]
+    fn required_counter_gate() {
+        let base = report(vec![stage("fig5", 100.0)]);
+        // registered at 0 passes (presence is the contract, not activity)
+        assert!(compare(&base, &base, &BenchGate::default()).is_empty());
+        let mut cur = base.clone();
+        cur.metrics.counters.remove("graph.bfs.batch.runs");
+        let failures = compare(&base, &cur, &BenchGate::default());
+        assert!(failures.iter().any(|f| f.contains("graph.bfs.batch.runs")), "{failures:?}");
     }
 
     #[test]

@@ -15,10 +15,61 @@
 
 use crate::dataset::Dataset;
 use gplus_geo::{Country, LatLon};
+use gplus_graph::bfs::{TraversalOpts, DEFAULT_HYBRID_THRESHOLD};
+use gplus_graph::relabel::Relabeling;
 use gplus_graph::scc::SccResult;
 use gplus_graph::{reciprocity, scc, CsrGraph, NodeId};
 use gplus_stats::Ccdf;
 use std::sync::OnceLock;
+
+/// Traversal tuning for one analysis run, settable from the CLI
+/// (`--hybrid-threshold`, `--no-relabel`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtxOptions {
+    /// Apply the hub-first locality relabeling before path traversals.
+    pub relabel: bool,
+    /// Frontier-edge fraction at which BFS levels flip to bottom-up.
+    pub hybrid_threshold: f64,
+}
+
+impl Default for CtxOptions {
+    fn default() -> Self {
+        Self { relabel: true, hybrid_threshold: DEFAULT_HYBRID_THRESHOLD }
+    }
+}
+
+/// A graph prepared for traversal-heavy kernels: possibly relabeled for
+/// locality, always carrying the [`TraversalOpts`] that make results
+/// byte-identical to traversing the public-id graph directly.
+#[derive(Debug, Clone, Copy)]
+pub struct TraversalView<'g> {
+    /// The graph to traverse (relabeled when the run enables it).
+    pub graph: &'g CsrGraph,
+    /// The id permutation, `None` when relabeling is disabled.
+    pub relabeling: Option<&'g Relabeling>,
+    /// The run's direction-switch threshold.
+    pub hybrid_threshold: f64,
+}
+
+impl<'g> TraversalView<'g> {
+    /// The tuning bundle the path estimators take.
+    pub fn opts(&self) -> TraversalOpts<'g> {
+        TraversalOpts {
+            hybrid_threshold: self.hybrid_threshold,
+            source_map: self.relabeling.map(|r| r.old_to_new()),
+        }
+    }
+}
+
+/// Counters the bench gate requires in every snapshot; registered (at 0)
+/// when a context is constructed so they are present even in runs where a
+/// kernel path never fires (e.g. `--no-relabel`).
+const KERNEL_COUNTERS: &[&str] = &[
+    "graph.bfs.batch.runs",
+    "graph.bfs.top_down_levels",
+    "graph.bfs.bottom_up_levels",
+    "graph.relabel.runs",
+];
 
 /// Thread-safe memoization cache over a [`Dataset`].
 ///
@@ -27,11 +78,14 @@ use std::sync::OnceLock;
 /// subsequent consumer, across threads.
 pub struct AnalysisCtx<'a, D: Dataset> {
     data: &'a D,
+    opts: CtxOptions,
     in_degrees: OnceLock<Vec<u64>>,
     out_degrees: OnceLock<Vec<u64>>,
     in_ccdf: OnceLock<Ccdf>,
     out_ccdf: OnceLock<Ccdf>,
     undirected: OnceLock<CsrGraph>,
+    relabeled: OnceLock<Option<(CsrGraph, Relabeling)>>,
+    undirected_relabeled: OnceLock<Option<(CsrGraph, Relabeling)>>,
     countries: OnceLock<Vec<Option<Country>>>,
     locations: OnceLock<Vec<Option<LatLon>>>,
     known_profiles: OnceLock<Vec<NodeId>>,
@@ -41,15 +95,28 @@ pub struct AnalysisCtx<'a, D: Dataset> {
 }
 
 impl<'a, D: Dataset> AnalysisCtx<'a, D> {
-    /// Wraps a dataset. Nothing is computed until first use.
+    /// Wraps a dataset with default traversal tuning.
     pub fn new(data: &'a D) -> Self {
+        Self::with_options(data, CtxOptions::default())
+    }
+
+    /// Wraps a dataset with explicit traversal tuning. Nothing is computed
+    /// until first use.
+    pub fn with_options(data: &'a D, opts: CtxOptions) -> Self {
+        let obs = gplus_obs::global();
+        for name in KERNEL_COUNTERS {
+            let _ = obs.counter(name);
+        }
         Self {
             data,
+            opts,
             in_degrees: OnceLock::new(),
             out_degrees: OnceLock::new(),
             in_ccdf: OnceLock::new(),
             out_ccdf: OnceLock::new(),
             undirected: OnceLock::new(),
+            relabeled: OnceLock::new(),
+            undirected_relabeled: OnceLock::new(),
             countries: OnceLock::new(),
             locations: OnceLock::new(),
             known_profiles: OnceLock::new(),
@@ -57,6 +124,11 @@ impl<'a, D: Dataset> AnalysisCtx<'a, D> {
             scc: OnceLock::new(),
             global_reciprocity: OnceLock::new(),
         }
+    }
+
+    /// The run's traversal tuning.
+    pub fn options(&self) -> CtxOptions {
+        self.opts
     }
 
     /// The wrapped dataset, for per-node profile accessors.
@@ -120,6 +192,59 @@ impl<'a, D: Dataset> AnalysisCtx<'a, D> {
     /// The undirected view of the graph (Figure 5's second panel).
     pub fn undirected_view(&self) -> &CsrGraph {
         self.memo(&self.undirected, || self.graph().undirected_view())
+    }
+
+    fn relabeled_pair<'s>(
+        &'s self,
+        cell: &'s OnceLock<Option<(CsrGraph, Relabeling)>>,
+        base: impl FnOnce() -> &'s CsrGraph,
+    ) -> Option<&'s (CsrGraph, Relabeling)> {
+        let relabel = self.opts.relabel;
+        self.memo(cell, || {
+            if !relabel {
+                return None;
+            }
+            let g = base();
+            let r = Relabeling::degree_descending(g);
+            let relabeled = r.apply(g);
+            Some((relabeled, r))
+        })
+        .as_ref()
+    }
+
+    /// The directed graph prepared for path traversals: hub-first relabeled
+    /// when the run enables it, public-id otherwise. Feeding
+    /// [`TraversalView::opts`] into the `_opt` path estimators keeps every
+    /// result byte-identical either way.
+    pub fn traversal_view(&self) -> TraversalView<'_> {
+        match self.relabeled_pair(&self.relabeled, || self.graph()) {
+            Some((g, r)) => TraversalView {
+                graph: g,
+                relabeling: Some(r),
+                hybrid_threshold: self.opts.hybrid_threshold,
+            },
+            None => TraversalView {
+                graph: self.graph(),
+                relabeling: None,
+                hybrid_threshold: self.opts.hybrid_threshold,
+            },
+        }
+    }
+
+    /// [`AnalysisCtx::traversal_view`] over the undirected view.
+    pub fn undirected_traversal_view(&self) -> TraversalView<'_> {
+        match self.relabeled_pair(&self.undirected_relabeled, || self.undirected_view()) {
+            Some((g, r)) => TraversalView {
+                graph: g,
+                relabeling: Some(r),
+                hybrid_threshold: self.opts.hybrid_threshold,
+            },
+            None => TraversalView {
+                graph: self.undirected_view(),
+                relabeling: None,
+                hybrid_threshold: self.opts.hybrid_threshold,
+            },
+        }
     }
 
     /// Per-node country assignment, indexed by node id. `None` for nodes
@@ -251,6 +376,53 @@ mod tests {
         for w in counts.windows(2) {
             assert!(w[0].1 >= w[1].1);
         }
+    }
+
+    #[test]
+    fn traversal_view_respects_options() {
+        let net = net();
+        let data = GroundTruthDataset::new(&net);
+
+        let relabeled = AnalysisCtx::new(&data);
+        let view = relabeled.traversal_view();
+        assert!(view.relabeling.is_some());
+        assert!(view.opts().source_map.is_some());
+        assert_eq!(view.graph.edge_count(), data.graph().edge_count());
+        // views are memoized: same allocation on the second call
+        assert!(std::ptr::eq(view.graph, relabeled.traversal_view().graph));
+        let uview = relabeled.undirected_traversal_view();
+        assert_eq!(uview.graph.edge_count(), relabeled.undirected_view().edge_count());
+
+        let plain = AnalysisCtx::with_options(
+            &data,
+            CtxOptions { relabel: false, hybrid_threshold: 0.2 },
+        );
+        let view = plain.traversal_view();
+        assert!(view.relabeling.is_none());
+        assert!(std::ptr::eq(view.graph, data.graph()));
+        assert_eq!(view.hybrid_threshold, 0.2);
+        assert!(view.opts().source_map.is_none());
+    }
+
+    #[test]
+    fn relabeled_traversal_gives_identical_path_distributions() {
+        use gplus_graph::paths;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let net = net();
+        let data = GroundTruthDataset::new(&net);
+        let relabeled = AnalysisCtx::new(&data);
+        let plain = AnalysisCtx::with_options(
+            &data,
+            CtxOptions { relabel: false, ..CtxOptions::default() },
+        );
+        let mut rng_a = StdRng::seed_from_u64(2012);
+        let mut rng_b = StdRng::seed_from_u64(2012);
+        let va = relabeled.traversal_view();
+        let vb = plain.traversal_view();
+        let a = paths::sampled_path_lengths_opt(va.graph, 40, &mut rng_a, va.opts());
+        let b = paths::sampled_path_lengths_opt(vb.graph, 40, &mut rng_b, vb.opts());
+        assert_eq!(a, b);
     }
 
     #[test]

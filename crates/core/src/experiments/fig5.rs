@@ -7,7 +7,7 @@
 use crate::context::AnalysisCtx;
 use crate::dataset::Dataset;
 use crate::paper::structure;
-use gplus_graph::paths::{adaptive_path_lengths, AdaptiveResult};
+use gplus_graph::paths::{adaptive_path_lengths_opt, AdaptiveResult};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -62,27 +62,31 @@ pub fn run(data: &impl Dataset, params: &Fig5Params) -> Fig5Result {
 }
 
 /// Runs the paper's adaptive estimator on both graph views, reusing the
-/// context's cached undirected view.
+/// context's cached (and possibly relabeled) traversal views. Sources are
+/// sampled in public id space, so the result is byte-identical whatever
+/// the traversal tuning.
 pub fn run_ctx<D: Dataset>(ctx: &AnalysisCtx<'_, D>, params: &Fig5Params) -> Fig5Result {
-    let g = ctx.graph();
-    let undirected_view = ctx.undirected_view();
+    let view = ctx.traversal_view();
     let mut rng = StdRng::seed_from_u64(params.seed);
-    let directed = adaptive_path_lengths(
-        g,
+    let directed = adaptive_path_lengths_opt(
+        view.graph,
         params.k_start,
         params.k_step,
         params.k_max,
         params.tol,
         &mut rng,
+        view.opts(),
     );
+    let view = ctx.undirected_traversal_view();
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0xdead);
-    let undirected = adaptive_path_lengths(
-        undirected_view,
+    let undirected = adaptive_path_lengths_opt(
+        view.graph,
         params.k_start,
         params.k_step,
         params.k_max,
         params.tol,
         &mut rng,
+        view.opts(),
     );
     Fig5Result { directed, undirected }
 }

@@ -63,8 +63,10 @@ pub fn run(data: &impl Dataset, params: &Table4Params) -> Table4Result {
 /// cached SCC partition and global reciprocity.
 pub fn run_ctx<D: Dataset>(ctx: &AnalysisCtx<'_, D>, params: &Table4Params) -> Table4Result {
     let g = ctx.graph();
+    let view = ctx.traversal_view();
     let mut rng = StdRng::seed_from_u64(params.seed);
-    let dist = paths::sampled_path_lengths(g, params.path_samples, &mut rng);
+    let dist =
+        paths::sampled_path_lengths_opt(view.graph, params.path_samples, &mut rng, view.opts());
     Table4Result {
         nodes: g.node_count() as u64,
         edges: g.edge_count() as u64,

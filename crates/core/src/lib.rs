@@ -38,7 +38,7 @@ pub mod registry;
 pub mod render;
 
 pub use benchreport::{compare as bench_compare, BenchConfig, BenchGate, BenchReport};
-pub use context::AnalysisCtx;
+pub use context::{AnalysisCtx, CtxOptions, TraversalView};
 pub use dataset::{CrawlDataset, Dataset, GroundTruthDataset};
 pub use pipeline::{
     Reproduction, ReproductionConfig, ReproductionReport, StageTiming, StageTimings,

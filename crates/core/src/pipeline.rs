@@ -20,7 +20,7 @@
 //! (timings are nondeterministic); use
 //! [`ReproductionReport::to_json_with_timings`] to export them.
 
-use crate::context::AnalysisCtx;
+use crate::context::{AnalysisCtx, CtxOptions};
 use crate::dataset::{CrawlDataset, Dataset, GroundTruthDataset};
 use crate::experiments::*;
 use crate::registry::STAGE_IDS;
@@ -49,6 +49,8 @@ pub struct ReproductionConfig {
     pub fig9: fig9::Fig9Params,
     /// Table 4 measurement parameters.
     pub table4: table4::Table4Params,
+    /// Traversal tuning (relabeling, hybrid switch threshold).
+    pub traversal: CtxOptions,
 }
 
 impl ReproductionConfig {
@@ -63,6 +65,7 @@ impl ReproductionConfig {
             fig5: fig5::Fig5Params::default(),
             fig9: fig9::Fig9Params::default(),
             table4: table4::Table4Params::default(),
+            traversal: CtxOptions::default(),
         }
     }
 
@@ -280,7 +283,7 @@ impl Reproduction {
     /// whatever the scheduling.
     pub fn analyse<D: Dataset>(data: &D, config: &ReproductionConfig) -> ReproductionReport {
         let wall = Instant::now();
-        let ctx = &AnalysisCtx::new(data);
+        let ctx = &AnalysisCtx::with_options(data, config.traversal);
         let mut t1 = None;
         let mut t2 = None;
         let mut t3 = None;
@@ -340,7 +343,7 @@ impl Reproduction {
         config: &ReproductionConfig,
     ) -> ReproductionReport {
         let wall = Instant::now();
-        let ctx = &AnalysisCtx::new(data);
+        let ctx = &AnalysisCtx::with_options(data, config.traversal);
         Self::assemble(
             false,
             1,

@@ -5,12 +5,49 @@
 //! from sampled sources. Distances use `u32::MAX` as the "unreachable"
 //! sentinel to keep the per-node state at 4 bytes — at the paper's 35M-node
 //! scale the distance array alone is 140 MB, so this matters.
+//!
+//! Two kernels coexist. The classic top-down queue kernel
+//! ([`levels_with_scratch`], [`distances`]) expands every frontier node's
+//! out-list; it is optimal while frontiers are small. The
+//! direction-optimizing kernel ([`hybrid_levels_with_scratch`],
+//! [`hybrid_distances`]) additionally switches to *bottom-up* steps —
+//! scanning unvisited nodes' in-lists against a dense frontier bitmap —
+//! whenever the frontier's out-edge mass exceeds a tunable fraction of
+//! `|E|` (Beamer et al.'s rule). On small-world graphs like Google+
+//! (mean path 5.9) the middle one or two levels hold most of the graph,
+//! which is exactly where bottom-up wins: each unvisited node stops at its
+//! first parent instead of every frontier edge being relaxed.
 
 use crate::csr::{CsrGraph, NodeId};
+use crate::frontier::Bitmap;
 use std::collections::VecDeque;
 
 /// Sentinel distance for unreachable nodes.
 pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Default frontier-edge fraction at which the hybrid kernels switch to
+/// bottom-up scanning (and back, as the frontier drains). 5% of `|E|` is
+/// a conservative middle of Beamer's recommended range; override per run
+/// with `--hybrid-threshold`.
+pub const DEFAULT_HYBRID_THRESHOLD: f64 = 0.05;
+
+/// Traversal tuning threaded from the analysis layer down into the path
+/// kernels: the direction-switch threshold and, when the caller traverses
+/// a relabeled graph, the old→new source translation map.
+#[derive(Debug, Clone, Copy)]
+pub struct TraversalOpts<'a> {
+    /// Frontier-edge fraction of `|E|` above which levels run bottom-up.
+    pub hybrid_threshold: f64,
+    /// Old→new id map for sources sampled in public id space; `None` when
+    /// traversing the graph under its public ids.
+    pub source_map: Option<&'a [NodeId]>,
+}
+
+impl Default for TraversalOpts<'_> {
+    fn default() -> Self {
+        Self { hybrid_threshold: DEFAULT_HYBRID_THRESHOLD, source_map: None }
+    }
+}
 
 /// Single-source shortest-path distances (in hops) over the directed graph.
 ///
@@ -146,23 +183,160 @@ pub fn reachable_set(g: &CsrGraph, source: NodeId) -> Vec<NodeId> {
         .collect()
 }
 
+/// Reusable state for the direction-optimizing kernel: a visited bitmap,
+/// a frontier bitmap for bottom-up steps, and two queue buffers.
+#[derive(Debug, Default)]
+pub struct HybridScratch {
+    visited: Bitmap,
+    frontier_bits: Bitmap,
+    queue: Vec<NodeId>,
+    next: Vec<NodeId>,
+}
+
+impl HybridScratch {
+    /// Creates scratch space sized for a graph of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            visited: Bitmap::new(n),
+            frontier_bits: Bitmap::new(n),
+            queue: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, n: usize) {
+        self.visited.ensure(n);
+        self.frontier_bits.ensure(n);
+    }
+}
+
+/// Direction-optimizing BFS aggregating per-level counts; semantically
+/// identical to [`levels_with_scratch`] (level-synchronous BFS visits the
+/// same level *sets* regardless of expansion direction), but each level is
+/// expanded top-down or bottom-up by the cheaper estimate: bottom-up when
+/// the frontier's summed out-degree exceeds `threshold * |E|`.
+pub fn hybrid_levels_with_scratch(
+    g: &CsrGraph,
+    source: NodeId,
+    threshold: f64,
+    scratch: &mut HybridScratch,
+) -> BfsLevels {
+    hybrid_core(g, source, threshold, scratch, None)
+}
+
+/// Convenience wrapper allocating fresh hybrid scratch.
+pub fn hybrid_levels(g: &CsrGraph, source: NodeId, threshold: f64) -> BfsLevels {
+    let mut scratch = HybridScratch::new(g.node_count());
+    hybrid_levels_with_scratch(g, source, threshold, &mut scratch)
+}
+
+/// Single-source distances via the direction-optimizing kernel; returns
+/// exactly what [`distances`] returns.
+pub fn hybrid_distances(g: &CsrGraph, source: NodeId, threshold: f64) -> Vec<u32> {
+    assert!((source as usize) < g.node_count(), "source out of range");
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    dist[source as usize] = 0;
+    let mut scratch = HybridScratch::new(g.node_count());
+    hybrid_core(g, source, threshold, &mut scratch, Some(&mut dist));
+    dist
+}
+
+fn hybrid_core(
+    g: &CsrGraph,
+    source: NodeId,
+    threshold: f64,
+    scratch: &mut HybridScratch,
+    mut dist: Option<&mut [u32]>,
+) -> BfsLevels {
+    let n = g.node_count();
+    assert!((source as usize) < n, "source out of range");
+    scratch.ensure(n);
+    scratch.visited.clear();
+    scratch.queue.clear();
+    scratch.next.clear();
+    scratch.visited.set(source);
+    scratch.queue.push(source);
+
+    let switch_edges = threshold * g.edge_count() as f64;
+    let mut counts: Vec<u64> = vec![1];
+    let mut reached: u64 = 1;
+    let mut depth: u32 = 0;
+    let (mut td_levels, mut bu_levels) = (0u64, 0u64);
+    loop {
+        // Beamer's rule on the cheap proxy: the frontier's out-edge mass.
+        // Re-evaluated every level, so the kernel switches back to
+        // top-down as the frontier drains.
+        let frontier_edges: usize = scratch.queue.iter().map(|&u| g.out_degree(u)).sum();
+        let bottom_up = (reached as usize) < n && frontier_edges as f64 > switch_edges;
+        scratch.next.clear();
+        if bottom_up {
+            bu_levels += 1;
+            scratch.frontier_bits.clear();
+            for &u in &scratch.queue {
+                scratch.frontier_bits.set(u);
+            }
+            for v in 0..n as NodeId {
+                if scratch.visited.get(v) {
+                    continue;
+                }
+                // stop at the first frontier parent — the asymmetry that
+                // makes bottom-up cheap on huge frontiers
+                for &u in g.in_neighbors(v) {
+                    if scratch.frontier_bits.get(u) {
+                        scratch.visited.set(v);
+                        scratch.next.push(v);
+                        break;
+                    }
+                }
+            }
+        } else {
+            td_levels += 1;
+            for i in 0..scratch.queue.len() {
+                let u = scratch.queue[i];
+                for &v in g.out_neighbors(u) {
+                    if !scratch.visited.get(v) {
+                        scratch.visited.set(v);
+                        scratch.next.push(v);
+                    }
+                }
+            }
+        }
+        if scratch.next.is_empty() {
+            break;
+        }
+        depth += 1;
+        if let Some(d) = dist.as_deref_mut() {
+            for &v in &scratch.next {
+                d[v as usize] = depth;
+            }
+        }
+        let level = scratch.next.len() as u64;
+        counts.push(level);
+        reached += level;
+        std::mem::swap(&mut scratch.queue, &mut scratch.next);
+    }
+    let obs = gplus_obs::global();
+    obs.counter("graph.bfs.hybrid.runs").inc();
+    obs.counter("graph.bfs.visited_count").add(reached);
+    obs.counter("graph.bfs.top_down_levels").add(td_levels);
+    obs.counter("graph.bfs.bottom_up_levels").add(bu_levels);
+    BfsLevels { counts, eccentricity: depth, reached }
+}
+
 /// Double-sweep diameter lower bound: BFS from `start`, then BFS again from
 /// the farthest node found. Cheap and usually tight on social graphs; the
 /// exact diameter computed on samples in [`crate::paths`] refines it.
 pub fn double_sweep_lower_bound(g: &CsrGraph, start: NodeId) -> u32 {
-    let mut scratch = BfsScratch::new(g.node_count());
-    let first = levels_with_scratch(g, start, &mut scratch);
-    // find a node at max distance via a fresh distance pass
-    let dist = distances(g, start);
-    let far = dist
-        .iter()
-        .enumerate()
-        .filter(|(_, &d)| d != UNREACHABLE)
-        .max_by_key(|(_, &d)| d)
-        .map(|(i, _)| i as NodeId)
-        .unwrap_or(start);
-    let second = levels_with_scratch(g, far, &mut scratch);
-    first.eccentricity.max(second.eccentricity)
+    let dist = hybrid_distances(g, start, DEFAULT_HYBRID_THRESHOLD);
+    // last-max selection, matching the previous max_by_key tie-breaking
+    let (mut far, mut far_d) = (start, 0u32);
+    for (i, &d) in dist.iter().enumerate() {
+        if d != UNREACHABLE && d >= far_d {
+            (far, far_d) = (i as NodeId, d);
+        }
+    }
+    let second = hybrid_levels(g, far, DEFAULT_HYBRID_THRESHOLD);
+    far_d.max(second.eccentricity)
 }
 
 #[cfg(test)]
@@ -265,5 +439,95 @@ mod tests {
     fn distances_rejects_bad_source() {
         let g = path_graph(3);
         let _ = distances(&g, 10);
+    }
+
+    #[test]
+    fn hybrid_equals_classic_across_thresholds() {
+        // threshold 0.0 forces bottom-up on every non-final level,
+        // 1.0 forces pure top-down; both must match the classic kernel
+        let g = from_edges(
+            8,
+            [(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 3), (3, 6), (6, 7), (7, 0), (2, 2)],
+        );
+        for threshold in [0.0, 0.05, 0.5, 1.0] {
+            for u in g.nodes() {
+                assert_eq!(
+                    hybrid_distances(&g, u, threshold),
+                    distances(&g, u),
+                    "distances from {u} at threshold {threshold}"
+                );
+                assert_eq!(
+                    hybrid_levels(&g, u, threshold),
+                    levels(&g, u),
+                    "levels from {u} at threshold {threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_equals_classic_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2012);
+        for trial in 0..30 {
+            let n = 2 + rng.random_range(0..40);
+            let m = rng.random_range(0..n * 3);
+            let edges: Vec<(NodeId, NodeId)> = (0..m)
+                .map(|_| (rng.random_range(0..n) as NodeId, rng.random_range(0..n) as NodeId))
+                .collect();
+            let g = from_edges(n, edges);
+            let threshold = rng.random_range(0..100) as f64 / 100.0;
+            let mut scratch = HybridScratch::new(g.node_count());
+            for u in g.nodes() {
+                assert_eq!(
+                    hybrid_levels_with_scratch(&g, u, threshold, &mut scratch),
+                    levels(&g, u),
+                    "trial {trial}, source {u}, threshold {threshold}"
+                );
+                assert_eq!(
+                    hybrid_distances(&g, u, threshold),
+                    distances(&g, u),
+                    "trial {trial}, source {u}, threshold {threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_isolated_source_and_empty_frontier() {
+        // isolated source: the very first expansion yields an empty
+        // frontier in either direction
+        let g = from_edges(3, [(1, 2)]);
+        for threshold in [0.0, 1.0] {
+            let l = hybrid_levels(&g, 0, threshold);
+            assert_eq!(l.counts, vec![1]);
+            assert_eq!(l.reached, 1);
+            assert_eq!(l.eccentricity, 0);
+        }
+        // self-loop-only node: the loop edge must not extend the BFS
+        let g = from_edges(2, [(0, 0)]);
+        let l = hybrid_levels(&g, 0, 0.0);
+        assert_eq!(l.counts, vec![1]);
+    }
+
+    #[test]
+    fn hybrid_scratch_reuse_is_clean() {
+        let g = path_graph(10);
+        let mut scratch = HybridScratch::new(g.node_count());
+        let a = hybrid_levels_with_scratch(&g, 0, 0.0, &mut scratch);
+        let b = hybrid_levels_with_scratch(&g, 9, 0.0, &mut scratch);
+        let a2 = hybrid_levels_with_scratch(&g, 0, 1.0, &mut scratch);
+        assert_eq!(a.eccentricity, 9);
+        assert_eq!(b.eccentricity, 0);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn double_sweep_on_directed_cycle() {
+        // exercises the hybrid-backed implementation with asymmetric
+        // distances: every source sees an eccentricity of n-1
+        let g = from_edges(6, (0..6).map(|i| (i, (i + 1) % 6)));
+        assert_eq!(double_sweep_lower_bound(&g, 2), 5);
     }
 }

@@ -7,6 +7,7 @@
 //! at freeze time.
 
 use crate::csr::{CsrGraph, NodeId};
+use crate::relabel::Relabeling;
 
 /// Accumulates directed edges, then compacts into CSR with [`Self::build`].
 #[derive(Debug, Clone, Default)]
@@ -89,6 +90,19 @@ impl GraphBuilder {
 
         CsrGraph { out_offsets, out_targets, in_offsets, in_targets }
     }
+
+    /// Freezes into a hub-first relabeled [`CsrGraph`] plus the
+    /// [`Relabeling`] that connects it to the public id space. The result
+    /// graph is isomorphic to [`Self::build`]'s under the returned map;
+    /// callers translate sources in and node-valued results out, and every
+    /// id-free aggregate (level counts, component sizes, degrees-as-a-
+    /// multiset) is unchanged.
+    pub fn build_relabeled(self) -> (CsrGraph, Relabeling) {
+        let g = self.build();
+        let r = Relabeling::degree_descending(&g);
+        let relabeled = r.apply(&g);
+        (relabeled, r)
+    }
 }
 
 /// Convenience: builds a graph directly from an edge list.
@@ -163,6 +177,28 @@ mod tests {
         let g = from_edges(2, [(0, 0), (0, 1)]);
         assert_eq!(g.out_neighbors(0), &[0, 1]);
         assert!(g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn build_relabeled_is_isomorphic_to_build() {
+        let edges = [(0, 3), (1, 3), (2, 3), (3, 4), (0, 1), (3, 3)];
+        let mut plain = GraphBuilder::new();
+        let mut hub = GraphBuilder::new();
+        for &(u, v) in &edges {
+            plain.add_edge(u, v);
+            hub.add_edge(u, v);
+        }
+        let g = plain.build();
+        let (h, r) = hub.build_relabeled();
+        assert_eq!(h.node_count(), g.node_count());
+        assert_eq!(h.edge_count(), g.edge_count());
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(g.has_edge(u, v), h.has_edge(r.to_new(u), r.to_new(v)));
+            }
+        }
+        // node 3 is the hub and lands first
+        assert_eq!(r.to_new(3), 0);
     }
 
     #[test]

@@ -22,30 +22,34 @@ use rayon::prelude::*;
 /// Returns `None` when `|OS(u)| <= 1` (the denominator vanishes). Self-loops
 /// in the out-list are ignored: a user cannot form a triangle with herself.
 pub fn clustering_coefficient(g: &CsrGraph, u: NodeId) -> Option<f64> {
-    let outs: Vec<NodeId> = g.out_neighbors(u).iter().copied().filter(|&v| v != u).collect();
-    let k = outs.len();
+    let outs = g.out_neighbors(u);
+    let k = outs.iter().filter(|&&v| v != u).count();
     if k <= 1 {
         return None;
     }
     let mut closed: u64 = 0;
-    for &v in &outs {
-        // count edges v -> w for w in outs \ {v}: intersect out_neighbors(v)
-        // with the out-set of u (both sorted).
-        closed += sorted_intersection_count(g.out_neighbors(v), &outs, v);
+    for &v in outs {
+        if v == u {
+            continue;
+        }
+        // count edges v -> w for w in OS(u) \ {u, v}: one linear merge of
+        // the two sorted CSR rows, no intermediate filtered copy
+        closed += closed_pairs(g.out_neighbors(v), outs, u, v);
     }
     Some(closed as f64 / (k * (k - 1)) as f64)
 }
 
-/// Counts members of `targets` (sorted) present in `adj` (sorted),
-/// excluding `skip` (the node itself — no v -> v contributions).
-fn sorted_intersection_count(adj: &[NodeId], targets: &[NodeId], skip: NodeId) -> u64 {
+/// Counts members of `outs` (sorted) present in `adj` (sorted), excluding
+/// the apex `u` (self-loops never form triangles) and `v` (no v -> v
+/// contributions), via a linear merge.
+fn closed_pairs(adj: &[NodeId], outs: &[NodeId], u: NodeId, v: NodeId) -> u64 {
     let (mut i, mut j, mut count) = (0, 0, 0u64);
-    while i < adj.len() && j < targets.len() {
-        match adj[i].cmp(&targets[j]) {
+    while i < adj.len() && j < outs.len() {
+        match adj[i].cmp(&outs[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                if adj[i] != skip {
+                if adj[i] != u && adj[i] != v {
                     count += 1;
                 }
                 i += 1;
@@ -98,10 +102,10 @@ pub fn directed_triangle_closures(g: &CsrGraph) -> u64 {
     (0..g.node_count() as NodeId)
         .into_par_iter()
         .map(|u| {
-            let outs: Vec<NodeId> =
-                g.out_neighbors(u).iter().copied().filter(|&v| v != u).collect();
+            let outs = g.out_neighbors(u);
             outs.iter()
-                .map(|&v| sorted_intersection_count(g.out_neighbors(v), &outs, v))
+                .filter(|&&v| v != u)
+                .map(|&v| closed_pairs(g.out_neighbors(v), outs, u, v))
                 .sum::<u64>()
         })
         .sum()

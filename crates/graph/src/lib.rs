@@ -10,7 +10,12 @@
 //!   and reverse (in-circle) adjacency, mirroring the paper's bidirectional
 //!   crawl.
 //! * [`bfs`] — breadth-first traversal and single-source shortest paths over
-//!   the directed graph or its undirected view (Figure 5 uses both).
+//!   the directed graph or its undirected view (Figure 5 uses both); the
+//!   classic top-down kernel plus a Beamer-style direction-optimizing one.
+//! * [`mbfs`] — batched multi-source BFS advancing up to 64 traversals per
+//!   CSR sweep with one `u64` lane word per node.
+//! * [`relabel`] — locality-aware (hub-first) node permutations applied at
+//!   build time, invisible in results via the inverse map.
 //! * [`scc`] — strongly connected components via Kosaraju's two-DFS
 //!   procedure ("we used a procedure involving two Depth First Searches",
 //!   §3.3.4) and, as a cross-check/ablation, iterative Tarjan.
@@ -54,11 +59,14 @@ pub mod builder;
 pub mod clustering;
 pub mod csr;
 pub mod degree;
+pub mod frontier;
 pub mod io;
 pub mod kcore;
+pub mod mbfs;
 pub mod pagerank;
 pub mod paths;
 pub mod reciprocity;
+pub mod relabel;
 pub mod scc;
 pub mod wcc;
 

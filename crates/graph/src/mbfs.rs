@@ -1,0 +1,299 @@
+//! Batched multi-source BFS: up to 64 sources per CSR sweep.
+//!
+//! The Figure 5 / Figure 9 estimators run hundreds of independent BFS
+//! passes over the same graph. One-source-at-a-time kernels re-walk the
+//! whole CSR per source; here each node instead carries one `u64` whose
+//! bit `l` means "reached by lane `l`", so a single sweep advances up to
+//! [`BATCH_WIDTH`] traversals at once. Frontier propagation is pure bit
+//! arithmetic (`new = frontier[u] & !seen[v]`), and the level loop is the
+//! same direction-optimizing shape as the scalar hybrid kernel in
+//! [`crate::bfs`]: top-down over an active-node list while frontiers are
+//! small, bottom-up over unsaturated nodes' in-lists once the frontier's
+//! out-edge mass crosses `threshold * |E|`.
+//!
+//! Lanes are fully independent: a lane whose frontier empties simply stops
+//! contributing bits, so per-lane level counts are exactly what the
+//! per-source [`crate::bfs::levels`] kernel would produce.
+
+use crate::bfs::BfsLevels;
+use crate::csr::{CsrGraph, NodeId};
+
+/// Number of BFS lanes packed into one machine word per node.
+pub const BATCH_WIDTH: usize = 64;
+
+/// Reusable state for the batched kernel: per-node lane words plus the
+/// active-node lists that keep top-down steps proportional to the frontier.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    seen: Vec<u64>,
+    frontier: Vec<u64>,
+    next: Vec<u64>,
+    active: Vec<NodeId>,
+    next_active: Vec<NodeId>,
+}
+
+impl BatchScratch {
+    /// Creates scratch space sized for a graph of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            seen: vec![0; n],
+            frontier: vec![0; n],
+            next: vec![0; n],
+            active: Vec::new(),
+            next_active: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.seen.len() < n {
+            self.seen.resize(n, 0);
+            self.frontier.resize(n, 0);
+            self.next.resize(n, 0);
+        }
+    }
+}
+
+/// Runs up to [`BATCH_WIDTH`] BFS traversals in one direction-optimizing
+/// pass and returns one [`BfsLevels`] per source, in input order — lane
+/// `l` of the batch is exactly `bfs::levels(g, sources[l])`.
+///
+/// Duplicate sources are fine (each occupies its own lane).
+///
+/// # Panics
+/// Panics if `sources` is longer than [`BATCH_WIDTH`] or contains an
+/// out-of-range id.
+pub fn batch_levels_with_scratch(
+    g: &CsrGraph,
+    sources: &[NodeId],
+    threshold: f64,
+    scratch: &mut BatchScratch,
+) -> Vec<BfsLevels> {
+    let lanes = sources.len();
+    assert!(lanes <= BATCH_WIDTH, "at most {BATCH_WIDTH} sources per batch");
+    let n = g.node_count();
+    for &s in sources {
+        assert!((s as usize) < n, "source out of range");
+    }
+    let obs = gplus_obs::global();
+    let _span = obs.span("graph.bfs.batch");
+    // Resolve the direction counters up front so they exist in snapshots
+    // even when a run never takes one of the branches.
+    let td_counter = obs.counter("graph.bfs.top_down_levels");
+    let bu_counter = obs.counter("graph.bfs.bottom_up_levels");
+    obs.counter("graph.bfs.batch.sources_count").add(lanes as u64);
+    if lanes == 0 {
+        return Vec::new();
+    }
+
+    scratch.ensure(n);
+    scratch.seen[..n].fill(0);
+    scratch.frontier[..n].fill(0);
+    scratch.next[..n].fill(0);
+    scratch.active.clear();
+    scratch.next_active.clear();
+
+    let full: u64 = if lanes == BATCH_WIDTH { !0 } else { (1u64 << lanes) - 1 };
+    for (lane, &s) in sources.iter().enumerate() {
+        let bit = 1u64 << lane;
+        scratch.seen[s as usize] |= bit;
+        if scratch.frontier[s as usize] == 0 {
+            scratch.active.push(s);
+        }
+        scratch.frontier[s as usize] |= bit;
+    }
+
+    // counts[lane][d] = nodes lane `lane` first reached at distance d
+    let mut counts: Vec<Vec<u64>> = vec![vec![1]; lanes];
+    let switch_edges = threshold * g.edge_count() as f64;
+    let mut depth: usize = 0;
+    while !scratch.active.is_empty() {
+        let frontier_edges: usize = scratch.active.iter().map(|&u| g.out_degree(u)).sum();
+        let bottom_up = frontier_edges as f64 > switch_edges;
+        if bottom_up {
+            bu_counter.inc();
+            for v in 0..n {
+                let s = scratch.seen[v];
+                if s == full {
+                    continue;
+                }
+                let mut acc = 0u64;
+                for &u in g.in_neighbors(v as NodeId) {
+                    acc |= scratch.frontier[u as usize];
+                    // early exit once every lane that can still claim v has
+                    if acc | s == full {
+                        break;
+                    }
+                }
+                let new = acc & !s;
+                if new != 0 {
+                    scratch.seen[v] = s | new;
+                    scratch.next[v] = new;
+                    scratch.next_active.push(v as NodeId);
+                }
+            }
+        } else {
+            td_counter.inc();
+            for i in 0..scratch.active.len() {
+                let u = scratch.active[i];
+                let f = scratch.frontier[u as usize];
+                for &v in g.out_neighbors(u) {
+                    let new = f & !scratch.seen[v as usize];
+                    if new != 0 {
+                        if scratch.next[v as usize] == 0 {
+                            scratch.next_active.push(v);
+                        }
+                        scratch.next[v as usize] |= new;
+                        scratch.seen[v as usize] |= new;
+                    }
+                }
+            }
+        }
+        if scratch.next_active.is_empty() {
+            break;
+        }
+        depth += 1;
+        for &v in &scratch.next_active {
+            let mut new = scratch.next[v as usize];
+            while new != 0 {
+                let lane = new.trailing_zeros() as usize;
+                new &= new - 1;
+                if counts[lane].len() <= depth {
+                    counts[lane].resize(depth + 1, 0);
+                }
+                counts[lane][depth] += 1;
+            }
+        }
+        // promote next → frontier: clear the old frontier words first so
+        // nodes in both the old and new frontier keep only the new bits
+        for &u in &scratch.active {
+            scratch.frontier[u as usize] = 0;
+        }
+        for &v in &scratch.next_active {
+            scratch.frontier[v as usize] = scratch.next[v as usize];
+            scratch.next[v as usize] = 0;
+        }
+        scratch.active.clear();
+        std::mem::swap(&mut scratch.active, &mut scratch.next_active);
+    }
+
+    let mut total_visited = 0u64;
+    let out: Vec<BfsLevels> = counts
+        .into_iter()
+        .map(|c| {
+            // a lane's frontier only ever shrinks to empty, so counts have
+            // no internal zeros: eccentricity is simply the last index
+            let reached: u64 = c.iter().sum();
+            total_visited += reached;
+            BfsLevels { eccentricity: (c.len() - 1) as u32, reached, counts: c }
+        })
+        .collect();
+    obs.counter("graph.bfs.batch.visited_count").add(total_visited);
+    out
+}
+
+/// Runs BFS from every source in `sources` (any number), chunking into
+/// [`BATCH_WIDTH`]-wide batches over one shared scratch; returns one
+/// [`BfsLevels`] per source in input order.
+pub fn multi_source_levels(g: &CsrGraph, sources: &[NodeId], threshold: f64) -> Vec<BfsLevels> {
+    let mut scratch = BatchScratch::new(g.node_count());
+    let mut out = Vec::with_capacity(sources.len());
+    for chunk in sources.chunks(BATCH_WIDTH) {
+        out.extend(batch_levels_with_scratch(g, chunk, threshold, &mut scratch));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn batch_matches_per_source_small() {
+        let g = from_edges(
+            8,
+            [(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 3), (3, 6), (6, 7), (7, 0), (2, 2)],
+        );
+        let sources: Vec<NodeId> = g.nodes().collect();
+        for threshold in [0.0, 0.05, 1.0] {
+            let batched = multi_source_levels(&g, &sources, threshold);
+            for (&s, got) in sources.iter().zip(&batched) {
+                assert_eq!(*got, bfs::levels(&g, s), "source {s} at threshold {threshold}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_source_random() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        for trial in 0..20 {
+            let n = 2 + rng.random_range(0..80);
+            let m = rng.random_range(0..n * 3);
+            let edges: Vec<(NodeId, NodeId)> = (0..m)
+                .map(|_| (rng.random_range(0..n) as NodeId, rng.random_range(0..n) as NodeId))
+                .collect();
+            let g = from_edges(n, edges);
+            let threshold = rng.random_range(0..100) as f64 / 100.0;
+            // more sources than one batch, with repeats
+            let k = rng.random_range(1..(BATCH_WIDTH * 2 + 10));
+            let sources: Vec<NodeId> =
+                (0..k).map(|_| rng.random_range(0..n) as NodeId).collect();
+            let batched = multi_source_levels(&g, &sources, threshold);
+            assert_eq!(batched.len(), sources.len());
+            for (i, (&s, got)) in sources.iter().zip(&batched).enumerate() {
+                assert_eq!(
+                    *got,
+                    bfs::levels(&g, s),
+                    "trial {trial}, lane {i}, source {s}, threshold {threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_sources_get_independent_lanes() {
+        let g = from_edges(4, [(0, 1), (1, 2)]);
+        let out = multi_source_levels(&g, &[0, 0, 3], 0.0);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[0].counts, vec![1, 1, 1]);
+        assert_eq!(out[2].counts, vec![1]);
+    }
+
+    #[test]
+    fn empty_sources_and_isolated_nodes() {
+        let g = from_edges(3, [(1, 2)]);
+        assert!(multi_source_levels(&g, &[], 0.5).is_empty());
+        let out = multi_source_levels(&g, &[0], 0.5);
+        assert_eq!(out[0].counts, vec![1]);
+        assert_eq!(out[0].reached, 1);
+        assert_eq!(out[0].eccentricity, 0);
+    }
+
+    #[test]
+    fn full_width_batch() {
+        // a long path exercises many levels with every lane live
+        let n = BATCH_WIDTH + 10;
+        let g = from_edges(n, (0..n as NodeId - 1).map(|i| (i, i + 1)));
+        let sources: Vec<NodeId> = (0..BATCH_WIDTH as NodeId).collect();
+        let mut scratch = BatchScratch::new(n);
+        let out = batch_levels_with_scratch(&g, &sources, 0.02, &mut scratch);
+        for (&s, got) in sources.iter().zip(&out) {
+            assert_eq!(*got, bfs::levels(&g, s), "source {s}");
+        }
+        // scratch reuse stays clean
+        let again = batch_levels_with_scratch(&g, &sources, 1.0, &mut scratch);
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn batch_rejects_oversized_batches() {
+        let g = from_edges(2, [(0, 1)]);
+        let sources = vec![0 as NodeId; BATCH_WIDTH + 1];
+        let mut scratch = BatchScratch::new(2);
+        let _ = batch_levels_with_scratch(&g, &sources, 0.5, &mut scratch);
+    }
+}

@@ -14,9 +14,18 @@
 //! eccentricity observed across sampled sources (a lower bound that is
 //! near-exact for thousands of sources on small-world graphs, and exactly
 //! what sampling-based measurement studies report).
+//!
+//! All estimators run on the batched direction-optimizing kernel in
+//! [`crate::mbfs`]: sources are packed 64 per pass, and rayon parallelises
+//! across *batches* rather than individual sources. Sources are always
+//! sampled in public id space (keeping RNG streams independent of any
+//! relabeling) and translated through [`TraversalOpts::source_map`] just
+//! before traversal; per-lane results merge in input order, so output is
+//! byte-identical to the old per-source estimator.
 
-use crate::bfs::{levels_with_scratch, BfsScratch};
+use crate::bfs::TraversalOpts;
 use crate::csr::{CsrGraph, NodeId};
+use crate::mbfs::{batch_levels_with_scratch, BatchScratch, BATCH_WIDTH};
 use gplus_stats::{ks_distance, sample_indices};
 use rand::Rng;
 use rayon::prelude::*;
@@ -102,30 +111,73 @@ impl PathLengthDistribution {
 }
 
 /// Estimates the path-length distribution from `k` uniformly sampled
-/// sources (the fixed-`k` variant). BFS runs in parallel across sources.
+/// sources (the fixed-`k` variant) with default traversal tuning.
 pub fn sampled_path_lengths<R: Rng + ?Sized>(
     g: &CsrGraph,
     k: usize,
     rng: &mut R,
 ) -> PathLengthDistribution {
-    let sources = sample_indices(rng, g.node_count(), k);
-    path_lengths_from_sources(g, &sources)
+    sampled_path_lengths_opt(g, k, rng, TraversalOpts::default())
 }
 
-/// Estimates the distribution from an explicit source list.
+/// [`sampled_path_lengths`] with explicit traversal tuning. Sampling
+/// happens in public id space before any relabel translation, so the RNG
+/// stream — and therefore the result — is independent of `opts`.
+pub fn sampled_path_lengths_opt<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    k: usize,
+    rng: &mut R,
+    opts: TraversalOpts,
+) -> PathLengthDistribution {
+    let sources = sample_indices(rng, g.node_count(), k);
+    path_lengths_from_sources_opt(g, &sources, opts)
+}
+
+/// Estimates the distribution from an explicit source list (public ids).
 pub fn path_lengths_from_sources(g: &CsrGraph, sources: &[usize]) -> PathLengthDistribution {
-    let partials: Vec<PathLengthDistribution> = sources
-        .par_iter()
+    path_lengths_from_sources_opt(g, sources, TraversalOpts::default())
+}
+
+/// [`path_lengths_from_sources`] with explicit traversal tuning: sources
+/// are translated through `opts.source_map` (when traversing a relabeled
+/// graph), packed into 64-wide batches, and the batches run in parallel.
+/// Per-lane merge order equals input order, so the result is identical to
+/// running one BFS per source sequentially.
+pub fn path_lengths_from_sources_opt(
+    g: &CsrGraph,
+    sources: &[usize],
+    opts: TraversalOpts,
+) -> PathLengthDistribution {
+    let mapped: Vec<NodeId> = sources
+        .iter()
+        .map(|&s| match opts.source_map {
+            Some(map) => map[s],
+            None => s as NodeId,
+        })
+        .collect();
+    let chunk_count = mapped.len().div_ceil(BATCH_WIDTH);
+    let partials: Vec<PathLengthDistribution> = (0..chunk_count)
+        .into_par_iter()
         .map_init(
-            || BfsScratch::new(g.node_count()),
-            |scratch, &s| {
-                let levels = levels_with_scratch(g, s as NodeId, scratch);
-                // drop distance-0 (the source itself)
-                let mut counts = levels.counts.clone();
-                if !counts.is_empty() {
-                    counts[0] = 0;
+            || BatchScratch::new(g.node_count()),
+            |scratch, i| {
+                let chunk = &mapped[i * BATCH_WIDTH..((i + 1) * BATCH_WIDTH).min(mapped.len())];
+                let lanes = batch_levels_with_scratch(g, chunk, opts.hybrid_threshold, scratch);
+                let mut acc =
+                    PathLengthDistribution { counts: vec![0], sources: 0, max_distance: 0 };
+                for levels in lanes {
+                    // drop distance-0 (the source itself)
+                    let mut counts = levels.counts;
+                    if !counts.is_empty() {
+                        counts[0] = 0;
+                    }
+                    acc.merge(&PathLengthDistribution {
+                        counts,
+                        sources: 1,
+                        max_distance: levels.eccentricity,
+                    });
                 }
-                PathLengthDistribution { counts, sources: 1, max_distance: levels.eccentricity }
+                acc
             },
         )
         .collect();
@@ -161,18 +213,33 @@ pub fn adaptive_path_lengths<R: Rng + ?Sized>(
     tol: f64,
     rng: &mut R,
 ) -> AdaptiveResult {
+    adaptive_path_lengths_opt(g, k_start, k_step, k_max, tol, rng, TraversalOpts::default())
+}
+
+/// [`adaptive_path_lengths`] with explicit traversal tuning; same schedule,
+/// same RNG stream, same output.
+#[allow(clippy::too_many_arguments)]
+pub fn adaptive_path_lengths_opt<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    k_start: usize,
+    k_step: usize,
+    k_max: usize,
+    tol: f64,
+    rng: &mut R,
+    opts: TraversalOpts,
+) -> AdaptiveResult {
     assert!(k_start > 0 && k_step > 0, "batch sizes must be positive");
     assert!(k_max >= k_start, "k_max must be at least k_start");
     let all_sources = sample_indices(rng, g.node_count(), k_max);
     let mut used = k_start.min(all_sources.len());
-    let mut acc = path_lengths_from_sources(g, &all_sources[..used]);
+    let mut acc = path_lengths_from_sources_opt(g, &all_sources[..used], opts);
     let mut prev_flat = acc.flatten(20_000);
     let mut ks_trajectory = Vec::new();
     let mut converged_early = false;
 
     while used < all_sources.len() {
         let next = (used + k_step).min(all_sources.len());
-        let batch = path_lengths_from_sources(g, &all_sources[used..next]);
+        let batch = path_lengths_from_sources_opt(g, &all_sources[used..next], opts);
         acc.merge(&batch);
         used = next;
         let flat = acc.flatten(20_000);
@@ -300,5 +367,50 @@ mod tests {
         let g = cycle(5);
         let mut rng = StdRng::seed_from_u64(7);
         let _ = adaptive_path_lengths(&g, 0, 1, 5, 0.1, &mut rng);
+    }
+
+    #[test]
+    fn batched_estimator_matches_per_source_reference() {
+        use crate::bfs;
+        let g = from_edges(
+            9,
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (5, 6), (6, 5), (7, 8), (4, 7)],
+        );
+        let sources: Vec<usize> = (0..g.node_count()).collect();
+        let got = path_lengths_from_sources(&g, &sources);
+        // reference: one classic BFS per source, merged by hand
+        let mut want = PathLengthDistribution { counts: vec![0], sources: 0, max_distance: 0 };
+        for &s in &sources {
+            let levels = bfs::levels(&g, s as NodeId);
+            let mut counts = levels.counts;
+            counts[0] = 0;
+            want.merge(&PathLengthDistribution {
+                counts,
+                sources: 1,
+                max_distance: levels.eccentricity,
+            });
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn relabeled_traversal_is_byte_identical() {
+        use crate::relabel::Relabeling;
+        let g =
+            from_edges(10, [(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (6, 7), (8, 6)]);
+        let r = Relabeling::degree_descending(&g);
+        let h = r.apply(&g);
+        let opts = TraversalOpts { hybrid_threshold: 0.05, source_map: Some(r.old_to_new()) };
+        // identical RNG stream (same node_count), identical distribution
+        let mut rng_a = StdRng::seed_from_u64(2012);
+        let mut rng_b = StdRng::seed_from_u64(2012);
+        let plain = sampled_path_lengths(&g, 6, &mut rng_a);
+        let relabeled = sampled_path_lengths_opt(&h, 6, &mut rng_b, opts);
+        assert_eq!(plain, relabeled);
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let plain = adaptive_path_lengths(&g, 2, 2, 8, 1e-12, &mut rng_a);
+        let relabeled = adaptive_path_lengths_opt(&h, 2, 2, 8, 1e-12, &mut rng_b, opts);
+        assert_eq!(plain, relabeled);
     }
 }

@@ -58,29 +58,53 @@ pub fn reciprocal_pair_count(g: &CsrGraph) -> u64 {
         .into_par_iter()
         .map(|u| {
             // count v in OS(u) ∩ IS(u) with v != u; each pair counted twice
-            let outs = g.out_neighbors(u);
-            let ins = g.in_neighbors(u);
-            let mut c = sorted_intersection_size(outs, ins) as u64;
-            if outs.binary_search(&u).is_ok() && ins.binary_search(&u).is_ok() {
-                c -= 1; // exclude self-loop from pair counting
-            }
-            c
+            sorted_intersection_size_excluding(g.out_neighbors(u), g.in_neighbors(u), u) as u64
         })
         .sum();
     twice / 2
 }
 
-/// Iterates reciprocal pairs `(u, v)` with `u < v`. Sequential; intended
-/// for sampling-style consumers, not hot loops.
+/// Iterates reciprocal pairs `(u, v)` with `u < v`, in lexicographic order.
+/// Sequential; intended for sampling-style consumers, not hot loops.
 pub fn reciprocal_pairs(g: &CsrGraph) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
     (0..g.node_count() as NodeId).flat_map(move |u| {
+        // merge the two sorted rows instead of one binary search per
+        // out-neighbour; both suffixes start just past u, so only v > u
+        // can surface and values arrive ascending
+        let outs = g.out_neighbors(u);
         let ins = g.in_neighbors(u);
-        g.out_neighbors(u)
-            .iter()
-            .copied()
-            .filter(move |&v| v > u && ins.binary_search(&v).is_ok())
-            .map(move |v| (u, v))
+        MutualAbove {
+            outs: &outs[outs.partition_point(|&v| v <= u)..],
+            ins: &ins[ins.partition_point(|&v| v <= u)..],
+            u,
+        }
     })
+}
+
+/// Merge iterator over `outs ∩ ins` yielding `(u, v)` per common element.
+struct MutualAbove<'g> {
+    outs: &'g [NodeId],
+    ins: &'g [NodeId],
+    u: NodeId,
+}
+
+impl Iterator for MutualAbove<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        while let (Some(&a), Some(&b)) = (self.outs.first(), self.ins.first()) {
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => self.outs = &self.outs[1..],
+                std::cmp::Ordering::Greater => self.ins = &self.ins[1..],
+                std::cmp::Ordering::Equal => {
+                    self.outs = &self.outs[1..];
+                    self.ins = &self.ins[1..];
+                    return Some((self.u, a));
+                }
+            }
+        }
+        None
+    }
 }
 
 /// Size of the intersection of two ascending-sorted slices, via a linear
@@ -93,6 +117,27 @@ fn sorted_intersection_size(a: &[NodeId], b: &[NodeId]) -> usize {
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
                 count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// [`sorted_intersection_size`] with one value excluded from the count, so
+/// self-loop exclusion rides the same merge instead of two extra binary
+/// searches per node.
+fn sorted_intersection_size_excluding(a: &[NodeId], b: &[NodeId], skip: NodeId) -> usize {
+    let (mut i, mut j, mut count) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if a[i] != skip {
+                    count += 1;
+                }
                 i += 1;
                 j += 1;
             }

@@ -50,63 +50,104 @@ impl SccResult {
     }
 }
 
+/// Reusable state shared by both of Kosaraju's passes: one explicit DFS
+/// stack (pass 2 pushes `(node, 0)` and ignores the child index), the
+/// finish-order buffer, and the pass-1 visited array. At paper scale these
+/// are hundreds of megabytes, so allocating them once — and letting
+/// repeated SCC runs (bench ablations, tests) recycle them — matters.
+#[derive(Debug, Default)]
+pub struct SccScratch {
+    call: Vec<(NodeId, usize)>,
+    finish_order: Vec<NodeId>,
+    visited: Vec<bool>,
+}
+
+impl SccScratch {
+    /// Creates scratch space sized for a graph of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            call: Vec::with_capacity(n),
+            finish_order: Vec::with_capacity(n),
+            visited: vec![false; n],
+        }
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.call.clear();
+        self.finish_order.clear();
+        self.visited.clear();
+        self.visited.resize(n, false);
+    }
+}
+
 /// Kosaraju's two-DFS SCC algorithm (iterative).
 ///
 /// Pass 1: DFS on `G` recording nodes in order of completion. Pass 2: DFS on
 /// the transpose in reverse completion order; each tree is one SCC. The
 /// transpose is free because [`CsrGraph`] stores reverse adjacency.
 pub fn kosaraju(g: &CsrGraph) -> SccResult {
-    let _span = gplus_obs::global().span("graph.scc.kosaraju");
+    kosaraju_with_scratch(g, &mut SccScratch::new(g.node_count()))
+}
+
+/// [`kosaraju`] over caller-provided scratch; both passes share the same
+/// stack allocation.
+pub fn kosaraju_with_scratch(g: &CsrGraph, scratch: &mut SccScratch) -> SccResult {
+    let obs = gplus_obs::global();
+    let _span = obs.span("graph.scc.kosaraju");
     let n = g.node_count();
-    gplus_obs::global().counter("graph.scc.nodes_count").add(n as u64);
-    let mut finish_order: Vec<NodeId> = Vec::with_capacity(n);
-    let mut visited = vec![false; n];
+    obs.counter("graph.scc.nodes_count").add(n as u64);
+    scratch.reset(n);
 
     // Pass 1: iterative DFS with an explicit (node, next-child-index) stack.
-    let mut stack: Vec<(NodeId, usize)> = Vec::new();
     for root in 0..n as NodeId {
-        if visited[root as usize] {
+        if scratch.visited[root as usize] {
             continue;
         }
-        visited[root as usize] = true;
-        stack.push((root, 0));
-        while let Some(&mut (u, ref mut idx)) = stack.last_mut() {
+        scratch.visited[root as usize] = true;
+        scratch.call.push((root, 0));
+        while let Some(&mut (u, ref mut idx)) = scratch.call.last_mut() {
             let neigh = g.out_neighbors(u);
             if *idx < neigh.len() {
                 let v = neigh[*idx];
                 *idx += 1;
-                if !visited[v as usize] {
-                    visited[v as usize] = true;
-                    stack.push((v, 0));
+                if !scratch.visited[v as usize] {
+                    scratch.visited[v as usize] = true;
+                    scratch.call.push((v, 0));
                 }
             } else {
-                finish_order.push(u);
-                stack.pop();
+                scratch.finish_order.push(u);
+                scratch.call.pop();
             }
         }
     }
 
-    // Pass 2: DFS on the transpose in reverse finish order.
+    // Pass 2: DFS on the transpose in reverse finish order, reusing the
+    // pass-1 stack (the child index is dead weight here — pass 2 labels on
+    // push, so plain LIFO order is fine).
     let mut component = vec![u32::MAX; n];
     let mut count = 0u32;
-    let mut dfs: Vec<NodeId> = Vec::new();
-    for &root in finish_order.iter().rev() {
+    let mut labeled = 0u64;
+    for i in (0..scratch.finish_order.len()).rev() {
+        let root = scratch.finish_order[i];
         if component[root as usize] != u32::MAX {
             continue;
         }
         component[root as usize] = count;
-        dfs.push(root);
-        while let Some(u) = dfs.pop() {
+        labeled += 1;
+        scratch.call.push((root, 0));
+        while let Some((u, _)) = scratch.call.pop() {
             // transpose edges == in_neighbors of the original graph
             for &v in g.in_neighbors(u) {
                 if component[v as usize] == u32::MAX {
                     component[v as usize] = count;
-                    dfs.push(v);
+                    labeled += 1;
+                    scratch.call.push((v, 0));
                 }
             }
         }
         count += 1;
     }
+    obs.counter("graph.scc.visited_count").add(labeled);
 
     SccResult { component, count: count as usize }
 }
@@ -117,9 +158,12 @@ pub fn kosaraju(g: &CsrGraph) -> SccResult {
 /// suite asserts it partitions identically to [`kosaraju`]) and for the
 /// ablation bench comparing the two.
 pub fn tarjan(g: &CsrGraph) -> SccResult {
-    let _span = gplus_obs::global().span("graph.scc.tarjan");
+    let obs = gplus_obs::global();
+    let _span = obs.span("graph.scc.tarjan");
     const UNSET: u32 = u32::MAX;
     let n = g.node_count();
+    obs.counter("graph.scc.nodes_count").add(n as u64);
+    let mut labeled = 0u64;
     let mut index = vec![UNSET; n]; // discovery index
     let mut lowlink = vec![0u32; n];
     let mut on_stack = vec![false; n];
@@ -168,6 +212,7 @@ pub fn tarjan(g: &CsrGraph) -> SccResult {
                         let w = scc_stack.pop().expect("scc stack underflow");
                         on_stack[w as usize] = false;
                         component[w as usize] = count;
+                        labeled += 1;
                         if w == u {
                             break;
                         }
@@ -177,6 +222,8 @@ pub fn tarjan(g: &CsrGraph) -> SccResult {
             }
         }
     }
+    // parity with kosaraju: every node is labeled exactly once
+    obs.counter("graph.scc.visited_count").add(labeled);
 
     SccResult { component, count: count as usize }
 }
@@ -282,6 +329,21 @@ mod tests {
             let b = tarjan(&g);
             assert!(same_partition(&a, &b), "disagreement on trial {trial}");
         }
+    }
+
+    #[test]
+    fn scratch_reuse_across_graphs() {
+        let small = from_edges(3, [(0, 1), (1, 0)]);
+        let big = from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (2, 3), (5, 5)]);
+        let mut scratch = SccScratch::new(small.node_count());
+        let a = kosaraju_with_scratch(&small, &mut scratch);
+        // grows across a larger graph, then shrinks back, without stale state
+        let b = kosaraju_with_scratch(&big, &mut scratch);
+        let a2 = kosaraju_with_scratch(&small, &mut scratch);
+        assert_eq!(a, a2);
+        assert_eq!(a.count, 2);
+        assert_eq!(b.count, 3);
+        assert_eq!(b, kosaraju(&big));
     }
 
     #[test]

@@ -122,6 +122,83 @@ pub fn weakly_connected_components(g: &CsrGraph) -> WccResult {
     WccResult { component, count: count as usize }
 }
 
+/// Computes the weakly connected components by direction-optimizing flood
+/// fill over the symmetric adjacency (out ∪ in), labelling from ascending
+/// unlabeled roots.
+///
+/// Produces the *same labelling* as [`weakly_connected_components`], not
+/// just the same partition: union–find assigns dense ids by first
+/// occurrence over `v = 0..n` ascending, i.e. by each component's minimum
+/// member, and so does a root scan in ascending order. Compared to
+/// union–find this trades pointer-chasing `find` chains for the same
+/// bitmap-frontier sweep the BFS kernels use, which wins once the graph
+/// stops fitting in cache.
+pub fn weakly_connected_components_bfs(g: &CsrGraph, hybrid_threshold: f64) -> WccResult {
+    use crate::frontier::Bitmap;
+    let obs = gplus_obs::global();
+    let _span = obs.span("graph.wcc.bfs");
+    let n = g.node_count();
+    obs.counter("graph.wcc.nodes_count").add(n as u64);
+    let mut component = vec![u32::MAX; n];
+    let mut frontier_bits = Bitmap::new(n);
+    let mut queue: Vec<NodeId> = Vec::new();
+    let mut next: Vec<NodeId> = Vec::new();
+    let mut count = 0u32;
+    // each undirected edge can be relaxed from both endpoints
+    let switch_edges = hybrid_threshold * (2 * g.edge_count()) as f64;
+    let mut labeled: usize = 0;
+    for root in 0..n as NodeId {
+        if component[root as usize] != u32::MAX {
+            continue;
+        }
+        component[root as usize] = count;
+        labeled += 1;
+        queue.clear();
+        queue.push(root);
+        while !queue.is_empty() {
+            let frontier_edges: usize =
+                queue.iter().map(|&u| g.out_degree(u) + g.in_degree(u)).sum();
+            let bottom_up = labeled < n && frontier_edges as f64 > switch_edges;
+            next.clear();
+            if bottom_up {
+                frontier_bits.clear();
+                for &u in &queue {
+                    frontier_bits.set(u);
+                }
+                for v in 0..n as NodeId {
+                    if component[v as usize] != u32::MAX {
+                        continue;
+                    }
+                    let adjacent = g
+                        .out_neighbors(v)
+                        .iter()
+                        .chain(g.in_neighbors(v))
+                        .any(|&u| frontier_bits.get(u));
+                    if adjacent {
+                        component[v as usize] = count;
+                        labeled += 1;
+                        next.push(v);
+                    }
+                }
+            } else {
+                for i in 0..queue.len() {
+                    let u = queue[i];
+                    for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                        if component[v as usize] == u32::MAX {
+                            component[v as usize] = count;
+                            labeled += 1;
+                            next.push(v);
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut queue, &mut next);
+        }
+        count += 1;
+    }
+    WccResult { component, count: count as usize }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +254,31 @@ mod tests {
         let wcc = weakly_connected_components(&g);
         assert_eq!(wcc.count, 0);
         assert_eq!(wcc.giant_fraction(), 0.0);
+    }
+
+    #[test]
+    fn bfs_wcc_labelling_equals_union_find() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2012);
+        for trial in 0..20 {
+            let n = 1 + rng.random_range(0..60);
+            let m = rng.random_range(0..n * 2);
+            let edges: Vec<(NodeId, NodeId)> = (0..m)
+                .map(|_| (rng.random_range(0..n) as NodeId, rng.random_range(0..n) as NodeId))
+                .collect();
+            let g = from_edges(n, edges);
+            let threshold = rng.random_range(0..100) as f64 / 100.0;
+            let uf = weakly_connected_components(&g);
+            let bfs = weakly_connected_components_bfs(&g, threshold);
+            // identical labelling, not merely the same partition
+            assert_eq!(uf, bfs, "trial {trial}, threshold {threshold}");
+        }
+        let empty = from_edges(0, []);
+        assert_eq!(
+            weakly_connected_components(&empty),
+            weakly_connected_components_bfs(&empty, 0.05)
+        );
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! gplus list                                  # experiment registry
-//! gplus run      [-n N] [-s SEED] [--crawl] [--json PATH] [ID ...]
+//! gplus run      [-n N] [-s SEED] [--crawl] [--json PATH]
+//!                [--hybrid-threshold F] [--no-relabel] [ID ...]
 //! gplus crawl    [-n N] [-s SEED] [--failure-rate F] [--private F]
 //!                [--outage START:LEN] [--burst PROB:LEN] [--permafail F]
 //!                [--corrupt RATE] [--sweeps N] [--checkpoint-every N]
@@ -10,8 +11,14 @@
 //! gplus export   [-n N] [-s SEED] [--edges PATH] [--profiles PATH]
 //! gplus growth   [-n N] [-s SEED]
 //! gplus bench-suite [-n N] [-s SEED] [--out PATH] [--write-baseline PATH]
+//!                [--hybrid-threshold F] [--no-relabel]
 //! gplus bench-check [--baseline PATH] [--current PATH] [--threshold F]
 //! ```
+//!
+//! `--hybrid-threshold F` sets the frontier-edge fraction at which BFS
+//! levels switch to bottom-up scanning (default 0.05); `--no-relabel`
+//! disables the hub-first locality permutation. Both are pure performance
+//! knobs: experiment outputs are byte-identical across settings.
 //!
 //! `run` executes the full pipeline (ground truth by default, `--crawl`
 //! for the faithful generate→serve→crawl path) and prints either every
@@ -21,7 +28,7 @@
 
 use gplus::analysis::registry;
 use gplus::analysis::{
-    bench_compare, BenchConfig, BenchGate, BenchReport, CrawlDataset, Reproduction,
+    bench_compare, BenchConfig, BenchGate, BenchReport, CrawlDataset, CtxOptions, Reproduction,
     ReproductionConfig, StageTiming,
 };
 use gplus::crawler::{CrawlCheckpoint, CrawlResult, Crawler, CrawlerConfig};
@@ -59,16 +66,22 @@ fn print_usage() {
         "gplus — IMC 2012 Google+ study reproduction\n\n\
          USAGE:\n  \
          gplus list\n  \
-         gplus run    [-n N] [-s SEED] [--crawl] [--json PATH] [ID ...]\n  \
+         gplus run    [-n N] [-s SEED] [--crawl] [--json PATH]\n               \
+         [--hybrid-threshold F] [--no-relabel] [ID ...]\n  \
          gplus crawl  [-n N] [-s SEED] [--failure-rate F] [--private F]\n               \
          [--outage START:LEN] [--burst PROB:LEN] [--permafail F]\n               \
          [--corrupt RATE] [--sweeps N] [--checkpoint-every N]\n               \
          [--checkpoint PATH] [--resume PATH]\n  \
          gplus export [-n N] [-s SEED] [--edges PATH] [--profiles PATH]\n  \
          gplus growth [-n N] [-s SEED]\n  \
-         gplus bench-suite [-n N] [-s SEED] [--out PATH] [--write-baseline PATH]\n  \
+         gplus bench-suite [-n N] [-s SEED] [--out PATH] [--write-baseline PATH]\n               \
+         [--hybrid-threshold F] [--no-relabel]\n  \
          gplus bench-check [--baseline PATH] [--current PATH] [--threshold F]\n\n\
-         Experiment IDs for `run`: see `gplus list`."
+         Experiment IDs for `run`: see `gplus list`.\n\
+         Traversal tuning (run, bench-suite): --hybrid-threshold F sets the\n\
+         frontier-edge fraction at which BFS switches bottom-up (default 0.05,\n\
+         0 < F <= 1); --no-relabel disables the hub-first CSR permutation.\n\
+         Outputs are byte-identical across settings."
     );
 }
 
@@ -113,20 +126,44 @@ fn parse_flags(args: &[String], value_flags: &[&str], switch_flags: &[&str]) -> 
     flags
 }
 
+/// Applies `--hybrid-threshold` / `--no-relabel` to a [`CtxOptions`].
+/// Returns an exit code on invalid input.
+fn traversal_options(flags: &Flags) -> Result<CtxOptions, i32> {
+    let mut opts = CtxOptions::default();
+    if flags.switches.iter().any(|s| s == "--no-relabel") {
+        opts.relabel = false;
+    }
+    if let Some(v) = flags.options.get("--hybrid-threshold") {
+        match v.parse::<f64>() {
+            Ok(t) if t > 0.0 && t <= 1.0 => opts.hybrid_threshold = t,
+            _ => {
+                eprintln!("--hybrid-threshold expects a fraction in (0, 1] (e.g. 0.05)");
+                return Err(2);
+            }
+        }
+    }
+    Ok(opts)
+}
+
 fn cmd_list() -> i32 {
     println!("{}", registry::render_index());
     0
 }
 
 fn cmd_run(args: &[String]) -> i32 {
-    let flags = parse_flags(args, &["--json"], &["--crawl"]);
+    let flags =
+        parse_flags(args, &["--json", "--hybrid-threshold"], &["--crawl", "--no-relabel"]);
     for id in &flags.positional {
         if registry::find(id).is_none() {
             eprintln!("unknown experiment id: {id} (see `gplus list`)");
             return 2;
         }
     }
-    let config = ReproductionConfig::quick(flags.n, flags.seed);
+    let mut config = ReproductionConfig::quick(flags.n, flags.seed);
+    config.traversal = match traversal_options(&flags) {
+        Ok(opts) => opts,
+        Err(code) => return code,
+    };
     eprintln!(
         "running {} pipeline at {} users (seed {}) ...",
         if flags.switches.iter().any(|s| s == "--crawl") { "crawled" } else { "ground-truth" },
@@ -468,7 +505,11 @@ fn command_line(cmd: &str, args: &[&str]) -> Option<String> {
 }
 
 fn cmd_bench_suite(args: &[String]) -> i32 {
-    let mut flags = parse_flags(args, &["--out", "--write-baseline"], &[]);
+    let mut flags = parse_flags(
+        args,
+        &["--out", "--write-baseline", "--hybrid-threshold"],
+        &["--no-relabel"],
+    );
     if !args.iter().any(|a| a == "-n") {
         flags.n = 20_000; // bench default: the committed-baseline scale
     }
@@ -477,7 +518,11 @@ fn cmd_bench_suite(args: &[String]) -> i32 {
     let obs = gplus::obs::global();
 
     eprintln!("bench-suite: {} users, seed {}", flags.n, flags.seed);
-    let config = ReproductionConfig::quick(flags.n, flags.seed);
+    let mut config = ReproductionConfig::quick(flags.n, flags.seed);
+    config.traversal = match traversal_options(&flags) {
+        Ok(opts) => opts,
+        Err(code) => return code,
+    };
 
     let timed = |label: &str, f: &mut dyn FnMut()| -> f64 {
         let start = std::time::Instant::now();

@@ -28,4 +28,34 @@ fn committed_baseline_parses_and_passes_its_own_gate() {
         baseline.metrics_overhead_ratio <= BenchGate::default().max_overhead_ratio,
         "baseline overhead ratio must satisfy the bound it enforces"
     );
+    // every per-stage gauge must describe a real stage (forward direction:
+    // a stale gauge left over from a renamed stage would otherwise survive
+    // in the snapshot unnoticed) ...
+    for name in baseline.metrics.gauges.keys() {
+        if let Some(id) =
+            name.strip_prefix("pipeline.stage.").and_then(|rest| rest.strip_suffix("_ms"))
+        {
+            assert!(
+                baseline.stages.iter().any(|s| s.id == id),
+                "gauge {name:?} has no matching stages[] entry"
+            );
+        }
+    }
+    // ... and every stage must have exported its gauge (reverse direction)
+    for stage in &baseline.stages {
+        let gauge = format!("pipeline.stage.{}_ms", stage.id);
+        assert!(
+            baseline.metrics.gauges.contains_key(&gauge),
+            "stage {:?} did not export {gauge:?}",
+            stage.id
+        );
+    }
+    // the kernel-choice counters the gate requires must be present in the
+    // committed snapshot itself, or bench-check would reject every refresh
+    for name in BenchGate::default().required_counters {
+        assert!(
+            baseline.metrics.counters.contains_key(*name),
+            "baseline is missing required kernel counter {name:?}"
+        );
+    }
 }

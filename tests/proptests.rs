@@ -4,7 +4,8 @@
 //! graph algorithms against brute-force oracles on arbitrary digraphs, and
 //! estimator laws that must hold for any input.
 
-use gplus::graph::{bfs, builder::from_edges, clustering, reciprocity, scc, wcc, NodeId};
+use gplus::graph::relabel::Relabeling;
+use gplus::graph::{bfs, builder::from_edges, clustering, mbfs, reciprocity, scc, wcc, NodeId};
 use gplus::stats::{ks_distance, Ccdf, Cdf, Summary};
 use proptest::prelude::*;
 
@@ -134,6 +135,50 @@ proptest! {
                     .any(|&u| d[u as usize] != bfs::UNREACHABLE && d[u as usize] + 1 == dv);
                 prop_assert!(has_pred, "node {v} at distance {dv} lacks predecessor");
             }
+        }
+    }
+
+    #[test]
+    fn hybrid_bfs_equals_classic((n, edges) in arb_graph(),
+                                 threshold in 0.0f64..=1.0) {
+        let g = from_edges(n, edges);
+        for s in g.nodes() {
+            prop_assert_eq!(
+                bfs::hybrid_distances(&g, s, threshold),
+                bfs::distances(&g, s)
+            );
+        }
+    }
+
+    #[test]
+    fn batched_bfs_equals_per_source((n, edges) in arb_graph(),
+                                     threshold in 0.0f64..=1.0) {
+        let g = from_edges(n, edges);
+        // every node as a source, in one batch call — lane results must
+        // match the independent per-source traversals exactly
+        let sources: Vec<NodeId> = g.nodes().collect();
+        let batched = mbfs::multi_source_levels(&g, &sources, threshold);
+        for (i, &s) in sources.iter().enumerate() {
+            prop_assert_eq!(&batched[i], &bfs::levels(&g, s));
+        }
+    }
+
+    #[test]
+    fn relabeling_round_trips_and_preserves_structure((n, edges) in arb_graph()) {
+        let g = from_edges(n, edges);
+        let r = Relabeling::degree_descending(&g);
+        let h = r.apply(&g);
+        for v in g.nodes() {
+            // old -> new -> old is the identity
+            prop_assert_eq!(r.to_old(r.to_new(v)), v);
+            // degrees (and hence edge structure) survive the permutation
+            prop_assert_eq!(h.out_degree(r.to_new(v)), g.out_degree(v));
+            prop_assert_eq!(h.in_degree(r.to_new(v)), g.in_degree(v));
+        }
+        // per-source traversal from a relabeled source sees the same
+        // level profile: BFS level counts are isomorphism-invariant
+        for s in g.nodes() {
+            prop_assert_eq!(bfs::levels(&h, r.to_new(s)), bfs::levels(&g, s));
         }
     }
 
