@@ -51,6 +51,11 @@ pub struct ReproductionConfig {
     pub table4: table4::Table4Params,
     /// Traversal tuning (relabeling, hybrid switch threshold).
     pub traversal: CtxOptions,
+    /// Cross-check the dataset's graph against the `gplus-oracle`
+    /// reference kernels and metamorphic invariants before analysing
+    /// (`--verify` on the CLI). Panics on any disagreement: a verified
+    /// run must not silently produce numbers an unsound kernel computed.
+    pub verify: bool,
 }
 
 impl ReproductionConfig {
@@ -66,6 +71,7 @@ impl ReproductionConfig {
             fig9: fig9::Fig9Params::default(),
             table4: table4::Table4Params::default(),
             traversal: CtxOptions::default(),
+            verify: false,
         }
     }
 
@@ -283,6 +289,9 @@ impl Reproduction {
     /// whatever the scheduling.
     pub fn analyse<D: Dataset>(data: &D, config: &ReproductionConfig) -> ReproductionReport {
         let wall = Instant::now();
+        if config.verify {
+            Self::verify_dataset(data, config);
+        }
         let ctx = &AnalysisCtx::with_options(data, config.traversal);
         let mut t1 = None;
         let mut t2 = None;
@@ -343,6 +352,9 @@ impl Reproduction {
         config: &ReproductionConfig,
     ) -> ReproductionReport {
         let wall = Instant::now();
+        if config.verify {
+            Self::verify_dataset(data, config);
+        }
         let ctx = &AnalysisCtx::with_options(data, config.traversal);
         Self::assemble(
             false,
@@ -363,6 +375,39 @@ impl Reproduction {
             timed(|| fig9::run_ctx(ctx, &config.fig9)),
             timed(|| fig10::run_ctx(ctx)),
         )
+    }
+
+    /// Cross-checks the dataset's graph against the oracle: metamorphic
+    /// invariants plus the quick differential budget. Runs on a dedicated
+    /// large-stack thread (the reference Tarjan is recursive) and panics
+    /// with every disagreement if any kernel and its reference diverge —
+    /// an analysed report must never be built on an unsound kernel.
+    fn verify_dataset<D: Dataset>(data: &D, config: &ReproductionConfig) {
+        let g = data.graph();
+        let diff = gplus_oracle::DiffConfig::quick(config.synth.seed);
+        let problems: Vec<String> = std::thread::scope(|s| {
+            std::thread::Builder::new()
+                .name("pipeline-verify".into())
+                .stack_size(256 << 20)
+                .spawn_scoped(s, || {
+                    let mut problems = gplus_oracle::invariants::check_graph(g, diff.seed);
+                    problems.extend(
+                        gplus_oracle::run_all(g, &diff)
+                            .into_iter()
+                            .map(|m| format!("{}: {}", m.kernel, m.detail)),
+                    );
+                    problems
+                })
+                .expect("verify thread spawns")
+                .join()
+                .expect("verify thread completes")
+        });
+        assert!(
+            problems.is_empty(),
+            "--verify found {} kernel/oracle disagreement(s):\n{}",
+            problems.len(),
+            problems.join("\n")
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -489,6 +534,19 @@ mod tests {
         // and a second parallel run reproduces itself
         let par2 = Reproduction::analyse(&data, &config);
         assert_eq!(par.to_json(), par2.to_json());
+    }
+
+    #[test]
+    fn verified_run_matches_unverified_and_passes_the_oracle() {
+        let mut config = ReproductionConfig::quick(2_000, 17);
+        config.verify = true;
+        let network = SynthNetwork::generate(&config.synth);
+        let data = GroundTruthDataset::new(&network);
+        let verified = Reproduction::analyse(&data, &config);
+        config.verify = false;
+        let plain = Reproduction::analyse(&data, &config);
+        // verification is a pre-flight check, never a perturbation
+        assert_eq!(verified.to_json(), plain.to_json());
     }
 
     #[test]

@@ -173,6 +173,26 @@ pub fn levels(g: &CsrGraph, source: NodeId) -> BfsLevels {
     levels_with_scratch(g, source, &mut scratch)
 }
 
+/// The explicit frontier sets of a BFS: `result[d]` holds every node at
+/// distance exactly `d` from `source`, sorted ascending; `result[0]` is
+/// `[source]`.
+///
+/// This exposes the per-level structure that [`BfsLevels`] only counts, so
+/// correctness tooling can check level-set laws (disjointness, parent-in-
+/// previous-level) against the optimized kernels. Built from [`distances`],
+/// which keeps it a clarity-first derivation rather than a third traversal.
+pub fn level_sets(g: &CsrGraph, source: NodeId) -> Vec<Vec<NodeId>> {
+    let dist = distances(g, source);
+    let ecc = dist.iter().filter(|&&d| d != UNREACHABLE).max().copied().unwrap_or(0);
+    let mut sets: Vec<Vec<NodeId>> = vec![Vec::new(); ecc as usize + 1];
+    for (v, &d) in dist.iter().enumerate() {
+        if d != UNREACHABLE {
+            sets[d as usize].push(v as NodeId);
+        }
+    }
+    sets
+}
+
 /// The set of nodes reachable from `source` (including it), as a sorted vec.
 pub fn reachable_set(g: &CsrGraph, source: NodeId) -> Vec<NodeId> {
     let dist = distances(g, source);
@@ -411,6 +431,19 @@ mod tests {
         // re-running source 0 after other traversals gives identical result
         let a2 = levels_with_scratch(&g, 0, &mut scratch);
         assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn level_sets_match_levels_counts() {
+        let g = from_edges(6, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let sets = level_sets(&g, 0);
+        assert_eq!(sets, vec![vec![0], vec![1, 2], vec![3], vec![4]]);
+        let l = levels(&g, 0);
+        let counts: Vec<u64> = sets.iter().map(|s| s.len() as u64).collect();
+        assert_eq!(counts, l.counts);
+        // isolated source: single singleton level
+        let g = from_edges(3, [(1, 2)]);
+        assert_eq!(level_sets(&g, 0), vec![vec![0]]);
     }
 
     #[test]

@@ -77,6 +77,14 @@ impl CsrGraph {
             .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
     }
 
+    /// All directed edges materialised as a vector, sorted lexicographic by
+    /// `(source, target)` — the CSR layout already stores them in that
+    /// order, so this is a straight copy. Canonical form for edge-multiset
+    /// comparisons between graphs.
+    pub fn edge_list(&self) -> Vec<(NodeId, NodeId)> {
+        self.edges().collect()
+    }
+
     /// Iterates over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
         0..self.node_count() as NodeId
@@ -200,6 +208,16 @@ mod tests {
         let mut edges: Vec<_> = g.edges().collect();
         edges.sort_unstable();
         assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)]);
+    }
+
+    #[test]
+    fn edge_list_is_sorted_and_complete() {
+        let g = diamond();
+        let list = g.edge_list();
+        let mut sorted = list.clone();
+        sorted.sort_unstable();
+        assert_eq!(list, sorted, "CSR order is already lexicographic");
+        assert_eq!(list, vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)]);
     }
 
     #[test]

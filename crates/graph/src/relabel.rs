@@ -164,6 +164,30 @@ mod tests {
     }
 
     #[test]
+    fn degree_ties_break_on_old_id_deterministically() {
+        // two pairs of equal-degree nodes: {1,2} both total degree 2,
+        // {4,5} both total degree 1, and 0 the hub — tie order matters
+        let edges = [(0, 1), (0, 2), (1, 0), (2, 0), (0, 4), (0, 5)];
+        let g1 = from_edges(6, edges);
+        let g2 = from_edges(6, edges);
+        let r1 = Relabeling::degree_descending(&g1);
+        let r2 = Relabeling::degree_descending(&g2);
+        assert_eq!(r1, r2, "same graph, two builds: identical permutation");
+        // within every equal-degree run, old ids ascend (the stable
+        // tiebreak) — no dependence on sort internals or iteration order
+        let total = |v: NodeId| g1.out_degree(v) + g1.in_degree(v);
+        for w in r1.new_to_old().windows(2) {
+            let (a, b) = (w[0], w[1]);
+            assert!(
+                total(a) > total(b) || (total(a) == total(b) && a < b),
+                "tie between {a} and {b} must order by old id"
+            );
+        }
+        // and the permuted CSR is byte-identical across the two builds
+        assert_eq!(r1.apply(&g1), r2.apply(&g2));
+    }
+
+    #[test]
     fn empty_graph_relabels() {
         let g = from_edges(0, []);
         let r = Relabeling::degree_descending(&g);

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod metrics;
+pub mod names;
 pub mod registry;
 pub mod snapshot;
 

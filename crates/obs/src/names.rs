@@ -1,0 +1,14 @@
+//! Well-known metric names shared across crates.
+//!
+//! Components that record into the [global registry](crate::global) from
+//! more than one crate name their instruments here, so producers and the
+//! tests/dashboards that read them cannot drift apart.
+
+/// Oracle differential/invariant checks executed (one per kernel per graph).
+pub const ORACLE_CHECKED: &str = "oracle.checked";
+
+/// Oracle checks that found a disagreement with the reference.
+pub const ORACLE_MISMATCH: &str = "oracle.mismatch";
+
+/// Predicate evaluations spent shrinking failing graphs.
+pub const ORACLE_SHRINK_STEPS: &str = "oracle.shrink_steps";

@@ -1,0 +1,475 @@
+//! Optimized-vs-oracle differential checks.
+//!
+//! Every optimized kernel is run against its naive [`crate::reference`]
+//! twin on the same input; the first disagreement per kernel becomes a
+//! [`Mismatch`] carrying JSON-serialisable expected/actual values, ready
+//! to be embedded in a reproducer file. Checks are deterministic: all
+//! sampling derives from the caller's seed and the graph's node count.
+//!
+//! The obs counters `oracle.checked` and `oracle.mismatch` (see
+//! `gplus_obs::names`) count kernel checks and disagreements.
+
+use crate::reference::{self, EdgeSet};
+use gplus_graph::bfs::{self, BfsLevels};
+use gplus_graph::relabel::Relabeling;
+use gplus_graph::{clustering, mbfs, paths, reciprocity, scc, wcc, CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+
+/// The optimized kernels under differential test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Classic queue BFS (`bfs::levels`, `bfs::distances`).
+    BfsClassic,
+    /// Direction-optimizing BFS across thresholds.
+    BfsHybrid,
+    /// 64-lane batched multi-source BFS.
+    BfsBatched,
+    /// Sampled shortest-path-length estimator.
+    PathSampling,
+    /// Directed clustering coefficient.
+    Clustering,
+    /// Pairwise and global reciprocity.
+    Reciprocity,
+    /// Kosaraju + iterative Tarjan vs the recursive reference Tarjan.
+    Scc,
+    /// Union–find and flood-fill WCC vs the reference flood fill.
+    Wcc,
+    /// Hub-first relabeling: traversal invariance under the permutation.
+    Relabel,
+}
+
+/// Every kernel, in check order.
+pub const ALL_KERNELS: &[Kernel] = &[
+    Kernel::BfsClassic,
+    Kernel::BfsHybrid,
+    Kernel::BfsBatched,
+    Kernel::PathSampling,
+    Kernel::Clustering,
+    Kernel::Reciprocity,
+    Kernel::Scc,
+    Kernel::Wcc,
+    Kernel::Relabel,
+];
+
+impl Kernel {
+    /// Stable name used in counters, reproducer files and CLI output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Kernel::BfsClassic => "bfs-classic",
+            Kernel::BfsHybrid => "bfs-hybrid",
+            Kernel::BfsBatched => "bfs-batched",
+            Kernel::PathSampling => "path-sampling",
+            Kernel::Clustering => "clustering",
+            Kernel::Reciprocity => "reciprocity",
+            Kernel::Scc => "scc",
+            Kernel::Wcc => "wcc",
+            Kernel::Relabel => "relabel",
+        }
+    }
+}
+
+/// One optimized-vs-oracle disagreement.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// Which kernel disagreed.
+    pub kernel: &'static str,
+    /// Where and how (source node, threshold, …).
+    pub detail: String,
+    /// What the reference computed.
+    pub expected: serde_json::Value,
+    /// What the optimized kernel computed.
+    pub actual: serde_json::Value,
+}
+
+/// Budgets for one differential pass. All sampling is a pure function of
+/// `seed` and the graph size.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Seed for all node/source sampling.
+    pub seed: u64,
+    /// BFS sources per levels/distances check.
+    pub bfs_sources: usize,
+    /// Nodes sampled for the quadratic clustering / reciprocity oracles.
+    pub node_sample: usize,
+    /// Sources for the path-length estimator check.
+    pub path_sources: usize,
+    /// Hybrid thresholds to sweep (0.0 forces bottom-up, 1.0 top-down).
+    pub thresholds: Vec<f64>,
+}
+
+impl DiffConfig {
+    /// Full budgets for the release-mode seed sweep.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            bfs_sources: 16,
+            node_sample: 300,
+            path_sources: 16,
+            thresholds: vec![0.0, bfs::DEFAULT_HYBRID_THRESHOLD, 1.0],
+        }
+    }
+
+    /// Reduced budgets for debug-mode tests and the pipeline `--verify`
+    /// hook.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            seed,
+            bfs_sources: 6,
+            node_sample: 80,
+            path_sources: 6,
+            thresholds: vec![bfs::DEFAULT_HYBRID_THRESHOLD],
+        }
+    }
+}
+
+/// `k` deterministic sample nodes of `g` (without replacement, ascending
+/// when `k >= n`). Shared by the differential and invariant checks.
+pub fn sample_nodes(g: &CsrGraph, seed: u64, k: usize) -> Vec<NodeId> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    if k >= n {
+        return g.nodes().collect();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ (n as u64).rotate_left(17));
+    let mut picked = std::collections::BTreeSet::new();
+    while picked.len() < k {
+        picked.insert(rng.random_range(0..n) as NodeId);
+    }
+    picked.into_iter().collect()
+}
+
+/// Batched-BFS source list: always longer than one 64-lane word (so chunk
+/// seams are exercised) and containing duplicates, built by cycling the
+/// sampled sources.
+fn batched_sources(g: &CsrGraph, cfg: &DiffConfig) -> Vec<NodeId> {
+    let base = sample_nodes(g, cfg.seed ^ 0xba7c, cfg.bfs_sources.max(4));
+    if base.is_empty() {
+        return Vec::new();
+    }
+    let want = (mbfs::BATCH_WIDTH + base.len().max(8)).max(65);
+    (0..want).map(|i| base[i % base.len()]).collect()
+}
+
+/// Runs every kernel check on `g`; returns at most one [`Mismatch`] per
+/// kernel. Bumps `oracle.checked` per kernel and `oracle.mismatch` per
+/// disagreement.
+pub fn run_all(g: &CsrGraph, cfg: &DiffConfig) -> Vec<Mismatch> {
+    let obs = gplus_obs::global();
+    let mut mismatches = Vec::new();
+    for &kernel in ALL_KERNELS {
+        obs.counter(gplus_obs::names::ORACLE_CHECKED).inc();
+        if let Some(m) = check_kernel(g, kernel, cfg) {
+            obs.counter(gplus_obs::names::ORACLE_MISMATCH).inc();
+            mismatches.push(m);
+        }
+    }
+    mismatches
+}
+
+/// Runs one kernel's differential check, returning its first disagreement.
+pub fn check_kernel(g: &CsrGraph, kernel: Kernel, cfg: &DiffConfig) -> Option<Mismatch> {
+    match kernel {
+        Kernel::BfsClassic => check_levels_kernel(g, cfg, "bfs-classic", |g, s| {
+            (bfs::levels(g, s), Some(bfs::distances(g, s)))
+        }),
+        Kernel::BfsHybrid => cfg.thresholds.iter().find_map(|&t| {
+            check_levels_kernel(g, cfg, Kernel::BfsHybrid.as_str(), move |g, s| {
+                (bfs::hybrid_levels(g, s, t), Some(bfs::hybrid_distances(g, s, t)))
+            })
+            .map(|mut m| {
+                m.detail = format!("{} (threshold {t})", m.detail);
+                m
+            })
+        }),
+        Kernel::BfsBatched => check_batched(g, cfg),
+        Kernel::PathSampling => check_paths(g, cfg),
+        Kernel::Clustering => check_clustering(g, cfg),
+        Kernel::Reciprocity => check_reciprocity(g, cfg),
+        Kernel::Scc => check_scc(g),
+        Kernel::Wcc => check_wcc(g),
+        Kernel::Relabel => check_relabel(g, cfg),
+    }
+}
+
+/// Differential check of any levels-producing BFS kernel against the
+/// reference, over the config's sampled sources. The kernel returns its
+/// [`BfsLevels`] plus optionally a distance vector (also verified). Public
+/// so the mutation smoke test can feed a deliberately wrong kernel in.
+pub fn check_levels_kernel(
+    g: &CsrGraph,
+    cfg: &DiffConfig,
+    name: &'static str,
+    kernel: impl Fn(&CsrGraph, NodeId) -> (BfsLevels, Option<Vec<u32>>),
+) -> Option<Mismatch> {
+    for s in sample_nodes(g, cfg.seed ^ 0xbf5, cfg.bfs_sources) {
+        let want_levels = reference::bfs_levels(g, s);
+        let (got_levels, got_dist) = kernel(g, s);
+        if got_levels != want_levels {
+            return Some(Mismatch {
+                kernel: name,
+                detail: format!("levels from source {s}"),
+                expected: json!({
+                    "counts": want_levels.counts,
+                    "eccentricity": want_levels.eccentricity,
+                    "reached": want_levels.reached,
+                }),
+                actual: json!({
+                    "counts": got_levels.counts,
+                    "eccentricity": got_levels.eccentricity,
+                    "reached": got_levels.reached,
+                }),
+            });
+        }
+        if let Some(got) = got_dist {
+            let want = reference::bfs_distances(g, s);
+            if got != want {
+                let at = got.iter().zip(&want).position(|(a, b)| a != b).unwrap_or(0);
+                return Some(Mismatch {
+                    kernel: name,
+                    detail: format!("distances from source {s}, first divergence at node {at}"),
+                    expected: json!(want),
+                    actual: json!(got),
+                });
+            }
+        }
+    }
+    None
+}
+
+fn check_batched(g: &CsrGraph, cfg: &DiffConfig) -> Option<Mismatch> {
+    let sources = batched_sources(g, cfg);
+    if sources.is_empty() {
+        return None;
+    }
+    for &t in &cfg.thresholds {
+        let lanes = mbfs::multi_source_levels(g, &sources, t);
+        for (lane, (&s, got)) in sources.iter().zip(&lanes).enumerate() {
+            let want = reference::bfs_levels(g, s);
+            if *got != want {
+                return Some(Mismatch {
+                    kernel: Kernel::BfsBatched.as_str(),
+                    detail: format!(
+                        "lane {lane} (source {s}) of {} at threshold {t}",
+                        sources.len()
+                    ),
+                    expected: json!({ "counts": want.counts, "reached": want.reached }),
+                    actual: json!({ "counts": got.counts, "reached": got.reached }),
+                });
+            }
+        }
+    }
+    None
+}
+
+fn check_paths(g: &CsrGraph, cfg: &DiffConfig) -> Option<Mismatch> {
+    let sources: Vec<usize> = sample_nodes(g, cfg.seed ^ 0x9a7, cfg.path_sources)
+        .iter()
+        .map(|&s| s as usize)
+        .collect();
+    let got = paths::path_lengths_from_sources(g, &sources);
+    let want = reference::path_length_distribution(g, &sources);
+    (got != want).then(|| Mismatch {
+        kernel: Kernel::PathSampling.as_str(),
+        detail: format!("distribution over {} sources", sources.len()),
+        expected: json!({
+            "counts": want.counts, "sources": want.sources, "max_distance": want.max_distance,
+        }),
+        actual: json!({
+            "counts": got.counts, "sources": got.sources, "max_distance": got.max_distance,
+        }),
+    })
+}
+
+fn check_clustering(g: &CsrGraph, cfg: &DiffConfig) -> Option<Mismatch> {
+    let es = EdgeSet::from_graph(g);
+    for u in sample_nodes(g, cfg.seed ^ 0xcc, cfg.node_sample) {
+        let want = reference::clustering_coefficient(&es, g, u);
+        let got = clustering::clustering_coefficient(g, u);
+        let agree = match (got, want) {
+            (Some(a), Some(b)) => (a - b).abs() < 1e-12,
+            (None, None) => true,
+            _ => false,
+        };
+        if !agree {
+            return Some(Mismatch {
+                kernel: Kernel::Clustering.as_str(),
+                detail: format!("clustering coefficient of node {u}"),
+                expected: json!(want),
+                actual: json!(got),
+            });
+        }
+    }
+    None
+}
+
+fn check_reciprocity(g: &CsrGraph, cfg: &DiffConfig) -> Option<Mismatch> {
+    let es = EdgeSet::from_graph(g);
+    for u in sample_nodes(g, cfg.seed ^ 0x44, cfg.node_sample) {
+        let want = reference::relation_reciprocity(&es, g, u);
+        let got = reciprocity::relation_reciprocity(g, u);
+        let agree = match (got, want) {
+            (Some(a), Some(b)) => (a - b).abs() < 1e-12,
+            (None, None) => true,
+            _ => false,
+        };
+        if !agree {
+            return Some(Mismatch {
+                kernel: Kernel::Reciprocity.as_str(),
+                detail: format!("relation reciprocity of node {u}"),
+                expected: json!(want),
+                actual: json!(got),
+            });
+        }
+    }
+    let want = reference::global_reciprocity(&es, g);
+    let got = reciprocity::global_reciprocity(g);
+    if (got - want).abs() >= 1e-12 {
+        return Some(Mismatch {
+            kernel: Kernel::Reciprocity.as_str(),
+            detail: "global reciprocity".to_string(),
+            expected: json!(want),
+            actual: json!(got),
+        });
+    }
+    let want_pairs = reference::reciprocal_pair_count(&es, g);
+    let got_pairs = reciprocity::reciprocal_pair_count(g);
+    (got_pairs != want_pairs).then(|| Mismatch {
+        kernel: Kernel::Reciprocity.as_str(),
+        detail: "reciprocal pair count".to_string(),
+        expected: json!(want_pairs),
+        actual: json!(got_pairs),
+    })
+}
+
+fn check_scc(g: &CsrGraph) -> Option<Mismatch> {
+    let want = reference::tarjan_scc(g);
+    for (name, got) in [("kosaraju", scc::kosaraju(g)), ("tarjan", scc::tarjan(g))] {
+        if !scc::same_partition(&want, &got) {
+            return Some(Mismatch {
+                kernel: Kernel::Scc.as_str(),
+                detail: format!("{name} partition differs from reference Tarjan"),
+                expected: json!({ "count": want.count, "component": want.component }),
+                actual: json!({ "count": got.count, "component": got.component }),
+            });
+        }
+    }
+    None
+}
+
+fn check_wcc(g: &CsrGraph) -> Option<Mismatch> {
+    let want = reference::weakly_connected_components(g);
+    for (name, got) in [
+        ("union-find", wcc::weakly_connected_components(g)),
+        ("flood-fill", wcc::weakly_connected_components_bfs(g, bfs::DEFAULT_HYBRID_THRESHOLD)),
+    ] {
+        // labelling equality, not just partition equality: all three
+        // implementations densify ids by ascending first occurrence
+        if got != want {
+            return Some(Mismatch {
+                kernel: Kernel::Wcc.as_str(),
+                detail: format!("{name} labelling differs from reference flood fill"),
+                expected: json!({ "count": want.count, "component": want.component }),
+                actual: json!({ "count": got.count, "component": got.component }),
+            });
+        }
+    }
+    None
+}
+
+fn check_relabel(g: &CsrGraph, cfg: &DiffConfig) -> Option<Mismatch> {
+    let r = Relabeling::degree_descending(g);
+    let h = r.apply(g);
+    let mut mapped: Vec<(NodeId, NodeId)> =
+        g.edges().map(|(u, v)| (r.to_new(u), r.to_new(v))).collect();
+    mapped.sort_unstable();
+    let got = h.edge_list();
+    if got != mapped {
+        return Some(Mismatch {
+            kernel: Kernel::Relabel.as_str(),
+            detail: "permuted graph's edge multiset".to_string(),
+            expected: json!(mapped),
+            actual: json!(got),
+        });
+    }
+    // traversal invariance: BFS from a relabeled source sees the same
+    // level profile as from the public-id source
+    for s in sample_nodes(g, cfg.seed ^ 0x5e1, cfg.bfs_sources) {
+        let want = reference::bfs_levels(g, s);
+        let got = bfs::levels(&h, r.to_new(s));
+        if got != want {
+            return Some(Mismatch {
+                kernel: Kernel::Relabel.as_str(),
+                detail: format!("levels from source {s} (relabeled {})", r.to_new(s)),
+                expected: json!(want.counts),
+                actual: json!(got.counts),
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplus_graph::builder::from_edges;
+    use gplus_synth::{SynthConfig, SynthNetwork};
+
+    #[test]
+    fn all_kernels_pass_on_handcrafted_graphs() {
+        for (n, edges) in [
+            (0usize, vec![]),
+            (1, vec![(0, 0)]),
+            (7, vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (5, 5), (0, 6)]),
+        ] {
+            let g = from_edges(n, edges.clone());
+            let m = run_all(&g, &DiffConfig::quick(11));
+            assert!(m.is_empty(), "({n}, {edges:?}): {m:?}");
+        }
+    }
+
+    #[test]
+    fn all_kernels_pass_on_a_synthetic_network() {
+        let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(1_200, 5));
+        let m = run_all(&net.graph, &DiffConfig::quick(5));
+        assert!(m.is_empty(), "{m:?}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let g = from_edges(50, (0..49).map(|i| (i, i + 1)));
+        let a = sample_nodes(&g, 9, 10);
+        let b = sample_nodes(&g, 9, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "without replacement, ascending");
+        assert_eq!(sample_nodes(&g, 9, 100).len(), 50, "clamped to n");
+    }
+
+    #[test]
+    fn batched_sources_cross_the_lane_boundary_with_duplicates() {
+        let g = from_edges(10, [(0, 1), (1, 2)]);
+        let s = batched_sources(&g, &DiffConfig::quick(3));
+        assert!(s.len() > mbfs::BATCH_WIDTH, "must spill past one 64-lane word");
+        let distinct: std::collections::HashSet<_> = s.iter().collect();
+        assert!(distinct.len() < s.len(), "must contain duplicates");
+    }
+
+    #[test]
+    fn a_wrong_kernel_is_flagged() {
+        // feed a kernel that reports one node too many at the last level
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let m = check_levels_kernel(&g, &DiffConfig::quick(2), "broken", |g, s| {
+            let mut l = bfs::levels(g, s);
+            *l.counts.last_mut().unwrap() += 1;
+            l.reached += 1;
+            (l, None)
+        });
+        let m = m.expect("the broken kernel must be flagged");
+        assert_eq!(m.kernel, "broken");
+        assert!(m.detail.contains("levels from source"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Metamorphic-invariant checker: graph-theory laws that must hold on
+//! *any* input, no reference run required.
+//!
+//! Each law is checked against the optimized kernels' own outputs, so a
+//! violation here means a kernel (or the CSR representation itself) broke
+//! mathematics, not merely that two implementations disagree:
+//!
+//! * out-degree sum == |E| == in-degree sum, and both CSR halves are
+//!   sorted, deduplicated and exact transposes of each other;
+//! * the reciprocal-edge set is symmetric;
+//! * SCC refines WCC (strongly connected ⇒ weakly connected);
+//! * clustering coefficients lie in `[0, 1]`;
+//! * BFS levels are monotone: every level-`d+1` node has a level-`d`
+//!   in-neighbor, levels partition the reachable set, and per-level
+//!   counts agree with the aggregate kernel;
+//! * the hub-first relabel permutation is a bijection that preserves the
+//!   edge multiset.
+
+use crate::differential::sample_nodes;
+use gplus_graph::relabel::Relabeling;
+use gplus_graph::{bfs, clustering, reciprocity, scc, wcc, CsrGraph, NodeId};
+use std::collections::HashSet;
+
+/// Checks every metamorphic law on `g`; returns one human-readable
+/// violation per broken law (empty = all laws hold). `seed` drives the
+/// BFS-source and clustering-node samples deterministically.
+pub fn check_graph(g: &CsrGraph, seed: u64) -> Vec<String> {
+    let mut violations = Vec::new();
+    degree_sum_law(g, &mut violations);
+    csr_well_formed(g, &mut violations);
+    reciprocal_symmetry(g, &mut violations);
+    scc_refines_wcc(g, &mut violations);
+    clustering_bounds(g, seed, &mut violations);
+    bfs_level_monotonicity(g, seed, &mut violations);
+    relabel_bijection(g, &mut violations);
+    violations
+}
+
+fn degree_sum_law(g: &CsrGraph, out: &mut Vec<String>) {
+    let m = g.edge_count();
+    let out_sum: usize = g.nodes().map(|u| g.out_degree(u)).sum();
+    let in_sum: usize = g.nodes().map(|u| g.in_degree(u)).sum();
+    if out_sum != m || in_sum != m {
+        out.push(format!(
+            "degree-sum law broken: sum(out)={out_sum}, |E|={m}, sum(in)={in_sum}"
+        ));
+    }
+}
+
+fn csr_well_formed(g: &CsrGraph, out: &mut Vec<String>) {
+    for u in g.nodes() {
+        for (label, row) in [("out", g.out_neighbors(u)), ("in", g.in_neighbors(u))] {
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                out.push(format!("{label}-neighbors of {u} not sorted+deduplicated: {row:?}"));
+                return;
+            }
+        }
+    }
+    // the reverse half must be the exact transpose of the forward half
+    let forward: HashSet<(NodeId, NodeId)> = g.edges().collect();
+    let mut reverse_count = 0usize;
+    for v in g.nodes() {
+        for &u in g.in_neighbors(v) {
+            reverse_count += 1;
+            if !forward.contains(&(u, v)) {
+                out.push(format!("reverse half has ({u},{v}) missing from forward half"));
+                return;
+            }
+        }
+    }
+    if reverse_count != forward.len() {
+        out.push(format!(
+            "reverse half holds {reverse_count} edges, forward holds {}",
+            forward.len()
+        ));
+    }
+}
+
+fn reciprocal_symmetry(g: &CsrGraph, out: &mut Vec<String>) {
+    let mut pairs = 0u64;
+    for (u, v) in reciprocity::reciprocal_pairs(g) {
+        pairs += 1;
+        if u >= v {
+            out.push(format!("reciprocal_pairs yielded unordered pair ({u},{v})"));
+            return;
+        }
+        if !g.has_edge(u, v) || !g.has_edge(v, u) {
+            out.push(format!("reciprocal pair ({u},{v}) lacks one direction"));
+            return;
+        }
+    }
+    let counted = reciprocity::reciprocal_pair_count(g);
+    if pairs != counted {
+        out.push(format!(
+            "reciprocal-edge set asymmetric: iterator yields {pairs} pairs, count says {counted}"
+        ));
+    }
+}
+
+fn scc_refines_wcc(g: &CsrGraph, out: &mut Vec<String>) {
+    let s = scc::kosaraju(g);
+    let w = wcc::weakly_connected_components(g);
+    if w.count > s.count {
+        out.push(format!("WCC count {} exceeds SCC count {}", w.count, s.count));
+        return;
+    }
+    // within one SCC, all members share a WCC label: check a canonical
+    // member per SCC id instead of all O(n²) pairs
+    let mut wcc_of_scc = vec![u32::MAX; s.count];
+    for v in g.nodes() {
+        let sc = s.component[v as usize] as usize;
+        let wc = w.component[v as usize];
+        if wcc_of_scc[sc] == u32::MAX {
+            wcc_of_scc[sc] = wc;
+        } else if wcc_of_scc[sc] != wc {
+            out.push(format!(
+                "SCC does not refine WCC: node {v} in SCC {sc} has WCC {wc}, expected {}",
+                wcc_of_scc[sc]
+            ));
+            return;
+        }
+    }
+}
+
+fn clustering_bounds(g: &CsrGraph, seed: u64, out: &mut Vec<String>) {
+    for u in sample_nodes(g, seed ^ 0xc1, 512) {
+        if let Some(cc) = clustering::clustering_coefficient(g, u) {
+            if !(0.0..=1.0).contains(&cc) {
+                out.push(format!("clustering coefficient of {u} out of [0,1]: {cc}"));
+                return;
+            }
+        }
+    }
+}
+
+fn bfs_level_monotonicity(g: &CsrGraph, seed: u64, out: &mut Vec<String>) {
+    for s in sample_nodes(g, seed ^ 0xb5, 8) {
+        let sets = bfs::level_sets(g, s);
+        let aggregate = bfs::levels(g, s);
+        let counts: Vec<u64> = sets.iter().map(|l| l.len() as u64).collect();
+        if counts != aggregate.counts {
+            out.push(format!(
+                "level sets from {s} disagree with aggregate counts: {counts:?} vs {:?}",
+                aggregate.counts
+            ));
+            return;
+        }
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        for (d, level) in sets.iter().enumerate() {
+            for &v in level {
+                if !seen.insert(v) {
+                    out.push(format!("node {v} appears in two BFS levels from {s}"));
+                    return;
+                }
+                // monotonicity: a level-d node (d >= 1) has a parent at d-1
+                if d > 0 && !g.in_neighbors(v).iter().any(|u| sets[d - 1].contains(u)) {
+                    out.push(format!(
+                        "node {v} at level {d} from {s} has no level-{} in-neighbor",
+                        d - 1
+                    ));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn relabel_bijection(g: &CsrGraph, out: &mut Vec<String>) {
+    let r = Relabeling::degree_descending(g);
+    let n = g.node_count();
+    if r.len() != n {
+        out.push(format!("relabeling covers {} nodes of {n}", r.len()));
+        return;
+    }
+    let mut hit = vec![false; n];
+    for old in g.nodes() {
+        let new = r.to_new(old);
+        if (new as usize) >= n || hit[new as usize] {
+            out.push(format!("relabel not a bijection: old {old} -> new {new}"));
+            return;
+        }
+        hit[new as usize] = true;
+        if r.to_old(new) != old {
+            out.push(format!("relabel round-trip broken at old id {old}"));
+            return;
+        }
+    }
+    // the permuted graph holds exactly the mapped edge multiset
+    let h = r.apply(g);
+    let mut mapped: Vec<(NodeId, NodeId)> =
+        g.edges().map(|(u, v)| (r.to_new(u), r.to_new(v))).collect();
+    mapped.sort_unstable();
+    if h.edge_list() != mapped {
+        out.push("relabel apply() does not preserve the edge multiset".to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplus_graph::builder::from_edges;
+    use gplus_synth::{SynthConfig, SynthNetwork};
+
+    #[test]
+    fn laws_hold_on_handcrafted_graphs() {
+        for (n, edges) in [
+            (0usize, vec![]),
+            (1, vec![(0, 0)]),
+            (5, vec![(0, 1), (1, 0), (2, 3), (3, 4), (4, 2), (0, 4)]),
+            (6, vec![(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]), // star
+        ] {
+            let g = from_edges(n, edges.clone());
+            let v = check_graph(&g, 7);
+            assert!(v.is_empty(), "graph ({n}, {edges:?}) violated: {v:?}");
+        }
+    }
+
+    #[test]
+    fn laws_hold_on_a_synthetic_network() {
+        let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(1_500, 3));
+        let v = check_graph(&net.graph, 3);
+        assert!(v.is_empty(), "violations: {v:?}");
+    }
+}

@@ -1,0 +1,44 @@
+//! # gplus-oracle — the correctness net under the optimized kernels
+//!
+//! PRs 1–4 made the analysis pipeline parallel, fault-tolerant, observable
+//! and fast; this crate keeps it *honest*. Three layers:
+//!
+//! * [`mod@reference`] — naive, obviously-correct twins of every optimized
+//!   graph kernel (plain-queue BFS, brute-force path sampling, `O(deg²)`
+//!   clustering, linear-scan reciprocity, a recursive Tarjan as a third
+//!   SCC opinion, flood-fill WCC), written for clarity, never for speed.
+//! * [`invariants`] — metamorphic graph-theory laws that must hold on any
+//!   input regardless of implementation: degree sums equal `|E|`, the
+//!   reciprocal-edge set is symmetric, SCC refines WCC, clustering stays
+//!   in `[0, 1]`, BFS levels are monotone, the relabel permutation is an
+//!   edge-multiset-preserving bijection.
+//! * [`differential`] + [`sweep`] + [`mod@shrink`] — a deterministic
+//!   seed-sweep fuzzer (`gplus verify-kernels`) generating synthetic
+//!   graphs across all three presets plus adversarial shapes, running
+//!   optimized-vs-oracle on each, and on mismatch shrinking the failing
+//!   graph and writing a self-contained reproducer JSON to
+//!   `target/oracle/`.
+//!
+//! The `oracle-mutation` feature compiles the `mutation` module, a deliberately
+//! wrong BFS the smoke test uses to prove the oracle can actually fail.
+//!
+//! ```
+//! use gplus_graph::builder::from_edges;
+//! use gplus_oracle::differential::{run_all, DiffConfig};
+//!
+//! let g = from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+//! assert!(run_all(&g, &DiffConfig::quick(42)).is_empty());
+//! assert!(gplus_oracle::invariants::check_graph(&g, 42).is_empty());
+//! ```
+
+pub mod differential;
+pub mod invariants;
+#[cfg(feature = "oracle-mutation")]
+pub mod mutation;
+pub mod reference;
+pub mod shrink;
+pub mod sweep;
+
+pub use differential::{check_kernel, run_all, DiffConfig, Kernel, Mismatch};
+pub use shrink::{shrink, ShrinkOutcome};
+pub use sweep::{Preset, Reproducer, SweepConfig, SweepOutcome};

@@ -1,0 +1,76 @@
+//! Deliberately wrong kernels, compiled only under the `oracle-mutation`
+//! feature.
+//!
+//! A differential oracle that never fires is indistinguishable from one
+//! that cannot fire. This module plants a known bug — a BFS whose level
+//! counter is off by one — so the mutation smoke test can prove the
+//! runner flags it, shrinks the witness, and writes a reproducer.
+
+use gplus_graph::bfs::BfsLevels;
+use gplus_graph::{CsrGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Level-synchronous BFS with a planted off-by-one: the depth increment is
+/// skipped once when advancing past level 1, so every node at true
+/// distance `d >= 2` is reported at `d - 1`. Correct on graphs whose
+/// sampled eccentricities stay below 2 — which is exactly why the
+/// differential runner, not a fixed unit test, has to catch it.
+pub fn off_by_one_levels(g: &CsrGraph, source: NodeId) -> BfsLevels {
+    assert!((source as usize) < g.node_count(), "source out of range");
+    let mut seen = vec![false; g.node_count()];
+    seen[source as usize] = true;
+    let mut frontier: VecDeque<NodeId> = VecDeque::from([source]);
+    let mut next = VecDeque::new();
+    let mut counts: Vec<u64> = vec![1];
+    let mut reached = 1u64;
+    let mut depth = 0u32;
+    let mut skipped_one_increment = false;
+    while !frontier.is_empty() {
+        while let Some(u) = frontier.pop_front() {
+            for &v in g.out_neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    next.push_back(v);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        // THE BUG: moving from level 1 to level 2 does not advance the
+        // level counter, merging the two levels.
+        if depth == 1 && !skipped_one_increment {
+            skipped_one_increment = true;
+        } else {
+            depth += 1;
+        }
+        let level = next.len() as u64;
+        if counts.len() <= depth as usize {
+            counts.push(0);
+        }
+        counts[depth as usize] += level;
+        reached += level;
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    BfsLevels { counts, eccentricity: depth, reached }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplus_graph::bfs;
+    use gplus_graph::builder::from_edges;
+
+    #[test]
+    fn mutant_is_correct_below_two_hops_and_wrong_beyond() {
+        // one hop: indistinguishable from the real kernel
+        let shallow = from_edges(3, [(0, 1), (0, 2)]);
+        assert_eq!(off_by_one_levels(&shallow, 0), bfs::levels(&shallow, 0));
+        // two hops: the mutant merges levels 1 and 2
+        let path = from_edges(3, [(0, 1), (1, 2)]);
+        let got = off_by_one_levels(&path, 0);
+        assert_ne!(got, bfs::levels(&path, 0));
+        assert_eq!(got.counts, vec![1, 2]);
+        assert_eq!(got.eccentricity, 1);
+    }
+}

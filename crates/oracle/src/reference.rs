@@ -1,0 +1,350 @@
+//! Naive, obviously-correct reference implementations of every optimized
+//! graph kernel.
+//!
+//! Everything here is written for *clarity*, not speed: plain queues, hash
+//! sets, nested loops, no scratch reuse, no direction switching, no bit
+//! packing and no metrics. The point is that each function is short enough
+//! to audit by eye, so when an optimized kernel and its reference disagree
+//! the reference wins and the kernel is the suspect. Asymptotics are
+//! documented per function; the differential runner keeps inputs small
+//! enough that quadratic passes stay affordable.
+
+use gplus_graph::bfs::{BfsLevels, UNREACHABLE};
+use gplus_graph::paths::PathLengthDistribution;
+use gplus_graph::scc::SccResult;
+use gplus_graph::wcc::WccResult;
+use gplus_graph::{CsrGraph, NodeId};
+use std::collections::{HashSet, VecDeque};
+
+/// The full directed edge set as a hash set — `O(1)` membership with no
+/// reliance on the CSR's sorted-list invariant (which is itself under
+/// test).
+pub struct EdgeSet {
+    edges: HashSet<(NodeId, NodeId)>,
+}
+
+impl EdgeSet {
+    /// Collects every directed edge of `g`.
+    pub fn from_graph(g: &CsrGraph) -> Self {
+        Self { edges: g.edges().collect() }
+    }
+
+    /// Whether the directed edge `u -> v` exists.
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        self.edges.contains(&(u, v))
+    }
+
+    /// Number of distinct directed edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Textbook single-source BFS distances: one queue, one visited pass,
+/// `O(n + m)`.
+pub fn bfs_distances(g: &CsrGraph, source: NodeId) -> Vec<u32> {
+    assert!((source as usize) < g.node_count(), "source out of range");
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.out_neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = dist[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Per-level counts derived straight from [`bfs_distances`] — the
+/// reference for every levels-producing kernel (classic, hybrid, batched).
+pub fn bfs_levels(g: &CsrGraph, source: NodeId) -> BfsLevels {
+    let dist = bfs_distances(g, source);
+    let eccentricity = dist.iter().copied().filter(|&d| d != UNREACHABLE).max().unwrap_or(0);
+    let mut counts = vec![0u64; eccentricity as usize + 1];
+    let mut reached = 0u64;
+    for &d in &dist {
+        if d != UNREACHABLE {
+            counts[d as usize] += 1;
+            reached += 1;
+        }
+    }
+    BfsLevels { counts, eccentricity, reached }
+}
+
+/// The reachable set of nodes at each distance, sorted within each level.
+/// Level 0 is `[source]`; the concatenation of all levels is the reachable
+/// set.
+pub fn bfs_level_sets(g: &CsrGraph, source: NodeId) -> Vec<Vec<NodeId>> {
+    let dist = bfs_distances(g, source);
+    let ecc = dist.iter().copied().filter(|&d| d != UNREACHABLE).max().unwrap_or(0);
+    let mut levels: Vec<Vec<NodeId>> = vec![Vec::new(); ecc as usize + 1];
+    for (v, &d) in dist.iter().enumerate() {
+        if d != UNREACHABLE {
+            levels[d as usize].push(v as NodeId);
+        }
+    }
+    levels
+}
+
+/// Brute-force shortest-path sampling: one plain BFS per source, histogram
+/// merged by hand. Mirrors the optimized estimator's contract exactly —
+/// distance-0 pairs (the sources themselves) are dropped and `counts[0]`
+/// stays zero.
+pub fn path_length_distribution(g: &CsrGraph, sources: &[usize]) -> PathLengthDistribution {
+    let mut counts: Vec<u64> = vec![0];
+    let mut max_distance = 0u32;
+    for &s in sources {
+        let levels = bfs_levels(g, s as NodeId);
+        if counts.len() < levels.counts.len() {
+            counts.resize(levels.counts.len(), 0);
+        }
+        // skip d = 0: the source itself is not a pair
+        for (d, &c) in levels.counts.iter().enumerate().skip(1) {
+            counts[d] += c;
+        }
+        max_distance = max_distance.max(levels.eccentricity);
+    }
+    PathLengthDistribution { counts, sources: sources.len(), max_distance }
+}
+
+/// Directed clustering coefficient by the paper's definition, via nested
+/// loops over the (self-loop-free) out-neighborhood: `O(deg²)` hash
+/// probes per node. `None` when fewer than two eligible out-neighbors.
+pub fn clustering_coefficient(es: &EdgeSet, g: &CsrGraph, u: NodeId) -> Option<f64> {
+    let outs: Vec<NodeId> = g.out_neighbors(u).iter().copied().filter(|&v| v != u).collect();
+    if outs.len() <= 1 {
+        return None;
+    }
+    let mut closed = 0u64;
+    for &v in &outs {
+        for &w in &outs {
+            if v != w && es.contains(v, w) {
+                closed += 1;
+            }
+        }
+    }
+    Some(closed as f64 / (outs.len() * (outs.len() - 1)) as f64)
+}
+
+/// Pairwise relation reciprocity `|OS(u) ∩ IS(u)| / |OS(u)|` by linear
+/// scans; `None` when `u` has no outgoing edges.
+pub fn relation_reciprocity(es: &EdgeSet, g: &CsrGraph, u: NodeId) -> Option<f64> {
+    let outs = g.out_neighbors(u);
+    if outs.is_empty() {
+        return None;
+    }
+    let mutual = outs.iter().filter(|&&v| es.contains(v, u)).count();
+    Some(mutual as f64 / outs.len() as f64)
+}
+
+/// Global reciprocity: the fraction of directed edges whose reverse also
+/// exists. A self-loop is its own reverse, exactly as in the optimized
+/// kernel. `0.0` on an edgeless graph.
+pub fn global_reciprocity(es: &EdgeSet, g: &CsrGraph) -> f64 {
+    if es.is_empty() {
+        return 0.0;
+    }
+    let mutual = g.edges().filter(|&(u, v)| es.contains(v, u)).count();
+    mutual as f64 / es.len() as f64
+}
+
+/// Number of unordered reciprocal pairs `{u, v}` with `u < v` and both
+/// directed edges present (self-loops excluded, matching the optimized
+/// `reciprocal_pair_count`).
+pub fn reciprocal_pair_count(es: &EdgeSet, g: &CsrGraph) -> u64 {
+    g.edges().filter(|&(u, v)| u < v && es.contains(v, u)).count() as u64
+}
+
+/// Strongly connected components by a *recursive* Tarjan — deliberately a
+/// different implementation style from the graph crate's two iterative
+/// algorithms, so all three opinions share no code. Component ids are
+/// assigned in an arbitrary (but deterministic) order; callers compare
+/// partitions, not labels.
+///
+/// Recursion depth is bounded by the longest DFS path (≤ n); the sweep
+/// runner executes on a large-stack thread so this stays safe at fuzzing
+/// scale.
+pub fn tarjan_scc(g: &CsrGraph) -> SccResult {
+    struct State<'g> {
+        g: &'g CsrGraph,
+        index: Vec<u32>,
+        lowlink: Vec<u32>,
+        on_stack: Vec<bool>,
+        stack: Vec<NodeId>,
+        next_index: u32,
+        component: Vec<u32>,
+        count: u32,
+    }
+    const UNVISITED: u32 = u32::MAX;
+
+    fn strongconnect(st: &mut State, v: NodeId) {
+        let vi = v as usize;
+        st.index[vi] = st.next_index;
+        st.lowlink[vi] = st.next_index;
+        st.next_index += 1;
+        st.stack.push(v);
+        st.on_stack[vi] = true;
+        for i in 0..st.g.out_degree(v) {
+            let w = st.g.out_neighbors(v)[i];
+            let wi = w as usize;
+            if st.index[wi] == UNVISITED {
+                strongconnect(st, w);
+                st.lowlink[vi] = st.lowlink[vi].min(st.lowlink[wi]);
+            } else if st.on_stack[wi] {
+                st.lowlink[vi] = st.lowlink[vi].min(st.index[wi]);
+            }
+        }
+        if st.lowlink[vi] == st.index[vi] {
+            // v roots an SCC: pop the stack down to v
+            loop {
+                let w = st.stack.pop().expect("stack holds the component");
+                st.on_stack[w as usize] = false;
+                st.component[w as usize] = st.count;
+                if w == v {
+                    break;
+                }
+            }
+            st.count += 1;
+        }
+    }
+
+    let n = g.node_count();
+    let mut st = State {
+        g,
+        index: vec![UNVISITED; n],
+        lowlink: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next_index: 0,
+        component: vec![0; n],
+        count: 0,
+    };
+    for v in 0..n as NodeId {
+        if st.index[v as usize] == UNVISITED {
+            strongconnect(&mut st, v);
+        }
+    }
+    SccResult { component: st.component, count: st.count as usize }
+}
+
+/// Weakly connected components by plain flood fill over `out ∪ in`
+/// adjacency from ascending unlabeled roots. Assigning dense ids by each
+/// component's minimum member reproduces the optimized union–find
+/// labelling exactly, not just the same partition.
+pub fn weakly_connected_components(g: &CsrGraph) -> WccResult {
+    let n = g.node_count();
+    let mut component = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for root in 0..n as NodeId {
+        if component[root as usize] != u32::MAX {
+            continue;
+        }
+        component[root as usize] = count;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if component[v as usize] == u32::MAX {
+                    component[v as usize] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    WccResult { component, count: count as usize }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplus_graph::builder::from_edges;
+    use gplus_graph::{bfs, clustering, reciprocity, scc, wcc};
+
+    fn sample() -> CsrGraph {
+        from_edges(
+            9,
+            [(0, 1), (1, 0), (1, 2), (2, 3), (3, 1), (4, 5), (5, 4), (6, 6), (0, 2), (2, 0)],
+        )
+    }
+
+    #[test]
+    fn reference_bfs_agrees_with_kernel_on_sample() {
+        let g = sample();
+        for s in g.nodes() {
+            assert_eq!(bfs_distances(&g, s), bfs::distances(&g, s), "source {s}");
+            assert_eq!(bfs_levels(&g, s), bfs::levels(&g, s), "source {s}");
+        }
+    }
+
+    #[test]
+    fn level_sets_partition_the_reachable_set() {
+        let g = sample();
+        let sets = bfs_level_sets(&g, 0);
+        assert_eq!(sets[0], vec![0]);
+        let total: usize = sets.iter().map(Vec::len).sum();
+        assert_eq!(total as u64, bfs_levels(&g, 0).reached);
+    }
+
+    #[test]
+    fn reference_paths_agree_with_estimator() {
+        let g = sample();
+        let sources: Vec<usize> = (0..g.node_count()).collect();
+        let got = gplus_graph::paths::path_lengths_from_sources(&g, &sources);
+        assert_eq!(path_length_distribution(&g, &sources), got);
+    }
+
+    #[test]
+    fn reference_clustering_and_reciprocity_agree() {
+        let g = sample();
+        let es = EdgeSet::from_graph(&g);
+        for u in g.nodes() {
+            assert_eq!(
+                clustering_coefficient(&es, &g, u),
+                clustering::clustering_coefficient(&g, u),
+                "cc of {u}"
+            );
+            assert_eq!(
+                relation_reciprocity(&es, &g, u),
+                reciprocity::relation_reciprocity(&g, u),
+                "rr of {u}"
+            );
+        }
+        assert_eq!(global_reciprocity(&es, &g), reciprocity::global_reciprocity(&g));
+        assert_eq!(reciprocal_pair_count(&es, &g), reciprocity::reciprocal_pair_count(&g));
+    }
+
+    #[test]
+    fn reference_scc_partition_matches_both_kernels() {
+        let g = sample();
+        let reference = tarjan_scc(&g);
+        assert!(scc::same_partition(&reference, &scc::kosaraju(&g)));
+        assert!(scc::same_partition(&reference, &scc::tarjan(&g)));
+    }
+
+    #[test]
+    fn reference_wcc_labelling_matches_union_find() {
+        let g = sample();
+        assert_eq!(weakly_connected_components(&g), wcc::weakly_connected_components(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_fine_everywhere() {
+        let g = from_edges(0, []);
+        let es = EdgeSet::from_graph(&g);
+        assert!(es.is_empty());
+        assert_eq!(global_reciprocity(&es, &g), 0.0);
+        assert_eq!(tarjan_scc(&g).count, 0);
+        assert_eq!(weakly_connected_components(&g).count, 0);
+        assert_eq!(path_length_distribution(&g, &[]).total_pairs(), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Greedy counterexample shrinking.
+//!
+//! When a differential or invariant check fails on a fuzzed graph, the
+//! full input is far too big to debug by hand. [`shrink`] minimises it
+//! with the classic delta-debugging recipe: repeatedly delete chunks of
+//! edges (halving the chunk size as progress stalls), then delete nodes
+//! one at a time (compacting ids), keeping every deletion that preserves
+//! the failure. The result is a small graph on which the original check
+//! still fails — the payload of the reproducer JSON.
+//!
+//! Every predicate evaluation bumps the `oracle.shrink_steps` counter.
+
+use gplus_graph::builder::from_edges;
+use gplus_graph::{CsrGraph, NodeId};
+
+/// A minimised failing input.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// Node count of the minimised graph.
+    pub nodes: usize,
+    /// Edge list of the minimised graph.
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// Predicate evaluations spent shrinking.
+    pub steps: u64,
+}
+
+/// Builds the candidate graph a predicate sees.
+pub fn build(nodes: usize, edges: &[(NodeId, NodeId)]) -> CsrGraph {
+    from_edges(nodes, edges.iter().copied())
+}
+
+/// Minimises `(nodes, edges)` under `still_fails`, which must return true
+/// on the input (debug-asserted) and on every kept reduction. Greedy and
+/// deterministic: the same input and predicate always shrink to the same
+/// output.
+pub fn shrink(
+    nodes: usize,
+    edges: &[(NodeId, NodeId)],
+    mut still_fails: impl FnMut(usize, &[(NodeId, NodeId)]) -> bool,
+) -> ShrinkOutcome {
+    let obs = gplus_obs::global();
+    let mut steps = 0u64;
+    let mut check = |n: usize, e: &[(NodeId, NodeId)]| {
+        steps += 1;
+        obs.counter(gplus_obs::names::ORACLE_SHRINK_STEPS).inc();
+        still_fails(n, e)
+    };
+    assert!(check(nodes, edges), "shrink requires a failing input");
+
+    // Phase 1: chunked edge deletion, chunk size halving from |E|/2 to 1.
+    let mut edges: Vec<(NodeId, NodeId)> = edges.to_vec();
+    let mut chunk = (edges.len() / 2).max(1);
+    while !edges.is_empty() {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < edges.len() {
+            let end = (start + chunk).min(edges.len());
+            let mut candidate = edges.clone();
+            candidate.drain(start..end);
+            if check(nodes, &candidate) {
+                edges = candidate;
+                progressed = true;
+                // re-test the same offset: it now holds different edges
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !progressed {
+            break;
+        }
+        if !progressed {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+
+    // Phase 2: node deletion with id compaction, highest id first so
+    // remaining ids shift as little as possible per step.
+    let mut n = nodes;
+    let mut v = n;
+    while v > 0 {
+        v -= 1;
+        let removed = v as NodeId;
+        let candidate: Vec<(NodeId, NodeId)> = edges
+            .iter()
+            .filter(|&&(a, b)| a != removed && b != removed)
+            .map(|&(a, b)| {
+                (if a > removed { a - 1 } else { a }, if b > removed { b - 1 } else { b })
+            })
+            .collect();
+        if check(n - 1, &candidate) {
+            edges = candidate;
+            n -= 1;
+        }
+    }
+
+    ShrinkOutcome { nodes: n, edges, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_a_self_loop_witness_to_one_node() {
+        // failure: "the graph contains a self-loop"
+        let edges: Vec<(NodeId, NodeId)> =
+            vec![(0, 1), (1, 2), (3, 3), (2, 4), (4, 0), (1, 4), (2, 0)];
+        let out = shrink(5, &edges, |_, e| e.iter().any(|&(a, b)| a == b));
+        assert_eq!(out.nodes, 1);
+        assert_eq!(out.edges, vec![(0, 0)]);
+        assert!(out.steps > 0);
+    }
+
+    #[test]
+    fn shrinks_a_path_witness_to_two_edges() {
+        // failure: "some node has eccentricity >= 2" — minimal witness is
+        // a 3-node path
+        let edges: Vec<(NodeId, NodeId)> =
+            (0..9).map(|i| (i as NodeId, i as NodeId + 1)).collect();
+        let out = shrink(10, &edges, |n, e| {
+            let g = build(n, e);
+            g.nodes().any(|s| gplus_graph::bfs::levels(&g, s).eccentricity >= 2)
+        });
+        assert_eq!(out.nodes, 3);
+        assert_eq!(out.edges.len(), 2);
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let edges: Vec<(NodeId, NodeId)> =
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (2, 5)];
+        let pred = |n: usize, e: &[(NodeId, NodeId)]| {
+            let g = build(n, e);
+            g.edge_count() >= 2
+                && g.nodes().any(|u| g.out_degree(u) >= 1 && g.in_degree(u) >= 1)
+        };
+        let a = shrink(6, &edges, pred);
+        let b = shrink(6, &edges, pred);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.edges, b.edges);
+    }
+}

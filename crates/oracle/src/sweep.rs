@@ -1,0 +1,342 @@
+//! Deterministic seed-sweep differential runner.
+//!
+//! [`run`] generates `gplus-synth` graphs across all three presets (plus
+//! the adversarial tiny-graph shapes), runs the metamorphic invariants and
+//! every optimized-vs-oracle differential on each, and on failure shrinks
+//! the graph (greedy node/edge deletion preserving the failure) and writes
+//! a self-contained reproducer JSON to the output directory. This is what
+//! `gplus verify-kernels` drives.
+
+use crate::differential::{self, DiffConfig, Mismatch};
+use crate::{invariants, shrink};
+use gplus_graph::{CsrGraph, NodeId};
+use gplus_synth::{adversarial, SynthConfig, SynthNetwork};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// The three calibrated synth presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// The paper's Google+ 2011 calibration.
+    GooglePlus,
+    /// The Table 4 Twitter-like comparison network.
+    Twitter,
+    /// The Table 4 Facebook-like comparison network.
+    Facebook,
+}
+
+impl Preset {
+    /// All presets, sweep order.
+    pub fn all() -> Vec<Preset> {
+        vec![Preset::GooglePlus, Preset::Twitter, Preset::Facebook]
+    }
+
+    /// Stable name used in CLI flags and reproducer files.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Preset::GooglePlus => "gplus",
+            Preset::Twitter => "twitter",
+            Preset::Facebook => "facebook",
+        }
+    }
+
+    /// Parses a CLI preset name.
+    pub fn parse(name: &str) -> Option<Preset> {
+        match name {
+            "gplus" | "google_plus" | "google-plus" => Some(Preset::GooglePlus),
+            "twitter" => Some(Preset::Twitter),
+            "facebook" => Some(Preset::Facebook),
+            _ => None,
+        }
+    }
+
+    /// The synth config of this preset at the given scale.
+    pub fn config(self, nodes: usize, seed: u64) -> SynthConfig {
+        match self {
+            Preset::GooglePlus => SynthConfig::google_plus_2011(nodes, seed),
+            Preset::Twitter => SynthConfig::twitter_like(nodes, seed),
+            Preset::Facebook => SynthConfig::facebook_like(nodes, seed),
+        }
+    }
+}
+
+/// One sweep's shape: which graphs to generate and where failures land.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Seeds per preset (`0..seeds`).
+    pub seeds: u64,
+    /// Nodes per generated graph.
+    pub nodes: usize,
+    /// Presets to sweep.
+    pub presets: Vec<Preset>,
+    /// Whether to include the adversarial tiny-graph shapes.
+    pub adversarial: bool,
+    /// Directory reproducer JSONs are written to.
+    pub out_dir: PathBuf,
+    /// Differential budgets.
+    pub diff: DiffConfig,
+}
+
+impl SweepConfig {
+    /// All presets + adversarial shapes, reproducers under `target/oracle`.
+    pub fn new(seeds: u64, nodes: usize) -> Self {
+        Self {
+            seeds,
+            nodes,
+            presets: Preset::all(),
+            adversarial: true,
+            out_dir: PathBuf::from("target/oracle"),
+            diff: DiffConfig::new(0),
+        }
+    }
+}
+
+/// A self-contained counterexample: everything needed to replay one
+/// failure without the generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Reproducer {
+    /// Format tag.
+    pub schema: String,
+    /// Preset (or adversarial shape) the failing graph came from.
+    pub preset: String,
+    /// Generator seed.
+    pub seed: u64,
+    /// Kernel (or `invariants`) that failed.
+    pub kernel: String,
+    /// Human-readable failure locus on the *minimised* graph.
+    pub detail: String,
+    /// Node count of the minimised graph.
+    pub nodes: usize,
+    /// Edge list of the minimised graph.
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// Reference result on the minimised graph.
+    pub expected: serde_json::Value,
+    /// Optimized-kernel result on the minimised graph.
+    pub actual: serde_json::Value,
+    /// Predicate evaluations the shrinker spent.
+    pub shrink_steps: u64,
+}
+
+/// Reproducer format tag.
+pub const REPRO_SCHEMA: &str = "gplus-oracle-repro/1";
+
+/// Summary of one sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOutcome {
+    /// Graphs generated and checked.
+    pub graphs: usize,
+    /// Kernel checks executed (differential kernels + one invariant pass
+    /// per graph).
+    pub checks: u64,
+    /// Reproducer files written, one per failure.
+    pub reproducers: Vec<PathBuf>,
+    /// One-line failure descriptions, parallel to `reproducers`.
+    pub failures: Vec<String>,
+}
+
+/// Runs the sweep. Deterministic for a given config; failures shrink and
+/// land as reproducer JSONs in `cfg.out_dir`.
+///
+/// The work runs on a dedicated large-stack thread: the reference Tarjan
+/// is recursive, and fuzzed graphs can be long chains.
+pub fn run(cfg: &SweepConfig) -> std::io::Result<SweepOutcome> {
+    let cfg = cfg.clone();
+    std::thread::Builder::new()
+        .name("oracle-sweep".into())
+        .stack_size(256 << 20)
+        .spawn(move || run_on_this_thread(&cfg))
+        .expect("sweep thread spawns")
+        .join()
+        .expect("sweep thread completes")
+}
+
+fn run_on_this_thread(cfg: &SweepConfig) -> std::io::Result<SweepOutcome> {
+    let mut outcome = SweepOutcome::default();
+    for seed in 0..cfg.seeds {
+        for &preset in &cfg.presets {
+            let net = SynthNetwork::generate(&preset.config(cfg.nodes, seed));
+            let diff = DiffConfig { seed: cfg.diff.seed ^ seed, ..cfg.diff.clone() };
+            check_graph(cfg, &diff, preset.as_str(), seed, &net.graph, &mut outcome)?;
+        }
+    }
+    if cfg.adversarial {
+        for (shape, g) in adversarial::adversarial_graphs(cfg.nodes.min(96), cfg.diff.seed) {
+            check_graph(cfg, &cfg.diff, &shape, cfg.diff.seed, &g, &mut outcome)?;
+        }
+    }
+    Ok(outcome)
+}
+
+fn check_graph(
+    cfg: &SweepConfig,
+    diff: &DiffConfig,
+    preset: &str,
+    seed: u64,
+    g: &CsrGraph,
+    outcome: &mut SweepOutcome,
+) -> std::io::Result<()> {
+    outcome.graphs += 1;
+    let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+
+    outcome.checks += 1;
+    let violations = invariants::check_graph(g, diff.seed);
+    if let Some(first) = violations.first() {
+        let detail = first.clone();
+        let (repro, path) = shrink_and_report(
+            &cfg.out_dir,
+            preset,
+            seed,
+            "invariants",
+            g.node_count(),
+            &edges,
+            |g| {
+                invariants::check_graph(g, diff.seed).into_iter().next().map(|v| Mismatch {
+                    kernel: "invariants",
+                    detail: v,
+                    expected: serde_json::Value::Null,
+                    actual: serde_json::Value::Null,
+                })
+            },
+        )?;
+        outcome
+            .failures
+            .push(format!("[{preset} seed {seed}] invariants: {detail} -> {:?}", repro.detail));
+        outcome.reproducers.push(path);
+    }
+
+    outcome.checks += differential::ALL_KERNELS.len() as u64;
+    for m in differential::run_all(g, diff) {
+        let kernel = differential::ALL_KERNELS
+            .iter()
+            .copied()
+            .find(|k| k.as_str() == m.kernel)
+            .expect("run_all yields known kernels");
+        let (repro, path) = shrink_and_report(
+            &cfg.out_dir,
+            preset,
+            seed,
+            m.kernel,
+            g.node_count(),
+            &edges,
+            |g| differential::check_kernel(g, kernel, diff),
+        )?;
+        outcome.failures.push(format!(
+            "[{preset} seed {seed}] {}: {} -> {}",
+            m.kernel, m.detail, repro.detail
+        ));
+        outcome.reproducers.push(path);
+    }
+    Ok(())
+}
+
+/// Shrinks a failing graph under `check` and writes the reproducer JSON.
+/// Public so custom kernels (the mutation smoke test) can reuse the exact
+/// shrink-and-report path of the sweep.
+pub fn shrink_and_report(
+    out_dir: &Path,
+    preset: &str,
+    seed: u64,
+    kernel: &str,
+    nodes: usize,
+    edges: &[(NodeId, NodeId)],
+    check: impl Fn(&CsrGraph) -> Option<Mismatch>,
+) -> std::io::Result<(Reproducer, PathBuf)> {
+    let shrunk = shrink::shrink(nodes, edges, |n, e| check(&shrink::build(n, e)).is_some());
+    let minimised = shrink::build(shrunk.nodes, &shrunk.edges);
+    let last = check(&minimised).expect("shrink preserves the failure");
+    let repro = Reproducer {
+        schema: REPRO_SCHEMA.to_string(),
+        preset: preset.to_string(),
+        seed,
+        kernel: kernel.to_string(),
+        detail: last.detail,
+        nodes: shrunk.nodes,
+        edges: shrunk.edges,
+        expected: last.expected,
+        actual: last.actual,
+        shrink_steps: shrunk.steps,
+    };
+    let path = write_reproducer(out_dir, &repro)?;
+    Ok((repro, path))
+}
+
+/// Writes one reproducer JSON; the filename encodes kernel, preset and
+/// seed so repeated sweeps overwrite rather than accumulate.
+pub fn write_reproducer(dir: &Path, repro: &Reproducer) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let name = format!(
+        "mismatch-{}-{}-{}.json",
+        repro.kernel,
+        repro.preset.replace([' ', '/'], "-"),
+        repro.seed
+    );
+    let path = dir.join(name);
+    let json = serde_json::to_string_pretty(repro).expect("reproducer serialises");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gplus-oracle-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn tiny_sweep_is_clean_across_presets_and_adversarial_shapes() {
+        let mut cfg = SweepConfig::new(2, 250);
+        cfg.out_dir = temp_dir("sweep");
+        cfg.diff = DiffConfig::quick(0);
+        let outcome = run(&cfg).expect("sweep runs");
+        // 2 seeds x 3 presets + adversarial shapes
+        assert!(outcome.graphs > 6, "adversarial shapes must be included");
+        assert!(outcome.checks > outcome.graphs as u64);
+        assert!(
+            outcome.failures.is_empty(),
+            "kernels must agree with the oracle: {:?}",
+            outcome.failures
+        );
+        assert!(outcome.reproducers.is_empty());
+    }
+
+    #[test]
+    fn a_planted_failure_shrinks_and_writes_a_reproducer() {
+        let dir = temp_dir("repro");
+        let edges: Vec<(NodeId, NodeId)> =
+            (0..20).map(|i| (i as NodeId, (i + 1) as NodeId)).collect();
+        // planted "bug": flag any graph that still contains a 2-hop path
+        let (repro, path) =
+            shrink_and_report(&dir, "planted", 3, "bfs-classic", 21, &edges, |g| {
+                g.nodes().any(|s| gplus_graph::bfs::levels(g, s).eccentricity >= 2).then(|| {
+                    Mismatch {
+                        kernel: "bfs-classic",
+                        detail: "planted".into(),
+                        expected: serde_json::json!(2),
+                        actual: serde_json::json!(1),
+                    }
+                })
+            })
+            .expect("reproducer written");
+        assert_eq!(repro.schema, REPRO_SCHEMA);
+        assert_eq!(repro.nodes, 3, "minimal 2-hop witness is a 3-node path");
+        assert_eq!(repro.edges.len(), 2);
+        assert!(repro.shrink_steps > 0);
+        let text = std::fs::read_to_string(&path).expect("file exists");
+        let back: Reproducer = serde_json::from_str(&text).expect("round-trips");
+        assert_eq!(back.edges, repro.edges);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn preset_names_round_trip() {
+        for p in Preset::all() {
+            assert_eq!(Preset::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(Preset::parse("nope"), None);
+    }
+}

@@ -1,0 +1,81 @@
+//! Mutation smoke test: proves the differential runner can actually fail.
+//!
+//! Compiled only with `--features oracle-mutation`, which plants a BFS
+//! whose level counter is off by one past depth 1. The oracle must flag
+//! it, shrink the witness, and write a small self-contained reproducer.
+
+#![cfg(feature = "oracle-mutation")]
+
+use gplus_graph::bfs;
+use gplus_graph::{CsrGraph, NodeId};
+use gplus_oracle::differential::{check_levels_kernel, DiffConfig};
+use gplus_oracle::mutation::off_by_one_levels;
+use gplus_oracle::sweep::{self, Preset, Reproducer, REPRO_SCHEMA};
+use gplus_synth::SynthNetwork;
+
+fn synth_graph() -> CsrGraph {
+    SynthNetwork::generate(&Preset::GooglePlus.config(1_500, 2012)).graph
+}
+
+fn mutant(g: &CsrGraph, s: NodeId) -> (bfs::BfsLevels, Option<Vec<u32>>) {
+    (off_by_one_levels(g, s), None)
+}
+
+#[test]
+fn the_differential_runner_flags_the_off_by_one_bfs() {
+    let g = synth_graph();
+    let cfg = DiffConfig::quick(7);
+    // the genuine kernel sails through the same harness...
+    assert!(
+        check_levels_kernel(&g, &cfg, "bfs-classic", |g, s| (bfs::levels(g, s), None))
+            .is_none(),
+        "control: the real kernel must pass"
+    );
+    // ...and the mutant is caught
+    let m = check_levels_kernel(&g, &cfg, "bfs-mutant", mutant)
+        .expect("a synth graph has 2-hop paths, so the mutant must be flagged");
+    assert_eq!(m.kernel, "bfs-mutant");
+    assert_ne!(m.expected, m.actual);
+}
+
+#[test]
+fn the_flagged_mutant_shrinks_to_a_small_reproducer() {
+    let g = synth_graph();
+    let cfg = DiffConfig::quick(7);
+    let edges = g.edge_list();
+    let dir =
+        std::env::temp_dir().join(format!("gplus-oracle-mutation-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (repro, path) =
+        sweep::shrink_and_report(&dir, "gplus", 7, "bfs-mutant", g.node_count(), &edges, |g| {
+            check_levels_kernel(g, &cfg, "bfs-mutant", mutant)
+        })
+        .expect("reproducer written");
+
+    // the minimal off-by-one witness is a 2-hop path reachable from a
+    // sampled source; anything near that size is a useful reproducer
+    assert!(
+        repro.edges.len() <= 50,
+        "shrunken witness must be small, got {} edges",
+        repro.edges.len()
+    );
+    assert!(repro.nodes <= 50);
+    assert!(repro.shrink_steps > 0);
+    assert_eq!(repro.kernel, "bfs-mutant");
+    assert_eq!(repro.schema, REPRO_SCHEMA);
+    assert_ne!(repro.expected, repro.actual);
+
+    // the reproducer file is self-contained: parse it back and replay the
+    // failure from nothing but its own edge list
+    let back: Reproducer =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("file exists"))
+            .expect("reproducer parses");
+    assert_eq!(back.edges, repro.edges);
+    let replayed = gplus_graph::builder::from_edges(back.nodes, back.edges.iter().copied());
+    assert!(
+        check_levels_kernel(&replayed, &cfg, "bfs-mutant", mutant).is_some(),
+        "replaying the reproducer must still trip the mutant"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

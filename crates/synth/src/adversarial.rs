@@ -1,0 +1,97 @@
+//! Adversarial tiny-graph shapes for correctness tooling.
+//!
+//! The calibrated presets all produce "reasonable" social graphs —
+//! heavy-tailed, mostly connected, sparse. Kernel bugs love the inputs
+//! those presets never generate: empty graphs, stars whose hub degree
+//! equals `n - 1`, cliques where clustering saturates at 1.0, self-loop
+//! chains, and dust (many isolated nodes around a few random edges).
+//! [`adversarial_graphs`] returns that bestiary, deterministically, for
+//! the oracle sweep to run alongside the presets.
+
+use gplus_graph::builder::from_edges;
+use gplus_graph::{CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Named adversarial graphs, deterministic in `seed`. `max_nodes` caps the
+/// size of every shape (cliques are additionally capped so the edge count
+/// stays small); it is clamped to at least 4 so each shape is non-trivial.
+pub fn adversarial_graphs(max_nodes: usize, seed: u64) -> Vec<(String, CsrGraph)> {
+    let n = max_nodes.max(4);
+    let clique_n = n.min(24);
+    let mut shapes: Vec<(String, CsrGraph)> = vec![
+        ("adv-empty".into(), from_edges(0, [])),
+        ("adv-single-node".into(), from_edges(1, [])),
+        ("adv-single-self-loop".into(), from_edges(1, [(0, 0)])),
+        ("adv-two-cycle".into(), from_edges(2, [(0, 1), (1, 0)])),
+        // hub -> everyone: out-degree n-1 against in-degrees of 1
+        ("adv-out-star".into(), from_edges(n, (1..n as NodeId).map(|v| (0, v)))),
+        // everyone -> hub: the transpose stress case
+        ("adv-in-star".into(), from_edges(n, (1..n as NodeId).map(|v| (v, 0)))),
+        // complete digraph: clustering saturates at 1.0, one SCC
+        (
+            "adv-clique".into(),
+            from_edges(
+                clique_n,
+                (0..clique_n as NodeId).flat_map(move |u| {
+                    (0..clique_n as NodeId).filter(move |&v| v != u).map(move |v| (u, v))
+                }),
+            ),
+        ),
+        // directed path where every node also points at itself: self-loops
+        // must count for reciprocity yet never extend a BFS level
+        (
+            "adv-self-loop-chain".into(),
+            from_edges(
+                n,
+                (0..n as NodeId)
+                    .map(|u| (u, u))
+                    .chain((0..n as NodeId - 1).map(|u| (u, u + 1))),
+            ),
+        ),
+    ];
+    // disconnected dust: a few random edges lost in a sea of isolated nodes
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xad7e_2512);
+    let dust_edges: Vec<(NodeId, NodeId)> = (0..n / 4)
+        .map(|_| (rng.random_range(0..n) as NodeId, rng.random_range(0..n) as NodeId))
+        .collect();
+    shapes.push(("adv-dust".into(), from_edges(n, dust_edges)));
+    shapes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_deterministic_and_capped() {
+        let a = adversarial_graphs(40, 7);
+        let b = adversarial_graphs(40, 7);
+        assert_eq!(a.len(), b.len());
+        for ((name_a, g_a), (name_b, g_b)) in a.iter().zip(&b) {
+            assert_eq!(name_a, name_b);
+            assert_eq!(g_a, g_b);
+            assert!(g_a.node_count() <= 40, "{name_a} exceeds the cap");
+        }
+        let names: Vec<&str> = a.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"adv-empty"));
+        assert!(names.contains(&"adv-clique"));
+        assert!(names.contains(&"adv-dust"));
+    }
+
+    #[test]
+    fn stars_and_chain_have_the_advertised_structure() {
+        let shapes = adversarial_graphs(10, 0);
+        let find =
+            |name: &str| &shapes.iter().find(|(n, _)| n == name).expect("shape present").1;
+        let out_star = find("adv-out-star");
+        assert_eq!(out_star.out_degree(0), 9);
+        assert_eq!(out_star.in_degree(0), 0);
+        let in_star = find("adv-in-star");
+        assert_eq!(in_star.in_degree(0), 9);
+        let chain = find("adv-self-loop-chain");
+        assert!(chain.nodes().all(|u| chain.has_edge(u, u)));
+        let clique = find("adv-clique");
+        assert_eq!(clique.edge_count(), 10 * 9);
+    }
+}

@@ -35,6 +35,7 @@
 //! assert!(net.graph.edge_count() > 2_000);
 //! ```
 
+pub mod adversarial;
 pub mod celebrities;
 pub mod config;
 pub mod edges;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! gplus list                                  # experiment registry
-//! gplus run      [-n N] [-s SEED] [--crawl] [--json PATH]
+//! gplus run      [-n N] [-s SEED] [--crawl] [--json PATH] [--verify]
 //!                [--hybrid-threshold F] [--no-relabel] [ID ...]
 //! gplus crawl    [-n N] [-s SEED] [--failure-rate F] [--private F]
 //!                [--outage START:LEN] [--burst PROB:LEN] [--permafail F]
@@ -13,6 +13,8 @@
 //! gplus bench-suite [-n N] [-s SEED] [--out PATH] [--write-baseline PATH]
 //!                [--hybrid-threshold F] [--no-relabel]
 //! gplus bench-check [--baseline PATH] [--current PATH] [--threshold F]
+//! gplus verify-kernels [--seeds N] [--nodes K] [-s SEED] [--preset P]
+//!                [--out DIR] [--no-adversarial]
 //! ```
 //!
 //! `--hybrid-threshold F` sets the frontier-edge fraction at which BFS
@@ -22,9 +24,17 @@
 //!
 //! `run` executes the full pipeline (ground truth by default, `--crawl`
 //! for the faithful generate→serve→crawl path) and prints either every
-//! artifact or only the requested experiment ids. `export` writes the
-//! synthetic dataset in the TSV layout of the paper's own public release
-//! (edge list + profile attributes), so downstream tooling can consume it.
+//! artifact or only the requested experiment ids; `--verify` first
+//! cross-checks the dataset's graph against the `gplus-oracle` reference
+//! kernels and invariants, aborting rather than analysing on an unsound
+//! kernel. `export` writes the synthetic dataset in the TSV layout of the
+//! paper's own public release (edge list + profile attributes), so
+//! downstream tooling can consume it.
+//!
+//! `verify-kernels` is the standalone differential sweep: it fuzzes the
+//! optimized kernels against the oracle across seeds × presets (plus
+//! adversarial tiny-graph shapes), shrinking any failure and writing
+//! reproducer JSONs under `--out` (default `target/oracle`).
 
 use gplus::analysis::registry;
 use gplus::analysis::{
@@ -32,6 +42,7 @@ use gplus::analysis::{
     ReproductionConfig, StageTiming,
 };
 use gplus::crawler::{CrawlCheckpoint, CrawlResult, Crawler, CrawlerConfig};
+use gplus::oracle::{DiffConfig, Preset, SweepConfig};
 use gplus::service::{
     CorruptionPlan, FaultPlan, GooglePlusService, ServiceConfig, SocialApi, WireService,
 };
@@ -48,6 +59,7 @@ fn main() {
         Some("growth") => cmd_growth(&args[1..]),
         Some("bench-suite") => cmd_bench_suite(&args[1..]),
         Some("bench-check") => cmd_bench_check(&args[1..]),
+        Some("verify-kernels") => cmd_verify_kernels(&args[1..]),
         Some("help") | None => {
             print_usage();
             0
@@ -66,7 +78,7 @@ fn print_usage() {
         "gplus — IMC 2012 Google+ study reproduction\n\n\
          USAGE:\n  \
          gplus list\n  \
-         gplus run    [-n N] [-s SEED] [--crawl] [--json PATH]\n               \
+         gplus run    [-n N] [-s SEED] [--crawl] [--json PATH] [--verify]\n               \
          [--hybrid-threshold F] [--no-relabel] [ID ...]\n  \
          gplus crawl  [-n N] [-s SEED] [--failure-rate F] [--private F]\n               \
          [--outage START:LEN] [--burst PROB:LEN] [--permafail F]\n               \
@@ -76,12 +88,18 @@ fn print_usage() {
          gplus growth [-n N] [-s SEED]\n  \
          gplus bench-suite [-n N] [-s SEED] [--out PATH] [--write-baseline PATH]\n               \
          [--hybrid-threshold F] [--no-relabel]\n  \
-         gplus bench-check [--baseline PATH] [--current PATH] [--threshold F]\n\n\
+         gplus bench-check [--baseline PATH] [--current PATH] [--threshold F]\n  \
+         gplus verify-kernels [--seeds N] [--nodes K] [-s SEED] [--preset P]\n               \
+         [--out DIR] [--no-adversarial]\n\n\
          Experiment IDs for `run`: see `gplus list`.\n\
          Traversal tuning (run, bench-suite): --hybrid-threshold F sets the\n\
          frontier-edge fraction at which BFS switches bottom-up (default 0.05,\n\
          0 < F <= 1); --no-relabel disables the hub-first CSR permutation.\n\
-         Outputs are byte-identical across settings."
+         Outputs are byte-identical across settings.\n\
+         Correctness: `run --verify` cross-checks the graph against the oracle\n\
+         before analysing; `verify-kernels` sweeps seeds x presets (gplus,\n\
+         twitter, facebook; default all) differentially, shrinking failures\n\
+         into reproducer JSONs under --out (default target/oracle)."
     );
 }
 
@@ -151,8 +169,11 @@ fn cmd_list() -> i32 {
 }
 
 fn cmd_run(args: &[String]) -> i32 {
-    let flags =
-        parse_flags(args, &["--json", "--hybrid-threshold"], &["--crawl", "--no-relabel"]);
+    let flags = parse_flags(
+        args,
+        &["--json", "--hybrid-threshold"],
+        &["--crawl", "--no-relabel", "--verify"],
+    );
     for id in &flags.positional {
         if registry::find(id).is_none() {
             eprintln!("unknown experiment id: {id} (see `gplus list`)");
@@ -164,6 +185,10 @@ fn cmd_run(args: &[String]) -> i32 {
         Ok(opts) => opts,
         Err(code) => return code,
     };
+    if flags.switches.iter().any(|s| s == "--verify") {
+        config.verify = true;
+        eprintln!("oracle verification enabled: kernels are cross-checked before analysis");
+    }
     eprintln!(
         "running {} pipeline at {} users (seed {}) ...",
         if flags.switches.iter().any(|s| s == "--crawl") { "crawled" } else { "ground-truth" },
@@ -613,6 +638,76 @@ fn cmd_bench_suite(args: &[String]) -> i32 {
         println!("baseline refreshed at {baseline_path}");
     }
     0
+}
+
+fn cmd_verify_kernels(args: &[String]) -> i32 {
+    let flags =
+        parse_flags(args, &["--seeds", "--nodes", "--preset", "--out"], &["--no-adversarial"]);
+    let seeds: u64 = flags.options.get("--seeds").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let nodes: usize =
+        flags.options.get("--nodes").and_then(|v| v.parse().ok()).unwrap_or(2_000);
+    if nodes < 120 {
+        eprintln!("--nodes must be at least 120 (the seeded celebrity roster)");
+        return 2;
+    }
+    let mut cfg = SweepConfig::new(seeds, nodes);
+    cfg.diff = DiffConfig::new(flags.seed);
+    if let Some(p) = flags.options.get("--preset") {
+        match Preset::parse(p) {
+            Some(preset) => cfg.presets = vec![preset],
+            None => {
+                eprintln!("--preset expects one of: gplus, twitter, facebook");
+                return 2;
+            }
+        }
+    }
+    if flags.switches.iter().any(|s| s == "--no-adversarial") {
+        cfg.adversarial = false;
+    }
+    if let Some(dir) = flags.options.get("--out") {
+        cfg.out_dir = dir.into();
+    }
+
+    eprintln!(
+        "verify-kernels: {} seed(s) x {} preset(s) at {} nodes{} (sample seed {})",
+        cfg.seeds,
+        cfg.presets.len(),
+        cfg.nodes,
+        if cfg.adversarial { " + adversarial shapes" } else { "" },
+        flags.seed
+    );
+    let outcome = match gplus::oracle::sweep::run(&cfg) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("verify-kernels failed to write reproducers: {e}");
+            return 1;
+        }
+    };
+    let snap = gplus::obs::global().snapshot();
+    if outcome.failures.is_empty() {
+        println!(
+            "verify-kernels passed: {} graphs, {} kernel checks, {} oracle comparisons, \
+             0 mismatches",
+            outcome.graphs,
+            outcome.checks,
+            snap.counter(gplus::obs::names::ORACLE_CHECKED)
+        );
+        0
+    } else {
+        for (failure, path) in outcome.failures.iter().zip(&outcome.reproducers) {
+            eprintln!("MISMATCH: {failure}");
+            eprintln!("  reproducer: {}", path.display());
+        }
+        eprintln!(
+            "verify-kernels failed: {} mismatch(es) across {} graphs ({} shrink steps spent); \
+             reproducers in {}",
+            outcome.failures.len(),
+            outcome.graphs,
+            snap.counter(gplus::obs::names::ORACLE_SHRINK_STEPS),
+            cfg.out_dir.display()
+        );
+        1
+    }
 }
 
 fn cmd_bench_check(args: &[String]) -> i32 {

@@ -14,6 +14,9 @@
 //!   bias estimators.
 //! * [`obs`] — the observability layer: lock-light metrics registry,
 //!   span timing, serialisable snapshots.
+//! * [`oracle`] — the correctness net: naive reference kernels,
+//!   metamorphic invariants, and the `verify-kernels` differential
+//!   sweep with counterexample shrinking.
 //! * [`analysis`] — every table and figure of the paper as a typed
 //!   experiment, plus the end-to-end [`analysis::Reproduction`] pipeline.
 //!
@@ -31,6 +34,7 @@ pub use gplus_crawler as crawler;
 pub use gplus_geo as geo;
 pub use gplus_graph as graph;
 pub use gplus_obs as obs;
+pub use gplus_oracle as oracle;
 pub use gplus_profiles as profiles;
 pub use gplus_service as service;
 pub use gplus_stats as stats;

@@ -1,0 +1,50 @@
+//! Tier-1 integration tests for the oracle layer: a small differential
+//! sweep over every preset plus the adversarial shapes must come back
+//! clean, and the obs counters must account for every check.
+
+use gplus::oracle::sweep::{run, Preset, SweepConfig};
+use gplus::oracle::{invariants, run_all, DiffConfig};
+use gplus::synth::adversarial::adversarial_graphs;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("gplus-oracle-it-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn small_sweep_is_clean_and_counts_every_check() {
+    let obs = gplus::obs::global();
+    let checked_before = obs.snapshot().counter(gplus::obs::names::ORACLE_CHECKED);
+
+    let mut cfg = SweepConfig::new(1, 400);
+    cfg.out_dir = temp_dir("sweep");
+    cfg.diff = DiffConfig::quick(2012);
+    let outcome = run(&cfg).expect("sweep runs");
+
+    assert!(outcome.failures.is_empty(), "optimized kernels diverged: {:?}", outcome.failures);
+    assert!(outcome.reproducers.is_empty());
+    // 1 seed x 3 presets + the adversarial bestiary
+    assert!(outcome.graphs > 3, "adversarial shapes must be swept too");
+    let checked_after = obs.snapshot().counter(gplus::obs::names::ORACLE_CHECKED);
+    assert!(
+        checked_after - checked_before >= outcome.graphs as u64,
+        "every graph must contribute oracle.checked bumps"
+    );
+    // a clean sweep leaves no droppings
+    assert!(!cfg.out_dir.exists() || std::fs::read_dir(&cfg.out_dir).unwrap().next().is_none());
+    let _ = std::fs::remove_dir_all(&cfg.out_dir);
+}
+
+#[test]
+fn every_preset_and_adversarial_shape_passes_invariants_directly() {
+    for preset in Preset::all() {
+        let g = gplus::synth::SynthNetwork::generate(&preset.config(350, 9)).graph;
+        let violations = invariants::check_graph(&g, 9);
+        assert!(violations.is_empty(), "{}: {violations:?}", preset.as_str());
+    }
+    for (shape, g) in adversarial_graphs(48, 9) {
+        let violations = invariants::check_graph(&g, 9);
+        assert!(violations.is_empty(), "{shape}: {violations:?}");
+        let mismatches = run_all(&g, &DiffConfig::quick(9));
+        assert!(mismatches.is_empty(), "{shape}: {mismatches:?}");
+    }
+}

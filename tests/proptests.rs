@@ -17,6 +17,20 @@ fn arb_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
     })
 }
 
+/// Strategy: a digraph whose edges touch only the first half of the id
+/// space, so the second half is guaranteed isolated nodes — plus a source
+/// list of 65–200 entries (always past the 64-lane batch boundary) drawn
+/// with replacement from *all* nodes, so lanes repeat sources and isolated
+/// sources land in every chunk position.
+fn arb_batched_case() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>, Vec<NodeId>)> {
+    (8usize..24).prop_flat_map(|n| {
+        let half = (n / 2) as NodeId;
+        let edges = proptest::collection::vec((0..half, 0..half), 0..(n * 3));
+        let sources = proptest::collection::vec(0..n as NodeId, 65..=200);
+        (Just(n), edges, sources)
+    })
+}
+
 proptest! {
     #[test]
     fn scc_partition_agrees_between_algorithms((n, edges) in arb_graph()) {
@@ -160,6 +174,31 @@ proptest! {
         let batched = mbfs::multi_source_levels(&g, &sources, threshold);
         for (i, &s) in sources.iter().enumerate() {
             prop_assert_eq!(&batched[i], &bfs::levels(&g, s));
+        }
+    }
+
+    #[test]
+    fn batched_bfs_equals_per_source_past_the_lane_boundary(
+        (n, edges, sources) in arb_batched_case(),
+        threshold in 0.0f64..=1.0,
+    ) {
+        let g = from_edges(n, edges);
+        prop_assert!(sources.len() > mbfs::BATCH_WIDTH);
+        // isolated nodes exist by construction and appear as sources
+        prop_assert!((n / 2..n).all(|v| g.out_degree(v as NodeId) == 0));
+        let batched = mbfs::multi_source_levels(&g, &sources, threshold);
+        prop_assert_eq!(batched.len(), sources.len());
+        // every lane — including duplicates and the seam lanes around
+        // multiples of BATCH_WIDTH — matches its independent traversal
+        for (i, &s) in sources.iter().enumerate() {
+            prop_assert_eq!(
+                &batched[i],
+                &bfs::levels(&g, s),
+                "lane {} (source {}, chunk offset {})",
+                i,
+                s,
+                i % mbfs::BATCH_WIDTH
+            );
         }
     }
 
