@@ -115,6 +115,9 @@ impl Default for BenchGate {
                 "graph.bfs.top_down_levels",
                 "graph.bfs.bottom_up_levels",
                 "graph.relabel.runs",
+                "serve.snapshot.build.runs",
+                "serve.query.count",
+                "serve.workload.queries",
             ],
         }
     }

@@ -203,6 +203,155 @@ pub fn multi_source_levels(g: &CsrGraph, sources: &[NodeId], threshold: f64) -> 
     out
 }
 
+/// Directed hop distances for up to [`BATCH_WIDTH`] `(src, dst)` pairs in
+/// one direction-optimizing sweep. Lane `l` runs a BFS from `pairs[l].0`
+/// but, unlike [`batch_levels_with_scratch`], stops propagating the moment
+/// `pairs[l].1` is seen, and the sweep exits once every lane has either
+/// resolved or exhausted its reachable set — so pairwise queries on a
+/// small-world graph cost a handful of levels, not a full traversal.
+///
+/// Returns the directed distance per pair in input order, `None` when
+/// `dst` is unreachable from `src`.
+///
+/// # Panics
+/// Panics if `pairs` is longer than [`BATCH_WIDTH`] or contains an
+/// out-of-range id.
+pub fn batch_distance_pairs_with_scratch(
+    g: &CsrGraph,
+    pairs: &[(NodeId, NodeId)],
+    threshold: f64,
+    scratch: &mut BatchScratch,
+) -> Vec<Option<u32>> {
+    let lanes = pairs.len();
+    assert!(lanes <= BATCH_WIDTH, "at most {BATCH_WIDTH} pairs per batch");
+    let n = g.node_count();
+    for &(s, t) in pairs {
+        assert!((s as usize) < n, "source out of range");
+        assert!((t as usize) < n, "target out of range");
+    }
+    let obs = gplus_obs::global();
+    let _span = obs.span("graph.bfs.pairs");
+    let td_counter = obs.counter("graph.bfs.top_down_levels");
+    let bu_counter = obs.counter("graph.bfs.bottom_up_levels");
+    obs.counter("graph.bfs.pairs.count").add(lanes as u64);
+    if lanes == 0 {
+        return Vec::new();
+    }
+
+    scratch.ensure(n);
+    scratch.seen[..n].fill(0);
+    scratch.frontier[..n].fill(0);
+    scratch.next[..n].fill(0);
+    scratch.active.clear();
+    scratch.next_active.clear();
+
+    let mut dist: Vec<Option<u32>> = vec![None; lanes];
+    // lanes still hunting their target; resolved lanes are masked out of
+    // the frontier so finished traversals stop costing edge work
+    let mut live: u64 = 0;
+    for (lane, &(s, t)) in pairs.iter().enumerate() {
+        let bit = 1u64 << lane;
+        if s == t {
+            dist[lane] = Some(0);
+            continue;
+        }
+        live |= bit;
+        scratch.seen[s as usize] |= bit;
+        if scratch.frontier[s as usize] == 0 {
+            scratch.active.push(s);
+        }
+        scratch.frontier[s as usize] |= bit;
+    }
+
+    let switch_edges = threshold * g.edge_count() as f64;
+    let mut depth: u32 = 0;
+    while live != 0 && !scratch.active.is_empty() {
+        let frontier_edges: usize = scratch.active.iter().map(|&u| g.out_degree(u)).sum();
+        let bottom_up = frontier_edges as f64 > switch_edges;
+        if bottom_up {
+            bu_counter.inc();
+            for v in 0..n {
+                let s = scratch.seen[v];
+                if s & live == live {
+                    continue;
+                }
+                let mut acc = 0u64;
+                for &u in g.in_neighbors(v as NodeId) {
+                    // frontier words only carry live bits, so acc does too
+                    acc |= scratch.frontier[u as usize];
+                    if (acc | s) & live == live {
+                        break;
+                    }
+                }
+                let new = acc & !s;
+                if new != 0 {
+                    scratch.seen[v] = s | new;
+                    scratch.next[v] = new;
+                    scratch.next_active.push(v as NodeId);
+                }
+            }
+        } else {
+            td_counter.inc();
+            for i in 0..scratch.active.len() {
+                let u = scratch.active[i];
+                let f = scratch.frontier[u as usize];
+                for &v in g.out_neighbors(u) {
+                    let new = f & !scratch.seen[v as usize];
+                    if new != 0 {
+                        if scratch.next[v as usize] == 0 {
+                            scratch.next_active.push(v);
+                        }
+                        scratch.next[v as usize] |= new;
+                        scratch.seen[v as usize] |= new;
+                    }
+                }
+            }
+        }
+        if scratch.next_active.is_empty() {
+            break;
+        }
+        depth += 1;
+        for (lane, &(_, t)) in pairs.iter().enumerate() {
+            let bit = 1u64 << lane;
+            if live & bit != 0 && scratch.seen[t as usize] & bit != 0 {
+                dist[lane] = Some(depth);
+                live &= !bit;
+            }
+        }
+        // promote next → frontier, masking out lanes that just resolved
+        for &u in &scratch.active {
+            scratch.frontier[u as usize] = 0;
+        }
+        scratch.active.clear();
+        for &v in &scratch.next_active {
+            let f = scratch.next[v as usize] & live;
+            scratch.next[v as usize] = 0;
+            scratch.frontier[v as usize] = f;
+            if f != 0 {
+                scratch.active.push(v);
+            }
+        }
+        scratch.next_active.clear();
+    }
+    dist
+}
+
+/// Directed hop distances for any number of `(src, dst)` pairs, chunked
+/// into [`BATCH_WIDTH`]-wide batches over one shared scratch; returns one
+/// distance per pair in input order (`None` = unreachable).
+pub fn distance_pairs(
+    g: &CsrGraph,
+    pairs: &[(NodeId, NodeId)],
+    threshold: f64,
+) -> Vec<Option<u32>> {
+    let mut scratch = BatchScratch::new(g.node_count());
+    let mut out = Vec::with_capacity(pairs.len());
+    for chunk in pairs.chunks(BATCH_WIDTH) {
+        out.extend(batch_distance_pairs_with_scratch(g, chunk, threshold, &mut scratch));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,5 +444,98 @@ mod tests {
         let sources = vec![0 as NodeId; BATCH_WIDTH + 1];
         let mut scratch = BatchScratch::new(2);
         let _ = batch_levels_with_scratch(&g, &sources, 0.5, &mut scratch);
+    }
+
+    fn reference_distance(g: &CsrGraph, s: NodeId, t: NodeId) -> Option<u32> {
+        let d = bfs::distances(g, s)[t as usize];
+        (d != bfs::UNREACHABLE).then_some(d)
+    }
+
+    #[test]
+    fn pair_distances_match_scalar_bfs_small() {
+        let g = from_edges(
+            8,
+            [(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 3), (3, 6), (6, 7), (7, 0), (2, 2)],
+        );
+        let mut pairs = Vec::new();
+        for s in g.nodes() {
+            for t in g.nodes() {
+                pairs.push((s, t));
+            }
+        }
+        for threshold in [0.0, 0.05, 1.0] {
+            let got = distance_pairs(&g, &pairs, threshold);
+            for (&(s, t), d) in pairs.iter().zip(&got) {
+                assert_eq!(
+                    *d,
+                    reference_distance(&g, s, t),
+                    "pair ({s},{t}) at threshold {threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pair_distances_match_scalar_bfs_random() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(43);
+        for trial in 0..20 {
+            let n = 2 + rng.random_range(0..80);
+            let m = rng.random_range(0..n * 3);
+            let edges: Vec<(NodeId, NodeId)> = (0..m)
+                .map(|_| (rng.random_range(0..n) as NodeId, rng.random_range(0..n) as NodeId))
+                .collect();
+            let g = from_edges(n, edges);
+            let threshold = rng.random_range(0..100) as f64 / 100.0;
+            let k = rng.random_range(1..(BATCH_WIDTH * 2 + 10));
+            let pairs: Vec<(NodeId, NodeId)> = (0..k)
+                .map(|_| (rng.random_range(0..n) as NodeId, rng.random_range(0..n) as NodeId))
+                .collect();
+            let got = distance_pairs(&g, &pairs, threshold);
+            assert_eq!(got.len(), pairs.len());
+            for (i, (&(s, t), d)) in pairs.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    *d,
+                    reference_distance(&g, s, t),
+                    "trial {trial}, lane {i}, pair ({s},{t}), threshold {threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pair_distance_edge_cases() {
+        let g = from_edges(5, [(0, 1), (1, 2), (3, 3)]);
+        let out = distance_pairs(&g, &[(0, 0), (0, 2), (2, 0), (0, 4), (3, 3), (4, 4)], 0.1);
+        assert_eq!(out, vec![Some(0), Some(2), None, None, Some(0), Some(0)]);
+        assert!(distance_pairs(&g, &[], 0.1).is_empty());
+    }
+
+    #[test]
+    fn pair_scratch_reuse_stays_clean() {
+        let n = BATCH_WIDTH + 10;
+        let g = from_edges(n, (0..n as NodeId - 1).map(|i| (i, i + 1)));
+        let pairs: Vec<(NodeId, NodeId)> =
+            (0..BATCH_WIDTH as NodeId).map(|i| (i, n as NodeId - 1)).collect();
+        let mut scratch = BatchScratch::new(n);
+        let first = batch_distance_pairs_with_scratch(&g, &pairs, 0.02, &mut scratch);
+        for (i, d) in first.iter().enumerate() {
+            assert_eq!(*d, Some((n - 1 - i) as u32), "lane {i}");
+        }
+        // a levels batch and a second pairs batch on the same scratch
+        let levels = batch_levels_with_scratch(&g, &[0], 1.0, &mut scratch);
+        assert_eq!(levels[0].reached, n as u64);
+        let again = batch_distance_pairs_with_scratch(&g, &pairs, 1.0, &mut scratch);
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn pair_batch_rejects_oversized_batches() {
+        let g = from_edges(2, [(0, 1)]);
+        let pairs = vec![(0 as NodeId, 1 as NodeId); BATCH_WIDTH + 1];
+        let mut scratch = BatchScratch::new(2);
+        let _ = batch_distance_pairs_with_scratch(&g, &pairs, 0.5, &mut scratch);
     }
 }

@@ -1,0 +1,491 @@
+//! The online query engine: answers [`QueryRequest`]s against the
+//! current [`AnalysedSnapshot`], over the same length-prefixed wire
+//! protocol the crawler uses.
+//!
+//! Every query runs against exactly one snapshot `Arc` taken at entry
+//! ([`EpochSwap::load_with_epoch`]), so a concurrent [`QueryEngine::swap`]
+//! can never mix two snapshots inside one answer. Admission is an
+//! optional [`TokenBucket`]; rejected queries answer
+//! [`QueryError::RateLimited`] instead of blocking. Per-query-type
+//! latency lands in `serve.query.<kind>.duration_us` histograms via
+//! `gplus-obs`, alongside `serve.query.count` / `serve.query.error_count`
+//! / `serve.epoch.swap_count` counters.
+
+use crate::epoch::EpochSwap;
+use crate::snapshot::{sorted_intersection_count, AnalysedSnapshot, RankedNode};
+use bytes::BytesMut;
+use gplus_core::extensions::recommend::recommend_for;
+use gplus_geo::Country;
+use gplus_graph::reciprocity::relation_reciprocity;
+use gplus_graph::{mbfs, NodeId};
+use gplus_obs::Histogram;
+use gplus_service::query::{
+    ProfileSummary, QueryError, QueryRequest, QueryResponse, RankMetric, RankedUser,
+    MAX_CIRCLE_FETCH, MAX_TOP_K,
+};
+use gplus_service::wire::{decode, encode, Request, Response};
+use gplus_service::{Direction, TokenBucket};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Direction-optimization threshold for online shortest-path BFS — the
+/// same default the batch distance kernels use.
+const BFS_THRESHOLD: f64 = 0.05;
+
+/// The query-kind labels, in the order their latency histograms are
+/// pre-resolved and workload reports tally. Must stay in sync with
+/// [`QueryRequest::kind`].
+pub const QUERY_KINDS: [&str; 8] = [
+    "profile",
+    "degree",
+    "circles",
+    "reciprocity",
+    "topk",
+    "shortest_path",
+    "recommend",
+    "epoch",
+];
+
+/// Engine configuration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineConfig {
+    /// Admission limiter; `None` admits everything.
+    pub limiter: Option<TokenBucket>,
+}
+
+/// Online query engine over an epoch-swapped analysed snapshot.
+pub struct QueryEngine {
+    snapshot: EpochSwap<AnalysedSnapshot>,
+    limiter: Option<Mutex<TokenBucket>>,
+    latency: [Arc<Histogram>; 8],
+    queries: Arc<gplus_obs::Counter>,
+    errors: Arc<gplus_obs::Counter>,
+    swaps: Arc<gplus_obs::Counter>,
+}
+
+impl QueryEngine {
+    /// Builds an engine serving `snapshot`.
+    pub fn new(snapshot: AnalysedSnapshot, config: EngineConfig) -> Self {
+        let obs = gplus_obs::global();
+        let latency =
+            QUERY_KINDS.map(|kind| obs.histogram(&format!("serve.query.{kind}.duration_us")));
+        Self {
+            snapshot: EpochSwap::new(Arc::new(snapshot)),
+            limiter: config.limiter.map(Mutex::new),
+            latency,
+            queries: obs.counter("serve.query.count"),
+            errors: obs.counter("serve.query.error_count"),
+            swaps: obs.counter("serve.epoch.swap_count"),
+        }
+    }
+
+    /// The snapshot currently being served.
+    pub fn current(&self) -> Arc<AnalysedSnapshot> {
+        self.snapshot.load()
+    }
+
+    /// The number of snapshot swaps performed so far.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// Atomically replaces the serving snapshot; in-flight queries finish
+    /// against the snapshot they started on. Returns the new epoch.
+    pub fn swap(&self, next: AnalysedSnapshot) -> u64 {
+        self.swaps.inc();
+        self.snapshot.swap(Arc::new(next))
+    }
+
+    /// Answers one serving query.
+    pub fn answer(&self, req: &QueryRequest) -> QueryResponse {
+        let start = Instant::now();
+        let kind_idx = QUERY_KINDS
+            .iter()
+            .position(|&k| k == req.kind())
+            .expect("QUERY_KINDS covers every request kind");
+        let response = if self.admit() {
+            self.answer_admitted(req)
+        } else {
+            QueryResponse::Error(QueryError::RateLimited)
+        };
+        self.queries.inc();
+        if response.is_error() {
+            self.errors.inc();
+        }
+        self.latency[kind_idx].observe(start.elapsed().as_micros() as u64);
+        response
+    }
+
+    fn admit(&self) -> bool {
+        match &self.limiter {
+            Some(bucket) => bucket.lock().expect("limiter poisoned").try_acquire(),
+            None => true,
+        }
+    }
+
+    fn answer_admitted(&self, req: &QueryRequest) -> QueryResponse {
+        let (snap, epoch) = self.snapshot.load_with_epoch();
+        match *req {
+            QueryRequest::Profile { user } => match snap.node_of(user) {
+                None => QueryResponse::Error(QueryError::UnknownUser(user)),
+                Some(n) => QueryResponse::Profile(ProfileSummary {
+                    user,
+                    display_name: Some(snap.names[n as usize].clone()),
+                    in_degree: snap.graph.in_degree(n) as u64,
+                    out_degree: snap.graph.out_degree(n) as u64,
+                    reciprocal: snap.reciprocal[n as usize],
+                    country: snap.countries[n as usize],
+                }),
+            },
+            QueryRequest::Degree { user } => match snap.node_of(user) {
+                None => QueryResponse::Error(QueryError::UnknownUser(user)),
+                Some(n) => QueryResponse::Degree {
+                    user,
+                    in_degree: snap.graph.in_degree(n) as u64,
+                    out_degree: snap.graph.out_degree(n) as u64,
+                },
+            },
+            QueryRequest::Circles { user, direction, limit } => match snap.node_of(user) {
+                None => QueryResponse::Error(QueryError::UnknownUser(user)),
+                Some(n) => {
+                    let full: &[NodeId] = match direction {
+                        Direction::InCircles => snap.graph.in_neighbors(n),
+                        Direction::OutCircles => snap.graph.out_neighbors(n),
+                    };
+                    let limit = limit.min(MAX_CIRCLE_FETCH) as usize;
+                    QueryResponse::Circles {
+                        user,
+                        direction,
+                        users: full.iter().take(limit).map(|&v| v as u64).collect(),
+                        total: full.len() as u64,
+                    }
+                }
+            },
+            QueryRequest::Reciprocity { user } => match snap.node_of(user) {
+                None => QueryResponse::Error(QueryError::UnknownUser(user)),
+                Some(n) => QueryResponse::Reciprocity {
+                    user,
+                    reciprocity: relation_reciprocity(&snap.graph, n),
+                    reciprocal_edges: sorted_intersection_count(
+                        snap.graph.out_neighbors(n),
+                        snap.graph.in_neighbors(n),
+                    ),
+                },
+            },
+            QueryRequest::TopK { metric, k, country } => {
+                let list = Self::ranking(&snap, metric, country);
+                let k = k.min(MAX_TOP_K) as usize;
+                QueryResponse::TopK {
+                    metric,
+                    country,
+                    entries: list
+                        .iter()
+                        .take(k)
+                        .map(|r| RankedUser { user: r.node as u64, score: r.score })
+                        .collect(),
+                }
+            }
+            QueryRequest::ShortestPath { src, dst } => {
+                let (s, t) = match (snap.node_of(src), snap.node_of(dst)) {
+                    (Some(s), Some(t)) => (s, t),
+                    (None, _) => return QueryResponse::Error(QueryError::UnknownUser(src)),
+                    (_, None) => return QueryResponse::Error(QueryError::UnknownUser(dst)),
+                };
+                let distance = mbfs::distance_pairs(&snap.graph, &[(s, t)], BFS_THRESHOLD)[0];
+                QueryResponse::ShortestPath { src, dst, distance }
+            }
+            QueryRequest::Recommend { user, k } => match snap.node_of(user) {
+                None => QueryResponse::Error(QueryError::UnknownUser(user)),
+                Some(n) => {
+                    let k = k.min(MAX_TOP_K) as usize;
+                    QueryResponse::Recommend {
+                        user,
+                        recommendations: recommend_for(&*snap, n, k)
+                            .into_iter()
+                            .map(|(v, common)| RankedUser {
+                                user: v as u64,
+                                score: common as f64,
+                            })
+                            .collect(),
+                    }
+                }
+            },
+            QueryRequest::Epoch => QueryResponse::Epoch {
+                epoch,
+                nodes: snap.graph.node_count() as u64,
+                edges: snap.graph.edge_count() as u64,
+                seed: snap.seed,
+            },
+        }
+    }
+
+    /// Selects the precomputed ranking for `(metric, country)`. A country
+    /// with no located users yields the empty list — a valid (empty)
+    /// leaderboard, not an error.
+    fn ranking(
+        snap: &AnalysedSnapshot,
+        metric: RankMetric,
+        country: Option<Country>,
+    ) -> &[RankedNode] {
+        match country {
+            None => match metric {
+                RankMetric::PageRank => &snap.pagerank_top,
+                RankMetric::InDegree => &snap.in_degree_top,
+                RankMetric::OutDegree => &snap.out_degree_top,
+            },
+            Some(c) => match snap.country_top.binary_search_by(|r| r.country.cmp(&c)) {
+                Err(_) => &[],
+                Ok(i) => {
+                    let ranking = &snap.country_top[i];
+                    match metric {
+                        RankMetric::PageRank => &ranking.pagerank,
+                        RankMetric::InDegree => &ranking.in_degree,
+                        RankMetric::OutDegree => &ranking.out_degree,
+                    }
+                }
+            },
+        }
+    }
+
+    /// Answers a wire-level request. Crawl-era requests (profile/circle
+    /// pages) are not served from a snapshot engine; they get a typed
+    /// `Unsupported` answer instead of a protocol error so a mixed client
+    /// can tell the difference between "wrong endpoint" and "broken pipe".
+    pub fn serve(&self, request: Request) -> Response {
+        match request {
+            Request::Query(q) => Response::Query(self.answer(&q)),
+            Request::Profile { .. } | Request::Circle { .. } => {
+                Response::Query(QueryResponse::Error(QueryError::Unsupported))
+            }
+        }
+    }
+
+    /// Full wire round trip: encodes the request, decodes it server-side,
+    /// serves it, encodes the response, decodes it client-side. An answer
+    /// that cannot fit one frame even after server-side clamping comes
+    /// back as [`QueryError::Oversized`] rather than tearing the stream.
+    pub fn call(&self, request: &Request) -> Response {
+        let mut wire = BytesMut::new();
+        encode(request, &mut wire).expect("request frames fit the wire cap");
+        let decoded: Request = decode(&mut wire).expect("just-encoded frame decodes");
+        let response = self.serve(decoded);
+        let mut back = BytesMut::new();
+        if encode(&response, &mut back).is_err() {
+            return Response::Query(QueryResponse::Error(QueryError::Oversized));
+        }
+        decode(&mut back).expect("just-encoded frame decodes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplus_graph::bfs;
+    use gplus_synth::{SynthConfig, SynthNetwork};
+    use std::sync::OnceLock;
+
+    fn net() -> &'static SynthNetwork {
+        static NET: OnceLock<SynthNetwork> = OnceLock::new();
+        NET.get_or_init(|| SynthNetwork::generate(&SynthConfig::google_plus_2011(600, 11)))
+    }
+
+    fn engine() -> QueryEngine {
+        QueryEngine::new(AnalysedSnapshot::build(net()), EngineConfig::default())
+    }
+
+    #[test]
+    fn profile_lookup_matches_ground_truth() {
+        let e = engine();
+        match e.answer(&QueryRequest::Profile { user: 0 }) {
+            QueryResponse::Profile(p) => {
+                assert_eq!(p.user, 0);
+                assert_eq!(p.display_name.as_deref(), Some("Larry Page"));
+                assert_eq!(p.in_degree, net().graph.in_degree(0) as u64);
+                assert_eq!(p.out_degree, net().graph.out_degree(0) as u64);
+            }
+            other => panic!("expected profile, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_users_are_typed_errors_not_panics() {
+        let e = engine();
+        let n = net().graph.node_count() as u64;
+        for user in [n, n + 5, u64::from(u32::MAX) + 1, u64::MAX] {
+            for req in [
+                QueryRequest::Profile { user },
+                QueryRequest::Degree { user },
+                QueryRequest::Reciprocity { user },
+                QueryRequest::Recommend { user, k: 5 },
+                QueryRequest::ShortestPath { src: 0, dst: user },
+            ] {
+                assert_eq!(
+                    e.answer(&req),
+                    QueryResponse::Error(QueryError::UnknownUser(user)),
+                    "req {req:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn circles_respect_direction_and_limit() {
+        let e = engine();
+        let g = &net().graph;
+        let user =
+            (0..g.node_count() as NodeId).max_by_key(|&u| g.in_degree(u)).unwrap() as u64;
+        match e.answer(&QueryRequest::Circles {
+            user,
+            direction: Direction::InCircles,
+            limit: 3,
+        }) {
+            QueryResponse::Circles { users, total, .. } => {
+                let truth = g.in_neighbors(user as NodeId);
+                assert_eq!(total, truth.len() as u64);
+                assert_eq!(users.len(), 3.min(truth.len()));
+                assert_eq!(users, truth.iter().take(3).map(|&v| v as u64).collect::<Vec<_>>());
+            }
+            other => panic!("expected circles, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn topk_is_served_from_precomputed_rankings() {
+        let e = engine();
+        let snap = e.current();
+        match e.answer(&QueryRequest::TopK {
+            metric: RankMetric::InDegree,
+            k: 10,
+            country: None,
+        }) {
+            QueryResponse::TopK { entries, .. } => {
+                assert_eq!(entries.len(), 10);
+                for (got, want) in entries.iter().zip(&snap.in_degree_top) {
+                    assert_eq!(got.user, want.node as u64);
+                    assert_eq!(got.score, want.score);
+                }
+            }
+            other => panic!("expected topk, got {other:?}"),
+        }
+        // a country with located users restricts the list to them
+        let country = snap.country_top[0].country;
+        match e.answer(&QueryRequest::TopK {
+            metric: RankMetric::PageRank,
+            k: 5,
+            country: Some(country),
+        }) {
+            QueryResponse::TopK { entries, .. } => {
+                assert!(!entries.is_empty());
+                for r in &entries {
+                    assert_eq!(snap.countries[r.user as usize], Some(country));
+                }
+            }
+            other => panic!("expected topk, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shortest_path_matches_scalar_bfs() {
+        let e = engine();
+        let g = &net().graph;
+        for (s, t) in [(0u32, 1u32), (3, 250), (17, 17), (250, 3), (1, 599)] {
+            let want = {
+                let d = bfs::distances(g, s)[t as usize];
+                (d != bfs::UNREACHABLE).then_some(d)
+            };
+            assert_eq!(
+                e.answer(&QueryRequest::ShortestPath { src: s as u64, dst: t as u64 }),
+                QueryResponse::ShortestPath { src: s as u64, dst: t as u64, distance: want },
+                "pair ({s},{t})"
+            );
+        }
+    }
+
+    #[test]
+    fn recommendations_reuse_the_batch_extension() {
+        let e = engine();
+        let snap = e.current();
+        match e.answer(&QueryRequest::Recommend { user: 5, k: 8 }) {
+            QueryResponse::Recommend { recommendations, .. } => {
+                let want = recommend_for(&*snap, 5, 8);
+                assert_eq!(recommendations.len(), want.len());
+                for (got, (v, common)) in recommendations.iter().zip(want) {
+                    assert_eq!(got.user, v as u64);
+                    assert_eq!(got.score, common as f64);
+                }
+            }
+            other => panic!("expected recommendations, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn epoch_query_reports_snapshot_identity_and_swap_count() {
+        let e = engine();
+        let probe = |e: &QueryEngine| match e.answer(&QueryRequest::Epoch) {
+            QueryResponse::Epoch { epoch, nodes, edges, seed } => (epoch, nodes, edges, seed),
+            other => panic!("expected epoch, got {other:?}"),
+        };
+        let (epoch, nodes, _, seed) = probe(&e);
+        assert_eq!(epoch, 0);
+        assert_eq!(nodes, net().graph.node_count() as u64);
+        assert_eq!(seed, 11);
+        let next = SynthNetwork::generate(&SynthConfig::google_plus_2011(300, 12));
+        assert_eq!(e.swap(AnalysedSnapshot::build(&next)), 1);
+        let (epoch, nodes, edges, seed) = probe(&e);
+        assert_eq!(epoch, 1);
+        assert_eq!(nodes, 300);
+        assert_eq!(edges, next.graph.edge_count() as u64);
+        assert_eq!(seed, 12);
+    }
+
+    #[test]
+    fn rate_limited_engine_rejects_with_typed_error() {
+        let e = QueryEngine::new(
+            AnalysedSnapshot::build(net()),
+            EngineConfig { limiter: Some(TokenBucket::new(2.0, 0.0)) },
+        );
+        let mut rejected = 0;
+        for _ in 0..10 {
+            if e.answer(&QueryRequest::Epoch) == QueryResponse::Error(QueryError::RateLimited) {
+                rejected += 1;
+            }
+        }
+        assert_eq!(rejected, 8, "capacity 2, no refill: exactly 2 admitted");
+    }
+
+    #[test]
+    fn wire_round_trip_equals_direct_answer() {
+        let e = engine();
+        let queries = [
+            QueryRequest::Profile { user: 3 },
+            QueryRequest::Degree { user: 0 },
+            QueryRequest::Circles { user: 1, direction: Direction::OutCircles, limit: 50 },
+            QueryRequest::Reciprocity { user: 2 },
+            QueryRequest::TopK { metric: RankMetric::PageRank, k: 7, country: None },
+            QueryRequest::ShortestPath { src: 4, dst: 200 },
+            QueryRequest::Recommend { user: 6, k: 4 },
+            QueryRequest::Epoch,
+        ];
+        for q in queries {
+            let direct = e.answer(&q);
+            match e.call(&Request::Query(q.clone())) {
+                Response::Query(over_wire) => assert_eq!(over_wire, direct, "query {q:?}"),
+                other => panic!("expected query response, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn crawl_era_requests_answer_unsupported() {
+        let e = engine();
+        for req in [
+            Request::Profile { user: 0 },
+            Request::Circle { user: 0, direction: Direction::InCircles, page: 0 },
+        ] {
+            assert_eq!(
+                e.call(&req),
+                Response::Query(QueryResponse::Error(QueryError::Unsupported))
+            );
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Epoch-tagged atomic snapshot holder.
+//!
+//! The serving engine answers every query against an immutable
+//! [`Arc`]-held snapshot. An operator swaps in a freshly analysed
+//! snapshot *under live traffic*; readers must never observe a torn view
+//! (half old snapshot, half new) and must be able to tell *which* epoch
+//! answered them. The classic lock-free solution is arc-swap's
+//! RCU-style pointer publication; this repo's no-new-dependency
+//! discipline gets the same safety (not the same nanoseconds — fine at
+//! simulation scale) from a [`RwLock`]`<Arc<T>>` plus an epoch counter
+//! bumped inside the writer critical section, so the `(snapshot, epoch)`
+//! pair a reader extracts is always mutually consistent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// An `Arc<T>` cell supporting atomic replacement with a monotone epoch.
+///
+/// Readers pay one read-lock acquisition and one `Arc` clone per query;
+/// the critical section is a pointer copy, so readers never block each
+/// other and a swap blocks only for the duration of two pointer writes.
+#[derive(Debug)]
+pub struct EpochSwap<T> {
+    current: RwLock<Arc<T>>,
+    epoch: AtomicU64,
+}
+
+impl<T> EpochSwap<T> {
+    /// Wraps the initial value at epoch 0.
+    pub fn new(value: Arc<T>) -> Self {
+        Self { current: RwLock::new(value), epoch: AtomicU64::new(0) }
+    }
+
+    /// Returns the current value. The clone is cheap (refcount bump) and
+    /// the caller's view is immutable for as long as it holds the `Arc`,
+    /// regardless of later swaps.
+    pub fn load(&self) -> Arc<T> {
+        Arc::clone(&self.current.read().expect("epoch lock poisoned"))
+    }
+
+    /// Returns the current value together with the epoch that published
+    /// it. Both are read under one lock acquisition, so the pair is
+    /// consistent: an epoch `e` is never returned with a snapshot
+    /// published at some other epoch.
+    pub fn load_with_epoch(&self) -> (Arc<T>, u64) {
+        let guard = self.current.read().expect("epoch lock poisoned");
+        let value = Arc::clone(&guard);
+        let epoch = self.epoch.load(Ordering::Acquire);
+        (value, epoch)
+    }
+
+    /// The number of swaps performed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Atomically replaces the value and returns the new epoch. In-flight
+    /// readers keep their `Arc` to the old value; the old snapshot is
+    /// dropped when the last of them finishes.
+    pub fn swap(&self, next: Arc<T>) -> u64 {
+        let mut guard = self.current.write().expect("epoch lock poisoned");
+        *guard = next;
+        // incremented while the write lock is held so no reader can pair
+        // the new snapshot with the old epoch or vice versa
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn load_returns_initial_value_at_epoch_zero() {
+        let cell = EpochSwap::new(Arc::new(41));
+        let (v, e) = cell.load_with_epoch();
+        assert_eq!(*v, 41);
+        assert_eq!(e, 0);
+        assert_eq!(cell.epoch(), 0);
+    }
+
+    #[test]
+    fn swap_bumps_epoch_and_replaces_value() {
+        let cell = EpochSwap::new(Arc::new(1));
+        let held = cell.load();
+        assert_eq!(cell.swap(Arc::new(2)), 1);
+        assert_eq!(*cell.load(), 2);
+        assert_eq!(cell.epoch(), 1);
+        // in-flight readers keep the old value alive
+        assert_eq!(*held, 1);
+    }
+
+    #[test]
+    fn concurrent_readers_always_see_consistent_pairs() {
+        // values are (epoch, payload) with payload == epoch * 1000; a torn
+        // read would pair an epoch with the wrong payload
+        let cell = Arc::new(EpochSwap::new(Arc::new((0u64, 0u64))));
+        let swapper = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                for e in 1..=200u64 {
+                    cell.swap(Arc::new((e, e * 1000)));
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || {
+                    for _ in 0..2000 {
+                        let (v, e) = cell.load_with_epoch();
+                        assert_eq!(v.0, e, "snapshot paired with foreign epoch");
+                        assert_eq!(v.1, v.0 * 1000, "torn snapshot observed");
+                    }
+                })
+            })
+            .collect();
+        swapper.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(cell.epoch(), 200);
+    }
+}

@@ -1,0 +1,29 @@
+//! `gplus-serve` — the online query layer over the batch pipeline.
+//!
+//! The rest of the workspace is batch: generate a network, crawl it,
+//! analyse the result. This crate promotes those outputs into a serving
+//! tier (ROADMAP #1): an [`AnalysedSnapshot`] freezes the graph plus the
+//! precomputed rankings, a [`QueryEngine`] answers the paper's
+//! measurement queries against it over the crawl-era wire protocol, an
+//! [`EpochSwap`] hot-reloads snapshots under live traffic without torn
+//! reads, and a seeded Zipf [`workload`] replays a celebrity-skewed query
+//! stream byte-identically for regression comparison.
+//!
+//! Query vocabulary (requests/responses) lives in
+//! [`gplus_service::query`] so the wire protocol owns its own message
+//! set; this crate owns the answering machinery.
+
+pub mod engine;
+pub mod epoch;
+pub mod snapshot;
+pub mod workload;
+
+pub use engine::{EngineConfig, QueryEngine, QUERY_KINDS};
+pub use epoch::EpochSwap;
+pub use snapshot::{
+    AnalysedSnapshot, CountryRankings, RankedNode, SnapshotError, SnapshotMeta,
+    SNAPSHOT_FORMAT_VERSION,
+};
+pub use workload::{
+    run as run_workload, QueryMix, SeededRng, WorkloadConfig, WorkloadReport, ZipfTable,
+};

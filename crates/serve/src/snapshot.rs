@@ -1,0 +1,456 @@
+//! The immutable analysed snapshot the query engine serves from.
+//!
+//! The batch pipeline's outputs — graph, public profile attributes,
+//! PageRank, degree rankings, per-country leaderboards — are frozen into
+//! one [`AnalysedSnapshot`] at build time so every online query is a
+//! lookup or a short traversal, never a full recomputation. Snapshots
+//! round-trip through a directory (`meta.json` + `snapshot.json`) so an
+//! operator can build one offline with `gplus snapshot` and serve it (or
+//! hot-swap to a newer one) with `gplus serve`.
+//!
+//! The snapshot also implements [`Dataset`], which lets the serving path
+//! reuse the batch extensions (friend recommendation, rankings) verbatim
+//! instead of forking their logic.
+
+use gplus_core::Dataset;
+use gplus_geo::{Country, LatLon};
+use gplus_graph::pagerank::{pagerank, PageRankParams};
+use gplus_graph::{CsrGraph, NodeId};
+use gplus_profiles::{Attribute, Gender, Occupation, RelationshipStatus};
+use gplus_service::query::MAX_TOP_K;
+use gplus_synth::SynthNetwork;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// On-disk format version; bumped on any incompatible layout change.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// One entry of a precomputed ranking (internal node id + score).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankedNode {
+    /// Internal CSR node id.
+    pub node: NodeId,
+    /// Metric value (PageRank score or degree).
+    pub score: f64,
+}
+
+/// Precomputed leaderboards for the users located in one country.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountryRankings {
+    /// The country (serialized by ISO code via its own serde impl).
+    pub country: Country,
+    /// Top users by PageRank, best first.
+    pub pagerank: Vec<RankedNode>,
+    /// Top users by in-degree, best first.
+    pub in_degree: Vec<RankedNode>,
+    /// Top users by out-degree, best first.
+    pub out_degree: Vec<RankedNode>,
+}
+
+/// An immutable, fully analysed snapshot of the social graph.
+///
+/// Everything a serving query touches is materialized here; the struct is
+/// plain data (serde round-trips it losslessly) and is only ever shared
+/// behind an `Arc` by the engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysedSnapshot {
+    /// Seed of the generator run this snapshot froze (snapshot identity).
+    pub seed: u64,
+    /// The social graph.
+    pub graph: CsrGraph,
+    /// Display name per node.
+    pub names: Vec<String>,
+    /// Publicly shared country per node (`None` when withheld).
+    pub countries: Vec<Option<Country>>,
+    /// Whether the node has at least one reciprocated followee.
+    pub reciprocal: Vec<bool>,
+    /// Global top list by PageRank (length capped at [`MAX_TOP_K`]).
+    pub pagerank_top: Vec<RankedNode>,
+    /// Global top list by in-degree.
+    pub in_degree_top: Vec<RankedNode>,
+    /// Global top list by out-degree.
+    pub out_degree_top: Vec<RankedNode>,
+    /// Per-country leaderboards, sorted by country for determinism.
+    pub country_top: Vec<CountryRankings>,
+}
+
+/// Sidecar identity record written next to the snapshot payload, small
+/// enough to inspect without loading the graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotMeta {
+    /// See [`SNAPSHOT_FORMAT_VERSION`].
+    pub format_version: u32,
+    /// Generator seed.
+    pub seed: u64,
+    /// Node count (consistency check against the payload).
+    pub nodes: u64,
+    /// Edge count (consistency check against the payload).
+    pub edges: u64,
+}
+
+/// Why a snapshot could not be read or written.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The payload did not parse, or disagreed with its meta record.
+    Malformed(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io: {e}"),
+            SnapshotError::Malformed(m) => write!(f, "snapshot malformed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Number of elements the sorted slices `a` and `b` share (the
+/// two-pointer merge step; both inputs must be ascending, as CSR
+/// neighbour slices are).
+pub fn sorted_intersection_count(a: &[NodeId], b: &[NodeId]) -> u64 {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Top-`k` nodes from `score(node)`, descending, ties by node id — the
+/// same ordering contract as [`PageRank::top`]. Only nodes for which
+/// `include` holds participate (used for per-country restriction).
+fn top_by<F, G>(g: &CsrGraph, k: usize, include: G, score: F) -> Vec<RankedNode>
+where
+    F: Fn(NodeId) -> f64,
+    G: Fn(NodeId) -> bool,
+{
+    let mut ranked: Vec<RankedNode> = g
+        .nodes()
+        .filter(|&u| include(u))
+        .map(|u| RankedNode { node: u, score: score(u) })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score.partial_cmp(&a.score).expect("finite scores").then(a.node.cmp(&b.node))
+    });
+    ranked.truncate(k);
+    ranked
+}
+
+impl AnalysedSnapshot {
+    /// Runs the batch analyses over a generated network and freezes the
+    /// results. This is the expensive offline step (`gplus snapshot`);
+    /// serving never calls it.
+    pub fn build(network: &SynthNetwork) -> Self {
+        let _span = gplus_obs::global().span("serve.snapshot.build");
+        let g = &network.graph;
+        let n = g.node_count();
+        let cap = MAX_TOP_K as usize;
+
+        let mut names = Vec::with_capacity(n);
+        let mut countries = Vec::with_capacity(n);
+        let mut reciprocal = Vec::with_capacity(n);
+        for u in g.nodes() {
+            let profile = network.population.profile(u);
+            names.push(profile.display_name());
+            countries.push(profile.public_country());
+            reciprocal
+                .push(sorted_intersection_count(g.out_neighbors(u), g.in_neighbors(u)) > 0);
+        }
+
+        let pr = pagerank(g, &PageRankParams::default());
+        let pagerank_top: Vec<RankedNode> =
+            pr.top(cap).into_iter().map(|(node, score)| RankedNode { node, score }).collect();
+        let in_degree_top = top_by(g, cap, |_| true, |u| g.in_degree(u) as f64);
+        let out_degree_top = top_by(g, cap, |_| true, |u| g.out_degree(u) as f64);
+
+        // per-country leaderboards for every country that occurs at all
+        let mut located: HashMap<Country, ()> = HashMap::new();
+        for c in countries.iter().flatten() {
+            located.insert(*c, ());
+        }
+        let mut present: Vec<Country> = located.into_keys().collect();
+        present.sort();
+        let country_top = present
+            .into_iter()
+            .map(|c| {
+                let here = |u: NodeId| countries[u as usize] == Some(c);
+                CountryRankings {
+                    country: c,
+                    pagerank: top_by(g, cap, here, |u| pr.scores[u as usize]),
+                    in_degree: top_by(g, cap, here, |u| g.in_degree(u) as f64),
+                    out_degree: top_by(g, cap, here, |u| g.out_degree(u) as f64),
+                }
+            })
+            .collect();
+
+        Self {
+            seed: network.config.seed,
+            graph: g.clone(),
+            names,
+            countries,
+            reciprocal,
+            pagerank_top,
+            in_degree_top,
+            out_degree_top,
+            country_top,
+        }
+    }
+
+    /// The identity record for this snapshot.
+    pub fn meta(&self) -> SnapshotMeta {
+        SnapshotMeta {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            seed: self.seed,
+            nodes: self.graph.node_count() as u64,
+            edges: self.graph.edge_count() as u64,
+        }
+    }
+
+    /// Resolves a public user id to an internal node, rejecting ids
+    /// outside the snapshot (including u64-scale ids that cannot index a
+    /// CSR graph) instead of truncating them.
+    pub fn node_of(&self, user: u64) -> Option<NodeId> {
+        let node = NodeId::try_from(user).ok()?;
+        ((node as usize) < self.graph.node_count()).then_some(node)
+    }
+
+    /// Writes `meta.json` and `snapshot.json` into `dir` (created if
+    /// missing).
+    pub fn save(&self, dir: &Path) -> Result<(), SnapshotError> {
+        std::fs::create_dir_all(dir)?;
+        let meta = serde_json::to_string_pretty(&self.meta())
+            .map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        std::fs::write(dir.join("meta.json"), meta)?;
+        let payload =
+            serde_json::to_vec(self).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        std::fs::write(dir.join("snapshot.json"), payload)?;
+        Ok(())
+    }
+
+    /// Loads a snapshot directory, verifying the meta record matches the
+    /// payload (a mismatch means a torn or hand-edited snapshot, which
+    /// must never reach the serving path).
+    pub fn load(dir: &Path) -> Result<Self, SnapshotError> {
+        let meta_bytes = std::fs::read(dir.join("meta.json"))?;
+        let meta: SnapshotMeta = serde_json::from_slice(&meta_bytes)
+            .map_err(|e| SnapshotError::Malformed(format!("meta.json: {e}")))?;
+        if meta.format_version != SNAPSHOT_FORMAT_VERSION {
+            return Err(SnapshotError::Malformed(format!(
+                "format version {} (this build reads {})",
+                meta.format_version, SNAPSHOT_FORMAT_VERSION
+            )));
+        }
+        let payload = std::fs::read(dir.join("snapshot.json"))?;
+        let snapshot: AnalysedSnapshot = serde_json::from_slice(&payload)
+            .map_err(|e| SnapshotError::Malformed(format!("snapshot.json: {e}")))?;
+        let actual = snapshot.meta();
+        if actual != meta {
+            return Err(SnapshotError::Malformed(format!(
+                "meta.json disagrees with payload: {meta:?} vs {actual:?}"
+            )));
+        }
+        Ok(snapshot)
+    }
+}
+
+/// The snapshot doubles as a [`Dataset`], so batch extensions (friend
+/// recommendation in particular) run against it unchanged. Only the
+/// attributes the serving layer materializes are exposed; everything else
+/// reports "withheld", which the extensions already handle.
+impl Dataset for AnalysedSnapshot {
+    fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    fn profile_known(&self, node: NodeId) -> bool {
+        (node as usize) < self.names.len()
+    }
+
+    fn display_name(&self, node: NodeId) -> Option<String> {
+        self.names.get(node as usize).cloned()
+    }
+
+    fn gender(&self, _node: NodeId) -> Option<Gender> {
+        None
+    }
+
+    fn relationship(&self, _node: NodeId) -> Option<RelationshipStatus> {
+        None
+    }
+
+    fn occupation(&self, _node: NodeId) -> Option<Occupation> {
+        None
+    }
+
+    fn country(&self, node: NodeId) -> Option<Country> {
+        self.countries.get(node as usize).copied().flatten()
+    }
+
+    fn location(&self, _node: NodeId) -> Option<LatLon> {
+        None
+    }
+
+    fn fields_shared(&self, _node: NodeId) -> Option<u32> {
+        None
+    }
+
+    fn fields_shared_excl_contact(&self, _node: NodeId) -> Option<u32> {
+        None
+    }
+
+    fn is_tel_user(&self, _node: NodeId) -> Option<bool> {
+        None
+    }
+
+    fn public_attribute_list(&self, _node: NodeId) -> Option<Vec<Attribute>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplus_synth::SynthConfig;
+
+    fn small() -> AnalysedSnapshot {
+        let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(400, 7));
+        AnalysedSnapshot::build(&net)
+    }
+
+    #[test]
+    fn build_materializes_every_node() {
+        let snap = small();
+        let n = snap.graph.node_count();
+        assert_eq!(snap.names.len(), n);
+        assert_eq!(snap.countries.len(), n);
+        assert_eq!(snap.reciprocal.len(), n);
+        assert_eq!(snap.names[0], "Larry Page");
+        assert!(!snap.pagerank_top.is_empty());
+        assert_eq!(snap.in_degree_top.len(), n.min(MAX_TOP_K as usize));
+    }
+
+    #[test]
+    fn rankings_are_descending_with_stable_ties() {
+        let snap = small();
+        for list in [&snap.pagerank_top, &snap.in_degree_top, &snap.out_degree_top] {
+            for w in list.windows(2) {
+                assert!(
+                    w[0].score > w[1].score
+                        || (w[0].score == w[1].score && w[0].node < w[1].node),
+                    "ordering violated: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+        // degree lists carry the true degrees
+        for e in snap.in_degree_top.iter().take(10) {
+            assert_eq!(e.score, snap.graph.in_degree(e.node) as f64);
+        }
+    }
+
+    #[test]
+    fn country_lists_cover_exactly_located_users() {
+        let snap = small();
+        assert!(!snap.country_top.is_empty(), "some users share a country");
+        for ranking in &snap.country_top {
+            assert!(!ranking.in_degree.is_empty());
+            for e in &ranking.in_degree {
+                assert_eq!(snap.countries[e.node as usize], Some(ranking.country));
+            }
+            let located = snap
+                .countries
+                .iter()
+                .filter(|c| **c == Some(ranking.country))
+                .count()
+                .min(MAX_TOP_K as usize);
+            assert_eq!(ranking.in_degree.len(), located);
+        }
+        // sorted by country, no duplicates
+        for w in snap.country_top.windows(2) {
+            assert!(w[0].country < w[1].country);
+        }
+    }
+
+    #[test]
+    fn reciprocal_flags_match_graph_structure() {
+        let snap = small();
+        for u in snap.graph.nodes() {
+            let expected =
+                snap.graph.out_neighbors(u).iter().any(|&v| snap.graph.has_edge(v, u));
+            assert_eq!(snap.reciprocal[u as usize], expected, "node {u}");
+        }
+    }
+
+    #[test]
+    fn node_of_rejects_out_of_range_ids() {
+        let snap = small();
+        assert_eq!(snap.node_of(0), Some(0));
+        let n = snap.graph.node_count() as u64;
+        assert_eq!(snap.node_of(n - 1), Some((n - 1) as NodeId));
+        assert_eq!(snap.node_of(n), None);
+        assert_eq!(snap.node_of(u64::MAX), None, "u64-scale ids must not truncate");
+        assert_eq!(snap.node_of(u64::from(u32::MAX) + 1), None);
+    }
+
+    #[test]
+    fn sorted_intersection_counts() {
+        assert_eq!(sorted_intersection_count(&[], &[]), 0);
+        assert_eq!(sorted_intersection_count(&[1, 2, 3], &[]), 0);
+        assert_eq!(sorted_intersection_count(&[1, 3, 5], &[2, 4, 6]), 0);
+        assert_eq!(sorted_intersection_count(&[1, 2, 3], &[2, 3, 4]), 2);
+        assert_eq!(sorted_intersection_count(&[5], &[5]), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_directory() {
+        let snap = small();
+        let dir = std::env::temp_dir().join("gplus-serve-snapshot-roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        snap.save(&dir).unwrap();
+        let back = AnalysedSnapshot::load(&dir).unwrap();
+        assert_eq!(back, snap);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_meta_payload_mismatch() {
+        let snap = small();
+        let dir = std::env::temp_dir().join("gplus-serve-snapshot-mismatch");
+        let _ = std::fs::remove_dir_all(&dir);
+        snap.save(&dir).unwrap();
+        let mut meta = snap.meta();
+        meta.seed ^= 1;
+        std::fs::write(dir.join("meta.json"), serde_json::to_string(&meta).unwrap()).unwrap();
+        assert!(matches!(AnalysedSnapshot::load(&dir), Err(SnapshotError::Malformed(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dataset_view_exposes_materialized_attributes() {
+        let snap = small();
+        assert!(snap.profile_known(0));
+        assert_eq!(Dataset::display_name(&snap, 0), Some("Larry Page".to_string()));
+        assert_eq!(Dataset::country(&snap, 0), snap.countries[0]);
+        assert_eq!(Dataset::gender(&snap, 0), None);
+        assert_eq!(snap.known_profile_count(), snap.graph.node_count());
+    }
+}

@@ -1,0 +1,400 @@
+//! Deterministic serving workload: a seeded Zipf query stream with hot
+//! celebrity keys.
+//!
+//! The generator is pure — query `i` of a given [`WorkloadConfig`] is a
+//! function of the seed alone, never of engine state or wall clock — so
+//! two runs with the same config produce byte-identical query logs and
+//! cost-bucket counts. That is the replay property the determinism tests
+//! and the CI `serve` job assert with a straight `cmp`. Key popularity is
+//! Zipfian over the node-id space: the generator places celebrities at
+//! the lowest ids (node 0 is Larry Page), so low ids are exactly the hot
+//! keys a real serving tier would see.
+//!
+//! Wall-clock latency goes to the engine's obs histograms (for humans and
+//! the bench suite); the *deterministic* cost signal recorded here is the
+//! response payload size in bytes, folded through the same logarithmic
+//! buckets (`gplus_obs::bucket_index`) so replays can be compared
+//! bucket-for-bucket.
+
+use crate::engine::{QueryEngine, QUERY_KINDS};
+use crate::snapshot::AnalysedSnapshot;
+use gplus_geo::TOP10_COUNTRIES;
+use gplus_service::failure::splitmix64;
+use gplus_service::query::{QueryRequest, RankMetric};
+use gplus_service::Direction;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Weighted query-type mix (weights are relative, need not sum to
+/// anything in particular; a zero weight disables the kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryMix {
+    /// Profile point lookups.
+    pub profile: u32,
+    /// Degree point lookups.
+    pub degree: u32,
+    /// Circle-list fetches.
+    pub circles: u32,
+    /// Reciprocity lookups.
+    pub reciprocity: u32,
+    /// Top-k rankings (half country-restricted).
+    pub topk: u32,
+    /// Pairwise shortest paths.
+    pub shortest_path: u32,
+    /// Friend recommendations.
+    pub recommend: u32,
+    /// Epoch probes.
+    pub epoch: u32,
+}
+
+impl Default for QueryMix {
+    /// A read-mostly mix: point lookups dominate, traversal-heavy kinds
+    /// are the tail — the shape of a social-graph serving tier.
+    fn default() -> Self {
+        Self {
+            profile: 30,
+            degree: 15,
+            circles: 15,
+            reciprocity: 10,
+            topk: 10,
+            shortest_path: 8,
+            recommend: 8,
+            epoch: 4,
+        }
+    }
+}
+
+impl QueryMix {
+    fn cumulative(&self) -> [u64; 8] {
+        let w = [
+            self.profile,
+            self.degree,
+            self.circles,
+            self.reciprocity,
+            self.topk,
+            self.shortest_path,
+            self.recommend,
+            self.epoch,
+        ];
+        let mut cdf = [0u64; 8];
+        let mut acc = 0u64;
+        for (slot, weight) in cdf.iter_mut().zip(w) {
+            acc += u64::from(weight);
+            *slot = acc;
+        }
+        assert!(acc > 0, "query mix must have at least one positive weight");
+        cdf
+    }
+}
+
+/// Workload parameters. Fully describes the query stream: same config,
+/// same stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of queries to issue.
+    pub queries: u64,
+    /// Id space queries draw users from (typically the snapshot's node
+    /// count; ids past a smaller snapshot answer `UnknownUser`).
+    pub user_space: u64,
+    /// Zipf skew exponent; higher concentrates traffic on the celebrity
+    /// ids. 0 is uniform.
+    pub zipf_exponent: f64,
+    /// Query-type mix.
+    pub mix: QueryMix,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            seed: 2012,
+            queries: 1_000,
+            user_space: 1,
+            zipf_exponent: 1.0,
+            mix: QueryMix::default(),
+        }
+    }
+}
+
+/// Outcome of one workload run. `log` and `cost_buckets` are the
+/// deterministic replay artifacts; everything else is summary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// Queries issued.
+    pub queries: u64,
+    /// Queries answered with [`gplus_service::query::QueryResponse::Error`].
+    pub failed: u64,
+    /// Per-kind query counts, in [`QUERY_KINDS`] order.
+    pub per_kind: Vec<(String, u64)>,
+    /// Response-size histogram over `gplus_obs` buckets (deterministic
+    /// stand-in for latency buckets).
+    pub cost_buckets: Vec<u64>,
+    /// Query index the snapshot swap was injected at, if any.
+    pub swapped_at: Option<u64>,
+    /// The query log: one `seq\tkind\tdigest` line per query, where the
+    /// digest is an FNV-1a fold of the serialized response.
+    pub log: String,
+}
+
+/// Minimal deterministic RNG: a splitmix64 counter stream. Not
+/// cryptographic; statistically solid for workload shaping and entirely
+/// reproducible from the seed.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    state: u64,
+}
+
+impl SeededRng {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`. The modulo bias is negligible for the small
+    /// `n` used here and costs nothing in determinism.
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// Zipf sampler over ids `0..n` by inverse-CDF binary search; id 0 (the
+/// most-followed celebrity) is the hottest key.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Builds the cumulative weights `sum 1/(i+1)^s`.
+    pub fn new(n: u64, exponent: f64) -> Self {
+        assert!(n > 0, "zipf table needs a non-empty id space");
+        assert!(exponent >= 0.0 && exponent.is_finite(), "zipf exponent must be finite");
+        let n = usize::try_from(n).expect("id space fits in memory");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        Self { cdf }
+    }
+
+    /// Draws one id.
+    pub fn sample(&self, rng: &mut SeededRng) -> u64 {
+        let total = *self.cdf.last().expect("non-empty table");
+        let r = rng.next_f64() * total;
+        let idx = self.cdf.partition_point(|&c| c <= r);
+        idx.min(self.cdf.len() - 1) as u64
+    }
+}
+
+/// The `i`-th query of the stream, given the shared sampler state.
+fn generate(rng: &mut SeededRng, zipf: &ZipfTable, mix_cdf: &[u64; 8]) -> QueryRequest {
+    let total = mix_cdf[7];
+    let pick = rng.below(total);
+    let kind = mix_cdf.iter().position(|&c| pick < c).expect("pick < total");
+    match kind {
+        0 => QueryRequest::Profile { user: zipf.sample(rng) },
+        1 => QueryRequest::Degree { user: zipf.sample(rng) },
+        2 => QueryRequest::Circles {
+            user: zipf.sample(rng),
+            direction: if rng.next_u64() & 1 == 0 {
+                Direction::InCircles
+            } else {
+                Direction::OutCircles
+            },
+            limit: 1 + rng.below(64) as u32,
+        },
+        3 => QueryRequest::Reciprocity { user: zipf.sample(rng) },
+        4 => QueryRequest::TopK {
+            metric: match rng.below(3) {
+                0 => RankMetric::PageRank,
+                1 => RankMetric::InDegree,
+                _ => RankMetric::OutDegree,
+            },
+            k: 1 + rng.below(20) as u32,
+            country: if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(TOP10_COUNTRIES[rng.below(10) as usize])
+            },
+        },
+        5 => QueryRequest::ShortestPath { src: zipf.sample(rng), dst: zipf.sample(rng) },
+        6 => QueryRequest::Recommend { user: zipf.sample(rng), k: 1 + rng.below(10) as u32 },
+        _ => QueryRequest::Epoch,
+    }
+}
+
+/// FNV-1a over a byte slice — the response digest recorded in the log.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs the workload against `engine`, optionally swapping in `snapshot`
+/// when query index `at` is reached (`swap_at = Some((at, &snapshot))`) —
+/// the hot-reload drill. Single-threaded by design: a total order over
+/// queries is what makes the log replayable byte-for-byte.
+pub fn run(
+    engine: &QueryEngine,
+    config: &WorkloadConfig,
+    swap_at: Option<(u64, &AnalysedSnapshot)>,
+) -> WorkloadReport {
+    let obs = gplus_obs::global();
+    let _span = obs.span("serve.workload.run");
+    let mut rng = SeededRng::new(config.seed);
+    let zipf = ZipfTable::new(config.user_space, config.zipf_exponent);
+    let mix_cdf = config.mix.cumulative();
+
+    let mut per_kind = [0u64; 8];
+    let mut cost_buckets = vec![0u64; gplus_obs::NUM_BUCKETS];
+    let mut failed = 0u64;
+    let mut log = String::new();
+    let mut swapped_at = None;
+
+    for seq in 0..config.queries {
+        if let Some((at, snapshot)) = swap_at {
+            if seq == at {
+                engine.swap(snapshot.clone());
+                swapped_at = Some(seq);
+            }
+        }
+        let req = generate(&mut rng, &zipf, &mix_cdf);
+        let kind = req.kind();
+        let idx = QUERY_KINDS.iter().position(|&k| k == kind).expect("known kind");
+        per_kind[idx] += 1;
+        let resp = engine.answer(&req);
+        if resp.is_error() {
+            failed += 1;
+        }
+        let payload = serde_json::to_vec(&resp).expect("responses serialize");
+        cost_buckets[gplus_obs::bucket_index(payload.len() as u64)] += 1;
+        writeln!(log, "{seq}\t{kind}\t{:016x}", fnv1a(&payload)).expect("string write");
+    }
+    obs.counter("serve.workload.queries").add(config.queries);
+
+    WorkloadReport {
+        queries: config.queries,
+        failed,
+        per_kind: QUERY_KINDS.iter().zip(per_kind).map(|(k, c)| (k.to_string(), c)).collect(),
+        cost_buckets,
+        swapped_at,
+        log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use gplus_synth::{SynthConfig, SynthNetwork};
+    use std::sync::OnceLock;
+
+    fn snapshot() -> &'static AnalysedSnapshot {
+        static SNAP: OnceLock<AnalysedSnapshot> = OnceLock::new();
+        SNAP.get_or_init(|| {
+            AnalysedSnapshot::build(&SynthNetwork::generate(&SynthConfig::google_plus_2011(
+                500, 21,
+            )))
+        })
+    }
+
+    fn config() -> WorkloadConfig {
+        WorkloadConfig {
+            seed: 99,
+            queries: 400,
+            user_space: snapshot().graph.node_count() as u64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_byte_identically() {
+        let a = run(
+            &QueryEngine::new(snapshot().clone(), EngineConfig::default()),
+            &config(),
+            None,
+        );
+        let b = run(
+            &QueryEngine::new(snapshot().clone(), EngineConfig::default()),
+            &config(),
+            None,
+        );
+        assert_eq!(a.log, b.log, "query logs must be byte-identical");
+        assert_eq!(a.cost_buckets, b.cost_buckets);
+        assert_eq!(a.per_kind, b.per_kind);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let engine = QueryEngine::new(snapshot().clone(), EngineConfig::default());
+        let a = run(&engine, &config(), None);
+        let b = run(&engine, &WorkloadConfig { seed: 100, ..config() }, None);
+        assert_ne!(a.log, b.log);
+    }
+
+    #[test]
+    fn in_range_workload_never_fails() {
+        let engine = QueryEngine::new(snapshot().clone(), EngineConfig::default());
+        let report = run(&engine, &config(), None);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.queries, 400);
+        let issued: u64 = report.per_kind.iter().map(|(_, c)| c).sum();
+        assert_eq!(issued, 400);
+        let bucketed: u64 = report.cost_buckets.iter().sum();
+        assert_eq!(bucketed, 400);
+    }
+
+    #[test]
+    fn zipf_concentrates_on_celebrity_ids() {
+        let mut rng = SeededRng::new(7);
+        let table = ZipfTable::new(1_000, 1.2);
+        let mut low = 0u64;
+        for _ in 0..10_000 {
+            if table.sample(&mut rng) < 100 {
+                low += 1;
+            }
+        }
+        // with s=1.2 the first 10% of ids carry well over half the mass
+        assert!(low > 6_000, "only {low}/10000 samples hit the hot 10%");
+    }
+
+    #[test]
+    fn zero_weight_kinds_are_never_generated() {
+        let mix = QueryMix { shortest_path: 0, recommend: 0, topk: 0, ..QueryMix::default() };
+        let engine = QueryEngine::new(snapshot().clone(), EngineConfig::default());
+        let report = run(&engine, &WorkloadConfig { mix, ..config() }, None);
+        for (kind, count) in &report.per_kind {
+            if matches!(kind.as_str(), "shortest_path" | "recommend" | "topk") {
+                assert_eq!(*count, 0, "kind {kind} should be disabled");
+            }
+        }
+    }
+
+    #[test]
+    fn swap_mid_workload_completes_without_failures() {
+        let engine = QueryEngine::new(snapshot().clone(), EngineConfig::default());
+        let report = run(&engine, &config(), Some((200, snapshot())));
+        assert_eq!(report.swapped_at, Some(200));
+        assert_eq!(report.failed, 0, "swap to an equal snapshot must not fail queries");
+        assert_eq!(engine.epoch(), 1);
+    }
+}

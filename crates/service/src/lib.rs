@@ -31,6 +31,7 @@ pub mod error;
 pub mod failure;
 pub mod fault;
 pub mod page;
+pub mod query;
 pub mod ratelimit;
 pub mod service;
 pub mod wire;
@@ -38,6 +39,9 @@ pub mod wire;
 pub use error::FetchError;
 pub use fault::{FaultCause, FaultKey, FaultPlan, OutageWindow};
 pub use page::{CirclePage, Direction, ProfilePage};
+pub use query::{
+    ProfileSummary, QueryError, QueryRequest, QueryResponse, RankMetric, RankedUser,
+};
 pub use ratelimit::TokenBucket;
 pub use service::{GooglePlusService, ServiceConfig, ServiceStats, SocialApi};
-pub use wire::{CorruptionPlan, Request, Response, WireService};
+pub use wire::{CorruptionPlan, Request, Response, WireError, WireService};

@@ -1,0 +1,316 @@
+//! Online-query wire messages: the request/response vocabulary of the
+//! `gplus-serve` engine.
+//!
+//! The crawl-era protocol ([`crate::wire`]) carries two request shapes —
+//! profile page and circle page — because that is all a crawler needs.
+//! Promoting the batch pipeline into a serving layer (ROADMAP #1) adds the
+//! paper's *measurement* queries as an online vocabulary: point lookups,
+//! top-k popularity rankings, pairwise shortest paths, and friend
+//! recommendations. The types here are pure data — the engine answering
+//! them lives in the `gplus-serve` crate, which depends on this one — and
+//! travel inside [`crate::wire::Request::Query`] /
+//! [`crate::wire::Response::Query`] frames, so one length-prefixed
+//! protocol carries both the crawl and the serving APIs.
+//!
+//! All user identifiers are `u64` *public* ids (the id space a client
+//! knows), never internal CSR node indices; the engine converts with
+//! checked narrowing and answers [`QueryError::UnknownUser`] rather than
+//! panicking on u64-scale ids.
+
+use crate::page::Direction;
+use gplus_geo::Country;
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on `k` for top-k and recommendation queries; larger values
+/// are clamped server-side so a single frame can never exceed the wire
+/// cap.
+pub const MAX_TOP_K: u32 = 1_000;
+
+/// Upper bound on neighbours returned by one [`QueryRequest::Circles`]
+/// answer (mirrors the crawl frontend's page discipline).
+pub const MAX_CIRCLE_FETCH: u32 = 10_000;
+
+/// The popularity measure a [`QueryRequest::TopK`] ranks by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RankMetric {
+    /// PageRank score (the paper's Table-1 robustness check).
+    PageRank,
+    /// Raw in-degree (the paper's Table-1 ranking).
+    InDegree,
+    /// Out-degree.
+    OutDegree,
+}
+
+impl RankMetric {
+    /// Stable lower-case label (metric names, logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            RankMetric::PageRank => "pagerank",
+            RankMetric::InDegree => "in_degree",
+            RankMetric::OutDegree => "out_degree",
+        }
+    }
+}
+
+/// A serving-layer query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryRequest {
+    /// Point lookup: profile summary (name, degrees, reciprocity flag,
+    /// country).
+    Profile {
+        /// Target user (public id).
+        user: u64,
+    },
+    /// Point lookup: in/out degree only.
+    Degree {
+        /// Target user (public id).
+        user: u64,
+    },
+    /// Point lookup: one circle list (capped at `limit`).
+    Circles {
+        /// Target user (public id).
+        user: u64,
+        /// Which list.
+        direction: Direction,
+        /// Maximum entries returned (clamped to [`MAX_CIRCLE_FETCH`]).
+        limit: u32,
+    },
+    /// Point lookup: relation reciprocity of one user (Eq. 1 of the paper).
+    Reciprocity {
+        /// Target user (public id).
+        user: u64,
+    },
+    /// Top-k ranking, optionally restricted to one country's located
+    /// users (the `extensions/rankings` per-country view).
+    TopK {
+        /// Popularity measure.
+        metric: RankMetric,
+        /// List length (clamped to [`MAX_TOP_K`]).
+        k: u32,
+        /// Restrict to users located in this country.
+        country: Option<Country>,
+    },
+    /// Pairwise directed shortest path in hops.
+    ShortestPath {
+        /// Source user (public id).
+        src: u64,
+        /// Target user (public id).
+        dst: u64,
+    },
+    /// Friend-of-friend recommendations ranked by common-neighbour count.
+    Recommend {
+        /// Target user (public id).
+        user: u64,
+        /// Number of recommendations (clamped to [`MAX_TOP_K`]).
+        k: u32,
+    },
+    /// Snapshot identity: epoch counter plus graph dimensions — the probe
+    /// the epoch-swap tests assert tear-freedom with.
+    Epoch,
+}
+
+impl QueryRequest {
+    /// Stable lower-case label for logs and per-query-type metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QueryRequest::Profile { .. } => "profile",
+            QueryRequest::Degree { .. } => "degree",
+            QueryRequest::Circles { .. } => "circles",
+            QueryRequest::Reciprocity { .. } => "reciprocity",
+            QueryRequest::TopK { .. } => "topk",
+            QueryRequest::ShortestPath { .. } => "shortest_path",
+            QueryRequest::Recommend { .. } => "recommend",
+            QueryRequest::Epoch => "epoch",
+        }
+    }
+}
+
+/// One entry of a ranked list (top-k, recommendations).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedUser {
+    /// Public user id.
+    pub user: u64,
+    /// Metric value: PageRank score, degree, or common-neighbour count.
+    pub score: f64,
+}
+
+/// Point-lookup profile summary served from an analysed snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileSummary {
+    /// Public user id.
+    pub user: u64,
+    /// Display name, when the snapshot knows the profile.
+    pub display_name: Option<String>,
+    /// Followers.
+    pub in_degree: u64,
+    /// Followees.
+    pub out_degree: u64,
+    /// Whether at least one of this user's edges is reciprocated.
+    pub reciprocal: bool,
+    /// ISO country code, when located.
+    pub country: Option<Country>,
+}
+
+/// Why a query could not be answered.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryError {
+    /// The id does not name a node of the serving snapshot (including
+    /// u64-scale ids that cannot index a CSR graph).
+    UnknownUser(u64),
+    /// The endpoint does not answer this request shape (e.g. a crawl
+    /// frontend receiving a serving query, or vice versa).
+    Unsupported,
+    /// The answer could not fit one wire frame even after clamping.
+    Oversized,
+    /// The engine's admission limiter rejected the query; retry later.
+    RateLimited,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnknownUser(u) => write!(f, "unknown user {u}"),
+            QueryError::Unsupported => f.write_str("unsupported request"),
+            QueryError::Oversized => f.write_str("response exceeds frame cap"),
+            QueryError::RateLimited => f.write_str("query rate limited"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A serving-layer answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryResponse {
+    /// Answer to [`QueryRequest::Profile`].
+    Profile(ProfileSummary),
+    /// Answer to [`QueryRequest::Degree`].
+    Degree {
+        /// Public user id.
+        user: u64,
+        /// Followers.
+        in_degree: u64,
+        /// Followees.
+        out_degree: u64,
+    },
+    /// Answer to [`QueryRequest::Circles`].
+    Circles {
+        /// Public user id.
+        user: u64,
+        /// Which list.
+        direction: Direction,
+        /// Neighbour ids, ascending, at most the requested limit.
+        users: Vec<u64>,
+        /// Full list length before the limit was applied.
+        total: u64,
+    },
+    /// Answer to [`QueryRequest::Reciprocity`].
+    Reciprocity {
+        /// Public user id.
+        user: u64,
+        /// `|OS ∩ IS| / |OS|`, `None` when the user follows nobody.
+        reciprocity: Option<f64>,
+        /// `|OS ∩ IS|` — reciprocated followees.
+        reciprocal_edges: u64,
+    },
+    /// Answer to [`QueryRequest::TopK`].
+    TopK {
+        /// Measure ranked by.
+        metric: RankMetric,
+        /// Country restriction echoed back.
+        country: Option<Country>,
+        /// Ranked entries, best first.
+        entries: Vec<RankedUser>,
+    },
+    /// Answer to [`QueryRequest::ShortestPath`].
+    ShortestPath {
+        /// Source user.
+        src: u64,
+        /// Target user.
+        dst: u64,
+        /// Directed hop distance; `None` when unreachable.
+        distance: Option<u32>,
+    },
+    /// Answer to [`QueryRequest::Recommend`].
+    Recommend {
+        /// Public user id.
+        user: u64,
+        /// Ranked friend-of-friend candidates, best first.
+        recommendations: Vec<RankedUser>,
+    },
+    /// Answer to [`QueryRequest::Epoch`].
+    Epoch {
+        /// Monotone swap counter of the serving engine.
+        epoch: u64,
+        /// Nodes in the serving snapshot.
+        nodes: u64,
+        /// Directed edges in the serving snapshot.
+        edges: u64,
+        /// Seed the snapshot was generated from (snapshot identity).
+        seed: u64,
+    },
+    /// The query failed.
+    Error(QueryError),
+}
+
+impl QueryResponse {
+    /// Whether this answer is an error.
+    pub fn is_error(&self) -> bool {
+        matches!(self, QueryResponse::Error(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{decode, encode};
+    use bytes::BytesMut;
+
+    #[test]
+    fn query_frames_round_trip() {
+        let requests = [
+            QueryRequest::Profile { user: 42 },
+            QueryRequest::Degree { user: u64::MAX },
+            QueryRequest::Circles { user: 7, direction: Direction::InCircles, limit: 100 },
+            QueryRequest::Reciprocity { user: 3 },
+            QueryRequest::TopK {
+                metric: RankMetric::PageRank,
+                k: 10,
+                country: Some(Country::Br),
+            },
+            QueryRequest::ShortestPath { src: 1, dst: 2 },
+            QueryRequest::Recommend { user: 9, k: 5 },
+            QueryRequest::Epoch,
+        ];
+        for req in requests {
+            let mut buf = BytesMut::new();
+            encode(&req, &mut buf).unwrap();
+            let back: QueryRequest = decode(&mut buf).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        let responses = [
+            QueryResponse::Degree { user: 1, in_degree: 2, out_degree: 3 },
+            QueryResponse::ShortestPath { src: 0, dst: 5, distance: None },
+            QueryResponse::Epoch { epoch: 3, nodes: 100, edges: 500, seed: 2012 },
+            QueryResponse::Error(QueryError::UnknownUser(u64::MAX)),
+            QueryResponse::Error(QueryError::RateLimited),
+        ];
+        for resp in responses {
+            let mut buf = BytesMut::new();
+            encode(&resp, &mut buf).unwrap();
+            let back: QueryResponse = decode(&mut buf).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(QueryRequest::Epoch.kind(), "epoch");
+        assert_eq!(QueryRequest::Profile { user: 0 }.kind(), "profile");
+        assert_eq!(RankMetric::PageRank.label(), "pagerank");
+    }
+}

@@ -22,17 +22,39 @@ impl TokenBucket {
     /// Creates a full bucket.
     ///
     /// # Panics
-    /// Panics if `capacity <= 0` or `refill_per_tick < 0`.
+    /// Panics if `capacity` is not a positive finite number or
+    /// `refill_per_tick` is not a non-negative finite number. Rejecting
+    /// infinities here is what lets every later accounting step saturate
+    /// instead of propagating `inf`/`NaN` into admission decisions.
     pub fn new(capacity: f64, refill_per_tick: f64) -> Self {
-        assert!(capacity > 0.0, "capacity must be positive");
-        assert!(refill_per_tick >= 0.0, "refill must be non-negative");
+        assert!(capacity > 0.0 && capacity.is_finite(), "capacity must be positive and finite");
+        assert!(
+            refill_per_tick >= 0.0 && refill_per_tick.is_finite(),
+            "refill must be non-negative and finite"
+        );
         Self { capacity, tokens: capacity, refill_per_tick }
+    }
+
+    /// Advances `ticks` ticks of refill with *saturating* accounting: the
+    /// product `refill_per_tick * ticks` may overflow `f64` to infinity
+    /// when a serving workload sleeps far past the refill cadence (or a
+    /// virtual clock jumps), and the unclamped sum would then poison every
+    /// later comparison. The balance is clamped into `[0, capacity]`
+    /// before it is stored, so no overflow can escape.
+    pub fn advance(&mut self, ticks: u64) {
+        if ticks == 0 {
+            return;
+        }
+        // `ticks as f64` rounds for u64s beyond 2^53; acceptable — the
+        // bucket saturates at capacity long before rounding matters
+        let refill = self.refill_per_tick * ticks as f64;
+        self.tokens = (self.tokens + refill).clamp(0.0, self.capacity);
     }
 
     /// Advances one tick (refill) and tries to take one token.
     /// Returns `true` if the request is admitted.
     pub fn try_acquire(&mut self) -> bool {
-        self.tokens = (self.tokens + self.refill_per_tick).min(self.capacity);
+        self.advance(1);
         if self.tokens >= 1.0 {
             self.tokens -= 1.0;
             true
@@ -90,5 +112,61 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn rejects_zero_capacity() {
         let _ = TokenBucket::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_infinite_capacity() {
+        let _ = TokenBucket::new(f64::INFINITY, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "refill")]
+    fn rejects_infinite_refill() {
+        let _ = TokenBucket::new(10.0, f64::INFINITY);
+    }
+
+    #[test]
+    fn sustained_burst_saturates_instead_of_overflowing() {
+        // regression: a serving workload that idles far past the refill
+        // cadence drives `refill * ticks` toward f64 overflow; the balance
+        // must saturate at capacity, never reach inf/NaN, and admission
+        // must keep working afterwards
+        let mut b = TokenBucket::new(50.0, f64::MAX / 4.0);
+        for burst in 0..4 {
+            b.advance(u64::MAX); // refill product overflows f64 to inf
+            assert!(b.available().is_finite(), "burst {burst}: non-finite balance");
+            assert_eq!(b.available(), 50.0, "burst {burst}: saturated at capacity");
+            let admitted = (0..200).filter(|_| b.try_acquire()).count();
+            // try_acquire itself refills >= capacity per tick here, so
+            // every request in the burst is admitted — and none panics
+            assert_eq!(admitted, 200, "burst {burst}");
+            assert!(b.available() <= 50.0, "burst {burst}: never above capacity");
+        }
+    }
+
+    #[test]
+    fn bulk_advance_matches_per_tick_refill() {
+        let mut a = TokenBucket::new(10.0, 0.25);
+        let mut b = TokenBucket::new(10.0, 0.25);
+        // drain both
+        while a.try_acquire() {
+            assert!(b.try_acquire());
+        }
+        assert!(!b.try_acquire());
+        for _ in 0..13 {
+            a.advance(1);
+        }
+        b.advance(13);
+        assert!((a.available() - b.available()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_zero_is_a_no_op() {
+        let mut b = TokenBucket::new(5.0, 1.0);
+        assert!(b.try_acquire());
+        let before = b.available();
+        b.advance(0);
+        assert_eq!(b.available(), before);
     }
 }

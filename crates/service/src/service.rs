@@ -245,10 +245,19 @@ impl GooglePlusService {
     pub fn lists_private(&self, user: u64) -> bool {
         // celebrities keep their follower lists public (that is how the
         // paper could rank them); ordinary users flip a deterministic coin
-        if (user as usize) < self.network.population.celebrities.len() {
+        if usize::try_from(user).is_ok_and(|u| u < self.network.population.celebrities.len()) {
             return false;
         }
         user_coin(self.config.seed, user, self.config.private_list_fraction)
+    }
+
+    /// Checked public-id → CSR-node conversion: `None` for any id outside
+    /// the served network, including u64-scale ids that would wrap an
+    /// unchecked `as u32`/`as usize` narrowing into some *other* user's
+    /// node index.
+    fn node_of(&self, user: u64) -> Option<u32> {
+        let node = u32::try_from(user).ok()?;
+        ((node as usize) < self.network.node_count()).then_some(node)
     }
 
     /// The effective fault plan the service runs under.
@@ -298,11 +307,10 @@ impl GooglePlusService {
 
     /// Fetches a user's public profile page.
     pub fn fetch_profile(&self, user: u64) -> Result<ProfilePage, FetchError> {
-        if user as usize >= self.network.node_count() {
+        let Some(node) = self.node_of(user) else {
             return Err(FetchError::NotFound);
-        }
+        };
         self.admit(user)?;
-        let node = user as u32;
         let profile = self.network.population.profile(node);
         let page = ProfilePage::from_profile(
             profile,
@@ -326,16 +334,15 @@ impl GooglePlusService {
         direction: Direction,
         page: usize,
     ) -> Result<CirclePage, FetchError> {
-        if user as usize >= self.network.node_count() {
+        let Some(node) = self.node_of(user) else {
             return Err(FetchError::NotFound);
-        }
+        };
         self.admit(user)?;
         if self.lists_private(user) {
             self.stats.private_rejections.fetch_add(1, Ordering::Relaxed);
             self.obs.private_rejections.inc();
             return Err(FetchError::PrivateList);
         }
-        let node = user as u32;
         let full: &[u32] = match direction {
             Direction::InCircles => self.network.graph.in_neighbors(node),
             Direction::OutCircles => self.network.graph.out_neighbors(node),
@@ -452,6 +459,23 @@ mod tests {
             svc.fetch_circle_page(10_000_000, Direction::InCircles, 0),
             Err(FetchError::NotFound)
         );
+    }
+
+    #[test]
+    fn u64_scale_ids_are_not_found_never_wrapped() {
+        // regression: `user as u32` / `user as usize` narrowing meant an
+        // id like 2^32 wrapped to node 0 and served Larry Page's profile
+        let svc = service(500, quiet_config());
+        for user in [1u64 << 32, (1u64 << 32) + 3, u64::MAX, u32::MAX as u64 + 500] {
+            assert_eq!(svc.fetch_profile(user), Err(FetchError::NotFound), "user {user}");
+            assert_eq!(
+                svc.fetch_circle_page(user, Direction::InCircles, 0),
+                Err(FetchError::NotFound),
+                "user {user}"
+            );
+        }
+        // sanity: the same low 32 bits as a valid id still resolve
+        assert!(svc.fetch_profile(0).is_ok());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use crate::error::FetchError;
 use crate::failure::splitmix64;
 use crate::page::{CirclePage, Direction, ProfilePage};
+use crate::query::{QueryError, QueryRequest, QueryResponse};
 use crate::service::{GooglePlusService, SocialApi};
 use bytes::{Buf, BufMut, BytesMut};
 use gplus_obs::{Counter, Histogram};
@@ -43,6 +44,10 @@ pub enum Request {
         /// Zero-based page number.
         page: usize,
     },
+    /// A serving-layer query ([`crate::query`]) — answered by the
+    /// `gplus-serve` engine; the crawl frontend rejects it as
+    /// [`QueryError::Unsupported`].
+    Query(QueryRequest),
 }
 
 /// A response frame.
@@ -52,17 +57,54 @@ pub enum Response {
     Profile(ProfilePage),
     /// Circle page.
     Circle(CirclePage),
+    /// Serving-layer answer.
+    Query(QueryResponse),
     /// Error outcome.
     Error(FetchError),
 }
 
+/// Frame-encoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The serialised payload cannot fit one frame: either it exceeds
+    /// [`MAX_FRAME_LEN`] or its length does not fit the `u32` prefix.
+    /// Encoding it anyway would truncate the header and desync the
+    /// stream, so the frame is refused instead.
+    Oversized {
+        /// Actual payload length in bytes.
+        len: usize,
+        /// The frame cap it exceeded.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Oversized { len, max } => {
+                write!(f, "payload of {len} bytes exceeds the {max}-byte frame cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
 /// Encodes one frame (request or response) into `dst`.
-pub fn encode<T: Serialize>(message: &T, dst: &mut BytesMut) {
+///
+/// Returns [`WireError::Oversized`] — writing nothing — when the payload
+/// exceeds [`MAX_FRAME_LEN`] or its length cannot be represented in the
+/// `u32` prefix; an unchecked `len as u32` here would silently truncate
+/// the header and desync every frame after it.
+pub fn encode<T: Serialize>(message: &T, dst: &mut BytesMut) -> Result<(), WireError> {
     let payload = serde_json::to_vec(message).expect("wire types serialise");
-    assert!(payload.len() <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
+    if payload.len() > MAX_FRAME_LEN || u32::try_from(payload.len()).is_err() {
+        return Err(WireError::Oversized { len: payload.len(), max: MAX_FRAME_LEN });
+    }
     dst.reserve(4 + payload.len());
     dst.put_u32(payload.len() as u32);
     dst.put_slice(&payload);
+    Ok(())
 }
 
 /// Frame-decoding errors.
@@ -70,8 +112,11 @@ pub fn encode<T: Serialize>(message: &T, dst: &mut BytesMut) {
 pub enum DecodeError {
     /// Not enough bytes buffered yet; read more and retry.
     Incomplete,
-    /// The length prefix exceeds [`MAX_FRAME_LEN`].
-    FrameTooLarge(usize),
+    /// The length prefix exceeds [`MAX_FRAME_LEN`] (or cannot index this
+    /// platform's address space at all). Carried as `u64` so the error
+    /// reports the advertised length faithfully even where it does not
+    /// fit a `usize`.
+    FrameTooLarge(u64),
     /// The payload failed to parse.
     Malformed(String),
 }
@@ -96,10 +141,13 @@ pub fn decode<T: for<'de> Deserialize<'de>>(src: &mut BytesMut) -> Result<T, Dec
     if src.len() < 4 {
         return Err(DecodeError::Incomplete);
     }
-    let len = u32::from_be_bytes([src[0], src[1], src[2], src[3]]) as usize;
-    if len > MAX_FRAME_LEN {
-        return Err(DecodeError::FrameTooLarge(len));
-    }
+    let advertised = u32::from_be_bytes([src[0], src[1], src[2], src[3]]);
+    // checked narrowing: a prefix that cannot index memory on this
+    // platform is exactly as hostile as one beyond the frame cap
+    let len = match usize::try_from(advertised) {
+        Ok(len) if len <= MAX_FRAME_LEN => len,
+        _ => return Err(DecodeError::FrameTooLarge(u64::from(advertised))),
+    };
     if src.len() < 4 + len {
         return Err(DecodeError::Incomplete);
     }
@@ -240,6 +288,9 @@ impl WireService {
                     Err(e) => Response::Error(e),
                 }
             }
+            // the crawl frontend has no analysed snapshot to answer from;
+            // serving queries belong to the gplus-serve engine
+            Request::Query(_) => Response::Query(QueryResponse::Error(QueryError::Unsupported)),
         }
     }
 
@@ -251,11 +302,15 @@ impl WireService {
     /// like they would any flaky transport.
     pub fn call(&self, request: &Request) -> Response {
         let mut wire = BytesMut::new();
-        encode(request, &mut wire);
+        encode(request, &mut wire).expect("request frames fit the wire cap");
         let server_side: Request = decode(&mut wire).expect("client encodes valid frames");
         let response = self.serve(server_side);
         let mut wire = BytesMut::new();
-        encode(&response, &mut wire);
+        if encode(&response, &mut wire).is_err() {
+            // an answer too large for one frame degrades to a retryable
+            // error frame rather than desyncing the stream
+            return Response::Error(FetchError::Transient);
+        }
         self.obs.frames_sent.inc();
         self.obs.bytes_sent.add(wire.len() as u64);
         self.obs.frame_bytes.observe(wire.len() as u64);
@@ -281,7 +336,9 @@ impl WireService {
         match self.call(&Request::Profile { user }) {
             Response::Profile(p) => Ok(p),
             Response::Error(e) => Err(e),
-            Response::Circle(_) => unreachable!("profile request yields profile response"),
+            Response::Circle(_) | Response::Query(_) => {
+                unreachable!("profile request yields profile response")
+            }
         }
     }
 
@@ -295,7 +352,9 @@ impl WireService {
         match self.call(&Request::Circle { user, direction, page }) {
             Response::Circle(c) => Ok(c),
             Response::Error(e) => Err(e),
-            Response::Profile(_) => unreachable!("circle request yields circle response"),
+            Response::Profile(_) | Response::Query(_) => {
+                unreachable!("circle request yields circle response")
+            }
         }
     }
 }
@@ -340,7 +399,7 @@ mod tests {
             Request::Circle { user: 7, direction: Direction::InCircles, page: 3 },
         ] {
             let mut buf = BytesMut::new();
-            encode(&req, &mut buf);
+            encode(&req, &mut buf).unwrap();
             let back: Request = decode(&mut buf).unwrap();
             assert_eq!(back, req);
             assert!(buf.is_empty(), "frame fully consumed");
@@ -350,7 +409,7 @@ mod tests {
     #[test]
     fn incomplete_frames_wait_for_more_bytes() {
         let mut buf = BytesMut::new();
-        encode(&Request::Profile { user: 1 }, &mut buf);
+        encode(&Request::Profile { user: 1 }, &mut buf).unwrap();
         let full = buf.clone();
         // drip-feed byte by byte: everything short of the full frame is
         // Incomplete, never an error
@@ -364,8 +423,8 @@ mod tests {
     #[test]
     fn two_frames_in_one_buffer() {
         let mut buf = BytesMut::new();
-        encode(&Request::Profile { user: 1 }, &mut buf);
-        encode(&Request::Profile { user: 2 }, &mut buf);
+        encode(&Request::Profile { user: 1 }, &mut buf).unwrap();
+        encode(&Request::Profile { user: 2 }, &mut buf).unwrap();
         let a: Request = decode(&mut buf).unwrap();
         let b: Request = decode(&mut buf).unwrap();
         assert_eq!(a, Request::Profile { user: 1 });
@@ -380,6 +439,27 @@ mod tests {
         buf.put_slice(b"junk");
         let r: Result<Request, _> = decode(&mut buf);
         assert!(matches!(r.unwrap_err(), DecodeError::FrameTooLarge(_)));
+    }
+
+    #[test]
+    fn oversized_payload_refused_at_encode() {
+        // regression: the length prefix used to be an unchecked
+        // `payload.len() as u32`; a payload past the cap must be refused
+        // with a typed error, not truncated into a desynced header
+        let mut buf = BytesMut::new();
+        encode(&Request::Profile { user: 1 }, &mut buf).unwrap();
+        let framed = buf.len();
+        let huge = "x".repeat(MAX_FRAME_LEN + 1);
+        assert_eq!(
+            encode(&huge, &mut buf),
+            Err(WireError::Oversized { len: MAX_FRAME_LEN + 3, max: MAX_FRAME_LEN })
+        );
+        // the refused frame wrote nothing: the stream stays aligned and
+        // the earlier frame still decodes
+        assert_eq!(buf.len(), framed);
+        let back: Request = decode(&mut buf).unwrap();
+        assert_eq!(back, Request::Profile { user: 1 });
+        assert!(WireError::Oversized { len: 5, max: 4 }.to_string().contains("frame cap"));
     }
 
     #[test]
@@ -463,7 +543,7 @@ mod tests {
         let response = Response::Error(FetchError::NotFound);
         for frame in 0..6u64 {
             let mut wire = BytesMut::new();
-            encode(&response, &mut wire);
+            encode(&response, &mut wire).unwrap();
             plan.damage(frame, &mut wire);
             let r: Result<Response, _> = decode(&mut wire);
             assert!(r.is_err(), "frame {frame} decoded after damage");

@@ -10,6 +10,9 @@
 //!                [--checkpoint PATH] [--resume PATH]
 //! gplus export   [-n N] [-s SEED] [--edges PATH] [--profiles PATH]
 //! gplus growth   [-n N] [-s SEED]
+//! gplus snapshot [-n N] [-s SEED] [--out DIR]
+//! gplus serve    --snapshot DIR [--swap DIR2] [--swap-at K] [--queries N]
+//!                [--workload-seed S] [--zipf F] [--log PATH]
 //! gplus bench-suite [-n N] [-s SEED] [--out PATH] [--write-baseline PATH]
 //!                [--hybrid-threshold F] [--no-relabel]
 //! gplus bench-check [--baseline PATH] [--current PATH] [--threshold F]
@@ -31,6 +34,16 @@
 //! paper's own public release (edge list + profile attributes), so
 //! downstream tooling can consume it.
 //!
+//! `snapshot` generates a network, runs the batch analyses (PageRank,
+//! degree rankings, per-country leaderboards, reciprocity) and freezes
+//! the result into a directory; `serve` loads such a directory into the
+//! online query engine and drives the seeded Zipf workload against it —
+//! optionally hot-swapping to a second snapshot (`--swap DIR2`) at query
+//! index `--swap-at K` to drill the epoch-swap path under traffic. The
+//! workload is deterministic: same snapshot, seed and knobs produce a
+//! byte-identical query log (`--log PATH`), which is what the CI serve
+//! job compares across runs.
+//!
 //! `verify-kernels` is the standalone differential sweep: it fuzzes the
 //! optimized kernels against the oracle across seeds × presets (plus
 //! adversarial tiny-graph shapes), shrinking any failure and writing
@@ -43,6 +56,7 @@ use gplus::analysis::{
 };
 use gplus::crawler::{CrawlCheckpoint, CrawlResult, Crawler, CrawlerConfig};
 use gplus::oracle::{DiffConfig, Preset, SweepConfig};
+use gplus::serve::{run_workload, AnalysedSnapshot, EngineConfig, QueryEngine, WorkloadConfig};
 use gplus::service::{
     CorruptionPlan, FaultPlan, GooglePlusService, ServiceConfig, SocialApi, WireService,
 };
@@ -57,6 +71,8 @@ fn main() {
         Some("crawl") => cmd_crawl(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("growth") => cmd_growth(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("bench-suite") => cmd_bench_suite(&args[1..]),
         Some("bench-check") => cmd_bench_check(&args[1..]),
         Some("verify-kernels") => cmd_verify_kernels(&args[1..]),
@@ -86,6 +102,9 @@ fn print_usage() {
          [--checkpoint PATH] [--resume PATH]\n  \
          gplus export [-n N] [-s SEED] [--edges PATH] [--profiles PATH]\n  \
          gplus growth [-n N] [-s SEED]\n  \
+         gplus snapshot [-n N] [-s SEED] [--out DIR]\n  \
+         gplus serve  --snapshot DIR [--swap DIR2] [--swap-at K] [--queries N]\n               \
+         [--workload-seed S] [--zipf F] [--log PATH]\n  \
          gplus bench-suite [-n N] [-s SEED] [--out PATH] [--write-baseline PATH]\n               \
          [--hybrid-threshold F] [--no-relabel]\n  \
          gplus bench-check [--baseline PATH] [--current PATH] [--threshold F]\n  \
@@ -518,6 +537,129 @@ fn cmd_growth(args: &[String]) -> i32 {
     0
 }
 
+fn cmd_snapshot(args: &[String]) -> i32 {
+    let flags = parse_flags(args, &["--out"], &[]);
+    let out = flags.options.get("--out").cloned().unwrap_or_else(|| "snapshot".into());
+    eprintln!("generating network ({} users, seed {}) ...", flags.n, flags.seed);
+    let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(flags.n, flags.seed));
+    eprintln!("analysing (pagerank, degree rankings, per-country leaderboards) ...");
+    let snap = AnalysedSnapshot::build(&net);
+    match snap.save(std::path::Path::new(&out)) {
+        Ok(()) => {
+            println!(
+                "snapshot written to {out}/ ({} nodes, {} edges, seed {})",
+                snap.graph.node_count(),
+                snap.graph.edge_count(),
+                snap.seed
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("snapshot write failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let flags = parse_flags(
+        args,
+        &[
+            "--snapshot",
+            "--swap",
+            "--swap-at",
+            "--queries",
+            "--workload-seed",
+            "--zipf",
+            "--log",
+        ],
+        &[],
+    );
+    let Some(dir) = flags.options.get("--snapshot") else {
+        eprintln!("serve requires --snapshot DIR (build one with `gplus snapshot --out DIR`)");
+        return 2;
+    };
+    let load = |d: &str| match AnalysedSnapshot::load(std::path::Path::new(d)) {
+        Ok(s) => {
+            eprintln!(
+                "loaded {d}/: {} nodes, {} edges, seed {}",
+                s.graph.node_count(),
+                s.graph.edge_count(),
+                s.seed
+            );
+            Some(s)
+        }
+        Err(e) => {
+            eprintln!("failed to load snapshot {d}: {e}");
+            None
+        }
+    };
+    let Some(snapshot) = load(dir) else { return 1 };
+    let swap_snapshot = match flags.options.get("--swap") {
+        Some(d2) => match load(d2) {
+            Some(s) => Some(s),
+            None => return 1,
+        },
+        None => None,
+    };
+    let queries: u64 =
+        flags.options.get("--queries").and_then(|v| v.parse().ok()).unwrap_or(5_000);
+    let workload_seed: u64 =
+        flags.options.get("--workload-seed").and_then(|v| v.parse().ok()).unwrap_or(flags.seed);
+    let zipf: f64 = match flags.options.get("--zipf").map(|v| v.parse::<f64>()) {
+        None => 1.0,
+        Some(Ok(z)) if z >= 0.0 && z.is_finite() => z,
+        Some(_) => {
+            eprintln!("--zipf expects a non-negative finite exponent (e.g. 1.0)");
+            return 2;
+        }
+    };
+    let swap_at: u64 =
+        flags.options.get("--swap-at").and_then(|v| v.parse().ok()).unwrap_or(queries / 2);
+
+    let config = WorkloadConfig {
+        seed: workload_seed,
+        queries,
+        user_space: snapshot.graph.node_count() as u64,
+        zipf_exponent: zipf,
+        ..WorkloadConfig::default()
+    };
+    let engine = QueryEngine::new(snapshot, EngineConfig::default());
+    eprintln!(
+        "serving {queries} queries (workload seed {workload_seed}, zipf {zipf}){}",
+        if swap_snapshot.is_some() {
+            format!(", swapping snapshots at query {swap_at}")
+        } else {
+            String::new()
+        }
+    );
+    let report = run_workload(&engine, &config, swap_snapshot.as_ref().map(|s| (swap_at, s)));
+
+    if let Some(path) = flags.options.get("--log") {
+        if let Err(e) = std::fs::write(path, &report.log) {
+            eprintln!("failed to write query log {path}: {e}");
+            return 1;
+        }
+        eprintln!("query log written to {path} ({} lines)", report.queries);
+    }
+    println!(
+        "served {} queries, {} failed, final epoch {}",
+        report.queries,
+        report.failed,
+        engine.epoch()
+    );
+    for (kind, count) in &report.per_kind {
+        println!("  {kind:>14}: {count}");
+    }
+    // failed queries are a serving defect in this simulation (the
+    // workload only draws ids the initial snapshot can answer)
+    if report.failed > 0 {
+        eprintln!("serve finished with {} failed queries", report.failed);
+        return 1;
+    }
+    0
+}
+
 /// Output of a child process's first line, or `None` on any failure —
 /// bench provenance fields degrade to "unknown" rather than erroring.
 fn command_line(cmd: &str, args: &[&str]) -> Option<String> {
@@ -563,6 +705,13 @@ fn cmd_bench_suite(args: &[String]) -> i32 {
     });
     let network = network.expect("generated");
 
+    let mut analysed = None;
+    let snapshot_ms = timed("snapshot", &mut || {
+        analysed = Some(AnalysedSnapshot::build(&network));
+    });
+    let analysed = analysed.expect("analysed snapshot");
+    let serving_users = analysed.graph.node_count() as u64;
+
     let service = GooglePlusService::new(network, config.service.clone());
     let crawler = Crawler::new(config.crawler.clone());
     let mut crawl_result = None;
@@ -594,6 +743,18 @@ fn cmd_bench_suite(args: &[String]) -> i32 {
     let overhead = analyse_ms / analyse_off_ms.max(f64::EPSILON);
     eprintln!("  metrics overhead ratio: {overhead:.3}");
 
+    let engine = QueryEngine::new(analysed, EngineConfig::default());
+    let workload = WorkloadConfig {
+        seed: flags.seed,
+        queries: 2_000,
+        user_space: serving_users,
+        ..WorkloadConfig::default()
+    };
+    let serve_ms = timed("serve", &mut || {
+        let report = run_workload(&engine, &workload, None);
+        assert_eq!(report.failed, 0, "bench serving workload must not fail queries");
+    });
+
     let phase = |id: &str, millis: f64| StageTiming { id: id.to_string(), millis };
     let bench = BenchReport {
         schema: gplus::analysis::benchreport::BENCH_SCHEMA.to_string(),
@@ -610,9 +771,11 @@ fn cmd_bench_suite(args: &[String]) -> i32 {
         config: BenchConfig { n_users: flags.n, seed: flags.seed, threads: timings.threads },
         phases: vec![
             phase("generate", generate_ms),
+            phase("snapshot", snapshot_ms),
             phase("crawl", crawl_ms),
             phase("dataset", dataset_ms),
             phase("analyse", analyse_ms),
+            phase("serve", serve_ms),
         ],
         stages: timings.stages.clone(),
         analyse_wall_ms: analyse_ms,

@@ -10,6 +10,9 @@
 //! * [`synth`] — the synthetic Google+ 2011 network generator.
 //! * [`service`] — the simulated Google+ frontend (truncation, privacy,
 //!   failures, rate limiting).
+//! * [`serve`] — the online query engine: analysed snapshots, epoch
+//!   hot-swap, top-k/shortest-path/recommendation queries, and the
+//!   seeded Zipf serving workload.
 //! * [`crawler`] — the bidirectional BFS crawler and the lost-edge /
 //!   bias estimators.
 //! * [`obs`] — the observability layer: lock-light metrics registry,
@@ -36,6 +39,7 @@ pub use gplus_graph as graph;
 pub use gplus_obs as obs;
 pub use gplus_oracle as oracle;
 pub use gplus_profiles as profiles;
+pub use gplus_serve as serve;
 pub use gplus_service as service;
 pub use gplus_stats as stats;
 pub use gplus_synth as synth;

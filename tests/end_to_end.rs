@@ -2,7 +2,7 @@
 //! pipeline, checked for internal consistency and against the paper's
 //! qualitative findings.
 
-use gplus::analysis::dataset::{CrawlDataset, Dataset, GroundTruthDataset};
+use gplus::analysis::dataset::{CrawlDataset, GroundTruthDataset};
 use gplus::analysis::{experiments::*, Reproduction, ReproductionConfig};
 use gplus::crawler::{lost_edges, Crawler, CrawlerConfig};
 use gplus::service::{GooglePlusService, ServiceConfig};

@@ -1,0 +1,273 @@
+//! Serving-layer integration: the online query engine over the wire
+//! protocol, cross-checked against direct batch computation; workload
+//! replay determinism; and epoch swaps under live concurrent traffic.
+
+use gplus::graph::bfs;
+use gplus::graph::NodeId;
+use gplus::serve::{run_workload, AnalysedSnapshot, EngineConfig, QueryEngine, WorkloadConfig};
+use gplus::service::wire::{Request, Response};
+use gplus::service::{Direction, QueryError, QueryRequest, QueryResponse, RankMetric};
+use gplus::synth::{SynthConfig, SynthNetwork};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+fn network() -> &'static SynthNetwork {
+    static NET: OnceLock<SynthNetwork> = OnceLock::new();
+    NET.get_or_init(|| SynthNetwork::generate(&SynthConfig::google_plus_2011(1_200, 77)))
+}
+
+fn snapshot() -> &'static AnalysedSnapshot {
+    static SNAP: OnceLock<AnalysedSnapshot> = OnceLock::new();
+    SNAP.get_or_init(|| AnalysedSnapshot::build(network()))
+}
+
+fn engine() -> QueryEngine {
+    QueryEngine::new(snapshot().clone(), EngineConfig::default())
+}
+
+/// Sends a query through the full wire round trip and unwraps the
+/// serving answer.
+fn call(e: &QueryEngine, q: QueryRequest) -> QueryResponse {
+    match e.call(&Request::Query(q)) {
+        Response::Query(resp) => resp,
+        other => panic!("expected a query response over the wire, got {other:?}"),
+    }
+}
+
+#[test]
+fn point_lookups_over_wire_match_ground_truth() {
+    let e = engine();
+    let g = &network().graph;
+    for user in [0u64, 1, 5, 119, 600, 1_199] {
+        let n = user as NodeId;
+        match call(&e, QueryRequest::Profile { user }) {
+            QueryResponse::Profile(p) => {
+                assert_eq!(p.user, user);
+                assert_eq!(
+                    p.display_name.as_deref(),
+                    Some(network().population.profile(n).display_name().as_str())
+                );
+                assert_eq!(p.in_degree, g.in_degree(n) as u64);
+                assert_eq!(p.out_degree, g.out_degree(n) as u64);
+                assert_eq!(p.country, network().population.profile(n).public_country());
+            }
+            other => panic!("expected profile for {user}, got {other:?}"),
+        }
+        match call(
+            &e,
+            QueryRequest::Circles { user, direction: Direction::OutCircles, limit: 10_000 },
+        ) {
+            QueryResponse::Circles { users, total, .. } => {
+                let truth: Vec<u64> = g.out_neighbors(n).iter().map(|&v| v as u64).collect();
+                assert_eq!(total, truth.len() as u64);
+                assert_eq!(users, truth);
+            }
+            other => panic!("expected circles for {user}, got {other:?}"),
+        }
+        match call(&e, QueryRequest::Reciprocity { user }) {
+            QueryResponse::Reciprocity { reciprocity, reciprocal_edges, .. } => {
+                assert_eq!(reciprocity, gplus::graph::reciprocity::relation_reciprocity(g, n));
+                let truth =
+                    g.out_neighbors(n).iter().filter(|&&v| g.has_edge(v, n)).count() as u64;
+                assert_eq!(reciprocal_edges, truth);
+            }
+            other => panic!("expected reciprocity for {user}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn topk_over_wire_matches_direct_ranking() {
+    let e = engine();
+    let g = &network().graph;
+    match call(&e, QueryRequest::TopK { metric: RankMetric::InDegree, k: 25, country: None }) {
+        QueryResponse::TopK { entries, .. } => {
+            assert_eq!(entries.len(), 25);
+            // descending scores, correct values, strictly better than the tail
+            for w in entries.windows(2) {
+                assert!(w[0].score >= w[1].score);
+            }
+            for r in &entries {
+                assert_eq!(r.score, g.in_degree(r.user as NodeId) as f64);
+            }
+            let floor = entries.last().unwrap().score;
+            let better = g.nodes().filter(|&u| (g.in_degree(u) as f64) > floor).count();
+            assert!(better <= 25, "{better} nodes beat the 25th entry");
+        }
+        other => panic!("expected topk, got {other:?}"),
+    }
+    // per-country restriction returns only that country's users
+    let country = snapshot().country_top[0].country;
+    match call(
+        &e,
+        QueryRequest::TopK { metric: RankMetric::PageRank, k: 10, country: Some(country) },
+    ) {
+        QueryResponse::TopK { entries, .. } => {
+            assert!(!entries.is_empty());
+            for r in &entries {
+                assert_eq!(
+                    network().population.profile(r.user as NodeId).public_country(),
+                    Some(country)
+                );
+            }
+        }
+        other => panic!("expected topk, got {other:?}"),
+    }
+}
+
+#[test]
+fn shortest_paths_over_wire_match_scalar_bfs() {
+    let e = engine();
+    let g = &network().graph;
+    let pairs =
+        [(0u64, 7u64), (3, 1_150), (250, 0), (42, 42), (1_199, 1), (119, 120), (990, 991)];
+    for (src, dst) in pairs {
+        let truth = {
+            let d = bfs::distances(g, src as NodeId)[dst as usize];
+            (d != bfs::UNREACHABLE).then_some(d)
+        };
+        assert_eq!(
+            call(&e, QueryRequest::ShortestPath { src, dst }),
+            QueryResponse::ShortestPath { src, dst, distance: truth },
+            "pair ({src},{dst})"
+        );
+    }
+}
+
+#[test]
+fn recommendations_over_wire_match_batch_extension() {
+    let e = engine();
+    for user in [2u64, 50, 500] {
+        match call(&e, QueryRequest::Recommend { user, k: 10 }) {
+            QueryResponse::Recommend { recommendations, .. } => {
+                let truth = gplus::analysis::extensions::recommend::recommend_for(
+                    snapshot(),
+                    user as NodeId,
+                    10,
+                );
+                assert_eq!(recommendations.len(), truth.len());
+                for (got, (v, common)) in recommendations.iter().zip(truth) {
+                    assert_eq!(got.user, v as u64, "user {user}");
+                    assert_eq!(got.score, common as f64);
+                }
+            }
+            other => panic!("expected recommendations for {user}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unknown_and_oversized_ids_come_back_as_typed_errors() {
+    let e = engine();
+    let n = network().graph.node_count() as u64;
+    for user in [n, u64::from(u32::MAX) + 1, u64::MAX] {
+        assert_eq!(
+            call(&e, QueryRequest::Degree { user }),
+            QueryResponse::Error(QueryError::UnknownUser(user))
+        );
+    }
+}
+
+#[test]
+fn seeded_workload_replays_byte_identically() {
+    let config = WorkloadConfig {
+        seed: 4_242,
+        queries: 1_500,
+        user_space: network().graph.node_count() as u64,
+        ..WorkloadConfig::default()
+    };
+    let a = run_workload(&engine(), &config, None);
+    let b = run_workload(&engine(), &config, None);
+    assert_eq!(a.log, b.log, "query logs must be byte-identical");
+    assert_eq!(a.cost_buckets, b.cost_buckets, "cost buckets must replay exactly");
+    assert_eq!(a.per_kind, b.per_kind);
+    assert_eq!(a.failed, 0);
+    assert_eq!(b.failed, 0);
+    // and the replay really covered the full mix
+    for (kind, count) in &a.per_kind {
+        assert!(*count > 0, "kind {kind} never generated in 1500 queries");
+    }
+}
+
+#[test]
+fn epoch_swap_mid_workload_fails_zero_queries() {
+    // swap to a *different* network of equal size: every id stays
+    // answerable, so any failure is a serving defect
+    let other = SynthNetwork::generate(&SynthConfig::google_plus_2011(1_200, 78));
+    let next = AnalysedSnapshot::build(&other);
+    let e = engine();
+    let config = WorkloadConfig {
+        seed: 9,
+        queries: 1_000,
+        user_space: network().graph.node_count() as u64,
+        ..WorkloadConfig::default()
+    };
+    let report = run_workload(&e, &config, Some((500, &next)));
+    assert_eq!(report.swapped_at, Some(500));
+    assert_eq!(report.failed, 0, "no query may fail across the swap");
+    assert_eq!(e.epoch(), 1);
+    assert_eq!(e.current().seed, 78, "the new snapshot is live after the run");
+}
+
+#[test]
+fn concurrent_readers_never_observe_torn_snapshots() {
+    // two snapshots with different node count, edge count and seed; a
+    // torn view would mix fields of both. Every Epoch answer must match
+    // one snapshot identity exactly.
+    let small_net = SynthNetwork::generate(&SynthConfig::google_plus_2011(300, 1));
+    let large_net = SynthNetwork::generate(&SynthConfig::google_plus_2011(900, 2));
+    let small = AnalysedSnapshot::build(&small_net);
+    let large = AnalysedSnapshot::build(&large_net);
+    let identities = [
+        (small.graph.node_count() as u64, small.graph.edge_count() as u64, small.seed),
+        (large.graph.node_count() as u64, large.graph.edge_count() as u64, large.seed),
+    ];
+    assert_ne!(identities[0], identities[1]);
+
+    let engine = Arc::new(QueryEngine::new(small.clone(), EngineConfig::default()));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let swapper = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut swaps = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                engine.swap(if swaps % 2 == 0 { large.clone() } else { small.clone() });
+                swaps += 1;
+            }
+            swaps
+        })
+    };
+
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let mut last_epoch = 0u64;
+                for _ in 0..3_000 {
+                    match engine.answer(&QueryRequest::Epoch) {
+                        QueryResponse::Epoch { epoch, nodes, edges, seed } => {
+                            assert!(
+                                identities.contains(&(nodes, edges, seed)),
+                                "torn snapshot: ({nodes}, {edges}, {seed}) matches \
+                                 neither {identities:?}"
+                            );
+                            assert!(epoch >= last_epoch, "epoch went backwards");
+                            last_epoch = epoch;
+                        }
+                        other => panic!("expected epoch answer, got {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for r in readers {
+        r.join().expect("reader thread");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let swaps = swapper.join().expect("swapper thread");
+    assert!(swaps > 0, "the swapper must have raced the readers");
+    assert_eq!(engine.epoch(), swaps);
+}

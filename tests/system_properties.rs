@@ -82,7 +82,7 @@ proptest! {
             if dir == 0 { Direction::InCircles } else { Direction::OutCircles };
         for req in [Request::Profile { user }, Request::Circle { user, direction, page }] {
             let mut buf = BytesMut::new();
-            encode(&req, &mut buf);
+            encode(&req, &mut buf).unwrap();
             let back: Request = decode(&mut buf).unwrap();
             prop_assert_eq!(back, req);
             prop_assert!(buf.is_empty());

@@ -56,7 +56,7 @@ fn oversized_frame_length_is_rejected_not_allocated() {
     buf.put_u32((MAX_FRAME_LEN + 1) as u32);
     buf.put_slice(b"whatever");
     let r: Result<Request, _> = decode(&mut buf);
-    assert_eq!(r.unwrap_err(), DecodeError::FrameTooLarge(MAX_FRAME_LEN + 1));
+    assert_eq!(r.unwrap_err(), DecodeError::FrameTooLarge(MAX_FRAME_LEN as u64 + 1));
 }
 
 #[test]
@@ -74,7 +74,7 @@ fn truncated_length_prefix_waits_for_more_bytes() {
 #[test]
 fn truncated_payload_waits_for_more_bytes() {
     let mut full = BytesMut::new();
-    encode(&Request::Profile { user: 7 }, &mut full);
+    encode(&Request::Profile { user: 7 }, &mut full).unwrap();
     let mut partial = BytesMut::from(&full[..full.len() - 1]);
     let r: Result<Request, _> = decode(&mut partial);
     assert_eq!(r.unwrap_err(), DecodeError::Incomplete);
