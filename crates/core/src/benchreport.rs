@@ -118,6 +118,11 @@ impl Default for BenchGate {
                 "serve.snapshot.build.runs",
                 "serve.query.count",
                 "serve.workload.queries",
+                // robustness counters: prove the overload-shedding and
+                // guarded-swap paths were compiled in and wired up (they
+                // sit at 0 in a healthy bench run)
+                "serve.shed.total_count",
+                "serve.swap.rejected_count",
             ],
         }
     }

@@ -12,3 +12,34 @@ pub const ORACLE_MISMATCH: &str = "oracle.mismatch";
 
 /// Predicate evaluations spent shrinking failing graphs.
 pub const ORACLE_SHRINK_STEPS: &str = "oracle.shrink_steps";
+
+/// Snapshot swaps that passed integrity + semantic validation and were
+/// applied to the serving epoch.
+pub const SERVE_SWAP_APPLIED: &str = "serve.swap.applied_count";
+
+/// Snapshot swaps rejected by the serve crate's `SwapGuard` (corrupt,
+/// version-skewed,
+/// or semantically invalid snapshot); the old epoch kept serving.
+pub const SERVE_SWAP_REJECTED: &str = "serve.swap.rejected_count";
+
+/// Queries shed for any overload reason (token admission or in-flight cap).
+pub const SERVE_SHED_TOTAL: &str = "serve.shed.total_count";
+
+/// Queries shed because the bounded in-flight admission cap was reached.
+pub const SERVE_SHED_IN_FLIGHT: &str = "serve.shed.in_flight_count";
+
+/// Expensive-class queries (shortest-path, recommend) shed by cost-weighted
+/// token admission — the first tier sacrificed under graceful degradation.
+pub const SERVE_SHED_EXPENSIVE: &str = "serve.shed.expensive_count";
+
+/// Moderate-class queries (circles, reciprocity, top-k) shed by
+/// cost-weighted token admission.
+pub const SERVE_SHED_MODERATE: &str = "serve.shed.moderate_count";
+
+/// Cheap-class queries (point lookups, epoch probes) shed by token
+/// admission — under the intended price structure this stays near zero
+/// while expensive/moderate counters climb.
+pub const SERVE_SHED_CHEAP: &str = "serve.shed.cheap_count";
+
+/// Queries whose execution ran past the configured deadline budget.
+pub const SERVE_DEADLINE_EXCEEDED: &str = "serve.query.deadline_exceeded_count";

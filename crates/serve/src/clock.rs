@@ -1,0 +1,91 @@
+//! Microsecond clock for the serve path: wall time in production,
+//! simulated time in tests.
+//!
+//! Deadline enforcement needs "how long did this query take", but a test
+//! that asserts shedding behaviour cannot depend on how fast the CI host
+//! happens to be. Mirroring the crawler's `SimClock` (an atomic tick
+//! counter the simulation advances explicitly), [`ServeClock`] has two
+//! modes behind one `now_us`/`advance_us` interface: *wall* mode reads a
+//! monotonic `Instant`, *simulated* mode reads an atomic the engine
+//! advances by each query's nominal cost — so a deadline of 500µs
+//! deterministically rejects the 1000µs-class queries and admits the
+//! 10µs-class ones, on any machine, every run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonic microsecond clock, wall or simulated.
+#[derive(Debug)]
+pub struct ServeClock {
+    origin: Instant,
+    simulated_us: Option<AtomicU64>,
+}
+
+impl ServeClock {
+    /// A wall clock anchored at creation time.
+    pub fn wall() -> Self {
+        Self { origin: Instant::now(), simulated_us: None }
+    }
+
+    /// A simulated clock starting at 0µs; only [`ServeClock::advance_us`]
+    /// moves it.
+    pub fn simulated() -> Self {
+        Self { origin: Instant::now(), simulated_us: Some(AtomicU64::new(0)) }
+    }
+
+    /// Whether this clock only moves when advanced explicitly.
+    pub fn is_simulated(&self) -> bool {
+        self.simulated_us.is_some()
+    }
+
+    /// Microseconds since the clock's origin.
+    pub fn now_us(&self) -> u64 {
+        match &self.simulated_us {
+            Some(t) => t.load(Ordering::Acquire),
+            None => self.origin.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Advances a simulated clock by `us` and returns the new reading.
+    /// On a wall clock this is a no-op returning the current reading —
+    /// real time cannot be pushed forward.
+    pub fn advance_us(&self, us: u64) -> u64 {
+        match &self.simulated_us {
+            Some(t) => t.fetch_add(us, Ordering::AcqRel) + us,
+            None => self.now_us(),
+        }
+    }
+}
+
+impl Default for ServeClock {
+    fn default() -> Self {
+        Self::wall()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulated_clock_only_moves_when_advanced() {
+        let c = ServeClock::simulated();
+        assert!(c.is_simulated());
+        assert_eq!(c.now_us(), 0);
+        assert_eq!(c.now_us(), 0, "time must not pass on its own");
+        assert_eq!(c.advance_us(250), 250);
+        assert_eq!(c.now_us(), 250);
+        assert_eq!(c.advance_us(0), 250);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone_and_ignores_advance() {
+        let c = ServeClock::wall();
+        assert!(!c.is_simulated());
+        let a = c.now_us();
+        let after_advance = c.advance_us(1_000_000_000);
+        let b = c.now_us();
+        assert!(b >= a);
+        assert!(after_advance < 1_000_000_000, "advance must not move wall time");
+    }
+}

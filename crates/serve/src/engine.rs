@@ -4,13 +4,37 @@
 //!
 //! Every query runs against exactly one snapshot `Arc` taken at entry
 //! ([`EpochSwap::load_with_epoch`]), so a concurrent [`QueryEngine::swap`]
-//! can never mix two snapshots inside one answer. Admission is an
-//! optional [`TokenBucket`]; rejected queries answer
-//! [`QueryError::RateLimited`] instead of blocking. Per-query-type
-//! latency lands in `serve.query.<kind>.duration_us` histograms via
-//! `gplus-obs`, alongside `serve.query.count` / `serve.query.error_count`
-//! / `serve.epoch.swap_count` counters.
+//! can never mix two snapshots inside one answer.
+//!
+//! ## Overload protection
+//!
+//! Admission is layered, and every rejection happens *before* the query
+//! touches the snapshot, so shedding can refuse work but never corrupt
+//! an answer:
+//!
+//! 1. **Bounded in-flight** (`max_in_flight`): a semaphore-style counter
+//!    caps concurrent execution; the excess answers
+//!    [`QueryError::Overloaded`] immediately instead of queueing.
+//! 2. **Cost-weighted tokens** (`limiter`): each [`CostClass`] pays its
+//!    own token price into the shared [`TokenBucket`], so under a storm
+//!    the expensive kinds (shortest-path, recommend) are priced out
+//!    first while cheap point lookups keep serving — graceful
+//!    degradation by construction. Rejections carry a `retry_after`
+//!    computed from the bucket's refill rate.
+//! 3. **Deadline budget** (`deadline_us`): elapsed time on the engine's
+//!    [`ServeClock`] above the budget turns the answer into
+//!    [`QueryError::DeadlineExceeded`]; with a simulated clock each class
+//!    charges its nominal cost, making deadline behaviour deterministic.
+//!
+//! Per-query-type latency lands in `serve.query.<kind>.duration_us`
+//! histograms via `gplus-obs`, per-kind failures in
+//! `serve.query.<kind>.errors_count`, sheds in the `serve.shed.*`
+//! counters, alongside `serve.query.count` / `serve.query.error_count` /
+//! `serve.epoch.swap_count` / `serve.swap.*`. The same tallies are
+//! mirrored in per-engine [`EngineStats`] atomics so tests can assert
+//! exact counts without owning the process-global registry.
 
+use crate::clock::ServeClock;
 use crate::epoch::EpochSwap;
 use crate::snapshot::{sorted_intersection_count, AnalysedSnapshot, RankedNode};
 use bytes::BytesMut;
@@ -18,13 +42,14 @@ use gplus_core::extensions::recommend::recommend_for;
 use gplus_geo::Country;
 use gplus_graph::reciprocity::relation_reciprocity;
 use gplus_graph::{mbfs, NodeId};
-use gplus_obs::Histogram;
+use gplus_obs::{names, Counter, Histogram, Registry};
 use gplus_service::query::{
     ProfileSummary, QueryError, QueryRequest, QueryResponse, RankMetric, RankedUser,
     MAX_CIRCLE_FETCH, MAX_TOP_K,
 };
 use gplus_service::wire::{decode, encode, Request, Response};
 use gplus_service::{Direction, TokenBucket};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -46,36 +71,242 @@ pub const QUERY_KINDS: [&str; 8] = [
     "epoch",
 ];
 
-/// Engine configuration.
+/// How much serving capacity one query kind consumes — the unit the
+/// shedding policy prices in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostClass {
+    /// O(1) lookups: profile, degree, epoch probes.
+    Cheap,
+    /// Bounded scans: circles, reciprocity, precomputed top-k.
+    Moderate,
+    /// Graph traversals: shortest path, friend recommendation.
+    Expensive,
+}
+
+impl CostClass {
+    /// The class of query kind `QUERY_KINDS[kind_idx]`.
+    pub fn of_kind_index(kind_idx: usize) -> Self {
+        match kind_idx {
+            0 | 1 | 7 => CostClass::Cheap, // profile, degree, epoch
+            2..=4 => CostClass::Moderate,  // circles, reciprocity, topk
+            5 | 6 => CostClass::Expensive, // shortest_path, recommend
+            _ => unreachable!("QUERY_KINDS has 8 kinds"),
+        }
+    }
+
+    /// The class of a request.
+    pub fn of(req: &QueryRequest) -> Self {
+        let idx = QUERY_KINDS
+            .iter()
+            .position(|&k| k == req.kind())
+            .expect("QUERY_KINDS covers every request kind");
+        Self::of_kind_index(idx)
+    }
+
+    /// Token price paid into the admission bucket. The 1:2:4 ratio is
+    /// what makes degradation graceful: when the bucket hovers near
+    /// empty under a storm, cost-4 queries are rejected while cost-1
+    /// lookups still clear the bar.
+    pub fn token_cost(self) -> f64 {
+        match self {
+            CostClass::Cheap => 1.0,
+            CostClass::Moderate => 2.0,
+            CostClass::Expensive => 4.0,
+        }
+    }
+
+    /// Deterministic execution charge on a simulated [`ServeClock`],
+    /// in microseconds — the stand-in for real latency in deadline
+    /// tests.
+    pub fn nominal_cost_us(self) -> u64 {
+        match self {
+            CostClass::Cheap => 10,
+            CostClass::Moderate => 100,
+            CostClass::Expensive => 1_000,
+        }
+    }
+
+    /// Stable lower-case label (metric names, logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            CostClass::Cheap => "cheap",
+            CostClass::Moderate => "moderate",
+            CostClass::Expensive => "expensive",
+        }
+    }
+}
+
+/// Engine configuration. The default is fully permissive (no limiter, no
+/// deadline, unbounded in-flight, wall clock) — exactly the pre-robustness
+/// behaviour.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineConfig {
-    /// Admission limiter; `None` admits everything.
+    /// Admission limiter; `None` admits everything. Queries pay their
+    /// [`CostClass::token_cost`] into this shared bucket.
     pub limiter: Option<TokenBucket>,
+    /// Per-query deadline budget in microseconds on the engine clock;
+    /// `None` disables deadline enforcement.
+    pub deadline_us: Option<u64>,
+    /// Maximum queries executing concurrently; the excess is shed with
+    /// [`QueryError::Overloaded`]. `None` is unbounded.
+    pub max_in_flight: Option<u32>,
+    /// Run on a simulated clock that advances by each query's
+    /// [`CostClass::nominal_cost_us`] instead of wall time, making
+    /// deadline behaviour deterministic.
+    pub simulated_clock: bool,
+}
+
+/// Exact per-engine tallies, mirrored from the obs counters into plain
+/// atomics owned by one engine. The process-global registry accumulates
+/// across every engine a test builds; these do not, so a test can assert
+/// `shed_total == 37` rather than `>= 37`. Indices into the per-kind and
+/// per-class arrays follow [`QUERY_KINDS`] and
+/// Cheap/Moderate/Expensive order respectively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Queries answered (including shed ones).
+    pub queries: u64,
+    /// Answers that were [`QueryResponse::Error`], of any cause.
+    pub errors: u64,
+    /// Errors per query kind, [`QUERY_KINDS`] order.
+    pub errors_by_kind: [u64; 8],
+    /// Queries shed for any overload reason.
+    pub shed_total: u64,
+    /// Sheds caused by the in-flight cap specifically.
+    pub shed_in_flight: u64,
+    /// Token-admission sheds per cost class (cheap, moderate, expensive).
+    pub shed_by_class: [u64; 3],
+    /// Answers discarded for running past the deadline budget.
+    pub deadline_exceeded: u64,
+    /// Snapshot swaps applied.
+    pub swaps_applied: u64,
+    /// Snapshot swaps rejected by a `SwapGuard`.
+    pub swaps_rejected: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatCells {
+    queries: AtomicU64,
+    errors: AtomicU64,
+    errors_by_kind: [AtomicU64; 8],
+    shed_total: AtomicU64,
+    shed_in_flight: AtomicU64,
+    shed_by_class: [AtomicU64; 3],
+    deadline_exceeded: AtomicU64,
+    swaps_applied: AtomicU64,
+    swaps_rejected: AtomicU64,
 }
 
 /// Online query engine over an epoch-swapped analysed snapshot.
 pub struct QueryEngine {
     snapshot: EpochSwap<AnalysedSnapshot>,
     limiter: Option<Mutex<TokenBucket>>,
+    deadline_us: Option<u64>,
+    max_in_flight: Option<u32>,
+    in_flight: AtomicU32,
+    clock: ServeClock,
+    registry: Arc<Registry>,
     latency: [Arc<Histogram>; 8],
-    queries: Arc<gplus_obs::Counter>,
-    errors: Arc<gplus_obs::Counter>,
-    swaps: Arc<gplus_obs::Counter>,
+    kind_errors: [Arc<Counter>; 8],
+    queries: Arc<Counter>,
+    errors: Arc<Counter>,
+    swaps: Arc<Counter>,
+    swap_applied: Arc<Counter>,
+    swap_rejected: Arc<Counter>,
+    shed_total: Arc<Counter>,
+    shed_in_flight: Arc<Counter>,
+    shed_class: [Arc<Counter>; 3],
+    deadline_exceeded: Arc<Counter>,
+    cells: StatCells,
+}
+
+/// RAII in-flight slot: decrements the engine's concurrency counter when
+/// the query finishes (or is shed later in admission).
+struct InFlightSlot<'a>(Option<&'a AtomicU32>);
+
+impl Drop for InFlightSlot<'_> {
+    fn drop(&mut self) {
+        if let Some(counter) = self.0 {
+            counter.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
 }
 
 impl QueryEngine {
-    /// Builds an engine serving `snapshot`.
+    /// Builds an engine serving `snapshot`, recording into the global
+    /// registry.
     pub fn new(snapshot: AnalysedSnapshot, config: EngineConfig) -> Self {
-        let obs = gplus_obs::global();
-        let latency =
-            QUERY_KINDS.map(|kind| obs.histogram(&format!("serve.query.{kind}.duration_us")));
+        Self::with_registry(snapshot, config, Arc::clone(gplus_obs::global()))
+    }
+
+    /// Builds an engine recording into an explicit registry (tests
+    /// asserting exact counter values own a private one). Every counter
+    /// the engine can ever bump is registered here, so all of them are
+    /// visible — at zero — in a `MetricsSnapshot` taken before traffic.
+    pub fn with_registry(
+        snapshot: AnalysedSnapshot,
+        config: EngineConfig,
+        registry: Arc<Registry>,
+    ) -> Self {
+        let latency = QUERY_KINDS
+            .map(|kind| registry.histogram(&format!("serve.query.{kind}.duration_us")));
+        let kind_errors = QUERY_KINDS
+            .map(|kind| registry.counter(&format!("serve.query.{kind}.errors_count")));
+        let shed_class = [
+            registry.counter(names::SERVE_SHED_CHEAP),
+            registry.counter(names::SERVE_SHED_MODERATE),
+            registry.counter(names::SERVE_SHED_EXPENSIVE),
+        ];
         Self {
             snapshot: EpochSwap::new(Arc::new(snapshot)),
             limiter: config.limiter.map(Mutex::new),
+            deadline_us: config.deadline_us,
+            max_in_flight: config.max_in_flight,
+            in_flight: AtomicU32::new(0),
+            clock: if config.simulated_clock {
+                ServeClock::simulated()
+            } else {
+                ServeClock::wall()
+            },
             latency,
-            queries: obs.counter("serve.query.count"),
-            errors: obs.counter("serve.query.error_count"),
-            swaps: obs.counter("serve.epoch.swap_count"),
+            kind_errors,
+            queries: registry.counter("serve.query.count"),
+            errors: registry.counter("serve.query.error_count"),
+            swaps: registry.counter("serve.epoch.swap_count"),
+            swap_applied: registry.counter(names::SERVE_SWAP_APPLIED),
+            swap_rejected: registry.counter(names::SERVE_SWAP_REJECTED),
+            shed_total: registry.counter(names::SERVE_SHED_TOTAL),
+            shed_in_flight: registry.counter(names::SERVE_SHED_IN_FLIGHT),
+            shed_class,
+            deadline_exceeded: registry.counter(names::SERVE_DEADLINE_EXCEEDED),
+            cells: StatCells::default(),
+            registry,
+        }
+    }
+
+    /// The registry this engine records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The engine's clock (simulated in deterministic-deadline setups).
+    pub fn clock(&self) -> &ServeClock {
+        &self.clock
+    }
+
+    /// Exact tallies for this engine instance.
+    pub fn stats(&self) -> EngineStats {
+        let load = |c: &AtomicU64| c.load(Ordering::Acquire);
+        EngineStats {
+            queries: load(&self.cells.queries),
+            errors: load(&self.cells.errors),
+            errors_by_kind: std::array::from_fn(|i| load(&self.cells.errors_by_kind[i])),
+            shed_total: load(&self.cells.shed_total),
+            shed_in_flight: load(&self.cells.shed_in_flight),
+            shed_by_class: std::array::from_fn(|i| load(&self.cells.shed_by_class[i])),
+            deadline_exceeded: load(&self.cells.deadline_exceeded),
+            swaps_applied: load(&self.cells.swaps_applied),
+            swaps_rejected: load(&self.cells.swaps_rejected),
         }
     }
 
@@ -90,37 +321,107 @@ impl QueryEngine {
     }
 
     /// Atomically replaces the serving snapshot; in-flight queries finish
-    /// against the snapshot they started on. Returns the new epoch.
+    /// against the snapshot they started on. Returns the new epoch. This
+    /// is the *trusted* path — in-memory snapshots the caller just built.
+    /// Snapshots of doubtful provenance (a directory on disk, an operator
+    /// upload) go through a `SwapGuard`, which validates before calling
+    /// this and records a rejection instead on failure.
     pub fn swap(&self, next: AnalysedSnapshot) -> u64 {
         self.swaps.inc();
+        self.swap_applied.inc();
+        self.cells.swaps_applied.fetch_add(1, Ordering::Release);
         self.snapshot.swap(Arc::new(next))
     }
 
-    /// Answers one serving query.
+    pub(crate) fn note_swap_rejected(&self) {
+        self.swap_rejected.inc();
+        self.cells.swaps_rejected.fetch_add(1, Ordering::Release);
+    }
+
+    /// Answers one serving query, applying admission control before any
+    /// snapshot work and the deadline budget after.
     pub fn answer(&self, req: &QueryRequest) -> QueryResponse {
-        let start = Instant::now();
+        let wall_start = Instant::now();
         let kind_idx = QUERY_KINDS
             .iter()
             .position(|&k| k == req.kind())
             .expect("QUERY_KINDS covers every request kind");
-        let response = if self.admit() {
-            self.answer_admitted(req)
-        } else {
-            QueryResponse::Error(QueryError::RateLimited)
-        };
+        let class = CostClass::of_kind_index(kind_idx);
         self.queries.inc();
+        self.cells.queries.fetch_add(1, Ordering::Release);
+
+        let response = match self.try_admit(class) {
+            Err(shed) => QueryResponse::Error(shed),
+            Ok(_slot) => {
+                let start_us = self.clock.now_us();
+                let answer = self.answer_admitted(req);
+                if self.clock.is_simulated() {
+                    self.clock.advance_us(class.nominal_cost_us());
+                }
+                let elapsed_us = self.clock.now_us().saturating_sub(start_us);
+                match self.deadline_us {
+                    Some(deadline_us) if elapsed_us > deadline_us => {
+                        self.deadline_exceeded.inc();
+                        self.cells.deadline_exceeded.fetch_add(1, Ordering::Release);
+                        QueryResponse::Error(QueryError::DeadlineExceeded {
+                            elapsed_us,
+                            deadline_us,
+                        })
+                    }
+                    _ => answer,
+                }
+            }
+        };
+
         if response.is_error() {
             self.errors.inc();
+            self.kind_errors[kind_idx].inc();
+            self.cells.errors.fetch_add(1, Ordering::Release);
+            self.cells.errors_by_kind[kind_idx].fetch_add(1, Ordering::Release);
         }
-        self.latency[kind_idx].observe(start.elapsed().as_micros() as u64);
+        self.latency[kind_idx].observe(wall_start.elapsed().as_micros() as u64);
         response
     }
 
-    fn admit(&self) -> bool {
-        match &self.limiter {
-            Some(bucket) => bucket.lock().expect("limiter poisoned").try_acquire(),
-            None => true,
+    /// Admission control: in-flight cap first (cheapest check, and the
+    /// one that must reject before any token is spent), then
+    /// cost-weighted tokens. Returns the RAII slot keeping the in-flight
+    /// count honest for the duration of execution.
+    fn try_admit(&self, class: CostClass) -> Result<InFlightSlot<'_>, QueryError> {
+        let slot = match self.max_in_flight {
+            None => InFlightSlot(None),
+            Some(max) => {
+                let prev = self.in_flight.fetch_add(1, Ordering::AcqRel);
+                let slot = InFlightSlot(Some(&self.in_flight));
+                if prev >= max {
+                    // `slot` drops here, undoing the optimistic increment
+                    self.shed_in_flight.inc();
+                    self.shed_total.inc();
+                    self.cells.shed_in_flight.fetch_add(1, Ordering::Release);
+                    self.cells.shed_total.fetch_add(1, Ordering::Release);
+                    return Err(QueryError::Overloaded { retry_after: 1 });
+                }
+                slot
+            }
+        };
+        if let Some(bucket) = &self.limiter {
+            // a panicked holder cannot have left the bucket mid-update
+            // (both mutating methods write plain f64 fields and don't
+            // panic after the first write); recover instead of wedging
+            // admission for the life of the engine
+            let mut bucket = bucket.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            let cost = class.token_cost();
+            if !bucket.try_acquire_cost(cost) {
+                let retry_after = bucket.ticks_until(cost);
+                drop(bucket);
+                self.shed_total.inc();
+                self.shed_class[class as usize].inc();
+                self.cells.shed_total.fetch_add(1, Ordering::Release);
+                self.cells.shed_by_class[class as usize].fetch_add(1, Ordering::Release);
+                return Err(QueryError::Overloaded { retry_after });
+            }
         }
+        Ok(slot)
     }
 
     fn answer_admitted(&self, req: &QueryRequest) -> QueryResponse {
@@ -442,15 +743,190 @@ mod tests {
     fn rate_limited_engine_rejects_with_typed_error() {
         let e = QueryEngine::new(
             AnalysedSnapshot::build(net()),
-            EngineConfig { limiter: Some(TokenBucket::new(2.0, 0.0)) },
+            EngineConfig {
+                limiter: Some(TokenBucket::new(2.0, 0.0)),
+                ..EngineConfig::default()
+            },
         );
         let mut rejected = 0;
         for _ in 0..10 {
-            if e.answer(&QueryRequest::Epoch) == QueryResponse::Error(QueryError::RateLimited) {
-                rejected += 1;
+            match e.answer(&QueryRequest::Epoch) {
+                QueryResponse::Error(QueryError::Overloaded { retry_after }) => {
+                    rejected += 1;
+                    // zero refill can never re-admit: the hint must say so
+                    assert_eq!(retry_after, u64::MAX);
+                }
+                QueryResponse::Epoch { .. } => {}
+                other => panic!("expected epoch or overload, got {other:?}"),
             }
         }
         assert_eq!(rejected, 8, "capacity 2, no refill: exactly 2 admitted");
+        let stats = e.stats();
+        assert_eq!(stats.queries, 10);
+        assert_eq!(stats.shed_total, 8);
+        assert_eq!(stats.shed_by_class, [8, 0, 0], "epoch probes are cheap-class");
+        assert_eq!(stats.errors, 8);
+        assert_eq!(stats.errors_by_kind[7], 8, "epoch is QUERY_KINDS[7]");
+    }
+
+    #[test]
+    fn expensive_kinds_are_priced_out_before_cheap_ones() {
+        // capacity 4, refill 1: every tick regains one token, so cost-1
+        // lookups always clear the bar while cost-4 traversals only
+        // succeed after a quiet stretch
+        let e = QueryEngine::new(
+            AnalysedSnapshot::build(net()),
+            EngineConfig {
+                limiter: Some(TokenBucket::new(4.0, 1.0)),
+                ..EngineConfig::default()
+            },
+        );
+        let mut expensive_shed = 0;
+        let mut cheap_shed = 0;
+        for i in 0..40 {
+            let resp = if i % 2 == 0 {
+                e.answer(&QueryRequest::ShortestPath { src: 0, dst: 1 })
+            } else {
+                e.answer(&QueryRequest::Degree { user: 0 })
+            };
+            if let QueryResponse::Error(QueryError::Overloaded { .. }) = resp {
+                if i % 2 == 0 {
+                    expensive_shed += 1;
+                } else {
+                    cheap_shed += 1;
+                }
+            }
+        }
+        assert!(expensive_shed > 0, "the storm must shed some traversals");
+        assert_eq!(cheap_shed, 0, "cheap lookups must keep serving");
+        let stats = e.stats();
+        assert_eq!(stats.shed_by_class[0], 0);
+        assert_eq!(stats.shed_by_class[2], expensive_shed);
+        assert_eq!(stats.shed_total, expensive_shed);
+    }
+
+    #[test]
+    fn deadline_on_simulated_clock_rejects_expensive_kinds_deterministically() {
+        // nominal costs: cheap 10µs, moderate 100µs, expensive 1000µs;
+        // a 500µs budget admits the first two classes and rejects the third
+        let e = QueryEngine::new(
+            AnalysedSnapshot::build(net()),
+            EngineConfig {
+                deadline_us: Some(500),
+                simulated_clock: true,
+                ..EngineConfig::default()
+            },
+        );
+        assert!(!e.answer(&QueryRequest::Profile { user: 0 }).is_error());
+        assert!(!e
+            .answer(&QueryRequest::TopK { metric: RankMetric::InDegree, k: 5, country: None })
+            .is_error());
+        match e.answer(&QueryRequest::Recommend { user: 0, k: 5 }) {
+            QueryResponse::Error(QueryError::DeadlineExceeded { elapsed_us, deadline_us }) => {
+                assert_eq!(elapsed_us, 1_000);
+                assert_eq!(deadline_us, 500);
+            }
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+        let stats = e.stats();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.errors_by_kind[6], 1, "recommend is QUERY_KINDS[6]");
+        assert_eq!(stats.shed_total, 0, "deadline kills are not admission sheds");
+    }
+
+    #[test]
+    fn in_flight_cap_sheds_concurrent_excess_without_wrong_answers() {
+        use std::sync::Barrier;
+        let e = Arc::new(QueryEngine::new(
+            AnalysedSnapshot::build(net()),
+            EngineConfig { max_in_flight: Some(1), ..EngineConfig::default() },
+        ));
+        let reference = engine();
+        let threads = 4;
+        let rounds = 25;
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let e = Arc::clone(&e);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut served = 0u64;
+                    let mut shed = 0u64;
+                    for r in 0..rounds {
+                        barrier.wait();
+                        let user = ((t * rounds + r) % 100) as u64;
+                        match e.answer(&QueryRequest::Recommend { user, k: 5 }) {
+                            QueryResponse::Error(QueryError::Overloaded { retry_after }) => {
+                                assert_eq!(retry_after, 1);
+                                shed += 1;
+                            }
+                            resp => {
+                                assert!(
+                                    !resp.is_error(),
+                                    "unexpected error for user {user}: {resp:?}"
+                                );
+                                served += 1;
+                            }
+                        }
+                    }
+                    (served, shed)
+                })
+            })
+            .collect();
+        let mut total_served = 0;
+        let mut total_shed = 0;
+        for h in handles {
+            let (served, shed) = h.join().expect("worker thread");
+            total_served += served;
+            total_shed += shed;
+        }
+        assert_eq!(total_served + total_shed, (threads * rounds) as u64);
+        assert!(total_served > 0, "some queries must get through");
+        let stats = e.stats();
+        assert_eq!(stats.shed_in_flight, total_shed);
+        assert_eq!(stats.shed_total, total_shed);
+        // every served answer must equal the unthrottled reference
+        for user in 0..100u64 {
+            assert_eq!(
+                e.answer(&QueryRequest::Recommend { user, k: 5 }),
+                reference.answer(&QueryRequest::Recommend { user, k: 5 }),
+                "user {user}"
+            );
+        }
+    }
+
+    #[test]
+    fn private_registry_counters_match_engine_stats() {
+        let registry = Arc::new(gplus_obs::Registry::new());
+        let e = QueryEngine::with_registry(
+            AnalysedSnapshot::build(net()),
+            EngineConfig {
+                limiter: Some(TokenBucket::new(2.0, 0.0)),
+                ..EngineConfig::default()
+            },
+            Arc::clone(&registry),
+        );
+        for _ in 0..6 {
+            let _ = e.answer(&QueryRequest::Recommend { user: 0, k: 3 });
+        }
+        let _ = e.answer(&QueryRequest::Profile { user: u64::MAX }); // UnknownUser
+        let stats = e.stats();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.query.count"), stats.queries);
+        assert_eq!(snap.counter("serve.query.error_count"), stats.errors);
+        assert_eq!(snap.counter(gplus_obs::names::SERVE_SHED_TOTAL), stats.shed_total);
+        assert_eq!(
+            snap.counter(gplus_obs::names::SERVE_SHED_EXPENSIVE),
+            stats.shed_by_class[2]
+        );
+        assert_eq!(snap.counter("serve.query.profile.errors_count"), stats.errors_by_kind[0]);
+        assert_eq!(snap.counter("serve.query.recommend.errors_count"), stats.errors_by_kind[6]);
+        // cost 4 can never fit a capacity-2 bucket: all 6 recommends shed,
+        // plus the one UnknownUser profile error
+        assert_eq!(stats.queries, 7);
+        assert_eq!(stats.errors, 7);
+        assert_eq!(stats.shed_total, 6);
+        assert_eq!(stats.errors_by_kind[0], 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! pair a reader extracts is always mutually consistent.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// An `Arc<T>` cell supporting atomic replacement with a monotone epoch.
 ///
@@ -31,11 +31,25 @@ impl<T> EpochSwap<T> {
         Self { current: RwLock::new(value), epoch: AtomicU64::new(0) }
     }
 
+    /// Read-locks the cell, recovering from poison. The held value is an
+    /// `Arc<T>` that is only ever *replaced whole* under the write lock,
+    /// never mutated in place, so a writer that panicked cannot have left
+    /// it half-updated — the poison flag carries no information here and
+    /// swallowing it is sound. A panicked swap must wedge the one swap,
+    /// not every reader for the life of the process.
+    fn read(&self) -> RwLockReadGuard<'_, Arc<T>> {
+        self.current.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Arc<T>> {
+        self.current.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Returns the current value. The clone is cheap (refcount bump) and
     /// the caller's view is immutable for as long as it holds the `Arc`,
     /// regardless of later swaps.
     pub fn load(&self) -> Arc<T> {
-        Arc::clone(&self.current.read().expect("epoch lock poisoned"))
+        Arc::clone(&self.read())
     }
 
     /// Returns the current value together with the epoch that published
@@ -43,7 +57,7 @@ impl<T> EpochSwap<T> {
     /// consistent: an epoch `e` is never returned with a snapshot
     /// published at some other epoch.
     pub fn load_with_epoch(&self) -> (Arc<T>, u64) {
-        let guard = self.current.read().expect("epoch lock poisoned");
+        let guard = self.read();
         let value = Arc::clone(&guard);
         let epoch = self.epoch.load(Ordering::Acquire);
         (value, epoch)
@@ -58,7 +72,18 @@ impl<T> EpochSwap<T> {
     /// readers keep their `Arc` to the old value; the old snapshot is
     /// dropped when the last of them finishes.
     pub fn swap(&self, next: Arc<T>) -> u64 {
-        let mut guard = self.current.write().expect("epoch lock poisoned");
+        self.swap_with(|| next)
+    }
+
+    /// Runs `make` under the write lock and publishes its result. The
+    /// epoch bump happens *after* the new value is in place, still inside
+    /// the critical section; if `make` panics the value and the epoch are
+    /// both untouched (the panic unwinds before either write), so readers
+    /// — including ones that recover the poisoned lock — keep serving the
+    /// old epoch.
+    pub fn swap_with(&self, make: impl FnOnce() -> Arc<T>) -> u64 {
+        let mut guard = self.write();
+        let next = make();
         *guard = next;
         // incremented while the write lock is held so no reader can pair
         // the new snapshot with the old epoch or vice versa
@@ -89,6 +114,27 @@ mod tests {
         assert_eq!(cell.epoch(), 1);
         // in-flight readers keep the old value alive
         assert_eq!(*held, 1);
+    }
+
+    #[test]
+    fn panicked_writer_does_not_wedge_readers() {
+        let cell = Arc::new(EpochSwap::new(Arc::new(7u64)));
+        let writer = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                cell.swap_with(|| panic!("writer died mid-swap"));
+            })
+        };
+        assert!(writer.join().is_err(), "writer must have panicked");
+        // the RwLock is now poisoned; readers must recover it and keep
+        // serving the old value at the old epoch
+        assert_eq!(*cell.load(), 7);
+        let (v, e) = cell.load_with_epoch();
+        assert_eq!(*v, 7);
+        assert_eq!(e, 0, "failed swap must not consume an epoch");
+        // and a later, healthy swap still goes through
+        assert_eq!(cell.swap(Arc::new(8)), 1);
+        assert_eq!(*cell.load(), 8);
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Serve-path fault injection: deterministic sabotage for snapshot
+//! directories and loads.
+//!
+//! The crawl side proves its resilience with seed-derived
+//! [`gplus_service::fault::FaultPlan`]s — every injected failure is a
+//! pure function of a seed, so a chaos run that finds a bug is a
+//! reproducer, not an anecdote. This module extends the same idiom to
+//! the serving tier's failure surface, which is files rather than
+//! requests: bytes rot on disk, deploys die between the two renames of a
+//! snapshot save, and loaders hit transient io errors. Each helper
+//! performs real filesystem damage (the integrity machinery under test
+//! must face real bytes), but *which* damage is derived from a seed via
+//! the same splitmix64 streams the crawl plans use.
+
+use crate::snapshot::{AnalysedSnapshot, SnapshotError};
+use gplus_service::failure::splitmix64;
+use std::path::Path;
+
+/// Stream-separation constant for corruption offsets (same idiom as the
+/// crawl-side `STREAM_*` multipliers: distinct odd multiplier per fault
+/// mode so plans never entangle).
+const STREAM_CORRUPT: u64 = 0x3c79_ac49_2ba7_b653;
+
+/// Flips `nbytes` seed-chosen bytes of `dir/snapshot.json` in place
+/// (XOR with a seed-derived nonzero mask, so every chosen byte really
+/// changes). Returns the flipped offsets, ascending — the reproducer
+/// record for a failing run. Distinct seeds damage distinct offsets;
+/// the same seed always damages the same ones.
+pub fn corrupt_payload(dir: &Path, seed: u64, nbytes: usize) -> std::io::Result<Vec<usize>> {
+    let path = dir.join("snapshot.json");
+    let mut bytes = std::fs::read(&path)?;
+    assert!(!bytes.is_empty(), "cannot corrupt an empty payload");
+    let mut offsets = Vec::with_capacity(nbytes);
+    for i in 0..nbytes {
+        let h = splitmix64(seed.wrapping_mul(STREAM_CORRUPT).wrapping_add(i as u64));
+        let offset = (h % bytes.len() as u64) as usize;
+        // low byte of the hash, forced nonzero so the XOR always flips
+        let mask = ((h >> 32) as u8) | 0x01;
+        bytes[offset] ^= mask;
+        offsets.push(offset);
+    }
+    std::fs::write(&path, &bytes)?;
+    offsets.sort_unstable();
+    Ok(offsets)
+}
+
+/// Truncates `dir/snapshot.json` to a seed-chosen fraction of its length
+/// (at least 1 byte, strictly shorter than the original) — the torn-write
+/// shape left by a crashed copy. Returns the new length.
+pub fn truncate_payload(dir: &Path, seed: u64) -> std::io::Result<u64> {
+    let path = dir.join("snapshot.json");
+    let len = std::fs::metadata(&path)?.len();
+    assert!(len > 1, "payload too small to truncate meaningfully");
+    let keep = 1 + splitmix64(seed.wrapping_mul(STREAM_CORRUPT)) % (len - 1);
+    let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+    file.set_len(keep)?;
+    Ok(keep)
+}
+
+/// How far an interrupted [`AnalysedSnapshot::save`] got before the
+/// process died. The save protocol is: write both `.tmp` files, rename
+/// the payload into place, rename the meta into place — so these are the
+/// distinct on-disk states a kill can leave behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SavePhase {
+    /// Killed after staging `snapshot.json.tmp`, before anything else.
+    PayloadTmpWritten,
+    /// Killed after staging both `.tmp` files, before any rename.
+    BothTmpsWritten,
+    /// Killed after renaming the payload, before renaming the meta —
+    /// the most dangerous window: a *new* payload now sits beside the
+    /// *old* meta.
+    PayloadRenamed,
+}
+
+/// Performs the atomic-save steps of `snapshot` into `dir` and stops
+/// after `phase`, simulating a process killed mid-save. The directory is
+/// left exactly as a real kill would leave it; pair with
+/// [`AnalysedSnapshot::load`] to assert that every such state is either
+/// fully old or detectably inconsistent.
+pub fn interrupted_save(
+    snapshot: &AnalysedSnapshot,
+    dir: &Path,
+    phase: SavePhase,
+) -> Result<(), SnapshotError> {
+    std::fs::create_dir_all(dir)?;
+    let payload =
+        serde_json::to_vec(snapshot).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+    let meta = serde_json::to_string_pretty(&snapshot.meta())
+        .map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+    std::fs::write(dir.join("snapshot.json.tmp"), &payload)?;
+    if phase == SavePhase::PayloadTmpWritten {
+        return Ok(());
+    }
+    std::fs::write(dir.join("meta.json.tmp"), meta)?;
+    if phase == SavePhase::BothTmpsWritten {
+        return Ok(());
+    }
+    std::fs::rename(dir.join("snapshot.json.tmp"), dir.join("snapshot.json"))?;
+    // SavePhase::PayloadRenamed: die before the meta rename
+    Ok(())
+}
+
+/// A loader that fails its first `failures` attempts with an injected io
+/// error, then delegates to [`AnalysedSnapshot::load`] — the transient
+/// NFS-hiccup / slow-attach shape. Deterministic by construction: the
+/// outcome depends only on the attempt counter.
+#[derive(Debug)]
+pub struct FlakyLoader {
+    failures: u32,
+    attempts: u32,
+}
+
+impl FlakyLoader {
+    /// Fails the first `failures` loads.
+    pub fn new(failures: u32) -> Self {
+        Self { failures, attempts: 0 }
+    }
+
+    /// Attempts made so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// One load attempt.
+    pub fn load(&mut self, dir: &Path) -> Result<AnalysedSnapshot, SnapshotError> {
+        self.attempts += 1;
+        if self.attempts <= self.failures {
+            return Err(SnapshotError::Io(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                format!("injected transient load failure {}/{}", self.attempts, self.failures),
+            )));
+        }
+        AnalysedSnapshot::load(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gplus_synth::{SynthConfig, SynthNetwork};
+
+    fn snapshot() -> AnalysedSnapshot {
+        AnalysedSnapshot::build(&SynthNetwork::generate(&SynthConfig::google_plus_2011(120, 5)))
+    }
+
+    fn fresh_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn corruption_is_seed_deterministic_and_detected() {
+        let snap = snapshot();
+        let dir_a = fresh_dir("gplus-serve-fault-corrupt-a");
+        let dir_b = fresh_dir("gplus-serve-fault-corrupt-b");
+        snap.save(&dir_a).unwrap();
+        snap.save(&dir_b).unwrap();
+        let offs_a = corrupt_payload(&dir_a, 42, 3).unwrap();
+        let offs_b = corrupt_payload(&dir_b, 42, 3).unwrap();
+        assert_eq!(offs_a, offs_b, "same seed must damage the same offsets");
+        assert_eq!(
+            std::fs::read(dir_a.join("snapshot.json")).unwrap(),
+            std::fs::read(dir_b.join("snapshot.json")).unwrap()
+        );
+        assert!(matches!(AnalysedSnapshot::load(&dir_a), Err(SnapshotError::Checksum { .. })));
+        let dir_c = fresh_dir("gplus-serve-fault-corrupt-c");
+        snap.save(&dir_c).unwrap();
+        let offs_c = corrupt_payload(&dir_c, 43, 3).unwrap();
+        assert_ne!(offs_a, offs_c, "different seeds must diverge");
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+        let _ = std::fs::remove_dir_all(&dir_c);
+    }
+
+    #[test]
+    fn truncation_is_detected_at_load() {
+        let snap = snapshot();
+        let dir = fresh_dir("gplus-serve-fault-truncate");
+        snap.save(&dir).unwrap();
+        let before = std::fs::metadata(dir.join("snapshot.json")).unwrap().len();
+        let after = truncate_payload(&dir, 7).unwrap();
+        assert!(after < before);
+        assert!(after >= 1);
+        // a shorter byte stream can never hash to the recorded digest
+        assert!(matches!(AnalysedSnapshot::load(&dir), Err(SnapshotError::Checksum { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_interrupted_save_phase_is_old_or_detectable() {
+        let old = snapshot();
+        let new = AnalysedSnapshot::build(&SynthNetwork::generate(
+            &SynthConfig::google_plus_2011(180, 6),
+        ));
+        for phase in [
+            SavePhase::PayloadTmpWritten,
+            SavePhase::BothTmpsWritten,
+            SavePhase::PayloadRenamed,
+        ] {
+            let dir = fresh_dir("gplus-serve-fault-killpoint");
+            old.save(&dir).unwrap();
+            interrupted_save(&new, &dir, phase).unwrap();
+            match AnalysedSnapshot::load(&dir) {
+                // phases before any rename leave the old snapshot intact
+                Ok(loaded) => assert_eq!(loaded, old, "phase {phase:?} must serve old bytes"),
+                // the payload-renamed phase pairs new payload with old
+                // meta: detectably inconsistent, never silently torn
+                Err(SnapshotError::Checksum { .. }) => {
+                    assert_eq!(phase, SavePhase::PayloadRenamed);
+                }
+                Err(other) => panic!("phase {phase:?}: unexpected error {other}"),
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn flaky_loader_fails_then_recovers() {
+        let snap = snapshot();
+        let dir = fresh_dir("gplus-serve-fault-flaky");
+        snap.save(&dir).unwrap();
+        let mut loader = FlakyLoader::new(2);
+        assert!(matches!(loader.load(&dir), Err(SnapshotError::Io(_))));
+        assert!(matches!(loader.load(&dir), Err(SnapshotError::Io(_))));
+        let loaded = loader.load(&dir).expect("third attempt succeeds");
+        assert_eq!(loaded, snap);
+        assert_eq!(loader.attempts(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

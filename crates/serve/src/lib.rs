@@ -12,18 +12,33 @@
 //! Query vocabulary (requests/responses) lives in
 //! [`gplus_service::query`] so the wire protocol owns its own message
 //! set; this crate owns the answering machinery.
+//!
+//! The robustness layer wraps all of it: snapshots carry FNV-1a
+//! checksums verified on [`AnalysedSnapshot::load`] and save atomically
+//! (temp-then-rename), a [`SwapGuard`] rejects corrupt or invalid
+//! snapshots while the old epoch keeps serving, the engine sheds load
+//! (cost-weighted admission, bounded in-flight, deadline budgets on a
+//! [`ServeClock`]), and the [`fault`] module injects deterministic
+//! serve-path damage for the chaos suite.
 
+pub mod clock;
 pub mod engine;
 pub mod epoch;
+pub mod fault;
 pub mod snapshot;
+pub mod swap;
 pub mod workload;
 
-pub use engine::{EngineConfig, QueryEngine, QUERY_KINDS};
+pub use clock::ServeClock;
+pub use engine::{CostClass, EngineConfig, EngineStats, QueryEngine, QUERY_KINDS};
 pub use epoch::EpochSwap;
+pub use fault::{corrupt_payload, interrupted_save, truncate_payload, FlakyLoader, SavePhase};
 pub use snapshot::{
-    AnalysedSnapshot, CountryRankings, RankedNode, SnapshotError, SnapshotMeta,
+    fnv1a, AnalysedSnapshot, CountryRankings, RankedNode, SnapshotError, SnapshotMeta,
     SNAPSHOT_FORMAT_VERSION,
 };
+pub use swap::SwapGuard;
 pub use workload::{
-    run as run_workload, QueryMix, SeededRng, WorkloadConfig, WorkloadReport, ZipfTable,
+    run as run_workload, run_guarded, QueryMix, SeededRng, WorkloadConfig, WorkloadReport,
+    ZipfTable,
 };

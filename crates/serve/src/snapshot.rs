@@ -24,7 +24,22 @@ use std::collections::HashMap;
 use std::path::Path;
 
 /// On-disk format version; bumped on any incompatible layout change.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+/// Version 2 added the `payload_fnv1a` checksum to [`SnapshotMeta`].
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
+
+/// FNV-1a over a byte slice — the snapshot payload checksum. Not
+/// cryptographic; it detects the failure modes a serving host actually
+/// meets (torn writes, bit rot, truncation, hand edits), costs one pass,
+/// and needs no dependency. The same digest keyed the workload replay
+/// log before this module promoted it to an integrity primitive.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// One entry of a precomputed ranking (internal node id + score).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -87,22 +102,68 @@ pub struct SnapshotMeta {
     pub nodes: u64,
     /// Edge count (consistency check against the payload).
     pub edges: u64,
+    /// [`fnv1a`] digest of the exact `snapshot.json` bytes. Verified on
+    /// load *before* the payload is parsed, so corruption surfaces as a
+    /// checksum mismatch with offsets intact rather than as whatever
+    /// serde error the flipped byte happens to produce.
+    pub payload_fnv1a: u64,
 }
 
-/// Why a snapshot could not be read or written.
+/// Why a snapshot could not be read or written. Every failure a serving
+/// host can meet on the load path has a distinct shape so the swap guard
+/// (and operators reading logs) can tell bit rot from version skew from
+/// a half-written deploy.
 #[derive(Debug)]
 pub enum SnapshotError {
-    /// Filesystem failure.
+    /// Filesystem failure other than a missing file.
     Io(std::io::Error),
-    /// The payload did not parse, or disagreed with its meta record.
+    /// A required snapshot file does not exist (interrupted deploy, wrong
+    /// directory).
+    Missing {
+        /// File name relative to the snapshot directory.
+        file: String,
+    },
+    /// The payload bytes do not hash to the digest recorded in
+    /// `meta.json` — corruption or a torn write.
+    Checksum {
+        /// File whose bytes were hashed.
+        file: String,
+        /// Digest recorded in `meta.json`.
+        expected: u64,
+        /// Digest of the bytes actually on disk.
+        actual: u64,
+    },
+    /// The snapshot was written by an incompatible format version.
+    VersionSkew {
+        /// Version recorded in `meta.json`.
+        found: u32,
+        /// Version this build reads.
+        supported: u32,
+    },
+    /// A file did not parse as the expected JSON shape.
     Malformed(String),
+    /// The payload parsed but violates a structural invariant (vector
+    /// lengths, leaderboard ids out of range, non-finite scores, meta
+    /// identity mismatch) — serving it would produce wrong answers.
+    Semantic(String),
 }
 
 impl std::fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SnapshotError::Io(e) => write!(f, "snapshot io: {e}"),
+            SnapshotError::Missing { file } => write!(f, "snapshot file missing: {file}"),
+            SnapshotError::Checksum { file, expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch in {file}: meta records {expected:#018x}, \
+                 bytes hash to {actual:#018x}"
+            ),
+            SnapshotError::VersionSkew { found, supported } => write!(
+                f,
+                "snapshot format version skew: found {found}, this build reads {supported}"
+            ),
             SnapshotError::Malformed(m) => write!(f, "snapshot malformed: {m}"),
+            SnapshotError::Semantic(m) => write!(f, "snapshot semantically invalid: {m}"),
         }
     }
 }
@@ -147,9 +208,12 @@ where
         .filter(|&u| include(u))
         .map(|u| RankedNode { node: u, score: score(u) })
         .collect();
-    ranked.sort_by(|a, b| {
-        b.score.partial_cmp(&a.score).expect("finite scores").then(a.node.cmp(&b.node))
-    });
+    // total_cmp, not partial_cmp: a NaN score (e.g. a poisoned PageRank
+    // run) must sort deterministically instead of panicking the
+    // leaderboard builder mid-snapshot-build; under IEEE total order a
+    // positive NaN ranks above +inf and a negative NaN below -inf, and
+    // every rerun places it identically
+    ranked.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.node.cmp(&b.node)));
     ranked.truncate(k);
     ranked
 }
@@ -214,13 +278,21 @@ impl AnalysedSnapshot {
         }
     }
 
-    /// The identity record for this snapshot.
+    /// The identity record for this snapshot, including the payload
+    /// checksum. Serializes the snapshot to hash it; `save` reuses the
+    /// bytes instead of calling this twice.
     pub fn meta(&self) -> SnapshotMeta {
+        let payload = serde_json::to_vec(self).expect("snapshot serializes");
+        self.meta_for_payload(&payload)
+    }
+
+    fn meta_for_payload(&self, payload: &[u8]) -> SnapshotMeta {
         SnapshotMeta {
             format_version: SNAPSHOT_FORMAT_VERSION,
             seed: self.seed,
             nodes: self.graph.node_count() as u64,
             edges: self.graph.edge_count() as u64,
+            payload_fnv1a: fnv1a(payload),
         }
     }
 
@@ -233,42 +305,130 @@ impl AnalysedSnapshot {
     }
 
     /// Writes `meta.json` and `snapshot.json` into `dir` (created if
-    /// missing).
+    /// missing) via write-temp-then-rename. Both files are staged as
+    /// `.tmp` siblings first and renamed into place payload-before-meta,
+    /// so a process killed at any instant leaves either the fully-old
+    /// directory or one whose inconsistency `load` *detects* (checksum or
+    /// identity mismatch against the old meta) — never a silently torn
+    /// snapshot that serves wrong answers.
     pub fn save(&self, dir: &Path) -> Result<(), SnapshotError> {
         std::fs::create_dir_all(dir)?;
-        let meta = serde_json::to_string_pretty(&self.meta())
-            .map_err(|e| SnapshotError::Malformed(e.to_string()))?;
-        std::fs::write(dir.join("meta.json"), meta)?;
         let payload =
             serde_json::to_vec(self).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
-        std::fs::write(dir.join("snapshot.json"), payload)?;
+        let meta = serde_json::to_string_pretty(&self.meta_for_payload(&payload))
+            .map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        let payload_tmp = dir.join("snapshot.json.tmp");
+        let meta_tmp = dir.join("meta.json.tmp");
+        std::fs::write(&payload_tmp, &payload)?;
+        std::fs::write(&meta_tmp, meta)?;
+        std::fs::rename(&payload_tmp, dir.join("snapshot.json"))?;
+        std::fs::rename(&meta_tmp, dir.join("meta.json"))?;
         Ok(())
     }
 
-    /// Loads a snapshot directory, verifying the meta record matches the
-    /// payload (a mismatch means a torn or hand-edited snapshot, which
-    /// must never reach the serving path).
+    /// Loads a snapshot directory, verifying — in order — that both files
+    /// exist, the format version matches, the payload bytes hash to the
+    /// digest `meta.json` records, the payload parses, its structure is
+    /// semantically valid ([`AnalysedSnapshot::validate`]), and its
+    /// identity agrees with the meta record. A snapshot that fails any
+    /// step must never reach the serving path.
     pub fn load(dir: &Path) -> Result<Self, SnapshotError> {
-        let meta_bytes = std::fs::read(dir.join("meta.json"))?;
+        let meta_bytes = read_snapshot_file(dir, "meta.json")?;
         let meta: SnapshotMeta = serde_json::from_slice(&meta_bytes)
             .map_err(|e| SnapshotError::Malformed(format!("meta.json: {e}")))?;
         if meta.format_version != SNAPSHOT_FORMAT_VERSION {
-            return Err(SnapshotError::Malformed(format!(
-                "format version {} (this build reads {})",
-                meta.format_version, SNAPSHOT_FORMAT_VERSION
-            )));
+            return Err(SnapshotError::VersionSkew {
+                found: meta.format_version,
+                supported: SNAPSHOT_FORMAT_VERSION,
+            });
         }
-        let payload = std::fs::read(dir.join("snapshot.json"))?;
+        let payload = read_snapshot_file(dir, "snapshot.json")?;
+        let actual_digest = fnv1a(&payload);
+        if actual_digest != meta.payload_fnv1a {
+            return Err(SnapshotError::Checksum {
+                file: "snapshot.json".to_string(),
+                expected: meta.payload_fnv1a,
+                actual: actual_digest,
+            });
+        }
         let snapshot: AnalysedSnapshot = serde_json::from_slice(&payload)
             .map_err(|e| SnapshotError::Malformed(format!("snapshot.json: {e}")))?;
-        let actual = snapshot.meta();
+        snapshot.validate()?;
+        let actual = snapshot.meta_for_payload(&payload);
         if actual != meta {
-            return Err(SnapshotError::Malformed(format!(
+            return Err(SnapshotError::Semantic(format!(
                 "meta.json disagrees with payload: {meta:?} vs {actual:?}"
             )));
         }
         Ok(snapshot)
     }
+
+    /// Structural invariants a serving snapshot must satisfy. The
+    /// checksum proves the bytes are what the builder wrote; this proves
+    /// what the builder wrote is *servable* — every leaderboard entry
+    /// indexes a real node with a non-NaN score, attribute vectors cover
+    /// exactly the graph, and per-country lists are strictly sorted (the
+    /// binary-search contract of country lookups).
+    pub fn validate(&self) -> Result<(), SnapshotError> {
+        let n = self.graph.node_count();
+        if self.names.len() != n || self.countries.len() != n || self.reciprocal.len() != n {
+            return Err(SnapshotError::Semantic(format!(
+                "attribute vectors disagree with graph: {n} nodes vs {} names, {} countries, \
+                 {} reciprocal flags",
+                self.names.len(),
+                self.countries.len(),
+                self.reciprocal.len()
+            )));
+        }
+        let check = |label: &str, list: &[RankedNode]| -> Result<(), SnapshotError> {
+            for e in list {
+                if (e.node as usize) >= n {
+                    return Err(SnapshotError::Semantic(format!(
+                        "{label} ranks node {} but the graph has {n} nodes",
+                        e.node
+                    )));
+                }
+                if e.score.is_nan() {
+                    return Err(SnapshotError::Semantic(format!(
+                        "{label} carries a NaN score for node {}",
+                        e.node
+                    )));
+                }
+            }
+            Ok(())
+        };
+        check("pagerank_top", &self.pagerank_top)?;
+        check("in_degree_top", &self.in_degree_top)?;
+        check("out_degree_top", &self.out_degree_top)?;
+        for w in self.country_top.windows(2) {
+            if w[0].country >= w[1].country {
+                return Err(SnapshotError::Semantic(format!(
+                    "country_top not strictly sorted: {:?} then {:?}",
+                    w[0].country, w[1].country
+                )));
+            }
+        }
+        for ranking in &self.country_top {
+            let c = ranking.country;
+            check(&format!("country_top[{c:?}].pagerank"), &ranking.pagerank)?;
+            check(&format!("country_top[{c:?}].in_degree"), &ranking.in_degree)?;
+            check(&format!("country_top[{c:?}].out_degree"), &ranking.out_degree)?;
+        }
+        Ok(())
+    }
+}
+
+/// Reads one snapshot file, mapping "not found" to the typed
+/// [`SnapshotError::Missing`] (an interrupted deploy looks exactly like
+/// this) and every other io failure to [`SnapshotError::Io`].
+fn read_snapshot_file(dir: &Path, name: &str) -> Result<Vec<u8>, SnapshotError> {
+    std::fs::read(dir.join(name)).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            SnapshotError::Missing { file: name.to_string() }
+        } else {
+            SnapshotError::Io(e)
+        }
+    })
 }
 
 /// The snapshot doubles as a [`Dataset`], so batch extensions (friend
@@ -440,8 +600,126 @@ mod tests {
         let mut meta = snap.meta();
         meta.seed ^= 1;
         std::fs::write(dir.join("meta.json"), serde_json::to_string(&meta).unwrap()).unwrap();
-        assert!(matches!(AnalysedSnapshot::load(&dir), Err(SnapshotError::Malformed(_))));
+        assert!(matches!(AnalysedSnapshot::load(&dir), Err(SnapshotError::Semantic(_))));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_leaves_no_temp_files_behind() {
+        let snap = small();
+        let dir = std::env::temp_dir().join("gplus-serve-snapshot-no-tmp");
+        let _ = std::fs::remove_dir_all(&dir);
+        snap.save(&dir).unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert!(!names.iter().any(|f| f.ends_with(".tmp")), "temp files left: {names:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_single_flipped_byte_with_checksum_error() {
+        let snap = small();
+        let dir = std::env::temp_dir().join("gplus-serve-snapshot-bitrot");
+        let _ = std::fs::remove_dir_all(&dir);
+        snap.save(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40; // one flipped bit, still plausibly valid JSON bytes
+        std::fs::write(&path, &bytes).unwrap();
+        match AnalysedSnapshot::load(&dir) {
+            Err(SnapshotError::Checksum { file, expected, actual }) => {
+                assert_eq!(file, "snapshot.json");
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_reports_missing_files_as_typed_errors() {
+        let snap = small();
+        let dir = std::env::temp_dir().join("gplus-serve-snapshot-missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        snap.save(&dir).unwrap();
+        std::fs::remove_file(dir.join("snapshot.json")).unwrap();
+        assert!(matches!(
+            AnalysedSnapshot::load(&dir),
+            Err(SnapshotError::Missing { file }) if file == "snapshot.json"
+        ));
+        std::fs::remove_file(dir.join("meta.json")).unwrap();
+        assert!(matches!(
+            AnalysedSnapshot::load(&dir),
+            Err(SnapshotError::Missing { file }) if file == "meta.json"
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_version_skew() {
+        let snap = small();
+        let dir = std::env::temp_dir().join("gplus-serve-snapshot-skew");
+        let _ = std::fs::remove_dir_all(&dir);
+        snap.save(&dir).unwrap();
+        let mut meta = snap.meta();
+        meta.format_version = SNAPSHOT_FORMAT_VERSION + 1;
+        std::fs::write(dir.join("meta.json"), serde_json::to_string(&meta).unwrap()).unwrap();
+        assert!(matches!(
+            AnalysedSnapshot::load(&dir),
+            Err(SnapshotError::VersionSkew { found, supported })
+                if found == SNAPSHOT_FORMAT_VERSION + 1 && supported == SNAPSHOT_FORMAT_VERSION
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_leaderboard_ids() {
+        let mut snap = small();
+        snap.validate().unwrap();
+        let n = snap.graph.node_count() as NodeId;
+        snap.pagerank_top.push(RankedNode { node: n, score: 0.5 });
+        assert!(matches!(snap.validate(), Err(SnapshotError::Semantic(_))));
+    }
+
+    #[test]
+    fn validate_rejects_nan_scores_and_short_vectors() {
+        let mut snap = small();
+        snap.in_degree_top[0].score = f64::NAN;
+        assert!(matches!(snap.validate(), Err(SnapshotError::Semantic(_))));
+        let mut snap = small();
+        snap.names.pop();
+        assert!(matches!(snap.validate(), Err(SnapshotError::Semantic(_))));
+    }
+
+    #[test]
+    fn top_by_tolerates_nan_scores() {
+        // regression: partial_cmp(...).expect("finite scores") panicked the
+        // leaderboard builder on the first NaN score; total_cmp must rank
+        // deterministically instead
+        let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(50, 7));
+        let g = &net.graph;
+        let ranked = top_by(g, 10, |_| true, |u| if u == 3 { f64::NAN } else { u as f64 });
+        assert_eq!(ranked.len(), 10);
+        // IEEE total order ranks positive NaN above every finite score, so
+        // the poisoned node leads the descending list — deterministically
+        assert_eq!(ranked[0].node, 3);
+        assert!(ranked[0].score.is_nan());
+        // rerun places every entry identically
+        let again = top_by(g, 10, |_| true, |u| if u == 3 { f64::NAN } else { u as f64 });
+        let ids: Vec<_> = ranked.iter().map(|e| e.node).collect();
+        let ids_again: Vec<_> = again.iter().map(|e| e.node).collect();
+        assert_eq!(ids, ids_again);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // canonical FNV-1a 64 test vectors
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Guarded snapshot swap: validation between the disk and the serving
+//! epoch.
+//!
+//! [`QueryEngine::swap`] trusts its argument — correct for snapshots the
+//! process just built, wrong for anything that crossed a filesystem. A
+//! [`SwapGuard`] is the untrusted-input front door: it loads and fully
+//! verifies a candidate (checksums, version, semantic invariants) and
+//! only then publishes it. On any failure the old epoch keeps serving,
+//! untouched, and the rejection is visible as `serve.swap.rejected_count`
+//! — an operator deploying a corrupt snapshot gets a counter and a typed
+//! error, not a panic and an outage.
+
+use crate::engine::QueryEngine;
+use crate::snapshot::{AnalysedSnapshot, SnapshotError};
+use std::path::Path;
+
+/// Validating swap front door for one engine.
+pub struct SwapGuard<'a> {
+    engine: &'a QueryEngine,
+}
+
+impl<'a> SwapGuard<'a> {
+    /// Guards swaps into `engine`.
+    pub fn new(engine: &'a QueryEngine) -> Self {
+        Self { engine }
+    }
+
+    /// Loads the snapshot directory and swaps it in if — and only if —
+    /// every integrity and semantic check passes. Returns the new epoch,
+    /// or the typed load error after recording the rejection. The old
+    /// snapshot serves uninterrupted either way: the load happens
+    /// entirely before the swap, so there is no window in which readers
+    /// can observe a half-accepted snapshot.
+    pub fn apply_dir(&self, dir: &Path) -> Result<u64, SnapshotError> {
+        match AnalysedSnapshot::load(dir) {
+            Ok(snapshot) => Ok(self.engine.swap(snapshot)),
+            Err(err) => {
+                self.engine.note_swap_rejected();
+                Err(err)
+            }
+        }
+    }
+
+    /// Validates an in-memory candidate (semantic invariants only — there
+    /// are no bytes to checksum) and swaps it in, or records a rejection.
+    pub fn apply(&self, snapshot: AnalysedSnapshot) -> Result<u64, SnapshotError> {
+        match snapshot.validate() {
+            Ok(()) => Ok(self.engine.swap(snapshot)),
+            Err(err) => {
+                self.engine.note_swap_rejected();
+                Err(err)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use gplus_service::query::{QueryRequest, QueryResponse};
+    use gplus_synth::{SynthConfig, SynthNetwork};
+
+    fn snapshot(nodes: usize, seed: u64) -> AnalysedSnapshot {
+        AnalysedSnapshot::build(&SynthNetwork::generate(&SynthConfig::google_plus_2011(
+            nodes, seed,
+        )))
+    }
+
+    #[test]
+    fn valid_directory_swap_bumps_epoch() {
+        let engine = QueryEngine::new(snapshot(200, 1), EngineConfig::default());
+        let dir = std::env::temp_dir().join("gplus-swapguard-ok");
+        let _ = std::fs::remove_dir_all(&dir);
+        snapshot(250, 2).save(&dir).unwrap();
+        let guard = SwapGuard::new(&engine);
+        assert_eq!(guard.apply_dir(&dir).unwrap(), 1);
+        assert_eq!(engine.current().graph.node_count(), 250);
+        assert_eq!(engine.stats().swaps_applied, 1);
+        assert_eq!(engine.stats().swaps_rejected, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_directory_swap_is_rejected_and_old_epoch_serves() {
+        let engine = QueryEngine::new(snapshot(200, 1), EngineConfig::default());
+        let before = engine.answer(&QueryRequest::Epoch);
+        let dir = std::env::temp_dir().join("gplus-swapguard-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        snapshot(250, 2).save(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let guard = SwapGuard::new(&engine);
+        assert!(matches!(guard.apply_dir(&dir), Err(SnapshotError::Checksum { .. })));
+        assert_eq!(engine.epoch(), 0, "rejected swap must not consume an epoch");
+        assert_eq!(engine.answer(&QueryRequest::Epoch), before);
+        assert_eq!(engine.stats().swaps_rejected, 1);
+        assert_eq!(engine.stats().swaps_applied, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn semantically_invalid_in_memory_swap_is_rejected() {
+        let engine = QueryEngine::new(snapshot(200, 1), EngineConfig::default());
+        let mut bad = snapshot(150, 3);
+        bad.names.pop(); // attribute vector no longer covers the graph
+        let guard = SwapGuard::new(&engine);
+        assert!(matches!(guard.apply(bad), Err(SnapshotError::Semantic(_))));
+        assert_eq!(engine.epoch(), 0);
+        assert_eq!(engine.stats().swaps_rejected, 1);
+        match engine.answer(&QueryRequest::Epoch) {
+            QueryResponse::Epoch { nodes, .. } => assert_eq!(nodes, 200),
+            other => panic!("expected epoch, got {other:?}"),
+        }
+    }
+}

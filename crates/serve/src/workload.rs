@@ -17,13 +17,15 @@
 //! bucket-for-bucket.
 
 use crate::engine::{QueryEngine, QUERY_KINDS};
-use crate::snapshot::AnalysedSnapshot;
+use crate::snapshot::{fnv1a, AnalysedSnapshot};
+use crate::swap::SwapGuard;
 use gplus_geo::TOP10_COUNTRIES;
 use gplus_service::failure::splitmix64;
-use gplus_service::query::{QueryRequest, RankMetric};
+use gplus_service::query::{QueryError, QueryRequest, QueryResponse, RankMetric};
 use gplus_service::Direction;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+use std::path::Path;
 
 /// Weighted query-type mix (weights are relative, need not sum to
 /// anything in particular; a zero weight disables the kind).
@@ -123,8 +125,17 @@ impl Default for WorkloadConfig {
 pub struct WorkloadReport {
     /// Queries issued.
     pub queries: u64,
-    /// Queries answered with [`gplus_service::query::QueryResponse::Error`].
+    /// Queries answered with [`gplus_service::query::QueryResponse::Error`],
+    /// of any cause — shed queries included.
     pub failed: u64,
+    /// The subset of `failed` that was overload protection doing its job
+    /// ([`QueryError::Overloaded`] / [`QueryError::DeadlineExceeded`])
+    /// rather than a wrong or unanswerable query. `failed > shed` is the
+    /// serve CLI's hard-failure signal.
+    pub shed: u64,
+    /// Whether an injected swap was rejected by the [`SwapGuard`] (the
+    /// old snapshot kept serving).
+    pub swap_rejected: bool,
     /// Per-kind query counts, in [`QUERY_KINDS`] order.
     pub per_kind: Vec<(String, u64)>,
     /// Response-size histogram over `gplus_obs` buckets (deterministic
@@ -238,14 +249,25 @@ fn generate(rng: &mut SeededRng, zipf: &ZipfTable, mix_cdf: &[u64; 8]) -> QueryR
     }
 }
 
-/// FNV-1a over a byte slice — the response digest recorded in the log.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
+/// What to do when the swap index is reached mid-workload.
+enum SwapPlan<'a> {
+    /// No swap injected.
+    None,
+    /// Trusted in-memory swap (the original hot-reload drill).
+    Trusted(u64, &'a AnalysedSnapshot),
+    /// Guarded swap from a directory: full integrity validation; a
+    /// rejection leaves the old epoch serving and is recorded in the
+    /// report rather than aborting the run.
+    Guarded(u64, &'a Path),
+}
+
+impl SwapPlan<'_> {
+    fn at(&self) -> Option<u64> {
+        match self {
+            SwapPlan::None => None,
+            SwapPlan::Trusted(at, _) | SwapPlan::Guarded(at, _) => Some(*at),
+        }
     }
-    h
 }
 
 /// Runs the workload against `engine`, optionally swapping in `snapshot`
@@ -257,6 +279,34 @@ pub fn run(
     config: &WorkloadConfig,
     swap_at: Option<(u64, &AnalysedSnapshot)>,
 ) -> WorkloadReport {
+    let plan = match swap_at {
+        None => SwapPlan::None,
+        Some((at, snapshot)) => SwapPlan::Trusted(at, snapshot),
+    };
+    run_with_plan(engine, config, plan)
+}
+
+/// Like [`run`], but the injected swap goes through a [`SwapGuard`] over
+/// a snapshot *directory* — the deployment-shaped drill. If the
+/// directory fails validation the workload keeps serving the old epoch
+/// and reports `swap_rejected = true`; queries are never interrupted.
+pub fn run_guarded(
+    engine: &QueryEngine,
+    config: &WorkloadConfig,
+    swap_at: Option<(u64, &Path)>,
+) -> WorkloadReport {
+    let plan = match swap_at {
+        None => SwapPlan::None,
+        Some((at, dir)) => SwapPlan::Guarded(at, dir),
+    };
+    run_with_plan(engine, config, plan)
+}
+
+fn run_with_plan(
+    engine: &QueryEngine,
+    config: &WorkloadConfig,
+    plan: SwapPlan<'_>,
+) -> WorkloadReport {
     let obs = gplus_obs::global();
     let _span = obs.span("serve.workload.run");
     let mut rng = SeededRng::new(config.seed);
@@ -266,14 +316,23 @@ pub fn run(
     let mut per_kind = [0u64; 8];
     let mut cost_buckets = vec![0u64; gplus_obs::NUM_BUCKETS];
     let mut failed = 0u64;
+    let mut shed = 0u64;
     let mut log = String::new();
     let mut swapped_at = None;
+    let mut swap_rejected = false;
 
     for seq in 0..config.queries {
-        if let Some((at, snapshot)) = swap_at {
-            if seq == at {
-                engine.swap(snapshot.clone());
-                swapped_at = Some(seq);
+        if plan.at() == Some(seq) {
+            match &plan {
+                SwapPlan::None => unreachable!("at() is None for SwapPlan::None"),
+                SwapPlan::Trusted(_, snapshot) => {
+                    engine.swap((*snapshot).clone());
+                    swapped_at = Some(seq);
+                }
+                SwapPlan::Guarded(_, dir) => match SwapGuard::new(engine).apply_dir(dir) {
+                    Ok(_) => swapped_at = Some(seq),
+                    Err(_) => swap_rejected = true,
+                },
             }
         }
         let req = generate(&mut rng, &zipf, &mix_cdf);
@@ -284,6 +343,14 @@ pub fn run(
         if resp.is_error() {
             failed += 1;
         }
+        if matches!(
+            resp,
+            QueryResponse::Error(
+                QueryError::Overloaded { .. } | QueryError::DeadlineExceeded { .. }
+            )
+        ) {
+            shed += 1;
+        }
         let payload = serde_json::to_vec(&resp).expect("responses serialize");
         cost_buckets[gplus_obs::bucket_index(payload.len() as u64)] += 1;
         writeln!(log, "{seq}\t{kind}\t{:016x}", fnv1a(&payload)).expect("string write");
@@ -293,6 +360,8 @@ pub fn run(
     WorkloadReport {
         queries: config.queries,
         failed,
+        shed,
+        swap_rejected,
         per_kind: QUERY_KINDS.iter().zip(per_kind).map(|(k, c)| (k.to_string(), c)).collect(),
         cost_buckets,
         swapped_at,
@@ -396,5 +465,58 @@ mod tests {
         assert_eq!(report.swapped_at, Some(200));
         assert_eq!(report.failed, 0, "swap to an equal snapshot must not fail queries");
         assert_eq!(engine.epoch(), 1);
+    }
+
+    #[test]
+    fn guarded_swap_from_valid_directory_applies_mid_workload() {
+        let dir = std::env::temp_dir().join("gplus-workload-guarded-ok");
+        let _ = std::fs::remove_dir_all(&dir);
+        snapshot().save(&dir).unwrap();
+        let engine = QueryEngine::new(snapshot().clone(), EngineConfig::default());
+        let report = run_guarded(&engine, &config(), Some((200, dir.as_path())));
+        assert_eq!(report.swapped_at, Some(200));
+        assert!(!report.swap_rejected);
+        assert_eq!(report.failed, 0);
+        assert_eq!(engine.epoch(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn guarded_swap_from_corrupt_directory_keeps_serving_byte_identically() {
+        let dir = std::env::temp_dir().join("gplus-workload-guarded-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        snapshot().save(&dir).unwrap();
+        crate::fault::corrupt_payload(&dir, 9, 2).unwrap();
+        let baseline = run(
+            &QueryEngine::new(snapshot().clone(), EngineConfig::default()),
+            &config(),
+            None,
+        );
+        let engine = QueryEngine::new(snapshot().clone(), EngineConfig::default());
+        let report = run_guarded(&engine, &config(), Some((200, dir.as_path())));
+        assert!(report.swap_rejected, "corrupt snapshot must be rejected");
+        assert_eq!(report.swapped_at, None);
+        assert_eq!(engine.epoch(), 0, "old epoch must keep serving");
+        assert_eq!(engine.stats().swaps_rejected, 1);
+        assert_eq!(report.log, baseline.log, "answers must be byte-identical to no-swap run");
+        assert_eq!(report.failed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shed_queries_are_counted_separately_from_hard_failures() {
+        let engine = QueryEngine::new(
+            snapshot().clone(),
+            EngineConfig {
+                limiter: Some(gplus_service::TokenBucket::new(4.0, 0.3)),
+                ..EngineConfig::default()
+            },
+        );
+        let report = run(&engine, &config(), None);
+        assert!(report.shed > 0, "a throttled engine must shed under this workload");
+        // every id is in range, so the only errors are sheds: overload
+        // protection must never manufacture hard failures
+        assert_eq!(report.failed, report.shed);
+        assert_eq!(engine.stats().shed_total, report.shed);
     }
 }

@@ -162,8 +162,23 @@ pub enum QueryError {
     Unsupported,
     /// The answer could not fit one wire frame even after clamping.
     Oversized,
-    /// The engine's admission limiter rejected the query; retry later.
-    RateLimited,
+    /// The engine shed this query under overload pressure. Cost-weighted
+    /// admission rejects expensive kinds first; the client should back
+    /// off for `retry_after` admission ticks before retrying
+    /// (`u64::MAX` means the engine can never admit this kind under its
+    /// current limiter configuration).
+    Overloaded {
+        /// Admission ticks until the token balance can cover this query.
+        retry_after: u64,
+    },
+    /// The query ran past its deadline budget; the partial work was
+    /// discarded rather than served as a possibly-stale slow answer.
+    DeadlineExceeded {
+        /// What the query actually cost on the engine clock.
+        elapsed_us: u64,
+        /// The configured per-query budget.
+        deadline_us: u64,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -172,7 +187,12 @@ impl std::fmt::Display for QueryError {
             QueryError::UnknownUser(u) => write!(f, "unknown user {u}"),
             QueryError::Unsupported => f.write_str("unsupported request"),
             QueryError::Oversized => f.write_str("response exceeds frame cap"),
-            QueryError::RateLimited => f.write_str("query rate limited"),
+            QueryError::Overloaded { retry_after } => {
+                write!(f, "query shed under overload; retry after {retry_after} ticks")
+            }
+            QueryError::DeadlineExceeded { elapsed_us, deadline_us } => {
+                write!(f, "deadline exceeded: {elapsed_us}us spent of {deadline_us}us budget")
+            }
         }
     }
 }
@@ -297,7 +317,12 @@ mod tests {
             QueryResponse::ShortestPath { src: 0, dst: 5, distance: None },
             QueryResponse::Epoch { epoch: 3, nodes: 100, edges: 500, seed: 2012 },
             QueryResponse::Error(QueryError::UnknownUser(u64::MAX)),
-            QueryResponse::Error(QueryError::RateLimited),
+            QueryResponse::Error(QueryError::Overloaded { retry_after: 17 }),
+            QueryResponse::Error(QueryError::Overloaded { retry_after: u64::MAX }),
+            QueryResponse::Error(QueryError::DeadlineExceeded {
+                elapsed_us: 1_000,
+                deadline_us: 500,
+            }),
         ];
         for resp in responses {
             let mut buf = BytesMut::new();

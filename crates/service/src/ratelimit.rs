@@ -54,12 +54,48 @@ impl TokenBucket {
     /// Advances one tick (refill) and tries to take one token.
     /// Returns `true` if the request is admitted.
     pub fn try_acquire(&mut self) -> bool {
+        self.try_acquire_cost(1.0)
+    }
+
+    /// Advances one tick (refill) and tries to take `cost` tokens. This
+    /// is the cost-weighted admission the serving engine's shedding
+    /// policy is built on: under pressure the balance hovers low, so
+    /// cheap queries (cost 1) keep being admitted while expensive ones
+    /// (cost 4+) are rejected first — graceful degradation falls out of
+    /// the price structure with no extra state.
+    ///
+    /// # Panics
+    /// Panics if `cost` is not a positive finite number.
+    pub fn try_acquire_cost(&mut self, cost: f64) -> bool {
+        assert!(cost > 0.0 && cost.is_finite(), "admission cost must be positive and finite");
         self.advance(1);
-        if self.tokens >= 1.0 {
-            self.tokens -= 1.0;
+        if self.tokens >= cost {
+            self.tokens -= cost;
             true
         } else {
             false
+        }
+    }
+
+    /// Admission ticks until the balance could cover `cost`: `0` when it
+    /// already does, `u64::MAX` when it never will (no refill, or a cost
+    /// above capacity). This is the `retry_after` hint shed queries carry
+    /// back to the client, and it is exact for a quiet bucket: after that
+    /// many refill ticks with no competing admissions, `try_acquire_cost`
+    /// succeeds.
+    pub fn ticks_until(&self, cost: f64) -> u64 {
+        if self.tokens >= cost {
+            return 0;
+        }
+        if self.refill_per_tick <= 0.0 || cost > self.capacity {
+            return u64::MAX;
+        }
+        let deficit = cost - self.tokens;
+        let ticks = (deficit / self.refill_per_tick).ceil();
+        if ticks >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            ticks as u64
         }
     }
 
@@ -159,6 +195,51 @@ mod tests {
         }
         b.advance(13);
         assert!((a.available() - b.available()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_weighted_admission_prices_expensive_out_first() {
+        // capacity 4, slow refill: one expensive (cost 4) query drains the
+        // bucket; afterwards cheap queries recover long before another
+        // expensive one can — the degradation order the engine relies on
+        let mut b = TokenBucket::new(4.0, 0.5);
+        assert!(b.try_acquire_cost(4.0));
+        assert!(!b.try_acquire_cost(4.0)); // 0.5 < 4
+        assert!(b.try_acquire_cost(1.0)); // 1.0 >= 1 — cheap still serves
+        assert!(!b.try_acquire_cost(4.0));
+        assert!(b.try_acquire_cost(1.0));
+    }
+
+    #[test]
+    fn ticks_until_is_exact_for_quiet_bucket() {
+        let mut b = TokenBucket::new(8.0, 0.5);
+        assert_eq!(b.ticks_until(4.0), 0);
+        assert!(b.try_acquire_cost(8.0)); // drain (after +0.5 refill, 8 capped)
+        let wait = b.ticks_until(4.0);
+        assert_eq!(wait, 8); // ceil(4 / 0.5)
+        b.advance(wait - 1);
+        assert_eq!(b.ticks_until(4.0), 1);
+        b.advance(1);
+        assert_eq!(b.ticks_until(4.0), 0);
+        assert!(b.try_acquire_cost(4.0));
+    }
+
+    #[test]
+    fn ticks_until_reports_never_for_unservable_costs() {
+        let mut drained = TokenBucket::new(2.0, 0.0);
+        assert!(drained.try_acquire_cost(2.0));
+        // no refill: a drained bucket never recovers
+        assert_eq!(drained.ticks_until(1.0), u64::MAX);
+        // cost above capacity can never be covered even at full refill
+        let full = TokenBucket::new(2.0, 1.0);
+        assert_eq!(full.ticks_until(3.0), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost")]
+    fn rejects_non_positive_cost() {
+        let mut b = TokenBucket::new(2.0, 1.0);
+        let _ = b.try_acquire_cost(0.0);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! gplus snapshot [-n N] [-s SEED] [--out DIR]
 //! gplus serve    --snapshot DIR [--swap DIR2] [--swap-at K] [--queries N]
 //!                [--workload-seed S] [--zipf F] [--log PATH]
+//!                [--deadline-us US] [--max-in-flight N] [--rate CAP:REFILL]
+//!                [--inject-corrupt-swap SEED]
 //! gplus bench-suite [-n N] [-s SEED] [--out PATH] [--write-baseline PATH]
 //!                [--hybrid-threshold F] [--no-relabel]
 //! gplus bench-check [--baseline PATH] [--current PATH] [--threshold F]
@@ -36,13 +38,22 @@
 //!
 //! `snapshot` generates a network, runs the batch analyses (PageRank,
 //! degree rankings, per-country leaderboards, reciprocity) and freezes
-//! the result into a directory; `serve` loads such a directory into the
-//! online query engine and drives the seeded Zipf workload against it —
-//! optionally hot-swapping to a second snapshot (`--swap DIR2`) at query
-//! index `--swap-at K` to drill the epoch-swap path under traffic. The
-//! workload is deterministic: same snapshot, seed and knobs produce a
-//! byte-identical query log (`--log PATH`), which is what the CI serve
-//! job compares across runs.
+//! the result into a directory (checksummed `meta.json` + atomic
+//! temp-then-rename writes); `serve` loads such a directory into the
+//! online query engine — rejecting corrupt or version-skewed snapshots
+//! with a typed error — and drives the seeded Zipf workload against it.
+//! `--swap DIR2` hot-swaps to a second snapshot at query index
+//! `--swap-at K` *through the `SwapGuard`*: a corrupt swap directory is
+//! rejected mid-flight and the old epoch keeps serving (exit stays 0;
+//! `--inject-corrupt-swap SEED` flips a seed-chosen payload byte first to
+//! drill exactly that path). Overload knobs mirror `EngineConfig`:
+//! `--deadline-us` bounds per-query latency budgets, `--max-in-flight`
+//! bounds concurrency, `--rate CAP:REFILL` prices admission per cost
+//! class (cheap 1, moderate 2, expensive 4 tokens) so expensive kinds
+//! shed first. Shed queries are reported separately and do not fail the
+//! run; only hard failures do. The workload is deterministic: same
+//! snapshot, seed and knobs produce a byte-identical query log
+//! (`--log PATH`), which is what the CI serve job compares across runs.
 //!
 //! `verify-kernels` is the standalone differential sweep: it fuzzes the
 //! optimized kernels against the oracle across seeds × presets (plus
@@ -56,9 +67,12 @@ use gplus::analysis::{
 };
 use gplus::crawler::{CrawlCheckpoint, CrawlResult, Crawler, CrawlerConfig};
 use gplus::oracle::{DiffConfig, Preset, SweepConfig};
-use gplus::serve::{run_workload, AnalysedSnapshot, EngineConfig, QueryEngine, WorkloadConfig};
+use gplus::serve::{
+    run_guarded, run_workload, AnalysedSnapshot, EngineConfig, QueryEngine, WorkloadConfig,
+};
 use gplus::service::{
-    CorruptionPlan, FaultPlan, GooglePlusService, ServiceConfig, SocialApi, WireService,
+    CorruptionPlan, FaultPlan, GooglePlusService, ServiceConfig, SocialApi, TokenBucket,
+    WireService,
 };
 use gplus::synth::{GrowthModel, SynthConfig, SynthNetwork};
 use std::io::Write;
@@ -104,7 +118,9 @@ fn print_usage() {
          gplus growth [-n N] [-s SEED]\n  \
          gplus snapshot [-n N] [-s SEED] [--out DIR]\n  \
          gplus serve  --snapshot DIR [--swap DIR2] [--swap-at K] [--queries N]\n               \
-         [--workload-seed S] [--zipf F] [--log PATH]\n  \
+         [--workload-seed S] [--zipf F] [--log PATH]\n               \
+         [--deadline-us US] [--max-in-flight N] [--rate CAP:REFILL]\n               \
+         [--inject-corrupt-swap SEED]\n  \
          gplus bench-suite [-n N] [-s SEED] [--out PATH] [--write-baseline PATH]\n               \
          [--hybrid-threshold F] [--no-relabel]\n  \
          gplus bench-check [--baseline PATH] [--current PATH] [--threshold F]\n  \
@@ -572,6 +588,10 @@ fn cmd_serve(args: &[String]) -> i32 {
             "--workload-seed",
             "--zipf",
             "--log",
+            "--deadline-us",
+            "--max-in-flight",
+            "--rate",
+            "--inject-corrupt-swap",
         ],
         &[],
     );
@@ -579,29 +599,28 @@ fn cmd_serve(args: &[String]) -> i32 {
         eprintln!("serve requires --snapshot DIR (build one with `gplus snapshot --out DIR`)");
         return 2;
     };
-    let load = |d: &str| match AnalysedSnapshot::load(std::path::Path::new(d)) {
+    // The initial snapshot must load: with nothing to serve yet there is
+    // no old epoch to fall back to, so integrity failures are fatal here.
+    let snapshot = match AnalysedSnapshot::load(std::path::Path::new(dir)) {
         Ok(s) => {
             eprintln!(
-                "loaded {d}/: {} nodes, {} edges, seed {}",
+                "loaded {dir}/: {} nodes, {} edges, seed {}",
                 s.graph.node_count(),
                 s.graph.edge_count(),
                 s.seed
             );
-            Some(s)
+            s
         }
         Err(e) => {
-            eprintln!("failed to load snapshot {d}: {e}");
-            None
+            eprintln!("failed to load snapshot {dir}: {e}");
+            return 1;
         }
     };
-    let Some(snapshot) = load(dir) else { return 1 };
-    let swap_snapshot = match flags.options.get("--swap") {
-        Some(d2) => match load(d2) {
-            Some(s) => Some(s),
-            None => return 1,
-        },
-        None => None,
-    };
+    // The swap directory is deliberately NOT loaded up front: it goes
+    // through the SwapGuard mid-workload, so a corrupt deploy becomes a
+    // rejected swap (old epoch keeps serving) rather than a startup
+    // failure.
+    let swap_dir = flags.options.get("--swap").map(std::path::PathBuf::from);
     let queries: u64 =
         flags.options.get("--queries").and_then(|v| v.parse().ok()).unwrap_or(5_000);
     let workload_seed: u64 =
@@ -616,6 +635,58 @@ fn cmd_serve(args: &[String]) -> i32 {
     };
     let swap_at: u64 =
         flags.options.get("--swap-at").and_then(|v| v.parse().ok()).unwrap_or(queries / 2);
+    let deadline_us: Option<u64> = match flags.options.get("--deadline-us").map(|v| v.parse()) {
+        None => None,
+        Some(Ok(us)) => Some(us),
+        Some(Err(_)) => {
+            eprintln!("--deadline-us expects a microsecond budget (e.g. 5000)");
+            return 2;
+        }
+    };
+    let max_in_flight: Option<u32> =
+        match flags.options.get("--max-in-flight").map(|v| v.parse()) {
+            None => None,
+            Some(Ok(n)) if n > 0 => Some(n),
+            Some(_) => {
+                eprintln!("--max-in-flight expects a positive query count (e.g. 64)");
+                return 2;
+            }
+        };
+    let limiter = match flags.options.get("--rate") {
+        None => None,
+        Some(v) => match parse_pair::<f64, f64>(v) {
+            Some((cap, refill))
+                if cap > 0.0 && cap.is_finite() && refill >= 0.0 && refill.is_finite() =>
+            {
+                Some(TokenBucket::new(cap, refill))
+            }
+            _ => {
+                eprintln!("--rate expects CAPACITY:REFILL_PER_TICK (e.g. 64:8)");
+                return 2;
+            }
+        },
+    };
+    if let Some(seed_str) = flags.options.get("--inject-corrupt-swap") {
+        let Some(swap_dir) = swap_dir.as_deref() else {
+            eprintln!("--inject-corrupt-swap requires --swap DIR to damage");
+            return 2;
+        };
+        let Ok(inject_seed) = seed_str.parse::<u64>() else {
+            eprintln!("--inject-corrupt-swap expects a u64 seed");
+            return 2;
+        };
+        match gplus::serve::corrupt_payload(swap_dir, inject_seed, 1) {
+            Ok(offsets) => eprintln!(
+                "injected corruption into {} at byte offsets {:?} (seed {inject_seed})",
+                swap_dir.display(),
+                offsets
+            ),
+            Err(e) => {
+                eprintln!("failed to corrupt swap payload: {e}");
+                return 1;
+            }
+        }
+    }
 
     let config = WorkloadConfig {
         seed: workload_seed,
@@ -624,16 +695,19 @@ fn cmd_serve(args: &[String]) -> i32 {
         zipf_exponent: zipf,
         ..WorkloadConfig::default()
     };
-    let engine = QueryEngine::new(snapshot, EngineConfig::default());
+    let engine = QueryEngine::new(
+        snapshot,
+        EngineConfig { limiter, deadline_us, max_in_flight, simulated_clock: false },
+    );
     eprintln!(
         "serving {queries} queries (workload seed {workload_seed}, zipf {zipf}){}",
-        if swap_snapshot.is_some() {
-            format!(", swapping snapshots at query {swap_at}")
+        if swap_dir.is_some() {
+            format!(", guarded snapshot swap at query {swap_at}")
         } else {
             String::new()
         }
     );
-    let report = run_workload(&engine, &config, swap_snapshot.as_ref().map(|s| (swap_at, s)));
+    let report = run_guarded(&engine, &config, swap_dir.as_deref().map(|d| (swap_at, d)));
 
     if let Some(path) = flags.options.get("--log") {
         if let Err(e) = std::fs::write(path, &report.log) {
@@ -643,18 +717,24 @@ fn cmd_serve(args: &[String]) -> i32 {
         eprintln!("query log written to {path} ({} lines)", report.queries);
     }
     println!(
-        "served {} queries, {} failed, final epoch {}",
+        "served {} queries, {} shed under overload, {} failed, final epoch {}",
         report.queries,
+        report.shed,
         report.failed,
         engine.epoch()
     );
     for (kind, count) in &report.per_kind {
         println!("  {kind:>14}: {count}");
     }
-    // failed queries are a serving defect in this simulation (the
-    // workload only draws ids the initial snapshot can answer)
-    if report.failed > 0 {
-        eprintln!("serve finished with {} failed queries", report.failed);
+    if report.swap_rejected {
+        eprintln!("snapshot swap rejected; old epoch kept serving (serve.swap.rejected_count)");
+    }
+    // Shed queries are the overload policy working as designed; anything
+    // failed beyond the shed count is a wrong answer the workload should
+    // never see (it only draws ids the initial snapshot can answer).
+    let hard_failures = report.failed.saturating_sub(report.shed);
+    if hard_failures > 0 {
+        eprintln!("serve finished with {hard_failures} hard-failed queries");
         return 1;
     }
     0

@@ -1,0 +1,380 @@
+//! Serve-path chaos suite: the fault-tolerant serving tier under
+//! adversarial weather.
+//!
+//! The crawl chaos suite (`tests/chaos.rs`) batters the data-acquisition
+//! side; this one batters the serving side, and asserts its contract:
+//!
+//! * **integrity or old bytes**: a corrupt, truncated, or torn snapshot
+//!   is rejected with a typed error and the old epoch keeps serving
+//!   *byte-identical* answers — a bad deploy is a counter, not an outage;
+//! * **shed, never wrong**: under overload storms the engine sheds with
+//!   [`QueryError::Overloaded`] / `DeadlineExceeded`, expensive kinds
+//!   first, and every answer it *does* give matches the unthrottled
+//!   engine exactly; after the storm, expensive kinds are admitted again;
+//! * **kill-anywhere saves**: a process killed at any phase of the
+//!   atomic save protocol leaves a directory that either loads the old
+//!   snapshot in full or fails with a checksum error — never a silent
+//!   hybrid;
+//! * **observability**: every shed, rejection, and error lands in both
+//!   the engine's exact stats and the metrics registry, and the two
+//!   never disagree.
+
+use gplus::obs::{names, Registry};
+use gplus::serve::{
+    corrupt_payload, interrupted_save, run_guarded, run_workload, truncate_payload,
+    AnalysedSnapshot, EngineConfig, FlakyLoader, QueryEngine, SavePhase, SeededRng,
+    SnapshotError, SwapGuard, WorkloadConfig, ZipfTable, QUERY_KINDS,
+};
+use gplus::service::{QueryError, QueryRequest, QueryResponse, RankMetric, TokenBucket};
+use gplus::synth::{SynthConfig, SynthNetwork};
+use std::sync::{Arc, Barrier};
+
+fn build(n: usize, seed: u64) -> AnalysedSnapshot {
+    AnalysedSnapshot::build(&SynthNetwork::generate(&SynthConfig::google_plus_2011(n, seed)))
+}
+
+fn fresh_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Byte-level fingerprints of a fixed probe set — content queries only
+/// (no epoch probe, whose answer legitimately changes across applied
+/// swaps), so equal fingerprints mean equal serving behaviour.
+fn probe_digests(engine: &QueryEngine) -> Vec<Vec<u8>> {
+    [
+        QueryRequest::Profile { user: 0 },
+        QueryRequest::Degree { user: 3 },
+        QueryRequest::Reciprocity { user: 1 },
+        QueryRequest::TopK { metric: RankMetric::PageRank, k: 10, country: None },
+        QueryRequest::Recommend { user: 0, k: 5 },
+    ]
+    .iter()
+    .map(|req| serde_json::to_vec(&engine.answer(req)).expect("responses serialize"))
+    .collect()
+}
+
+#[test]
+fn corrupt_snapshot_swap_is_rejected_and_old_epoch_serves_byte_identically() {
+    let primary = build(420, 51);
+    let next = build(460, 52);
+    let dir = fresh_dir("gplus-chaos-serve-corrupt-swap");
+    next.save(&dir).unwrap();
+    let offsets = corrupt_payload(&dir, 7, 3).unwrap();
+    assert!(!offsets.is_empty());
+
+    let config = WorkloadConfig {
+        seed: 99,
+        queries: 600,
+        user_space: 420,
+        zipf_exponent: 1.0,
+        ..WorkloadConfig::default()
+    };
+    let baseline = run_workload(
+        &QueryEngine::new(primary.clone(), EngineConfig::default()),
+        &config,
+        None,
+    );
+
+    let engine = QueryEngine::new(primary, EngineConfig::default());
+    let report = run_guarded(&engine, &config, Some((300, dir.as_path())));
+    assert!(report.swap_rejected, "corrupt swap must be rejected");
+    assert_eq!(report.swapped_at, None);
+    assert_eq!(engine.epoch(), 0, "rejected swap must not consume an epoch");
+    assert_eq!(report.log, baseline.log, "old epoch must keep serving byte-identical answers");
+    assert_eq!(report.cost_buckets, baseline.cost_buckets);
+    assert_eq!(report.failed, baseline.failed);
+    assert_eq!(engine.stats().swaps_rejected, 1);
+    assert_eq!(engine.stats().swaps_applied, 0);
+    // the directory stays detectably corrupt for any fresh loader too
+    assert!(matches!(AnalysedSnapshot::load(&dir), Err(SnapshotError::Checksum { .. })));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_snapshot_swap_is_rejected_the_same_way() {
+    let primary = build(300, 53);
+    let next = build(330, 54);
+    let dir = fresh_dir("gplus-chaos-serve-truncated-swap");
+    next.save(&dir).unwrap();
+    truncate_payload(&dir, 11).unwrap();
+
+    let engine = QueryEngine::new(primary, EngineConfig::default());
+    let before = probe_digests(&engine);
+    let guard = SwapGuard::new(&engine);
+    assert!(matches!(guard.apply_dir(&dir), Err(SnapshotError::Checksum { .. })));
+    assert_eq!(engine.epoch(), 0);
+    assert_eq!(probe_digests(&engine), before, "answers must be untouched by the rejection");
+    assert_eq!(engine.stats().swaps_rejected, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overload_storm_sheds_expensive_first_never_wrongs_and_recovers() {
+    let snap = build(500, 41);
+    let reference = QueryEngine::new(snap.clone(), EngineConfig::default());
+    let engine = QueryEngine::new(
+        snap,
+        EngineConfig { limiter: Some(TokenBucket::new(6.0, 2.0)), ..EngineConfig::default() },
+    );
+
+    // celebrity-skewed storm: hot low ids, alternating cheap point
+    // lookups with expensive recommendation queries
+    let zipf = ZipfTable::new(500, 1.2);
+    let mut rng = SeededRng::new(2012);
+    let mut shed = 0u64;
+    let mut served = 0u64;
+    for i in 0..400u64 {
+        let user = zipf.sample(&mut rng);
+        let req = if i % 2 == 0 {
+            QueryRequest::Profile { user }
+        } else {
+            QueryRequest::Recommend { user, k: 5 }
+        };
+        match engine.answer(&req) {
+            QueryResponse::Error(QueryError::Overloaded { retry_after }) => {
+                assert!(
+                    matches!(req, QueryRequest::Recommend { .. }),
+                    "cheap point lookups must keep serving through the storm"
+                );
+                assert!(retry_after >= 1, "shed answers must carry a usable backoff hint");
+                shed += 1;
+            }
+            resp => {
+                assert_eq!(
+                    resp,
+                    reference.answer(&req),
+                    "every non-shed answer must match the unthrottled engine"
+                );
+                served += 1;
+            }
+        }
+    }
+    assert!(shed > 0, "the storm must overwhelm the bucket");
+    assert_eq!(served + shed, 400);
+    let stats = engine.stats();
+    assert_eq!(stats.queries, 400);
+    assert_eq!(stats.shed_total, shed);
+    assert_eq!(stats.shed_by_class[0], 0, "no cheap query may be shed");
+    assert_eq!(stats.shed_by_class[2], shed, "all sheds must be expensive-class");
+
+    // recovery: a cheap-only cool-down lets the bucket refill, after
+    // which expensive kinds are admitted again
+    for _ in 0..5 {
+        assert!(!engine.answer(&QueryRequest::Epoch).is_error());
+    }
+    let resp = engine.answer(&QueryRequest::Recommend { user: 0, k: 5 });
+    assert!(!resp.is_error(), "post-storm recommend must be admitted again, got {resp:?}");
+}
+
+#[test]
+fn concurrent_storm_under_in_flight_cap_sheds_cleanly_and_never_wrongs() {
+    let snap = build(400, 31);
+    let reference = Arc::new(QueryEngine::new(snap.clone(), EngineConfig::default()));
+    let engine = Arc::new(QueryEngine::new(
+        snap,
+        EngineConfig { max_in_flight: Some(2), ..EngineConfig::default() },
+    ));
+    const THREADS: usize = 4;
+    const ROUNDS: u64 = 50;
+    let barrier = Barrier::new(THREADS);
+
+    let (served, shed) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let engine = Arc::clone(&engine);
+                let reference = Arc::clone(&reference);
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let zipf = ZipfTable::new(400, 1.2);
+                    let mut rng = SeededRng::new(0xfeed ^ t as u64);
+                    let mut served = 0u64;
+                    let mut shed = 0u64;
+                    barrier.wait();
+                    for _ in 0..ROUNDS {
+                        let req = QueryRequest::Profile { user: zipf.sample(&mut rng) };
+                        match engine.answer(&req) {
+                            QueryResponse::Error(QueryError::Overloaded { retry_after }) => {
+                                assert_eq!(retry_after, 1, "in-flight sheds retry next tick");
+                                shed += 1;
+                            }
+                            resp => {
+                                assert_eq!(
+                                    resp,
+                                    reference.answer(&req),
+                                    "admitted answers must never be wrong under contention"
+                                );
+                                served += 1;
+                            }
+                        }
+                    }
+                    (served, shed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("storm thread must not panic"))
+            .fold((0u64, 0u64), |(a, b), (c, d)| (a + c, b + d))
+    });
+
+    assert_eq!(served + shed, THREADS as u64 * ROUNDS, "every query accounted for");
+    let stats = engine.stats();
+    assert_eq!(stats.queries, THREADS as u64 * ROUNDS);
+    assert_eq!(stats.shed_total, shed);
+    assert_eq!(stats.shed_in_flight, shed);
+    assert_eq!(stats.errors, shed, "sheds must be the only errors");
+}
+
+#[test]
+fn kill_mid_swap_every_phase_leaves_old_or_detectable_state() {
+    let old = build(300, 21);
+    let new = build(340, 22);
+    for phase in
+        [SavePhase::PayloadTmpWritten, SavePhase::BothTmpsWritten, SavePhase::PayloadRenamed]
+    {
+        let dir = fresh_dir("gplus-chaos-serve-killswap");
+        old.save(&dir).unwrap();
+        interrupted_save(&new, &dir, phase).unwrap();
+
+        let engine = QueryEngine::new(old.clone(), EngineConfig::default());
+        let before = probe_digests(&engine);
+        match SwapGuard::new(&engine).apply_dir(&dir) {
+            Ok(_) => {
+                // killed before any rename: the directory still holds the
+                // old snapshot in full, so the reload is a benign no-op
+                assert!(
+                    matches!(phase, SavePhase::PayloadTmpWritten | SavePhase::BothTmpsWritten),
+                    "phase {phase:?} must not have produced a loadable hybrid"
+                );
+                assert_eq!(*engine.current(), old, "pre-rename kill must serve old bytes");
+            }
+            Err(SnapshotError::Checksum { .. }) => {
+                // new payload beside old meta: detectably inconsistent,
+                // rejected, old epoch untouched
+                assert_eq!(phase, SavePhase::PayloadRenamed);
+                assert_eq!(engine.epoch(), 0);
+                assert_eq!(engine.stats().swaps_rejected, 1);
+            }
+            Err(other) => panic!("phase {phase:?}: unexpected error {other}"),
+        }
+        assert_eq!(probe_digests(&engine), before, "phase {phase:?} must not change answers");
+
+        // restart after a completed redeploy: the intact snapshot loads
+        // and swaps in cleanly
+        new.save(&dir).unwrap();
+        SwapGuard::new(&engine).apply_dir(&dir).expect("redeployed snapshot must load");
+        assert_eq!(*engine.current(), new);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn transient_load_failures_recover_with_retries_and_swap_applies() {
+    let primary = build(300, 61);
+    let next = build(330, 62);
+    let dir = fresh_dir("gplus-chaos-serve-flaky-load");
+    next.save(&dir).unwrap();
+
+    let engine = QueryEngine::new(primary, EngineConfig::default());
+    let mut loader = FlakyLoader::new(2);
+    let mut loaded = None;
+    for _ in 0..5 {
+        match loader.load(&dir) {
+            Ok(s) => {
+                loaded = Some(s);
+                break;
+            }
+            Err(SnapshotError::Io(_)) => continue,
+            Err(other) => panic!("only injected io errors expected, got {other}"),
+        }
+    }
+    let snapshot = loaded.expect("retries must outlast the injected failures");
+    assert_eq!(loader.attempts(), 3, "two injected failures, then success");
+    assert_eq!(SwapGuard::new(&engine).apply(snapshot).unwrap(), 1);
+    assert_eq!(engine.current().graph.node_count(), 330);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn registry_counters_match_engine_stats_under_chaos() {
+    // a private registry isolates this engine's counters so every
+    // assertion is exact; the engine runs with all three overload layers
+    // armed on a simulated clock for determinism
+    let registry = Arc::new(Registry::new());
+    let engine = QueryEngine::with_registry(
+        build(260, 71),
+        EngineConfig {
+            limiter: Some(TokenBucket::new(10.0, 1.0)),
+            deadline_us: Some(500),
+            max_in_flight: None,
+            simulated_clock: true,
+        },
+        Arc::clone(&registry),
+    );
+
+    // 3 recommends drain the bucket 10 -> 6 -> 3 -> 0 (cost 4 each,
+    // refill +1 per tick) and each blows the 500us deadline (nominal
+    // 1000us); the 4th finds only 1 token and is shed
+    for _ in 0..3 {
+        let resp = engine.answer(&QueryRequest::Recommend { user: 0, k: 3 });
+        assert!(matches!(
+            resp,
+            QueryResponse::Error(QueryError::DeadlineExceeded {
+                elapsed_us: 1_000,
+                deadline_us: 500
+            })
+        ));
+    }
+    assert!(matches!(
+        engine.answer(&QueryRequest::Recommend { user: 0, k: 3 }),
+        QueryResponse::Error(QueryError::Overloaded { .. })
+    ));
+    // cheap lookups still clear the bar (cost 1 vs refill 1 per tick)
+    for _ in 0..3 {
+        assert!(!engine.answer(&QueryRequest::Degree { user: 1 }).is_error());
+    }
+    // one semantic error that is neither shed nor deadline
+    assert!(matches!(
+        engine.answer(&QueryRequest::Profile { user: u64::MAX }),
+        QueryResponse::Error(QueryError::UnknownUser(_))
+    ));
+    // one applied and one rejected swap
+    engine.swap(build(280, 72));
+    let dir = fresh_dir("gplus-chaos-serve-parity-swap");
+    build(290, 73).save(&dir).unwrap();
+    corrupt_payload(&dir, 5, 1).unwrap();
+    assert!(SwapGuard::new(&engine).apply_dir(&dir).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let stats = engine.stats();
+    assert_eq!(stats.queries, 8);
+    assert_eq!(stats.errors, 5);
+    assert_eq!(stats.deadline_exceeded, 3);
+    assert_eq!(stats.shed_total, 1);
+    assert_eq!(stats.shed_by_class, [0, 0, 1]);
+    assert_eq!(stats.shed_in_flight, 0);
+    assert_eq!(stats.swaps_applied, 1);
+    assert_eq!(stats.swaps_rejected, 1);
+
+    // the registry must tell the exact same story, counter for counter
+    let metrics = registry.snapshot();
+    assert_eq!(metrics.counter("serve.query.count"), stats.queries);
+    assert_eq!(metrics.counter("serve.query.error_count"), stats.errors);
+    assert_eq!(metrics.counter(names::SERVE_SHED_TOTAL), stats.shed_total);
+    assert_eq!(metrics.counter(names::SERVE_SHED_IN_FLIGHT), stats.shed_in_flight);
+    assert_eq!(metrics.counter(names::SERVE_SHED_CHEAP), stats.shed_by_class[0]);
+    assert_eq!(metrics.counter(names::SERVE_SHED_MODERATE), stats.shed_by_class[1]);
+    assert_eq!(metrics.counter(names::SERVE_SHED_EXPENSIVE), stats.shed_by_class[2]);
+    assert_eq!(metrics.counter(names::SERVE_DEADLINE_EXCEEDED), stats.deadline_exceeded);
+    assert_eq!(metrics.counter(names::SERVE_SWAP_APPLIED), stats.swaps_applied);
+    assert_eq!(metrics.counter(names::SERVE_SWAP_REJECTED), stats.swaps_rejected);
+    for (i, kind) in QUERY_KINDS.iter().enumerate() {
+        assert_eq!(
+            metrics.counter(&format!("serve.query.{kind}.errors_count")),
+            stats.errors_by_kind[i],
+            "per-kind error counter for {kind}"
+        );
+    }
+}

@@ -4,8 +4,11 @@
 
 use bytes::{BufMut, BytesMut};
 use gplus::crawler::{mhrw, Crawler, CrawlerConfig, MhrwConfig};
-use gplus::service::wire::{decode, encode, DecodeError, Request, MAX_FRAME_LEN};
-use gplus::service::{CorruptionPlan, GooglePlusService, ServiceConfig, WireService};
+use gplus::service::wire::{decode, encode, DecodeError, Request, Response, MAX_FRAME_LEN};
+use gplus::service::{
+    CorruptionPlan, Direction, GooglePlusService, QueryError, QueryRequest, QueryResponse,
+    RankMetric, ServiceConfig, WireService,
+};
 use gplus::synth::{SynthConfig, SynthNetwork};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -98,6 +101,121 @@ fn valid_json_of_the_wrong_shape_errors_cleanly() {
     buf.put_u32(payload.len() as u32);
     buf.put_slice(payload);
     let r: Result<Request, _> = decode(&mut buf);
+    assert!(matches!(r.unwrap_err(), DecodeError::Malformed(_)));
+}
+
+#[test]
+fn query_request_frames_round_trip() {
+    // every serving-query request variant crosses the wire byte-faithfully
+    for req in [
+        Request::Query(QueryRequest::Profile { user: 3 }),
+        Request::Query(QueryRequest::Degree { user: 9 }),
+        Request::Query(QueryRequest::Circles {
+            user: 4,
+            direction: Direction::OutCircles,
+            limit: 10,
+        }),
+        Request::Query(QueryRequest::Reciprocity { user: 1 }),
+        Request::Query(QueryRequest::TopK {
+            metric: RankMetric::PageRank,
+            k: 5,
+            country: None,
+        }),
+        Request::Query(QueryRequest::ShortestPath { src: 1, dst: 2 }),
+        Request::Query(QueryRequest::Recommend { user: 6, k: 3 }),
+        Request::Query(QueryRequest::Epoch),
+    ] {
+        let mut buf = BytesMut::new();
+        encode(&req, &mut buf).unwrap();
+        let back: Request = decode(&mut buf).unwrap();
+        assert_eq!(back, req);
+        assert!(buf.is_empty(), "frame fully consumed");
+    }
+}
+
+#[test]
+fn query_error_response_frames_round_trip() {
+    // the overload/deadline error shapes the engine sheds with must
+    // survive the protocol: a client backing off needs retry_after intact
+    for resp in [
+        Response::Query(QueryResponse::Error(QueryError::Overloaded { retry_after: 17 })),
+        Response::Query(QueryResponse::Error(QueryError::Overloaded { retry_after: u64::MAX })),
+        Response::Query(QueryResponse::Error(QueryError::DeadlineExceeded {
+            elapsed_us: 1_000,
+            deadline_us: 500,
+        })),
+        Response::Query(QueryResponse::Error(QueryError::UnknownUser(u64::MAX))),
+    ] {
+        let mut buf = BytesMut::new();
+        encode(&resp, &mut buf).unwrap();
+        let back: Response = decode(&mut buf).unwrap();
+        assert_eq!(back, resp);
+    }
+}
+
+#[test]
+fn truncated_query_frame_waits_byte_by_byte() {
+    // every strict prefix of a Query frame is Incomplete — never a parse
+    // error, never a consumed buffer
+    let mut full = BytesMut::new();
+    encode(
+        &Request::Query(QueryRequest::TopK {
+            metric: RankMetric::InDegree,
+            k: 10,
+            country: None,
+        }),
+        &mut full,
+    )
+    .unwrap();
+    for cut in 0..full.len() {
+        let mut partial = BytesMut::from(&full[..cut]);
+        let r: Result<Request, _> = decode(&mut partial);
+        assert_eq!(r.unwrap_err(), DecodeError::Incomplete, "cut at {cut}");
+        assert_eq!(partial.len(), cut, "incomplete reads must not consume the buffer");
+    }
+}
+
+#[test]
+fn query_frame_with_oversized_length_prefix_is_rejected() {
+    // a valid Query payload behind a forged over-cap length prefix must
+    // error cleanly without attempting the advertised allocation
+    let mut full = BytesMut::new();
+    encode(&Request::Query(QueryRequest::Epoch), &mut full).unwrap();
+    let forged_len = MAX_FRAME_LEN as u32 + 17;
+    let mut forged = BytesMut::new();
+    forged.put_u32(forged_len);
+    forged.put_slice(&full[4..]);
+    let r: Result<Request, _> = decode(&mut forged);
+    assert_eq!(r.unwrap_err(), DecodeError::FrameTooLarge(u64::from(forged_len)));
+}
+
+#[test]
+fn query_frame_with_bad_discriminant_is_malformed() {
+    // valid JSON naming a query variant that does not exist
+    let payload: &[u8] = br#"{"Query":{"Nonexistent":{"user":1}}}"#;
+    let mut buf = BytesMut::new();
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+    let r: Result<Request, _> = decode(&mut buf);
+    assert!(matches!(r.unwrap_err(), DecodeError::Malformed(_)));
+    // and response-side: an unknown error discriminant inside Query
+    let payload: &[u8] = br#"{"Query":{"Error":{"NotARealError":{}}}}"#;
+    let mut buf = BytesMut::new();
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+    let r: Result<Response, _> = decode(&mut buf);
+    assert!(matches!(r.unwrap_err(), DecodeError::Malformed(_)));
+}
+
+#[test]
+fn query_frame_with_invalid_utf8_is_malformed_not_panicking() {
+    // smash one mid-payload byte of a valid Query frame into an invalid
+    // UTF-8 sequence: typed decode error, not a panic or a wrong answer
+    let mut full = BytesMut::new();
+    encode(&Request::Query(QueryRequest::Profile { user: 1 }), &mut full).unwrap();
+    let mid = 4 + (full.len() - 4) / 2;
+    full[mid] = 0xff;
+    let r: Result<Request, _> = decode(&mut full);
     assert!(matches!(r.unwrap_err(), DecodeError::Malformed(_)));
 }
 
