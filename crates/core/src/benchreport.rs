@@ -17,6 +17,13 @@
 //! the machine is, while a uniformly slower machine shifts nothing.
 //! Stages below [`BenchGate::min_share`] are skipped: their timings are
 //! dominated by timer noise, not work.
+//!
+//! Memory gauges (`mem.*`) are the exception: byte footprints at a fixed
+//! scale and seed are machine-independent, so any `mem.*` gauge the
+//! baseline records is compared *absolutely* — it must be present in the
+//! current run and within [`BenchGate::max_gauge_growth`] relative growth.
+//! Baselines without memory gauges (the pre-scale-tier ones) gate nothing
+//! extra, so the check is data-driven and needs no per-tier gate config.
 
 use crate::pipeline::StageTiming;
 use gplus_obs::MetricsSnapshot;
@@ -95,6 +102,10 @@ pub struct BenchGate {
     pub min_share: f64,
     /// Maximum accepted `metrics_overhead_ratio`.
     pub max_overhead_ratio: f64,
+    /// Maximum relative growth of any `mem.*` gauge the baseline records
+    /// (0.25 = +25%). Byte footprints at a fixed scale are
+    /// machine-independent, so these compare absolutely, unlike timings.
+    pub max_gauge_growth: f64,
     /// Minimum distinct metric names a healthy run must export.
     pub min_metrics: usize,
     /// Counter names every run must register (present in the snapshot even
@@ -109,6 +120,7 @@ impl Default for BenchGate {
             threshold: 0.30,
             min_share: 0.02,
             max_overhead_ratio: 1.05,
+            max_gauge_growth: 0.25,
             min_metrics: 20,
             required_counters: &[
                 "graph.bfs.batch.runs",
@@ -194,6 +206,24 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, gate: &BenchGate) 
         // absent names, which is exactly the case this check must catch
         if !current.metrics.counters.contains_key(*name) {
             failures.push(format!("run is missing required kernel counter {name:?}"));
+        }
+    }
+    for (name, base_val) in
+        baseline.metrics.gauges.iter().filter(|(n, _)| n.starts_with("mem."))
+    {
+        let Some(cur_val) = current.metrics.gauges.get(name) else {
+            failures.push(format!(
+                "memory gauge {name:?} present in baseline but missing from run"
+            ));
+            continue;
+        };
+        // negated <= so a NaN gauge fails instead of sliding through
+        if *base_val > 0.0 && !(*cur_val <= base_val * (1.0 + gate.max_gauge_growth)) {
+            failures.push(format!(
+                "memory gauge {name:?} regressed: {cur_val:.0} bytes vs {base_val:.0} in \
+                 baseline (>{:.0}% growth)",
+                gate.max_gauge_growth * 100.0
+            ));
         }
     }
     failures
@@ -302,6 +332,44 @@ mod tests {
         cur.metrics.counters.remove("graph.bfs.batch.runs");
         let failures = compare(&base, &cur, &BenchGate::default());
         assert!(failures.iter().any(|f| f.contains("graph.bfs.batch.runs")), "{failures:?}");
+    }
+
+    #[test]
+    fn memory_gauge_gate_is_driven_by_the_baseline() {
+        let base = report(vec![stage("fig5", 100.0)]);
+        let cur = base.clone();
+        // no mem.* gauges in the baseline: nothing extra is gated
+        assert!(compare(&base, &cur, &BenchGate::default()).is_empty());
+
+        let mut base = base;
+        base.metrics.gauges.insert("mem.csr.bytes".to_string(), 1000.0);
+        base.metrics.gauges.insert("mem.peak_rss.bytes".to_string(), 50_000.0);
+        // gauge recorded in the baseline but absent from the run fails
+        let failures = compare(&base, &cur, &BenchGate::default());
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures.iter().all(|f| f.contains("missing from run")), "{failures:?}");
+
+        // within the growth bound passes
+        let mut cur = cur;
+        cur.metrics.gauges.insert("mem.csr.bytes".to_string(), 1200.0);
+        cur.metrics.gauges.insert("mem.peak_rss.bytes".to_string(), 50_000.0);
+        assert!(compare(&base, &cur, &BenchGate::default()).is_empty());
+
+        // beyond the bound fails, and the failure names the gauge
+        cur.metrics.gauges.insert("mem.csr.bytes".to_string(), 1300.0);
+        let failures = compare(&base, &cur, &BenchGate::default());
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("mem.csr.bytes"), "{failures:?}");
+
+        // a NaN gauge can never pass the bound
+        cur.metrics.gauges.insert("mem.csr.bytes".to_string(), f64::NAN);
+        assert!(!compare(&base, &cur, &BenchGate::default()).is_empty());
+
+        // non-memory gauges are not gated absolutely
+        let mut base2 = report(vec![stage("fig5", 100.0)]);
+        base2.metrics.gauges.insert("serve.inflight".to_string(), 3.0);
+        let cur2 = report(vec![stage("fig5", 100.0)]);
+        assert!(compare(&base2, &cur2, &BenchGate::default()).is_empty());
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! The adjacency abstraction the traversal kernels are generic over.
+//!
+//! PR 8 introduces a second graph representation — the delta-gap varint
+//! [`crate::compressed::CompressedCsr`] — next to the flat
+//! [`crate::CsrGraph`]. Rather than duplicating every kernel, BFS, the
+//! batched multi-source BFS, PageRank and the clustering sorted-merge are
+//! written against this trait: per-node neighbour *iterators* instead of
+//! slices. For the flat CSR the iterator is `Copied<slice::Iter>`, which
+//! the optimizer lowers to exactly the loops the kernels had before; for
+//! the compressed CSR it is a varint decoder that yields neighbours
+//! without materialising the list — no per-edge allocation either way.
+//!
+//! Invariants every implementation must uphold (the kernels rely on them):
+//! * `out_iter(u)` / `in_iter(u)` yield neighbours sorted ascending,
+//!   deduplicated;
+//! * the in-adjacency is exactly the transpose of the out-adjacency;
+//! * `out_degree(u)` equals `out_iter(u).count()` (same for `in_`).
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// A frozen directed graph with forward and reverse adjacency, walkable
+/// without per-edge allocation.
+pub trait Adjacency: Sync {
+    /// Neighbour iterator; one type serves both directions.
+    type Iter<'a>: Iterator<Item = NodeId> + 'a
+    where
+        Self: 'a;
+
+    /// Number of nodes.
+    fn node_count(&self) -> usize;
+
+    /// Number of directed edges.
+    fn edge_count(&self) -> usize;
+
+    /// Out-degree of `u`.
+    fn out_degree(&self, u: NodeId) -> usize;
+
+    /// In-degree of `u`.
+    fn in_degree(&self, u: NodeId) -> usize;
+
+    /// Out-neighbours of `u`, sorted ascending.
+    fn out_iter(&self, u: NodeId) -> Self::Iter<'_>;
+
+    /// In-neighbours of `u`, sorted ascending.
+    fn in_iter(&self, u: NodeId) -> Self::Iter<'_>;
+
+    /// Iterates over all node ids.
+    fn node_ids(&self) -> std::ops::Range<NodeId> {
+        0..crate::cast::node_id(self.node_count())
+    }
+}
+
+impl Adjacency for CsrGraph {
+    type Iter<'a> = std::iter::Copied<std::slice::Iter<'a, NodeId>>;
+
+    fn node_count(&self) -> usize {
+        CsrGraph::node_count(self)
+    }
+
+    fn edge_count(&self) -> usize {
+        CsrGraph::edge_count(self)
+    }
+
+    fn out_degree(&self, u: NodeId) -> usize {
+        CsrGraph::out_degree(self, u)
+    }
+
+    fn in_degree(&self, u: NodeId) -> usize {
+        CsrGraph::in_degree(self, u)
+    }
+
+    fn out_iter(&self, u: NodeId) -> Self::Iter<'_> {
+        self.out_neighbors(u).iter().copied()
+    }
+
+    fn in_iter(&self, u: NodeId) -> Self::Iter<'_> {
+        self.in_neighbors(u).iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn csr_iterators_match_slices() {
+        let g = from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)]);
+        for u in g.nodes() {
+            let outs: Vec<NodeId> = Adjacency::out_iter(&g, u).collect();
+            assert_eq!(outs, g.out_neighbors(u));
+            let ins: Vec<NodeId> = Adjacency::in_iter(&g, u).collect();
+            assert_eq!(ins, g.in_neighbors(u));
+            assert_eq!(Adjacency::out_degree(&g, u), g.out_neighbors(u).len());
+            assert_eq!(Adjacency::in_degree(&g, u), g.in_neighbors(u).len());
+        }
+        assert_eq!(Adjacency::node_count(&g), 5);
+        assert_eq!(Adjacency::edge_count(&g), 5);
+        assert_eq!(g.node_ids(), 0..5);
+    }
+}

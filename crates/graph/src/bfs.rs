@@ -18,7 +18,9 @@
 //! which is exactly where bottom-up wins: each unvisited node stops at its
 //! first parent instead of every frontier edge being relaxed.
 
-use crate::csr::{CsrGraph, NodeId};
+use crate::adjacency::Adjacency;
+use crate::cast;
+use crate::csr::NodeId;
 use crate::frontier::Bitmap;
 use std::collections::VecDeque;
 
@@ -56,18 +58,18 @@ impl Default for TraversalOpts<'_> {
 ///
 /// # Panics
 /// Panics if `source` is out of range.
-pub fn distances(g: &CsrGraph, source: NodeId) -> Vec<u32> {
-    assert!((source as usize) < g.node_count(), "source out of range");
+pub fn distances<G: Adjacency>(g: &G, source: NodeId) -> Vec<u32> {
+    assert!(cast::ix(source) < g.node_count(), "source out of range");
     let mut dist = vec![UNREACHABLE; g.node_count()];
     let mut queue = VecDeque::new();
-    dist[source as usize] = 0;
+    dist[cast::ix(source)] = 0;
     queue.push_back(source);
     let mut visited = 1u64;
     while let Some(u) = queue.pop_front() {
-        let du = dist[u as usize];
-        for &v in g.out_neighbors(u) {
-            if dist[v as usize] == UNREACHABLE {
-                dist[v as usize] = du + 1;
+        let du = dist[cast::ix(u)];
+        for v in g.out_iter(u) {
+            if dist[cast::ix(v)] == UNREACHABLE {
+                dist[cast::ix(v)] = du + 1;
                 visited += 1;
                 queue.push_back(v);
             }
@@ -102,18 +104,18 @@ pub struct BfsLevels {
 /// `scratch` must have length `node_count()` and is treated as opaque:
 /// pass the same buffer to successive calls. Internally it stores a visit
 /// epoch so it never needs clearing.
-pub fn levels_with_scratch(
-    g: &CsrGraph,
+pub fn levels_with_scratch<G: Adjacency>(
+    g: &G,
     source: NodeId,
     scratch: &mut BfsScratch,
 ) -> BfsLevels {
-    assert!((source as usize) < g.node_count(), "source out of range");
+    assert!(cast::ix(source) < g.node_count(), "source out of range");
     scratch.ensure(g.node_count());
     scratch.epoch += 1;
     let epoch = scratch.epoch;
 
     let mut counts: Vec<u64> = vec![1]; // the source at distance 0
-    scratch.mark[source as usize] = epoch;
+    scratch.mark[cast::ix(source)] = epoch;
     scratch.queue.clear();
     scratch.queue.push_back(source);
     scratch.next.clear();
@@ -123,9 +125,9 @@ pub fn levels_with_scratch(
     // Level-synchronous BFS: `queue` is the current frontier.
     while !scratch.queue.is_empty() {
         while let Some(u) = scratch.queue.pop_front() {
-            for &v in g.out_neighbors(u) {
-                if scratch.mark[v as usize] != epoch {
-                    scratch.mark[v as usize] = epoch;
+            for v in g.out_iter(u) {
+                if scratch.mark[cast::ix(v)] != epoch {
+                    scratch.mark[cast::ix(v)] = epoch;
                     scratch.next.push_back(v);
                 }
             }
@@ -168,7 +170,7 @@ impl BfsScratch {
 }
 
 /// Convenience wrapper allocating fresh scratch.
-pub fn levels(g: &CsrGraph, source: NodeId) -> BfsLevels {
+pub fn levels<G: Adjacency>(g: &G, source: NodeId) -> BfsLevels {
     let mut scratch = BfsScratch::new(g.node_count());
     levels_with_scratch(g, source, &mut scratch)
 }
@@ -181,25 +183,25 @@ pub fn levels(g: &CsrGraph, source: NodeId) -> BfsLevels {
 /// correctness tooling can check level-set laws (disjointness, parent-in-
 /// previous-level) against the optimized kernels. Built from [`distances`],
 /// which keeps it a clarity-first derivation rather than a third traversal.
-pub fn level_sets(g: &CsrGraph, source: NodeId) -> Vec<Vec<NodeId>> {
+pub fn level_sets<G: Adjacency>(g: &G, source: NodeId) -> Vec<Vec<NodeId>> {
     let dist = distances(g, source);
     let ecc = dist.iter().filter(|&&d| d != UNREACHABLE).max().copied().unwrap_or(0);
     let mut sets: Vec<Vec<NodeId>> = vec![Vec::new(); ecc as usize + 1];
     for (v, &d) in dist.iter().enumerate() {
         if d != UNREACHABLE {
-            sets[d as usize].push(v as NodeId);
+            sets[d as usize].push(cast::node_id(v));
         }
     }
     sets
 }
 
 /// The set of nodes reachable from `source` (including it), as a sorted vec.
-pub fn reachable_set(g: &CsrGraph, source: NodeId) -> Vec<NodeId> {
+pub fn reachable_set<G: Adjacency>(g: &G, source: NodeId) -> Vec<NodeId> {
     let dist = distances(g, source);
     dist.iter()
         .enumerate()
         .filter(|(_, &d)| d != UNREACHABLE)
-        .map(|(i, _)| i as NodeId)
+        .map(|(i, _)| cast::node_id(i))
         .collect()
 }
 
@@ -235,8 +237,8 @@ impl HybridScratch {
 /// same level *sets* regardless of expansion direction), but each level is
 /// expanded top-down or bottom-up by the cheaper estimate: bottom-up when
 /// the frontier's summed out-degree exceeds `threshold * |E|`.
-pub fn hybrid_levels_with_scratch(
-    g: &CsrGraph,
+pub fn hybrid_levels_with_scratch<G: Adjacency>(
+    g: &G,
     source: NodeId,
     threshold: f64,
     scratch: &mut HybridScratch,
@@ -245,31 +247,31 @@ pub fn hybrid_levels_with_scratch(
 }
 
 /// Convenience wrapper allocating fresh hybrid scratch.
-pub fn hybrid_levels(g: &CsrGraph, source: NodeId, threshold: f64) -> BfsLevels {
+pub fn hybrid_levels<G: Adjacency>(g: &G, source: NodeId, threshold: f64) -> BfsLevels {
     let mut scratch = HybridScratch::new(g.node_count());
     hybrid_levels_with_scratch(g, source, threshold, &mut scratch)
 }
 
 /// Single-source distances via the direction-optimizing kernel; returns
 /// exactly what [`distances`] returns.
-pub fn hybrid_distances(g: &CsrGraph, source: NodeId, threshold: f64) -> Vec<u32> {
-    assert!((source as usize) < g.node_count(), "source out of range");
+pub fn hybrid_distances<G: Adjacency>(g: &G, source: NodeId, threshold: f64) -> Vec<u32> {
+    assert!(cast::ix(source) < g.node_count(), "source out of range");
     let mut dist = vec![UNREACHABLE; g.node_count()];
-    dist[source as usize] = 0;
+    dist[cast::ix(source)] = 0;
     let mut scratch = HybridScratch::new(g.node_count());
     hybrid_core(g, source, threshold, &mut scratch, Some(&mut dist));
     dist
 }
 
-fn hybrid_core(
-    g: &CsrGraph,
+fn hybrid_core<G: Adjacency>(
+    g: &G,
     source: NodeId,
     threshold: f64,
     scratch: &mut HybridScratch,
     mut dist: Option<&mut [u32]>,
 ) -> BfsLevels {
     let n = g.node_count();
-    assert!((source as usize) < n, "source out of range");
+    assert!(cast::ix(source) < n, "source out of range");
     scratch.ensure(n);
     scratch.visited.clear();
     scratch.queue.clear();
@@ -295,13 +297,13 @@ fn hybrid_core(
             for &u in &scratch.queue {
                 scratch.frontier_bits.set(u);
             }
-            for v in 0..n as NodeId {
+            for v in g.node_ids() {
                 if scratch.visited.get(v) {
                     continue;
                 }
                 // stop at the first frontier parent — the asymmetry that
                 // makes bottom-up cheap on huge frontiers
-                for &u in g.in_neighbors(v) {
+                for u in g.in_iter(v) {
                     if scratch.frontier_bits.get(u) {
                         scratch.visited.set(v);
                         scratch.next.push(v);
@@ -313,7 +315,7 @@ fn hybrid_core(
             td_levels += 1;
             for i in 0..scratch.queue.len() {
                 let u = scratch.queue[i];
-                for &v in g.out_neighbors(u) {
+                for v in g.out_iter(u) {
                     if !scratch.visited.get(v) {
                         scratch.visited.set(v);
                         scratch.next.push(v);
@@ -346,13 +348,13 @@ fn hybrid_core(
 /// Double-sweep diameter lower bound: BFS from `start`, then BFS again from
 /// the farthest node found. Cheap and usually tight on social graphs; the
 /// exact diameter computed on samples in [`crate::paths`] refines it.
-pub fn double_sweep_lower_bound(g: &CsrGraph, start: NodeId) -> u32 {
+pub fn double_sweep_lower_bound<G: Adjacency>(g: &G, start: NodeId) -> u32 {
     let dist = hybrid_distances(g, start, DEFAULT_HYBRID_THRESHOLD);
     // last-max selection, matching the previous max_by_key tie-breaking
     let (mut far, mut far_d) = (start, 0u32);
     for (i, &d) in dist.iter().enumerate() {
         if d != UNREACHABLE && d >= far_d {
-            (far, far_d) = (i as NodeId, d);
+            (far, far_d) = (cast::node_id(i), d);
         }
     }
     let second = hybrid_levels(g, far, DEFAULT_HYBRID_THRESHOLD);
@@ -363,6 +365,7 @@ pub fn double_sweep_lower_bound(g: &CsrGraph, start: NodeId) -> u32 {
 mod tests {
     use super::*;
     use crate::builder::from_edges;
+    use crate::csr::CsrGraph;
 
     fn path_graph(n: usize) -> CsrGraph {
         from_edges(n, (0..n as NodeId - 1).map(|i| (i, i + 1)))

@@ -1,0 +1,655 @@
+//! Versioned binary container for graph datasets and snapshots.
+//!
+//! The paper-scale tier (35.1M nodes / 575M edges) cannot afford a JSON
+//! parse on every load, so datasets are stored in a small sectioned
+//! binary format designed for `mmap(2)`:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "GPLUSBIN"
+//! 8       4     format version (u32 LE)
+//! 12      4     section count k (u32 LE)
+//! 16      32·k  section table: id u32 | reserved u32 | offset u64
+//!               | len u64 | fnv1a-64 checksum u64   (all LE)
+//! ...           section payloads, each 8-byte aligned, zero-padded
+//! ```
+//!
+//! Offsets are file-absolute and 8-byte aligned so fixed-width `u32`/`u64`
+//! array sections can be read with aligned loads. Every section carries an
+//! FNV-1a 64 checksum, verified at open — a flipped byte anywhere in a
+//! payload is a load-time [`BinError::Checksum`], never a silent wrong
+//! answer. On Unix the file is mapped read-only and sections are handed
+//! out as [`ByteSlice`] views into the mapping (zero-copy); elsewhere the
+//! file is read into memory once and the same views index the heap copy.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Leading magic of every gplus binary file.
+pub const MAGIC: &[u8; 8] = b"GPLUSBIN";
+
+/// Size of one section-table entry in bytes.
+const TABLE_ENTRY: usize = 32;
+
+/// Fixed header size before the section table.
+const HEADER: usize = 16;
+
+/// FNV-1a 64-bit hash — the same checksum the serving snapshots use.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Errors opening or validating a binary container.
+#[derive(Debug)]
+pub enum BinError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    Magic,
+    /// The file's format version is not the one the reader expects.
+    Version { found: u32, expected: u32 },
+    /// The file is shorter than its header or section table claims.
+    Truncated,
+    /// A section's stored checksum does not match its bytes.
+    Checksum { section: u32 },
+    /// A section the reader requires is absent.
+    MissingSection { section: u32 },
+    /// A section's contents violate the reader's expectations.
+    Malformed(String),
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinError::Io(e) => write!(f, "io error: {e}"),
+            BinError::Magic => write!(f, "bad magic: not a GPLUSBIN file"),
+            BinError::Version { found, expected } => {
+                write!(f, "format version {found} does not match expected {expected}")
+            }
+            BinError::Truncated => {
+                write!(f, "file truncated: section table or payload cut short")
+            }
+            BinError::Checksum { section } => {
+                write!(f, "checksum mismatch in section {section}")
+            }
+            BinError::MissingSection { section } => write!(f, "missing section {section}"),
+            BinError::Malformed(msg) => write!(f, "malformed section: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+impl From<io::Error> for BinError {
+    fn from(e: io::Error) -> Self {
+        BinError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backing storage: a heap buffer or a read-only memory mapping.
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod mapping {
+    use std::ffi::{c_int, c_void};
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    // Raw bindings to the libc already linked by std; the workspace
+    // deliberately has no `libc`/`memmap2` dependency.
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    /// A read-only, private mapping of an entire file.
+    #[derive(Debug)]
+    pub struct MmapRegion {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // The mapping is immutable for its whole lifetime, so shared access
+    // from any thread is sound.
+    unsafe impl Send for MmapRegion {}
+    unsafe impl Sync for MmapRegion {}
+
+    impl MmapRegion {
+        /// Maps `file` (of known size `len > 0`) read-only.
+        pub fn map(file: &File, len: usize) -> io::Result<MmapRegion> {
+            debug_assert!(len > 0, "zero-length files use the heap path");
+            let ptr = unsafe {
+                mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(MmapRegion { ptr, len })
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            // Safety: the region is a live PROT_READ mapping of `len` bytes.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for MmapRegion {
+        fn drop(&mut self) {
+            // Safety: ptr/len are exactly what mmap returned.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+/// The owner of a byte buffer: heap memory or a file mapping.
+#[derive(Debug)]
+enum ByteStore {
+    Heap(Vec<u8>),
+    #[cfg(unix)]
+    Mapped(mapping::MmapRegion),
+}
+
+impl ByteStore {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            ByteStore::Heap(v) => v,
+            #[cfg(unix)]
+            ByteStore::Mapped(m) => m.as_slice(),
+        }
+    }
+}
+
+/// A cheaply clonable view into shared backing storage (heap or mmap).
+///
+/// Derefs to `[u8]`; sub-views share the same backing allocation or
+/// mapping, so slicing a mapped file never copies payload bytes.
+#[derive(Debug, Clone)]
+pub struct ByteSlice {
+    store: Arc<ByteStore>,
+    start: usize,
+    len: usize,
+}
+
+impl ByteSlice {
+    /// Wraps an owned buffer.
+    pub fn from_vec(v: Vec<u8>) -> ByteSlice {
+        let len = v.len();
+        ByteSlice { store: Arc::new(ByteStore::Heap(v)), start: 0, len }
+    }
+
+    /// Maps (Unix) or reads (elsewhere) an entire file.
+    pub fn open(path: &Path) -> io::Result<ByteSlice> {
+        let mut file = File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len()).map_err(|_| {
+            io::Error::new(io::ErrorKind::OutOfMemory, "file exceeds address space")
+        })?;
+        #[cfg(unix)]
+        {
+            if len > 0 {
+                let region = mapping::MmapRegion::map(&file, len)?;
+                return Ok(ByteSlice {
+                    store: Arc::new(ByteStore::Mapped(region)),
+                    start: 0,
+                    len,
+                });
+            }
+        }
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        Ok(ByteSlice::from_vec(buf))
+    }
+
+    /// A sub-view sharing the same backing storage.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, start: usize, len: usize) -> ByteSlice {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len),
+            "slice out of range"
+        );
+        ByteSlice { store: Arc::clone(&self.store), start: self.start + start, len }
+    }
+}
+
+impl Deref for ByteSlice {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.store.as_slice()[self.start..self.start + self.len]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian array helpers.
+// ---------------------------------------------------------------------------
+
+/// Serialises a `u32` slice as little-endian bytes.
+pub fn bytes_of_u32s(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Serialises a `u64` slice as little-endian bytes.
+pub fn bytes_of_u64s(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Parses little-endian bytes into a `u32` vector.
+pub fn u32s_from_bytes(bytes: &[u8]) -> Result<Vec<u32>, BinError> {
+    if bytes.len() % 4 != 0 {
+        return Err(BinError::Malformed(format!("u32 array of {} bytes", bytes.len())));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect())
+}
+
+/// Parses little-endian bytes into a `u64` vector.
+pub fn u64s_from_bytes(bytes: &[u8]) -> Result<Vec<u64>, BinError> {
+    if bytes.len() % 8 != 0 {
+        return Err(BinError::Malformed(format!("u64 array of {} bytes", bytes.len())));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect())
+}
+
+/// A read-only view of a `u64` array section that indexes the underlying
+/// bytes in place — the type the mmap-backed compressed CSR keeps its
+/// offset arrays in.
+#[derive(Debug, Clone)]
+pub struct U64View {
+    bytes: ByteSlice,
+}
+
+impl U64View {
+    /// Wraps a section; the length must be a multiple of 8.
+    pub fn new(bytes: ByteSlice) -> Result<U64View, BinError> {
+        if bytes.len() % 8 != 0 {
+            return Err(BinError::Malformed(format!("u64 view of {} bytes", bytes.len())));
+        }
+        Ok(U64View { bytes })
+    }
+
+    /// Builds an owned view from values.
+    pub fn from_values(values: &[u64]) -> U64View {
+        U64View { bytes: ByteSlice::from_vec(bytes_of_u64s(values)) }
+    }
+
+    /// Number of `u64` elements.
+    pub fn len(&self) -> usize {
+        self.bytes.len() / 8
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.len() == 0
+    }
+
+    /// Element `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        let b = &self.bytes[i * 8..i * 8 + 8];
+        u64::from_le_bytes(b.try_into().expect("8 bytes"))
+    }
+
+    /// Backing byte length (for footprint gauges).
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The raw little-endian bytes (for re-serialisation).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+/// Accumulates checksummed sections and serialises the container.
+#[derive(Debug)]
+pub struct BinWriter {
+    version: u32,
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl BinWriter {
+    /// A writer for the given format version.
+    pub fn new(version: u32) -> BinWriter {
+        BinWriter { version, sections: Vec::new() }
+    }
+
+    /// Appends a section. Ids must be unique within a file.
+    pub fn section(&mut self, id: u32, bytes: Vec<u8>) -> &mut Self {
+        debug_assert!(
+            self.sections.iter().all(|&(existing, _)| existing != id),
+            "duplicate section id {id}"
+        );
+        self.sections.push((id, bytes));
+        self
+    }
+
+    /// Serialises the container to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let table_end = HEADER + self.sections.len() * TABLE_ENTRY;
+        let mut offset = align8(table_end);
+        let mut table = Vec::with_capacity(self.sections.len() * TABLE_ENTRY);
+        let mut payload_len = 0usize;
+        for (id, bytes) in &self.sections {
+            table.extend_from_slice(&id.to_le_bytes());
+            table.extend_from_slice(&0u32.to_le_bytes());
+            table.extend_from_slice(&(offset as u64).to_le_bytes());
+            table.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            table.extend_from_slice(&fnv1a(bytes).to_le_bytes());
+            offset = align8(offset + bytes.len());
+            payload_len = offset;
+        }
+        let total = payload_len.max(align8(table_end));
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        out.extend_from_slice(&table);
+        out.resize(align8(table_end), 0);
+        for (_, bytes) in &self.sections {
+            out.extend_from_slice(bytes);
+            out.resize(align8(out.len()), 0);
+        }
+        out
+    }
+
+    /// Writes the container to `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&self.to_bytes())
+    }
+
+    /// Writes the container to a file, staging through a `.tmp` sibling so
+    /// a crash mid-write never leaves a half-written file at `path`.
+    pub fn write_to_path(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+fn align8(x: usize) -> usize {
+    (x + 7) & !7
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct SectionEntry {
+    id: u32,
+    offset: u64,
+    len: u64,
+}
+
+/// An opened binary container with a verified header and section table.
+#[derive(Debug)]
+pub struct BinFile {
+    bytes: ByteSlice,
+    version: u32,
+    table: Vec<SectionEntry>,
+}
+
+impl BinFile {
+    /// Opens and fully verifies a container: magic, version, table bounds
+    /// and every section checksum.
+    pub fn open(path: &Path, expected_version: u32) -> Result<BinFile, BinError> {
+        BinFile::from_slice(ByteSlice::open(path)?, expected_version)
+    }
+
+    /// Verifies a container already in memory.
+    pub fn from_bytes(bytes: Vec<u8>, expected_version: u32) -> Result<BinFile, BinError> {
+        BinFile::from_slice(ByteSlice::from_vec(bytes), expected_version)
+    }
+
+    /// Verifies a container backed by an existing view — for callers that
+    /// mapped the file themselves (e.g. to hash the whole file before
+    /// parsing). Section views share the caller's backing storage.
+    pub fn from_view(bytes: ByteSlice, expected_version: u32) -> Result<BinFile, BinError> {
+        BinFile::from_slice(bytes, expected_version)
+    }
+
+    fn from_slice(bytes: ByteSlice, expected_version: u32) -> Result<BinFile, BinError> {
+        if bytes.len() < HEADER {
+            return Err(BinError::Truncated);
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(BinError::Magic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != expected_version {
+            return Err(BinError::Version { found: version, expected: expected_version });
+        }
+        let count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+        let table_end = HEADER
+            .checked_add(count.checked_mul(TABLE_ENTRY).ok_or(BinError::Truncated)?)
+            .ok_or(BinError::Truncated)?;
+        if bytes.len() < table_end {
+            return Err(BinError::Truncated);
+        }
+        let mut table = Vec::with_capacity(count);
+        for i in 0..count {
+            let e = HEADER + i * TABLE_ENTRY;
+            let entry = &bytes[e..e + TABLE_ENTRY];
+            let id = u32::from_le_bytes(entry[0..4].try_into().expect("4 bytes"));
+            let offset = u64::from_le_bytes(entry[8..16].try_into().expect("8 bytes"));
+            let len = u64::from_le_bytes(entry[16..24].try_into().expect("8 bytes"));
+            let checksum = u64::from_le_bytes(entry[24..32].try_into().expect("8 bytes"));
+            let start = usize::try_from(offset).map_err(|_| BinError::Truncated)?;
+            let slen = usize::try_from(len).map_err(|_| BinError::Truncated)?;
+            let end = start.checked_add(slen).ok_or(BinError::Truncated)?;
+            if end > bytes.len() {
+                return Err(BinError::Truncated);
+            }
+            if fnv1a(&bytes[start..end]) != checksum {
+                return Err(BinError::Checksum { section: id });
+            }
+            table.push(SectionEntry { id, offset, len });
+        }
+        Ok(BinFile { bytes, version, table })
+    }
+
+    /// The file's format version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// A section's bytes as a shared view, or an error if absent.
+    pub fn section(&self, id: u32) -> Result<ByteSlice, BinError> {
+        let entry = self
+            .table
+            .iter()
+            .find(|e| e.id == id)
+            .ok_or(BinError::MissingSection { section: id })?;
+        let start = usize::try_from(entry.offset).map_err(|_| BinError::Truncated)?;
+        let len = usize::try_from(entry.len).map_err(|_| BinError::Truncated)?;
+        Ok(self.bytes.slice(start, len))
+    }
+
+    /// Whether a section is present.
+    pub fn has_section(&self, id: u32) -> bool {
+        self.table.iter().any(|e| e.id == id)
+    }
+
+    /// Total container size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = BinWriter::new(3);
+        w.section(1, b"hello".to_vec());
+        w.section(2, bytes_of_u64s(&[1, 2, 3]));
+        w.section(7, Vec::new());
+        w.to_bytes()
+    }
+
+    #[test]
+    fn round_trip_sections() {
+        let f = BinFile::from_bytes(sample(), 3).unwrap();
+        assert_eq!(f.version(), 3);
+        assert_eq!(&*f.section(1).unwrap(), b"hello");
+        assert_eq!(u64s_from_bytes(&f.section(2).unwrap()).unwrap(), vec![1, 2, 3]);
+        assert_eq!(f.section(7).unwrap().len(), 0);
+        assert!(f.has_section(2));
+        assert!(!f.has_section(9));
+        assert!(matches!(f.section(9), Err(BinError::MissingSection { section: 9 })));
+    }
+
+    #[test]
+    fn sections_are_8_byte_aligned() {
+        let bytes = sample();
+        let f = BinFile::from_bytes(bytes, 3).unwrap();
+        for id in [1u32, 2, 7] {
+            let s = f.section(id).unwrap();
+            let entry = f.table.iter().find(|e| e.id == id).unwrap();
+            assert_eq!(entry.offset % 8, 0, "section {id}");
+            assert_eq!(s.len() as u64, entry.len);
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample();
+        bytes[0] ^= 0xff;
+        assert!(matches!(BinFile::from_bytes(bytes, 3), Err(BinError::Magic)));
+    }
+
+    #[test]
+    fn version_skew_rejected() {
+        let err = BinFile::from_bytes(sample(), 4).unwrap_err();
+        assert!(matches!(err, BinError::Version { found: 3, expected: 4 }));
+    }
+
+    #[test]
+    fn every_flipped_payload_byte_is_caught() {
+        let good = sample();
+        let f = BinFile::from_bytes(good.clone(), 3).unwrap();
+        // flip each byte of each non-empty section payload
+        for id in [1u32, 2] {
+            let entry = f.table.iter().find(|e| e.id == id).unwrap();
+            for i in 0..entry.len as usize {
+                let mut bad = good.clone();
+                bad[entry.offset as usize + i] ^= 0x01;
+                assert!(
+                    matches!(BinFile::from_bytes(bad, 3), Err(BinError::Checksum { .. })),
+                    "section {id} byte {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = sample();
+        for cut in [0, 4, HEADER - 1, HEADER + 5, bytes.len() - 1] {
+            let err = BinFile::from_bytes(bytes[..cut].to_vec(), 3).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    BinError::Truncated | BinError::Magic | BinError::Checksum { .. }
+                ),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip_with_mmap() {
+        let dir = std::env::temp_dir().join(format!("gplus-binfmt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.bin");
+        let mut w = BinWriter::new(3);
+        w.section(1, b"persisted".to_vec());
+        w.write_to_path(&path).unwrap();
+        let f = BinFile::open(&path, 3).unwrap();
+        assert_eq!(&*f.section(1).unwrap(), b"persisted");
+        assert!(f.byte_len() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn u64_view_reads_in_place() {
+        let view = U64View::from_values(&[5, u64::MAX, 0]);
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+        assert_eq!(view.get(0), 5);
+        assert_eq!(view.get(1), u64::MAX);
+        assert_eq!(view.get(2), 0);
+        assert_eq!(view.byte_len(), 24);
+        assert!(U64View::new(ByteSlice::from_vec(vec![0; 7])).is_err());
+    }
+
+    #[test]
+    fn array_helpers_round_trip() {
+        let u32s = vec![0u32, 1, u32::MAX];
+        assert_eq!(u32s_from_bytes(&bytes_of_u32s(&u32s)).unwrap(), u32s);
+        let u64s = vec![0u64, 1, u64::MAX];
+        assert_eq!(u64s_from_bytes(&bytes_of_u64s(&u64s)).unwrap(), u64s);
+        assert!(u32s_from_bytes(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn byte_slice_subviews_share_storage() {
+        let s = ByteSlice::from_vec(vec![1, 2, 3, 4, 5]);
+        let sub = s.slice(1, 3);
+        assert_eq!(&*sub, &[2, 3, 4]);
+        let subsub = sub.slice(1, 1);
+        assert_eq!(&*subsub, &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of range")]
+    fn byte_slice_bounds_checked() {
+        let s = ByteSlice::from_vec(vec![1, 2, 3]);
+        let _ = s.slice(2, 2);
+    }
+}

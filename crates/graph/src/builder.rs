@@ -6,6 +6,7 @@
 //! this way). The builder therefore accepts duplicate edges and deduplicates
 //! at freeze time.
 
+use crate::cast;
 use crate::csr::{CsrGraph, NodeId};
 use crate::relabel::Relabeling;
 
@@ -105,6 +106,106 @@ impl GraphBuilder {
     }
 }
 
+/// Builds a [`CsrGraph`] from an edge *stream* without ever materialising
+/// the edge list, for graphs whose `(u, v)` pairs would not fit in memory
+/// alongside the CSR arrays.
+///
+/// `pass` is invoked exactly twice and must emit the same edge multiset
+/// both times (deterministic replay — e.g. re-running a seeded generator).
+/// Pass one counts per-source degrees, pass two scatters targets straight
+/// into their final CSR rows; rows are then sorted and deduplicated in
+/// place and the reverse half is derived from the forward half. Peak
+/// footprint is the finished CSR plus one cursor array, roughly half of
+/// [`GraphBuilder`]'s (which holds the raw `(u, v)` list through a global
+/// sort).
+///
+/// The result is identical to feeding the same stream through
+/// [`GraphBuilder`] with `ensure_nodes(n)`.
+///
+/// # Panics
+/// Panics if an emitted endpoint is `>= n` or if the two passes disagree
+/// on any node's degree.
+pub fn build_streamed<F>(n: usize, mut pass: F) -> CsrGraph
+where
+    F: FnMut(&mut dyn FnMut(NodeId, NodeId)),
+{
+    // pass 1: per-source degree histogram (duplicates included)
+    let mut out_offsets = vec![0usize; n + 1];
+    pass(&mut |u, v| {
+        assert!(
+            cast::ix(u) < n && cast::ix(v) < n,
+            "edge ({u},{v}) out of range for {n} nodes"
+        );
+        out_offsets[cast::ix(u) + 1] += 1;
+    });
+    for i in 0..n {
+        out_offsets[i + 1] += out_offsets[i];
+    }
+    let total = out_offsets[n];
+
+    // pass 2: scatter each target into its source's row
+    let mut cursor = out_offsets.clone();
+    let mut out_targets = vec![0 as NodeId; total];
+    pass(&mut |u, v| {
+        let c = &mut cursor[cast::ix(u)];
+        assert!(
+            *c < out_offsets[cast::ix(u) + 1],
+            "pass 2 emitted more edges from node {u} than pass 1 counted"
+        );
+        out_targets[*c] = v;
+        *c += 1;
+    });
+    for u in 0..n {
+        assert_eq!(
+            cursor[u],
+            out_offsets[u + 1],
+            "pass 2 emitted fewer edges from node {u} than pass 1 counted"
+        );
+    }
+
+    // sort + dedup each row, compacting in place (the write head never
+    // overtakes the row being read: earlier rows only ever shrink)
+    let mut write = 0usize;
+    let mut compact = vec![0usize; n + 1];
+    for u in 0..n {
+        let (start, end) = (out_offsets[u], out_offsets[u + 1]);
+        out_targets[start..end].sort_unstable();
+        let mut prev = None;
+        for i in start..end {
+            let v = out_targets[i];
+            if prev != Some(v) {
+                out_targets[write] = v;
+                write += 1;
+                prev = Some(v);
+            }
+        }
+        compact[u + 1] = write;
+    }
+    out_targets.truncate(write);
+    let out_offsets = compact;
+
+    // reverse half from the (now canonical) forward half; filling in
+    // ascending source order leaves every in-list sorted
+    let mut in_offsets = vec![0usize; n + 1];
+    for &v in &out_targets {
+        in_offsets[cast::ix(v) + 1] += 1;
+    }
+    for i in 0..n {
+        in_offsets[i + 1] += in_offsets[i];
+    }
+    let mut cursor = in_offsets.clone();
+    let mut in_targets = vec![0 as NodeId; out_targets.len()];
+    for u in 0..n {
+        for i in out_offsets[u]..out_offsets[u + 1] {
+            let c = &mut cursor[cast::ix(out_targets[i])];
+            in_targets[*c] = cast::node_id(u);
+            *c += 1;
+        }
+    }
+
+    CsrGraph { out_offsets, out_targets, in_offsets, in_targets }
+}
+
 /// Convenience: builds a graph directly from an edge list.
 pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> CsrGraph {
     let mut b = GraphBuilder::new();
@@ -199,6 +300,66 @@ mod tests {
         }
         // node 3 is the hub and lands first
         assert_eq!(r.to_new(3), 0);
+    }
+
+    #[test]
+    fn build_streamed_matches_batch_builder() {
+        let edges =
+            [(0, 3), (1, 3), (2, 3), (3, 4), (0, 1), (3, 3), (2, 3), (4, 0), (0, 3), (1, 0)];
+        let streamed = build_streamed(6, |emit| {
+            for &(u, v) in &edges {
+                emit(u, v);
+            }
+        });
+        assert_eq!(streamed, from_edges(6, edges));
+    }
+
+    #[test]
+    fn build_streamed_empty_and_isolated() {
+        let empty = build_streamed(0, |_| {});
+        assert_eq!(empty.node_count(), 0);
+        let isolated = build_streamed(4, |emit| emit(1, 2));
+        assert_eq!(isolated.node_count(), 4);
+        assert_eq!(isolated.edge_count(), 1);
+        assert_eq!(isolated.out_degree(0), 0);
+        assert_eq!(isolated.in_degree(3), 0);
+    }
+
+    #[test]
+    fn build_streamed_matches_on_random_stream() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = 64;
+        let edges: Vec<(NodeId, NodeId)> = {
+            let mut rng = StdRng::seed_from_u64(2012);
+            (0..800)
+                .map(|_| (rng.random_range(0..n as NodeId), rng.random_range(0..n as NodeId)))
+                .collect()
+        };
+        let streamed = build_streamed(n, |emit| {
+            for &(u, v) in &edges {
+                emit(u, v);
+            }
+        });
+        assert_eq!(streamed, from_edges(n, edges));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn build_streamed_rejects_out_of_range() {
+        let _ = build_streamed(2, |emit| emit(0, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "pass 2 emitted more edges")]
+    fn build_streamed_rejects_nondeterministic_replay() {
+        let mut calls = 0;
+        let _ = build_streamed(3, move |emit| {
+            calls += 1;
+            for _ in 0..calls {
+                emit(0, 1);
+            }
+        });
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Checked index conversions for paper-scale graphs.
+//!
+//! The paper's graph is 35.1M nodes / 575M edges: node ids fit a `u32`,
+//! but edge *offsets* do not fit a `u32` and only fit a `usize` on 64-bit
+//! hosts. Every conversion between the three domains goes through these
+//! helpers so a silent `as` truncation can never corrupt an offset — the
+//! failure mode is a loud panic naming the value that overflowed.
+
+use crate::csr::NodeId;
+
+/// Widens a node id to an index. Infallible on every supported target
+/// (`usize` is at least 32 bits), spelled as a function so call sites
+/// carry no bare `as` casts.
+#[inline(always)]
+pub fn ix(u: NodeId) -> usize {
+    u as usize
+}
+
+/// Narrows an index to a node id, panicking on overflow instead of
+/// wrapping. Use wherever a position in a node-indexed array is turned
+/// back into a [`NodeId`].
+#[inline]
+pub fn node_id(i: usize) -> NodeId {
+    NodeId::try_from(i).unwrap_or_else(|_| panic!("node index {i} exceeds u32 id space"))
+}
+
+/// Widens an edge offset to the on-disk `u64` domain. Infallible on
+/// 64-bit targets; checked on 32-bit ones.
+#[inline]
+pub fn offset_u64(i: usize) -> u64 {
+    u64::try_from(i).unwrap_or_else(|_| panic!("edge offset {i} exceeds u64"))
+}
+
+/// Narrows an on-disk `u64` edge offset to an in-memory index, panicking
+/// if the host cannot address it (a 575M-edge CSR on a 32-bit host).
+#[inline]
+pub fn offset_usize(o: u64) -> usize {
+    usize::try_from(o).unwrap_or_else(|_| panic!("edge offset {o} exceeds usize on this host"))
+}
+
+/// Narrows a `u64` count (distance, sample stride, level size) to `u32`,
+/// panicking on overflow. Distances on a 35M-node graph are tiny, but the
+/// check costs nothing and documents the domain.
+#[inline]
+pub fn count_u32(c: u64) -> u32 {
+    u32::try_from(c).unwrap_or_else(|_| panic!("count {c} exceeds u32"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        assert_eq!(ix(7), 7usize);
+        assert_eq!(node_id(7), 7u32);
+        assert_eq!(node_id(u32::MAX as usize), u32::MAX);
+        assert_eq!(offset_u64(123), 123u64);
+        assert_eq!(offset_usize(123), 123usize);
+        assert_eq!(count_u32(9), 9u32);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32 id space")]
+    fn node_id_overflow_panics() {
+        let _ = node_id(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32")]
+    fn count_overflow_panics() {
+        let _ = count_u32(u64::MAX);
+    }
+}

@@ -13,7 +13,9 @@
 //! over a random sample of one million nodes; [`sampled_cc`] reproduces that
 //! procedure and [`clustering_coefficient`] gives the exact per-node value.
 
-use crate::csr::{CsrGraph, NodeId};
+use crate::adjacency::Adjacency;
+use crate::cast;
+use crate::csr::NodeId;
 use rand::Rng;
 use rayon::prelude::*;
 
@@ -21,40 +23,49 @@ use rayon::prelude::*;
 ///
 /// Returns `None` when `|OS(u)| <= 1` (the denominator vanishes). Self-loops
 /// in the out-list are ignored: a user cannot form a triangle with herself.
-pub fn clustering_coefficient(g: &CsrGraph, u: NodeId) -> Option<f64> {
-    let outs = g.out_neighbors(u);
+///
+/// `u`'s own out-list is materialised once (it is scanned `|OS(u)|` times);
+/// every neighbour's list is consumed as a streaming iterator, so the
+/// compressed representation is decoded on the fly without per-edge
+/// allocation.
+pub fn clustering_coefficient<G: Adjacency>(g: &G, u: NodeId) -> Option<f64> {
+    let outs: Vec<NodeId> = g.out_iter(u).collect();
     let k = outs.iter().filter(|&&v| v != u).count();
     if k <= 1 {
         return None;
     }
     let mut closed: u64 = 0;
-    for &v in outs {
+    for &v in &outs {
         if v == u {
             continue;
         }
         // count edges v -> w for w in OS(u) \ {u, v}: one linear merge of
-        // the two sorted CSR rows, no intermediate filtered copy
-        closed += closed_pairs(g.out_neighbors(v), outs, u, v);
+        // the two sorted rows, no intermediate filtered copy
+        closed += closed_pairs(g.out_iter(v), &outs, u, v);
     }
     Some(closed as f64 / (k * (k - 1)) as f64)
 }
 
 /// Counts members of `outs` (sorted) present in `adj` (sorted), excluding
 /// the apex `u` (self-loops never form triangles) and `v` (no v -> v
-/// contributions), via a linear merge.
-fn closed_pairs(adj: &[NodeId], outs: &[NodeId], u: NodeId, v: NodeId) -> u64 {
-    let (mut i, mut j, mut count) = (0, 0, 0u64);
-    while i < adj.len() && j < outs.len() {
-        match adj[i].cmp(&outs[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                if adj[i] != u && adj[i] != v {
-                    count += 1;
-                }
-                i += 1;
-                j += 1;
+/// contributions), via a linear merge over the streaming adjacency.
+fn closed_pairs<I>(adj: I, outs: &[NodeId], u: NodeId, v: NodeId) -> u64
+where
+    I: Iterator<Item = NodeId>,
+{
+    let (mut j, mut count) = (0, 0u64);
+    for a in adj {
+        while j < outs.len() && outs[j] < a {
+            j += 1;
+        }
+        if j == outs.len() {
+            break;
+        }
+        if outs[j] == a {
+            if a != u && a != v {
+                count += 1;
             }
+            j += 1;
         }
     }
     count
@@ -62,10 +73,10 @@ fn closed_pairs(adj: &[NodeId], outs: &[NodeId], u: NodeId, v: NodeId) -> u64 {
 
 /// Exact CC for every eligible node (`|OS(u)| > 1`), in parallel.
 /// Order is unspecified (the consumer builds a CDF).
-pub fn clustering_all(g: &CsrGraph) -> Vec<f64> {
+pub fn clustering_all<G: Adjacency>(g: &G) -> Vec<f64> {
     let _span = gplus_obs::global().span("graph.clustering.exact");
     gplus_obs::global().counter("graph.clustering.nodes_count").add(g.node_count() as u64);
-    (0..g.node_count() as NodeId)
+    (0..cast::node_id(g.node_count()))
         .into_par_iter()
         .filter_map(|u| clustering_coefficient(g, u))
         .collect()
@@ -77,16 +88,20 @@ pub fn clustering_all(g: &CsrGraph) -> Vec<f64> {
 /// Returns the CC values (length <= `sample_size`, since ineligible nodes
 /// are skipped, exactly as the paper "only consider\[s\] the nodes with
 /// |OS(u)| > 1").
-pub fn sampled_cc<R: Rng + ?Sized>(g: &CsrGraph, sample_size: usize, rng: &mut R) -> Vec<f64> {
+pub fn sampled_cc<G: Adjacency, R: Rng + ?Sized>(
+    g: &G,
+    sample_size: usize,
+    rng: &mut R,
+) -> Vec<f64> {
     let _span = gplus_obs::global().span("graph.clustering.sampled");
     let idx = gplus_stats::sample_indices(rng, g.node_count(), sample_size);
     gplus_obs::global().counter("graph.clustering.nodes_count").add(idx.len() as u64);
-    idx.into_par_iter().filter_map(|u| clustering_coefficient(g, u as NodeId)).collect()
+    idx.into_par_iter().filter_map(|u| clustering_coefficient(g, cast::node_id(u))).collect()
 }
 
 /// Mean clustering coefficient over eligible nodes; `None` if no node is
 /// eligible.
-pub fn average_cc(g: &CsrGraph) -> Option<f64> {
+pub fn average_cc<G: Adjacency>(g: &G) -> Option<f64> {
     let all = clustering_all(g);
     if all.is_empty() {
         None
@@ -98,14 +113,14 @@ pub fn average_cc(g: &CsrGraph) -> Option<f64> {
 /// Total number of directed triangles `u -> v`, `u -> w`, `v -> w` summed
 /// over all `u` (each geometric triangle is counted once per "apex" node
 /// and orientation that realises it). Exposed for tests and ablations.
-pub fn directed_triangle_closures(g: &CsrGraph) -> u64 {
-    (0..g.node_count() as NodeId)
+pub fn directed_triangle_closures<G: Adjacency>(g: &G) -> u64 {
+    (0..cast::node_id(g.node_count()))
         .into_par_iter()
         .map(|u| {
-            let outs = g.out_neighbors(u);
+            let outs: Vec<NodeId> = g.out_iter(u).collect();
             outs.iter()
                 .filter(|&&v| v != u)
-                .map(|&v| closed_pairs(g.out_neighbors(v), outs, u, v))
+                .map(|&v| closed_pairs(g.out_iter(v), &outs, u, v))
                 .sum::<u64>()
         })
         .sum()

@@ -1,0 +1,529 @@
+//! Delta-gap varint compressed CSR (WebGraph-style).
+//!
+//! At the paper's scale (575M directed edges, stored twice for the two
+//! CSR halves) a flat `u32` target array costs 4.6 GB before offsets.
+//! Neighbour lists are sorted, and after the hub-first relabeling of
+//! [`crate::relabel`] most gaps between consecutive neighbours are small
+//! — exactly the regime where delta-gap coding wins. Each list is stored
+//! as:
+//!
+//! ```text
+//! varint(degree) · varint(first) · varint(n₁−n₀) · varint(n₂−n₁) · …
+//! ```
+//!
+//! with LEB128 varints (7 payload bits per byte, high bit = continuation).
+//! Per-node *byte offsets* into the stream are `u64` — at 575M edges the
+//! stream crosses the `u32` boundary, which is the truncation bug class
+//! the [`crate::cast`] helpers exist to prevent.
+//!
+//! [`CompressedCsr`] implements [`crate::adjacency::Adjacency`], so every
+//! generic kernel (BFS, multi-source BFS, PageRank, clustering) consumes
+//! the decode iterator directly, without materialising a neighbour list
+//! or allocating per edge. The backing storage is [`ByteSlice`], so a
+//! compressed graph opened from a binary container is walked straight out
+//! of the file mapping.
+
+use crate::adjacency::Adjacency;
+use crate::binfmt::{BinError, ByteSlice, U64View};
+use crate::cast;
+use crate::csr::{CsrGraph, NodeId};
+
+/// Appends `x` as an LEB128 varint.
+#[inline]
+pub fn write_varint(buf: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint at `*pos`, advancing it.
+///
+/// # Panics
+/// Panics if the buffer ends mid-varint (sections are checksummed, so a
+/// malformed stream means an upstream bug, not user data).
+#[inline]
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = bytes[*pos];
+        *pos += 1;
+        x |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return x;
+        }
+        shift += 7;
+        debug_assert!(shift < 64, "varint longer than u64");
+    }
+}
+
+/// Encodes one sorted, deduplicated neighbour list.
+pub fn encode_list(buf: &mut Vec<u8>, list: &[NodeId]) {
+    write_varint(buf, cast::offset_u64(list.len()));
+    let mut prev: u64 = 0;
+    for (i, &v) in list.iter().enumerate() {
+        let v = u64::from(v);
+        debug_assert!(i == 0 || v > prev, "list must be strictly ascending");
+        write_varint(buf, if i == 0 { v } else { v - prev });
+        prev = v;
+    }
+}
+
+/// Decodes one list produced by [`encode_list`].
+pub fn decode_list(bytes: &[u8]) -> Vec<NodeId> {
+    let mut pos = 0;
+    let decoder = NeighborDecoder::new(bytes, &mut pos);
+    decoder.collect()
+}
+
+/// Streaming decoder for one delta-gap encoded neighbour list; yields
+/// neighbours in ascending order without allocating.
+#[derive(Debug, Clone)]
+pub struct NeighborDecoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    remaining: usize,
+    prev: u64,
+    first: bool,
+}
+
+impl<'a> NeighborDecoder<'a> {
+    /// Starts decoding a list at `*pos` (which is advanced past the
+    /// degree varint; the caller may not assume where it points after).
+    pub fn new(bytes: &'a [u8], pos: &mut usize) -> NeighborDecoder<'a> {
+        let degree = read_varint(bytes, pos);
+        NeighborDecoder {
+            bytes,
+            pos: *pos,
+            remaining: cast::offset_usize(degree),
+            prev: 0,
+            first: true,
+        }
+    }
+}
+
+impl Iterator for NeighborDecoder<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let x = read_varint(self.bytes, &mut self.pos);
+        self.prev = if self.first { x } else { self.prev + x };
+        self.first = false;
+        Some(NodeId::try_from(self.prev).expect("decoded neighbour exceeds u32 id space"))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for NeighborDecoder<'_> {}
+
+/// One compressed adjacency half: per-node `u64` byte offsets plus the
+/// concatenated varint streams.
+#[derive(Debug, Clone)]
+struct Half {
+    /// `node_count + 1` byte offsets into `data`.
+    offsets: U64View,
+    /// Concatenated [`encode_list`] streams.
+    data: ByteSlice,
+}
+
+impl Half {
+    fn encode<'g>(n: usize, mut neighbors: impl FnMut(NodeId) -> &'g [NodeId]) -> Half {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut data = Vec::new();
+        for u in 0..n {
+            offsets.push(cast::offset_u64(data.len()));
+            encode_list(&mut data, neighbors(cast::node_id(u)));
+        }
+        offsets.push(cast::offset_u64(data.len()));
+        Half { offsets: U64View::from_values(&offsets), data: ByteSlice::from_vec(data) }
+    }
+
+    #[inline]
+    fn list_bounds(&self, u: NodeId) -> (usize, usize) {
+        let u = cast::ix(u);
+        (cast::offset_usize(self.offsets.get(u)), cast::offset_usize(self.offsets.get(u + 1)))
+    }
+
+    #[inline]
+    fn decoder(&self, u: NodeId) -> NeighborDecoder<'_> {
+        let (start, end) = self.list_bounds(u);
+        debug_assert!(end <= self.data.len());
+        let mut pos = start;
+        NeighborDecoder::new(&self.data, &mut pos)
+    }
+
+    #[inline]
+    fn degree(&self, u: NodeId) -> usize {
+        let (start, _) = self.list_bounds(u);
+        let mut pos = start;
+        cast::offset_usize(read_varint(&self.data, &mut pos))
+    }
+
+    fn byte_len(&self) -> usize {
+        self.offsets.byte_len() + self.data.len()
+    }
+
+    fn validate(&self, n: usize, label: &str) -> Result<(), BinError> {
+        if self.offsets.len() != n + 1 {
+            return Err(BinError::Malformed(format!(
+                "{label} offsets: {} entries for {n} nodes",
+                self.offsets.len()
+            )));
+        }
+        let mut prev = 0u64;
+        for i in 0..self.offsets.len() {
+            let o = self.offsets.get(i);
+            if o < prev {
+                return Err(BinError::Malformed(format!(
+                    "{label} offsets not monotone at {i}"
+                )));
+            }
+            prev = o;
+        }
+        if prev != cast::offset_u64(self.data.len()) {
+            return Err(BinError::Malformed(format!(
+                "{label} final offset {prev} != data length {}",
+                self.data.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A directed graph in delta-gap varint compressed CSR form, with both
+/// forward and reverse adjacency. Immutable; build from a [`CsrGraph`]
+/// with [`CompressedCsr::from_csr`] or open zero-copy from a binary
+/// container via [`crate::io::open_compressed`].
+#[derive(Debug, Clone)]
+pub struct CompressedCsr {
+    node_count: usize,
+    edge_count: u64,
+    out: Half,
+    inn: Half,
+}
+
+impl CompressedCsr {
+    /// Compresses a flat CSR graph. The graph's sorted/deduplicated list
+    /// invariant is exactly what delta-gap coding requires.
+    pub fn from_csr(g: &CsrGraph) -> CompressedCsr {
+        let n = g.node_count();
+        let c = CompressedCsr {
+            node_count: n,
+            edge_count: cast::offset_u64(g.edge_count()),
+            out: Half::encode(n, |u| g.out_neighbors(u)),
+            inn: Half::encode(n, |u| g.in_neighbors(u)),
+        };
+        gplus_obs::global()
+            .gauge(gplus_obs::names::MEM_CSR_COMPRESSED_BYTES)
+            .set(c.memory_bytes() as f64);
+        c
+    }
+
+    /// Reassembles a compressed graph from container sections (zero-copy
+    /// when the sections are mmap-backed). Validates offset-table shape.
+    pub(crate) fn from_parts(
+        node_count: usize,
+        edge_count: u64,
+        out_offsets: U64View,
+        out_data: ByteSlice,
+        in_offsets: U64View,
+        in_data: ByteSlice,
+    ) -> Result<CompressedCsr, BinError> {
+        let out = Half { offsets: out_offsets, data: out_data };
+        let inn = Half { offsets: in_offsets, data: in_data };
+        out.validate(node_count, "out")?;
+        inn.validate(node_count, "in")?;
+        Ok(CompressedCsr { node_count, edge_count, out, inn })
+    }
+
+    pub(crate) fn parts(&self) -> (&U64View, &ByteSlice, &U64View, &ByteSlice) {
+        (&self.out.offsets, &self.out.data, &self.inn.offsets, &self.inn.data)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> u64 {
+        self.edge_count
+    }
+
+    /// Out-neighbours of `u`, decoded on the fly.
+    pub fn out_neighbors(&self, u: NodeId) -> NeighborDecoder<'_> {
+        self.out.decoder(u)
+    }
+
+    /// In-neighbours of `u`, decoded on the fly.
+    pub fn in_neighbors(&self, u: NodeId) -> NeighborDecoder<'_> {
+        self.inn.decoder(u)
+    }
+
+    /// Total compressed footprint in bytes (offsets + streams, both
+    /// halves) — the `mem.csr.compressed.bytes` gauge.
+    pub fn memory_bytes(&self) -> usize {
+        self.out.byte_len() + self.inn.byte_len()
+    }
+
+    /// Decompresses back to a flat CSR (tests and format migrations).
+    pub fn to_csr(&self) -> CsrGraph {
+        crate::builder::from_edges(
+            self.node_count,
+            self.node_ids().flat_map(|u| self.out_neighbors(u).map(move |v| (u, v))),
+        )
+    }
+}
+
+impl Adjacency for CompressedCsr {
+    type Iter<'a> = NeighborDecoder<'a>;
+
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn edge_count(&self) -> usize {
+        cast::offset_usize(self.edge_count)
+    }
+
+    fn out_degree(&self, u: NodeId) -> usize {
+        self.out.degree(u)
+    }
+
+    fn in_degree(&self, u: NodeId) -> usize {
+        self.inn.degree(u)
+    }
+
+    fn out_iter(&self, u: NodeId) -> Self::Iter<'_> {
+        self.out.decoder(u)
+    }
+
+    fn in_iter(&self, u: NodeId) -> Self::Iter<'_> {
+        self.inn.decoder(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    fn diamond() -> CsrGraph {
+        from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)])
+    }
+
+    #[test]
+    fn varint_round_trip_boundaries() {
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64 - 1, u32::MAX as u64, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn list_round_trip() {
+        for list in [
+            vec![],
+            vec![0],
+            vec![7],
+            vec![0, 1, 2, 3],
+            vec![5, 100, 10_000, 1_000_000],
+            vec![u32::MAX - 2, u32::MAX - 1, u32::MAX],
+            vec![0, u32::MAX],
+        ] {
+            let mut buf = Vec::new();
+            encode_list(&mut buf, &list);
+            assert_eq!(decode_list(&buf), list, "{list:?}");
+        }
+    }
+
+    #[test]
+    fn compressed_lists_match_flat() {
+        let g = diamond();
+        let c = CompressedCsr::from_csr(&g);
+        assert_eq!(c.node_count(), g.node_count());
+        assert_eq!(c.edge_count(), g.edge_count() as u64);
+        for u in g.nodes() {
+            let outs: Vec<NodeId> = c.out_neighbors(u).collect();
+            assert_eq!(outs, g.out_neighbors(u), "out {u}");
+            let ins: Vec<NodeId> = c.in_neighbors(u).collect();
+            assert_eq!(ins, g.in_neighbors(u), "in {u}");
+            assert_eq!(Adjacency::out_degree(&c, u), g.out_degree(u));
+            assert_eq!(Adjacency::in_degree(&c, u), g.in_degree(u));
+        }
+    }
+
+    #[test]
+    fn decoder_is_exact_size() {
+        let c = CompressedCsr::from_csr(&diamond());
+        let it = c.out_neighbors(0);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.size_hint(), (2, Some(2)));
+    }
+
+    #[test]
+    fn empty_graph_compresses() {
+        let g = from_edges(0, []);
+        let c = CompressedCsr::from_csr(&g);
+        assert_eq!(c.node_count(), 0);
+        assert_eq!(c.edge_count(), 0);
+        assert_eq!(c.to_csr(), g);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_lists() {
+        let g = from_edges(5, [(0, 1)]);
+        let c = CompressedCsr::from_csr(&g);
+        assert_eq!(c.out_neighbors(3).count(), 0);
+        assert_eq!(Adjacency::out_degree(&c, 3), 0);
+        assert_eq!(c.to_csr(), g);
+    }
+
+    #[test]
+    fn round_trip_through_flat() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2012);
+        for _ in 0..20 {
+            let n = 1 + rng.random_range(0..60);
+            let m = rng.random_range(0..n * 4);
+            let edges: Vec<(NodeId, NodeId)> = (0..m)
+                .map(|_| (rng.random_range(0..n) as NodeId, rng.random_range(0..n) as NodeId))
+                .collect();
+            let g = from_edges(n, edges);
+            let c = CompressedCsr::from_csr(&g);
+            assert_eq!(c.to_csr(), g);
+            assert!(c.memory_bytes() > 0);
+        }
+    }
+
+    mod codec_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Node ids biased toward the `u32` edge, where delta gaps are
+        /// largest and varints longest.
+        fn arb_id() -> impl Strategy<Value = NodeId> {
+            prop_oneof![0u32..512, any::<NodeId>(), Just(NodeId::MAX - 1), Just(NodeId::MAX),]
+        }
+
+        proptest! {
+            #[test]
+            fn varint_round_trips_any_u64_sequence(
+                values in proptest::collection::vec(
+                    prop_oneof![
+                        any::<u64>(),
+                        Just(0u64),
+                        Just(127),
+                        Just(128),
+                        Just(u64::from(u32::MAX)),
+                        Just(u64::from(u32::MAX) + 1),
+                        Just(u64::MAX),
+                    ],
+                    0..64,
+                )
+            ) {
+                let mut buf = Vec::new();
+                for &v in &values {
+                    write_varint(&mut buf, v);
+                }
+                let mut pos = 0;
+                for &v in &values {
+                    prop_assert_eq!(read_varint(&buf, &mut pos), v);
+                }
+                prop_assert_eq!(pos, buf.len(), "stream fully consumed, no trailing bytes");
+            }
+
+            #[test]
+            fn list_codec_preserves_the_neighbor_set(
+                ids in proptest::collection::btree_set(arb_id(), 0..200)
+            ) {
+                // a BTreeSet is exactly the encoder's input contract:
+                // strictly ascending, deduplicated
+                let list: Vec<NodeId> = ids.into_iter().collect();
+                let mut buf = Vec::new();
+                encode_list(&mut buf, &list);
+                prop_assert_eq!(decode_list(&buf), list);
+            }
+
+            #[test]
+            fn concatenated_streams_decode_by_u64_offset(
+                lists in proptest::collection::vec(
+                    proptest::collection::btree_set(arb_id(), 0..40),
+                    0..12,
+                )
+            ) {
+                // mirrors Half::encode: one shared buffer addressed by u64
+                // byte offsets — the arithmetic that crosses the u32 edge
+                // at paper scale
+                let lists: Vec<Vec<NodeId>> =
+                    lists.into_iter().map(|s| s.into_iter().collect()).collect();
+                let mut data = Vec::new();
+                let mut offsets: Vec<u64> = Vec::new();
+                for list in &lists {
+                    offsets.push(cast::offset_u64(data.len()));
+                    encode_list(&mut data, list);
+                }
+                offsets.push(cast::offset_u64(data.len()));
+                for (i, list) in lists.iter().enumerate() {
+                    let mut pos = cast::offset_usize(offsets[i]);
+                    let decoded: Vec<NodeId> = NeighborDecoder::new(&data, &mut pos).collect();
+                    prop_assert_eq!(&decoded, list, "list {}", i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hub_relabeling_shrinks_stream() {
+        // a hub-heavy graph compresses better once hubs get small ids
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 2000u32;
+        let mut b = crate::GraphBuilder::new();
+        b.ensure_nodes(n as usize);
+        for _ in 0..6000 {
+            // preferential-ish: half the edges touch the first 20 nodes
+            let hub = rng.random_range(0..20);
+            let other = rng.random_range(0..n);
+            b.add_edge(other, hub);
+            b.add_edge(rng.random_range(0..n), rng.random_range(0..n));
+        }
+        let mut b2 = crate::GraphBuilder::new();
+        b2.ensure_nodes(n as usize);
+        let plain = b.build();
+        for (u, v) in plain.edges() {
+            b2.add_edge(u, v);
+        }
+        let (relabeled, _) = b2.build_relabeled();
+        let c_plain = CompressedCsr::from_csr(&plain);
+        let c_hub = CompressedCsr::from_csr(&relabeled);
+        assert!(
+            c_hub.memory_bytes() <= c_plain.memory_bytes(),
+            "hub-first {} vs plain {}",
+            c_hub.memory_bytes(),
+            c_plain.memory_bytes()
+        );
+    }
+}

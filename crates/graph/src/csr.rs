@@ -6,6 +6,7 @@
 //! `O(log d)` membership tests — the primitive both the reciprocity and the
 //! clustering computations are built on.
 
+use crate::cast;
 use serde::{Deserialize, Serialize};
 
 /// Dense node identifier. `u32` comfortably covers the paper's 35M nodes.
@@ -43,7 +44,7 @@ impl CsrGraph {
     /// # Panics
     /// Panics if `u` is out of range.
     pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
-        let u = u as usize;
+        let u = cast::ix(u);
         &self.out_targets[self.out_offsets[u]..self.out_offsets[u + 1]]
     }
 
@@ -52,7 +53,7 @@ impl CsrGraph {
     /// # Panics
     /// Panics if `u` is out of range.
     pub fn in_neighbors(&self, u: NodeId) -> &[NodeId] {
-        let u = u as usize;
+        let u = cast::ix(u);
         &self.in_targets[self.in_offsets[u]..self.in_offsets[u + 1]]
     }
 
@@ -73,7 +74,7 @@ impl CsrGraph {
 
     /// Iterates over all directed edges `(u, v)`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        (0..self.node_count() as NodeId)
+        (0..cast::node_id(self.node_count()))
             .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
     }
 
@@ -87,7 +88,7 @@ impl CsrGraph {
 
     /// Iterates over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
-        0..self.node_count() as NodeId
+        0..cast::node_id(self.node_count())
     }
 
     /// The transposed graph (every edge reversed). `O(1)`: the two CSR
@@ -110,7 +111,7 @@ impl CsrGraph {
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0usize);
         let mut targets: Vec<NodeId> = Vec::with_capacity(self.edge_count());
-        for u in 0..n as NodeId {
+        for u in 0..cast::node_id(n) {
             let outs = self.out_neighbors(u);
             let ins = self.in_neighbors(u);
             let (mut i, mut j) = (0, 0);
@@ -160,6 +161,64 @@ impl CsrGraph {
     pub fn memory_bytes(&self) -> usize {
         (self.out_offsets.len() + self.in_offsets.len()) * std::mem::size_of::<usize>()
             + (self.out_targets.len() + self.in_targets.len()) * std::mem::size_of::<NodeId>()
+    }
+
+    /// Reassembles a graph from its four raw CSR arrays (the binary
+    /// dataset format stores exactly these), validating every invariant
+    /// the builder normally upholds: offset shape and monotonicity,
+    /// sorted+deduplicated neighbour lists, in-range targets, and that
+    /// the reverse half is the exact transpose of the forward half.
+    pub fn from_parts(
+        out_offsets: Vec<usize>,
+        out_targets: Vec<NodeId>,
+        in_offsets: Vec<usize>,
+        in_targets: Vec<NodeId>,
+    ) -> Result<CsrGraph, String> {
+        if out_offsets.len() != in_offsets.len() || out_offsets.is_empty() {
+            return Err(format!(
+                "offset arrays disagree: {} out vs {} in",
+                out_offsets.len(),
+                in_offsets.len()
+            ));
+        }
+        let n = out_offsets.len() - 1;
+        if out_targets.len() != in_targets.len() {
+            return Err(format!(
+                "edge counts disagree: {} out vs {} in",
+                out_targets.len(),
+                in_targets.len()
+            ));
+        }
+        for (label, offsets, targets) in
+            [("out", &out_offsets, &out_targets), ("in", &in_offsets, &in_targets)]
+        {
+            if offsets[0] != 0 || offsets[n] != targets.len() {
+                return Err(format!("{label} offsets do not span the target array"));
+            }
+            for w in offsets.windows(2) {
+                if w[0] > w[1] {
+                    return Err(format!("{label} offsets not monotone"));
+                }
+            }
+            for u in 0..n {
+                let list = &targets[offsets[u]..offsets[u + 1]];
+                if !list.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(format!("{label} list of node {u} not sorted+deduplicated"));
+                }
+                if list.last().is_some_and(|&v| cast::ix(v) >= n) {
+                    return Err(format!("{label} list of node {u} has out-of-range target"));
+                }
+            }
+        }
+        let g = CsrGraph { out_offsets, out_targets, in_offsets, in_targets };
+        // transpose check: every forward edge appears in the reverse half
+        // and the edge counts match, so the halves are exact mirrors
+        for (u, v) in g.edges() {
+            if g.in_neighbors(v).binary_search(&u).is_err() {
+                return Err(format!("edge ({u},{v}) missing from reverse half"));
+            }
+        }
+        Ok(g)
     }
 }
 

@@ -28,6 +28,13 @@
 //! * [`paths`] — sampled shortest-path-length distributions with the
 //!   paper's adaptive `k = 2000 → 10000` schedule, plus diameter estimation.
 //! * [`degree`] — degree sequences and distribution helpers for Figure 3.
+//! * [`compressed`] — delta-gap varint neighbour encoding of the CSR
+//!   halves (WebGraph-style); together with the hub-first [`relabel`]
+//!   permutation the gap stream compresses far below 4 bytes/edge, and
+//!   every traversal kernel runs over it unchanged via [`Adjacency`].
+//! * [`binfmt`] — the versioned, checksummed binary container behind the
+//!   mmap-able dataset/snapshot files, and [`io`] — edge-list TSV plus the
+//!   binary graph format built on it.
 //!
 //! Beyond the paper's own toolkit, the crate ships the standard OSN
 //! characterisation extensions used by the ablation analyses:
@@ -52,11 +59,15 @@
 //! assert!((global - 2.0 / 3.0).abs() < 1e-12);
 //! ```
 
+pub mod adjacency;
 pub mod assortativity;
 pub mod betweenness;
 pub mod bfs;
+pub mod binfmt;
 pub mod builder;
+pub mod cast;
 pub mod clustering;
+pub mod compressed;
 pub mod csr;
 pub mod degree;
 pub mod frontier;
@@ -70,5 +81,7 @@ pub mod relabel;
 pub mod scc;
 pub mod wcc;
 
+pub use adjacency::Adjacency;
 pub use builder::GraphBuilder;
+pub use compressed::CompressedCsr;
 pub use csr::{CsrGraph, NodeId};

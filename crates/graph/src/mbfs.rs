@@ -15,8 +15,10 @@
 //! contributing bits, so per-lane level counts are exactly what the
 //! per-source [`crate::bfs::levels`] kernel would produce.
 
+use crate::adjacency::Adjacency;
 use crate::bfs::BfsLevels;
-use crate::csr::{CsrGraph, NodeId};
+use crate::cast;
+use crate::csr::NodeId;
 
 /// Number of BFS lanes packed into one machine word per node.
 pub const BATCH_WIDTH: usize = 64;
@@ -62,8 +64,8 @@ impl BatchScratch {
 /// # Panics
 /// Panics if `sources` is longer than [`BATCH_WIDTH`] or contains an
 /// out-of-range id.
-pub fn batch_levels_with_scratch(
-    g: &CsrGraph,
+pub fn batch_levels_with_scratch<G: Adjacency>(
+    g: &G,
     sources: &[NodeId],
     threshold: f64,
     scratch: &mut BatchScratch,
@@ -117,8 +119,8 @@ pub fn batch_levels_with_scratch(
                     continue;
                 }
                 let mut acc = 0u64;
-                for &u in g.in_neighbors(v as NodeId) {
-                    acc |= scratch.frontier[u as usize];
+                for u in g.in_iter(cast::node_id(v)) {
+                    acc |= scratch.frontier[cast::ix(u)];
                     // early exit once every lane that can still claim v has
                     if acc | s == full {
                         break;
@@ -128,22 +130,22 @@ pub fn batch_levels_with_scratch(
                 if new != 0 {
                     scratch.seen[v] = s | new;
                     scratch.next[v] = new;
-                    scratch.next_active.push(v as NodeId);
+                    scratch.next_active.push(cast::node_id(v));
                 }
             }
         } else {
             td_counter.inc();
             for i in 0..scratch.active.len() {
                 let u = scratch.active[i];
-                let f = scratch.frontier[u as usize];
-                for &v in g.out_neighbors(u) {
-                    let new = f & !scratch.seen[v as usize];
+                let f = scratch.frontier[cast::ix(u)];
+                for v in g.out_iter(u) {
+                    let new = f & !scratch.seen[cast::ix(v)];
                     if new != 0 {
-                        if scratch.next[v as usize] == 0 {
+                        if scratch.next[cast::ix(v)] == 0 {
                             scratch.next_active.push(v);
                         }
-                        scratch.next[v as usize] |= new;
-                        scratch.seen[v as usize] |= new;
+                        scratch.next[cast::ix(v)] |= new;
+                        scratch.seen[cast::ix(v)] |= new;
                     }
                 }
             }
@@ -194,7 +196,11 @@ pub fn batch_levels_with_scratch(
 /// Runs BFS from every source in `sources` (any number), chunking into
 /// [`BATCH_WIDTH`]-wide batches over one shared scratch; returns one
 /// [`BfsLevels`] per source in input order.
-pub fn multi_source_levels(g: &CsrGraph, sources: &[NodeId], threshold: f64) -> Vec<BfsLevels> {
+pub fn multi_source_levels<G: Adjacency>(
+    g: &G,
+    sources: &[NodeId],
+    threshold: f64,
+) -> Vec<BfsLevels> {
     let mut scratch = BatchScratch::new(g.node_count());
     let mut out = Vec::with_capacity(sources.len());
     for chunk in sources.chunks(BATCH_WIDTH) {
@@ -216,8 +222,8 @@ pub fn multi_source_levels(g: &CsrGraph, sources: &[NodeId], threshold: f64) -> 
 /// # Panics
 /// Panics if `pairs` is longer than [`BATCH_WIDTH`] or contains an
 /// out-of-range id.
-pub fn batch_distance_pairs_with_scratch(
-    g: &CsrGraph,
+pub fn batch_distance_pairs_with_scratch<G: Adjacency>(
+    g: &G,
     pairs: &[(NodeId, NodeId)],
     threshold: f64,
     scratch: &mut BatchScratch,
@@ -276,9 +282,9 @@ pub fn batch_distance_pairs_with_scratch(
                     continue;
                 }
                 let mut acc = 0u64;
-                for &u in g.in_neighbors(v as NodeId) {
+                for u in g.in_iter(cast::node_id(v)) {
                     // frontier words only carry live bits, so acc does too
-                    acc |= scratch.frontier[u as usize];
+                    acc |= scratch.frontier[cast::ix(u)];
                     if (acc | s) & live == live {
                         break;
                     }
@@ -287,15 +293,15 @@ pub fn batch_distance_pairs_with_scratch(
                 if new != 0 {
                     scratch.seen[v] = s | new;
                     scratch.next[v] = new;
-                    scratch.next_active.push(v as NodeId);
+                    scratch.next_active.push(cast::node_id(v));
                 }
             }
         } else {
             td_counter.inc();
             for i in 0..scratch.active.len() {
                 let u = scratch.active[i];
-                let f = scratch.frontier[u as usize];
-                for &v in g.out_neighbors(u) {
+                let f = scratch.frontier[cast::ix(u)];
+                for v in g.out_iter(u) {
                     let new = f & !scratch.seen[v as usize];
                     if new != 0 {
                         if scratch.next[v as usize] == 0 {
@@ -339,8 +345,8 @@ pub fn batch_distance_pairs_with_scratch(
 /// Directed hop distances for any number of `(src, dst)` pairs, chunked
 /// into [`BATCH_WIDTH`]-wide batches over one shared scratch; returns one
 /// distance per pair in input order (`None` = unreachable).
-pub fn distance_pairs(
-    g: &CsrGraph,
+pub fn distance_pairs<G: Adjacency>(
+    g: &G,
     pairs: &[(NodeId, NodeId)],
     threshold: f64,
 ) -> Vec<Option<u32>> {
@@ -357,6 +363,7 @@ mod tests {
     use super::*;
     use crate::bfs;
     use crate::builder::from_edges;
+    use crate::csr::CsrGraph;
 
     #[test]
     fn batch_matches_per_source_small() {

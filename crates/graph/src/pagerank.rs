@@ -6,7 +6,9 @@
 //! iteration with uniform teleportation; dangling mass (the lurkers'
 //! missing out-edges) is redistributed uniformly each sweep.
 
-use crate::csr::{CsrGraph, NodeId};
+use crate::adjacency::Adjacency;
+use crate::cast;
+use crate::csr::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// PageRank parameters.
@@ -41,7 +43,7 @@ impl PageRank {
     /// The `k` highest-scoring nodes, descending; ties by node id.
     pub fn top(&self, k: usize) -> Vec<(NodeId, f64)> {
         let mut ranked: Vec<(NodeId, f64)> =
-            self.scores.iter().enumerate().map(|(i, &s)| (i as NodeId, s)).collect();
+            self.scores.iter().enumerate().map(|(i, &s)| (cast::node_id(i), s)).collect();
         ranked
             .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
         ranked.truncate(k);
@@ -53,7 +55,7 @@ impl PageRank {
 ///
 /// # Panics
 /// Panics if `damping` is outside `[0, 1)` or the graph is empty.
-pub fn pagerank(g: &CsrGraph, params: &PageRankParams) -> PageRank {
+pub fn pagerank<G: Adjacency>(g: &G, params: &PageRankParams) -> PageRank {
     let _span = gplus_obs::global().span("graph.pagerank");
     assert!((0.0..1.0).contains(&params.damping), "damping must be in [0,1)");
     let n = g.node_count();
@@ -68,17 +70,17 @@ pub fn pagerank(g: &CsrGraph, params: &PageRankParams) -> PageRank {
     while iterations < params.max_iterations && delta > params.tolerance {
         // teleport + dangling redistribution
         let dangling: f64 =
-            (0..n as NodeId).filter(|&u| g.out_degree(u) == 0).map(|u| rank[u as usize]).sum();
+            g.node_ids().filter(|&u| g.out_degree(u) == 0).map(|u| rank[cast::ix(u)]).sum();
         let base = (1.0 - params.damping) / n_f + params.damping * dangling / n_f;
         next.iter_mut().for_each(|x| *x = base);
-        for u in 0..n as NodeId {
-            let outs = g.out_neighbors(u);
-            if outs.is_empty() {
+        for u in g.node_ids() {
+            let deg = g.out_degree(u);
+            if deg == 0 {
                 continue;
             }
-            let share = params.damping * rank[u as usize] / outs.len() as f64;
-            for &v in outs {
-                next[v as usize] += share;
+            let share = params.damping * rank[cast::ix(u)] / deg as f64;
+            for v in g.out_iter(u) {
+                next[cast::ix(v)] += share;
             }
         }
         delta = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();

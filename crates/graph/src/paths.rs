@@ -24,6 +24,7 @@
 //! byte-identical to the old per-source estimator.
 
 use crate::bfs::TraversalOpts;
+use crate::cast;
 use crate::csr::{CsrGraph, NodeId};
 use crate::mbfs::{batch_levels_with_scratch, BatchScratch, BATCH_WIDTH};
 use gplus_stats::{ks_distance, sample_indices};
@@ -73,7 +74,7 @@ impl PathLengthDistribution {
             .iter()
             .enumerate()
             .max_by_key(|&(_, &c)| c)
-            .map(|(d, _)| d as u32)
+            .map(|(d, _)| cast::count_u32(cast::offset_u64(d)))
             .unwrap_or(0)
     }
 
@@ -84,7 +85,7 @@ impl PathLengthDistribution {
         if total == 0 {
             return Vec::new();
         }
-        let stride = (total as usize / max_samples.max(1)).max(1) as u64;
+        let stride = (total / cast::offset_u64(max_samples.max(1))).max(1);
         let mut out = Vec::new();
         let mut seen: u64 = 0;
         for (d, &c) in self.counts.iter().enumerate() {
@@ -152,7 +153,7 @@ pub fn path_lengths_from_sources_opt(
         .iter()
         .map(|&s| match opts.source_map {
             Some(map) => map[s],
-            None => s as NodeId,
+            None => cast::node_id(s),
         })
         .collect();
     let chunk_count = mapped.len().div_ceil(BATCH_WIDTH);

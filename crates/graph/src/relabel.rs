@@ -17,6 +17,7 @@
 //! distances, component sizes and every other id-free aggregate are equal
 //! by graph isomorphism.
 
+use crate::cast;
 use crate::csr::{CsrGraph, NodeId};
 
 /// A bijective node permutation with both directions materialised.
@@ -32,11 +33,11 @@ impl Relabeling {
     /// deterministic for a given graph.
     pub fn degree_descending(g: &CsrGraph) -> Self {
         let n = g.node_count();
-        let mut new_to_old: Vec<NodeId> = (0..n as NodeId).collect();
+        let mut new_to_old: Vec<NodeId> = (0..cast::node_id(n)).collect();
         new_to_old.sort_by_key(|&v| (std::cmp::Reverse(g.out_degree(v) + g.in_degree(v)), v));
         let mut old_to_new = vec![0 as NodeId; n];
         for (new, &old) in new_to_old.iter().enumerate() {
-            old_to_new[old as usize] = new as NodeId;
+            old_to_new[cast::ix(old)] = cast::node_id(new);
         }
         let obs = gplus_obs::global();
         obs.counter("graph.relabel.runs").inc();
@@ -57,13 +58,13 @@ impl Relabeling {
     /// The relabeled id of public node `old`.
     #[inline]
     pub fn to_new(&self, old: NodeId) -> NodeId {
-        self.old_to_new[old as usize]
+        self.old_to_new[cast::ix(old)]
     }
 
     /// The public id of relabeled node `new`.
     #[inline]
     pub fn to_old(&self, new: NodeId) -> NodeId {
-        self.new_to_old[new as usize]
+        self.new_to_old[cast::ix(new)]
     }
 
     /// The full old→new map, indexable by public id.
@@ -86,7 +87,7 @@ impl Relabeling {
             let mut offsets = Vec::with_capacity(n + 1);
             offsets.push(0usize);
             let mut targets: Vec<NodeId> = Vec::with_capacity(g.edge_count());
-            for new_u in 0..n as NodeId {
+            for new_u in 0..cast::node_id(n) {
                 let start = targets.len();
                 targets
                     .extend(neighbors(g, self.to_old(new_u)).iter().map(|&v| self.to_new(v)));

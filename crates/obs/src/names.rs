@@ -43,3 +43,19 @@ pub const SERVE_SHED_CHEAP: &str = "serve.shed.cheap_count";
 
 /// Queries whose execution ran past the configured deadline budget.
 pub const SERVE_DEADLINE_EXCEEDED: &str = "serve.query.deadline_exceeded_count";
+
+/// Flat CSR resident footprint in bytes (offset + target arrays, both
+/// halves) — set by the scale bench tier after building the graph.
+pub const MEM_CSR_BYTES: &str = "mem.csr.bytes";
+
+/// Delta-gap compressed CSR footprint in bytes (offset views + varint
+/// streams, both halves) — set by `CompressedCsr::from_csr`.
+pub const MEM_CSR_COMPRESSED_BYTES: &str = "mem.csr.compressed.bytes";
+
+/// Serialized serving-snapshot payload (`snapshot.bin`) size in bytes —
+/// set on every snapshot save and load.
+pub const MEM_SNAPSHOT_BYTES: &str = "mem.snapshot.bytes";
+
+/// Peak resident set size of the process in bytes (`VmHWM` from
+/// `/proc/self/status`; absent on platforms without procfs).
+pub const MEM_PEAK_RSS_BYTES: &str = "mem.peak_rss.bytes";

@@ -11,8 +11,11 @@
 
 use crate::reference::{self, EdgeSet};
 use gplus_graph::bfs::{self, BfsLevels};
+use gplus_graph::pagerank::{pagerank, PageRankParams};
 use gplus_graph::relabel::Relabeling;
-use gplus_graph::{clustering, mbfs, paths, reciprocity, scc, wcc, CsrGraph, NodeId};
+use gplus_graph::{
+    clustering, mbfs, paths, reciprocity, scc, wcc, CompressedCsr, CsrGraph, NodeId,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::json;
@@ -38,6 +41,9 @@ pub enum Kernel {
     Wcc,
     /// Hub-first relabeling: traversal invariance under the permutation.
     Relabel,
+    /// Delta-gap varint compressed CSR: decode fidelity and kernel
+    /// byte-identity with the flat representation.
+    Compressed,
 }
 
 /// Every kernel, in check order.
@@ -51,6 +57,7 @@ pub const ALL_KERNELS: &[Kernel] = &[
     Kernel::Scc,
     Kernel::Wcc,
     Kernel::Relabel,
+    Kernel::Compressed,
 ];
 
 impl Kernel {
@@ -66,6 +73,7 @@ impl Kernel {
             Kernel::Scc => "scc",
             Kernel::Wcc => "wcc",
             Kernel::Relabel => "relabel",
+            Kernel::Compressed => "compressed-csr",
         }
     }
 }
@@ -192,6 +200,7 @@ pub fn check_kernel(g: &CsrGraph, kernel: Kernel, cfg: &DiffConfig) -> Option<Mi
         Kernel::Scc => check_scc(g),
         Kernel::Wcc => check_wcc(g),
         Kernel::Relabel => check_relabel(g, cfg),
+        Kernel::Compressed => check_compressed(g, cfg),
     }
 }
 
@@ -412,6 +421,81 @@ fn check_relabel(g: &CsrGraph, cfg: &DiffConfig) -> Option<Mismatch> {
     None
 }
 
+fn check_compressed(g: &CsrGraph, cfg: &DiffConfig) -> Option<Mismatch> {
+    let c = CompressedCsr::from_csr(g);
+    // decode fidelity: the varint gap streams must reproduce the flat CSR
+    // exactly, adjacency list by adjacency list
+    let back = c.to_csr();
+    if &back != g {
+        let at = g
+            .nodes()
+            .find(|&u| {
+                back.out_neighbors(u) != g.out_neighbors(u)
+                    || back.in_neighbors(u) != g.in_neighbors(u)
+            })
+            .unwrap_or(0);
+        return Some(Mismatch {
+            kernel: Kernel::Compressed.as_str(),
+            detail: format!("decode round trip, first divergent node {at}"),
+            expected: json!({ "out": g.out_neighbors(at), "in": g.in_neighbors(at) }),
+            actual: json!({ "out": back.out_neighbors(at), "in": back.in_neighbors(at) }),
+        });
+    }
+    // traversal byte-identity: hybrid BFS over the compressed graph must
+    // produce the same distance vector as over the flat CSR at every
+    // direction-switch threshold (0.0 forces bottom-up in-decode, 1.0
+    // top-down out-decode)
+    for &t in &cfg.thresholds {
+        for s in sample_nodes(g, cfg.seed ^ 0xc0de, cfg.bfs_sources) {
+            let want = bfs::hybrid_distances(g, s, t);
+            let got = bfs::hybrid_distances(&c, s, t);
+            if got != want {
+                let at = got.iter().zip(&want).position(|(a, b)| a != b).unwrap_or(0);
+                return Some(Mismatch {
+                    kernel: Kernel::Compressed.as_str(),
+                    detail: format!(
+                        "hybrid distances from source {s} at threshold {t}, first divergence \
+                         at node {at}"
+                    ),
+                    expected: json!(want),
+                    actual: json!(got),
+                });
+            }
+        }
+    }
+    // floating-point kernels: identical iteration order over both
+    // representations means the results must match to the bit, not just
+    // within a tolerance
+    if g.node_count() > 0 {
+        let params = PageRankParams { max_iterations: 30, ..PageRankParams::default() };
+        let flat = pagerank(g, &params);
+        let packed = pagerank(&c, &params);
+        if let Some(at) = (0..flat.scores.len())
+            .find(|&i| flat.scores[i].to_bits() != packed.scores[i].to_bits())
+        {
+            return Some(Mismatch {
+                kernel: Kernel::Compressed.as_str(),
+                detail: format!("pagerank score of node {at} differs in bits"),
+                expected: json!(flat.scores[at]),
+                actual: json!(packed.scores[at]),
+            });
+        }
+    }
+    for u in sample_nodes(g, cfg.seed ^ 0xcc0, cfg.node_sample) {
+        let want = clustering::clustering_coefficient(g, u);
+        let got = clustering::clustering_coefficient(&c, u);
+        if want.map(f64::to_bits) != got.map(f64::to_bits) {
+            return Some(Mismatch {
+                kernel: Kernel::Compressed.as_str(),
+                detail: format!("clustering coefficient of node {u} differs in bits"),
+                expected: json!(want),
+                actual: json!(got),
+            });
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,6 +540,14 @@ mod tests {
         assert!(s.len() > mbfs::BATCH_WIDTH, "must spill past one 64-lane word");
         let distinct: std::collections::HashSet<_> = s.iter().collect();
         assert!(distinct.len() < s.len(), "must contain duplicates");
+    }
+
+    #[test]
+    fn compressed_kernels_are_byte_identical_on_a_synthetic_network() {
+        let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(900, 9));
+        // full budgets: all three thresholds, so both decode directions run
+        let m = check_kernel(&net.graph, Kernel::Compressed, &DiffConfig::new(9));
+        assert!(m.is_none(), "{m:?}");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! must face real bytes), but *which* damage is derived from a seed via
 //! the same splitmix64 streams the crawl plans use.
 
-use crate::snapshot::{AnalysedSnapshot, SnapshotError};
+use crate::snapshot::{AnalysedSnapshot, SnapshotError, PAYLOAD_FILE};
 use gplus_service::failure::splitmix64;
 use std::path::Path;
 
@@ -21,13 +21,13 @@ use std::path::Path;
 /// mode so plans never entangle).
 const STREAM_CORRUPT: u64 = 0x3c79_ac49_2ba7_b653;
 
-/// Flips `nbytes` seed-chosen bytes of `dir/snapshot.json` in place
+/// Flips `nbytes` seed-chosen bytes of `dir/snapshot.bin` in place
 /// (XOR with a seed-derived nonzero mask, so every chosen byte really
 /// changes). Returns the flipped offsets, ascending — the reproducer
 /// record for a failing run. Distinct seeds damage distinct offsets;
 /// the same seed always damages the same ones.
 pub fn corrupt_payload(dir: &Path, seed: u64, nbytes: usize) -> std::io::Result<Vec<usize>> {
-    let path = dir.join("snapshot.json");
+    let path = dir.join(PAYLOAD_FILE);
     let mut bytes = std::fs::read(&path)?;
     assert!(!bytes.is_empty(), "cannot corrupt an empty payload");
     let mut offsets = Vec::with_capacity(nbytes);
@@ -44,11 +44,11 @@ pub fn corrupt_payload(dir: &Path, seed: u64, nbytes: usize) -> std::io::Result<
     Ok(offsets)
 }
 
-/// Truncates `dir/snapshot.json` to a seed-chosen fraction of its length
+/// Truncates `dir/snapshot.bin` to a seed-chosen fraction of its length
 /// (at least 1 byte, strictly shorter than the original) — the torn-write
 /// shape left by a crashed copy. Returns the new length.
 pub fn truncate_payload(dir: &Path, seed: u64) -> std::io::Result<u64> {
-    let path = dir.join("snapshot.json");
+    let path = dir.join(PAYLOAD_FILE);
     let len = std::fs::metadata(&path)?.len();
     assert!(len > 1, "payload too small to truncate meaningfully");
     let keep = 1 + splitmix64(seed.wrapping_mul(STREAM_CORRUPT)) % (len - 1);
@@ -63,7 +63,7 @@ pub fn truncate_payload(dir: &Path, seed: u64) -> std::io::Result<u64> {
 /// distinct on-disk states a kill can leave behind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SavePhase {
-    /// Killed after staging `snapshot.json.tmp`, before anything else.
+    /// Killed after staging `snapshot.bin.tmp`, before anything else.
     PayloadTmpWritten,
     /// Killed after staging both `.tmp` files, before any rename.
     BothTmpsWritten,
@@ -84,11 +84,10 @@ pub fn interrupted_save(
     phase: SavePhase,
 ) -> Result<(), SnapshotError> {
     std::fs::create_dir_all(dir)?;
-    let payload =
-        serde_json::to_vec(snapshot).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+    let payload = snapshot.to_payload_bytes();
     let meta = serde_json::to_string_pretty(&snapshot.meta())
         .map_err(|e| SnapshotError::Malformed(e.to_string()))?;
-    std::fs::write(dir.join("snapshot.json.tmp"), &payload)?;
+    std::fs::write(dir.join("snapshot.bin.tmp"), &payload)?;
     if phase == SavePhase::PayloadTmpWritten {
         return Ok(());
     }
@@ -96,7 +95,7 @@ pub fn interrupted_save(
     if phase == SavePhase::BothTmpsWritten {
         return Ok(());
     }
-    std::fs::rename(dir.join("snapshot.json.tmp"), dir.join("snapshot.json"))?;
+    std::fs::rename(dir.join("snapshot.bin.tmp"), dir.join(PAYLOAD_FILE))?;
     // SavePhase::PayloadRenamed: die before the meta rename
     Ok(())
 }
@@ -161,8 +160,8 @@ mod tests {
         let offs_b = corrupt_payload(&dir_b, 42, 3).unwrap();
         assert_eq!(offs_a, offs_b, "same seed must damage the same offsets");
         assert_eq!(
-            std::fs::read(dir_a.join("snapshot.json")).unwrap(),
-            std::fs::read(dir_b.join("snapshot.json")).unwrap()
+            std::fs::read(dir_a.join(PAYLOAD_FILE)).unwrap(),
+            std::fs::read(dir_b.join(PAYLOAD_FILE)).unwrap()
         );
         assert!(matches!(AnalysedSnapshot::load(&dir_a), Err(SnapshotError::Checksum { .. })));
         let dir_c = fresh_dir("gplus-serve-fault-corrupt-c");
@@ -179,7 +178,7 @@ mod tests {
         let snap = snapshot();
         let dir = fresh_dir("gplus-serve-fault-truncate");
         snap.save(&dir).unwrap();
-        let before = std::fs::metadata(dir.join("snapshot.json")).unwrap().len();
+        let before = std::fs::metadata(dir.join(PAYLOAD_FILE)).unwrap().len();
         let after = truncate_payload(&dir, 7).unwrap();
         assert!(after < before);
         assert!(after >= 1);

@@ -35,7 +35,7 @@ pub use epoch::EpochSwap;
 pub use fault::{corrupt_payload, interrupted_save, truncate_payload, FlakyLoader, SavePhase};
 pub use snapshot::{
     fnv1a, AnalysedSnapshot, CountryRankings, RankedNode, SnapshotError, SnapshotMeta,
-    SNAPSHOT_FORMAT_VERSION,
+    PAYLOAD_FILE, SNAPSHOT_FORMAT_VERSION,
 };
 pub use swap::SwapGuard;
 pub use workload::{

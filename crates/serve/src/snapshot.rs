@@ -4,9 +4,17 @@
 //! PageRank, degree rankings, per-country leaderboards — are frozen into
 //! one [`AnalysedSnapshot`] at build time so every online query is a
 //! lookup or a short traversal, never a full recomputation. Snapshots
-//! round-trip through a directory (`meta.json` + `snapshot.json`) so an
+//! round-trip through a directory (`meta.json` + `snapshot.bin`) so an
 //! operator can build one offline with `gplus snapshot` and serve it (or
 //! hot-swap to a newer one) with `gplus serve`.
+//!
+//! The payload is a [`gplus_graph::binfmt`] container, not JSON: the
+//! graph is embedded via [`gplus_graph::io::graph_sections`] and the
+//! serving attributes (names, countries, reciprocal flags, leaderboards)
+//! occupy snapshot-owned sections below id `0x10`. At paper scale a JSON
+//! parse of a multi-gigabyte snapshot dominated load time; the binary
+//! payload is opened through one `mmap`, hashed once for the sidecar
+//! checksum, and decoded with fixed-width reads.
 //!
 //! The snapshot also implements [`Dataset`], which lets the serving path
 //! reuse the batch extensions (friend recommendation, rankings) verbatim
@@ -14,6 +22,10 @@
 
 use gplus_core::Dataset;
 use gplus_geo::{Country, LatLon};
+use gplus_graph::binfmt::{
+    bytes_of_u64s, u64s_from_bytes, BinError, BinFile, BinWriter, ByteSlice,
+};
+use gplus_graph::io as graph_io;
 use gplus_graph::pagerank::{pagerank, PageRankParams};
 use gplus_graph::{CsrGraph, NodeId};
 use gplus_profiles::{Attribute, Gender, Occupation, RelationshipStatus};
@@ -24,8 +36,32 @@ use std::collections::HashMap;
 use std::path::Path;
 
 /// On-disk format version; bumped on any incompatible layout change.
-/// Version 2 added the `payload_fnv1a` checksum to [`SnapshotMeta`].
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
+/// Version 2 added the `payload_fnv1a` checksum to [`SnapshotMeta`];
+/// version 3 replaced the JSON payload with the `snapshot.bin` binary
+/// container (the version is stored both in `meta.json` and in the
+/// container header, and both are checked).
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 3;
+
+/// File name of the binary snapshot payload inside a snapshot directory.
+pub const PAYLOAD_FILE: &str = "snapshot.bin";
+
+/// Section ids owned by the snapshot payload. Ids `0x10` and above belong
+/// to the embedded graph ([`gplus_graph::io::sec`]).
+mod sec {
+    /// `[seed]` as one `u64`.
+    pub const SNAP_META: u32 = 0x01;
+    /// Byte offsets into [`NAME_BLOB`] (`u64` array, `n + 1` entries).
+    pub const NAME_OFFSETS: u32 = 0x02;
+    /// UTF-8 concatenation of all display names.
+    pub const NAME_BLOB: u32 = 0x03;
+    /// One byte per node: `0` = withheld, else `1 +` the country's index
+    /// in [`gplus_geo::Country::all`] order.
+    pub const COUNTRIES: u32 = 0x04;
+    /// Reciprocal flags as a bitset, LSB-first within each byte.
+    pub const RECIPROCAL: u32 = 0x05;
+    /// Global and per-country leaderboards, fixed-width records.
+    pub const RANKINGS: u32 = 0x06;
+}
 
 /// FNV-1a over a byte slice — the snapshot payload checksum. Not
 /// cryptographic; it detects the failure modes a serving host actually
@@ -102,10 +138,12 @@ pub struct SnapshotMeta {
     pub nodes: u64,
     /// Edge count (consistency check against the payload).
     pub edges: u64,
-    /// [`fnv1a`] digest of the exact `snapshot.json` bytes. Verified on
+    /// [`fnv1a`] digest of the exact `snapshot.bin` bytes. Verified on
     /// load *before* the payload is parsed, so corruption surfaces as a
     /// checksum mismatch with offsets intact rather than as whatever
-    /// serde error the flipped byte happens to produce.
+    /// decode error the flipped byte happens to produce. (The container's
+    /// per-section checksums would also catch it, but the whole-file
+    /// digest additionally covers the header and section table.)
     pub payload_fnv1a: u64,
 }
 
@@ -140,7 +178,8 @@ pub enum SnapshotError {
         /// Version this build reads.
         supported: u32,
     },
-    /// A file did not parse as the expected JSON shape.
+    /// A file did not decode as its expected shape (`meta.json` as JSON,
+    /// `snapshot.bin` as a well-formed binary container).
     Malformed(String),
     /// The payload parsed but violates a structural invariant (vector
     /// lengths, leaderboard ids out of range, non-finite scores, meta
@@ -218,6 +257,93 @@ where
     ranked
 }
 
+/// The payload byte for an optional country: `0` for withheld, else
+/// `1 +` the index in [`Country::all`] order. That order is part of the
+/// on-disk format; reordering the enum requires a format-version bump.
+fn country_to_u8(c: Option<Country>) -> u8 {
+    match c {
+        None => 0,
+        Some(c) => {
+            let idx = Country::all().position(|x| x == c).expect("all() covers every variant");
+            u8::try_from(idx + 1).expect("far fewer than 255 countries")
+        }
+    }
+}
+
+/// Inverse of [`country_to_u8`]; rejects bytes outside the encoded range.
+fn country_from_u8(b: u8) -> Result<Option<Country>, SnapshotError> {
+    if b == 0 {
+        return Ok(None);
+    }
+    Country::all()
+        .nth(usize::from(b) - 1)
+        .map(Some)
+        .ok_or_else(|| SnapshotError::Malformed(format!("{PAYLOAD_FILE}: country byte {b}")))
+}
+
+/// Maps a container-level decode failure to the snapshot error taxonomy.
+/// Everything the binary reader rejects — bad magic, truncation, a
+/// section checksum, a malformed array — is [`SnapshotError::Malformed`]
+/// here: the whole-file digest already passed, so the bytes are what the
+/// writer produced and the problem is their *shape*, not bit rot.
+fn malformed(e: BinError) -> SnapshotError {
+    SnapshotError::Malformed(format!("{PAYLOAD_FILE}: {e}"))
+}
+
+/// Bounds-checked little-endian reader over the rankings section.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).filter(|&end| end <= self.bytes.len()).ok_or_else(
+            || SnapshotError::Malformed(format!("{PAYLOAD_FILE}: rankings section cut short")),
+        )?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+/// Appends one ranked list as `u32 len` then `(u32 node, u64 score bits)`
+/// records, all little-endian. `f64::to_bits` keeps the round trip
+/// bit-exact — scores compare equal after a save/load cycle.
+fn put_ranked(buf: &mut Vec<u8>, list: &[RankedNode]) {
+    buf.extend_from_slice(
+        &u32::try_from(list.len()).expect("leaderboard fits u32").to_le_bytes(),
+    );
+    for e in list {
+        buf.extend_from_slice(&e.node.to_le_bytes());
+        buf.extend_from_slice(&e.score.to_bits().to_le_bytes());
+    }
+}
+
+/// Reads one ranked list written by [`put_ranked`].
+fn get_ranked(cur: &mut Cursor<'_>) -> Result<Vec<RankedNode>, SnapshotError> {
+    let len = cur.u32()? as usize;
+    let mut out = Vec::with_capacity(len.min(MAX_TOP_K as usize));
+    for _ in 0..len {
+        let node = cur.u32()?;
+        let score = f64::from_bits(cur.u64()?);
+        out.push(RankedNode { node, score });
+    }
+    Ok(out)
+}
+
 impl AnalysedSnapshot {
     /// Runs the batch analyses over a generated network and freezes the
     /// results. This is the expensive offline step (`gplus snapshot`);
@@ -282,8 +408,164 @@ impl AnalysedSnapshot {
     /// checksum. Serializes the snapshot to hash it; `save` reuses the
     /// bytes instead of calling this twice.
     pub fn meta(&self) -> SnapshotMeta {
-        let payload = serde_json::to_vec(self).expect("snapshot serializes");
-        self.meta_for_payload(&payload)
+        self.meta_for_payload(&self.to_payload_bytes())
+    }
+
+    /// Serialises the snapshot into the `snapshot.bin` container bytes:
+    /// the snapshot-owned sections (seed, names, countries, reciprocal
+    /// bitset, leaderboards) followed by the embedded graph sections.
+    pub fn to_payload_bytes(&self) -> Vec<u8> {
+        let mut w = BinWriter::new(SNAPSHOT_FORMAT_VERSION);
+        w.section(sec::SNAP_META, bytes_of_u64s(&[self.seed]));
+
+        let mut name_offsets: Vec<u64> = Vec::with_capacity(self.names.len() + 1);
+        let mut blob = Vec::new();
+        name_offsets.push(0);
+        for name in &self.names {
+            blob.extend_from_slice(name.as_bytes());
+            name_offsets.push(blob.len() as u64);
+        }
+        w.section(sec::NAME_OFFSETS, bytes_of_u64s(&name_offsets));
+        w.section(sec::NAME_BLOB, blob);
+
+        w.section(sec::COUNTRIES, self.countries.iter().map(|&c| country_to_u8(c)).collect());
+
+        let mut bits = vec![0u8; self.reciprocal.len().div_ceil(8)];
+        for (i, &r) in self.reciprocal.iter().enumerate() {
+            if r {
+                bits[i / 8] |= 1 << (i % 8);
+            }
+        }
+        w.section(sec::RECIPROCAL, bits);
+
+        let mut ranks = Vec::new();
+        put_ranked(&mut ranks, &self.pagerank_top);
+        put_ranked(&mut ranks, &self.in_degree_top);
+        put_ranked(&mut ranks, &self.out_degree_top);
+        ranks.extend_from_slice(
+            &u32::try_from(self.country_top.len())
+                .expect("country list fits u32")
+                .to_le_bytes(),
+        );
+        for ranking in &self.country_top {
+            ranks.push(country_to_u8(Some(ranking.country)));
+            put_ranked(&mut ranks, &ranking.pagerank);
+            put_ranked(&mut ranks, &ranking.in_degree);
+            put_ranked(&mut ranks, &ranking.out_degree);
+        }
+        w.section(sec::RANKINGS, ranks);
+
+        graph_io::graph_sections(&self.graph, &mut w);
+        w.to_bytes()
+    }
+
+    /// Decodes a payload container whose whole-file digest has already
+    /// been verified. Every structural surprise — wrong section shapes,
+    /// offsets out of order, invalid UTF-8, trailing bytes — is a typed
+    /// [`SnapshotError::Malformed`]; semantic validation happens in
+    /// [`AnalysedSnapshot::load`] afterwards.
+    pub fn from_payload_bytes(bytes: Vec<u8>) -> Result<Self, SnapshotError> {
+        Self::from_payload_view(ByteSlice::from_vec(bytes))
+    }
+
+    fn from_payload_view(bytes: ByteSlice) -> Result<Self, SnapshotError> {
+        let bin = BinFile::from_view(bytes, SNAPSHOT_FORMAT_VERSION).map_err(malformed)?;
+        let graph = graph_io::graph_from_bin(&bin).map_err(malformed)?;
+        let n = graph.node_count();
+
+        let meta = u64s_from_bytes(&bin.section(sec::SNAP_META).map_err(malformed)?)
+            .map_err(malformed)?;
+        let &[seed] = meta.as_slice() else {
+            return Err(SnapshotError::Malformed(format!(
+                "{PAYLOAD_FILE}: snapshot meta has {} fields",
+                meta.len()
+            )));
+        };
+
+        let offsets = u64s_from_bytes(&bin.section(sec::NAME_OFFSETS).map_err(malformed)?)
+            .map_err(malformed)?;
+        let blob = bin.section(sec::NAME_BLOB).map_err(malformed)?;
+        if offsets.len() != n + 1 || offsets.first() != Some(&0) {
+            return Err(SnapshotError::Malformed(format!(
+                "{PAYLOAD_FILE}: {} name offsets for {n} nodes",
+                offsets.len()
+            )));
+        }
+        let mut names = Vec::with_capacity(n);
+        for w in offsets.windows(2) {
+            let (start, end) = (w[0], w[1]);
+            if start > end || end > blob.len() as u64 {
+                return Err(SnapshotError::Malformed(format!(
+                    "{PAYLOAD_FILE}: name offsets {start}..{end} exceed blob of {} bytes",
+                    blob.len()
+                )));
+            }
+            let slice = &blob[start as usize..end as usize];
+            let name = std::str::from_utf8(slice).map_err(|e| {
+                SnapshotError::Malformed(format!("{PAYLOAD_FILE}: name not UTF-8: {e}"))
+            })?;
+            names.push(name.to_string());
+        }
+
+        let country_bytes = bin.section(sec::COUNTRIES).map_err(malformed)?;
+        if country_bytes.len() != n {
+            return Err(SnapshotError::Malformed(format!(
+                "{PAYLOAD_FILE}: {} country bytes for {n} nodes",
+                country_bytes.len()
+            )));
+        }
+        let countries =
+            country_bytes.iter().map(|&b| country_from_u8(b)).collect::<Result<Vec<_>, _>>()?;
+
+        let bitset = bin.section(sec::RECIPROCAL).map_err(malformed)?;
+        if bitset.len() != n.div_ceil(8) {
+            return Err(SnapshotError::Malformed(format!(
+                "{PAYLOAD_FILE}: {} reciprocal bytes for {n} nodes",
+                bitset.len()
+            )));
+        }
+        let reciprocal: Vec<bool> =
+            (0..n).map(|i| bitset[i / 8] & (1 << (i % 8)) != 0).collect();
+
+        let ranks = bin.section(sec::RANKINGS).map_err(malformed)?;
+        let mut cur = Cursor { bytes: &ranks, pos: 0 };
+        let pagerank_top = get_ranked(&mut cur)?;
+        let in_degree_top = get_ranked(&mut cur)?;
+        let out_degree_top = get_ranked(&mut cur)?;
+        let country_count = cur.u32()? as usize;
+        let mut country_top = Vec::with_capacity(country_count.min(64));
+        for _ in 0..country_count {
+            let byte = cur.u8()?;
+            let Some(country) = country_from_u8(byte)? else {
+                return Err(SnapshotError::Malformed(format!(
+                    "{PAYLOAD_FILE}: leaderboard for withheld country"
+                )));
+            };
+            country_top.push(CountryRankings {
+                country,
+                pagerank: get_ranked(&mut cur)?,
+                in_degree: get_ranked(&mut cur)?,
+                out_degree: get_ranked(&mut cur)?,
+            });
+        }
+        if cur.pos != ranks.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "{PAYLOAD_FILE}: {} trailing bytes after rankings",
+                ranks.len() - cur.pos
+            )));
+        }
+
+        Ok(Self {
+            seed,
+            graph,
+            names,
+            countries,
+            reciprocal,
+            pagerank_top,
+            in_degree_top,
+            out_degree_top,
+            country_top,
+        })
     }
 
     fn meta_for_payload(&self, payload: &[u8]) -> SnapshotMeta {
@@ -304,7 +586,7 @@ impl AnalysedSnapshot {
         ((node as usize) < self.graph.node_count()).then_some(node)
     }
 
-    /// Writes `meta.json` and `snapshot.json` into `dir` (created if
+    /// Writes `meta.json` and `snapshot.bin` into `dir` (created if
     /// missing) via write-temp-then-rename. Both files are staged as
     /// `.tmp` siblings first and renamed into place payload-before-meta,
     /// so a process killed at any instant leaves either the fully-old
@@ -313,25 +595,31 @@ impl AnalysedSnapshot {
     /// snapshot that serves wrong answers.
     pub fn save(&self, dir: &Path) -> Result<(), SnapshotError> {
         std::fs::create_dir_all(dir)?;
-        let payload =
-            serde_json::to_vec(self).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        let payload = self.to_payload_bytes();
         let meta = serde_json::to_string_pretty(&self.meta_for_payload(&payload))
             .map_err(|e| SnapshotError::Malformed(e.to_string()))?;
-        let payload_tmp = dir.join("snapshot.json.tmp");
+        let payload_tmp = dir.join("snapshot.bin.tmp");
         let meta_tmp = dir.join("meta.json.tmp");
         std::fs::write(&payload_tmp, &payload)?;
         std::fs::write(&meta_tmp, meta)?;
-        std::fs::rename(&payload_tmp, dir.join("snapshot.json"))?;
+        std::fs::rename(&payload_tmp, dir.join(PAYLOAD_FILE))?;
         std::fs::rename(&meta_tmp, dir.join("meta.json"))?;
+        gplus_obs::global()
+            .gauge(gplus_obs::names::MEM_SNAPSHOT_BYTES)
+            .set(payload.len() as f64);
         Ok(())
     }
 
     /// Loads a snapshot directory, verifying — in order — that both files
     /// exist, the format version matches, the payload bytes hash to the
-    /// digest `meta.json` records, the payload parses, its structure is
+    /// digest `meta.json` records, the payload decodes, its structure is
     /// semantically valid ([`AnalysedSnapshot::validate`]), and its
     /// identity agrees with the meta record. A snapshot that fails any
     /// step must never reach the serving path.
+    ///
+    /// The payload is memory-mapped (on Unix), hashed in one pass over
+    /// the mapping, and decoded in place — no heap copy of the container
+    /// bytes is ever made.
     pub fn load(dir: &Path) -> Result<Self, SnapshotError> {
         let meta_bytes = read_snapshot_file(dir, "meta.json")?;
         let meta: SnapshotMeta = serde_json::from_slice(&meta_bytes)
@@ -342,17 +630,16 @@ impl AnalysedSnapshot {
                 supported: SNAPSHOT_FORMAT_VERSION,
             });
         }
-        let payload = read_snapshot_file(dir, "snapshot.json")?;
+        let payload = open_snapshot_payload(dir)?;
         let actual_digest = fnv1a(&payload);
         if actual_digest != meta.payload_fnv1a {
             return Err(SnapshotError::Checksum {
-                file: "snapshot.json".to_string(),
+                file: PAYLOAD_FILE.to_string(),
                 expected: meta.payload_fnv1a,
                 actual: actual_digest,
             });
         }
-        let snapshot: AnalysedSnapshot = serde_json::from_slice(&payload)
-            .map_err(|e| SnapshotError::Malformed(format!("snapshot.json: {e}")))?;
+        let snapshot = Self::from_payload_view(payload.clone())?;
         snapshot.validate()?;
         let actual = snapshot.meta_for_payload(&payload);
         if actual != meta {
@@ -360,6 +647,9 @@ impl AnalysedSnapshot {
                 "meta.json disagrees with payload: {meta:?} vs {actual:?}"
             )));
         }
+        gplus_obs::global()
+            .gauge(gplus_obs::names::MEM_SNAPSHOT_BYTES)
+            .set(payload.len() as f64);
         Ok(snapshot)
     }
 
@@ -425,6 +715,18 @@ fn read_snapshot_file(dir: &Path, name: &str) -> Result<Vec<u8>, SnapshotError> 
     std::fs::read(dir.join(name)).map_err(|e| {
         if e.kind() == std::io::ErrorKind::NotFound {
             SnapshotError::Missing { file: name.to_string() }
+        } else {
+            SnapshotError::Io(e)
+        }
+    })
+}
+
+/// Opens (maps, on Unix) the binary payload with the same missing-file
+/// mapping as [`read_snapshot_file`].
+fn open_snapshot_payload(dir: &Path) -> Result<ByteSlice, SnapshotError> {
+    ByteSlice::open(&dir.join(PAYLOAD_FILE)).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            SnapshotError::Missing { file: PAYLOAD_FILE.to_string() }
         } else {
             SnapshotError::Io(e)
         }
@@ -624,14 +926,14 @@ mod tests {
         let dir = std::env::temp_dir().join("gplus-serve-snapshot-bitrot");
         let _ = std::fs::remove_dir_all(&dir);
         snap.save(&dir).unwrap();
-        let path = dir.join("snapshot.json");
+        let path = dir.join(PAYLOAD_FILE);
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
-        bytes[mid] ^= 0x40; // one flipped bit, still plausibly valid JSON bytes
+        bytes[mid] ^= 0x40; // one flipped bit somewhere in the container
         std::fs::write(&path, &bytes).unwrap();
         match AnalysedSnapshot::load(&dir) {
             Err(SnapshotError::Checksum { file, expected, actual }) => {
-                assert_eq!(file, "snapshot.json");
+                assert_eq!(file, "snapshot.bin");
                 assert_ne!(expected, actual);
             }
             other => panic!("expected checksum error, got {other:?}"),
@@ -645,10 +947,10 @@ mod tests {
         let dir = std::env::temp_dir().join("gplus-serve-snapshot-missing");
         let _ = std::fs::remove_dir_all(&dir);
         snap.save(&dir).unwrap();
-        std::fs::remove_file(dir.join("snapshot.json")).unwrap();
+        std::fs::remove_file(dir.join(PAYLOAD_FILE)).unwrap();
         assert!(matches!(
             AnalysedSnapshot::load(&dir),
-            Err(SnapshotError::Missing { file }) if file == "snapshot.json"
+            Err(SnapshotError::Missing { file }) if file == "snapshot.bin"
         ));
         std::fs::remove_file(dir.join("meta.json")).unwrap();
         assert!(matches!(
@@ -712,6 +1014,51 @@ mod tests {
         let ids: Vec<_> = ranked.iter().map(|e| e.node).collect();
         let ids_again: Vec<_> = again.iter().map(|e| e.node).collect();
         assert_eq!(ids, ids_again);
+    }
+
+    #[test]
+    fn payload_bytes_round_trip_bit_exactly() {
+        let snap = small();
+        let bytes = snap.to_payload_bytes();
+        let back = AnalysedSnapshot::from_payload_bytes(bytes.clone()).unwrap();
+        assert_eq!(back, snap);
+        // re-encoding is deterministic: same snapshot, same bytes
+        assert_eq!(back.to_payload_bytes(), bytes);
+    }
+
+    #[test]
+    fn country_byte_codec_round_trips_every_variant() {
+        assert_eq!(country_from_u8(country_to_u8(None)).unwrap(), None);
+        for c in Country::all() {
+            let b = country_to_u8(Some(c));
+            assert_ne!(b, 0);
+            assert_eq!(country_from_u8(b).unwrap(), Some(c));
+        }
+        // bytes beyond the encoded range are rejected, not wrapped
+        assert!(country_from_u8(22).is_err());
+        assert!(country_from_u8(u8::MAX).is_err());
+    }
+
+    #[test]
+    fn garbage_payload_is_malformed_not_a_panic() {
+        assert!(matches!(
+            AnalysedSnapshot::from_payload_bytes(b"not a container".to_vec()),
+            Err(SnapshotError::Malformed(_))
+        ));
+        // a truncated rankings section must be a typed error too
+        let snap = small();
+        let mut w = gplus_graph::binfmt::BinWriter::new(SNAPSHOT_FORMAT_VERSION);
+        w.section(sec::SNAP_META, bytes_of_u64s(&[snap.seed]));
+        w.section(sec::NAME_OFFSETS, bytes_of_u64s(&vec![0u64; snap.names.len() + 1]));
+        w.section(sec::NAME_BLOB, Vec::new());
+        w.section(sec::COUNTRIES, vec![0u8; snap.countries.len()]);
+        w.section(sec::RECIPROCAL, vec![0u8; snap.reciprocal.len().div_ceil(8)]);
+        w.section(sec::RANKINGS, vec![9, 0, 0]); // cut mid-length-prefix
+        graph_io::graph_sections(&snap.graph, &mut w);
+        assert!(matches!(
+            AnalysedSnapshot::from_payload_bytes(w.to_bytes()),
+            Err(SnapshotError::Malformed(m)) if m.contains("rankings")
+        ));
     }
 
     #[test]

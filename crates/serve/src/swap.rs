@@ -88,7 +88,7 @@ mod tests {
         let dir = std::env::temp_dir().join("gplus-swapguard-corrupt");
         let _ = std::fs::remove_dir_all(&dir);
         snapshot(250, 2).save(&dir).unwrap();
-        let path = dir.join("snapshot.json");
+        let path = dir.join(crate::snapshot::PAYLOAD_FILE);
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x01;

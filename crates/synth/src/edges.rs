@@ -71,8 +71,40 @@ pub struct EdgeOutcome {
     pub stats: EdgeStats,
 }
 
-/// Runs the edge process over a generated population.
+/// Result of one [`stream_edges`] pass: everything [`EdgeOutcome`] carries
+/// except the edge list itself, which went to the sink.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// Persona per node.
+    pub personas: Vec<Persona>,
+    /// Run statistics.
+    pub stats: EdgeStats,
+    /// Edges emitted to the sink (base + follow-backs, duplicates included).
+    pub emitted: u64,
+}
+
+/// Runs the edge process over a generated population, materialising the
+/// edge list. Thin wrapper over [`stream_edges`]; both draw the identical
+/// RNG sequence, so a fixed seed yields the same network either way.
 pub fn generate_edges(cfg: &SynthConfig, pop: &Population) -> EdgeOutcome {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let outcome = stream_edges(cfg, pop, &mut |u, v| edges.push((u, v)));
+    EdgeOutcome { edges, personas: outcome.personas, stats: outcome.stats }
+}
+
+/// Runs the edge process, emitting each directed edge to `sink` the moment
+/// it is generated instead of accumulating a `Vec` of every `(u, v)` pair.
+///
+/// This is the paper-scale entry point: a streaming consumer (the two-pass
+/// CSR builder, a crawl frontier, an edge-file writer) never holds the
+/// duplicated edge list, so peak memory is the generator's own working
+/// state plus whatever the sink keeps. The RNG draw sequence is exactly
+/// [`generate_edges`]'s — the seed contract pins edge emission order.
+pub fn stream_edges(
+    cfg: &SynthConfig,
+    pop: &Population,
+    sink: &mut dyn FnMut(u32, u32),
+) -> StreamOutcome {
     cfg.validate();
     let n = pop.len();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6564_6765_735f_6765); // "edges_ge"
@@ -103,9 +135,7 @@ pub fn generate_edges(cfg: &SynthConfig, pop: &Population) -> EdgeOutcome {
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.shuffle(&mut rng);
 
-    let expected_edges = base_degree.iter().map(|&d| d as usize).sum::<usize>();
     let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(expected_edges * 5 / 4);
     let mut global_copy: Vec<u32> = Vec::new();
     let mut country_copy: HashMap<Country, Vec<u32>> = HashMap::new();
     let mut stats = EdgeStats::default();
@@ -143,7 +173,7 @@ pub fn generate_edges(cfg: &SynthConfig, pop: &Population) -> EdgeOutcome {
                         v,
                         Provenance::SameCity,
                         &mut out,
-                        &mut edges,
+                        sink,
                         &mut global_copy,
                         &mut country_copy,
                         &mut stats,
@@ -177,7 +207,7 @@ pub fn generate_edges(cfg: &SynthConfig, pop: &Population) -> EdgeOutcome {
                 v,
                 provenance,
                 &mut out,
-                &mut edges,
+                sink,
                 &mut global_copy,
                 &mut country_copy,
                 &mut stats,
@@ -186,7 +216,8 @@ pub fn generate_edges(cfg: &SynthConfig, pop: &Population) -> EdgeOutcome {
         }
     }
 
-    EdgeOutcome { edges, personas, stats }
+    let emitted = stats.base_edges + stats.follow_backs;
+    StreamOutcome { personas, stats, emitted }
 }
 
 /// Records the base edge `u -> v` with its provenance and rolls the
@@ -200,13 +231,13 @@ fn push_edge(
     v: u32,
     provenance: Provenance,
     out: &mut [Vec<u32>],
-    edges: &mut Vec<(u32, u32)>,
+    sink: &mut dyn FnMut(u32, u32),
     global_copy: &mut Vec<u32>,
     country_copy: &mut HashMap<Country, Vec<u32>>,
     stats: &mut EdgeStats,
     rng: &mut StdRng,
 ) {
-    edges.push((u, v));
+    sink(u, v);
     out[u as usize].push(v);
     global_copy.push(v);
     country_copy.entry(pop.profile(v).country).or_default().push(v);
@@ -232,7 +263,7 @@ fn push_edge(
         r *= cfg.follow_back.celebrity_source_damping;
     }
     if r > 0.0 && rng.random_bool(r.min(1.0)) {
-        edges.push((v, u));
+        sink(v, u);
         out[v as usize].push(u);
         stats.follow_backs += 1;
     }
@@ -455,6 +486,19 @@ mod tests {
         let (_, b) = outcome(2_000, 5);
         assert_eq!(a.edges, b.edges);
         assert_eq!(a.personas, b.personas);
+    }
+
+    #[test]
+    fn stream_matches_batch_exactly() {
+        let cfg = SynthConfig::google_plus_2011(2_000, 5);
+        let pop = Population::generate(&cfg);
+        let batch = generate_edges(&cfg, &pop);
+        let mut streamed: Vec<(u32, u32)> = Vec::new();
+        let so = stream_edges(&cfg, &pop, &mut |u, v| streamed.push((u, v)));
+        assert_eq!(streamed, batch.edges, "same RNG sequence, same emission order");
+        assert_eq!(so.personas, batch.personas);
+        assert_eq!(so.stats, batch.stats);
+        assert_eq!(so.emitted, batch.edges.len() as u64);
     }
 
     #[test]

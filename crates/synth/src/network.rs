@@ -1,8 +1,9 @@
 //! Top-level network assembly: population + edge process + CSR graph.
 
 use crate::config::SynthConfig;
-use crate::edges::{generate_edges, EdgeStats, Persona};
+use crate::edges::{generate_edges, stream_edges, EdgeStats, Persona, StreamOutcome};
 use crate::population::Population;
+use gplus_graph::builder::build_streamed;
 use gplus_graph::{CsrGraph, GraphBuilder};
 
 /// A fully generated synthetic network: profiles, personas and the social
@@ -41,6 +42,30 @@ impl SynthNetwork {
         }
     }
 
+    /// Generates a network without ever materialising the raw edge list:
+    /// the edge process streams straight into the two-pass CSR builder
+    /// ([`build_streamed`]), which replays the seeded generator once to
+    /// count degrees and once to fill rows. Byte-identical to
+    /// [`Self::generate`] at the same seed — the RNG contract is pinned by
+    /// tests — at the cost of running the edge process twice. This is the
+    /// paper-scale path: peak memory is the generator's working state plus
+    /// the finished CSR, with no `(u, v)` list or global edge sort.
+    pub fn generate_streamed(config: &SynthConfig) -> Self {
+        let population = Population::generate(config);
+        let mut last_pass: Option<StreamOutcome> = None;
+        let graph = build_streamed(population.len(), |emit| {
+            last_pass = Some(stream_edges(config, &population, &mut |u, v| emit(u, v)));
+        });
+        let outcome = last_pass.expect("build_streamed runs the pass");
+        Self {
+            config: config.clone(),
+            population,
+            graph,
+            personas: outcome.personas,
+            edge_stats: outcome.stats,
+        }
+    }
+
     /// Number of users.
     pub fn node_count(&self) -> usize {
         self.population.len()
@@ -66,6 +91,16 @@ mod tests {
         use std::sync::OnceLock;
         static NET: OnceLock<SynthNetwork> = OnceLock::new();
         NET.get_or_init(|| SynthNetwork::generate(&SynthConfig::google_plus_2011(30_000, 2012)))
+    }
+
+    #[test]
+    fn streamed_generation_is_byte_identical() {
+        let cfg = SynthConfig::google_plus_2011(3_000, 2012);
+        let batch = SynthNetwork::generate(&cfg);
+        let streamed = SynthNetwork::generate_streamed(&cfg);
+        assert_eq!(streamed.graph, batch.graph);
+        assert_eq!(streamed.personas, batch.personas);
+        assert_eq!(streamed.edge_stats, batch.edge_stats);
     }
 
     #[test]
