@@ -71,6 +71,26 @@ pub struct BenchReport {
     pub metrics_overhead_ratio: f64,
     /// Full snapshot of the global registry at the end of the run.
     pub metrics: MetricsSnapshot,
+    /// Per-kernel thread-scaling measurements (scale tier only; absent
+    /// from older reports and the standard tier, hence the serde default).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub speedups: Vec<KernelSpeedup>,
+}
+
+/// Wall-clock for one kernel at 1 thread vs the run's pool, recorded so
+/// the parallel-speedup trajectory is visible across PRs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelSpeedup {
+    /// Kernel name (`pagerank`, `compress`, …).
+    pub kernel: String,
+    /// Wall-clock milliseconds in a 1-thread pool.
+    pub wall_ms_1t: f64,
+    /// Wall-clock milliseconds in the run's sized pool.
+    pub wall_ms_nt: f64,
+    /// Threads in the run's pool.
+    pub threads: usize,
+    /// `wall_ms_1t / wall_ms_nt` (1.0 = no parallel benefit).
+    pub speedup: f64,
 }
 
 impl BenchReport {
@@ -185,8 +205,16 @@ fn gate_group(
 /// list of gate failures; empty means the run passes.
 pub fn compare(baseline: &BenchReport, current: &BenchReport, gate: &BenchGate) -> Vec<String> {
     let mut failures = Vec::new();
-    gate_group("phase", &baseline.phases, &current.phases, gate, &mut failures);
-    gate_group("stage", &baseline.stages, &current.stages, gate, &mut failures);
+    // Time shares only compare like with like: a run at a different
+    // thread count legitimately shifts work between serial phases
+    // (generate) and parallel ones (kernels, snapshot-build), so the
+    // share gate would fire on the parallelism delta, not a regression.
+    // Machine-independent gates (metrics floor, overhead ratio, required
+    // counters, mem.* gauges) still apply below.
+    if baseline.config.threads == current.config.threads {
+        gate_group("phase", &baseline.phases, &current.phases, gate, &mut failures);
+        gate_group("stage", &baseline.stages, &current.stages, gate, &mut failures);
+    }
     let metric_count = current.metrics.distinct_metrics();
     if metric_count < gate.min_metrics {
         failures.push(format!(
@@ -260,6 +288,7 @@ mod tests {
             analyse_wall_ms_metrics_off: 295.0,
             metrics_overhead_ratio: 300.0 / 295.0,
             metrics,
+            speedups: Vec::new(),
         }
     }
 
@@ -370,6 +399,43 @@ mod tests {
         base2.metrics.gauges.insert("serve.inflight".to_string(), 3.0);
         let cur2 = report(vec![stage("fig5", 100.0)]);
         assert!(compare(&base2, &cur2, &BenchGate::default()).is_empty());
+    }
+
+    #[test]
+    fn thread_count_mismatch_skips_time_shares_only() {
+        // a gross share regression that WOULD fail at equal thread counts
+        let base = report(vec![stage("fig5", 100.0), stage("table1", 100.0)]);
+        let cur = report(vec![stage("fig5", 500.0), stage("table1", 100.0)]);
+        assert!(!compare(&base, &cur, &BenchGate::default()).is_empty());
+        // same reports at differing thread counts: share gate is skipped
+        let mut cur = cur;
+        cur.config.threads = 1;
+        assert!(compare(&base, &cur, &BenchGate::default()).is_empty());
+        // but machine-independent gates still apply
+        cur.metrics.counters.remove("graph.bfs.batch.runs");
+        let failures = compare(&base, &cur, &BenchGate::default());
+        assert!(failures.iter().any(|f| f.contains("graph.bfs.batch.runs")), "{failures:?}");
+    }
+
+    #[test]
+    fn speedups_field_defaults_for_old_reports() {
+        // a pre-speedups baseline JSON (no `speedups` key) must still parse
+        let r = report(vec![stage("fig5", 100.0)]);
+        let json = r.to_json();
+        assert!(!json.contains("speedups"), "empty speedups are not serialised");
+        let back = BenchReport::from_json(&json).unwrap();
+        assert!(back.speedups.is_empty());
+
+        let mut with = r.clone();
+        with.speedups.push(KernelSpeedup {
+            kernel: "pagerank".to_string(),
+            wall_ms_1t: 1000.0,
+            wall_ms_nt: 300.0,
+            threads: 4,
+            speedup: 1000.0 / 300.0,
+        });
+        let back = BenchReport::from_json(&with.to_json()).unwrap();
+        assert_eq!(back, with);
     }
 
     #[test]

@@ -27,6 +27,8 @@ use crate::adjacency::Adjacency;
 use crate::binfmt::{BinError, ByteSlice, U64View};
 use crate::cast;
 use crate::csr::{CsrGraph, NodeId};
+use crate::par::{self, NODE_CHUNK};
+use rayon::prelude::*;
 
 /// Appends `x` as an LEB128 varint.
 #[inline]
@@ -141,12 +143,38 @@ struct Half {
 }
 
 impl Half {
-    fn encode<'g>(n: usize, mut neighbors: impl FnMut(NodeId) -> &'g [NodeId]) -> Half {
+    /// Encodes all `n` lists, chunk-parallel: each fixed-size node chunk
+    /// is varint-encoded into its own buffer concurrently, then a
+    /// sequential prefix pass rebases the per-chunk offsets and
+    /// concatenates the buffers in chunk-index order. The output is
+    /// byte-identical to a sequential left-to-right encode at any thread
+    /// count, because chunk boundaries depend only on [`NODE_CHUNK`].
+    fn encode<'g, F>(n: usize, neighbors: F) -> Half
+    where
+        F: Fn(NodeId) -> &'g [NodeId] + Sync,
+    {
+        let chunks: Vec<(Vec<u64>, Vec<u8>)> = (0..par::chunk_count(n))
+            .into_par_iter()
+            .map(|ci| {
+                let lo = ci * NODE_CHUNK;
+                let hi = usize::min(n, lo + NODE_CHUNK);
+                let mut offsets = Vec::with_capacity(hi - lo);
+                let mut data = Vec::new();
+                for u in lo..hi {
+                    offsets.push(cast::offset_u64(data.len()));
+                    encode_list(&mut data, neighbors(cast::node_id(u)));
+                }
+                (offsets, data)
+            })
+            .collect();
+
+        let total: usize = chunks.iter().map(|(_, d)| d.len()).sum();
         let mut offsets = Vec::with_capacity(n + 1);
-        let mut data = Vec::new();
-        for u in 0..n {
-            offsets.push(cast::offset_u64(data.len()));
-            encode_list(&mut data, neighbors(cast::node_id(u)));
+        let mut data = Vec::with_capacity(total);
+        for (local, part) in &chunks {
+            let base = cast::offset_u64(data.len());
+            offsets.extend(local.iter().map(|o| base + o));
+            data.extend_from_slice(part);
         }
         offsets.push(cast::offset_u64(data.len()));
         Half { offsets: U64View::from_values(&offsets), data: ByteSlice::from_vec(data) }
@@ -227,9 +255,10 @@ impl CompressedCsr {
             out: Half::encode(n, |u| g.out_neighbors(u)),
             inn: Half::encode(n, |u| g.in_neighbors(u)),
         };
-        gplus_obs::global()
-            .gauge(gplus_obs::names::MEM_CSR_COMPRESSED_BYTES)
-            .set(c.memory_bytes() as f64);
+        let obs = gplus_obs::global();
+        obs.gauge(gplus_obs::names::MEM_CSR_COMPRESSED_BYTES).set(c.memory_bytes() as f64);
+        obs.gauge(gplus_obs::names::GRAPH_COMPRESS_PARALLEL_CHUNKS)
+            .set(par::chunk_count(n) as f64);
         c
     }
 
@@ -278,6 +307,51 @@ impl CompressedCsr {
     /// halves) — the `mem.csr.compressed.bytes` gauge.
     pub fn memory_bytes(&self) -> usize {
         self.out.byte_len() + self.inn.byte_len()
+    }
+
+    /// FNV-1a digest over the exact stored bytes of both halves (offset
+    /// tables and varint streams). Two compressed graphs with the same
+    /// digest are byte-identical on disk — the equality the oracle's
+    /// parallel-determinism kernel and the CI thread-scaling smoke check.
+    pub fn content_digest(&self) -> u64 {
+        use crate::binfmt::fnv1a;
+        let mut acc = fnv1a(self.out.offsets.as_bytes());
+        for bytes in [&self.out.data[..], self.inn.offsets.as_bytes(), &self.inn.data[..]] {
+            // chain the section digests so byte moves across section
+            // boundaries cannot cancel out
+            let mut mixed = acc.to_le_bytes().to_vec();
+            mixed.extend_from_slice(&fnv1a(bytes).to_le_bytes());
+            acc = fnv1a(&mixed);
+        }
+        acc
+    }
+
+    /// Chunk-parallel decode sweep over every out-list: runs `f` on each
+    /// `(node, decoder)` pair, one fixed-size node chunk per rayon task,
+    /// reusing nothing across nodes (the decoder itself is
+    /// allocation-free). Returns per-node `u64` results summed in chunk
+    /// order — deterministic by integer associativity either way, but the
+    /// fixed chunking keeps the access pattern identical at any thread
+    /// count.
+    pub fn par_sweep_out<F>(&self, f: F) -> u64
+    where
+        F: Fn(NodeId, NeighborDecoder<'_>) -> u64 + Sync,
+    {
+        let n = self.node_count;
+        let partials: Vec<u64> = (0..par::chunk_count(n))
+            .into_par_iter()
+            .map(|ci| {
+                let lo = ci * NODE_CHUNK;
+                let hi = usize::min(n, lo + NODE_CHUNK);
+                let mut acc = 0u64;
+                for u in lo..hi {
+                    let u = cast::node_id(u);
+                    acc = acc.wrapping_add(f(u, self.out.decoder(u)));
+                }
+                acc
+            })
+            .collect();
+        partials.iter().fold(0u64, |a, &b| a.wrapping_add(b))
     }
 
     /// Decompresses back to a flat CSR (tests and format migrations).
@@ -492,6 +566,76 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The pre-parallelization encoder: one sequential left-to-right
+    /// pass. The chunk-parallel [`Half::encode`] must reproduce these
+    /// bytes exactly.
+    fn encode_sequential<'g>(
+        n: usize,
+        mut neighbors: impl FnMut(NodeId) -> &'g [NodeId],
+    ) -> (Vec<u64>, Vec<u8>) {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut data = Vec::new();
+        for u in 0..n {
+            offsets.push(cast::offset_u64(data.len()));
+            encode_list(&mut data, neighbors(cast::node_id(u)));
+        }
+        offsets.push(cast::offset_u64(data.len()));
+        (offsets, data)
+    }
+
+    #[test]
+    fn parallel_encode_matches_sequential_bytes() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        // larger than one chunk so the prefix stitch actually runs
+        let n = NODE_CHUNK * 2 + 37;
+        let edges: Vec<(NodeId, NodeId)> = (0..n * 3)
+            .map(|_| (rng.random_range(0..n) as NodeId, rng.random_range(0..n) as NodeId))
+            .collect();
+        let g = from_edges(n, edges);
+        let c = CompressedCsr::from_csr(&g);
+        let (out_offsets, out_data) = encode_sequential(n, |u| g.out_neighbors(u));
+        let (parts_out_offsets, parts_out_data, _, _) = c.parts();
+        assert_eq!(parts_out_offsets.len(), out_offsets.len());
+        for (i, &o) in out_offsets.iter().enumerate() {
+            assert_eq!(parts_out_offsets.get(i), o, "offset {i}");
+        }
+        assert_eq!(&parts_out_data[..], &out_data[..]);
+    }
+
+    #[test]
+    fn compressed_bytes_identical_across_thread_counts() {
+        let g = from_edges(
+            NODE_CHUNK + 100,
+            (0..20_000usize).map(|i| {
+                (
+                    cast::node_id(i * 7919 % (NODE_CHUNK + 100)),
+                    cast::node_id(i * 104_729 % (NODE_CHUNK + 100)),
+                )
+            }),
+        );
+        let pool = |t: usize| {
+            rayon::ThreadPoolBuilder::new().num_threads(t).build().expect("pool")
+        };
+        let reference = pool(1).install(|| CompressedCsr::from_csr(&g)).content_digest();
+        for threads in [2usize, 8] {
+            let digest = pool(threads).install(|| CompressedCsr::from_csr(&g)).content_digest();
+            assert_eq!(digest, reference, "{threads} threads");
+        }
+        // repeated run at the same thread count
+        let again = pool(2).install(|| CompressedCsr::from_csr(&g)).content_digest();
+        assert_eq!(again, reference);
+    }
+
+    #[test]
+    fn par_sweep_out_counts_edges() {
+        let g = diamond();
+        let c = CompressedCsr::from_csr(&g);
+        let total = c.par_sweep_out(|_, dec| dec.count() as u64);
+        assert_eq!(total, g.edge_count() as u64);
     }
 
     #[test]

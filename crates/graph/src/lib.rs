@@ -75,6 +75,7 @@ pub mod io;
 pub mod kcore;
 pub mod mbfs;
 pub mod pagerank;
+pub mod par;
 pub mod paths;
 pub mod reciprocity;
 pub mod relabel;

@@ -5,10 +5,24 @@
 //! the basis of the ranking-stability ablation bench. Standard power
 //! iteration with uniform teleportation; dangling mass (the lurkers'
 //! missing out-edges) is redistributed uniformly each sweep.
+//!
+//! The sweep is a *gather* (pull) over the reverse adjacency: node `v`'s
+//! new rank is `base + Σ contrib[u]` over its in-neighbours, so a
+//! `par_chunks_mut` over fixed-size node chunks writes each slot from
+//! exactly one thread — no races, no atomics. Every floating-point
+//! reduction (dangling mass, L1 delta) sums per-chunk partials in
+//! chunk-index order (see [`crate::par`]), so the scores are bit-identical
+//! at any `RAYON_NUM_THREADS`. The scatter (push) formulation would need
+//! either atomics (non-deterministic accumulation order) or per-thread
+//! shadow vectors (an n-sized allocation per thread plus a merge pass);
+//! gather gets parallelism for free because the reverse CSR half already
+//! exists.
 
 use crate::adjacency::Adjacency;
 use crate::cast;
 use crate::csr::NodeId;
+use crate::par::{self, NODE_CHUNK};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// PageRank parameters.
@@ -51,7 +65,9 @@ impl PageRank {
     }
 }
 
-/// Computes PageRank by power iteration.
+/// Computes PageRank by power iteration (deterministic chunk-parallel
+/// gather; see the module docs for why the result does not depend on the
+/// thread count).
 ///
 /// # Panics
 /// Panics if `damping` is outside `[0, 1)` or the graph is empty.
@@ -61,35 +77,80 @@ pub fn pagerank<G: Adjacency>(g: &G, params: &PageRankParams) -> PageRank {
     let n = g.node_count();
     assert!(n > 0, "pagerank requires a non-empty graph");
     let n_f = n as f64;
+    let damping = params.damping;
+
+    // Degrees once, up front: CompressedCsr charges a varint read per
+    // out_degree call, and the dangling set never changes across sweeps.
+    let out_deg: Vec<u32> = (0..n)
+        .into_par_iter()
+        .with_min_len(NODE_CHUNK)
+        .map(|i| g.out_degree(cast::node_id(i)) as u32)
+        .collect();
+    let dangling: Vec<NodeId> = out_deg
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(i, _)| cast::node_id(i))
+        .collect();
 
     let mut rank = vec![1.0 / n_f; n];
     let mut next = vec![0.0; n];
+    // contrib[u] = damping * rank[u] / out_deg[u]; what u hands each
+    // out-neighbour this sweep (0 for dangling nodes, never read).
+    let mut contrib = vec![0.0; n];
     let mut iterations = 0;
     let mut delta = f64::INFINITY;
 
     while iterations < params.max_iterations && delta > params.tolerance {
-        // teleport + dangling redistribution
-        let dangling: f64 =
-            g.node_ids().filter(|&u| g.out_degree(u) == 0).map(|u| rank[cast::ix(u)]).sum();
-        let base = (1.0 - params.damping) / n_f + params.damping * dangling / n_f;
-        next.iter_mut().for_each(|x| *x = base);
-        for u in g.node_ids() {
-            let deg = g.out_degree(u);
-            if deg == 0 {
-                continue;
-            }
-            let share = params.damping * rank[cast::ix(u)] / deg as f64;
-            for v in g.out_iter(u) {
-                next[cast::ix(v)] += share;
-            }
+        // teleport + dangling redistribution, fixed-order chunk reduction
+        let dangling_mass = {
+            let rank = &rank;
+            par::chunked_sum(&dangling, |&u| rank[cast::ix(u)])
+        };
+        let base = (1.0 - damping) / n_f + damping * dangling_mass / n_f;
+
+        // elementwise, so trivially deterministic under par_chunks_mut
+        contrib
+            .par_chunks_mut(NODE_CHUNK)
+            .zip(rank.par_chunks(NODE_CHUNK))
+            .zip(out_deg.par_chunks(NODE_CHUNK))
+            .for_each(|((c, r), d)| {
+                for i in 0..c.len() {
+                    c[i] = if d[i] == 0 { 0.0 } else { damping * r[i] / f64::from(d[i]) };
+                }
+            });
+
+        // gather: each chunk of `next` is written by exactly one closure
+        // call; per-node accumulation walks in-neighbours ascending, the
+        // same order the sequential push added them
+        {
+            let contrib = &contrib;
+            next.par_chunks_mut(NODE_CHUNK).enumerate().for_each(|(ci, chunk)| {
+                let first = ci * NODE_CHUNK;
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let v = cast::node_id(first + i);
+                    let mut acc = base;
+                    for u in g.in_iter(v) {
+                        acc += contrib[cast::ix(u)];
+                    }
+                    *slot = acc;
+                }
+            });
         }
-        delta = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+
+        delta = par::ordered_sum(
+            rank.par_chunks(NODE_CHUNK)
+                .zip(next.par_chunks(NODE_CHUNK))
+                .map(|(a, b)| a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()),
+        );
         std::mem::swap(&mut rank, &mut next);
         iterations += 1;
     }
 
     let obs = gplus_obs::global();
     obs.gauge("graph.pagerank.iterations").set(iterations as f64);
+    obs.gauge(gplus_obs::names::GRAPH_PAGERANK_MODE).set(1.0);
+    obs.gauge(gplus_obs::names::GRAPH_PAGERANK_CHUNKS).set(par::chunk_count(n) as f64);
     obs.counter("graph.pagerank.nodes_count").add(n as u64);
     PageRank { scores: rank, iterations, final_delta: delta }
 }
@@ -98,6 +159,7 @@ pub fn pagerank<G: Adjacency>(g: &G, params: &PageRankParams) -> PageRank {
 mod tests {
     use super::*;
     use crate::builder::from_edges;
+    use crate::csr::CsrGraph;
 
     #[test]
     fn scores_sum_to_one() {
@@ -166,5 +228,96 @@ mod tests {
     fn rejects_bad_damping() {
         let g = from_edges(2, [(0, 1)]);
         let _ = pagerank(&g, &PageRankParams { damping: 1.0, ..Default::default() });
+    }
+
+    /// Naive textbook push-style PageRank, kept as an independent
+    /// reference for the gather kernel (same teleport + dangling model).
+    fn reference_push(g: &CsrGraph, params: &PageRankParams) -> Vec<f64> {
+        let n = g.node_count();
+        let n_f = n as f64;
+        let mut rank = vec![1.0 / n_f; n];
+        let mut next = vec![0.0; n];
+        let mut delta = f64::INFINITY;
+        let mut it = 0;
+        while it < params.max_iterations && delta > params.tolerance {
+            let dangling: f64 = g
+                .nodes()
+                .filter(|&u| g.out_degree(u) == 0)
+                .map(|u| rank[cast::ix(u)])
+                .sum();
+            let base = (1.0 - params.damping) / n_f + params.damping * dangling / n_f;
+            next.iter_mut().for_each(|x| *x = base);
+            for u in g.nodes() {
+                let deg = g.out_degree(u);
+                if deg == 0 {
+                    continue;
+                }
+                let share = params.damping * rank[cast::ix(u)] / deg as f64;
+                for &v in g.out_neighbors(u) {
+                    next[cast::ix(v)] += share;
+                }
+            }
+            delta = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+            std::mem::swap(&mut rank, &mut next);
+            it += 1;
+        }
+        rank
+    }
+
+    #[test]
+    fn gather_matches_push_reference() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2012);
+        for _ in 0..10 {
+            let n = 2 + rng.random_range(0..80);
+            let m = rng.random_range(0..n * 5);
+            let edges: Vec<(NodeId, NodeId)> = (0..m)
+                .map(|_| (rng.random_range(0..n) as NodeId, rng.random_range(0..n) as NodeId))
+                .collect();
+            let g = from_edges(n, edges);
+            let params = PageRankParams { max_iterations: 40, ..Default::default() };
+            let pr = pagerank(&g, &params);
+            let reference = reference_push(&g, &params);
+            for (u, (&a, &b)) in pr.scores.iter().zip(&reference).enumerate() {
+                assert!((a - b).abs() < 1e-12, "node {u}: gather {a} vs push {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn scores_bit_identical_across_thread_counts() {
+        let g = from_edges(
+            200,
+            (0..600u32).map(|i| ((i * 131 % 200), (i * 31 % 200))),
+        );
+        let params = PageRankParams::default();
+        let pool = |t: usize| {
+            rayon::ThreadPoolBuilder::new().num_threads(t).build().expect("pool")
+        };
+        let reference = pool(1).install(|| pagerank(&g, &params));
+        for threads in [2usize, 8] {
+            let pr = pool(threads).install(|| pagerank(&g, &params));
+            assert_eq!(pr.iterations, reference.iterations);
+            for (u, (a, b)) in pr.scores.iter().zip(&reference.scores).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "node {u} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_matches_flat_bitwise() {
+        let g = from_edges(
+            120,
+            (0..500u32).map(|i| ((i * 37 % 120), (i * 17 % 120))),
+        );
+        let c = crate::CompressedCsr::from_csr(&g);
+        let params = PageRankParams { max_iterations: 30, ..Default::default() };
+        let a = pagerank(&g, &params);
+        let b = pagerank(&c, &params);
+        assert_eq!(a.iterations, b.iterations);
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 }

@@ -1,0 +1,103 @@
+//! Deterministic fixed-order chunk reduction for parallel kernels.
+//!
+//! The repo's contract since the oracle/bench PRs is that every kernel is
+//! byte-identical run to run — and, from this PR on, byte-identical at any
+//! `RAYON_NUM_THREADS`. Floating-point addition is not associative, so a
+//! naive `par_iter().sum::<f64>()` changes its result with the rayon split
+//! tree, which changes with the thread count. The fix is to make the
+//! reduction tree part of the algorithm instead of the scheduler:
+//!
+//! 1. partition the index space into chunks of a *fixed* size
+//!    ([`NODE_CHUNK`]), independent of thread count;
+//! 2. sum each chunk sequentially, left to right;
+//! 3. sum the per-chunk partials sequentially, in chunk-index order.
+//!
+//! Threads only decide *when* a chunk's partial is computed, never *what*
+//! is added to what. The same discipline makes parallel encode/top-k
+//! deterministic: per-chunk results are stitched in chunk-index order, so
+//! the concatenated output is the same as the sequential one.
+
+use rayon::prelude::*;
+
+/// Fixed chunk size (in nodes) for parallel sweeps and reductions.
+///
+/// Must never depend on the thread count: chunk boundaries define the f64
+/// addition grouping, so changing them changes low-order bits. 4096 nodes
+/// keeps per-chunk work large enough to amortise rayon's scheduling while
+/// giving a 1M-node graph ~245 chunks to balance across a small pool.
+pub const NODE_CHUNK: usize = 4096;
+
+/// Number of [`NODE_CHUNK`]-sized chunks covering `n` items.
+#[inline]
+pub fn chunk_count(n: usize) -> usize {
+    n.div_ceil(NODE_CHUNK)
+}
+
+/// Sums `f64` partials from an indexed parallel iterator in index order.
+///
+/// The partials are materialised (collect on an indexed iterator preserves
+/// order regardless of schedule) and then folded sequentially, so the
+/// result is bit-identical at any thread count.
+pub fn ordered_sum<I>(partials: I) -> f64
+where
+    I: IndexedParallelIterator<Item = f64>,
+{
+    let parts: Vec<f64> = partials.collect();
+    parts.iter().sum()
+}
+
+/// Deterministic parallel sum of `f(item)` over a slice: per-chunk
+/// sequential sums merged in chunk-index order.
+pub fn chunked_sum<T, F>(items: &[T], f: F) -> f64
+where
+    T: Sync,
+    F: Fn(&T) -> f64 + Sync + Send,
+{
+    ordered_sum(
+        items
+            .par_chunks(NODE_CHUNK)
+            .map(|chunk| chunk.iter().map(&f).fold(0.0, |acc, x| acc + x)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(threads: usize) -> rayon::ThreadPool {
+        rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool")
+    }
+
+    #[test]
+    fn chunked_sum_is_thread_count_invariant() {
+        // values chosen so grouping matters: mixing magnitudes makes f64
+        // addition order observable in the low bits
+        let xs: Vec<f64> = (0..20_000u64)
+            .map(|i| ((i.wrapping_mul(2_654_435_761) % 613) as f64).exp2() * 1e-150)
+            .collect();
+        let reference = pool(1).install(|| chunked_sum(&xs, |&x| x));
+        for threads in [2, 3, 8] {
+            let got = pool(threads).install(|| chunked_sum(&xs, |&x| x));
+            assert_eq!(got.to_bits(), reference.to_bits(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn chunked_sum_matches_chunked_reference() {
+        let xs: Vec<f64> = (0..10_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let mut expect = 0.0;
+        for chunk in xs.chunks(NODE_CHUNK) {
+            let partial: f64 = chunk.iter().sum();
+            expect += partial;
+        }
+        assert_eq!(chunked_sum(&xs, |&x| x).to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn chunk_count_covers_range() {
+        assert_eq!(chunk_count(0), 0);
+        assert_eq!(chunk_count(1), 1);
+        assert_eq!(chunk_count(NODE_CHUNK), 1);
+        assert_eq!(chunk_count(NODE_CHUNK + 1), 2);
+    }
+}

@@ -12,26 +12,31 @@
 //! fraction of directed edges whose reverse edge also exists (22.1% for
 //! Twitter, 100% for Facebook by construction).
 
+use crate::adjacency::Adjacency;
+use crate::cast;
 use crate::csr::{CsrGraph, NodeId};
 use rayon::prelude::*;
 
 /// Relation Reciprocity of one node, per Eq. 1 of the paper.
 ///
+/// Generic over [`Adjacency`]: the intersection is a streaming merge of
+/// the two sorted neighbour iterators, so a compressed graph is decoded
+/// on the fly without materialising either list.
+///
 /// Returns `None` when `OS(u)` is empty (the ratio is undefined; the paper
 /// implicitly restricts the CDF to nodes with outgoing edges).
-pub fn relation_reciprocity(g: &CsrGraph, u: NodeId) -> Option<f64> {
-    let outs = g.out_neighbors(u);
-    if outs.is_empty() {
+pub fn relation_reciprocity<G: Adjacency>(g: &G, u: NodeId) -> Option<f64> {
+    let k = g.out_degree(u);
+    if k == 0 {
         return None;
     }
-    let ins = g.in_neighbors(u);
-    Some(sorted_intersection_size(outs, ins) as f64 / outs.len() as f64)
+    Some(merge_intersection_count(g.out_iter(u), g.in_iter(u), None) as f64 / k as f64)
 }
 
 /// RR for every node with at least one outgoing edge, parallelised.
 /// The result order is unspecified (it feeds a CDF).
-pub fn relation_reciprocity_all(g: &CsrGraph) -> Vec<f64> {
-    (0..g.node_count() as NodeId)
+pub fn relation_reciprocity_all<G: Adjacency>(g: &G) -> Vec<f64> {
+    (0..cast::node_id(g.node_count()))
         .into_par_iter()
         .filter_map(|u| relation_reciprocity(g, u))
         .collect()
@@ -40,28 +45,53 @@ pub fn relation_reciprocity_all(g: &CsrGraph) -> Vec<f64> {
 /// Global reciprocity: the fraction of directed edges `(u, v)` for which
 /// `(v, u)` also exists. Self-loops count as reciprocated (their reverse is
 /// themselves). Returns 0 for an edgeless graph.
-pub fn global_reciprocity(g: &CsrGraph) -> f64 {
+pub fn global_reciprocity<G: Adjacency>(g: &G) -> f64 {
     if g.edge_count() == 0 {
         return 0.0;
     }
-    let reciprocated: usize = (0..g.node_count() as NodeId)
+    let reciprocated: u64 = (0..cast::node_id(g.node_count()))
         .into_par_iter()
-        .map(|u| sorted_intersection_size(g.out_neighbors(u), g.in_neighbors(u)))
+        .map(|u| merge_intersection_count(g.out_iter(u), g.in_iter(u), None) as u64)
         .sum();
     reciprocated as f64 / g.edge_count() as f64
 }
 
 /// Number of *reciprocal pairs* `{u, v}` with both `u->v` and `v->u`
 /// (`u != v`). Used by the geo analysis (Figure 9's "reciprocal" pair set).
-pub fn reciprocal_pair_count(g: &CsrGraph) -> u64 {
-    let twice: u64 = (0..g.node_count() as NodeId)
+pub fn reciprocal_pair_count<G: Adjacency>(g: &G) -> u64 {
+    let twice: u64 = (0..cast::node_id(g.node_count()))
         .into_par_iter()
         .map(|u| {
             // count v in OS(u) ∩ IS(u) with v != u; each pair counted twice
-            sorted_intersection_size_excluding(g.out_neighbors(u), g.in_neighbors(u), u) as u64
+            merge_intersection_count(g.out_iter(u), g.in_iter(u), Some(u)) as u64
         })
         .sum();
     twice / 2
+}
+
+/// Size of the intersection of two ascending iterators via a linear
+/// streaming merge, optionally excluding one value (self-loop exclusion
+/// rides the merge instead of a separate pass).
+fn merge_intersection_count<I, J>(mut a: I, mut b: J, skip: Option<NodeId>) -> usize
+where
+    I: Iterator<Item = NodeId>,
+    J: Iterator<Item = NodeId>,
+{
+    let (mut x, mut y, mut count) = (a.next(), b.next(), 0);
+    while let (Some(p), Some(q)) = (x, y) {
+        match p.cmp(&q) {
+            std::cmp::Ordering::Less => x = a.next(),
+            std::cmp::Ordering::Greater => y = b.next(),
+            std::cmp::Ordering::Equal => {
+                if Some(p) != skip {
+                    count += 1;
+                }
+                x = a.next();
+                y = b.next();
+            }
+        }
+    }
+    count
 }
 
 /// Iterates reciprocal pairs `(u, v)` with `u < v`, in lexicographic order.
@@ -105,45 +135,6 @@ impl Iterator for MutualAbove<'_> {
         }
         None
     }
-}
-
-/// Size of the intersection of two ascending-sorted slices, via a linear
-/// merge (the lists are both sorted CSR rows).
-fn sorted_intersection_size(a: &[NodeId], b: &[NodeId]) -> usize {
-    let (mut i, mut j, mut count) = (0, 0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                count += 1;
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    count
-}
-
-/// [`sorted_intersection_size`] with one value excluded from the count, so
-/// self-loop exclusion rides the same merge instead of two extra binary
-/// searches per node.
-fn sorted_intersection_size_excluding(a: &[NodeId], b: &[NodeId], skip: NodeId) -> usize {
-    let (mut i, mut j, mut count) = (0, 0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                if a[i] != skip {
-                    count += 1;
-                }
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    count
 }
 
 #[cfg(test)]
@@ -214,6 +205,17 @@ mod tests {
         let pairs: Vec<_> = reciprocal_pairs(&g).collect();
         assert_eq!(pairs.len() as u64, reciprocal_pair_count(&g));
         assert_eq!(pairs, vec![(0, 1), (0, 4), (2, 3)]);
+    }
+
+    #[test]
+    fn compressed_matches_flat() {
+        let g = from_edges(5, [(0, 1), (1, 0), (2, 3), (3, 2), (0, 2), (4, 0), (0, 4), (1, 2)]);
+        let c = crate::CompressedCsr::from_csr(&g);
+        assert_eq!(global_reciprocity(&g), global_reciprocity(&c));
+        assert_eq!(reciprocal_pair_count(&g), reciprocal_pair_count(&c));
+        for u in g.nodes() {
+            assert_eq!(relation_reciprocity(&g, u), relation_reciprocity(&c, u), "node {u}");
+        }
     }
 
     #[test]

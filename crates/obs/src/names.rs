@@ -44,6 +44,18 @@ pub const SERVE_SHED_CHEAP: &str = "serve.shed.cheap_count";
 /// Queries whose execution ran past the configured deadline budget.
 pub const SERVE_DEADLINE_EXCEEDED: &str = "serve.query.deadline_exceeded_count";
 
+/// PageRank execution mode: 0 = legacy sequential scatter (push), 1 =
+/// deterministic chunk-parallel gather (pull over reverse adjacency).
+pub const GRAPH_PAGERANK_MODE: &str = "graph.pagerank.mode";
+
+/// Number of fixed-size node chunks the gather sweep partitions the rank
+/// vector into (thread-count independent; defines the f64 merge order).
+pub const GRAPH_PAGERANK_CHUNKS: &str = "graph.pagerank.chunks";
+
+/// Number of fixed-size node chunks encoded in parallel per adjacency
+/// half when building a compressed CSR.
+pub const GRAPH_COMPRESS_PARALLEL_CHUNKS: &str = "graph.compress.parallel_chunks";
+
 /// Flat CSR resident footprint in bytes (offset + target arrays, both
 /// halves) — set by the scale bench tier after building the graph.
 pub const MEM_CSR_BYTES: &str = "mem.csr.bytes";

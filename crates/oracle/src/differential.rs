@@ -44,6 +44,10 @@ pub enum Kernel {
     /// Delta-gap varint compressed CSR: decode fidelity and kernel
     /// byte-identity with the flat representation.
     Compressed,
+    /// Chunk-parallel kernels (PageRank gather, compressed encode) must
+    /// produce byte-identical output at 1, 2 and 8 threads and across
+    /// repeated runs at the same thread count.
+    ParallelDeterminism,
 }
 
 /// Every kernel, in check order.
@@ -58,6 +62,7 @@ pub const ALL_KERNELS: &[Kernel] = &[
     Kernel::Wcc,
     Kernel::Relabel,
     Kernel::Compressed,
+    Kernel::ParallelDeterminism,
 ];
 
 impl Kernel {
@@ -74,6 +79,7 @@ impl Kernel {
             Kernel::Wcc => "wcc",
             Kernel::Relabel => "relabel",
             Kernel::Compressed => "compressed-csr",
+            Kernel::ParallelDeterminism => "parallel-determinism",
         }
     }
 }
@@ -201,6 +207,7 @@ pub fn check_kernel(g: &CsrGraph, kernel: Kernel, cfg: &DiffConfig) -> Option<Mi
         Kernel::Wcc => check_wcc(g),
         Kernel::Relabel => check_relabel(g, cfg),
         Kernel::Compressed => check_compressed(g, cfg),
+        Kernel::ParallelDeterminism => check_parallel_determinism(g),
     }
 }
 
@@ -490,6 +497,65 @@ fn check_compressed(g: &CsrGraph, cfg: &DiffConfig) -> Option<Mismatch> {
                 detail: format!("clustering coefficient of node {u} differs in bits"),
                 expected: json!(want),
                 actual: json!(got),
+            });
+        }
+    }
+    None
+}
+
+/// The parallel-vs-sequential equality kernel: runs the chunk-parallel
+/// PageRank gather and compressed-CSR encode in dedicated 1-, 2- and
+/// 8-thread rayon pools and demands byte-identical output, then re-runs
+/// at a fixed thread count to catch run-to-run nondeterminism (e.g. a
+/// racy reduction that happens to be schedule-stable on one pool size).
+fn check_parallel_determinism(g: &CsrGraph) -> Option<Mismatch> {
+    if g.node_count() == 0 {
+        return None;
+    }
+    let pool = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("building a local rayon pool cannot fail")
+    };
+    let params = PageRankParams { max_iterations: 25, ..PageRankParams::default() };
+
+    let base_pr = pool(1).install(|| pagerank(g, &params));
+    let base_digest = pool(1).install(|| CompressedCsr::from_csr(g)).content_digest();
+
+    for threads in [1usize, 2, 8] {
+        let p = pool(threads);
+        let pr = p.install(|| pagerank(g, &params));
+        if pr.iterations != base_pr.iterations {
+            return Some(Mismatch {
+                kernel: Kernel::ParallelDeterminism.as_str(),
+                detail: format!("pagerank iteration count at {threads} threads"),
+                expected: json!(base_pr.iterations),
+                actual: json!(pr.iterations),
+            });
+        }
+        if let Some(at) = (0..pr.scores.len())
+            .find(|&i| pr.scores[i].to_bits() != base_pr.scores[i].to_bits())
+        {
+            return Some(Mismatch {
+                kernel: Kernel::ParallelDeterminism.as_str(),
+                detail: format!(
+                    "pagerank score of node {at} differs in bits between 1 and {threads} \
+                     threads"
+                ),
+                expected: json!(base_pr.scores[at]),
+                actual: json!(pr.scores[at]),
+            });
+        }
+        let digest = p.install(|| CompressedCsr::from_csr(g)).content_digest();
+        if digest != base_digest {
+            return Some(Mismatch {
+                kernel: Kernel::ParallelDeterminism.as_str(),
+                detail: format!(
+                    "compressed stream bytes differ between 1 and {threads} threads"
+                ),
+                expected: json!(base_digest),
+                actual: json!(digest),
             });
         }
     }

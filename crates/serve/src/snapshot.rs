@@ -31,6 +31,7 @@ use gplus_graph::{CsrGraph, NodeId};
 use gplus_profiles::{Attribute, Gender, Occupation, RelationshipStatus};
 use gplus_service::query::MAX_TOP_K;
 use gplus_synth::SynthNetwork;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
@@ -234,28 +235,61 @@ pub fn sorted_intersection_count(a: &[NodeId], b: &[NodeId]) -> u64 {
     count
 }
 
-/// Top-`k` nodes from `score(node)`, descending, ties by node id — the
-/// same ordering contract as [`PageRank::top`]. Only nodes for which
-/// `include` holds participate (used for per-country restriction).
+/// Descending-score ordering, ties by node id — the same contract as
+/// [`PageRank::top`].
+///
+/// total_cmp, not partial_cmp: a NaN score (e.g. a poisoned PageRank
+/// run) must sort deterministically instead of panicking the
+/// leaderboard builder mid-snapshot-build; under IEEE total order a
+/// positive NaN ranks above +inf and a negative NaN below -inf, and
+/// every rerun places it identically.
+fn rank_order(a: &RankedNode, b: &RankedNode) -> std::cmp::Ordering {
+    b.score.total_cmp(&a.score).then(a.node.cmp(&b.node))
+}
+
+/// Top-`k` nodes from `score(node)`, descending, ties by node id. Only
+/// nodes for which `include` holds participate (used for per-country
+/// restriction).
+///
+/// Chunk-parallel: each fixed-size node chunk selects its local top-`k`
+/// concurrently, then the candidates are merged with one final sort.
+/// Because `(score desc, node asc)` is a *total* order with unique node
+/// ids, the global top-`k` is a unique set that every chunk partition
+/// yields identically — the merge order (chunk-index order here) cannot
+/// change the result, so the leaderboard is byte-identical at any
+/// `RAYON_NUM_THREADS`.
 fn top_by<F, G>(g: &CsrGraph, k: usize, include: G, score: F) -> Vec<RankedNode>
 where
-    F: Fn(NodeId) -> f64,
-    G: Fn(NodeId) -> bool,
+    F: Fn(NodeId) -> f64 + Sync,
+    G: Fn(NodeId) -> bool + Sync,
 {
-    let mut ranked: Vec<RankedNode> = g
-        .nodes()
-        .filter(|&u| include(u))
-        .map(|u| RankedNode { node: u, score: score(u) })
+    let n = g.node_count();
+    let locals: Vec<Vec<RankedNode>> = (0..n.div_ceil(TOP_CHUNK))
+        .into_par_iter()
+        .map(|ci| {
+            let lo = ci * TOP_CHUNK;
+            let hi = usize::min(n, lo + TOP_CHUNK);
+            let mut ranked: Vec<RankedNode> = (lo..hi)
+                .map(|u| u as NodeId)
+                .filter(|&u| include(u))
+                .map(|u| RankedNode { node: u, score: score(u) })
+                .collect();
+            ranked.sort_by(rank_order);
+            ranked.truncate(k);
+            ranked
+        })
         .collect();
-    // total_cmp, not partial_cmp: a NaN score (e.g. a poisoned PageRank
-    // run) must sort deterministically instead of panicking the
-    // leaderboard builder mid-snapshot-build; under IEEE total order a
-    // positive NaN ranks above +inf and a negative NaN below -inf, and
-    // every rerun places it identically
-    ranked.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.node.cmp(&b.node)));
+    let mut ranked: Vec<RankedNode> = locals.concat();
+    ranked.sort_by(rank_order);
     ranked.truncate(k);
     ranked
 }
+
+/// Fixed node-chunk size for the parallel leaderboard scan. Like
+/// `gplus_graph::par::NODE_CHUNK` it must not depend on the thread count;
+/// it is larger because each chunk retains up to `k = 1000` candidates
+/// and the merge cost scales with `chunks * k`.
+const TOP_CHUNK: usize = 65_536;
 
 /// The payload byte for an optional country: `0` for withheld, else
 /// `1 +` the index in [`Country::all`] order. That order is part of the
@@ -354,15 +388,28 @@ impl AnalysedSnapshot {
         let n = g.node_count();
         let cap = MAX_TOP_K as usize;
 
+        // elementwise per-node attributes, parallel over the node range
+        // (indexed map, so the output order is the node order regardless
+        // of schedule)
+        let rows: Vec<(String, Option<Country>, bool)> = (0..n)
+            .into_par_iter()
+            .map(|u| {
+                let u = u as NodeId;
+                let profile = network.population.profile(u);
+                (
+                    profile.display_name(),
+                    profile.public_country(),
+                    sorted_intersection_count(g.out_neighbors(u), g.in_neighbors(u)) > 0,
+                )
+            })
+            .collect();
         let mut names = Vec::with_capacity(n);
         let mut countries = Vec::with_capacity(n);
         let mut reciprocal = Vec::with_capacity(n);
-        for u in g.nodes() {
-            let profile = network.population.profile(u);
-            names.push(profile.display_name());
-            countries.push(profile.public_country());
-            reciprocal
-                .push(sorted_intersection_count(g.out_neighbors(u), g.in_neighbors(u)) > 0);
+        for (name, country, recip) in rows {
+            names.push(name);
+            countries.push(country);
+            reciprocal.push(recip);
         }
 
         let pr = pagerank(g, &PageRankParams::default());
@@ -371,7 +418,10 @@ impl AnalysedSnapshot {
         let in_degree_top = top_by(g, cap, |_| true, |u| g.in_degree(u) as f64);
         let out_degree_top = top_by(g, cap, |_| true, |u| g.out_degree(u) as f64);
 
-        // per-country leaderboards for every country that occurs at all
+        // per-country leaderboards for every country that occurs at all;
+        // countries are independent, so they fan out in parallel on top
+        // of the chunk-parallel scans (an indexed map keeps the sorted
+        // country order in the output)
         let mut located: HashMap<Country, ()> = HashMap::new();
         for c in countries.iter().flatten() {
             located.insert(*c, ());
@@ -379,7 +429,7 @@ impl AnalysedSnapshot {
         let mut present: Vec<Country> = located.into_keys().collect();
         present.sort();
         let country_top = present
-            .into_iter()
+            .into_par_iter()
             .map(|c| {
                 let here = |u: NodeId| countries[u as usize] == Some(c);
                 CountryRankings {
@@ -795,6 +845,23 @@ mod tests {
     fn small() -> AnalysedSnapshot {
         let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(400, 7));
         AnalysedSnapshot::build(&net)
+    }
+
+    #[test]
+    fn payload_bytes_identical_across_thread_counts() {
+        // big enough that pagerank spans multiple fixed-size chunks
+        let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(10_000, 7));
+        let pool = |t: usize| {
+            rayon::ThreadPoolBuilder::new().num_threads(t).build().expect("pool")
+        };
+        let reference = pool(1).install(|| AnalysedSnapshot::build(&net)).to_payload_bytes();
+        for threads in [2usize, 8] {
+            let bytes = pool(threads).install(|| AnalysedSnapshot::build(&net)).to_payload_bytes();
+            assert!(bytes == reference, "payload differs at {threads} threads");
+        }
+        // repeated run at the same thread count
+        let again = pool(2).install(|| AnalysedSnapshot::build(&net)).to_payload_bytes();
+        assert!(again == reference, "payload differs across runs at 2 threads");
     }
 
     #[test]

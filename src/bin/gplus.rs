@@ -3,7 +3,7 @@
 //! ```text
 //! gplus list                                  # experiment registry
 //! gplus run      [-n N] [-s SEED] [--crawl] [--json PATH] [--verify]
-//!                [--hybrid-threshold F] [--no-relabel] [ID ...]
+//!                [--hybrid-threshold F] [--no-relabel] [--threads N] [ID ...]
 //! gplus crawl    [-n N] [-s SEED] [--failure-rate F] [--private F]
 //!                [--outage START:LEN] [--burst PROB:LEN] [--permafail F]
 //!                [--corrupt RATE] [--sweeps N] [--checkpoint-every N]
@@ -16,7 +16,8 @@
 //!                [--deadline-us US] [--max-in-flight N] [--rate CAP:REFILL]
 //!                [--inject-corrupt-swap SEED]
 //! gplus bench-suite [-n N] [-s SEED] [--out PATH] [--write-baseline PATH]
-//!                [--hybrid-threshold F] [--no-relabel] [--scale]
+//!                [--hybrid-threshold F] [--no-relabel] [--threads N]
+//!                [--scale] [--digest PATH]
 //! gplus bench-check [--baseline PATH] [--current PATH] [--threshold F]
 //! gplus verify-kernels [--seeds N] [--nodes K] [-s SEED] [--preset P]
 //!                [--out DIR] [--no-adversarial]
@@ -24,8 +25,14 @@
 //!
 //! `--hybrid-threshold F` sets the frontier-edge fraction at which BFS
 //! levels switch to bottom-up scanning (default 0.05); `--no-relabel`
-//! disables the hub-first locality permutation. Both are pure performance
-//! knobs: experiment outputs are byte-identical across settings.
+//! disables the hub-first locality permutation; `--threads N` sizes the
+//! global rayon pool (default: one worker per core). All are pure
+//! performance knobs: the chunk-parallel kernels reduce in a fixed chunk
+//! order, so experiment outputs, compressed graph bytes, and snapshot
+//! payloads are byte-identical across settings. `bench-suite --scale
+//! --digest PATH` writes FNV-1a digests of the PageRank score bits, the
+//! compressed CSR, and the snapshot payload — the CI thread-scaling smoke
+//! `cmp`s these files across `--threads` values to enforce exactly that.
 //!
 //! `run` executes the full pipeline (ground truth by default, `--crawl`
 //! for the faithful generate→serve→crawl path) and prints either every
@@ -120,7 +127,7 @@ fn print_usage() {
          USAGE:\n  \
          gplus list\n  \
          gplus run    [-n N] [-s SEED] [--crawl] [--json PATH] [--verify]\n               \
-         [--hybrid-threshold F] [--no-relabel] [ID ...]\n  \
+         [--hybrid-threshold F] [--no-relabel] [--threads N] [ID ...]\n  \
          gplus crawl  [-n N] [-s SEED] [--failure-rate F] [--private F]\n               \
          [--outage START:LEN] [--burst PROB:LEN] [--permafail F]\n               \
          [--corrupt RATE] [--sweeps N] [--checkpoint-every N]\n               \
@@ -133,15 +140,20 @@ fn print_usage() {
          [--deadline-us US] [--max-in-flight N] [--rate CAP:REFILL]\n               \
          [--inject-corrupt-swap SEED]\n  \
          gplus bench-suite [-n N] [-s SEED] [--out PATH] [--write-baseline PATH]\n               \
-         [--hybrid-threshold F] [--no-relabel] [--scale]\n  \
+         [--hybrid-threshold F] [--no-relabel] [--threads N]\n               \
+         [--scale] [--digest PATH]\n  \
          gplus bench-check [--baseline PATH] [--current PATH] [--threshold F]\n  \
          gplus verify-kernels [--seeds N] [--nodes K] [-s SEED] [--preset P]\n               \
          [--out DIR] [--no-adversarial]\n\n\
          Experiment IDs for `run`: see `gplus list`.\n\
          Traversal tuning (run, bench-suite): --hybrid-threshold F sets the\n\
          frontier-edge fraction at which BFS switches bottom-up (default 0.05,\n\
-         0 < F <= 1); --no-relabel disables the hub-first CSR permutation.\n\
-         Outputs are byte-identical across settings.\n\
+         0 < F <= 1); --no-relabel disables the hub-first CSR permutation;\n\
+         --threads N sizes the rayon pool (default one worker per core).\n\
+         Outputs are byte-identical across settings, including thread counts\n\
+         (fixed-order chunk reduction); bench-suite --scale --digest PATH\n\
+         writes kernel output digests so CI can cmp runs at different\n\
+         --threads values.\n\
          Scale: bench-suite --scale runs the paper-scale tier (default 1M\n\
          users): streamed generation, compressed-CSR kernels, binary mmap\n\
          round trips, and mem.* byte gauges gated by bench-check against\n\
@@ -213,6 +225,28 @@ fn traversal_options(flags: &Flags) -> Result<CtxOptions, i32> {
     Ok(opts)
 }
 
+/// Applies `--threads N`: sizes the global rayon pool. Returns an exit
+/// code on invalid input. Must run before the first parallel call — the
+/// global pool is built once, on first use, and cannot be resized after.
+/// Kernel outputs are byte-identical at any setting (the deterministic
+/// chunk-reduction contract); only wall-clock changes.
+fn apply_threads(flags: &Flags) -> Result<(), i32> {
+    let Some(v) = flags.options.get("--threads") else { return Ok(()) };
+    let threads: usize = match v.parse() {
+        Ok(t) if t >= 1 => t,
+        _ => {
+            eprintln!("--threads expects a worker count >= 1");
+            return Err(2);
+        }
+    };
+    if let Err(e) = rayon::ThreadPoolBuilder::new().num_threads(threads).build_global() {
+        eprintln!("failed to size the rayon pool to {threads} threads: {e}");
+        return Err(2);
+    }
+    eprintln!("rayon pool sized to {threads} thread(s)");
+    Ok(())
+}
+
 fn cmd_list() -> i32 {
     println!("{}", registry::render_index());
     0
@@ -221,9 +255,12 @@ fn cmd_list() -> i32 {
 fn cmd_run(args: &[String]) -> i32 {
     let flags = parse_flags(
         args,
-        &["--json", "--hybrid-threshold"],
+        &["--json", "--hybrid-threshold", "--threads"],
         &["--crawl", "--no-relabel", "--verify"],
     );
+    if let Err(code) = apply_threads(&flags) {
+        return code;
+    }
     for id in &flags.positional {
         if registry::find(id).is_none() {
             eprintln!("unknown experiment id: {id} (see `gplus list`)");
@@ -769,9 +806,12 @@ fn command_line(cmd: &str, args: &[&str]) -> Option<String> {
 fn cmd_bench_suite(args: &[String]) -> i32 {
     let mut flags = parse_flags(
         args,
-        &["--out", "--write-baseline", "--hybrid-threshold"],
+        &["--out", "--write-baseline", "--hybrid-threshold", "--threads", "--digest"],
         &["--no-relabel", "--scale"],
     );
+    if let Err(code) = apply_threads(&flags) {
+        return code;
+    }
     if flags.switches.iter().any(|s| s == "--scale") {
         if !args.iter().any(|a| a == "-n") {
             flags.n = 1_000_000; // paper scale: the study crawled ~1M users
@@ -883,6 +923,9 @@ fn cmd_bench_suite(args: &[String]) -> i32 {
         analyse_wall_ms_metrics_off: analyse_off_ms,
         metrics_overhead_ratio: overhead,
         metrics: obs.snapshot(),
+        // thread-scaling reruns are a scale-tier concern; at 20k users the
+        // kernels finish in milliseconds and the ratio is timer noise
+        speedups: Vec::new(),
     };
 
     eprintln!(
@@ -1019,14 +1062,14 @@ fn cmd_bench_scale(flags: &Flags) -> i32 {
             }
         }),
     );
-    stage(
-        "pagerank",
-        timed("pagerank (compressed)", &mut || {
-            let params = PageRankParams { max_iterations: 50, ..PageRankParams::default() };
-            let pr = pagerank(&compressed, &params);
-            assert_eq!(pr.scores.len(), n);
-        }),
-    );
+    let pr_params = PageRankParams { max_iterations: 50, ..PageRankParams::default() };
+    let mut pr_scores = Vec::new();
+    let pagerank_ms = timed("pagerank (compressed)", &mut || {
+        let pr = pagerank(&compressed, &pr_params);
+        assert_eq!(pr.scores.len(), n);
+        pr_scores = pr.scores;
+    });
+    stage("pagerank", pagerank_ms);
     stage(
         "clustering",
         timed("clustering (compressed, 10k sample)", &mut || {
@@ -1069,6 +1112,72 @@ fn cmd_bench_scale(flags: &Flags) -> i32 {
     );
     let (in_fit, out_fit) = fits.expect("degree fits");
     let kernels_ms: f64 = stages.iter().map(|s| s.millis).sum();
+
+    // Thread-scaling record: rerun the two chunk-parallel kernels in a
+    // 1-thread pool and keep the ratio in the report. The deterministic
+    // chunk reduction makes this double as a correctness gate — both arms
+    // must be bit-identical. Rerun timings stay out of `phases`/`stages`
+    // so the bench-check share gate still sees exactly one run of each.
+    let pool_threads = rayon::current_num_threads();
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("build single-thread rayon pool");
+    let mut speedups = Vec::new();
+    let mut speedup = |kernel: &str, wall_ms_1t: f64, wall_ms_nt: f64| {
+        let ratio = wall_ms_1t / wall_ms_nt.max(f64::EPSILON);
+        eprintln!("  {kernel} speedup: {ratio:.2}x at {pool_threads} threads");
+        speedups.push(gplus::analysis::benchreport::KernelSpeedup {
+            kernel: kernel.to_string(),
+            wall_ms_1t,
+            wall_ms_nt,
+            threads: pool_threads,
+            speedup: ratio,
+        });
+    };
+
+    let mut pr_1t = Vec::new();
+    let pagerank_1t_ms = timed("pagerank (1-thread rerun)", &mut || {
+        pr_1t = single.install(|| pagerank(&compressed, &pr_params)).scores;
+    });
+    assert!(
+        pr_1t.len() == pr_scores.len()
+            && pr_1t.iter().zip(&pr_scores).all(|(a, b)| a.to_bits() == b.to_bits()),
+        "pagerank scores differ between 1-thread and {pool_threads}-thread pools"
+    );
+    speedup("pagerank", pagerank_1t_ms, pagerank_ms);
+
+    // the compress phase above bundles the relabel pass; time the encode
+    // alone in both pools so the ratio measures the parallelised kernel
+    let compressed_digest = compressed.content_digest();
+    let mut encode_nt = None;
+    let encode_nt_ms = timed("compress encode (pool rerun)", &mut || {
+        encode_nt = Some(CompressedCsr::from_csr(&relabelled));
+    });
+    assert_eq!(
+        encode_nt.expect("encoded").content_digest(),
+        compressed_digest,
+        "compressed encode is not reproducible within the same pool"
+    );
+    let mut encode_1t = None;
+    let encode_1t_ms = timed("compress encode (1-thread rerun)", &mut || {
+        encode_1t = Some(single.install(|| CompressedCsr::from_csr(&relabelled)));
+    });
+    assert_eq!(
+        encode_1t.expect("encoded").content_digest(),
+        compressed_digest,
+        "compressed bytes differ between 1-thread and {pool_threads}-thread pools"
+    );
+    speedup("compress", encode_1t_ms, encode_nt_ms);
+
+    let pagerank_digest = {
+        let mut bytes = Vec::with_capacity(pr_scores.len() * 8);
+        for s in &pr_scores {
+            bytes.extend_from_slice(&s.to_bits().to_le_bytes());
+        }
+        gplus::graph::binfmt::fnv1a(&bytes)
+    };
+
     drop(relabelled);
     drop(compressed);
 
@@ -1096,6 +1205,12 @@ fn cmd_bench_scale(flags: &Flags) -> i32 {
         built = Some(AnalysedSnapshot::build(&network));
     });
     let built = built.expect("snapshot built");
+    // payload serialisation is a few hundred MB at 1M users, so the
+    // snapshot digest is only computed when the smoke test asks for it
+    let snapshot_digest = flags
+        .options
+        .get("--digest")
+        .map(|_| gplus::graph::binfmt::fnv1a(&built.to_payload_bytes()));
     let snapshot_save_ms = timed("snapshot save", &mut || {
         built.save(&snap_dir).expect("save snapshot"); // sets mem.snapshot.bytes
     });
@@ -1125,7 +1240,10 @@ fn cmd_bench_scale(flags: &Flags) -> i32 {
         eprintln!("  peak rss: {:.0} MiB", rss as f64 / (1 << 20) as f64);
     }
 
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    // the pool actually used, not the machine's core count: --threads runs
+    // must be labelled with their real parallelism so bench-check can skip
+    // the share gate when baseline and run were sized differently
+    let threads = pool_threads;
     let phase = |id: &str, millis: f64| StageTiming { id: id.to_string(), millis };
     let bench = BenchReport {
         schema: gplus::analysis::benchreport::BENCH_SCHEMA.to_string(),
@@ -1158,6 +1276,7 @@ fn cmd_bench_scale(flags: &Flags) -> i32 {
         analyse_wall_ms_metrics_off: kernels_ms,
         metrics_overhead_ratio: 1.0,
         metrics: obs.snapshot(),
+        speedups,
     };
 
     eprintln!("  {} distinct metrics captured at scale", bench.metrics.distinct_metrics());
@@ -1166,6 +1285,17 @@ fn cmd_bench_scale(flags: &Flags) -> i32 {
         return 1;
     }
     println!("scale bench report written to {out_path}");
+    if let Some(path) = flags.options.get("--digest") {
+        let text = format!(
+            "pagerank {pagerank_digest:016x}\ncompressed {compressed_digest:016x}\nsnapshot {:016x}\n",
+            snapshot_digest.expect("computed when --digest is set")
+        );
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("failed to write digests to {path}: {e}");
+            return 1;
+        }
+        eprintln!("kernel digests written to {path}");
+    }
     if let Some(baseline_path) = flags.options.get("--write-baseline") {
         if let Err(e) = std::fs::write(baseline_path, bench.to_json()) {
             eprintln!("failed to write baseline {baseline_path}: {e}");

@@ -1,0 +1,103 @@
+//! Cross-crate thread-count determinism.
+//!
+//! The chunk-parallel kernels (pull PageRank, varint CSR compression, the
+//! snapshot leaderboard build) reduce over fixed-size chunks merged in
+//! chunk-index order, so their output is a pure function of the input —
+//! never of the rayon pool that computed it. These tests pin that contract
+//! across pools of 1, 2 and 8 workers and across repeated runs in the same
+//! pool, at the bit level: score bits, compressed-stream digests, and
+//! serialised snapshot payload bytes.
+
+use gplus::graph::builder::from_edges;
+use gplus::graph::pagerank::{pagerank, PageRankParams};
+use gplus::graph::{CompressedCsr, NodeId};
+use gplus::serve::AnalysedSnapshot;
+use gplus::synth::{SynthConfig, SynthNetwork};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One pool per tested width, built once — pool construction would
+/// otherwise dominate the per-case cost.
+fn pools() -> &'static [(usize, rayon::ThreadPool)] {
+    static POOLS: OnceLock<Vec<(usize, rayon::ThreadPool)>> = OnceLock::new();
+    POOLS.get_or_init(|| {
+        [1usize, 2, 8]
+            .into_iter()
+            .map(|t| {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(t)
+                    .build()
+                    .expect("build test pool");
+                (t, pool)
+            })
+            .collect()
+    })
+}
+
+/// Strategy: a small arbitrary digraph as (n, edge list). Sized past the
+/// trivial range so graphs span multiple reduction chunks' worth of
+/// irregular degree structure (dangling nodes, self-loops, duplicates).
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2usize..48).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..(n * 4));
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pagerank_scores_identical_across_thread_counts((n, edges) in arb_graph()) {
+        let g = from_edges(n, edges);
+        let params = PageRankParams::default();
+        let reference = pools()[0].1.install(|| pagerank(&g, &params));
+        for (t, pool) in pools() {
+            // two runs per pool: thread-count invariance and same-pool
+            // repeatability are separate failure modes
+            for run in 0..2 {
+                let pr = pool.install(|| pagerank(&g, &params));
+                prop_assert_eq!(pr.iterations, reference.iterations);
+                prop_assert!(
+                    pr.scores.iter().zip(&reference.scores)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "pagerank scores diverged at {} threads (run {})", t, run
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_bytes_identical_across_thread_counts((n, edges) in arb_graph()) {
+        let g = from_edges(n, edges);
+        let reference = pools()[0].1.install(|| CompressedCsr::from_csr(&g)).content_digest();
+        for (t, pool) in pools() {
+            for run in 0..2 {
+                let digest = pool.install(|| CompressedCsr::from_csr(&g)).content_digest();
+                prop_assert_eq!(
+                    digest, reference,
+                    "compressed bytes diverged at {} threads (run {})", t, run
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_payload_identical_across_thread_counts() {
+    for seed in [7u64, 2012] {
+        let network = SynthNetwork::generate(&SynthConfig::google_plus_2011(5_000, seed));
+        let reference =
+            pools()[0].1.install(|| AnalysedSnapshot::build(&network)).to_payload_bytes();
+        for (t, pool) in pools() {
+            for run in 0..2 {
+                let bytes =
+                    pool.install(|| AnalysedSnapshot::build(&network)).to_payload_bytes();
+                assert!(
+                    bytes == reference,
+                    "snapshot payload diverged at {t} threads (run {run}, seed {seed})"
+                );
+            }
+        }
+    }
+}
