@@ -155,6 +155,10 @@ impl Default for BenchGate {
                 // sit at 0 in a healthy bench run)
                 "serve.shed.total_count",
                 "serve.swap.rejected_count",
+                // the motif census stage: runs counter plus its headline
+                // triangle tally, proving the kernel executed in-pipeline
+                "graph.motifs.runs",
+                "graph.motifs.triangles_count",
             ],
         }
     }

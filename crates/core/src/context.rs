@@ -69,6 +69,8 @@ const KERNEL_COUNTERS: &[&str] = &[
     "graph.bfs.top_down_levels",
     "graph.bfs.bottom_up_levels",
     "graph.relabel.runs",
+    gplus_obs::names::GRAPH_MOTIFS_RUNS,
+    gplus_obs::names::GRAPH_MOTIFS_TRIANGLES,
 ];
 
 /// Thread-safe memoization cache over a [`Dataset`].

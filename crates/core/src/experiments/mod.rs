@@ -16,6 +16,7 @@
 //! | [`fig8`] | Figure 8 — per-country profile openness |
 //! | [`fig9`] | Figure 9 — path miles |
 //! | [`fig10`] | Figure 10 — country-to-country link matrix |
+//! | [`motifs`] | Extension — directed-triangle motif class census |
 //!
 //! Every module follows the same contract: `run(dataset, ..) -> XxxResult`
 //! (serialisable), `render(&XxxResult) -> String` shaped like the paper's
@@ -31,6 +32,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod motifs;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -156,6 +156,8 @@ pub struct ReproductionReport {
     pub fig9: fig9::Fig9Result,
     /// Figure 10.
     pub fig10: fig10::Fig10Result,
+    /// Motif census extension.
+    pub motifs: motifs::MotifsResult,
     /// Wall-clock profile of the analysis stages. Skipped by serde so
     /// [`ReproductionReport::to_json`] stays canonical (timings vary run
     /// to run); exported via [`ReproductionReport::to_json_with_timings`].
@@ -212,6 +214,8 @@ impl ReproductionReport {
         out.push_str(&fig9::render(&self.fig9));
         out.push('\n');
         out.push_str(&fig10::render(&self.fig10));
+        out.push('\n');
+        out.push_str(&motifs::render(&self.motifs));
         if let Some(t) = &self.timings {
             out.push('\n');
             out.push_str(&format!(
@@ -307,7 +311,10 @@ impl Reproduction {
         let mut f8 = None;
         let mut f9 = None;
         let mut f10 = None;
+        let mut mo = None;
         rayon::scope(|s| {
+            // the census walks the whole graph: spawn with the heavy stages
+            s.spawn(|_| mo = Some(timed(|| motifs::run_ctx(ctx))));
             s.spawn(|_| f5 = Some(timed(|| fig5::run_ctx(ctx, &config.fig5))));
             s.spawn(|_| f4 = Some(timed(|| fig4::run_ctx(ctx, &config.fig4))));
             s.spawn(|_| f9 = Some(timed(|| fig9::run_ctx(ctx, &config.fig9))));
@@ -341,6 +348,7 @@ impl Reproduction {
             f8.expect("stage ran"),
             f9.expect("stage ran"),
             f10.expect("stage ran"),
+            mo.expect("stage ran"),
         )
     }
 
@@ -374,6 +382,7 @@ impl Reproduction {
             timed(|| fig8::run_ctx(ctx)),
             timed(|| fig9::run_ctx(ctx, &config.fig9)),
             timed(|| fig10::run_ctx(ctx)),
+            timed(|| motifs::run_ctx(ctx)),
         )
     }
 
@@ -429,10 +438,11 @@ impl Reproduction {
         fig8: (fig8::Fig8Result, f64),
         fig9: (fig9::Fig9Result, f64),
         fig10: (fig10::Fig10Result, f64),
+        motifs: (motifs::MotifsResult, f64),
     ) -> ReproductionReport {
         let stage_ms = [
             table1.1, table2.1, table3.1, table4.1, table5.1, fig2.1, fig3.1, fig4.1, fig5.1,
-            fig6.1, fig7.1, fig8.1, fig9.1, fig10.1,
+            fig6.1, fig7.1, fig8.1, fig9.1, fig10.1, motifs.1,
         ];
         let stages: Vec<StageTiming> = STAGE_IDS
             .iter()
@@ -465,6 +475,7 @@ impl Reproduction {
             fig8: fig8.0,
             fig9: fig9.0,
             fig10: fig10.0,
+            motifs: motifs.0,
             timings: Some(StageTimings { parallel, threads, wall_ms, stages }),
         }
     }
@@ -490,9 +501,10 @@ mod tests {
         assert_eq!(report.table1.rows.len(), 20);
         assert_eq!(report.table2.rows.len(), 17);
         let text = report.render_all();
-        for needle in ["Table 1", "Table 5", "Figure 4(c)", "Figure 10"] {
+        for needle in ["Table 1", "Table 5", "Figure 4(c)", "Figure 10", "Motif census"] {
             assert!(text.contains(needle), "missing {needle}");
         }
+        assert_eq!(report.motifs.totals.iter().sum::<u64>(), report.motifs.triangle_total);
     }
 
     #[test]
@@ -515,6 +527,7 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"table1\""));
         assert!(json.contains("\"fig10\""));
+        assert!(json.contains("\"motifs\""));
         // timings are runtime profile, not report content
         assert!(!json.contains("stage_timings"));
         // round-trips

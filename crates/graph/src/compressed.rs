@@ -617,9 +617,8 @@ mod tests {
                 )
             }),
         );
-        let pool = |t: usize| {
-            rayon::ThreadPoolBuilder::new().num_threads(t).build().expect("pool")
-        };
+        let pool =
+            |t: usize| rayon::ThreadPoolBuilder::new().num_threads(t).build().expect("pool");
         let reference = pool(1).install(|| CompressedCsr::from_csr(&g)).content_digest();
         for threads in [2usize, 8] {
             let digest = pool(threads).install(|| CompressedCsr::from_csr(&g)).content_digest();

@@ -25,6 +25,9 @@
 //! * [`clustering`] — the directed clustering coefficient of §3.3.3
 //!   (triangles among *outgoing* neighbours over `|OS(u)|(|OS(u)|-1)`),
 //!   exact or over a node sample as the paper did (1M nodes).
+//! * [`motifs`] — directed-triangle motif census over the 7 non-isomorphic
+//!   classes (the triangle rows of the triad census), per-graph totals plus
+//!   per-node participation, deterministic at any thread count.
 //! * [`paths`] — sampled shortest-path-length distributions with the
 //!   paper's adaptive `k = 2000 → 10000` schedule, plus diameter estimation.
 //! * [`degree`] — degree sequences and distribution helpers for Figure 3.
@@ -74,6 +77,7 @@ pub mod frontier;
 pub mod io;
 pub mod kcore;
 pub mod mbfs;
+pub mod motifs;
 pub mod pagerank;
 pub mod par;
 pub mod paths;

@@ -1,0 +1,444 @@
+//! Directed triangle motif census over the 7 non-isomorphic classes.
+//!
+//! The paper characterises Google+ by reciprocity (§3.3.2) and clustering
+//! (§3.3.3); the natural refinement — following Schiöberg et al.'s "Evolution
+//! of Directed Triangle Motifs in the Google+ OSN" — is to classify every
+//! triangle by the direction pattern of its three dyads. A connected triad
+//! over three nodes has three dyads, each one-way or mutual, giving seven
+//! non-isomorphic triangle classes (the triangle rows of the classic 16-class
+//! triad census, in their standard names):
+//!
+//! | idx | name | dyads | shape |
+//! |-----|------|-------|-------|
+//! | 0 | `030T` | 3 one-way | transitive: `a→b`, `a→c`, `b→c` |
+//! | 1 | `030C` | 3 one-way | cyclic: `a→b`, `b→c`, `c→a` |
+//! | 2 | `120D` | 1 mutual  | outsider points *at* the mutual dyad twice |
+//! | 3 | `120U` | 1 mutual  | the mutual dyad points *at* the outsider twice |
+//! | 4 | `120C` | 1 mutual  | one one-way edge each direction |
+//! | 5 | `210`  | 2 mutual  | two mutual dyads plus one one-way |
+//! | 6 | `300`  | 3 mutual  | fully reciprocal |
+//!
+//! The census returns the per-graph total of each class plus a per-node
+//! triangle-participation count (how many classified triangles each node is
+//! a corner of, summed over classes).
+//!
+//! # Algorithm
+//!
+//! Each geometric triangle `{a, b, c}` is counted exactly once, at the apex
+//! `c = max(a, b, c)`. Under the hub-first relabeling ids ascend as degree
+//! descends, so the apex is the *lowest*-degree corner and the "strictly
+//! smaller neighbours" lists scanned below stay short — the same ordering
+//! trick the compressed kernels lean on. For the apex we materialise the
+//! merged in/out neighbour list restricted to ids `< c`, each entry carrying
+//! a 2-bit *dyad code* (bit 0: smaller→larger edge, bit 1: larger→smaller);
+//! then for every member `b` we stream `b`'s own coded below-list against the
+//! prefix of smaller members via one sorted merge — the same sorted-merge
+//! intersection discipline as [`crate::clustering`] — and classify each
+//! match from the three dyad codes without touching a hash set. Self-loops
+//! are structurally excluded (only strictly smaller ids enter any list) and
+//! the [`Adjacency`] contract guarantees deduplicated rows.
+//!
+//! # Determinism
+//!
+//! Totals follow the [`crate::par`] fixed-order chunk discipline: apexes are
+//! swept in [`NODE_CHUNK`]-sized chunks, each chunk folds sequentially, and
+//! the per-chunk partials merge in chunk-index order — so the count is a
+//! pure function of the graph at any `RAYON_NUM_THREADS` (u64 addition is
+//! associative, but the bench digests pin the stronger schedule-free
+//! property anyway). Per-node participation uses relaxed `AtomicU64`
+//! increments: integer addition is commutative and associative, so the final
+//! values are schedule-independent too.
+
+use crate::adjacency::Adjacency;
+use crate::binfmt::fnv1a;
+use crate::cast;
+use crate::csr::NodeId;
+use crate::par::{chunk_count, NODE_CHUNK};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of directed-triangle motif classes.
+pub const MOTIF_CLASSES: usize = 7;
+
+/// Standard triad-census names of the 7 classes, in index order.
+pub const CLASS_NAMES: [&str; MOTIF_CLASSES] =
+    ["030T", "030C", "120D", "120U", "120C", "210", "300"];
+
+/// `MIRROR[i]` is the class a class-`i` triangle becomes when every edge is
+/// reversed. Only the down/up pair swaps; the other five are self-mirror.
+pub const MIRROR: [usize; MOTIF_CLASSES] = [0, 1, 3, 2, 4, 5, 6];
+
+/// Result of a full-graph census.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MotifCensus {
+    /// Per-class triangle totals, indexed as [`CLASS_NAMES`].
+    pub totals: [u64; MOTIF_CLASSES],
+    /// Per-node participation: how many classified triangles each node is a
+    /// corner of (every triangle contributes to exactly three nodes).
+    pub per_node: Vec<u64>,
+}
+
+impl MotifCensus {
+    /// Total triangles across all classes (== undirected triangle count).
+    pub fn triangle_total(&self) -> u64 {
+        self.totals.iter().sum()
+    }
+
+    /// FNV-1a digest over the totals and per-node counts, for the bench
+    /// suite's cross-thread-count `--digest` comparison.
+    pub fn content_digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(8 * (MOTIF_CLASSES + self.per_node.len()));
+        for t in self.totals {
+            bytes.extend_from_slice(&t.to_le_bytes());
+        }
+        for &p in &self.per_node {
+            bytes.extend_from_slice(&p.to_le_bytes());
+        }
+        fnv1a(&bytes)
+    }
+}
+
+/// Classifies one triangle `a < b < c` from its three dyad codes.
+///
+/// A dyad code for the pair `(x, y)` with `x < y` is `bit 0` = edge `x→y`
+/// present, `bit 1` = edge `y→x` present; valid codes are 1, 2 and 3 (a
+/// triangle requires every dyad connected). Exposed so the oracle reference
+/// can share the class indexing while deriving the codes independently.
+#[inline]
+pub fn classify(c_ab: u8, c_ac: u8, c_bc: u8) -> usize {
+    debug_assert!(
+        (1..=3).contains(&c_ab) && (1..=3).contains(&c_ac) && (1..=3).contains(&c_bc)
+    );
+    let mutuals = (c_ab == 3) as usize + (c_ac == 3) as usize + (c_bc == 3) as usize;
+    match mutuals {
+        3 => 6, // 300
+        2 => 5, // 210
+        1 => {
+            // Identify the outsider z of the single mutual dyad and whether
+            // each one-way edge points toward z.
+            let (s1_to_z, s2_to_z) = if c_ab == 3 {
+                (c_ac == 1, c_bc == 1) // z = c: a→c, b→c
+            } else if c_ac == 3 {
+                (c_ab == 1, c_bc == 2) // z = b: a→b, c→b
+            } else {
+                (c_ab == 2, c_ac == 2) // z = a: b→a, c→a
+            };
+            match (s1_to_z, s2_to_z) {
+                (true, true) => 3,   // 120U: dyad points at the outsider
+                (false, false) => 2, // 120D: outsider points at the dyad
+                _ => 4,              // 120C
+            }
+        }
+        _ => {
+            // all one-way: a 3-cycle iff every corner has exactly one
+            // outgoing edge inside the triangle; checking two corners
+            // suffices (out-degrees sum to 3)
+            let out_a = (c_ab & 1) + (c_ac & 1);
+            let out_b = (c_ab >> 1) + (c_bc & 1);
+            if out_a == 1 && out_b == 1 {
+                1 // 030C
+            } else {
+                0 // 030T
+            }
+        }
+    }
+}
+
+/// Merges `in_iter(u)` and `out_iter(u)` restricted to ids strictly below
+/// `u`, yielding `(neighbour, dyad code)` in ascending order. Both rows are
+/// sorted, so a peek past the bound terminates that side for good.
+struct CodedBelow<I: Iterator<Item = NodeId>> {
+    inn: std::iter::Peekable<I>,
+    out: std::iter::Peekable<I>,
+    bound: NodeId,
+}
+
+fn coded_below<G: Adjacency>(g: &G, u: NodeId) -> CodedBelow<G::Iter<'_>> {
+    CodedBelow { inn: g.in_iter(u).peekable(), out: g.out_iter(u).peekable(), bound: u }
+}
+
+impl<I: Iterator<Item = NodeId>> Iterator for CodedBelow<I> {
+    type Item = (NodeId, u8);
+
+    fn next(&mut self) -> Option<(NodeId, u8)> {
+        // bit 0: v→u (v is smaller, so smaller→larger); bit 1: u→v
+        let i = self.inn.peek().copied().filter(|&v| v < self.bound);
+        let o = self.out.peek().copied().filter(|&v| v < self.bound);
+        match (i, o) {
+            (None, None) => None,
+            (Some(a), None) => {
+                self.inn.next();
+                Some((a, 1))
+            }
+            (None, Some(a)) => {
+                self.out.next();
+                Some((a, 2))
+            }
+            (Some(ia), Some(oa)) => {
+                if ia < oa {
+                    self.inn.next();
+                    Some((ia, 1))
+                } else if oa < ia {
+                    self.out.next();
+                    Some((oa, 2))
+                } else {
+                    self.inn.next();
+                    self.out.next();
+                    Some((ia, 3))
+                }
+            }
+        }
+    }
+}
+
+/// Enumerates every triangle apexed at `c` (i.e. with `c` as its largest
+/// id), invoking `f(a, b, c_ab, c_ac, c_bc)` with `a < b < c` and the three
+/// dyad codes. `lc` is caller-owned scratch for the apex's coded below-list.
+fn apex_scan<G, F>(g: &G, c: NodeId, lc: &mut Vec<(NodeId, u8)>, mut f: F)
+where
+    G: Adjacency,
+    F: FnMut(NodeId, NodeId, u8, u8, u8),
+{
+    lc.clear();
+    lc.extend(coded_below(g, c));
+    for j in 1..lc.len() {
+        let (b, c_bc) = lc[j];
+        let prefix = &lc[..j];
+        // one sorted merge of b's coded below-list against the smaller
+        // members of c's list; k never rewinds within a b
+        let mut k = 0;
+        for (a, c_ab) in coded_below(g, b) {
+            while k < prefix.len() && prefix[k].0 < a {
+                k += 1;
+            }
+            if k == prefix.len() {
+                break;
+            }
+            if prefix[k].0 == a {
+                f(a, b, c_ab, prefix[k].1, c_bc);
+                k += 1;
+            }
+        }
+    }
+}
+
+/// Per-class counts of the triangles whose largest id is `c`.
+///
+/// The full census is the sum of `apex_census(g, c)` over all nodes; the
+/// oracle uses this to spot-check large graphs apex by apex.
+pub fn apex_census<G: Adjacency>(g: &G, c: NodeId) -> [u64; MOTIF_CLASSES] {
+    let mut totals = [0u64; MOTIF_CLASSES];
+    apex_scan(g, c, &mut Vec::new(), |_, _, ab, ac, bc| totals[classify(ab, ac, bc)] += 1);
+    totals
+}
+
+/// Full-graph motif census: per-class totals plus per-node participation.
+///
+/// Deterministic at any thread count — see the module docs.
+pub fn census<G: Adjacency>(g: &G) -> MotifCensus {
+    let obs = gplus_obs::global();
+    let _span = obs.span("graph.motifs.census");
+    let n = g.node_count();
+    obs.counter(gplus_obs::names::GRAPH_MOTIFS_RUNS).add(1);
+    obs.gauge(gplus_obs::names::GRAPH_MOTIFS_CHUNKS).set(chunk_count(n) as f64);
+
+    let per_node: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let partials: Vec<[u64; MOTIF_CLASSES]> = (0..chunk_count(n))
+        .into_par_iter()
+        .map_init(Vec::new, |lc, ci| {
+            let mut totals = [0u64; MOTIF_CLASSES];
+            let lo = ci * NODE_CHUNK;
+            let hi = (lo + NODE_CHUNK).min(n);
+            for c in lo..hi {
+                let c = cast::node_id(c);
+                apex_scan(g, c, lc, |a, b, ab, ac, bc| {
+                    totals[classify(ab, ac, bc)] += 1;
+                    per_node[a as usize].fetch_add(1, Ordering::Relaxed);
+                    per_node[b as usize].fetch_add(1, Ordering::Relaxed);
+                    per_node[c as usize].fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            totals
+        })
+        .collect();
+
+    // indexed collect preserves chunk order; merge partials left to right
+    let mut totals = [0u64; MOTIF_CLASSES];
+    for part in partials {
+        for (t, p) in totals.iter_mut().zip(part) {
+            *t += p;
+        }
+    }
+    let result = MotifCensus {
+        totals,
+        per_node: per_node.into_iter().map(AtomicU64::into_inner).collect(),
+    };
+    obs.counter(gplus_obs::names::GRAPH_MOTIFS_TRIANGLES).add(result.triangle_total());
+    result
+}
+
+/// Undirected triangle count via the same apex enumeration with the
+/// classifier bypassed entirely — the metamorphic law "Σ over the 7 classes
+/// equals the undirected triangle count" checks the classification logic
+/// against it (full independence comes from the oracle's naive twin).
+pub fn undirected_triangle_count<G: Adjacency>(g: &G) -> u64 {
+    let n = g.node_count();
+    (0..chunk_count(n))
+        .into_par_iter()
+        .map_init(Vec::new, |lc, ci| {
+            let mut count = 0u64;
+            let lo = ci * NODE_CHUNK;
+            let hi = (lo + NODE_CHUNK).min(n);
+            for c in lo..hi {
+                apex_scan(g, cast::node_id(c), lc, |_, _, _, _, _| count += 1);
+            }
+            count
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::compressed::CompressedCsr;
+    use crate::csr::CsrGraph;
+
+    /// One minimal 3-node graph per class, in class-index order.
+    fn class_exemplars() -> [Vec<(NodeId, NodeId)>; MOTIF_CLASSES] {
+        [
+            vec![(0, 1), (1, 2), (0, 2)],                         // 030T
+            vec![(0, 1), (1, 2), (2, 0)],                         // 030C
+            vec![(0, 1), (1, 0), (2, 0), (2, 1)],                 // 120D
+            vec![(0, 1), (1, 0), (0, 2), (1, 2)],                 // 120U
+            vec![(0, 1), (1, 0), (0, 2), (2, 1)],                 // 120C
+            vec![(0, 1), (1, 0), (0, 2), (2, 0), (1, 2)],         // 210
+            vec![(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)], // 300
+        ]
+    }
+
+    #[test]
+    fn each_class_exemplar_counts_once_in_its_own_class() {
+        for (idx, edges) in class_exemplars().into_iter().enumerate() {
+            let g = from_edges(3, edges);
+            let c = census(&g);
+            let mut expect = [0u64; MOTIF_CLASSES];
+            expect[idx] = 1;
+            assert_eq!(c.totals, expect, "class {}", CLASS_NAMES[idx]);
+            assert_eq!(c.per_node, vec![1, 1, 1], "class {}", CLASS_NAMES[idx]);
+        }
+    }
+
+    #[test]
+    fn classify_mirror_law_exhaustive() {
+        // reversing every edge swaps code bits (1<->2, 3 fixed) and must map
+        // each class to MIRROR[class]; check all 27 code triples
+        let rev = |c: u8| match c {
+            1 => 2,
+            2 => 1,
+            _ => 3,
+        };
+        for ab in 1..=3u8 {
+            for ac in 1..=3u8 {
+                for bc in 1..=3u8 {
+                    let fwd = classify(ab, ac, bc);
+                    let back = classify(rev(ab), rev(ac), rev(bc));
+                    assert_eq!(back, MIRROR[fwd], "codes ({ab},{ac},{bc})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_census_is_the_mirror_census() {
+        // mixed graph with triangles in several classes
+        let g = from_edges(
+            6,
+            [
+                (0, 1),
+                (1, 2),
+                (0, 2), // 030T on {0,1,2}
+                (2, 3),
+                (3, 2),
+                (4, 2),
+                (4, 3), // 120D on {2,3,4}
+                (3, 4),
+                (4, 5),
+                (5, 3), // 030C on {3,4,5}
+            ],
+        );
+        let fwd = census(&g);
+        let back = census(&g.transpose());
+        for i in 0..MOTIF_CLASSES {
+            assert_eq!(back.totals[MIRROR[i]], fwd.totals[i], "class {}", CLASS_NAMES[i]);
+        }
+        // participation is orientation-blind
+        assert_eq!(back.per_node, fwd.per_node);
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs_have_no_triangles() {
+        let empty = from_edges(0, Vec::<(NodeId, NodeId)>::new());
+        let c = census(&empty);
+        assert_eq!(c.totals, [0; MOTIF_CLASSES]);
+        assert!(c.per_node.is_empty());
+        assert_eq!(undirected_triangle_count(&empty), 0);
+
+        let pair = from_edges(2, [(0, 1), (1, 0)]);
+        assert_eq!(census(&pair).triangle_total(), 0);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_never_form_triangles() {
+        // a mutual dyad plus self-loops everywhere: no third corner exists
+        let g = from_edges(2, [(0, 0), (0, 1), (1, 0), (1, 1)]);
+        assert_eq!(census(&g).triangle_total(), 0);
+        // duplicate edges collapse in the builder; a 030T stays one triangle
+        let g2 = from_edges(3, [(0, 1), (0, 1), (1, 2), (1, 2), (0, 2), (0, 2), (2, 2)]);
+        let c = census(&g2);
+        assert_eq!(c.totals[0], 1);
+        assert_eq!(c.triangle_total(), 1);
+    }
+
+    #[test]
+    fn participation_sums_to_three_per_triangle() {
+        let g = lcg_graph(64, 600, 9);
+        let c = census(&g);
+        assert_eq!(c.per_node.iter().sum::<u64>(), 3 * c.triangle_total());
+        assert_eq!(c.triangle_total(), undirected_triangle_count(&g));
+    }
+
+    #[test]
+    fn apex_census_partitions_the_full_census() {
+        let g = lcg_graph(48, 400, 11);
+        let full = census(&g);
+        let mut summed = [0u64; MOTIF_CLASSES];
+        for c in g.nodes() {
+            for (t, p) in summed.iter_mut().zip(apex_census(&g, c)) {
+                *t += p;
+            }
+        }
+        assert_eq!(summed, full.totals);
+    }
+
+    #[test]
+    fn compressed_adjacency_matches_flat() {
+        let g = lcg_graph(96, 1200, 3);
+        let flat = census(&g);
+        let compressed = census(&CompressedCsr::from_csr(&g));
+        assert_eq!(flat, compressed);
+        assert_eq!(flat.content_digest(), compressed.content_digest());
+    }
+
+    /// Deterministic pseudo-random digraph without pulling in a RNG dep.
+    fn lcg_graph(n: usize, m: usize, seed: u64) -> CsrGraph {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as NodeId
+        };
+        let edges: Vec<(NodeId, NodeId)> =
+            (0..m).map(|_| (next() % n as NodeId, next() % n as NodeId)).collect();
+        from_edges(n, edges)
+    }
+}

@@ -240,11 +240,8 @@ mod tests {
         let mut delta = f64::INFINITY;
         let mut it = 0;
         while it < params.max_iterations && delta > params.tolerance {
-            let dangling: f64 = g
-                .nodes()
-                .filter(|&u| g.out_degree(u) == 0)
-                .map(|u| rank[cast::ix(u)])
-                .sum();
+            let dangling: f64 =
+                g.nodes().filter(|&u| g.out_degree(u) == 0).map(|u| rank[cast::ix(u)]).sum();
             let base = (1.0 - params.damping) / n_f + params.damping * dangling / n_f;
             next.iter_mut().for_each(|x| *x = base);
             for u in g.nodes() {
@@ -287,14 +284,10 @@ mod tests {
 
     #[test]
     fn scores_bit_identical_across_thread_counts() {
-        let g = from_edges(
-            200,
-            (0..600u32).map(|i| ((i * 131 % 200), (i * 31 % 200))),
-        );
+        let g = from_edges(200, (0..600u32).map(|i| ((i * 131 % 200), (i * 31 % 200))));
         let params = PageRankParams::default();
-        let pool = |t: usize| {
-            rayon::ThreadPoolBuilder::new().num_threads(t).build().expect("pool")
-        };
+        let pool =
+            |t: usize| rayon::ThreadPoolBuilder::new().num_threads(t).build().expect("pool");
         let reference = pool(1).install(|| pagerank(&g, &params));
         for threads in [2usize, 8] {
             let pr = pool(threads).install(|| pagerank(&g, &params));
@@ -307,10 +300,7 @@ mod tests {
 
     #[test]
     fn compressed_matches_flat_bitwise() {
-        let g = from_edges(
-            120,
-            (0..500u32).map(|i| ((i * 37 % 120), (i * 17 % 120))),
-        );
+        let g = from_edges(120, (0..500u32).map(|i| ((i * 37 % 120), (i * 17 % 120))));
         let c = crate::CompressedCsr::from_csr(&g);
         let params = PageRankParams { max_iterations: 30, ..Default::default() };
         let a = pagerank(&g, &params);

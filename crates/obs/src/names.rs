@@ -71,3 +71,14 @@ pub const MEM_SNAPSHOT_BYTES: &str = "mem.snapshot.bytes";
 /// Peak resident set size of the process in bytes (`VmHWM` from
 /// `/proc/self/status`; absent on platforms without procfs).
 pub const MEM_PEAK_RSS_BYTES: &str = "mem.peak_rss.bytes";
+
+/// Full-graph directed-triangle motif censuses executed.
+pub const GRAPH_MOTIFS_RUNS: &str = "graph.motifs.runs";
+
+/// Triangles classified by the motif census, summed over the 7 classes
+/// (one count per geometric triangle).
+pub const GRAPH_MOTIFS_TRIANGLES: &str = "graph.motifs.triangles_count";
+
+/// Number of fixed-size apex chunks the census sweep partitions the node
+/// range into (thread-count independent; defines the merge order).
+pub const GRAPH_MOTIFS_CHUNKS: &str = "graph.motifs.chunks";

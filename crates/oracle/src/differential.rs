@@ -14,7 +14,7 @@ use gplus_graph::bfs::{self, BfsLevels};
 use gplus_graph::pagerank::{pagerank, PageRankParams};
 use gplus_graph::relabel::Relabeling;
 use gplus_graph::{
-    clustering, mbfs, paths, reciprocity, scc, wcc, CompressedCsr, CsrGraph, NodeId,
+    clustering, mbfs, motifs, paths, reciprocity, scc, wcc, CompressedCsr, CsrGraph, NodeId,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -35,6 +35,10 @@ pub enum Kernel {
     Clustering,
     /// Pairwise and global reciprocity.
     Reciprocity,
+    /// Directed-triangle motif census vs the isomorphism-classifying
+    /// reference (full compare on small graphs, apex/participation spot
+    /// checks on large ones).
+    Motifs,
     /// Kosaraju + iterative Tarjan vs the recursive reference Tarjan.
     Scc,
     /// Union–find and flood-fill WCC vs the reference flood fill.
@@ -58,6 +62,7 @@ pub const ALL_KERNELS: &[Kernel] = &[
     Kernel::PathSampling,
     Kernel::Clustering,
     Kernel::Reciprocity,
+    Kernel::Motifs,
     Kernel::Scc,
     Kernel::Wcc,
     Kernel::Relabel,
@@ -75,6 +80,7 @@ impl Kernel {
             Kernel::PathSampling => "path-sampling",
             Kernel::Clustering => "clustering",
             Kernel::Reciprocity => "reciprocity",
+            Kernel::Motifs => "motifs",
             Kernel::Scc => "scc",
             Kernel::Wcc => "wcc",
             Kernel::Relabel => "relabel",
@@ -203,6 +209,7 @@ pub fn check_kernel(g: &CsrGraph, kernel: Kernel, cfg: &DiffConfig) -> Option<Mi
         Kernel::PathSampling => check_paths(g, cfg),
         Kernel::Clustering => check_clustering(g, cfg),
         Kernel::Reciprocity => check_reciprocity(g, cfg),
+        Kernel::Motifs => check_motifs_kernel(g, cfg, Kernel::Motifs.as_str(), motifs::census),
         Kernel::Scc => check_scc(g),
         Kernel::Wcc => check_wcc(g),
         Kernel::Relabel => check_relabel(g, cfg),
@@ -359,6 +366,86 @@ fn check_reciprocity(g: &CsrGraph, cfg: &DiffConfig) -> Option<Mismatch> {
         expected: json!(want_pairs),
         actual: json!(got_pairs),
     })
+}
+
+/// Differential check of a motif-census kernel against the naive
+/// isomorphism-classifying reference. Graphs up to 8× the node-sample
+/// budget get the full `O(Σ deg²)` compare — per-class totals *and* the
+/// whole per-node participation vector; larger graphs get spot checks:
+/// the kernel's per-apex class counts and the census's per-node counts
+/// over the sampled nodes, plus the 3-corners-per-triangle conservation
+/// law on the full result. Public so the mutation smoke test can feed a
+/// deliberately wrong census in.
+pub fn check_motifs_kernel(
+    g: &CsrGraph,
+    cfg: &DiffConfig,
+    name: &'static str,
+    kernel: impl Fn(&CsrGraph) -> motifs::MotifCensus,
+) -> Option<Mismatch> {
+    let es = EdgeSet::from_graph(g);
+    let got = kernel(g);
+    if got.per_node.len() != g.node_count() {
+        return Some(Mismatch {
+            kernel: name,
+            detail: "per-node participation vector length".to_string(),
+            expected: json!(g.node_count()),
+            actual: json!(got.per_node.len()),
+        });
+    }
+    // every triangle has exactly three corners, whatever its class
+    let corners: u64 = got.per_node.iter().sum();
+    if corners != 3 * got.triangle_total() {
+        return Some(Mismatch {
+            kernel: name,
+            detail: "participation sum vs 3 x triangle total".to_string(),
+            expected: json!(3 * got.triangle_total()),
+            actual: json!(corners),
+        });
+    }
+    if g.node_count() <= cfg.node_sample.saturating_mul(8) {
+        let want = reference::motif_census(&es, g);
+        if got.totals != want.totals {
+            return Some(Mismatch {
+                kernel: name,
+                detail: "per-class triangle totals".to_string(),
+                expected: json!(want.totals.to_vec()),
+                actual: json!(got.totals.to_vec()),
+            });
+        }
+        if got.per_node != want.per_node {
+            let at =
+                got.per_node.iter().zip(&want.per_node).position(|(a, b)| a != b).unwrap_or(0);
+            return Some(Mismatch {
+                kernel: name,
+                detail: format!("triangle participation, first divergence at node {at}"),
+                expected: json!(want.per_node[at]),
+                actual: json!(got.per_node[at]),
+            });
+        }
+        return None;
+    }
+    for c in sample_nodes(g, cfg.seed ^ 0x7a1, cfg.node_sample) {
+        let want_apex = reference::apex_motif_census(&es, g, c);
+        let got_apex = motifs::apex_census(g, c);
+        if got_apex != want_apex {
+            return Some(Mismatch {
+                kernel: name,
+                detail: format!("per-class counts at apex {c}"),
+                expected: json!(want_apex.to_vec()),
+                actual: json!(got_apex.to_vec()),
+            });
+        }
+        let want_part = reference::node_triangle_participation(&es, g, c);
+        if got.per_node[c as usize] != want_part {
+            return Some(Mismatch {
+                kernel: name,
+                detail: format!("triangle participation of node {c}"),
+                expected: json!(want_part),
+                actual: json!(got.per_node[c as usize]),
+            });
+        }
+    }
+    None
 }
 
 fn check_scc(g: &CsrGraph) -> Option<Mismatch> {
@@ -629,5 +716,27 @@ mod tests {
         let m = m.expect("the broken kernel must be flagged");
         assert_eq!(m.kernel, "broken");
         assert!(m.detail.contains("levels from source"));
+    }
+
+    #[test]
+    fn a_wrong_motif_census_is_flagged() {
+        // one 120U triangle; a census that reports it as 120D must trip the
+        // full small-graph compare
+        let g = from_edges(3, [(0, 1), (1, 0), (0, 2), (1, 2)]);
+        let m = check_motifs_kernel(&g, &DiffConfig::quick(4), "broken-motifs", |g| {
+            let mut c = motifs::census(g);
+            c.totals.swap(2, 3);
+            c
+        });
+        let m = m.expect("the swapped census must be flagged");
+        assert_eq!(m.kernel, "broken-motifs");
+        assert!(m.detail.contains("per-class triangle totals"));
+    }
+
+    #[test]
+    fn motif_kernel_passes_on_a_synthetic_network_with_full_budgets() {
+        let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(1_000, 7));
+        let m = check_kernel(&net.graph, Kernel::Motifs, &DiffConfig::new(7));
+        assert!(m.is_none(), "{m:?}");
     }
 }

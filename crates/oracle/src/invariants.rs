@@ -14,11 +14,17 @@
 //!   in-neighbor, levels partition the reachable set, and per-level
 //!   counts agree with the aggregate kernel;
 //! * the hub-first relabel permutation is a bijection that preserves the
-//!   edge multiset.
+//!   edge multiset;
+//! * the motif census obeys its metamorphic laws: the 7 class totals sum
+//!   to the undirected triangle count, the all-reciprocal class agrees
+//!   with a census of the reciprocal-pair subgraph, class counts are
+//!   invariant under the relabel permutation, and reversing every edge
+//!   maps each class to its mirror class.
 
 use crate::differential::sample_nodes;
+use gplus_graph::builder::from_edges;
 use gplus_graph::relabel::Relabeling;
-use gplus_graph::{bfs, clustering, reciprocity, scc, wcc, CsrGraph, NodeId};
+use gplus_graph::{bfs, clustering, motifs, reciprocity, scc, wcc, CsrGraph, NodeId};
 use std::collections::HashSet;
 
 /// Checks every metamorphic law on `g`; returns one human-readable
@@ -33,6 +39,7 @@ pub fn check_graph(g: &CsrGraph, seed: u64) -> Vec<String> {
     clustering_bounds(g, seed, &mut violations);
     bfs_level_monotonicity(g, seed, &mut violations);
     relabel_bijection(g, &mut violations);
+    motif_laws(g, &mut violations);
     violations
 }
 
@@ -195,10 +202,86 @@ fn relabel_bijection(g: &CsrGraph, out: &mut Vec<String>) {
     }
 }
 
+/// The motif census's four metamorphic laws. Each is a mathematical
+/// identity on *any* digraph, so they need no reference run:
+///
+/// 1. every triangle lands in exactly one of the 7 classes, so the class
+///    totals sum to the undirected triangle count;
+/// 2. keeping only reciprocal pairs (via the `reciprocity` kernel) keeps
+///    exactly the all-mutual `300` triangles and nothing else;
+/// 3. a census is blind to node ids: any relabel permutation preserves
+///    the totals and permutes the participation vector along with it;
+/// 4. reversing every edge maps each class to `MIRROR[class]` and leaves
+///    participation untouched.
+fn motif_laws(g: &CsrGraph, out: &mut Vec<String>) {
+    let census = motifs::census(g);
+
+    let undirected = motifs::undirected_triangle_count(g);
+    if census.triangle_total() != undirected {
+        out.push(format!(
+            "motif class totals sum to {} but the graph has {undirected} undirected triangles",
+            census.triangle_total()
+        ));
+        return;
+    }
+
+    let mutual_edges: Vec<(NodeId, NodeId)> =
+        reciprocity::reciprocal_pairs(g).flat_map(|(u, v)| [(u, v), (v, u)]).collect();
+    let mutual = motifs::census(&from_edges(g.node_count(), mutual_edges));
+    let mut expect = [0u64; motifs::MOTIF_CLASSES];
+    expect[motifs::MOTIF_CLASSES - 1] = census.totals[motifs::MOTIF_CLASSES - 1];
+    if mutual.totals != expect {
+        out.push(format!(
+            "reciprocal-pair subgraph census {:?} disagrees with the all-mutual class of the \
+             full census {:?}",
+            mutual.totals, census.totals
+        ));
+        return;
+    }
+
+    let r = Relabeling::degree_descending(g);
+    let relabeled = motifs::census(&r.apply(g));
+    if relabeled.totals != census.totals {
+        out.push(format!(
+            "motif totals not relabel-invariant: {:?} vs {:?} after permutation",
+            census.totals, relabeled.totals
+        ));
+        return;
+    }
+    for old in g.nodes() {
+        let new = r.to_new(old);
+        if relabeled.per_node[new as usize] != census.per_node[old as usize] {
+            out.push(format!(
+                "motif participation of node {old} (relabeled {new}) changed under relabel: \
+                 {} vs {}",
+                census.per_node[old as usize], relabeled.per_node[new as usize]
+            ));
+            return;
+        }
+    }
+
+    let reversed = motifs::census(&g.transpose());
+    for (class, &mirror) in motifs::MIRROR.iter().enumerate() {
+        if reversed.totals[mirror] != census.totals[class] {
+            out.push(format!(
+                "edge reversal broke the mirror law for class {}: {} forward vs {} reversed \
+                 as {}",
+                motifs::CLASS_NAMES[class],
+                census.totals[class],
+                reversed.totals[mirror],
+                motifs::CLASS_NAMES[mirror]
+            ));
+            return;
+        }
+    }
+    if reversed.per_node != census.per_node {
+        out.push("edge reversal changed motif participation counts".to_string());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gplus_graph::builder::from_edges;
     use gplus_synth::{SynthConfig, SynthNetwork};
 
     #[test]
@@ -208,6 +291,8 @@ mod tests {
             (1, vec![(0, 0)]),
             (5, vec![(0, 1), (1, 0), (2, 3), (3, 4), (4, 2), (0, 4)]),
             (6, vec![(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]), // star
+            // triangles of several motif classes sharing edges
+            (6, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 2), (4, 2), (4, 3), (4, 5), (5, 3)]),
         ] {
             let g = from_edges(n, edges.clone());
             let v = check_graph(&g, 7);

@@ -2,11 +2,13 @@
 //! feature.
 //!
 //! A differential oracle that never fires is indistinguishable from one
-//! that cannot fire. This module plants a known bug — a BFS whose level
-//! counter is off by one — so the mutation smoke test can prove the
-//! runner flags it, shrinks the witness, and writes a reproducer.
+//! that cannot fire. This module plants known bugs — a BFS whose level
+//! counter is off by one, and a motif census with two class labels
+//! swapped — so the mutation smoke tests can prove the runner flags
+//! them, shrinks the witnesses, and writes reproducers.
 
 use gplus_graph::bfs::BfsLevels;
+use gplus_graph::motifs::{self, MotifCensus};
 use gplus_graph::{CsrGraph, NodeId};
 use std::collections::VecDeque;
 
@@ -55,6 +57,20 @@ pub fn off_by_one_levels(g: &CsrGraph, source: NodeId) -> BfsLevels {
     BfsLevels { counts, eccentricity: depth, reached }
 }
 
+/// Motif census with a planted label swap: the `120D` and `120U` class
+/// totals are exchanged. Correct on any graph where the two counts happen
+/// to coincide — fully reciprocal cliques, mutual-free graphs, anything
+/// edge-transitive — so a fixed unit test on a symmetric shape cannot see
+/// it; the differential sweep against the isomorphism-classifying
+/// reference has to.
+pub fn swapped_motif_labels_census(g: &CsrGraph) -> MotifCensus {
+    let mut census = motifs::census(g);
+    // THE BUG: "outsider points at the dyad" reported as "dyad points at
+    // the outsider" and vice versa.
+    census.totals.swap(2, 3);
+    census
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +88,23 @@ mod tests {
         assert_ne!(got, bfs::levels(&path, 0));
         assert_eq!(got.counts, vec![1, 2]);
         assert_eq!(got.eccentricity, 1);
+    }
+
+    #[test]
+    fn motif_mutant_is_correct_on_symmetric_shapes_and_wrong_on_a_fan() {
+        // a fully reciprocal triangle has 120D == 120U == 0: the swap is
+        // invisible, which is why a symmetric fixture cannot catch it
+        let clique = from_edges(3, [(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)]);
+        assert_eq!(swapped_motif_labels_census(&clique), motifs::census(&clique));
+        // a 120D fan (outsider 2 points at the mutual dyad {0,1}) lands in
+        // the wrong class under the mutant
+        let fan = from_edges(3, [(0, 1), (1, 0), (2, 0), (2, 1)]);
+        let honest = motifs::census(&fan);
+        let mutant = swapped_motif_labels_census(&fan);
+        assert_eq!(honest.totals[2], 1);
+        assert_eq!(mutant.totals[3], 1);
+        assert_ne!(honest, mutant);
+        // participation is class-blind, so the mutant leaves it intact
+        assert_eq!(honest.per_node, mutant.per_node);
     }
 }

@@ -10,6 +10,7 @@
 //! enough that quadratic passes stay affordable.
 
 use gplus_graph::bfs::{BfsLevels, UNREACHABLE};
+use gplus_graph::motifs::{MotifCensus, MOTIF_CLASSES};
 use gplus_graph::paths::PathLengthDistribution;
 use gplus_graph::scc::SccResult;
 use gplus_graph::wcc::WccResult;
@@ -162,6 +163,136 @@ pub fn global_reciprocity(es: &EdgeSet, g: &CsrGraph) -> f64 {
 /// `reciprocal_pair_count`).
 pub fn reciprocal_pair_count(es: &EdgeSet, g: &CsrGraph) -> u64 {
     g.edges().filter(|&(u, v)| u < v && es.contains(v, u)).count() as u64
+}
+
+/// Directed edge patterns of the 7 triangle motif classes over the labels
+/// `{0, 1, 2}`, in [`gplus_graph::motifs::CLASS_NAMES`] index order. These
+/// are the textbook triad-census shapes written out edge by edge — the
+/// reference classifies by isomorphism against them, sharing nothing with
+/// the kernel's dyad-code decision table.
+const CLASS_EDGES: [&[(usize, usize)]; MOTIF_CLASSES] = [
+    &[(0, 1), (1, 2), (0, 2)],                         // 030T: transitive
+    &[(0, 1), (1, 2), (2, 0)],                         // 030C: 3-cycle
+    &[(0, 1), (1, 0), (2, 0), (2, 1)],                 // 120D: outsider 2 points in
+    &[(0, 1), (1, 0), (0, 2), (1, 2)],                 // 120U: dyad points at 2
+    &[(0, 1), (1, 0), (0, 2), (2, 1)],                 // 120C: one each way
+    &[(0, 1), (1, 0), (0, 2), (2, 0), (1, 2)],         // 210
+    &[(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)], // 300
+];
+
+/// Bit position of the ordered pair `(i, j)` (`i != j`, labels in `0..3`)
+/// in the 6-bit triangle adjacency mask, row-major with the diagonal
+/// skipped.
+fn pair_bit(i: usize, j: usize) -> usize {
+    i * 2 + if j > i { j - 1 } else { j }
+}
+
+/// Classifies the triangle candidate `{a, b, c}` by explicit isomorphism
+/// search: build the 6-bit ordered-pair adjacency mask from `O(1)` edge
+/// probes and find the class whose exemplar pattern matches under one of
+/// the 6 label permutations. `None` when the triple is not a triangle
+/// (some dyad disconnected), since no exemplar then matches.
+pub fn classify_triangle(es: &EdgeSet, a: NodeId, b: NodeId, c: NodeId) -> Option<usize> {
+    const PERMS: [[usize; 3]; 6] =
+        [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+    let nodes = [a, b, c];
+    let mut mask = 0u8;
+    for i in 0..3 {
+        for j in 0..3 {
+            if i != j && es.contains(nodes[i], nodes[j]) {
+                mask |= 1 << pair_bit(i, j);
+            }
+        }
+    }
+    for (class, edges) in CLASS_EDGES.iter().enumerate() {
+        for perm in PERMS {
+            let mut want = 0u8;
+            for &(x, y) in *edges {
+                want |= 1 << pair_bit(perm[x], perm[y]);
+            }
+            if want == mask {
+                return Some(class);
+            }
+        }
+    }
+    None
+}
+
+/// Distinct undirected neighbours of `c` with smaller ids (self-loops
+/// drop out with the `< c` bound), sorted ascending.
+fn undirected_neighbors_below(g: &CsrGraph, c: NodeId) -> Vec<NodeId> {
+    let mut v: Vec<NodeId> = g
+        .out_neighbors(c)
+        .iter()
+        .chain(g.in_neighbors(c))
+        .copied()
+        .filter(|&x| x < c)
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Naive full-graph motif census: every triangle is found at its largest
+/// node by pairwise probing that node's smaller undirected neighbourhood —
+/// `O(Σ deg²)` hash probes — and classified by [`classify_triangle`].
+pub fn motif_census(es: &EdgeSet, g: &CsrGraph) -> MotifCensus {
+    let mut totals = [0u64; MOTIF_CLASSES];
+    let mut per_node = vec![0u64; g.node_count()];
+    for c in g.nodes() {
+        let below = undirected_neighbors_below(g, c);
+        for j in 0..below.len() {
+            for i in 0..j {
+                if let Some(class) = classify_triangle(es, below[i], below[j], c) {
+                    totals[class] += 1;
+                    per_node[below[i] as usize] += 1;
+                    per_node[below[j] as usize] += 1;
+                    per_node[c as usize] += 1;
+                }
+            }
+        }
+    }
+    MotifCensus { totals, per_node }
+}
+
+/// Per-class counts of the triangles whose largest node is `c` — the
+/// reference for the kernel's `apex_census`, used to spot-check graphs too
+/// large for the full quadratic census.
+pub fn apex_motif_census(es: &EdgeSet, g: &CsrGraph, c: NodeId) -> [u64; MOTIF_CLASSES] {
+    let mut totals = [0u64; MOTIF_CLASSES];
+    let below = undirected_neighbors_below(g, c);
+    for j in 0..below.len() {
+        for i in 0..j {
+            if let Some(class) = classify_triangle(es, below[i], below[j], c) {
+                totals[class] += 1;
+            }
+        }
+    }
+    totals
+}
+
+/// Number of triangles `u` is a corner of: pairwise probes over `u`'s full
+/// undirected neighbourhood (`O(deg²)`), counting unordered adjacent
+/// pairs. Matches the census's per-node participation definition.
+pub fn node_triangle_participation(es: &EdgeSet, g: &CsrGraph, u: NodeId) -> u64 {
+    let mut nbrs: Vec<NodeId> = g
+        .out_neighbors(u)
+        .iter()
+        .chain(g.in_neighbors(u))
+        .copied()
+        .filter(|&x| x != u)
+        .collect();
+    nbrs.sort_unstable();
+    nbrs.dedup();
+    let mut count = 0u64;
+    for j in 0..nbrs.len() {
+        for i in 0..j {
+            if es.contains(nbrs[i], nbrs[j]) || es.contains(nbrs[j], nbrs[i]) {
+                count += 1;
+            }
+        }
+    }
+    count
 }
 
 /// Strongly connected components by a *recursive* Tarjan — deliberately a
@@ -346,5 +477,43 @@ mod tests {
         assert_eq!(tarjan_scc(&g).count, 0);
         assert_eq!(weakly_connected_components(&g).count, 0);
         assert_eq!(path_length_distribution(&g, &[]).total_pairs(), 0);
+        assert_eq!(motif_census(&es, &g), gplus_graph::motifs::census(&g));
+    }
+
+    #[test]
+    fn isomorphism_classifier_recognises_every_exemplar() {
+        // build each exemplar on 3 nodes and classify the unpermuted triple
+        for (class, edges) in CLASS_EDGES.iter().enumerate() {
+            let list: Vec<(NodeId, NodeId)> =
+                edges.iter().map(|&(x, y)| (x as NodeId, y as NodeId)).collect();
+            let g = from_edges(3, list);
+            let es = EdgeSet::from_graph(&g);
+            assert_eq!(classify_triangle(&es, 0, 1, 2), Some(class), "class {class}");
+        }
+        // a triple with a disconnected dyad is not a triangle
+        let g = from_edges(3, [(0, 1), (1, 2)]);
+        let es = EdgeSet::from_graph(&g);
+        assert_eq!(classify_triangle(&es, 0, 1, 2), None);
+    }
+
+    #[test]
+    fn reference_motif_census_agrees_with_kernel() {
+        // the sample holds mutual dyads, a 2-3-1 cycle and self-loops
+        let g = sample();
+        let es = EdgeSet::from_graph(&g);
+        let reference = motif_census(&es, &g);
+        assert_eq!(reference, gplus_graph::motifs::census(&g));
+        for c in g.nodes() {
+            assert_eq!(
+                apex_motif_census(&es, &g, c),
+                gplus_graph::motifs::apex_census(&g, c),
+                "apex {c}"
+            );
+            assert_eq!(
+                node_triangle_participation(&es, &g, c),
+                reference.per_node[c as usize],
+                "participation of {c}"
+            );
+        }
     }
 }

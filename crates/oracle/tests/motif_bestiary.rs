@@ -1,0 +1,89 @@
+//! Motif census over the adversarial bestiary, pinned against
+//! hand-computed class counts.
+//!
+//! The differential sweep already runs the census against its naive
+//! reference on every adversarial shape; these tests additionally pin the
+//! *absolute* counts a human can derive on paper — a clique of `k` nodes
+//! holds exactly `C(k, 3)` fully-reciprocal (`300`) triangles, stars and
+//! self-loop chains hold none — so a bug shared by kernel and reference
+//! (e.g. in the builder) cannot slip through.
+
+use gplus_graph::motifs::{self, MOTIF_CLASSES};
+use gplus_graph::CsrGraph;
+use gplus_synth::adversarial::adversarial_graphs;
+
+fn shape(shapes: &[(String, CsrGraph)], name: &str) -> CsrGraph {
+    shapes.iter().find(|(n, _)| n == name).unwrap_or_else(|| panic!("{name} present")).1.clone()
+}
+
+/// `C(k, 3)`.
+fn choose3(k: u64) -> u64 {
+    k * (k - 1) * (k - 2) / 6
+}
+
+#[test]
+fn clique_holds_exactly_choose3_fully_reciprocal_triangles() {
+    for max_nodes in [10usize, 40, 96] {
+        let shapes = adversarial_graphs(max_nodes, 2012);
+        let clique = shape(&shapes, "adv-clique");
+        let k = clique.node_count() as u64;
+        assert_eq!(k as usize, max_nodes.min(24), "clique size is capped at 24");
+        let census = motifs::census(&clique);
+        let mut expect = [0u64; MOTIF_CLASSES];
+        expect[MOTIF_CLASSES - 1] = choose3(k);
+        assert_eq!(census.totals, expect, "k = {k}");
+        // every node sits in C(k-1, 2) of those triangles
+        let per = (k - 1) * (k - 2) / 2;
+        assert!(census.per_node.iter().all(|&p| p == per));
+        assert_eq!(motifs::undirected_triangle_count(&clique), choose3(k));
+    }
+}
+
+#[test]
+fn stars_chains_and_degenerate_shapes_hold_no_triangles() {
+    let shapes = adversarial_graphs(40, 2012);
+    for name in [
+        "adv-empty",
+        "adv-single-node",
+        "adv-single-self-loop",
+        "adv-two-cycle",
+        "adv-out-star",
+        "adv-in-star",
+        "adv-self-loop-chain",
+    ] {
+        let g = shape(&shapes, name);
+        let census = motifs::census(&g);
+        assert_eq!(census.totals, [0u64; MOTIF_CLASSES], "{name}");
+        assert!(census.per_node.iter().all(|&p| p == 0), "{name}");
+        assert_eq!(motifs::undirected_triangle_count(&g), 0, "{name}");
+    }
+}
+
+#[test]
+fn dust_census_agrees_with_the_naive_reference() {
+    // the one random shape: no hand count, so compare implementations and
+    // check conservation instead
+    let shapes = adversarial_graphs(96, 2012);
+    let dust = shape(&shapes, "adv-dust");
+    let census = motifs::census(&dust);
+    let es = gplus_oracle::reference::EdgeSet::from_graph(&dust);
+    assert_eq!(census, gplus_oracle::reference::motif_census(&es, &dust));
+    assert_eq!(census.per_node.iter().sum::<u64>(), 3 * census.triangle_total());
+}
+
+#[test]
+fn self_loops_and_duplicate_edges_cannot_fake_a_triangle() {
+    use gplus_graph::builder::from_edges;
+    use gplus_graph::NodeId;
+    // self-loops on every corner of a genuine 300 triangle change nothing
+    let decorated =
+        from_edges(3, [(0, 0), (1, 1), (2, 2), (0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)]);
+    let plain = from_edges(3, [(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)]);
+    assert_eq!(motifs::census(&decorated), motifs::census(&plain));
+    // duplicate submissions of the same edge collapse in the builder
+    let duplicated: Vec<(NodeId, NodeId)> =
+        [(0, 1), (1, 2), (0, 2)].iter().flat_map(|&e| [e, e, e]).collect();
+    let census = motifs::census(&from_edges(3, duplicated));
+    assert_eq!(census.totals[0], 1, "one 030T triangle");
+    assert_eq!(census.triangle_total(), 1);
+}

@@ -1,15 +1,16 @@
-//! Mutation smoke test: proves the differential runner can actually fail.
+//! Mutation smoke tests: prove the differential runner can actually fail.
 //!
 //! Compiled only with `--features oracle-mutation`, which plants a BFS
-//! whose level counter is off by one past depth 1. The oracle must flag
-//! it, shrink the witness, and write a small self-contained reproducer.
+//! whose level counter is off by one past depth 1 and a motif census with
+//! the `120D`/`120U` class labels swapped. The oracle must flag both,
+//! shrink the witnesses, and write small self-contained reproducers.
 
 #![cfg(feature = "oracle-mutation")]
 
 use gplus_graph::bfs;
 use gplus_graph::{CsrGraph, NodeId};
-use gplus_oracle::differential::{check_levels_kernel, DiffConfig};
-use gplus_oracle::mutation::off_by_one_levels;
+use gplus_oracle::differential::{check_levels_kernel, check_motifs_kernel, DiffConfig};
+use gplus_oracle::mutation::{off_by_one_levels, swapped_motif_labels_census};
 use gplus_oracle::sweep::{self, Preset, Reproducer, REPRO_SCHEMA};
 use gplus_synth::SynthNetwork;
 
@@ -75,6 +76,68 @@ fn the_flagged_mutant_shrinks_to_a_small_reproducer() {
     let replayed = gplus_graph::builder::from_edges(back.nodes, back.edges.iter().copied());
     assert!(
         check_levels_kernel(&replayed, &cfg, "bfs-mutant", mutant).is_some(),
+        "replaying the reproducer must still trip the mutant"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn the_differential_runner_flags_the_swapped_motif_labels() {
+    let g = synth_graph();
+    // full budgets: 1,500 nodes must land in the full-census compare tier
+    let cfg = DiffConfig::new(7);
+    assert!(
+        check_motifs_kernel(&g, &cfg, "motifs", gplus_graph::motifs::census).is_none(),
+        "control: the real census must pass"
+    );
+    let m = check_motifs_kernel(&g, &cfg, "motifs-mutant", swapped_motif_labels_census)
+        .expect("an asymmetric social graph has 120D != 120U, so the swap must be flagged");
+    assert_eq!(m.kernel, "motifs-mutant");
+    assert!(m.detail.contains("per-class triangle totals"));
+    assert_ne!(m.expected, m.actual);
+}
+
+#[test]
+fn the_flagged_motif_mutant_shrinks_to_a_small_reproducer() {
+    let g = synth_graph();
+    let cfg = DiffConfig::new(7);
+    let edges = g.edge_list();
+    let dir = std::env::temp_dir()
+        .join(format!("gplus-oracle-mutation-motifs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (repro, path) = sweep::shrink_and_report(
+        &dir,
+        "gplus",
+        7,
+        "motifs-mutant",
+        g.node_count(),
+        &edges,
+        |g| check_motifs_kernel(g, &cfg, "motifs-mutant", swapped_motif_labels_census),
+    )
+    .expect("reproducer written");
+
+    // the minimal label-swap witness is one 120D (or 120U) triangle: a
+    // mutual dyad plus two one-way edges
+    assert!(
+        repro.edges.len() <= 50,
+        "shrunken witness must be small, got {} edges",
+        repro.edges.len()
+    );
+    assert!(repro.nodes <= 50);
+    assert!(repro.shrink_steps > 0);
+    assert_eq!(repro.kernel, "motifs-mutant");
+    assert_eq!(repro.schema, REPRO_SCHEMA);
+    assert_ne!(repro.expected, repro.actual);
+
+    let back: Reproducer =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("file exists"))
+            .expect("reproducer parses");
+    assert_eq!(back.edges, repro.edges);
+    let replayed = gplus_graph::builder::from_edges(back.nodes, back.edges.iter().copied());
+    assert!(
+        check_motifs_kernel(&replayed, &cfg, "motifs-mutant", swapped_motif_labels_census)
+            .is_some(),
         "replaying the reproducer must still trip the mutant"
     );
     let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,90 @@
+//! Regression pins for the sorted-merge iterators shared by the
+//! clustering, reciprocity and motif kernels.
+//!
+//! The motif census reuses the sorted-merge intersection discipline of
+//! `clustering::closed_pairs` and the two-row merge of the reciprocity
+//! kernel. An audit of those iterators (this PR) found both correct on
+//! self-loops and row boundaries — these tests pin that behaviour with
+//! hand-computed values and the naive reference twins, so a future "fix"
+//! that re-introduces a self-loop or off-the-end bug fails here with a
+//! named shape instead of deep inside a fuzz sweep.
+
+use gplus_graph::builder::from_edges;
+use gplus_graph::{clustering, motifs, reciprocity, CsrGraph};
+use gplus_oracle::reference::{self, EdgeSet};
+
+fn agree_on(g: &CsrGraph) {
+    let es = EdgeSet::from_graph(g);
+    for u in g.nodes() {
+        assert_eq!(
+            clustering::clustering_coefficient(g, u),
+            reference::clustering_coefficient(&es, g, u),
+            "clustering of node {u}"
+        );
+        assert_eq!(
+            reciprocity::relation_reciprocity(g, u),
+            reference::relation_reciprocity(&es, g, u),
+            "reciprocity of node {u}"
+        );
+    }
+    assert_eq!(reciprocity::global_reciprocity(g), reference::global_reciprocity(&es, g));
+    assert_eq!(reciprocity::reciprocal_pair_count(g), reference::reciprocal_pair_count(&es, g));
+    assert_eq!(motifs::census(g), reference::motif_census(&es, g));
+}
+
+#[test]
+fn self_loops_on_every_triangle_corner() {
+    // the classic trap: a self-loop sits first in its own sorted row, so a
+    // merge that forgets to skip the apex counts phantom triangles
+    let g = from_edges(3, [(0, 0), (1, 1), (2, 2), (0, 1), (1, 2), (0, 2)]);
+    agree_on(&g);
+    // hand values: one 030T triangle; CC(0) = 1 closed of 2 ordered pairs
+    assert_eq!(motifs::census(&g).totals[0], 1);
+    assert_eq!(clustering::clustering_coefficient(&g, 0), Some(0.5));
+}
+
+#[test]
+fn self_loop_is_its_own_reverse_for_global_reciprocity_only() {
+    let g = from_edges(2, [(0, 0), (0, 1)]);
+    agree_on(&g);
+    // the loop edge reciprocates itself: 1 of 2 edges
+    assert_eq!(reciprocity::global_reciprocity(&g), 0.5);
+    // but a loop is never a reciprocal *pair* (u < v required)
+    assert_eq!(reciprocity::reciprocal_pair_count(&g), 0);
+}
+
+#[test]
+fn triangles_touching_both_id_boundaries() {
+    // triangle on {0, 1, n-1}: the smallest ids and the largest id, so the
+    // below-bound merges run with an empty prefix on one side and a full
+    // cutoff on the other
+    let g = from_edges(6, [(0, 1), (1, 0), (5, 0), (5, 1), (2, 3)]);
+    agree_on(&g);
+    let census = motifs::census(&g);
+    assert_eq!(census.totals[2], 1, "one 120D triangle at the id extremes");
+    assert_eq!(census.per_node, vec![1, 1, 0, 0, 0, 1]);
+}
+
+#[test]
+fn rows_that_end_exactly_at_the_merge_bound() {
+    // node 3's neighbours are {2, 4, 5}: the strictly-below-3 scan must
+    // stop after 2 without touching 4 and 5, and node 4's row {3, 5}
+    // contributes only 3. One triangle {2, 3, 4} (030C) plus the mutual
+    // pair {3, 5} dangling above.
+    let g = from_edges(6, [(2, 3), (3, 4), (4, 2), (3, 5), (5, 3), (4, 5)]);
+    agree_on(&g);
+    let census = motifs::census(&g);
+    assert_eq!(census.totals[1], 1, "one cyclic triangle");
+    assert_eq!(census.triangle_total(), 2, "plus the {{3,4,5}} 120C triangle");
+}
+
+#[test]
+fn dense_mutual_block_with_a_hanging_tail() {
+    // mutual clique {0,1,2} plus one-way chain into 3 and a self-loop on 3:
+    // exercises merges where in- and out-rows are identical, then disjoint
+    let g = from_edges(4, [(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1), (2, 3), (3, 3)]);
+    agree_on(&g);
+    let census = motifs::census(&g);
+    assert_eq!(census.totals[6], 1, "one 300 triangle");
+    assert_eq!(census.triangle_total(), 1);
+}

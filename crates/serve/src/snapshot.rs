@@ -851,12 +851,12 @@ mod tests {
     fn payload_bytes_identical_across_thread_counts() {
         // big enough that pagerank spans multiple fixed-size chunks
         let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(10_000, 7));
-        let pool = |t: usize| {
-            rayon::ThreadPoolBuilder::new().num_threads(t).build().expect("pool")
-        };
+        let pool =
+            |t: usize| rayon::ThreadPoolBuilder::new().num_threads(t).build().expect("pool");
         let reference = pool(1).install(|| AnalysedSnapshot::build(&net)).to_payload_bytes();
         for threads in [2usize, 8] {
-            let bytes = pool(threads).install(|| AnalysedSnapshot::build(&net)).to_payload_bytes();
+            let bytes =
+                pool(threads).install(|| AnalysedSnapshot::build(&net)).to_payload_bytes();
             assert!(bytes == reference, "payload differs at {threads} threads");
         }
         // repeated run at the same thread count

@@ -10,6 +10,7 @@
 //!                [--checkpoint PATH] [--resume PATH]
 //! gplus export   [-n N] [-s SEED] [--edges PATH] [--profiles PATH]
 //! gplus growth   [-n N] [-s SEED]
+//! gplus motifs   [-n N] [-s SEED] [--json PATH]
 //! gplus snapshot [-n N] [-s SEED] [--out DIR]
 //! gplus serve    --snapshot DIR [--swap DIR2] [--swap-at K] [--queries N]
 //!                [--workload-seed S] [--zipf F] [--log PATH]
@@ -31,8 +32,9 @@
 //! order, so experiment outputs, compressed graph bytes, and snapshot
 //! payloads are byte-identical across settings. `bench-suite --scale
 //! --digest PATH` writes FNV-1a digests of the PageRank score bits, the
-//! compressed CSR, and the snapshot payload — the CI thread-scaling smoke
-//! `cmp`s these files across `--threads` values to enforce exactly that.
+//! compressed CSR, the motif census, and the snapshot payload — the CI
+//! thread-scaling smoke `cmp`s these files across `--threads` values to
+//! enforce exactly that.
 //!
 //! `run` executes the full pipeline (ground truth by default, `--crawl`
 //! for the faithful generate→serve→crawl path) and prints either every
@@ -73,6 +75,11 @@
 //! structural estimates stay inside bands bracketing the paper's
 //! measurements.
 //!
+//! `motifs` censuses the seven directed-triangle classes (030T … 300)
+//! over a generated network and prints the class table — the standalone
+//! front end for the `motifs` pipeline stage; `--json PATH` dumps the raw
+//! [`MotifsResult`](gplus::analysis::experiments::motifs::MotifsResult).
+//!
 //! `verify-kernels` is the standalone differential sweep: it fuzzes the
 //! optimized kernels against the oracle across seeds × presets (plus
 //! adversarial tiny-graph shapes), shrinking any failure and writing
@@ -103,6 +110,7 @@ fn main() {
         Some("crawl") => cmd_crawl(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("growth") => cmd_growth(&args[1..]),
+        Some("motifs") => cmd_motifs(&args[1..]),
         Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("bench-suite") => cmd_bench_suite(&args[1..]),
@@ -134,6 +142,7 @@ fn print_usage() {
          [--checkpoint PATH] [--resume PATH]\n  \
          gplus export [-n N] [-s SEED] [--edges PATH] [--profiles PATH]\n  \
          gplus growth [-n N] [-s SEED]\n  \
+         gplus motifs [-n N] [-s SEED] [--json PATH]\n  \
          gplus snapshot [-n N] [-s SEED] [--out DIR]\n  \
          gplus serve  --snapshot DIR [--swap DIR2] [--swap-at K] [--queries N]\n               \
          [--workload-seed S] [--zipf F] [--log PATH]\n               \
@@ -601,6 +610,26 @@ fn cmd_growth(args: &[String]) -> i32 {
     }
     if let Some(a) = gplus::synth::densification_exponent(&series) {
         println!("densification exponent a = {a:.2} (Leskovec: 1 < a < 2)");
+    }
+    0
+}
+
+fn cmd_motifs(args: &[String]) -> i32 {
+    use gplus::analysis::experiments::motifs;
+    use gplus::analysis::GroundTruthDataset;
+    let flags = parse_flags(args, &["--json"], &[]);
+    eprintln!("generating network ({} users, seed {}) ...", flags.n, flags.seed);
+    let net = SynthNetwork::generate(&SynthConfig::google_plus_2011(flags.n, flags.seed));
+    eprintln!("censusing directed triangles ...");
+    let result = motifs::run(&GroundTruthDataset::new(&net));
+    println!("{}", motifs::render(&result));
+    if let Some(path) = flags.options.get("--json") {
+        let json = serde_json::to_string_pretty(&result).expect("motif result serialises");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return 1;
+        }
+        eprintln!("JSON motif census written to {path}");
     }
     0
 }
@@ -1111,6 +1140,22 @@ fn cmd_bench_scale(flags: &Flags) -> i32 {
         }),
     );
     let (in_fit, out_fit) = fits.expect("degree fits");
+    let mut motif_census = None;
+    stage(
+        "motifs",
+        timed("motif census (compressed vs flat)", &mut || {
+            let census = gplus::graph::motifs::census(&compressed);
+            assert_eq!(
+                census,
+                gplus::graph::motifs::census(&relabelled),
+                "compressed motif census diverged from the flat CSR"
+            );
+            motif_census = Some(census);
+        }),
+    );
+    let motif_census = motif_census.expect("motifs censused");
+    let motifs_digest = motif_census.content_digest();
+    eprintln!("  motif census: {} triangles across 7 classes", motif_census.triangle_total());
     let kernels_ms: f64 = stages.iter().map(|s| s.millis).sum();
 
     // Thread-scaling record: rerun the two chunk-parallel kernels in a
@@ -1287,7 +1332,8 @@ fn cmd_bench_scale(flags: &Flags) -> i32 {
     println!("scale bench report written to {out_path}");
     if let Some(path) = flags.options.get("--digest") {
         let text = format!(
-            "pagerank {pagerank_digest:016x}\ncompressed {compressed_digest:016x}\nsnapshot {:016x}\n",
+            "pagerank {pagerank_digest:016x}\ncompressed {compressed_digest:016x}\n\
+             motifs {motifs_digest:016x}\nsnapshot {:016x}\n",
             snapshot_digest.expect("computed when --digest is set")
         );
         if let Err(e) = std::fs::write(path, &text) {

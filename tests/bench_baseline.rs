@@ -20,7 +20,7 @@ fn committed_baseline_parses_and_passes_its_own_gate() {
     // gate logic or the baseline's internal consistency broke
     let failures = bench_compare(&baseline, &baseline, &BenchGate::default());
     assert!(failures.is_empty(), "{failures:?}");
-    // all 14 analysis stages present, report order — a fresh run must be
+    // all 15 analysis stages present, report order — a fresh run must be
     // able to match every baseline stage id
     let ids: Vec<&str> = baseline.stages.iter().map(|s| s.id.as_str()).collect();
     assert_eq!(ids, gplus::analysis::registry::STAGE_IDS.to_vec());

@@ -5,10 +5,12 @@
 //! chunk-index order, so their output is a pure function of the input —
 //! never of the rayon pool that computed it. These tests pin that contract
 //! across pools of 1, 2 and 8 workers and across repeated runs in the same
-//! pool, at the bit level: score bits, compressed-stream digests, and
-//! serialised snapshot payload bytes.
+//! pool, at the bit level: score bits, compressed-stream digests, motif
+//! census totals and participation vectors, and serialised snapshot
+//! payload bytes.
 
 use gplus::graph::builder::from_edges;
+use gplus::graph::motifs;
 use gplus::graph::pagerank::{pagerank, PageRankParams};
 use gplus::graph::{CompressedCsr, NodeId};
 use gplus::serve::AnalysedSnapshot;
@@ -79,6 +81,34 @@ proptest! {
                     "compressed bytes diverged at {} threads (run {})", t, run
                 );
             }
+        }
+    }
+
+    #[test]
+    fn motif_census_identical_across_thread_counts((n, edges) in arb_graph()) {
+        let g = from_edges(n, edges);
+        let reference = pools()[0].1.install(|| motifs::census(&g));
+        for (t, pool) in pools() {
+            for run in 0..2 {
+                let census = pool.install(|| motifs::census(&g));
+                // totals AND the per-node participation vector, not just a
+                // digest: a mismatch then names the diverging field
+                prop_assert_eq!(
+                    &census, &reference,
+                    "motif census diverged at {} threads (run {})", t, run
+                );
+                prop_assert_eq!(census.content_digest(), reference.content_digest());
+            }
+        }
+        // the compressed representation must census identically too — the
+        // kernel is generic over Adjacency, so this pins both instantiations
+        let compressed = CompressedCsr::from_csr(&g);
+        for (t, pool) in pools() {
+            let census = pool.install(|| motifs::census(&compressed));
+            prop_assert_eq!(
+                &census, &reference,
+                "compressed-CSR census diverged at {} threads", t
+            );
         }
     }
 }
